@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: the Memory RBB's Ex-functions. Hot cache and address
+ * interleaving toggled independently across access patterns,
+ * quantifying what each mechanism contributes (§3.3.1).
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "workload/vector_db.h"
+
+using namespace harmonia;
+
+namespace {
+
+VectorDbResult
+runPattern(AccessPattern pattern, bool hot_cache, bool interleave,
+           std::uint64_t db_vectors)
+{
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 300.0);
+    MemoryRbb mem(engine, clk, Vendor::Xilinx, PeripheralKind::Ddr4,
+                  2);
+    mem.setHotCacheEnabled(hot_cache);
+    mem.setInterleaveEnabled(interleave);
+    VectorDbConfig cfg;
+    cfg.dbVectors = db_vectors;
+    cfg.accesses = 3000;
+    VectorDbWorkload db(engine, mem, cfg);
+    db.populate();
+    return db.run(pattern, false);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("=== Ablation: Memory RBB Ex-functions (2-channel "
+              "DDR4, Mvec/s) ===");
+
+    const struct {
+        const char *name;
+        bool cache;
+        bool interleave;
+    } configs[] = {
+        {"baseline (no ex-functions)", false, false},
+        {"+interleave", false, true},
+        {"+hot cache", true, false},
+        {"+both (Harmonia default)", true, true},
+    };
+
+    for (std::uint64_t db_vectors : {1ULL << 15, 1ULL << 20}) {
+        std::printf("\n--- DB = %s ---\n",
+                    humanBytes(db_vectors * 4).c_str());
+        TablePrinter table({"configuration", "sequential", "fixed",
+                            "random"});
+        for (const auto &c : configs) {
+            const auto seq = runPattern(AccessPattern::Sequential,
+                                        c.cache, c.interleave,
+                                        db_vectors);
+            const auto fix = runPattern(AccessPattern::Fixed, c.cache,
+                                        c.interleave, db_vectors);
+            const auto rnd = runPattern(AccessPattern::Random,
+                                        c.cache, c.interleave,
+                                        db_vectors);
+            table.addRow(
+                {c.name, format("%.1f", seq.vectorsPerSecond / 1e6),
+                 format("%.1f", fix.vectorsPerSecond / 1e6),
+                 format("%.1f", rnd.vectorsPerSecond / 1e6)});
+        }
+        table.print();
+    }
+    std::puts("");
+    std::puts("(hot cache rescues re-referenced data; interleaving "
+              "spreads streams across channels — together they "
+              "justify the Ex-function layer)");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: the Host RBB's active-queue scheduling. The paper's
+ * Ex-function keeps active/inactive state per DMA queue and schedules
+ * only active queues "to improve the scheduling rate" — this measures
+ * that against a naive scan of all 1K queues.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "rtl/arbiter.h"
+
+using namespace harmonia;
+
+namespace {
+
+/** Wall-clock cost of N grants with K active of 1024 slots. */
+template <typename MakeGrant>
+double
+measure(unsigned grants, MakeGrant &&grant_once)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < grants; ++i)
+        grant_once();
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(end - start)
+               .count() /
+           grants;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr unsigned kSlots = 1024;
+    constexpr unsigned kGrants = 200'000;
+
+    std::puts("=== Ablation: active-list vs naive queue scheduling "
+              "(1K queues) ===");
+    TablePrinter table({"active queues", "naive scan ns/grant",
+                        "active-list ns/grant", "speedup"});
+
+    for (unsigned active : {1u, 8u, 64u, 512u}) {
+        std::vector<bool> requesting(kSlots, false);
+        for (unsigned i = 0; i < active; ++i)
+            requesting[(i * 127) % kSlots] = true;
+
+        RoundRobinArbiter naive(kSlots);
+        const double naive_ns = measure(kGrants, [&] {
+            (void)naive.grant(
+                [&](std::size_t s) { return requesting[s]; });
+        });
+
+        ActiveListArbiter fast(kSlots);
+        for (unsigned s = 0; s < kSlots; ++s)
+            if (requesting[s])
+                fast.activate(s);
+        const double fast_ns = measure(kGrants, [&] {
+            (void)fast.grant([](std::size_t) { return true; });
+        });
+
+        table.addRow({std::to_string(active),
+                      format("%.1f", naive_ns),
+                      format("%.1f", fast_ns),
+                      format("%.1fx", naive_ns / fast_ns)});
+    }
+    table.print();
+    std::puts("(the naive scheduler scans all 1K queue states per "
+              "grant; the active list touches only live tenants)");
+    return 0;
+}

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Figure 10: native module performance vs performance through the
+ * lightweight interface wrapper, for (a) the MAC in QSFP loopback,
+ * (b) the PCIe DMA engine, and (c) the DDR controller. The wrapper
+ * must preserve throughput and add only a few fixed cycles.
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "shell/host_rbb.h"
+#include "shell/memory_rbb.h"
+#include "shell/network_rbb.h"
+#include "workload/packet_gen.h"
+
+using namespace harmonia;
+
+namespace {
+
+struct PerfPoint {
+    double throughput = 0;  // unit depends on the experiment
+    double latencyUs = 0;
+};
+
+/**
+ * Single-outstanding latency probe: send one packet/request, wait for
+ * it, repeat. Queueing never builds, so the number is the pure path
+ * delay (the quantity Fig 10's latency curves report).
+ */
+template <typename Push, typename TryPop>
+double
+probeLatencyUs(Engine &engine, Push &&push, TryPop &&try_pop,
+               unsigned rounds)
+{
+    std::uint64_t lat = 0;
+    for (unsigned i = 0; i < rounds; ++i) {
+        const Tick sent = engine.now();
+        push(i);
+        Tick done = 0;
+        engine.runUntilDone(
+            [&] {
+                if (try_pop()) {
+                    done = engine.now();
+                    return true;
+                }
+                return false;
+            },
+            100'000'000);
+        lat += done - sent;
+    }
+    return lat / 1e6 / rounds;
+}
+
+/** MAC loopback: native (raw IP) path. */
+PerfPoint
+macNative(std::uint32_t pkt_bytes, unsigned packets)
+{
+    Engine engine;
+    Clock *clk = engine.addClock("clk", MacIp::clockMhzFor(100));
+    XilinxCmac mac(100);
+    engine.add(&mac, clk);
+    mac.setLoopback(true);
+
+    std::uint64_t sent = 0, got = 0, lat = 0, bytes = 0;
+    const Tick start = engine.now();
+    while (got < packets) {
+        while (sent < packets && mac.txReady()) {
+            PacketDesc pkt;
+            pkt.bytes = pkt_bytes;
+            pkt.injected = engine.now();
+            mac.txPush(pkt);
+            ++sent;
+        }
+        engine.step();
+        while (mac.rxAvailable()) {
+            const PacketDesc pkt = mac.rxPop();
+            lat += engine.now() - pkt.injected;
+            bytes += pkt.bytes;
+            ++got;
+        }
+    }
+    const double s =
+        static_cast<double>(engine.now() - start) / kTicksPerSecond;
+    (void)lat;
+    const double latency = probeLatencyUs(
+        engine,
+        [&](unsigned) {
+            PacketDesc pkt;
+            pkt.bytes = pkt_bytes;
+            mac.txPush(pkt);
+        },
+        [&] {
+            if (!mac.rxAvailable())
+                return false;
+            mac.rxPop();
+            return true;
+        },
+        100);
+    return {bytes * 8.0 / s / 1e9, latency};
+}
+
+/** MAC loopback through the Network RBB (wrapper on the path). */
+PerfPoint
+macWrapped(std::uint32_t pkt_bytes, unsigned packets)
+{
+    Engine engine;
+    Clock *clk = engine.addClock("clk", MacIp::clockMhzFor(100));
+    NetworkRbb rbb(engine, clk, Vendor::Xilinx, 100);
+    rbb.setLoopback(true);
+
+    std::uint64_t sent = 0, got = 0, lat = 0, bytes = 0;
+    const Tick start = engine.now();
+    while (got < packets) {
+        while (sent < packets && rbb.txReady()) {
+            PacketDesc pkt;
+            pkt.bytes = pkt_bytes;
+            pkt.injected = engine.now();
+            rbb.txPush(pkt);
+            ++sent;
+        }
+        engine.step();
+        while (rbb.rxAvailable()) {
+            const PacketDesc pkt = rbb.rxPop();
+            lat += engine.now() - pkt.injected;
+            bytes += pkt.bytes;
+            ++got;
+        }
+    }
+    const double s =
+        static_cast<double>(engine.now() - start) / kTicksPerSecond;
+    (void)lat;
+    const double latency = probeLatencyUs(
+        engine,
+        [&](unsigned) {
+            PacketDesc pkt;
+            pkt.bytes = pkt_bytes;
+            rbb.txPush(pkt);
+        },
+        [&] {
+            if (!rbb.rxAvailable())
+                return false;
+            rbb.rxPop();
+            return true;
+        },
+        100);
+    return {bytes * 8.0 / s / 1e9, latency};
+}
+
+/** PCIe DMA: posted reads of a given size, native vs Host RBB. */
+PerfPoint
+dmaRun(std::uint32_t bytes, unsigned transfers, bool wrapped)
+{
+    Engine engine;
+    Clock *clk = engine.addClock("clk", DmaIp::clockMhzFor(4));
+
+    std::unique_ptr<HostRbb> rbb;
+    std::unique_ptr<DmaIp> raw;
+    if (wrapped) {
+        rbb = std::make_unique<HostRbb>(engine, clk, Vendor::Xilinx,
+                                        4, 8, 64);
+        rbb->setQueueActive(0, true);
+    } else {
+        raw = makeDma(Vendor::Xilinx, 4, 8, 64);
+        engine.add(raw.get(), clk);
+    }
+
+    std::uint64_t sent = 0, got = 0, lat = 0, moved = 0;
+    const Tick start = engine.now();
+    while (got < transfers) {
+        while (sent < transfers) {
+            bool ok;
+            if (wrapped) {
+                ok = rbb->submit(DmaDir::H2C, 0, bytes, sent);
+            } else {
+                DmaRequest req;
+                req.bytes = bytes;
+                req.issued = engine.now();
+                ok = raw->post(req);
+            }
+            if (!ok)
+                break;
+            ++sent;
+        }
+        engine.step();
+        auto drain = [&](auto &src) {
+            while (src.hasCompletion()) {
+                const DmaCompletion c = src.popCompletion();
+                lat += c.latency();
+                moved += c.request.bytes;
+                ++got;
+            }
+        };
+        if (wrapped)
+            drain(*rbb);
+        else
+            drain(*raw);
+    }
+    const double s =
+        static_cast<double>(engine.now() - start) / kTicksPerSecond;
+    (void)lat;
+    const double latency = probeLatencyUs(
+        engine,
+        [&](unsigned i) {
+            if (wrapped) {
+                rbb->submit(DmaDir::H2C, 0, bytes, 1'000'000 + i);
+            } else {
+                DmaRequest req;
+                req.bytes = bytes;
+                req.issued = engine.now();
+                raw->post(req);
+            }
+        },
+        [&] {
+            if (wrapped) {
+                if (!rbb->hasCompletion())
+                    return false;
+                rbb->popCompletion();
+                return true;
+            }
+            if (!raw->hasCompletion())
+                return false;
+            raw->popCompletion();
+            return true;
+        },
+        100);
+    return {moved / s / 1e9, latency};
+}
+
+/** DDR: one access pattern, native vs Memory RBB. */
+PerfPoint
+ddrRun(bool sequential, bool write, unsigned ops, bool wrapped)
+{
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 300.0);
+
+    std::unique_ptr<MemoryRbb> rbb;
+    std::unique_ptr<MemoryIp> raw;
+    if (wrapped) {
+        rbb = std::make_unique<MemoryRbb>(engine, clk, Vendor::Xilinx,
+                                          PeripheralKind::Ddr4, 1);
+        rbb->setHotCacheEnabled(false);  // measure the raw pattern
+    } else {
+        raw = makeMemory(Vendor::Xilinx, PeripheralKind::Ddr4, 1);
+        engine.add(raw.get(), clk);
+    }
+
+    Rng rng(3);
+    std::uint64_t issued = 0, got = 0, lat = 0;
+    const Tick start = engine.now();
+    while (got < ops) {
+        while (issued < ops) {
+            const Addr addr =
+                sequential ? issued * 64
+                           : (rng.next() % (1ULL << 26)) / 64 * 64;
+            bool ok;
+            if (wrapped) {
+                ok = write ? rbb->write(addr, 64, issued)
+                           : rbb->read(addr, 64, issued);
+            } else {
+                MemRequest req;
+                req.write = write;
+                req.addr = addr;
+                req.bytes = 64;
+                req.issued = engine.now();
+                ok = raw->post(0, req);
+            }
+            if (!ok)
+                break;
+            ++issued;
+        }
+        engine.step();
+        auto drain = [&](auto &src) {
+            while (src.hasCompletion()) {
+                lat += src.popCompletion().latency();
+                ++got;
+            }
+        };
+        if (wrapped)
+            drain(*rbb);
+        else
+            drain(*raw);
+    }
+    const double s =
+        static_cast<double>(engine.now() - start) / kTicksPerSecond;
+    return {got / s / 1e6, lat / 1e6 / got};  // Mops/s
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("=== Figure 10a: MAC module, native vs wrapper "
+              "(100G loopback) ===");
+    {
+        TablePrinter table({"pkt size", "native Gbps", "wrapped Gbps",
+                            "native lat us", "wrapped lat us"});
+        for (std::uint32_t size : {64u, 128u, 256u, 512u, 1024u}) {
+            const PerfPoint n = macNative(size, 2000);
+            const PerfPoint w = macWrapped(size, 2000);
+            table.addRow({std::to_string(size),
+                          format("%.1f", n.throughput),
+                          format("%.1f", w.throughput),
+                          format("%.3f", n.latencyUs),
+                          format("%.3f", w.latencyUs)});
+        }
+        table.print();
+    }
+
+    std::puts("");
+    std::puts("=== Figure 10b: PCIe DMA module, native vs wrapper "
+              "(Gen4 x8) ===");
+    {
+        TablePrinter table({"xfer size", "native GB/s",
+                            "wrapped GB/s", "native lat us",
+                            "wrapped lat us"});
+        for (std::uint32_t size :
+             {1024u, 2048u, 4096u, 8192u, 16384u}) {
+            const PerfPoint n = dmaRun(size, 800, false);
+            const PerfPoint w = dmaRun(size, 800, true);
+            table.addRow({humanBytes(size),
+                          format("%.2f", n.throughput),
+                          format("%.2f", w.throughput),
+                          format("%.3f", n.latencyUs),
+                          format("%.3f", w.latencyUs)});
+        }
+        table.print();
+    }
+
+    std::puts("");
+    std::puts("=== Figure 10c: DDR module, native vs wrapper "
+              "(64B ops) ===");
+    {
+        TablePrinter table({"pattern", "native Mops", "wrapped Mops",
+                            "native lat us", "wrapped lat us"});
+        const struct {
+            const char *name;
+            bool seq;
+            bool write;
+        } patterns[] = {
+            {"RandRead", false, false},
+            {"RandWrite", false, true},
+            {"SeqRead", true, false},
+            {"SeqWrite", true, true},
+        };
+        for (const auto &p : patterns) {
+            const PerfPoint n = ddrRun(p.seq, p.write, 3000, false);
+            const PerfPoint w = ddrRun(p.seq, p.write, 3000, true);
+            table.addRow({p.name, format("%.1f", n.throughput),
+                          format("%.1f", w.throughput),
+                          format("%.3f", n.latencyUs),
+                          format("%.3f", w.latencyUs)});
+        }
+        table.print();
+    }
+    std::puts("");
+    std::puts("(expected shape: wrapped throughput == native; "
+              "wrapped latency higher by a few fixed cycles only)");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 11: shell tailoring reduces resource consumption. Percentage
+ * of device-A resources occupied by the unified shell vs the shells
+ * tailored to each application.
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "roles/board_test.h"
+#include "roles/host_network.h"
+#include "roles/l4lb.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+#include "shell/unified_shell.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    const FpgaDevice &dev =
+        DeviceDatabase::instance().byName("DeviceA");
+    const ResourceVector &budget = dev.chip().budget;
+
+    struct Row {
+        std::string name;
+        ResourceVector res;
+    };
+    std::vector<Row> rows;
+
+    {
+        Engine engine;
+        rows.push_back(
+            {"Unified Shell",
+             Shell::makeUnified(engine, dev)->shellResources()});
+    }
+    const std::vector<RoleRequirements> apps = {
+        SecGateway::standardRequirements(),
+        Layer4Lb::standardRequirements(),
+        Retrieval::standardRequirements(),
+        HostNetwork::standardRequirements(),
+    };
+    for (const RoleRequirements &reqs : apps) {
+        Engine engine;
+        rows.push_back(
+            {reqs.name + " Shell",
+             Shell::makeTailored(engine, dev, reqs)
+                 ->shellResources()});
+    }
+
+    std::puts("=== Figure 11: shell resource occupancy on Device A "
+              "(XCVU35P) ===");
+    TablePrinter table(
+        {"shell", "LUTs %", "REGs %", "BRAM %", "URAM %"});
+    for (const Row &row : rows) {
+        table.addRow(
+            {row.name,
+             format("%.1f", row.res.utilization("lut", budget) * 100),
+             format("%.1f", row.res.utilization("reg", budget) * 100),
+             format("%.1f",
+                    row.res.utilization("bram", budget) * 100),
+             format("%.1f",
+                    row.res.utilization("uram", budget) * 100)});
+    }
+    table.print();
+
+    const double unified =
+        rows[0].res.utilization("lut", budget) * 100;
+    std::puts("");
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const double tailored =
+            rows[i].res.utilization("lut", budget) * 100;
+        std::printf("%-22s saves %.1f%% of LUT occupancy vs "
+                    "unified\n",
+                    rows[i].name.c_str(), unified - tailored);
+    }
+    std::puts("(paper: tailored shells reduce consumption by "
+              "3%-25.1%)");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 13: software modifications when migrating an application
+ * between devices — register interface (commercial-framework style)
+ * vs Harmonia's command-based interface.
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "host/host_app.h"
+#include "roles/board_test.h"
+#include "roles/host_network.h"
+#include "roles/l4lb.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+
+using namespace harmonia;
+
+namespace {
+
+const FpgaDevice &
+device(const char *name)
+{
+    return DeviceDatabase::instance().byName(name);
+}
+
+/** Adapt a role's requirements to what a board can actually offer. */
+RoleRequirements
+fitTo(RoleRequirements reqs, const FpgaDevice &dev)
+{
+    if (reqs.needsMemory && dev.byClass(PeripheralClass::Memory)
+                                .empty())
+        reqs.needsMemory = false;
+    if (reqs.needsMemory && !dev.has(PeripheralKind::Hbm)) {
+        double ddr_bw = 0;
+        for (const Peripheral &p :
+             dev.byClass(PeripheralClass::Memory))
+            ddr_bw += p.peakBandwidth() / 1e9;
+        if (reqs.memoryBandwidthGBps > ddr_bw)
+            reqs.memoryBandwidthGBps = ddr_bw;
+    }
+    return reqs;
+}
+
+} // namespace
+
+int
+main()
+{
+    struct Case {
+        RoleRequirements reqs;
+        const char *from;
+        const char *to;
+    };
+    const std::vector<Case> cases = {
+        {SecGateway::standardRequirements(), "DeviceC", "DeviceD"},
+        {Layer4Lb::standardRequirements(), "DeviceC", "DeviceD"},
+        {Retrieval::standardRequirements(), "DeviceB", "DeviceA"},
+        {BoardTest::standardRequirements(), "DeviceC", "DeviceD"},
+        {HostNetwork::standardRequirements(), "DeviceC", "DeviceD"},
+    };
+
+    std::puts("=== Figure 13: software modifications for migration "
+              "(register IF vs command IF) ===");
+    TablePrinter table({"application", "migration", "register mods",
+                        "command mods", "reduction"});
+    for (const Case &c : cases) {
+        Engine e1, e2;
+        auto from = Shell::makeTailored(
+            e1, device(c.from), fitTo(c.reqs, device(c.from)));
+        auto to = Shell::makeTailored(
+            e2, device(c.to), fitTo(c.reqs, device(c.to)));
+        const std::size_t reg = migrationModifications(
+            *from, *to, HostInterface::Register);
+        const std::size_t cmd = migrationModifications(
+            *from, *to, HostInterface::Command);
+        table.addRow({c.reqs.name,
+                      format("%s->%s", c.from, c.to),
+                      std::to_string(reg), std::to_string(cmd),
+                      format("%.0fx",
+                             static_cast<double>(reg) / cmd)});
+    }
+    table.print();
+    std::puts("(paper: 88x-107x fewer modifications with the "
+              "command-based interface)");
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 15: shell development-workload reuse per application when
+ * migrating across FPGAs.
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "roles/board_test.h"
+#include "roles/host_network.h"
+#include "roles/l4lb.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+#include "shell/workload_model.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    const FpgaDevice &dev =
+        DeviceDatabase::instance().byName("DeviceA");
+    const std::vector<RoleRequirements> apps = {
+        SecGateway::standardRequirements(),
+        Layer4Lb::standardRequirements(),
+        Retrieval::standardRequirements(),
+        BoardTest::standardRequirements(),
+        HostNetwork::standardRequirements(),
+    };
+
+    std::puts("=== Figure 15: per-application shell reuse across "
+              "FPGAs ===");
+    TablePrinter table({"application", "cross-vendor reuse",
+                        "cross-chip reuse"});
+    for (const RoleRequirements &reqs : apps) {
+        Engine engine;
+        std::unique_ptr<Shell> shell;
+        if (reqs.name == "board_test")
+            shell = Shell::makeUnified(engine, dev);
+        else
+            shell = Shell::makeTailored(engine, dev, reqs);
+        table.addRow(
+            {reqs.name,
+             format("%.2f",
+                    appShellReuse(*shell,
+                                  MigrationKind::CrossVendor)),
+             format("%.2f", appShellReuse(
+                                *shell, MigrationKind::CrossChip))});
+    }
+    table.print();
+    std::puts("(paper: 70%-80% shell reuse across applications)");
+    return 0;
+}

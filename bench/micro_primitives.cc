@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) on the hot primitives: command
+ * codec, checksum/CRC, async FIFO and the byte repacker. These bound
+ * the simulator's own overheads and document codec costs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cmd/command.h"
+#include "common/checksum.h"
+#include "rtl/async_fifo.h"
+#include "rtl/crc.h"
+#include "rtl/width_converter.h"
+
+using namespace harmonia;
+
+namespace {
+
+void
+BM_Checksum16(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(state.range(0));
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checksum16(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Checksum16)->Arg(64)->Arg(1500)->Arg(65536);
+
+void
+BM_Crc32(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(state.range(0));
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(crc32(data));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1500)->Arg(65536);
+
+void
+BM_CommandEncode(benchmark::State &state)
+{
+    CommandPacket pkt;
+    pkt.rbbId = kRbbNetwork;
+    pkt.commandCode = kCmdTableWrite;
+    pkt.data.assign(state.range(0), 0xabcd);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pkt.encode());
+}
+BENCHMARK(BM_CommandEncode)->Arg(0)->Arg(8)->Arg(64);
+
+void
+BM_CommandDecode(benchmark::State &state)
+{
+    CommandPacket pkt;
+    pkt.data.assign(state.range(0), 0x1234);
+    const auto bytes = pkt.encode();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(decodeCommand(bytes));
+}
+BENCHMARK(BM_CommandDecode)->Arg(0)->Arg(8)->Arg(64);
+
+void
+BM_AsyncFifoPingPong(benchmark::State &state)
+{
+    AsyncFifo<std::uint64_t> fifo(64, 2);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        fifo.writeTick();
+        if (fifo.canPush())
+            fifo.push(v++);
+        fifo.readTick();
+        while (fifo.canPop())
+            benchmark::DoNotOptimize(fifo.pop());
+    }
+}
+BENCHMARK(BM_AsyncFifoPingPong);
+
+void
+BM_ByteRepacker(benchmark::State &state)
+{
+    Beat in;
+    in.data.assign(64, 0x5a);
+    in.last = false;
+    ByteRepacker rp(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        rp.feed(in);
+        while (rp.hasOutput())
+            benchmark::DoNotOptimize(rp.pop());
+    }
+    state.SetBytesProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ByteRepacker)->Arg(16)->Arg(64)->Arg(256);
+
+} // namespace
+
+// main() is provided by benchmark::benchmark_main.

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table 3: FPGA devices supported by each framework.
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "frameworks/comparison.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    const SupportMatrix m = buildSupportMatrix();
+
+    std::puts("=== Table 3: devices supported by each framework ===");
+    std::vector<std::string> headers = {"device (board/chip)"};
+    for (const std::string &fw : m.frameworks)
+        headers.push_back(fw);
+    TablePrinter table(headers);
+
+    for (const std::string &dev_name : m.devices) {
+        const FpgaDevice &dev =
+            DeviceDatabase::instance().byName(dev_name);
+        std::vector<std::string> row = {
+            format("%s (%s/%s)", dev_name.c_str(),
+                   toString(dev.boardVendor), dev.chipName.c_str())};
+        for (const std::string &fw : m.frameworks)
+            row.push_back(m.supported.at({fw, dev_name}) ? "yes"
+                                                         : "-");
+        table.addRow(row);
+    }
+    table.print();
+    std::puts("(paper: only Harmonia covers Intel, Xilinx and "
+              "in-house custom boards)");
+    return 0;
+}

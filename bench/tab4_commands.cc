@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 4: host-software configuration cost per task — register
+ * interface (commercial baseline) vs Harmonia's command interface.
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "frameworks/comparison.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(
+        engine, DeviceDatabase::instance().byName("DeviceA"));
+    const auto rows = compareConfigCosts(*shell);
+
+    std::puts("=== Table 4: registers vs commands per configuration "
+              "task ===");
+    TablePrinter table(
+        {"task", "registers", "commands", "simplification"});
+    for (const auto &row : rows)
+        table.addRow({toString(row.task),
+                      std::to_string(row.registerOps),
+                      std::to_string(row.commandOps),
+                      format("%.0fx", row.ratio())});
+    table.print();
+    std::puts("(paper: monitoring 84 vs 4, network init 115 vs 5, "
+              "host interaction 60 vs 4 => 15-23x)");
+
+    // The measured Harmonia shell's own register surface, for
+    // context: what the commands are hiding.
+    std::printf("\nHarmonia shell register-interface equivalents: "
+                "%zu init ops, %zu monitoring reads\n",
+                shell->registerInitOps(), shell->monitoringRegOps());
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Operations scenario: what a fleet operator's tooling does with
+ * Harmonia. The board-test role validates a new card; a standalone
+ * control tool (distinct SrcID from the application) reads health
+ * over the command interface — temperature-free here, but the same
+ * walkthrough as the paper's Figure 8 — and exercises the kernel's
+ * system services (flash erase, time count).
+ *
+ *   $ ./ops_monitoring
+ */
+
+#include <cstdio>
+
+#include "host/cmd_driver.h"
+#include "roles/board_test.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    const FpgaDevice &device =
+        DeviceDatabase::instance().byName("DeviceA");
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device);
+
+    // --- Board validation, as the infrastructure role does it. ---
+    BoardTest tester;
+    tester.bind(engine, *shell);
+    std::printf("validating %s ...\n", device.toString().c_str());
+    const BoardReport report = tester.runAll(engine);
+    for (const std::string &line : report.log)
+        std::printf("  %s\n", line.c_str());
+    std::printf("board verdict: %s\n",
+                report.allPass() ? "PASS" : "FAIL");
+
+    // --- A standalone tool monitors over commands (SrcID != app). ---
+    CmdDriver tool(engine, *shell, kCtrlStandaloneTool);
+
+    std::puts("\nfleet monitoring sweep (one command per RBB):");
+    for (Rbb *rbb : shell->rbbs()) {
+        const CommandPacket resp = tool.call(
+            rbb->rbbId(), rbb->instanceId(), kCmdStatsSnapshot);
+        std::printf("  %-10s -> %u stats, status=%s, round trip "
+                    "%.1f us\n",
+                    rbb->name().c_str(),
+                    resp.data.empty() ? 0 : resp.data[0],
+                    toString(static_cast<CommandStatus>(resp.status)),
+                    tool.lastLatency() / 1e6);
+    }
+
+    // --- Health sensors, as the BMC polls them (Figure 8 path). ---
+    const CommandPacket sensors =
+        tool.call(kRbbHealth, 0, kCmdSensorRead, {});
+    std::printf("\nhealth: %u.%03u C, vccint %u mV, %u mW, "
+                "alarms=0x%x\n",
+                sensors.data[0] / 1000, sensors.data[0] % 1000,
+                sensors.data[1], sensors.data[3], sensors.data[4]);
+
+    // --- Kernel-local services: uptime and a flash sector erase. ---
+    const CommandPacket uptime =
+        tool.call(kRbbSystem, 0, kCmdTimeCount);
+    const std::uint64_t cycles =
+        (static_cast<std::uint64_t>(uptime.data[0]) << 32) |
+        uptime.data[1];
+    std::printf("\ncontrol kernel uptime: %llu cycles\n",
+                static_cast<unsigned long long>(cycles));
+
+    const CommandPacket erase =
+        tool.call(kRbbSystem, 0, kCmdFlashErase, {3});
+    std::printf("flash sector 3 erase: %s\n",
+                erase.status == kCmdOk ? "ok" : "failed");
+
+    // --- A BMC shares the same kernel without interfering. ---
+    CmdDriver bmc(engine, *shell, kCtrlBmc);
+    const CommandPacket health =
+        bmc.call(kRbbHost, 0, kCmdStatsSnapshot);
+    std::printf("BMC health poll: status=%s (response routed to "
+                "SrcID 0x%02x)\n",
+                toString(static_cast<CommandStatus>(health.status)),
+                bmc.commandCount() ? kCtrlBmc : 0);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Look-aside acceleration scenario: FAERY-style embedding retrieval
+ * on the HBM board. Populates a corpus in the Memory RBB, runs
+ * queries and prints verified top-K results with latency.
+ *
+ *   $ ./retrieval_lookaside
+ */
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "host/cmd_driver.h"
+#include "roles/retrieval.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    const FpgaDevice &device =
+        DeviceDatabase::instance().byName("DeviceA");
+    std::printf("retrieval accelerator on %s\n",
+                device.toString().c_str());
+
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, device, Retrieval::standardRequirements());
+    std::printf("tailoring picked the %s memory instance "
+                "(%u channels)\n",
+                toString(shell->memory().controller().memoryKind()),
+                shell->memory().controller().channels());
+
+    Retrieval role;
+    role.bind(engine, *shell);
+    role.setCorpusItems(8192);
+    role.populateCorpus();
+    CmdDriver driver(engine, *shell);
+    driver.initializeAll();
+
+    // Run a few queries and report exact top-K.
+    for (std::uint64_t q = 1; q <= 3; ++q) {
+        role.submitQuery(q);
+        engine.runUntilDone([&] { return role.hasResult(); },
+                            10'000'000'000ULL);
+        const RetrievalResult r = role.popResult();
+        std::printf("query %llu: latency %s, top-3 = "
+                    "[%llu:%d, %llu:%d, %llu:%d]\n",
+                    static_cast<unsigned long long>(r.queryId),
+                    humanTime(r.latency()).c_str(),
+                    static_cast<unsigned long long>(r.topK[0].first),
+                    r.topK[0].second,
+                    static_cast<unsigned long long>(r.topK[1].first),
+                    r.topK[1].second,
+                    static_cast<unsigned long long>(r.topK[2].first),
+                    r.topK[2].second);
+    }
+
+    // Production-scale corpora: analytic service time.
+    std::puts("\nscaling out (timing model):");
+    for (std::uint64_t items :
+         {1'000'000ULL, 100'000'000ULL, 1'000'000'000ULL}) {
+        role.setCorpusItems(items);
+        const Tick t = role.queryServiceTime();
+        std::printf("  %11llu items: %8s/query  (%.1f QPS)\n",
+                    static_cast<unsigned long long>(items),
+                    humanTime(t).c_str(),
+                    kTicksPerSecond / static_cast<double>(t));
+    }
+
+    // The memory RBB's monitoring shows the scan traffic.
+    const CommandPacket resp =
+        driver.call(kRbbMemory, 0, kCmdStatsSnapshot);
+    std::printf("\nmemory RBB exported %u statistics over the "
+                "command interface\n",
+                resp.data.empty() ? 0 : resp.data[0]);
+    return 0;
+}

@@ -1,0 +1,112 @@
+#include "adapter/device_adapter.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmonia {
+
+DeviceAdapter::DeviceAdapter(const FpgaDevice &device) : device_(device)
+{
+    const Chip &chip = device.chip();
+    auto set = [&](const std::string &k, const std::string &v) {
+        staticConfig_[k] = v;
+    };
+
+    set("chip.name", chip.name);
+    set("chip.family", toString(chip.family));
+    set("chip.vendor", toString(chip.vendor()));
+    set("chip.process_nm", std::to_string(processNm(chip.family)));
+    set("chip.lut", std::to_string(chip.budget.lut));
+    set("chip.reg", std::to_string(chip.budget.reg));
+    set("chip.bram", std::to_string(chip.budget.bram));
+    set("chip.uram", std::to_string(chip.budget.uram));
+    set("chip.dsp", std::to_string(chip.budget.dsp));
+    set("board.vendor", toString(device.boardVendor));
+    set("board.year", std::to_string(device.introducedYear));
+
+    unsigned idx = 0;
+    for (const Peripheral &p : device.peripherals) {
+        const std::string prefix = format("peripheral.%u", idx++);
+        set(prefix + ".kind", toString(p.kind));
+        set(prefix + ".count", std::to_string(p.count));
+        set(prefix + ".channels", std::to_string(p.channels()));
+        if (classOf(p.kind) == PeripheralClass::Host) {
+            set(prefix + ".lanes", std::to_string(p.lanes));
+            set(prefix + ".virtual_functions", "4");
+        }
+        set(prefix + ".peak_bw", format("%.0f", p.peakBandwidth()));
+    }
+    set("peripheral.count", std::to_string(idx));
+}
+
+unsigned
+DeviceAdapter::peripheralCount(PeripheralKind kind) const
+{
+    unsigned n = 0;
+    for (const Peripheral &p : device_.peripherals)
+        if (p.kind == kind)
+            n += p.count;
+    return n;
+}
+
+const ClockMapping &
+DeviceAdapter::mapClock(const std::string &logical_name, double mhz)
+{
+    if (mhz <= 0)
+        fatal("clock '%s': frequency must be positive",
+              logical_name.c_str());
+    for (const ClockMapping &c : clocks_)
+        if (c.logicalName == logical_name)
+            fatal("clock '%s' already mapped", logical_name.c_str());
+    if (clocks_.size() >= kPllBudget)
+        fatal("device '%s': PLL budget (%u) exhausted mapping '%s'",
+              device_.name.c_str(), kPllBudget, logical_name.c_str());
+    clocks_.push_back(
+        {logical_name, mhz, static_cast<unsigned>(clocks_.size())});
+    return clocks_.back();
+}
+
+const PinMapping &
+DeviceAdapter::mapPins(const std::string &logical_name,
+                       PeripheralKind kind, unsigned index)
+{
+    const unsigned available = peripheralCount(kind);
+    if (index >= available)
+        fatal("device '%s' has %u %s instance(s); cannot map '%s' to "
+              "index %u",
+              device_.name.c_str(), available, toString(kind),
+              logical_name.c_str(), index);
+    for (const PinMapping &p : pins_) {
+        if (p.logicalName == logical_name)
+            fatal("pin group '%s' already mapped",
+                  logical_name.c_str());
+        if (p.kind == kind && p.instanceIndex == index)
+            fatal("%s[%u] on device '%s' already claimed by '%s'",
+                  toString(kind), index, device_.name.c_str(),
+                  p.logicalName.c_str());
+    }
+    pins_.push_back({logical_name, kind, index});
+    return pins_.back();
+}
+
+std::vector<std::string>
+DeviceAdapter::emitConstraintScript() const
+{
+    std::vector<std::string> lines;
+    lines.push_back(format("# constraints for %s (%s)",
+                           device_.name.c_str(),
+                           device_.chipName.c_str()));
+    for (const ClockMapping &c : clocks_) {
+        lines.push_back(format(
+            "create_clock -name %s -period %.3f [get_pins pll%u/out]",
+            c.logicalName.c_str(), 1000.0 / c.mhz, c.pllIndex));
+    }
+    for (const PinMapping &p : pins_) {
+        lines.push_back(format(
+            "set_property -dict {LOC %s_%u} [get_ports %s]",
+            toString(p.kind), p.instanceIndex, p.logicalName.c_str()));
+    }
+    return lines;
+}
+
+} // namespace harmonia

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The automated device adapter (§3.2): manages hardware-resource
+ * configurations for one FPGA board. Static-group entries hold the
+ * inherent properties of the chip and peripherals (configured once and
+ * reused anywhere); dynamic-group entries hold on-demand mapping
+ * constraints between logic and device (I/O pins, clocks).
+ */
+
+#ifndef HARMONIA_ADAPTER_DEVICE_ADAPTER_H_
+#define HARMONIA_ADAPTER_DEVICE_ADAPTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/database.h"
+
+namespace harmonia {
+
+/** A named clock request bound to a device clock resource. */
+struct ClockMapping {
+    std::string logicalName;
+    double mhz = 0;
+    unsigned pllIndex = 0;
+};
+
+/** A named pin-group request bound to a peripheral instance. */
+struct PinMapping {
+    std::string logicalName;
+    PeripheralKind kind;
+    unsigned instanceIndex = 0;
+};
+
+/**
+ * Device adapter for one board. Construction derives the full static
+ * group from the device database; dynamic mappings are validated
+ * against what the board physically has.
+ */
+class DeviceAdapter {
+  public:
+    explicit DeviceAdapter(const FpgaDevice &device);
+
+    const FpgaDevice &device() const { return device_; }
+
+    /** Inherent properties: chip budget, channel counts, link widths. */
+    const std::map<std::string, std::string> &staticConfig() const
+    {
+        return staticConfig_;
+    }
+
+    /**
+     * Map a logical clock onto a PLL output. fatal() when the board's
+     * PLL budget is exhausted or the name is reused.
+     */
+    const ClockMapping &mapClock(const std::string &logical_name,
+                                 double mhz);
+
+    /**
+     * Map a logical pin group onto the @p index'th peripheral of
+     * @p kind. fatal() when the board lacks that peripheral instance
+     * or it is already claimed.
+     */
+    const PinMapping &mapPins(const std::string &logical_name,
+                              PeripheralKind kind, unsigned index);
+
+    const std::vector<ClockMapping> &clockMappings() const
+    {
+        return clocks_;
+    }
+    const std::vector<PinMapping> &pinMappings() const { return pins_; }
+
+    /**
+     * Emit the constraint script the vendor tool consumes — the
+     * adapters are "generated using vendor-provided tcl and ruby
+     * scripts" in production; the model renders the equivalent lines.
+     */
+    std::vector<std::string> emitConstraintScript() const;
+
+    /** PLL outputs available on the modelled boards. */
+    static constexpr unsigned kPllBudget = 8;
+
+  private:
+    unsigned peripheralCount(PeripheralKind kind) const;
+
+    const FpgaDevice &device_;
+    std::map<std::string, std::string> staticConfig_;
+    std::vector<ClockMapping> clocks_;
+    std::vector<PinMapping> pins_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_ADAPTER_DEVICE_ADAPTER_H_

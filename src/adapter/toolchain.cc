@@ -1,0 +1,86 @@
+#include "adapter/toolchain.h"
+
+#include "common/checksum.h"
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmonia {
+
+Toolchain::Toolchain(VendorAdapter environment)
+    : env_(std::move(environment))
+{
+}
+
+BuildArtifact
+Toolchain::compile(const CompileJob &job) const
+{
+    BuildArtifact art;
+    auto log = [&](std::string line) {
+        art.log.push_back(std::move(line));
+    };
+
+    if (job.device == nullptr) {
+        log("error: compile job has no target device");
+        return art;
+    }
+    const FpgaDevice &device = *job.device;
+    log(format("[flow] project '%s' targeting %s (%s)",
+               job.projectName.c_str(), device.name.c_str(),
+               device.chipName.c_str()));
+
+    // Step 1: rigid dependency inspection via the vendor adapter.
+    const auto issues = env_.inspect(job.modules);
+    if (!issues.empty()) {
+        for (const DependencyIssue &i : issues)
+            log("error: " + i.toString());
+        log(format("[flow] aborted: %zu dependency issue(s)",
+                   issues.size()));
+        return art;
+    }
+    log(format("[flow] dependency inspection passed (%zu modules)",
+               job.modules.size()));
+
+    // Step 2: synthesis — aggregate resources.
+    ResourceVector total = job.shellLogic + job.roleLogic;
+    for (const IpBlock *m : job.modules)
+        total += m->resources();
+    art.total = total;
+    log(format("[synth] %s", total.toString().c_str()));
+
+    // Step 3: fitting against the chip budget.
+    const ResourceVector &budget = device.chip().budget;
+    if (!total.fitsIn(budget)) {
+        log(format("error: design %s does not fit %s budget %s",
+                   total.toString().c_str(), device.chipName.c_str(),
+                   budget.toString().c_str()));
+        return art;
+    }
+    art.maxUtilization = total.maxUtilization(budget);
+    log(format("[fit] max utilization %.1f%%",
+               art.maxUtilization * 100));
+
+    // Step 4: timing closure. The model degrades slack linearly with
+    // utilization — congested designs fail past the timing wall.
+    art.timingSlackNs = (kTimingWall - art.maxUtilization) * 1.2;
+    if (art.timingSlackNs < 0) {
+        log(format("error: timing closure failed (slack %.3f ns)",
+                   art.timingSlackNs));
+        return art;
+    }
+    log(format("[timing] closed with %.3f ns slack",
+               art.timingSlackNs));
+
+    // Step 5: package the artifact with a deterministic content id.
+    std::vector<std::uint8_t> ident(job.projectName.begin(),
+                                    job.projectName.end());
+    for (const IpBlock *m : job.modules)
+        ident.insert(ident.end(), m->name().begin(), m->name().end());
+    ident.insert(ident.end(), device.name.begin(), device.name.end());
+    art.bitstreamId = format("bit_%04x_%s", checksum16(ident),
+                             device.chipName.c_str());
+    art.success = true;
+    log(format("[flow] packaged %s", art.bitstreamId.c_str()));
+    return art;
+}
+
+} // namespace harmonia

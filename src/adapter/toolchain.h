@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The automated integration toolchain (§4, "Project implementation"):
+ * loads the vendor adapter, checks module/environment dependencies,
+ * completes platform configuration and runs the (simulated) CAD flow —
+ * synthesis, fitting against the chip budget and timing closure —
+ * producing a packaged project artifact.
+ */
+
+#ifndef HARMONIA_ADAPTER_TOOLCHAIN_H_
+#define HARMONIA_ADAPTER_TOOLCHAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "adapter/device_adapter.h"
+#include "adapter/vendor_adapter.h"
+#include "device/database.h"
+#include "ip/ip_block.h"
+
+namespace harmonia {
+
+/** Everything one compilation needs. */
+struct CompileJob {
+    std::string projectName;
+    const FpgaDevice *device = nullptr;
+    std::vector<const IpBlock *> modules;  ///< shell IP instances
+    ResourceVector shellLogic;  ///< wrappers, Ex-functions, kernel
+    ResourceVector roleLogic;   ///< the user's role
+};
+
+/** The outcome of a compilation. */
+struct BuildArtifact {
+    bool success = false;
+    std::string bitstreamId;     ///< deterministic content id
+    ResourceVector total;        ///< post-synthesis usage
+    double maxUtilization = 0;   ///< worst resource-class fraction
+    double timingSlackNs = 0;    ///< positive = closure met
+    std::vector<std::string> log;
+};
+
+/**
+ * A simulated vendor CAD flow. Construction pins the environment;
+ * compile() is deterministic in its inputs.
+ */
+class Toolchain {
+  public:
+    explicit Toolchain(VendorAdapter environment);
+
+    const VendorAdapter &environment() const { return env_; }
+
+    /** Run the full flow. Never throws for job-level failures; the
+     *  artifact carries success=false and the reasons in the log. */
+    BuildArtifact compile(const CompileJob &job) const;
+
+    /** Utilization above which (modelled) timing closure fails. */
+    static constexpr double kTimingWall = 0.90;
+
+  private:
+    VendorAdapter env_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_ADAPTER_TOOLCHAIN_H_

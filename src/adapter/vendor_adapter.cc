@@ -1,0 +1,108 @@
+#include "adapter/vendor_adapter.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+std::string
+DependencyIssue::toString() const
+{
+    if (found.empty())
+        return format("%s: missing dependency %s (wants %s)",
+                      module.c_str(), key.c_str(), expected.c_str());
+    return format("%s: dependency %s version mismatch (wants %s, "
+                  "environment has %s)",
+                  module.c_str(), key.c_str(), expected.c_str(),
+                  found.c_str());
+}
+
+VendorAdapter::VendorAdapter(Vendor vendor) : vendor_(vendor)
+{
+}
+
+void
+VendorAdapter::provide(const std::string &key, const std::string &value)
+{
+    env_[key] = value;
+}
+
+std::vector<DependencyIssue>
+VendorAdapter::inspect(const std::vector<const IpBlock *> &modules) const
+{
+    std::vector<DependencyIssue> issues;
+    for (const IpBlock *m : modules) {
+        if (m == nullptr)
+            panic("null module handed to vendor adapter");
+        for (const auto &[key, expected] : m->dependencies()) {
+            auto it = env_.find(key);
+            if (it == env_.end()) {
+                issues.push_back({m->name(), key, expected, ""});
+            } else if (it->second != expected) {
+                issues.push_back(
+                    {m->name(), key, expected, it->second});
+            }
+        }
+    }
+    return issues;
+}
+
+bool
+VendorAdapter::compatible(
+    const std::vector<const IpBlock *> &modules) const
+{
+    return inspect(modules).empty();
+}
+
+VendorAdapter
+VendorAdapter::standardFor(Vendor vendor)
+{
+    VendorAdapter adapter(vendor);
+    switch (vendor) {
+      case Vendor::Xilinx:
+      case Vendor::InHouse:  // in-house boards build with Vivado flows
+        adapter.provide("cad_tool", "vivado-2023.2");
+        adapter.provide("ip:qdma", "5.0");
+        adapter.provide("ip:cmac_usplus", "3.1");
+        adapter.provide("ip:ddr4", "2.2");
+        adapter.provide("ip:hbm", "1.0");
+        adapter.provide("gt_type", "GTY");
+        break;
+      case Vendor::Intel:
+        adapter.provide("cad_tool", "quartus-23.4");
+        adapter.provide("ip:mcdma", "22.3");
+        adapter.provide("ip:etile_hip", "22.3");
+        adapter.provide("ip:emif", "22.3");
+        adapter.provide("tile_type", "E-tile");
+        break;
+    }
+    return adapter;
+}
+
+VendorAdapter
+VendorAdapter::standardFor(const FpgaDevice &device)
+{
+    VendorAdapter adapter = standardFor(device.chip().vendor());
+    const Peripheral &pcie = device.pcie();
+    unsigned gen = 3;
+    switch (pcie.kind) {
+      case PeripheralKind::PcieGen3:
+        gen = 3;
+        break;
+      case PeripheralKind::PcieGen4:
+        gen = 4;
+        break;
+      case PeripheralKind::PcieGen5:
+        gen = 5;
+        break;
+      default:
+        panic("non-PCIe peripheral returned by pcie()");
+    }
+    const char *hard_ip =
+        adapter.vendor() == Vendor::Intel ? "ptile"
+                                          : "pcie4_uscale_plus";
+    adapter.provide("pcie_hard_ip",
+                    format("%s:gen%u_x%u", hard_ip, gen, pcie.lanes));
+    return adapter;
+}
+
+} // namespace harmonia

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The automated vendor adapter (§3.2): structures each module's vendor
+ * dependencies as key-value pairs (CAD tool, IP catalogue entries,
+ * hard-IP requirements — values are version strings) and performs
+ * rigid inspections against the deployment environment so
+ * incompatibilities surface before compilation, not during it.
+ */
+
+#ifndef HARMONIA_ADAPTER_VENDOR_ADAPTER_H_
+#define HARMONIA_ADAPTER_VENDOR_ADAPTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "device/database.h"
+#include "ip/ip_block.h"
+
+namespace harmonia {
+
+/** One dependency mismatch found during inspection. */
+struct DependencyIssue {
+    std::string module;    ///< IP model that declared the dependency
+    std::string key;       ///< dependency attribute
+    std::string expected;  ///< version the module requires
+    std::string found;     ///< what the environment provides ("" = none)
+
+    std::string toString() const;
+};
+
+/**
+ * Vendor adapter for one toolchain environment. provide() declares
+ * what the deployment environment offers; inspect() checks every
+ * module's declared dependencies against it.
+ */
+class VendorAdapter {
+  public:
+    explicit VendorAdapter(Vendor vendor);
+
+    Vendor vendor() const { return vendor_; }
+
+    /** Declare an environment capability (exact-version semantics). */
+    void provide(const std::string &key, const std::string &value);
+
+    const std::map<std::string, std::string> &environment() const
+    {
+        return env_;
+    }
+
+    /** Rigidly inspect @p modules; returns every mismatch found. */
+    std::vector<DependencyIssue>
+    inspect(const std::vector<const IpBlock *> &modules) const;
+
+    /** True when inspect() returns no issues. */
+    bool compatible(const std::vector<const IpBlock *> &modules) const;
+
+    /**
+     * The standard environment for a chip vendor, pre-seeded with the
+     * matching CAD tool and IP catalogue versions — what a correctly
+     * provisioned build host looks like.
+     */
+    static VendorAdapter standardFor(Vendor vendor);
+
+    /**
+     * The standard environment for a specific board: the chip vendor's
+     * toolchain plus device-derived capabilities (the PCIe hard IP the
+     * board actually wires up).
+     */
+    static VendorAdapter standardFor(const FpgaDevice &device);
+
+  private:
+    Vendor vendor_;
+    std::map<std::string, std::string> env_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_ADAPTER_VENDOR_ADAPTER_H_

@@ -1,0 +1,172 @@
+#include "cmd/command.h"
+
+#include "common/checksum.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+namespace {
+
+void
+putWord(std::vector<std::uint8_t> &out, std::uint32_t w)
+{
+    out.push_back(static_cast<std::uint8_t>(w >> 24));
+    out.push_back(static_cast<std::uint8_t>(w >> 16));
+    out.push_back(static_cast<std::uint8_t>(w >> 8));
+    out.push_back(static_cast<std::uint8_t>(w));
+}
+
+std::uint32_t
+getWord(const std::vector<std::uint8_t> &in, std::size_t off)
+{
+    return (static_cast<std::uint32_t>(in[off]) << 24) |
+           (static_cast<std::uint32_t>(in[off + 1]) << 16) |
+           (static_cast<std::uint32_t>(in[off + 2]) << 8) |
+           static_cast<std::uint32_t>(in[off + 3]);
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+CommandPacket::encode() const
+{
+    if (version > 0xf)
+        fatal("command version %u exceeds the 4-bit field", version);
+    const std::size_t payload_words = data.size() + 1;  // + trailer
+    if (payload_words > 0xff)
+        fatal("command data of %zu words exceeds the 8-bit PayloadLen",
+              data.size());
+
+    std::vector<std::uint8_t> out;
+    out.reserve(encodedSize());
+
+    const std::uint32_t word0 =
+        (static_cast<std::uint32_t>(version) << 28) |
+        (static_cast<std::uint32_t>(kHdLenWords) << 24) |
+        (static_cast<std::uint32_t>(payload_words) << 16) |
+        (static_cast<std::uint32_t>(srcId) << 8) |
+        static_cast<std::uint32_t>(dstId);
+    const std::uint32_t word1 =
+        (static_cast<std::uint32_t>(rbbId) << 24) |
+        (static_cast<std::uint32_t>(instanceId) << 16) |
+        static_cast<std::uint32_t>(commandCode);
+    putWord(out, word0);
+    putWord(out, word1);
+    putWord(out, options);
+    for (std::uint32_t w : data)
+        putWord(out, w);
+
+    // Trailer: checksum over everything before it, plus the status.
+    const std::uint16_t ck = checksum16(out);
+    putWord(out, (static_cast<std::uint32_t>(ck) << 16) |
+                     static_cast<std::uint32_t>(status));
+    return out;
+}
+
+std::string
+CommandPacket::toString() const
+{
+    return format("cmd{v%u %02x->%02x rbb=%02x inst=%02x code=0x%04x "
+                  "opts=0x%x status=0x%x data=%zuw}",
+                  version, srcId, dstId, rbbId, instanceId, commandCode,
+                  options, status, data.size());
+}
+
+const char *
+toString(DecodeError err)
+{
+    switch (err) {
+      case DecodeError::Truncated:
+        return "truncated";
+      case DecodeError::BadVersion:
+        return "bad version";
+      case DecodeError::BadHeaderLen:
+        return "bad header length";
+      case DecodeError::LengthMismatch:
+        return "length mismatch";
+      case DecodeError::BadChecksum:
+        return "bad checksum";
+    }
+    return "?";
+}
+
+DecodeOutcome
+decodeCommand(const std::vector<std::uint8_t> &bytes,
+              std::size_t *consumed)
+{
+    auto fail = [](DecodeError e) {
+        DecodeOutcome out;
+        out.error = e;
+        return out;
+    };
+
+    if (bytes.size() < 4)
+        return fail(DecodeError::Truncated);
+    const std::uint32_t word0 = getWord(bytes, 0);
+    const std::uint8_t version =
+        static_cast<std::uint8_t>(word0 >> 28);
+    const std::uint8_t hd_len =
+        static_cast<std::uint8_t>((word0 >> 24) & 0xf);
+    const std::uint8_t payload_len =
+        static_cast<std::uint8_t>((word0 >> 16) & 0xff);
+
+    if (version != 1)
+        return fail(DecodeError::BadVersion);
+    if (hd_len != CommandPacket::kHdLenWords)
+        return fail(DecodeError::BadHeaderLen);
+    if (payload_len < 1)
+        return fail(DecodeError::LengthMismatch);
+
+    const std::size_t total =
+        (static_cast<std::size_t>(hd_len) + payload_len) * 4;
+    if (bytes.size() < total)
+        return fail(DecodeError::Truncated);
+
+    // Verify the trailer checksum over the preceding bytes.
+    const std::size_t trailer = total - 4;
+    const std::uint32_t trail_word = getWord(bytes, trailer);
+    const std::uint16_t ck =
+        static_cast<std::uint16_t>(trail_word >> 16);
+    std::vector<std::uint8_t> head(bytes.begin(),
+                                   bytes.begin() +
+                                       static_cast<long>(trailer));
+    if (checksum16(head) != ck)
+        return fail(DecodeError::BadChecksum);
+
+    CommandPacket pkt;
+    pkt.version = version;
+    pkt.srcId = static_cast<std::uint8_t>(word0 >> 8);
+    pkt.dstId = static_cast<std::uint8_t>(word0);
+    const std::uint32_t word1 = getWord(bytes, 4);
+    pkt.rbbId = static_cast<std::uint8_t>(word1 >> 24);
+    pkt.instanceId = static_cast<std::uint8_t>(word1 >> 16);
+    pkt.commandCode = static_cast<std::uint16_t>(word1);
+    pkt.options = getWord(bytes, 8);
+    pkt.status = static_cast<std::uint16_t>(trail_word);
+    for (std::size_t off = 12; off < trailer; off += 4)
+        pkt.data.push_back(getWord(bytes, off));
+
+    if (consumed != nullptr)
+        *consumed = total;
+    DecodeOutcome out;
+    out.packet = std::move(pkt);
+    return out;
+}
+
+CommandPacket
+makeResponse(const CommandPacket &request, const CommandResult &result)
+{
+    CommandPacket resp;
+    resp.version = request.version;
+    resp.srcId = request.dstId;
+    resp.dstId = request.srcId;  // routed back by SrcID (step 7)
+    resp.rbbId = request.rbbId;
+    resp.instanceId = request.instanceId;
+    resp.commandCode = request.commandCode;
+    resp.options = request.options;
+    resp.status = result.status;
+    resp.data = result.data;
+    return resp;
+}
+
+} // namespace harmonia

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The command packet of the command-based interface (§3.3.3,
+ * Figure 9): a packetized, versioned, checksummed control message that
+ * replaces ad-hoc register sequences. Wire layout (32-bit words,
+ * big-endian fields within words):
+ *
+ *   word0: Version(4) HdLen(4) PayloadLen(8) SrcID(8) DstID(8)
+ *   word1: RBB ID(8) Instance ID(8) Command Code(16)
+ *   word2: Options(32)
+ *   data:  PayloadLen-1 words of command data
+ *   trail: Checksum(16) Status(16)
+ *
+ * HdLen and PayloadLen are measured in 4-byte units; PayloadLen covers
+ * the data words plus the trailer word, so parsers can find command
+ * boundaries in a byte stream (walkthrough step 3).
+ */
+
+#ifndef HARMONIA_CMD_COMMAND_H_
+#define HARMONIA_CMD_COMMAND_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cmd/command_codes.h"
+
+namespace harmonia {
+
+/** One command (or command-response) packet. */
+struct CommandPacket {
+    std::uint8_t version = 1;
+    std::uint8_t srcId = kCtrlApplication;
+    std::uint8_t dstId = 0;
+    std::uint8_t rbbId = 0;
+    std::uint8_t instanceId = 0;
+    std::uint16_t commandCode = 0;
+    std::uint32_t options = 0;
+    std::uint16_t status = kCmdOk;  ///< meaningful in responses
+    std::vector<std::uint32_t> data;
+
+    /** Header length in 4-byte units (fixed layout). */
+    static constexpr std::uint8_t kHdLenWords = 3;
+
+    /** Serialize to wire bytes, computing the checksum. */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Total encoded size in bytes. */
+    std::size_t encodedSize() const
+    {
+        return (kHdLenWords + data.size() + 1) * 4;
+    }
+
+    std::string toString() const;
+};
+
+/** Why a decode failed. */
+enum class DecodeError {
+    Truncated,       ///< fewer bytes than the header demands
+    BadVersion,      ///< unsupported version field
+    BadHeaderLen,    ///< HdLen does not match this layout
+    LengthMismatch,  ///< PayloadLen disagrees with the buffer
+    BadChecksum,     ///< trailer checksum does not verify
+};
+
+const char *toString(DecodeError err);
+
+/** Decode result: a packet or an error. */
+struct DecodeOutcome {
+    std::optional<CommandPacket> packet;
+    std::optional<DecodeError> error;
+
+    bool ok() const { return packet.has_value(); }
+};
+
+/**
+ * Decode one packet from the front of @p bytes. @p consumed receives
+ * the byte count of the packet when decoding succeeds (so a stream of
+ * back-to-back commands can be walked).
+ */
+DecodeOutcome decodeCommand(const std::vector<std::uint8_t> &bytes,
+                            std::size_t *consumed = nullptr);
+
+/** Result of executing a command at its target. */
+struct CommandResult {
+    std::uint16_t status = kCmdOk;
+    std::vector<std::uint32_t> data;
+};
+
+/**
+ * Anything addressable by (RBB ID, Instance ID) through the unified
+ * control kernel: RBBs, role modules, kernel-local services.
+ */
+class CommandTarget {
+  public:
+    virtual ~CommandTarget() = default;
+
+    /** Execute one command; must not throw for bad user input. */
+    virtual CommandResult executeCommand(std::uint16_t code,
+                                         const std::vector<std::uint32_t>
+                                             &data) = 0;
+};
+
+/** Build the response packet for a request. */
+CommandPacket makeResponse(const CommandPacket &request,
+                           const CommandResult &result);
+
+} // namespace harmonia
+
+#endif // HARMONIA_CMD_COMMAND_H_

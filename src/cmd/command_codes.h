@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Command codes for the command-based interface (§3.3.3, Figure 9).
+ * The low codes are the paper's published examples; higher codes are
+ * the extension space each RBB populates for its operational needs.
+ */
+
+#ifndef HARMONIA_CMD_COMMAND_CODES_H_
+#define HARMONIA_CMD_COMMAND_CODES_H_
+
+#include <cstdint>
+
+namespace harmonia {
+
+/** Well-known command codes (Figure 9). */
+enum CommandCode : std::uint16_t {
+    kCmdModuleStatusRead = 0x0000,
+    kCmdModuleStatusWrite = 0x0001,
+    kCmdModuleInit = 0x0002,
+    kCmdModuleReset = 0x0003,
+    kCmdTableWrite = 0x0004,
+    // Extension space used by Harmonia's RBBs and tooling.
+    kCmdTableRead = 0x0005,
+    kCmdStatsSnapshot = 0x0006,
+    kCmdQueueConfig = 0x0007,
+    kCmdSensorRead = 0x0008,
+    kCmdFlashErase = 0x0010,
+    kCmdTimeCount = 0x0011,
+    // Partial-reconfiguration management (multi-tenancy, §6).
+    kCmdPrLoad = 0x0020,
+    kCmdPrUnload = 0x0021,
+    kCmdPrStatus = 0x0022,
+};
+
+/** Command execution status in response packets. */
+enum CommandStatus : std::uint16_t {
+    kCmdOk = 0x0000,
+    kCmdUnknownCode = 0x0001,
+    kCmdBadArgument = 0x0002,
+    kCmdUnknownTarget = 0x0003,
+    kCmdChecksumError = 0x0004,
+    kCmdInternalError = 0x0005,
+};
+
+/** RBB identifiers used in the DstID/RBB ID routing fields. */
+enum RbbId : std::uint8_t {
+    kRbbNetwork = 0x01,
+    kRbbMemory = 0x02,
+    kRbbHost = 0x03,
+    kRbbHealth = 0x7d,  ///< board health monitor
+    kRbbPrCtrl = 0x7e,  ///< partial-reconfiguration controller
+    kRbbSystem = 0x7f,  ///< kernel-local services (flash, time)
+};
+
+/** Well-known software controller ids (SrcID). */
+enum ControllerId : std::uint8_t {
+    kCtrlApplication = 0x01,
+    kCtrlBmc = 0x02,
+    kCtrlStandaloneTool = 0x03,
+};
+
+const char *toString(CommandCode code);
+const char *toString(CommandStatus status);
+
+} // namespace harmonia
+
+#endif // HARMONIA_CMD_COMMAND_CODES_H_

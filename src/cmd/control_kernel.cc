@@ -1,0 +1,176 @@
+#include "cmd/control_kernel.h"
+
+#include "common/logging.h"
+#include "sim/trace.h"
+
+namespace harmonia {
+
+UnifiedControlKernel::UnifiedControlKernel(std::string name,
+                                           std::size_t buffer_bytes)
+    : Component(std::move(name)), bufferBytes_(buffer_bytes),
+      stats_(this->name())
+{
+    if (buffer_bytes < 64)
+        fatal("control kernel buffer of %zu bytes is too small",
+              buffer_bytes);
+    // Nios-class soft core, instruction memory and command buffer.
+    resources_ = ResourceVector{5200, 6900, 6, 0, 0};
+}
+
+void
+UnifiedControlKernel::registerTarget(std::uint8_t rbb_id,
+                                     std::uint8_t instance_id,
+                                     CommandTarget *target)
+{
+    if (target == nullptr)
+        fatal("null command target for rbb=%02x inst=%02x", rbb_id,
+              instance_id);
+    const auto key = std::make_pair(rbb_id, instance_id);
+    if (targets_.count(key))
+        fatal("command target rbb=%02x inst=%02x already registered",
+              rbb_id, instance_id);
+    targets_[key] = target;
+}
+
+std::size_t
+UnifiedControlKernel::bufferSpace() const
+{
+    return bufferBytes_ - buffer_.size();
+}
+
+bool
+UnifiedControlKernel::submitBytes(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() > bufferSpace()) {
+        stats_.counter("buffer_overflow").inc();
+        return false;
+    }
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    return true;
+}
+
+bool
+UnifiedControlKernel::submit(const CommandPacket &packet)
+{
+    return submitBytes(packet.encode());
+}
+
+std::vector<std::uint8_t>
+UnifiedControlKernel::popResponseBytes()
+{
+    if (responses_.empty())
+        fatal("control kernel '%s': no response pending",
+              name().c_str());
+    std::vector<std::uint8_t> bytes = std::move(responses_.front());
+    responses_.pop_front();
+    return bytes;
+}
+
+CommandPacket
+UnifiedControlKernel::popResponse()
+{
+    const auto outcome = decodeCommand(popResponseBytes());
+    if (!outcome.ok())
+        panic("control kernel produced an undecodable response");
+    return *outcome.packet;
+}
+
+CommandResult
+UnifiedControlKernel::systemCommand(const CommandPacket &pkt)
+{
+    CommandResult res;
+    switch (pkt.commandCode) {
+      case kCmdFlashErase:
+        // Sectors erase instantly in the model; report the sector.
+        res.data = {pkt.data.empty() ? 0 : pkt.data[0], 1};
+        stats_.counter("flash_erases").inc();
+        return res;
+      case kCmdTimeCount:
+        res.data = {
+            static_cast<std::uint32_t>(cycle() >> 32),
+            static_cast<std::uint32_t>(cycle()),
+        };
+        return res;
+      case kCmdModuleStatusRead:
+        res.data = {1};  // kernel alive
+        return res;
+      default:
+        res.status = kCmdUnknownCode;
+        return res;
+    }
+}
+
+CommandResult
+UnifiedControlKernel::execute(const CommandPacket &pkt)
+{
+    if (pkt.rbbId == kRbbSystem)
+        return systemCommand(pkt);
+
+    const auto key = std::make_pair(pkt.rbbId, pkt.instanceId);
+    auto it = targets_.find(key);
+    if (it == targets_.end()) {
+        stats_.counter("unknown_target").inc();
+        return {kCmdUnknownTarget, {}};
+    }
+    return it->second->executeCommand(pkt.commandCode, pkt.data);
+}
+
+void
+UnifiedControlKernel::tick()
+{
+    // One command per kCyclesPerCommand soft-core cycles.
+    if (cycle() < busyUntilCycle_)
+        return;
+    if (buffer_.size() < 4)
+        return;
+
+    std::size_t consumed = 0;
+    const DecodeOutcome outcome = decodeCommand(buffer_, &consumed);
+    if (!outcome.ok()) {
+        if (*outcome.error == DecodeError::Truncated)
+            return;  // wait for the rest of the packet
+        if (*outcome.error == DecodeError::BadChecksum) {
+            // Boundary is known: drop the packet, answer with an error.
+            const std::uint32_t word0 =
+                (static_cast<std::uint32_t>(buffer_[0]) << 24) |
+                (static_cast<std::uint32_t>(buffer_[1]) << 16) |
+                (static_cast<std::uint32_t>(buffer_[2]) << 8) |
+                buffer_[3];
+            const std::size_t total =
+                (((word0 >> 24) & 0xf) + ((word0 >> 16) & 0xff)) * 4;
+            buffer_.erase(buffer_.begin(),
+                          buffer_.begin() +
+                              static_cast<long>(
+                                  std::min(total, buffer_.size())));
+            stats_.counter("checksum_errors").inc();
+            CommandPacket err;
+            err.srcId = 0;
+            err.dstId = static_cast<std::uint8_t>(word0 >> 8);
+            err.status = kCmdChecksumError;
+            responses_.push_back(err.encode());
+        } else {
+            // No reliable boundary: flush and resynchronize.
+            buffer_.clear();
+            stats_.counter("parse_errors").inc();
+        }
+        busyUntilCycle_ = cycle() + kCyclesPerCommand;
+        return;
+    }
+
+    const CommandPacket &pkt = *outcome.packet;
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<long>(consumed));
+
+    const CommandResult result = execute(pkt);
+    trace(*this, "executed %s for src=%02x -> %s",
+          toString(static_cast<CommandCode>(pkt.commandCode)),
+          pkt.srcId,
+          toString(static_cast<CommandStatus>(result.status)));
+    responses_.push_back(makeResponse(pkt, result).encode());
+    stats_.counter("commands_executed").inc();
+    if (result.status != kCmdOk)
+        stats_.counter("commands_failed").inc();
+    busyUntilCycle_ = cycle() + kCyclesPerCommand;
+}
+
+} // namespace harmonia

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The unified control kernel (§3.3.3): software on a lightweight soft
+ * core inside the FPGA that centralizes command execution for every
+ * controller on the server (applications, BMC, standalone tools).
+ * It parses command packets from its buffer, executes them against
+ * registered targets, and encapsulates responses routed back by SrcID.
+ */
+
+#ifndef HARMONIA_CMD_CONTROL_KERNEL_H_
+#define HARMONIA_CMD_CONTROL_KERNEL_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cmd/command.h"
+#include "common/stats.h"
+#include "device/resource.h"
+#include "sim/component.h"
+
+namespace harmonia {
+
+/**
+ * The soft-core command executor. Commands arrive as a byte stream
+ * (walkthrough step 2: via the DMA control queue into the kernel's
+ * buffer), are parsed by HdLen/PayloadLen (step 3), executed
+ * sequentially (step 4), distributed to module registers (step 5) and
+ * answered with response packets (steps 6-7).
+ */
+class UnifiedControlKernel : public Component {
+  public:
+    /** Soft-core execution cost per command, in kernel clock cycles. */
+    static constexpr Cycles kCyclesPerCommand = 50;
+
+    /**
+     * @param buffer_bytes Command buffer capacity (configurable depth
+     *                     per the paper; default 4 KiB).
+     */
+    explicit UnifiedControlKernel(std::string name,
+                                  std::size_t buffer_bytes = 4096);
+
+    /** Route (RBB ID, Instance ID) to a target module. */
+    void registerTarget(std::uint8_t rbb_id, std::uint8_t instance_id,
+                        CommandTarget *target);
+
+    /** Space left in the command buffer. */
+    std::size_t bufferSpace() const;
+
+    /**
+     * Append raw command bytes (possibly several packets, possibly a
+     * partial tail that completes later). Returns false when the
+     * buffer cannot take the bytes.
+     */
+    bool submitBytes(const std::vector<std::uint8_t> &bytes);
+
+    /** Convenience: submit one packet object. */
+    bool submit(const CommandPacket &packet);
+
+    bool hasResponse() const { return !responses_.empty(); }
+
+    /** Pop the next encoded response (already addressed by SrcID). */
+    std::vector<std::uint8_t> popResponseBytes();
+
+    /** Pop and decode the next response. */
+    CommandPacket popResponse();
+
+    void tick() override;
+
+    /** Soft core + buffer footprint (Fig 16: < 0.67%). */
+    const ResourceVector &resources() const { return resources_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    CommandResult execute(const CommandPacket &pkt);
+    CommandResult systemCommand(const CommandPacket &pkt);
+
+    std::size_t bufferBytes_;
+    std::vector<std::uint8_t> buffer_;
+    std::deque<std::vector<std::uint8_t>> responses_;
+    std::map<std::pair<std::uint8_t, std::uint8_t>, CommandTarget *>
+        targets_;
+    Cycles busyUntilCycle_ = 0;
+    ResourceVector resources_;
+    StatGroup stats_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CMD_CONTROL_KERNEL_H_

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the RTL-level models: masks, Gray
+ * codes for async-FIFO pointers, and integer ceiling division.
+ */
+
+#ifndef HARMONIA_COMMON_BITS_H_
+#define HARMONIA_COMMON_BITS_H_
+
+#include <cstdint>
+
+namespace harmonia {
+
+/** Mask with the low @p n bits set (n <= 64). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/** True when @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Floor of log2(v); v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2(v); v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOf2(v) ? 0 : 1);
+}
+
+/**
+ * Binary-to-Gray conversion. Async FIFOs cross pointers between clock
+ * domains in Gray code so at most one bit changes per increment
+ * (Cummings, SNUG'02 — cited by the paper for its param CDC).
+ */
+constexpr std::uint64_t
+binaryToGray(std::uint64_t b)
+{
+    return b ^ (b >> 1);
+}
+
+/** Gray-to-binary conversion (inverse of binaryToGray). */
+constexpr std::uint64_t
+grayToBinary(std::uint64_t g)
+{
+    std::uint64_t b = g;
+    for (unsigned shift = 1; shift < 64; shift <<= 1)
+        b ^= b >> shift;
+    return b;
+}
+
+/** Extract bits [hi:lo] of @p v (inclusive, hi >= lo). */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & mask(hi - lo + 1);
+}
+
+/** Insert @p field into bits [hi:lo] of @p v and return the result. */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, unsigned hi, unsigned lo, std::uint64_t field)
+{
+    const std::uint64_t m = mask(hi - lo + 1) << lo;
+    return (v & ~m) | ((field << lo) & m);
+}
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_BITS_H_

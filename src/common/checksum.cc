@@ -1,0 +1,31 @@
+#include "common/checksum.h"
+
+namespace harmonia {
+
+std::uint16_t
+checksum16(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum = 0;
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2)
+        sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    if (i < len)
+        sum += static_cast<std::uint32_t>(data[i]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::uint16_t
+checksum16(const std::vector<std::uint8_t> &data)
+{
+    return checksum16(data.data(), data.size());
+}
+
+bool
+checksumOk(const std::vector<std::uint8_t> &data, std::uint16_t expected)
+{
+    return checksum16(data) == expected;
+}
+
+} // namespace harmonia

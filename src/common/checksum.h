@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internet-style 16-bit one's-complement checksum. The command packets
+ * of the command-based interface (§3.3.3) carry this in their trailer
+ * for error handling.
+ */
+
+#ifndef HARMONIA_COMMON_CHECKSUM_H_
+#define HARMONIA_COMMON_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace harmonia {
+
+/**
+ * Compute the 16-bit one's-complement checksum over @p data. A trailing
+ * odd byte is padded with zero, as in RFC 1071.
+ */
+std::uint16_t checksum16(const std::uint8_t *data, std::size_t len);
+
+/** Convenience overload for byte vectors. */
+std::uint16_t checksum16(const std::vector<std::uint8_t> &data);
+
+/**
+ * Verify a buffer whose checksum field has been zeroed out-of-band:
+ * returns true when checksum16(data) == expected.
+ */
+bool checksumOk(const std::vector<std::uint8_t> &data,
+                std::uint16_t expected);
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_CHECKSUM_H_

@@ -1,0 +1,103 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace harmonia {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+void
+emit(LogLevel level, const char *tag, const char *fmt, va_list ap)
+{
+    if (level < g_level)
+        return;
+    std::string msg = vformat(fmt, ap);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n < 0)
+        return "<format error>";
+    std::string out(static_cast<size_t>(n), '\0');
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap);
+    return out;
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string out = vformat(fmt, ap);
+    va_end(ap);
+    return out;
+}
+
+void
+debug(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Debug, "debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Info, "info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    emit(LogLevel::Warn, "warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    throw FatalError(msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    throw PanicError(msg);
+}
+
+} // namespace harmonia

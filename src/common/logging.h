@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style: inform()/warn() for
+ * status, fatal() for user errors, panic() for internal bugs.
+ */
+
+#ifndef HARMONIA_COMMON_LOGGING_H_
+#define HARMONIA_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace harmonia {
+
+/** Verbosity levels, lowest first. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Set the global log threshold. Messages below the threshold are
+ * suppressed. Defaults to Warn so tests and benches stay quiet.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Raised by fatal(): the caller (user) supplied an invalid request. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg) {}
+};
+
+/** Raised by panic(): Harmonia itself reached an impossible state. */
+class PanicError : public std::logic_error {
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg) {}
+};
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Debug-level status message. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative message the user should see but not worry about. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Something may be mis-modelled; results could be affected. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * The request cannot be honoured because of a caller error (bad
+ * configuration, invalid arguments). Throws FatalError.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Harmonia reached a state that should be impossible regardless of
+ * input — an internal bug. Throws PanicError.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_LOGGING_H_

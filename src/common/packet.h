@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The datapath currency of the timing simulation: a packet descriptor.
+ * Performance models move descriptors (size + metadata) rather than
+ * payload bytes; functional correctness of byte-level translation is
+ * covered separately by the protocol layer.
+ */
+
+#ifndef HARMONIA_COMMON_PACKET_H_
+#define HARMONIA_COMMON_PACKET_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace harmonia {
+
+/** A simulated packet (or DMA buffer) descriptor. */
+struct PacketDesc {
+    std::uint64_t id = 0;       ///< unique per generator
+    std::uint32_t bytes = 0;    ///< payload bytes on the wire (no FCS)
+    Tick injected = 0;          ///< creation time, for latency stats
+    std::uint64_t flowHash = 0; ///< 5-tuple hash (flow director key)
+    std::uint64_t dstMac = 0;   ///< destination MAC (packet filter key)
+    std::uint16_t queue = 0;    ///< host DMA queue
+    bool multicast = false;     ///< destination is not the local port
+    std::uint8_t flags = 0;     ///< kFlagSyn / kFlagFin markers
+};
+
+/** Packet flag bits (transport markers the roles care about). */
+constexpr std::uint8_t kFlagSyn = 0x1;
+constexpr std::uint8_t kFlagFin = 0x2;
+
+/** Ethernet per-packet wire overhead: preamble+SFD (8) + IFG (12). */
+constexpr std::uint32_t kEthOverheadBytes = 20;
+
+/** Ethernet FCS bytes appended by the MAC. */
+constexpr std::uint32_t kEthFcsBytes = 4;
+
+/** Time to serialize @p payload_bytes on a @p bits_per_second line. */
+constexpr Tick
+wireTime(std::uint32_t payload_bytes, double bits_per_second)
+{
+    const double bits =
+        (payload_bytes + kEthOverheadBytes + kEthFcsBytes) * 8.0;
+    return static_cast<Tick>(bits / bits_per_second * kTicksPerSecond);
+}
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_PACKET_H_

@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+void
+RateMeter::record(Tick now, std::uint64_t n)
+{
+    if (!started_) {
+        first_ = now;
+        started_ = true;
+    }
+    last_ = now;
+    total_ += n;
+}
+
+double
+RateMeter::ratePerSecond() const
+{
+    if (!started_ || last_ <= first_)
+        return 0.0;
+    const double seconds =
+        static_cast<double>(last_ - first_) / kTicksPerSecond;
+    return static_cast<double>(total_) / seconds;
+}
+
+void
+RateMeter::reset()
+{
+    total_ = 0;
+    first_ = last_ = 0;
+    started_ = false;
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : bucketWidth_(bucket_width), buckets_(num_buckets, 0)
+{
+    if (bucket_width == 0 || num_buckets == 0)
+        fatal("Histogram requires non-zero bucket width and count");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    const std::size_t idx = value / bucketWidth_;
+    if (idx < buckets_.size())
+        ++buckets_[idx];
+    else
+        ++overflow_;
+    if (count_ == 0 || value < min_)
+        min_ = value;
+    if (value > max_)
+        max_ = value;
+    sum_ += value;
+    ++count_;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / count_ : 0.0;
+}
+
+double
+Histogram::percentile(double pct) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (pct < 0.0 || pct > 100.0)
+        fatal("percentile %f out of [0,100]", pct);
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(pct / 100.0 * count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (i + 0.5) * bucketWidth_;
+    }
+    return static_cast<double>(max_);
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+std::uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+StatGroup::snapshot() const
+{
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        out.emplace_back(name, counter.value());
+    return out;
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+}
+
+} // namespace harmonia

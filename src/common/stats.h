@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Statistics primitives used by RBB monitoring logic (§3.3.1): scalar
+ * counters, rate meters (bps/pps over simulated time) and histograms.
+ * A StatGroup collects the statistics of one hardware module so the
+ * monitoring Ex-function and the host can enumerate them.
+ */
+
+#ifndef HARMONIA_COMMON_STATS_H_
+#define HARMONIA_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace harmonia {
+
+/** A monotonically increasing scalar statistic. */
+class Counter {
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Events-per-second meter over simulated time. Network RBB monitoring
+ * reports real-time throughput (bps) and packet rate (pps) with this.
+ */
+class RateMeter {
+  public:
+    /** Record @p n events at simulated time @p now. */
+    void record(Tick now, std::uint64_t n = 1);
+
+    /** Total events recorded. */
+    std::uint64_t total() const { return total_; }
+
+    /** Average events/second between first and last record. */
+    double ratePerSecond() const;
+
+    void reset();
+
+  private:
+    std::uint64_t total_ = 0;
+    Tick first_ = 0;
+    Tick last_ = 0;
+    bool started_ = false;
+};
+
+/** Fixed-bucket histogram, e.g. for latency distributions. */
+class Histogram {
+  public:
+    /**
+     * @param bucket_width Width of each bucket in sample units.
+     * @param num_buckets  Bucket count; samples beyond the last bucket
+     *                     land in an overflow bucket.
+     */
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets);
+
+    void sample(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+
+    /** Approximate percentile (0..100) using bucket midpoints. */
+    double percentile(double pct) const;
+
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+/**
+ * A named collection of counters belonging to one module. The host
+ * retrieves these via the Module Status Read command.
+ */
+class StatGroup {
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Get-or-create a counter by name. */
+    Counter &counter(const std::string &name);
+
+    /** Lookup; returns 0 for unknown counters. */
+    std::uint64_t value(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Snapshot of all counters, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_STATS_H_

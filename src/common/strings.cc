@@ -1,0 +1,169 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace harmonia {
+
+const char *
+toString(Vendor v)
+{
+    switch (v) {
+      case Vendor::Xilinx:
+        return "Xilinx";
+      case Vendor::Intel:
+        return "Intel";
+      case Vendor::InHouse:
+        return "InHouse";
+    }
+    return "?";
+}
+
+const char *
+toString(Protocol p)
+{
+    switch (p) {
+      case Protocol::Axi4Stream:
+        return "AXI4-Stream";
+      case Protocol::Axi4MemoryMapped:
+        return "AXI4-MM";
+      case Protocol::Axi4Lite:
+        return "AXI4-Lite";
+      case Protocol::AvalonStream:
+        return "Avalon-ST";
+      case Protocol::AvalonMemoryMapped:
+        return "Avalon-MM";
+      case Protocol::Uniform:
+        return "Uniform";
+    }
+    return "?";
+}
+
+namespace {
+std::string
+scaled(double value, const char *const *units, int count, double step)
+{
+    int u = 0;
+    while (value >= step && u + 1 < count) {
+        value /= step;
+        ++u;
+    }
+    return format("%.2f %s", value, units[u]);
+}
+} // namespace
+
+std::string
+humanRate(double bytes_per_second)
+{
+    static const char *units[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    return scaled(bytes_per_second, units, 5, 1000.0);
+}
+
+std::string
+humanBitRate(double bits_per_second)
+{
+    static const char *units[] = {"bps", "Kbps", "Mbps", "Gbps", "Tbps"};
+    return scaled(bits_per_second, units, 5, 1000.0);
+}
+
+std::string
+humanBytes(std::uint64_t bytes)
+{
+    static const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    return scaled(static_cast<double>(bytes), units, 5, 1024.0);
+}
+
+std::string
+humanTime(std::uint64_t picoseconds)
+{
+    static const char *units[] = {"ps", "ns", "us", "ms", "s"};
+    return scaled(static_cast<double>(picoseconds), units, 5, 1000.0);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("table row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string out;
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            out += cells[c];
+            out.append(widths[c] - cells[c].size() + 2, ' ');
+        }
+        while (!out.empty() && out.back() == ' ')
+            out.pop_back();
+        out.push_back('\n');
+        return out;
+    };
+
+    std::string out = line(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        rule.append(widths[c], '-');
+        rule.append(c + 1 < widths.size() ? 2 : 0, ' ');
+    }
+    out += rule + "\n";
+    for (const auto &row : rows_)
+        out += line(row);
+    return out;
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace harmonia

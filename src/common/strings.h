@@ -1,0 +1,56 @@
+/**
+ * @file
+ * String helpers: human-readable units and a small fixed-width table
+ * printer used by the benchmark harnesses to render the paper's rows.
+ */
+
+#ifndef HARMONIA_COMMON_STRINGS_H_
+#define HARMONIA_COMMON_STRINGS_H_
+
+#include <string>
+#include <vector>
+
+namespace harmonia {
+
+/** "1.50 GB/s", "640.00 MB/s", ... */
+std::string humanRate(double bytes_per_second);
+
+/** "1.5 Gbps", "640 Mbps", ... */
+std::string humanBitRate(double bits_per_second);
+
+/** "128 B", "4.0 KiB", "2.0 MiB", ... */
+std::string humanBytes(std::uint64_t bytes);
+
+/** "350 ns", "1.2 us", "3.4 ms", ... from picoseconds. */
+std::string humanTime(std::uint64_t picoseconds);
+
+/** Split on a delimiter, dropping empty fields. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string s);
+
+/**
+ * Minimal fixed-width table printer. Benches use it to emit the same
+ * rows/series the paper's figures report.
+ */
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment to a single string. */
+    std::string render() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_STRINGS_H_

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared by every Harmonia subsystem.
+ */
+
+#ifndef HARMONIA_COMMON_TYPES_H_
+#define HARMONIA_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace harmonia {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles within one clock domain. */
+using Cycles = std::uint64_t;
+
+/** Byte address in a memory-mapped space. */
+using Addr = std::uint64_t;
+
+/** One tick per picosecond. */
+constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
+
+/** Convert a frequency in MHz to a clock period in ticks (ps). */
+constexpr Tick
+periodFromMhz(double mhz)
+{
+    return static_cast<Tick>(1e6 / mhz);
+}
+
+/** FPGA silicon vendor. The paper's clouds mix all three. */
+enum class Vendor {
+    Xilinx,    ///< AMD/Xilinx devices (AXI interface family)
+    Intel,     ///< Intel/Altera devices (Avalon interface family)
+    InHouse,   ///< Custom in-house devices (paper §2.2(ii))
+};
+
+/** Printable vendor name. */
+const char *toString(Vendor v);
+
+/** Interface protocol families spoken by vendor IPs. */
+enum class Protocol {
+    Axi4Stream,
+    Axi4MemoryMapped,
+    Axi4Lite,
+    AvalonStream,
+    AvalonMemoryMapped,
+    Uniform,   ///< Harmonia's unified wrapper format (§3.2)
+};
+
+/** Printable protocol name. */
+const char *toString(Protocol p);
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_TYPES_H_

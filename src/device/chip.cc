@@ -1,0 +1,112 @@
+#include "device/chip.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+const char *
+toString(ChipFamily f)
+{
+    switch (f) {
+      case ChipFamily::VirtexUltraScalePlus:
+        return "Virtex-UltraScale+";
+      case ChipFamily::VirtexUltraScale:
+        return "Virtex-UltraScale";
+      case ChipFamily::Zynq7000:
+        return "Zynq-7000";
+      case ChipFamily::Agilex:
+        return "Agilex";
+      case ChipFamily::Stratix10:
+        return "Stratix-10";
+      case ChipFamily::Arria10:
+        return "Arria-10";
+    }
+    return "?";
+}
+
+Vendor
+vendorOf(ChipFamily f)
+{
+    switch (f) {
+      case ChipFamily::VirtexUltraScalePlus:
+      case ChipFamily::VirtexUltraScale:
+      case ChipFamily::Zynq7000:
+        return Vendor::Xilinx;
+      case ChipFamily::Agilex:
+      case ChipFamily::Stratix10:
+      case ChipFamily::Arria10:
+        return Vendor::Intel;
+    }
+    panic("unreachable chip family");
+}
+
+unsigned
+processNm(ChipFamily f)
+{
+    switch (f) {
+      case ChipFamily::VirtexUltraScalePlus:
+        return 16;
+      case ChipFamily::VirtexUltraScale:
+        return 20;
+      case ChipFamily::Zynq7000:
+        return 28;
+      case ChipFamily::Agilex:
+        return 10;
+      case ChipFamily::Stratix10:
+        return 14;
+      case ChipFamily::Arria10:
+        return 20;
+    }
+    panic("unreachable chip family");
+}
+
+namespace {
+
+// Budgets follow public device tables to the granularity the model
+// needs (Intel ALM counts are folded into the lut/reg classes).
+const std::vector<Chip> &
+catalogue()
+{
+    static const std::vector<Chip> chips = {
+        {"XCVU3P", ChipFamily::VirtexUltraScalePlus,
+         {394080, 788160, 720, 320, 2280}, false},
+        {"XCVU9P", ChipFamily::VirtexUltraScalePlus,
+         {1182240, 2364480, 2160, 960, 6840}, false},
+        {"XCVU23P", ChipFamily::VirtexUltraScalePlus,
+         {1304160, 2608320, 2112, 1008, 1320}, false},
+        {"XCVU35P", ChipFamily::VirtexUltraScalePlus,
+         {872160, 1744320, 1344, 640, 5952}, true},
+        {"XCVU125", ChipFamily::VirtexUltraScale,
+         {716160, 1432320, 2520, 0, 1200}, false},
+        {"XC7Z045", ChipFamily::Zynq7000,
+         {218600, 437200, 545, 0, 900}, false},
+        {"AGF014", ChipFamily::Agilex,
+         {1463800, 2927600, 7110, 0, 4510}, false},
+        {"AGF027", ChipFamily::Agilex,
+         {2692760, 5385520, 13272, 0, 8528}, true},
+        {"1SX280", ChipFamily::Stratix10,
+         {1866240, 3732480, 11721, 0, 5760}, false},
+        {"10AX115", ChipFamily::Arria10,
+         {854400, 1708800, 2713, 0, 1518}, false},
+    };
+    return chips;
+}
+
+} // namespace
+
+const Chip &
+chipByName(const std::string &name)
+{
+    for (const Chip &c : catalogue())
+        if (c.name == name)
+            return c;
+    fatal("unknown chip '%s'", name.c_str());
+}
+
+const std::vector<Chip> &
+allChips()
+{
+    return catalogue();
+}
+
+} // namespace harmonia

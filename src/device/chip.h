@@ -1,0 +1,59 @@
+/**
+ * @file
+ * FPGA chip models: family, vendor, process node and resource budget.
+ * The supported-family list mirrors §3.3.1's generalizability
+ * discussion (Virtex UltraScale+/UltraScale, Zynq 7000, Agilex,
+ * Stratix 10, Arria 10).
+ */
+
+#ifndef HARMONIA_DEVICE_CHIP_H_
+#define HARMONIA_DEVICE_CHIP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "device/resource.h"
+
+namespace harmonia {
+
+/** Chip families Harmonia supports (paper §3.3.1). */
+enum class ChipFamily {
+    VirtexUltraScalePlus,  ///< 14/16nm, Xilinx
+    VirtexUltraScale,      ///< 20nm, Xilinx
+    Zynq7000,              ///< 28nm, Xilinx
+    Agilex,                ///< 10nm, Intel
+    Stratix10,             ///< 14nm, Intel
+    Arria10,               ///< 20nm, Intel
+};
+
+const char *toString(ChipFamily f);
+
+/** Vendor owning a chip family. */
+Vendor vendorOf(ChipFamily f);
+
+/** Process node of a family in nanometres. */
+unsigned processNm(ChipFamily f);
+
+/** One concrete FPGA die. */
+struct Chip {
+    std::string name;        ///< e.g. "XCVU35P"
+    ChipFamily family;
+    ResourceVector budget;   ///< total on-chip resources
+    bool hasHbm = false;     ///< in-package HBM stacks
+
+    Vendor vendor() const { return vendorOf(family); }
+};
+
+/**
+ * Look up a chip model by part name; fatal() for unknown parts. The
+ * catalogue covers every part the paper names.
+ */
+const Chip &chipByName(const std::string &name);
+
+/** All catalogued chips. */
+const std::vector<Chip> &allChips();
+
+} // namespace harmonia
+
+#endif // HARMONIA_DEVICE_CHIP_H_

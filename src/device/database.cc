@@ -1,0 +1,153 @@
+#include "device/database.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace harmonia {
+
+std::vector<Peripheral>
+FpgaDevice::byClass(PeripheralClass cls) const
+{
+    std::vector<Peripheral> out;
+    for (const Peripheral &p : peripherals)
+        if (classOf(p.kind) == cls)
+            out.push_back(p);
+    return out;
+}
+
+bool
+FpgaDevice::has(PeripheralKind kind) const
+{
+    for (const Peripheral &p : peripherals)
+        if (p.kind == kind)
+            return true;
+    return false;
+}
+
+const Peripheral &
+FpgaDevice::pcie() const
+{
+    for (const Peripheral &p : peripherals)
+        if (classOf(p.kind) == PeripheralClass::Host)
+            return p;
+    fatal("device '%s' has no PCIe attachment", name.c_str());
+}
+
+std::string
+FpgaDevice::toString() const
+{
+    std::string out =
+        format("%s [%s %s]:", name.c_str(),
+               harmonia::toString(boardVendor), chipName.c_str());
+    for (const Peripheral &p : peripherals)
+        out += " " + p.toString();
+    return out;
+}
+
+DeviceDatabase &
+DeviceDatabase::instance()
+{
+    static DeviceDatabase db = standard();
+    return db;
+}
+
+DeviceDatabase
+DeviceDatabase::standard()
+{
+    DeviceDatabase db;
+    // The paper's Table 2 evaluation cards.
+    db.add({"DeviceA", Vendor::Xilinx, "XCVU35P",
+            {{PeripheralKind::Hbm, 1, 0},
+             {PeripheralKind::Ddr4, 1, 0},
+             {PeripheralKind::Qsfp28, 2, 0},
+             {PeripheralKind::PcieGen4, 1, 8}},
+            2021});
+    db.add({"DeviceB", Vendor::InHouse, "XCVU9P",
+            {{PeripheralKind::Ddr4, 2, 0},
+             {PeripheralKind::Qsfp28, 2, 0},
+             {PeripheralKind::PcieGen3, 1, 16}},
+            2020});
+    db.add({"DeviceC", Vendor::InHouse, "AGF014",
+            {{PeripheralKind::Dsfp, 2, 0},
+             {PeripheralKind::PcieGen4, 1, 16}},
+            2022});
+    db.add({"DeviceD", Vendor::Intel, "AGF014",
+            {{PeripheralKind::Qsfp28, 2, 0},
+             {PeripheralKind::PcieGen4, 1, 16},
+             {PeripheralKind::Ddr4, 1, 0}},
+            2023});
+    // A next-generation in-house board (§2.2(iii)): 400G cages and a
+    // Gen5 host link, showing new FPGA generations joining the fleet.
+    db.add({"DeviceE", Vendor::InHouse, "XCVU23P",
+            {{PeripheralKind::Qsfp112, 2, 0},
+             {PeripheralKind::Ddr4, 2, 0},
+             {PeripheralKind::PcieGen5, 1, 16}},
+            2025});
+    return db;
+}
+
+std::vector<FleetYear>
+fleetHistory(const DeviceDatabase &db)
+{
+    // Deployment-volume model: each board type ramps to a steady
+    // per-year volume that grows with how recent the type is —
+    // reproducing Figure 3c's monotone growth to tens of thousands.
+    std::map<unsigned, unsigned> types_per_year;
+    unsigned first_year = 3000, last_year = 0;
+    for (const FpgaDevice &d : db.all()) {
+        ++types_per_year[d.introducedYear];
+        first_year = std::min(first_year, d.introducedYear);
+        last_year = std::max(last_year, d.introducedYear);
+    }
+    if (db.all().empty())
+        return {};
+
+    std::vector<FleetYear> out;
+    unsigned total = 0;
+    for (unsigned year = first_year; year <= last_year + 1; ++year) {
+        FleetYear fy;
+        fy.year = year;
+        fy.newDeviceTypes =
+            types_per_year.count(year) ? types_per_year[year] : 0;
+        // Every active type ships more units each year it ages.
+        unsigned units = 0;
+        for (const FpgaDevice &d : db.all())
+            if (d.introducedYear <= year)
+                units += 1500 + 900 * (year - d.introducedYear);
+        fy.newUnits = units;
+        total += units;
+        fy.totalUnits = total;
+        out.push_back(fy);
+    }
+    return out;
+}
+
+void
+DeviceDatabase::add(FpgaDevice device)
+{
+    if (contains(device.name))
+        fatal("device '%s' already registered", device.name.c_str());
+    devices_.push_back(std::move(device));
+}
+
+const FpgaDevice &
+DeviceDatabase::byName(const std::string &name) const
+{
+    for (const FpgaDevice &d : devices_)
+        if (d.name == name)
+            return d;
+    fatal("unknown device '%s'", name.c_str());
+}
+
+bool
+DeviceDatabase::contains(const std::string &name) const
+{
+    for (const FpgaDevice &d : devices_)
+        if (d.name == name)
+            return true;
+    return false;
+}
+
+} // namespace harmonia

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The FPGA device database: board-level descriptions combining a chip
+ * with its peripherals and board vendor. Devices A-D replicate the
+ * paper's Table 2 evaluation cards; the database is extensible so
+ * platform teams can register new boards.
+ */
+
+#ifndef HARMONIA_DEVICE_DATABASE_H_
+#define HARMONIA_DEVICE_DATABASE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "device/chip.h"
+#include "device/peripheral.h"
+
+namespace harmonia {
+
+/** One FPGA board (card) as deployed in a server. */
+struct FpgaDevice {
+    std::string name;          ///< e.g. "DeviceA"
+    Vendor boardVendor;        ///< board maker (may be InHouse)
+    std::string chipName;      ///< die part number
+    std::vector<Peripheral> peripherals;
+    unsigned introducedYear = 2020;  ///< generation marker (§2.2(iii))
+
+    const Chip &chip() const { return chipByName(chipName); }
+
+    /** Peripherals of one class, e.g. all network cages. */
+    std::vector<Peripheral> byClass(PeripheralClass cls) const;
+
+    /** Does the board carry any peripheral of @p kind? */
+    bool has(PeripheralKind kind) const;
+
+    /** The PCIe attachment; every cloud card has exactly one. */
+    const Peripheral &pcie() const;
+
+    std::string toString() const;
+};
+
+/** One year of fleet evolution (Figure 3c's series). */
+struct FleetYear {
+    unsigned year = 2020;
+    unsigned newDeviceTypes = 0;   ///< board types introduced
+    unsigned newUnits = 0;         ///< cards deployed that year
+    unsigned totalUnits = 0;       ///< cumulative fleet size
+};
+
+/**
+ * The fleet-growth history behind Figure 3c: new device types per
+ * year (from the database's introduction years) with deployment
+ * volumes following the paper's "tens of thousands of FPGA
+ * accelerators" trajectory. Unit counts are a documented model — the
+ * type cadence is real data from the device database.
+ */
+std::vector<FleetYear> fleetHistory(const class DeviceDatabase &db);
+
+/** Registry of known boards, pre-seeded with the paper's devices A-D. */
+class DeviceDatabase {
+  public:
+    /** The process-wide database with the standard boards loaded. */
+    static DeviceDatabase &instance();
+
+    /** A fresh database pre-seeded with the standard boards. */
+    static DeviceDatabase standard();
+
+    /** Register a new board; fatal() on duplicate names. */
+    void add(FpgaDevice device);
+
+    const FpgaDevice &byName(const std::string &name) const;
+    bool contains(const std::string &name) const;
+    const std::vector<FpgaDevice> &all() const { return devices_; }
+
+  private:
+    std::vector<FpgaDevice> devices_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_DEVICE_DATABASE_H_

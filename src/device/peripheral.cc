@@ -1,0 +1,116 @@
+#include "device/peripheral.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+const char *
+toString(PeripheralKind k)
+{
+    switch (k) {
+      case PeripheralKind::Qsfp28:
+        return "QSFP28";
+      case PeripheralKind::Qsfp56:
+        return "QSFP56";
+      case PeripheralKind::Qsfp112:
+        return "QSFP112";
+      case PeripheralKind::Dsfp:
+        return "DSFP";
+      case PeripheralKind::Ddr3:
+        return "DDR3";
+      case PeripheralKind::Ddr4:
+        return "DDR4";
+      case PeripheralKind::Hbm:
+        return "HBM";
+      case PeripheralKind::PcieGen3:
+        return "PCIe-Gen3";
+      case PeripheralKind::PcieGen4:
+        return "PCIe-Gen4";
+      case PeripheralKind::PcieGen5:
+        return "PCIe-Gen5";
+    }
+    return "?";
+}
+
+PeripheralClass
+classOf(PeripheralKind k)
+{
+    switch (k) {
+      case PeripheralKind::Qsfp28:
+      case PeripheralKind::Qsfp56:
+      case PeripheralKind::Qsfp112:
+      case PeripheralKind::Dsfp:
+        return PeripheralClass::Network;
+      case PeripheralKind::Ddr3:
+      case PeripheralKind::Ddr4:
+      case PeripheralKind::Hbm:
+        return PeripheralClass::Memory;
+      case PeripheralKind::PcieGen3:
+      case PeripheralKind::PcieGen4:
+      case PeripheralKind::PcieGen5:
+        return PeripheralClass::Host;
+    }
+    panic("unreachable peripheral kind");
+}
+
+double
+unitBandwidth(PeripheralKind k)
+{
+    // Network cages: line rate in bytes/s. Memories: per channel/stack.
+    // PCIe: per lane (effective, after encoding overhead).
+    switch (k) {
+      case PeripheralKind::Qsfp28:
+        return 100e9 / 8;
+      case PeripheralKind::Qsfp56:
+        return 200e9 / 8;
+      case PeripheralKind::Qsfp112:
+        return 400e9 / 8;
+      case PeripheralKind::Dsfp:
+        return 200e9 / 8;
+      case PeripheralKind::Ddr3:
+        return 12.8e9;   // DDR3-1600, 64-bit channel
+      case PeripheralKind::Ddr4:
+        return 19.2e9;   // DDR4-2400, 64-bit channel (paper's figure)
+      case PeripheralKind::Hbm:
+        return 460e9;    // full stack, 32 pseudo-channels (paper)
+      case PeripheralKind::PcieGen3:
+        return 0.985e9;  // per lane
+      case PeripheralKind::PcieGen4:
+        return 1.969e9;
+      case PeripheralKind::PcieGen5:
+        return 3.938e9;
+    }
+    panic("unreachable peripheral kind");
+}
+
+double
+Peripheral::peakBandwidth() const
+{
+    const double unit = unitBandwidth(kind);
+    if (classOf(kind) == PeripheralClass::Host) {
+        if (lanes == 0)
+            fatal("PCIe peripheral requires a lane count");
+        return unit * lanes * count;
+    }
+    return unit * count;
+}
+
+unsigned
+Peripheral::channels() const
+{
+    if (kind == PeripheralKind::Hbm)
+        return 32 * count;
+    return count;
+}
+
+std::string
+Peripheral::toString() const
+{
+    if (classOf(kind) == PeripheralClass::Host)
+        return format("%sx%u", harmonia::toString(kind), lanes);
+    if (count > 1)
+        return format("%sx%u", harmonia::toString(kind), count);
+    return harmonia::toString(kind);
+}
+
+} // namespace harmonia

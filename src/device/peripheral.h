@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Off-chip peripheral descriptors: PCIe links, DDR/HBM memories, and
+ * network cages. Device heterogeneity (§2.2) is largely peripheral
+ * heterogeneity; module-level tailoring selects RBB instances that
+ * match what the board actually has.
+ */
+
+#ifndef HARMONIA_DEVICE_PERIPHERAL_H_
+#define HARMONIA_DEVICE_PERIPHERAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harmonia {
+
+/** Broad peripheral classes, matching the three RBB kinds. */
+enum class PeripheralClass { Network, Memory, Host };
+
+/** Concrete peripheral kinds present in the paper's device table. */
+enum class PeripheralKind {
+    Qsfp28,    ///< 100G network cage
+    Qsfp56,    ///< 200G network cage
+    Qsfp112,   ///< 400G network cage
+    Dsfp,      ///< 200G network cage
+    Ddr3,      ///< DDR3 channel
+    Ddr4,      ///< DDR4 channel
+    Hbm,       ///< HBM stack (32 pseudo-channels)
+    PcieGen3,  ///< PCIe Gen3 endpoint
+    PcieGen4,  ///< PCIe Gen4 endpoint
+    PcieGen5,  ///< PCIe Gen5 endpoint
+};
+
+const char *toString(PeripheralKind k);
+PeripheralClass classOf(PeripheralKind k);
+
+/** One peripheral attachment on a device. */
+struct Peripheral {
+    PeripheralKind kind;
+    unsigned count = 1;  ///< cages / channels / stacks
+    unsigned lanes = 0;  ///< PCIe lanes (x8/x16); 0 for non-PCIe
+
+    /**
+     * Raw peak bandwidth in bytes/second for the whole attachment:
+     * line rate for network cages, per-channel sum for memories,
+     * lane rate x lanes for PCIe.
+     */
+    double peakBandwidth() const;
+
+    /** Data channels exposed to the shell (e.g. HBM = 32 per stack). */
+    unsigned channels() const;
+
+    std::string toString() const;
+};
+
+/** Per-kind line/lane/channel rate in bytes per second. */
+double unitBandwidth(PeripheralKind k);
+
+} // namespace harmonia
+
+#endif // HARMONIA_DEVICE_PERIPHERAL_H_

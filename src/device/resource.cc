@@ -1,0 +1,109 @@
+#include "device/resource.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+ResourceVector &
+ResourceVector::operator+=(const ResourceVector &o)
+{
+    lut += o.lut;
+    reg += o.reg;
+    bram += o.bram;
+    uram += o.uram;
+    dsp += o.dsp;
+    return *this;
+}
+
+ResourceVector &
+ResourceVector::operator-=(const ResourceVector &o)
+{
+    if (o.lut > lut || o.reg > reg || o.bram > bram || o.uram > uram ||
+        o.dsp > dsp) {
+        panic("resource subtraction underflow: %s - %s",
+              toString().c_str(), o.toString().c_str());
+    }
+    lut -= o.lut;
+    reg -= o.reg;
+    bram -= o.bram;
+    uram -= o.uram;
+    dsp -= o.dsp;
+    return *this;
+}
+
+bool
+ResourceVector::fitsIn(const ResourceVector &budget) const
+{
+    return lut <= budget.lut && reg <= budget.reg &&
+           bram <= budget.bram && uram <= budget.uram &&
+           dsp <= budget.dsp;
+}
+
+ResourceVector
+ResourceVector::scaled(double factor) const
+{
+    if (factor < 0)
+        fatal("negative resource scale %f", factor);
+    auto s = [factor](std::uint64_t v) {
+        return static_cast<std::uint64_t>(v * factor + 0.5);
+    };
+    return ResourceVector{s(lut), s(reg), s(bram), s(uram), s(dsp)};
+}
+
+double
+ResourceVector::maxUtilization(const ResourceVector &budget) const
+{
+    double util = 0.0;
+    auto frac = [](std::uint64_t used, std::uint64_t total) {
+        return total == 0 ? (used == 0 ? 0.0 : 1.0)
+                          : static_cast<double>(used) / total;
+    };
+    util = std::max(util, frac(lut, budget.lut));
+    util = std::max(util, frac(reg, budget.reg));
+    util = std::max(util, frac(bram, budget.bram));
+    util = std::max(util, frac(uram, budget.uram));
+    util = std::max(util, frac(dsp, budget.dsp));
+    return util;
+}
+
+double
+ResourceVector::utilization(const std::string &klass,
+                            const ResourceVector &budget) const
+{
+    const std::uint64_t used = resourceClass(*this, klass);
+    const std::uint64_t total = resourceClass(budget, klass);
+    if (total == 0)
+        return used == 0 ? 0.0 : 1.0;
+    return static_cast<double>(used) / total;
+}
+
+std::string
+ResourceVector::toString() const
+{
+    return format("{lut=%llu reg=%llu bram=%llu uram=%llu dsp=%llu}",
+                  static_cast<unsigned long long>(lut),
+                  static_cast<unsigned long long>(reg),
+                  static_cast<unsigned long long>(bram),
+                  static_cast<unsigned long long>(uram),
+                  static_cast<unsigned long long>(dsp));
+}
+
+std::uint64_t
+resourceClass(const ResourceVector &v, const std::string &klass)
+{
+    if (klass == "lut")
+        return v.lut;
+    if (klass == "reg")
+        return v.reg;
+    if (klass == "bram")
+        return v.bram;
+    if (klass == "uram")
+        return v.uram;
+    if (klass == "dsp")
+        return v.dsp;
+    fatal("unknown resource class '%s'", klass.c_str());
+}
+
+} // namespace harmonia

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * FPGA on-chip resource accounting. Every modelled hardware module
+ * reports a ResourceVector; shells sum their parts, and the tailoring
+ * and overhead experiments (Figs 11, 16, 18a) are deltas of these.
+ */
+
+#ifndef HARMONIA_DEVICE_RESOURCE_H_
+#define HARMONIA_DEVICE_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace harmonia {
+
+/** The five resource classes the paper's figures report. */
+struct ResourceVector {
+    std::uint64_t lut = 0;   ///< look-up tables (Intel: ALUT-equivalent)
+    std::uint64_t reg = 0;   ///< flip-flops
+    std::uint64_t bram = 0;  ///< 36Kb block-RAM equivalents
+    std::uint64_t uram = 0;  ///< UltraRAM / eSRAM blocks
+    std::uint64_t dsp = 0;   ///< DSP slices
+
+    ResourceVector &operator+=(const ResourceVector &o);
+    ResourceVector &operator-=(const ResourceVector &o);
+    friend ResourceVector operator+(ResourceVector a,
+                                    const ResourceVector &b)
+    {
+        return a += b;
+    }
+    friend ResourceVector operator-(ResourceVector a,
+                                    const ResourceVector &b)
+    {
+        return a -= b;
+    }
+    bool operator==(const ResourceVector &) const = default;
+
+    /** True when every component fits within @p budget. */
+    bool fitsIn(const ResourceVector &budget) const;
+
+    /** Scale all components (e.g. replication). */
+    ResourceVector scaled(double factor) const;
+
+    /**
+     * Largest per-class utilization fraction against @p budget
+     * (the number the paper's "% resource occupancy" plots report).
+     */
+    double maxUtilization(const ResourceVector &budget) const;
+
+    /** Utilization fraction of one class by name (lut/reg/bram/uram/dsp). */
+    double utilization(const std::string &klass,
+                       const ResourceVector &budget) const;
+
+    std::string toString() const;
+};
+
+/** Named access to a vector's classes; fatal() on unknown name. */
+std::uint64_t resourceClass(const ResourceVector &v,
+                            const std::string &klass);
+
+} // namespace harmonia
+
+#endif // HARMONIA_DEVICE_RESOURCE_H_

@@ -1,0 +1,107 @@
+#include "frameworks/comparison.h"
+
+namespace harmonia {
+
+std::vector<std::unique_ptr<Framework>>
+makeBaselines()
+{
+    std::vector<std::unique_ptr<Framework>> out;
+    out.push_back(std::make_unique<VitisFramework>());
+    out.push_back(std::make_unique<OneApiFramework>());
+    out.push_back(std::make_unique<CoyoteFramework>());
+    return out;
+}
+
+SupportMatrix
+buildSupportMatrix()
+{
+    SupportMatrix matrix;
+    const auto baselines = makeBaselines();
+    for (const auto &fw : baselines)
+        matrix.frameworks.push_back(fw->name());
+    matrix.frameworks.push_back("Harmonia");
+
+    for (const FpgaDevice &dev : DeviceDatabase::instance().all()) {
+        matrix.devices.push_back(dev.name);
+        for (const auto &fw : baselines)
+            matrix.supported[{fw->name(), dev.name}] =
+                fw->supports(dev);
+        // Harmonia supports every board through its adapters: the
+        // shell builds from RBBs on Xilinx, Intel and in-house chips.
+        matrix.supported[{"Harmonia", dev.name}] = true;
+    }
+    return matrix;
+}
+
+std::vector<ShellFootprint>
+compareShellFootprints(const FpgaDevice &device, const Shell &harmonia)
+{
+    std::vector<ShellFootprint> rows;
+    const ResourceVector &budget = device.chip().budget;
+
+    auto fractions = [&](ShellFootprint &fp) {
+        fp.lutFraction = fp.resources.utilization("lut", budget);
+        fp.regFraction = fp.resources.utilization("reg", budget);
+        fp.bramFraction = fp.resources.utilization("bram", budget);
+    };
+
+    for (const auto &fw : makeBaselines()) {
+        if (!fw->supports(device))
+            continue;
+        ShellFootprint fp;
+        fp.framework = fw->name();
+        fp.resources = fw->shellResources(device);
+        fractions(fp);
+        rows.push_back(fp);
+    }
+
+    ShellFootprint fp;
+    fp.framework = "Harmonia";
+    fp.resources = harmonia.shellResources();
+    fractions(fp);
+    rows.push_back(fp);
+    return rows;
+}
+
+std::vector<ConfigCostRow>
+compareConfigCosts(const Shell &shell)
+{
+    const VitisFramework reg_baseline;
+
+    std::vector<ConfigCostRow> rows;
+
+    ConfigCostRow mon;
+    mon.task = ConfigTask::MonitoringStatistics;
+    mon.registerOps =
+        reg_baseline.configOps(ConfigTask::MonitoringStatistics);
+    mon.commandOps = shell.monitoringCommandOps();
+    rows.push_back(mon);
+
+    ConfigCostRow net;
+    net.task = ConfigTask::NetworkInitialization;
+    net.registerOps =
+        reg_baseline.configOps(ConfigTask::NetworkInitialization);
+    net.commandOps = 0;
+    for (const Rbb *rbb : shell.rbbs())
+        if (rbb->kind() == RbbKind::Network)
+            net.commandOps += rbb->commandInitCount();
+    if (net.commandOps == 0)
+        net.commandOps = 1;
+    rows.push_back(net);
+
+    ConfigCostRow host;
+    host.task = ConfigTask::HostInteraction;
+    host.registerOps =
+        reg_baseline.configOps(ConfigTask::HostInteraction);
+    host.commandOps = 0;
+    for (const Rbb *rbb : shell.rbbs())
+        if (rbb->kind() == RbbKind::Host)
+            host.commandOps += rbb->commandInitCount() + 1;
+    if (host.commandOps == 0)
+        host.commandOps = 1;
+    rows.push_back(host);
+
+    return rows;
+}
+
+} // namespace harmonia

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The §5.4 comparison harness: pairs the baseline framework models
+ * with real Harmonia shells and produces the device-support matrix
+ * (Tab 3), per-benchmark shell footprints (Fig 18a) and config-cost
+ * rows (Tab 4).
+ */
+
+#ifndef HARMONIA_FRAMEWORKS_COMPARISON_H_
+#define HARMONIA_FRAMEWORKS_COMPARISON_H_
+
+#include <map>
+
+#include "frameworks/coyote.h"
+#include "frameworks/oneapi.h"
+#include "frameworks/vitis.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+
+/** Device-support matrix (Table 3): framework -> device -> yes/no. */
+struct SupportMatrix {
+    std::vector<std::string> frameworks;  ///< row order
+    std::vector<std::string> devices;     ///< column order
+    std::map<std::pair<std::string, std::string>, bool> supported;
+};
+
+/** Build Table 3 over the standard device database + baselines. */
+SupportMatrix buildSupportMatrix();
+
+/** One Fig 18a row: a framework's shell footprint on a device. */
+struct ShellFootprint {
+    std::string framework;
+    ResourceVector resources;
+    double lutFraction = 0;
+    double regFraction = 0;
+    double bramFraction = 0;
+};
+
+/**
+ * Fig 18a: baseline monolithic footprints on their supported device
+ * plus the Harmonia shell actually tailored to @p role.
+ */
+std::vector<ShellFootprint>
+compareShellFootprints(const FpgaDevice &device, const Shell &harmonia);
+
+/** One Tab 4 row: task, register ops (worst baseline), command ops. */
+struct ConfigCostRow {
+    ConfigTask task;
+    std::size_t registerOps = 0;
+    std::size_t commandOps = 0;
+
+    double ratio() const
+    {
+        return commandOps == 0
+                   ? 0.0
+                   : static_cast<double>(registerOps) / commandOps;
+    }
+};
+
+/** Tab 4 rows: register baseline vs Harmonia commands for @p shell. */
+std::vector<ConfigCostRow> compareConfigCosts(const Shell &shell);
+
+} // namespace harmonia
+
+#endif // HARMONIA_FRAMEWORKS_COMPARISON_H_

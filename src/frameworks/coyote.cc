@@ -1,0 +1,46 @@
+#include "frameworks/coyote.h"
+
+namespace harmonia {
+
+CoyoteFramework::CoyoteFramework() : Framework("Coyote")
+{
+}
+
+bool
+CoyoteFramework::supports(const FpgaDevice &device) const
+{
+    // Open-source shell targeting Xilinx Alveo-class boards.
+    return device.chip().vendor() == Vendor::Xilinx &&
+           device.boardVendor == Vendor::Xilinx;
+}
+
+ResourceVector
+CoyoteFramework::shellResources(const FpgaDevice &device) const
+{
+    // Static layer: XDMA, TLB-based unified memory, network stack and
+    // the vFPGA scheduling fabric — leaner than Vitis, still fixed.
+    const ResourceVector &budget = device.chip().budget;
+    ResourceVector r;
+    r.lut = static_cast<std::uint64_t>(budget.lut * 0.150);
+    r.reg = static_cast<std::uint64_t>(budget.reg * 0.135);
+    r.bram = static_cast<std::uint64_t>(budget.bram * 0.165);
+    r.uram = static_cast<std::uint64_t>(budget.uram * 0.040);
+    r.dsp = static_cast<std::uint64_t>(budget.dsp * 0.006);
+    return r;
+}
+
+std::size_t
+CoyoteFramework::configOps(ConfigTask task) const
+{
+    switch (task) {
+      case ConfigTask::MonitoringStatistics:
+        return 71;
+      case ConfigTask::NetworkInitialization:
+        return 92;
+      case ConfigTask::HostInteraction:
+        return 54;
+    }
+    return 0;
+}
+
+} // namespace harmonia

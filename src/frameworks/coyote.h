@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Coyote baseline model: the open-source FPGA OS (Korolija et al.,
+ * OSDI'20). Supports Xilinx Alveo boards, provides OS abstractions
+ * (vFPGAs, unified memory) in a fixed static shell with a register
+ * host interface.
+ */
+
+#ifndef HARMONIA_FRAMEWORKS_COYOTE_H_
+#define HARMONIA_FRAMEWORKS_COYOTE_H_
+
+#include "frameworks/framework.h"
+
+namespace harmonia {
+
+class CoyoteFramework : public Framework {
+  public:
+    CoyoteFramework();
+
+    bool supports(const FpgaDevice &device) const override;
+    ResourceVector
+    shellResources(const FpgaDevice &device) const override;
+    std::size_t configOps(ConfigTask task) const override;
+    double datapathEfficiency() const override { return 0.98; }
+    Tick addedLatencyPs() const override { return 140'000; }
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_FRAMEWORKS_COYOTE_H_

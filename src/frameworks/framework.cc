@@ -1,0 +1,19 @@
+#include "frameworks/framework.h"
+
+namespace harmonia {
+
+const char *
+toString(ConfigTask task)
+{
+    switch (task) {
+      case ConfigTask::MonitoringStatistics:
+        return "Monitoring Statistics";
+      case ConfigTask::NetworkInitialization:
+        return "Network Initialization";
+      case ConfigTask::HostInteraction:
+        return "Host Interaction Config";
+    }
+    return "?";
+}
+
+} // namespace harmonia

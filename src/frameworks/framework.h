@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Baseline framework models for the §5.4 comparison: Vitis, oneAPI and
+ * Coyote. Each model captures what the comparison measures — the
+ * device-support matrix (Tab 3), a monolithic shell's resource
+ * footprint (Fig 18a), register-interface configuration costs (Tab 4)
+ * and datapath efficiency/latency factors (Fig 18b-d). They are
+ * models of published shells, not reimplementations; DESIGN.md
+ * records the substitution.
+ */
+
+#ifndef HARMONIA_FRAMEWORKS_FRAMEWORK_H_
+#define HARMONIA_FRAMEWORKS_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/database.h"
+
+namespace harmonia {
+
+/** Host-software configuration tasks Table 4 compares. */
+enum class ConfigTask {
+    MonitoringStatistics,
+    NetworkInitialization,
+    HostInteraction,
+};
+
+const char *toString(ConfigTask task);
+
+/**
+ * A platform-level framework under comparison. The Harmonia entry is
+ * produced separately from real Shell instances; these baselines are
+ * calibrated models.
+ */
+class Framework {
+  public:
+    explicit Framework(std::string name) : name_(std::move(name)) {}
+    virtual ~Framework() = default;
+
+    const std::string &name() const { return name_; }
+
+    /** Table 3: can this framework target the device at all? */
+    virtual bool supports(const FpgaDevice &device) const = 0;
+
+    /**
+     * Fig 18a: the shell footprint on @p device. Baselines ship
+     * monolithic shells, so the footprint is benchmark-independent.
+     */
+    virtual ResourceVector
+    shellResources(const FpgaDevice &device) const = 0;
+
+    /** Tab 4: register operations the task costs on this framework. */
+    virtual std::size_t configOps(ConfigTask task) const = 0;
+
+    /** Fig 18b-d: relative datapath efficiency (1.0 = line rate). */
+    virtual double datapathEfficiency() const { return 1.0; }
+
+    /** Fig 18d: shell-added one-way latency. */
+    virtual Tick addedLatencyPs() const { return 0; }
+
+  private:
+    std::string name_;
+};
+
+/** The three baselines, in the paper's order. */
+std::vector<std::unique_ptr<Framework>> makeBaselines();
+
+} // namespace harmonia
+
+#endif // HARMONIA_FRAMEWORKS_FRAMEWORK_H_

@@ -1,0 +1,45 @@
+#include "frameworks/oneapi.h"
+
+namespace harmonia {
+
+OneApiFramework::OneApiFramework() : Framework("oneAPI")
+{
+}
+
+bool
+OneApiFramework::supports(const FpgaDevice &device) const
+{
+    return device.chip().vendor() == Vendor::Intel &&
+           device.boardVendor == Vendor::Intel;
+}
+
+ResourceVector
+OneApiFramework::shellResources(const FpgaDevice &device) const
+{
+    // The OFS FIM static region: PCIe subsystem, memory subsystem,
+    // HSSI, management — all present regardless of the workload.
+    const ResourceVector &budget = device.chip().budget;
+    ResourceVector r;
+    r.lut = static_cast<std::uint64_t>(budget.lut * 0.165);
+    r.reg = static_cast<std::uint64_t>(budget.reg * 0.150);
+    r.bram = static_cast<std::uint64_t>(budget.bram * 0.185);
+    r.uram = 0;
+    r.dsp = static_cast<std::uint64_t>(budget.dsp * 0.010);
+    return r;
+}
+
+std::size_t
+OneApiFramework::configOps(ConfigTask task) const
+{
+    switch (task) {
+      case ConfigTask::MonitoringStatistics:
+        return 78;
+      case ConfigTask::NetworkInitialization:
+        return 104;
+      case ConfigTask::HostInteraction:
+        return 66;
+    }
+    return 0;
+}
+
+} // namespace harmonia

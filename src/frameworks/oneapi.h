@@ -1,0 +1,29 @@
+/**
+ * @file
+ * oneAPI/OFS baseline model: Intel's commercial shell-role platform.
+ * Supports Intel device families only, ships the OFS FIM as a
+ * monolithic shell, and exposes a register (CSR) host interface.
+ */
+
+#ifndef HARMONIA_FRAMEWORKS_ONEAPI_H_
+#define HARMONIA_FRAMEWORKS_ONEAPI_H_
+
+#include "frameworks/framework.h"
+
+namespace harmonia {
+
+class OneApiFramework : public Framework {
+  public:
+    OneApiFramework();
+
+    bool supports(const FpgaDevice &device) const override;
+    ResourceVector
+    shellResources(const FpgaDevice &device) const override;
+    std::size_t configOps(ConfigTask task) const override;
+    double datapathEfficiency() const override { return 0.99; }
+    Tick addedLatencyPs() const override { return 110'000; }
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_FRAMEWORKS_ONEAPI_H_

@@ -1,0 +1,49 @@
+#include "frameworks/vitis.h"
+
+namespace harmonia {
+
+VitisFramework::VitisFramework() : Framework("Vitis")
+{
+}
+
+bool
+VitisFramework::supports(const FpgaDevice &device) const
+{
+    // Commercial Xilinx boards only: no Intel chips, no custom
+    // in-house boards (their shells are tied to known platforms).
+    return device.chip().vendor() == Vendor::Xilinx &&
+           device.boardVendor == Vendor::Xilinx;
+}
+
+ResourceVector
+VitisFramework::shellResources(const FpgaDevice &device) const
+{
+    // The XRT platform shell is monolithic: static region with DMA,
+    // clocking, ICAP, firewall and profiling always present.
+    const ResourceVector &budget = device.chip().budget;
+    ResourceVector r;
+    r.lut = static_cast<std::uint64_t>(budget.lut * 0.185);
+    r.reg = static_cast<std::uint64_t>(budget.reg * 0.160);
+    r.bram = static_cast<std::uint64_t>(budget.bram * 0.210);
+    r.uram = static_cast<std::uint64_t>(budget.uram * 0.060);
+    r.dsp = static_cast<std::uint64_t>(budget.dsp * 0.012);
+    return r;
+}
+
+std::size_t
+VitisFramework::configOps(ConfigTask task) const
+{
+    // Register-interface costs measured on the XRT-style register
+    // map (paper Table 4 reports the same magnitudes).
+    switch (task) {
+      case ConfigTask::MonitoringStatistics:
+        return 84;
+      case ConfigTask::NetworkInitialization:
+        return 115;
+      case ConfigTask::HostInteraction:
+        return 60;
+    }
+    return 0;
+}
+
+} // namespace harmonia

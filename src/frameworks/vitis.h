@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Vitis baseline model: AMD/Xilinx's commercial shell-role platform.
+ * Supports Xilinx device families only, ships a monolithic platform
+ * shell, and exposes a register interface for host control.
+ */
+
+#ifndef HARMONIA_FRAMEWORKS_VITIS_H_
+#define HARMONIA_FRAMEWORKS_VITIS_H_
+
+#include "frameworks/framework.h"
+
+namespace harmonia {
+
+class VitisFramework : public Framework {
+  public:
+    VitisFramework();
+
+    bool supports(const FpgaDevice &device) const override;
+    ResourceVector
+    shellResources(const FpgaDevice &device) const override;
+    std::size_t configOps(ConfigTask task) const override;
+    double datapathEfficiency() const override { return 1.0; }
+    Tick addedLatencyPs() const override { return 90'000; }
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_FRAMEWORKS_VITIS_H_

@@ -1,0 +1,94 @@
+#include "host/cmd_driver.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+CmdDriver::CmdDriver(Engine &engine, Shell &shell, std::uint8_t src_id,
+                     CmdTransport transport)
+    : engine_(engine), shell_(shell), srcId_(src_id),
+      transport_(transport)
+{
+}
+
+CommandPacket
+CmdDriver::call(std::uint8_t rbb_id, std::uint8_t instance_id,
+                std::uint16_t code,
+                const std::vector<std::uint32_t> &data, Tick timeout)
+{
+    CommandPacket pkt;
+    pkt.srcId = srcId_;
+    pkt.dstId = rbb_id;
+    pkt.rbbId = rbb_id;
+    pkt.instanceId = instance_id;
+    pkt.commandCode = code;
+    pkt.options = static_cast<std::uint32_t>(transport_);
+    pkt.data = data;
+
+    const Tick started = engine_.now();
+    const std::vector<std::uint8_t> bytes = pkt.encode();
+
+    // Transfer: PCIe rides the isolated DMA control queue; the I2C
+    // sideband bypasses PCIe entirely at ~400 kbit/s, so the BMC can
+    // manage a card whose host link is down.
+    Tick transfer_latency = 0;
+    if (transport_ == CmdTransport::I2c) {
+        transfer_latency = static_cast<Tick>(
+            bytes.size() * 8 / 400e3 * kTicksPerSecond);
+        ++commands_;
+    } else if (shell_.hasHost()) {
+        transfer_latency = shell_.host().dma().baseLatency();
+        shell_.host().submitControl(
+            static_cast<std::uint32_t>(bytes.size()), ++commands_);
+    } else {
+        ++commands_;
+    }
+
+    if (!shell_.kernel().submitBytes(bytes))
+        fatal("control kernel buffer full (%zu bytes pending)",
+              shell_.kernel().bufferSpace());
+
+    const bool done = engine_.runUntilDone(
+        [this] { return shell_.kernel().hasResponse(); }, timeout);
+    if (!done)
+        fatal("command 0x%04x to rbb=%02x timed out", code, rbb_id);
+
+    CommandPacket resp = shell_.kernel().popResponse();
+    // Response upload shares the control queue's latency.
+    lastLatency_ =
+        (engine_.now() - started) + 2 * transfer_latency;
+    return resp;
+}
+
+std::size_t
+CmdDriver::initializeAll()
+{
+    const std::size_t before = commands_;
+    for (Rbb *rbb : shell_.rbbs()) {
+        call(rbb->rbbId(), rbb->instanceId(), kCmdModuleInit);
+        switch (rbb->kind()) {
+          case RbbKind::Network:
+          case RbbKind::Memory:
+            break;  // ModuleInit covers the Ex-function defaults
+          case RbbKind::Host:
+            // One ranged QueueConfig activates the tenant queues.
+            call(rbb->rbbId(), rbb->instanceId(), kCmdQueueConfig,
+                 {0, std::min<std::uint32_t>(
+                         64, static_cast<HostRbb &>(*rbb).numQueues()),
+                  1});
+            break;
+        }
+    }
+    return commands_ - before;
+}
+
+std::size_t
+CmdDriver::collectAllStats()
+{
+    const std::size_t before = commands_;
+    for (Rbb *rbb : shell_.rbbs())
+        call(rbb->rbbId(), rbb->instanceId(), kCmdStatsSnapshot);
+    return commands_ - before;
+}
+
+} // namespace harmonia

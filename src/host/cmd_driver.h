@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The command-based host driver (§3.3.3): software issues cmd_read /
+ * cmd_write with a command code and data; the driver packetizes them,
+ * ships them over the DMA control queue and hands back the decoded
+ * response. Control logic lives in the FPGA's unified control kernel,
+ * so the same host code runs unchanged on every platform.
+ */
+
+#ifndef HARMONIA_HOST_CMD_DRIVER_H_
+#define HARMONIA_HOST_CMD_DRIVER_H_
+
+#include <vector>
+
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+
+/**
+ * Physical transport a controller reaches the FPGA over — what the
+ * command packet's Options field records (Figure 9). Applications use
+ * the PCIe control queue; the BMC typically rides the slower I2C
+ * sideband, which works even before PCIe enumerates.
+ */
+enum class CmdTransport : std::uint32_t {
+    Pcie = 0,
+    I2c = 1,
+};
+
+/**
+ * Command driver bound to one shell. call() advances the engine until
+ * the kernel answers, modelling the full round trip: control-queue
+ * transfer, soft-core execution, response upload.
+ */
+class CmdDriver {
+  public:
+    CmdDriver(Engine &engine, Shell &shell,
+              std::uint8_t src_id = kCtrlApplication,
+              CmdTransport transport = CmdTransport::Pcie);
+
+    CmdTransport transport() const { return transport_; }
+
+    /**
+     * The cmd_write/cmd_read interface: issue a command and wait for
+     * its response. fatal() if the kernel does not answer within
+     * @p timeout simulated time.
+     */
+    CommandPacket call(std::uint8_t rbb_id, std::uint8_t instance_id,
+                       std::uint16_t code,
+                       const std::vector<std::uint32_t> &data = {},
+                       Tick timeout = 50'000'000);
+
+    /** Initialize every module; returns the command count used. */
+    std::size_t initializeAll();
+
+    /** Collect all monitoring statistics; returns command count. */
+    std::size_t collectAllStats();
+
+    std::size_t commandCount() const { return commands_; }
+
+    /** Round-trip latency of the most recent call(). */
+    Tick lastLatency() const { return lastLatency_; }
+
+  private:
+    Engine &engine_;
+    Shell &shell_;
+    std::uint8_t srcId_;
+    CmdTransport transport_;
+    std::size_t commands_ = 0;
+    Tick lastLatency_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_HOST_CMD_DRIVER_H_

@@ -1,0 +1,61 @@
+#include "host/dma_engine.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+HostDma::HostDma(HostRbb &host)
+    : host_(host), bins_(host.numQueues())
+{
+}
+
+bool
+HostDma::submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
+                std::uint64_t id)
+{
+    return host_.submit(dir, queue, bytes, id);
+}
+
+void
+HostDma::poll()
+{
+    while (host_.hasCompletion()) {
+        DmaCompletion c = host_.popCompletion();
+        ++transfers_;
+        bytes_ += c.request.bytes;
+        if (c.request.control)
+            control_.push_back(c);
+        else
+            bins_[c.request.queue].push_back(c);
+    }
+}
+
+bool
+HostDma::hasCompletion(std::uint16_t queue) const
+{
+    if (queue >= bins_.size())
+        fatal("queue %u out of range (%zu)", queue, bins_.size());
+    return !bins_[queue].empty();
+}
+
+DmaCompletion
+HostDma::popCompletion(std::uint16_t queue)
+{
+    if (!hasCompletion(queue))
+        fatal("no completion pending on queue %u", queue);
+    DmaCompletion c = bins_[queue].front();
+    bins_[queue].pop_front();
+    return c;
+}
+
+DmaCompletion
+HostDma::popControlCompletion()
+{
+    if (control_.empty())
+        fatal("no control completion pending");
+    DmaCompletion c = control_.front();
+    control_.pop_front();
+    return c;
+}
+
+} // namespace harmonia

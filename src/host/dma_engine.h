@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Host-side DMA access: a thin multiplexer over the Host RBB that
+ * routes completions back to per-queue owners, as the user-space DMA
+ * library does over the real driver.
+ */
+
+#ifndef HARMONIA_HOST_DMA_ENGINE_H_
+#define HARMONIA_HOST_DMA_ENGINE_H_
+
+#include <deque>
+#include <vector>
+
+#include "shell/host_rbb.h"
+
+namespace harmonia {
+
+/**
+ * Per-queue completion routing over one Host RBB. Data-plane users
+ * submit on their own queue and pop their own completions; control-
+ * channel completions are kept separate for the command driver.
+ */
+class HostDma {
+  public:
+    explicit HostDma(HostRbb &host);
+
+    HostRbb &host() { return host_; }
+
+    /** Submit a transfer; false on inactive queue or back-pressure. */
+    bool submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
+                std::uint64_t id = 0);
+
+    /** Drain the RBB's completion queue into per-queue bins. */
+    void poll();
+
+    bool hasCompletion(std::uint16_t queue) const;
+    DmaCompletion popCompletion(std::uint16_t queue);
+
+    bool hasControlCompletion() const { return !control_.empty(); }
+    DmaCompletion popControlCompletion();
+
+    /** Aggregate counters for throughput accounting. */
+    std::uint64_t completedTransfers() const { return transfers_; }
+    std::uint64_t completedBytes() const { return bytes_; }
+
+  private:
+    HostRbb &host_;
+    std::vector<std::deque<DmaCompletion>> bins_;
+    std::deque<DmaCompletion> control_;
+    std::uint64_t transfers_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_HOST_DMA_ENGINE_H_

@@ -1,0 +1,125 @@
+#include "host/host_app.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+const char *
+toString(HostInterface kind)
+{
+    switch (kind) {
+      case HostInterface::Register:
+        return "register";
+      case HostInterface::Command:
+        return "command";
+    }
+    return "?";
+}
+
+HostApplication::HostApplication(Engine &engine, Shell &shell,
+                                 HostInterface kind)
+    : engine_(engine), shell_(shell), kind_(kind)
+{
+    if (kind == HostInterface::Register)
+        reg_ = std::make_unique<RegDriver>(shell);
+    else
+        cmd_ = std::make_unique<CmdDriver>(engine, shell);
+    if (shell.hasHost())
+        dma_ = std::make_unique<HostDma>(shell.host());
+}
+
+std::size_t
+HostApplication::initialize()
+{
+    return kind_ == HostInterface::Register ? reg_->initializeAll()
+                                            : cmd_->initializeAll();
+}
+
+std::size_t
+HostApplication::collectStats()
+{
+    return kind_ == HostInterface::Register ? reg_->collectAllStats()
+                                            : cmd_->collectAllStats();
+}
+
+HostDma &
+HostApplication::dma()
+{
+    if (!dma_)
+        fatal("application on shell '%s' has no host RBB data plane",
+              shell_.name().c_str());
+    return *dma_;
+}
+
+std::size_t
+HostApplication::controlOps() const
+{
+    return kind_ == HostInterface::Register ? reg_->opCount()
+                                            : cmd_->commandCount();
+}
+
+namespace {
+
+/** What RegDriver::initializeAll issues, computed analytically. */
+std::size_t
+driverRegisterInitOps(const Rbb &rbb)
+{
+    std::size_t n = rbb.instance().initSequence().size();
+    switch (rbb.kind()) {
+      case RbbKind::Network:
+        n += 5;  // filter + director programming
+        break;
+      case RbbKind::Memory:
+        n += 3;  // Ex-function programming
+        break;
+      case RbbKind::Host: {
+        const auto &host = static_cast<const HostRbb &>(rbb);
+        n += 4 * std::min(64u, host.numQueues());
+        break;
+      }
+    }
+    return n;
+}
+
+/** Key identifying an RBB across shells. */
+std::pair<int, int>
+rbbKey(const Rbb &rbb)
+{
+    return {static_cast<int>(rbb.kind()), rbb.instanceId()};
+}
+
+} // namespace
+
+std::size_t
+migrationModifications(const Shell &from, const Shell &to,
+                       HostInterface kind)
+{
+    std::map<std::pair<int, int>, const Rbb *> old_rbbs;
+    for (const Rbb *rbb : from.rbbs())
+        old_rbbs[rbbKey(*rbb)] = rbb;
+
+    if (kind == HostInterface::Register) {
+        // Registers are board-specific: regenerating a shell for a new
+        // board reshuffles register maps and sequences, so every
+        // register operation in the init path must be rewritten or
+        // re-audited on the new platform.
+        std::size_t n = 0;
+        for (const Rbb *rbb : to.rbbs())
+            n += driverRegisterInitOps(*rbb);
+        return n;
+    }
+
+    // Commands abstract control behaviour: host code is untouched for
+    // modules that exist on both platforms. Modifications are the
+    // command invocations for structurally new modules, plus one
+    // project-configuration change.
+    std::size_t n = 1;
+    for (const Rbb *rbb : to.rbbs())
+        if (!old_rbbs.count(rbbKey(*rbb)))
+            n += rbb->commandInitCount();
+    return n;
+}
+
+} // namespace harmonia

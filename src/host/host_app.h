@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Host application facade: the user-facing software API over either
+ * control interface, plus the migration-cost accounting behind Fig 13
+ * (register modifications vs command modifications when moving an
+ * application between devices).
+ */
+
+#ifndef HARMONIA_HOST_HOST_APP_H_
+#define HARMONIA_HOST_HOST_APP_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "host/cmd_driver.h"
+#include "host/dma_engine.h"
+#include "host/reg_driver.h"
+
+namespace harmonia {
+
+/** Which control plane the application was written against. */
+enum class HostInterface {
+    Register,  ///< raw register read/write (commercial baseline)
+    Command,   ///< Harmonia's command-based interface
+};
+
+const char *toString(HostInterface kind);
+
+/**
+ * One host application bound to a shell. Initialization and
+ * statistics go through the selected interface; the data plane goes
+ * through HostDma when the shell has a host RBB.
+ */
+class HostApplication {
+  public:
+    HostApplication(Engine &engine, Shell &shell, HostInterface kind);
+
+    HostInterface interface() const { return kind_; }
+    Shell &shell() { return shell_; }
+
+    /** Bring every hardware module up; returns operations used. */
+    std::size_t initialize();
+
+    /** Snapshot all statistics; returns operations used. */
+    std::size_t collectStats();
+
+    /** Data-plane access (requires a host RBB). */
+    HostDma &dma();
+
+    /** Operations issued so far on the control plane. */
+    std::size_t controlOps() const;
+
+  private:
+    Engine &engine_;
+    Shell &shell_;
+    HostInterface kind_;
+    std::unique_ptr<RegDriver> reg_;
+    std::unique_ptr<CmdDriver> cmd_;
+    std::unique_ptr<HostDma> dma_;
+};
+
+/**
+ * Software modifications needed to migrate an application's control
+ * code from @p from to @p to (Fig 13). Register path: every
+ * init-sequence op that differs between the two platforms' modules,
+ * plus all per-entity programming that must be re-audited. Command
+ * path: commands are platform-independent, so only module-set changes
+ * surface.
+ */
+std::size_t migrationModifications(const Shell &from, const Shell &to,
+                                   HostInterface kind);
+
+} // namespace harmonia
+
+#endif // HARMONIA_HOST_HOST_APP_H_

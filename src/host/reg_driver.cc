@@ -1,0 +1,114 @@
+#include "host/reg_driver.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+RegDriver::RegDriver(Shell &shell) : shell_(shell)
+{
+}
+
+std::uint32_t
+RegDriver::read(const std::string &module, const std::string &reg)
+{
+    const std::uint32_t v =
+        shell_.regs().read(shell_.regs().addrOf(module, reg));
+    log_.push_back({RegDriverOp::Kind::Read, module, reg, v});
+    return v;
+}
+
+void
+RegDriver::write(const std::string &module, const std::string &reg,
+                 std::uint32_t value)
+{
+    shell_.regs().write(shell_.regs().addrOf(module, reg), value);
+    log_.push_back({RegDriverOp::Kind::Write, module, reg, value});
+}
+
+void
+RegDriver::pollBit(const std::string &module, const std::string &reg,
+                   std::uint32_t mask)
+{
+    // The model's status bits settle synchronously; a real driver
+    // spins here. Either way it is one op the software must get right.
+    const std::uint32_t v =
+        shell_.regs().read(shell_.regs().addrOf(module, reg));
+    if ((v & mask) == 0)
+        warn("pollBit: %s.%s bit 0x%x not set (would spin)",
+             module.c_str(), reg.c_str(), mask);
+    log_.push_back({RegDriverOp::Kind::Poll, module, reg, mask});
+}
+
+std::size_t
+RegDriver::initializeAll()
+{
+    const std::size_t before = log_.size();
+
+    for (Rbb *rbb : shell_.rbbs()) {
+        // Walk the vendor instance's own recipe — order matters and
+        // differs per platform (Figure 3d).
+        const std::string window = rbb->name() + ".inst";
+        for (const RegOp &op : rbb->instance().initSequence()) {
+            switch (op.kind) {
+              case RegOp::Kind::Write:
+                write(window, op.regName, op.value);
+                break;
+              case RegOp::Kind::Read:
+                read(window, op.regName);
+                break;
+              case RegOp::Kind::WaitBit:
+                pollBit(window, op.regName, op.value);
+                break;
+            }
+        }
+
+        // Ex-function programming through the RBB control window.
+        switch (rbb->kind()) {
+          case RbbKind::Network:
+            write(rbb->name(), "FILTER_ENABLE", 1);
+            write(rbb->name(), "LOCAL_MAC_LO", 0x33445566);
+            write(rbb->name(), "LOCAL_MAC_HI", 0x1122);
+            write(rbb->name(), "DIRECTOR_MODE", 0);
+            write(rbb->name(), "DIRECTOR_QUEUES", 16);
+            break;
+          case RbbKind::Memory:
+            write(rbb->name(), "INTERLEAVE_EN", 1);
+            write(rbb->name(), "HOTCACHE_EN", 1);
+            write(rbb->name(), "STRIPE_BYTES", 256);
+            break;
+          case RbbKind::Host: {
+            // Queue contexts: select + control per queue.
+            auto &host = static_cast<HostRbb &>(*rbb);
+            const unsigned queues =
+                std::min(64u, host.numQueues());
+            for (unsigned q = 0; q < queues; ++q) {
+                write(rbb->name(), "QUEUE_SEL", q);
+                write(rbb->name(), "QUEUE_RING_LO",
+                      0x10000000 + q * 0x1000);
+                write(rbb->name(), "QUEUE_RING_HI", 0);
+                write(rbb->name(), "QUEUE_CTRL", 1);
+            }
+            break;
+          }
+        }
+    }
+    return log_.size() - before;
+}
+
+std::size_t
+RegDriver::collectAllStats()
+{
+    const std::size_t before = log_.size();
+    for (Rbb *rbb : shell_.rbbs()) {
+        for (const RegisterDesc &d : rbb->ctrlRegs().descriptors())
+            if (d.readOnly)
+                read(rbb->name(), d.name);
+        for (const RegisterDesc &d :
+             rbb->instance().regs().descriptors())
+            if (d.readOnly)
+                read(rbb->name() + ".inst", d.name);
+    }
+    return log_.size() - before;
+}
+
+} // namespace harmonia

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The traditional register-interface host driver: the baseline the
+ * command-based interface is measured against (Figs 3d, 13, Tab 4).
+ * Every control operation is an explicit register read/write against a
+ * module window, and initialization follows each module's own recipe —
+ * including its operational dependencies (wait loops, ordering).
+ */
+
+#ifndef HARMONIA_HOST_REG_DRIVER_H_
+#define HARMONIA_HOST_REG_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+
+/** One entry in the driver's operation log. */
+struct RegDriverOp {
+    enum class Kind { Read, Write, Poll };
+    Kind kind;
+    std::string module;
+    std::string reg;
+    std::uint32_t value = 0;
+};
+
+/**
+ * Register-level driver bound to one shell. Counts every operation it
+ * performs, because each one is a line of platform-specific host code
+ * the user owns.
+ */
+class RegDriver {
+  public:
+    explicit RegDriver(Shell &shell);
+
+    std::uint32_t read(const std::string &module,
+                       const std::string &reg);
+    void write(const std::string &module, const std::string &reg,
+               std::uint32_t value);
+
+    /** Poll @p reg until (value & mask) != 0; models a wait loop. */
+    void pollBit(const std::string &module, const std::string &reg,
+                 std::uint32_t mask);
+
+    /**
+     * Initialize every module by walking its register recipe plus the
+     * Ex-function programming the shell needs (filter, director,
+     * queue contexts). Returns the operation count.
+     */
+    std::size_t initializeAll();
+
+    /** Read every monitoring statistic; returns the read count. */
+    std::size_t collectAllStats();
+
+    std::size_t opCount() const { return log_.size(); }
+    const std::vector<RegDriverOp> &log() const { return log_; }
+    void clearLog() { log_.clear(); }
+
+  private:
+    Shell &shell_;
+    std::vector<RegDriverOp> log_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_HOST_REG_DRIVER_H_

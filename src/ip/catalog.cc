@@ -1,0 +1,65 @@
+#include "ip/catalog.h"
+
+#include "common/logging.h"
+#include "ip/dma_ip.h"
+#include "ip/mac_ip.h"
+#include "ip/memory_ip.h"
+
+namespace harmonia {
+
+const char *
+toString(IpFunction f)
+{
+    switch (f) {
+      case IpFunction::Mac:
+        return "MAC";
+      case IpFunction::Dma:
+        return "DMA";
+      case IpFunction::Ddr:
+        return "DDR";
+      case IpFunction::Hbm:
+        return "HBM";
+      case IpFunction::Pcie:
+        return "PCIe";
+      case IpFunction::Tlp:
+        return "TLP";
+    }
+    return "?";
+}
+
+std::unique_ptr<IpBlock>
+makeIpFor(IpFunction function, Vendor vendor)
+{
+    switch (function) {
+      case IpFunction::Mac:
+        return makeMac(vendor, 100);
+      case IpFunction::Dma:
+      case IpFunction::Pcie:
+      case IpFunction::Tlp:
+        return makeDma(vendor, 4, 16, 128);
+      case IpFunction::Ddr:
+        return makeMemory(vendor, PeripheralKind::Ddr4, 1);
+      case IpFunction::Hbm:
+        // Intel has no modelled HBM controller; Fig 3b compares the
+        // DDR-class controllers for the memory row instead.
+        return makeMemory(Vendor::Xilinx, PeripheralKind::Hbm, 32);
+    }
+    panic("unreachable IP function");
+}
+
+PropertyDiff
+crossVendorDiff(IpFunction function)
+{
+    auto a = makeIpFor(function, Vendor::Xilinx);
+    auto b = makeIpFor(function, Vendor::Intel);
+    return propertyDiff(*a, *b);
+}
+
+std::vector<IpFunction>
+fig3bFunctions()
+{
+    return {IpFunction::Ddr, IpFunction::Tlp, IpFunction::Dma,
+            IpFunction::Pcie, IpFunction::Mac};
+}
+
+} // namespace harmonia

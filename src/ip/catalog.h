@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The vendor-IP catalogue: enumerates the IP pairs that provide the
+ * same function on different vendors' chips, so the motivation study
+ * (Fig 3b) and the platform adapters can reason about cross-vendor
+ * module differences without hand-listing models everywhere.
+ */
+
+#ifndef HARMONIA_IP_CATALOG_H_
+#define HARMONIA_IP_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ip/ip_block.h"
+
+namespace harmonia {
+
+/** Common I/O module functions found in production shells. */
+enum class IpFunction { Mac, Dma, Ddr, Hbm, Pcie, Tlp };
+
+const char *toString(IpFunction f);
+
+/**
+ * Build a representative model of @p function for @p vendor. Functions
+ * without a distinct model (Pcie, Tlp) return the module that embeds
+ * them (the DMA engine carries the PCIe hard IP and TLP layer).
+ */
+std::unique_ptr<IpBlock> makeIpFor(IpFunction function, Vendor vendor);
+
+/**
+ * Cross-vendor property disparity for a module function (Fig 3b):
+ * interface and configuration differences between the Xilinx-family
+ * and Intel-family implementations.
+ */
+PropertyDiff crossVendorDiff(IpFunction function);
+
+/** All functions Fig 3b reports, in the paper's order. */
+std::vector<IpFunction> fig3bFunctions();
+
+} // namespace harmonia
+
+#endif // HARMONIA_IP_CATALOG_H_

@@ -1,0 +1,36 @@
+#include "protocol/avalon_mm.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+std::vector<AvalonMmCommand>
+avalonBurstsFor(Addr addr, std::uint64_t bytes, unsigned beat_bytes,
+                bool write)
+{
+    if (!isPowerOf2(beat_bytes) || beat_bytes > 64)
+        fatal("Avalon beat size must be a power of two <= 64 (got %u)",
+              beat_bytes);
+    if (bytes == 0)
+        fatal("Avalon burst of zero bytes");
+
+    const std::uint64_t total_beats = ceilDiv(bytes, beat_bytes);
+    std::vector<AvalonMmCommand> cmds;
+    Addr cur = addr;
+    std::uint64_t remaining = total_beats;
+    while (remaining > 0) {
+        const std::uint64_t n = std::min<std::uint64_t>(remaining, 2048);
+        AvalonMmCommand c;
+        c.address = cur;
+        c.burstcount = static_cast<std::uint16_t>(n);
+        c.byteenable = mask(beat_bytes);
+        c.write = write;
+        cmds.push_back(c);
+        cur += n * beat_bytes;
+        remaining -= n;
+    }
+    return cmds;
+}
+
+} // namespace harmonia

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Avalon-MM transaction model (Intel-family EMIF/HBM/MCDMA ports).
+ * Avalon encodes a burst as a direct beat count (`burstcount`, 1-based)
+ * with per-byte `byteenable` lanes and a shared command channel —
+ * structurally different from AXI's split channels and len-1 encoding,
+ * which is exactly the disparity the interface wrapper hides.
+ */
+
+#ifndef HARMONIA_PROTOCOL_AVALON_MM_H_
+#define HARMONIA_PROTOCOL_AVALON_MM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace harmonia {
+
+/** An Avalon-MM command. */
+struct AvalonMmCommand {
+    Addr address = 0;
+    std::uint16_t burstcount = 1;   ///< beats, 1-based (1..2048)
+    std::uint64_t byteenable = 0;   ///< lane enables, bit per byte
+    bool write = false;
+};
+
+/** An Avalon-MM read return (readdatavalid beats collected). */
+struct AvalonMmResponse {
+    std::vector<std::uint8_t> data;
+    bool error = false;
+};
+
+/**
+ * Build Avalon commands for a transfer of @p bytes at @p addr on a bus
+ * of @p beat_bytes. Bursts are capped at 2048 beats per the spec's
+ * maximum burstcount width.
+ */
+std::vector<AvalonMmCommand>
+avalonBurstsFor(Addr addr, std::uint64_t bytes, unsigned beat_bytes,
+                bool write);
+
+} // namespace harmonia
+
+#endif // HARMONIA_PROTOCOL_AVALON_MM_H_

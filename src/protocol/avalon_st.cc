@@ -1,0 +1,74 @@
+#include "protocol/avalon_st.h"
+
+#include <algorithm>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+std::vector<AvalonStBeat>
+packetToAvalonSt(const std::vector<std::uint8_t> &payload,
+                 std::size_t width_bytes, std::uint8_t channel)
+{
+    if (width_bytes == 0 || width_bytes > 255)
+        fatal("Avalon-ST width must be 1..255 bytes (got %zu)",
+              width_bytes);
+    if (payload.empty())
+        fatal("Avalon-ST packets must carry at least one byte");
+
+    std::vector<AvalonStBeat> beats;
+    beats.reserve(ceilDiv(payload.size(), width_bytes));
+    for (std::size_t off = 0; off < payload.size(); off += width_bytes) {
+        const std::size_t n =
+            std::min(width_bytes, payload.size() - off);
+        AvalonStBeat b;
+        b.data.assign(payload.begin() + static_cast<long>(off),
+                      payload.begin() + static_cast<long>(off + n));
+        b.data.resize(width_bytes, 0);
+        b.sop = off == 0;
+        b.eop = off + n == payload.size();
+        b.empty =
+            b.eop ? static_cast<std::uint8_t>(width_bytes - n) : 0;
+        b.channel = channel;
+        beats.push_back(std::move(b));
+    }
+    return beats;
+}
+
+std::vector<std::uint8_t>
+avalonStToPacket(const std::vector<AvalonStBeat> &beats)
+{
+    if (beats.empty())
+        fatal("avalonStToPacket: empty beat vector");
+
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i < beats.size(); ++i) {
+        const AvalonStBeat &b = beats[i];
+        const bool is_first = i == 0;
+        const bool is_final = i + 1 == beats.size();
+        if (b.sop != is_first)
+            fatal("Avalon-ST beat %zu: sop %d but first=%d", i,
+                  b.sop ? 1 : 0, is_first ? 1 : 0);
+        if (b.eop != is_final)
+            fatal("Avalon-ST beat %zu: eop %d but final=%d", i,
+                  b.eop ? 1 : 0, is_final ? 1 : 0);
+        if (!b.eop && b.empty != 0)
+            fatal("Avalon-ST beat %zu: empty set without eop", i);
+        if (b.empty >= b.data.size() && b.data.size() > 0 && b.empty != 0)
+            fatal("Avalon-ST beat %zu: empty %u >= width %zu", i,
+                  b.empty, b.data.size());
+        const std::size_t valid = avalonStValidBytes(b);
+        payload.insert(payload.end(), b.data.begin(),
+                       b.data.begin() + static_cast<long>(valid));
+    }
+    return payload;
+}
+
+std::size_t
+avalonStValidBytes(const AvalonStBeat &beat)
+{
+    return beat.data.size() - beat.empty;
+}
+
+} // namespace harmonia

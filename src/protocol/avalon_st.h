@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Avalon-ST beat model — the streaming protocol spoken by Intel-family
+ * IPs (E-tile Ethernet, MCDMA stream ports). Framing differs from AXI:
+ * explicit startofpacket/endofpacket markers and an `empty` count of
+ * invalid trailing bytes on the final beat, instead of byte strobes.
+ */
+
+#ifndef HARMONIA_PROTOCOL_AVALON_ST_H_
+#define HARMONIA_PROTOCOL_AVALON_ST_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace harmonia {
+
+/** One Avalon-ST data beat. */
+struct AvalonStBeat {
+    std::vector<std::uint8_t> data;  ///< bus-width bytes (padded)
+    bool sop = false;                ///< start of packet
+    bool eop = false;                ///< end of packet
+    std::uint8_t empty = 0;          ///< invalid trailing bytes (eop only)
+    std::uint8_t channel = 0;        ///< logical channel number
+    bool error = false;              ///< error sideband
+};
+
+/**
+ * Segment @p payload into Avalon-ST beats on a @p width_bytes bus.
+ * The first beat carries sop, the last carries eop with the correct
+ * `empty` count.
+ */
+std::vector<AvalonStBeat>
+packetToAvalonSt(const std::vector<std::uint8_t> &payload,
+                 std::size_t width_bytes, std::uint8_t channel = 0);
+
+/**
+ * Reassemble a packet, enforcing Avalon-ST rules: sop only on the
+ * first beat, eop only on the last, empty only valid with eop.
+ */
+std::vector<std::uint8_t>
+avalonStToPacket(const std::vector<AvalonStBeat> &beats);
+
+/** Count of valid bytes in a beat. */
+std::size_t avalonStValidBytes(const AvalonStBeat &beat);
+
+} // namespace harmonia
+
+#endif // HARMONIA_PROTOCOL_AVALON_ST_H_

@@ -1,0 +1,38 @@
+#include "protocol/axi_mm.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+std::vector<AxiMmCommand>
+axiBurstsFor(Addr addr, std::uint64_t bytes, unsigned beat_bytes,
+             bool write, std::uint16_t id)
+{
+    if (!isPowerOf2(beat_bytes) || beat_bytes > 128)
+        fatal("AXI beat size must be a power of two <= 128 (got %u)",
+              beat_bytes);
+    if (bytes == 0)
+        fatal("AXI burst of zero bytes");
+
+    const std::uint64_t total_beats = ceilDiv(bytes, beat_bytes);
+    std::vector<AxiMmCommand> cmds;
+    Addr cur = addr;
+    std::uint64_t remaining = total_beats;
+    while (remaining > 0) {
+        const std::uint64_t n = std::min<std::uint64_t>(remaining, 256);
+        AxiMmCommand c;
+        c.addr = cur;
+        c.len = static_cast<std::uint8_t>(n - 1);
+        c.size = static_cast<std::uint8_t>(floorLog2(beat_bytes));
+        c.burst = AxiBurst::Incr;
+        c.id = id;
+        c.write = write;
+        cmds.push_back(c);
+        cur += n * beat_bytes;
+        remaining -= n;
+    }
+    return cmds;
+}
+
+} // namespace harmonia

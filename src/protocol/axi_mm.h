@@ -1,0 +1,65 @@
+/**
+ * @file
+ * AXI4 memory-mapped transaction model (Xilinx-family DDR/HBM/DMA
+ * ports). AXI encodes a burst as (arlen = beats-1, arsize = log2 of
+ * bytes per beat) with independent read/write address channels.
+ */
+
+#ifndef HARMONIA_PROTOCOL_AXI_MM_H_
+#define HARMONIA_PROTOCOL_AXI_MM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace harmonia {
+
+/** AXI burst types; the models use INCR exclusively, like the IPs. */
+enum class AxiBurst : std::uint8_t { Fixed = 0, Incr = 1, Wrap = 2 };
+
+/** An AXI4 address-channel command (AR or AW). */
+struct AxiMmCommand {
+    Addr addr = 0;
+    std::uint8_t len = 0;     ///< beats - 1 (0..255)
+    std::uint8_t size = 0;    ///< log2(bytes per beat), 0..7
+    AxiBurst burst = AxiBurst::Incr;
+    std::uint16_t id = 0;
+    bool write = false;
+
+    /** Beats in the burst. */
+    unsigned beats() const { return static_cast<unsigned>(len) + 1; }
+
+    /** Bytes per beat. */
+    unsigned beatBytes() const { return 1u << size; }
+
+    /** Total burst bytes. */
+    std::uint64_t totalBytes() const
+    {
+        return static_cast<std::uint64_t>(beats()) * beatBytes();
+    }
+};
+
+/** AXI response codes. */
+enum class AxiResp : std::uint8_t { Okay = 0, ExOkay = 1, SlvErr = 2,
+                                    DecErr = 3 };
+
+/** A completed AXI transaction (B or last R). */
+struct AxiMmResponse {
+    std::uint16_t id = 0;
+    AxiResp resp = AxiResp::Okay;
+    std::vector<std::uint8_t> data;  ///< read data; empty for writes
+};
+
+/**
+ * Build the AXI command(s) for a transfer of @p bytes at @p addr on a
+ * bus of @p beat_bytes. Transfers longer than 256 beats are split into
+ * multiple bursts (AXI4 burst-length limit).
+ */
+std::vector<AxiMmCommand>
+axiBurstsFor(Addr addr, std::uint64_t bytes, unsigned beat_bytes,
+             bool write, std::uint16_t id = 0);
+
+} // namespace harmonia
+
+#endif // HARMONIA_PROTOCOL_AXI_MM_H_

@@ -1,0 +1,66 @@
+#include "protocol/axi_stream.h"
+
+#include <bit>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+std::vector<AxisBeat>
+packetToAxis(const std::vector<std::uint8_t> &payload,
+             std::size_t width_bytes)
+{
+    if (width_bytes == 0 || width_bytes > 64)
+        fatal("AXIS width must be 1..64 bytes (got %zu)", width_bytes);
+    if (payload.empty())
+        fatal("AXI4-Stream packets must carry at least one byte");
+
+    std::vector<AxisBeat> beats;
+    beats.reserve(ceilDiv(payload.size(), width_bytes));
+    for (std::size_t off = 0; off < payload.size(); off += width_bytes) {
+        const std::size_t n =
+            std::min(width_bytes, payload.size() - off);
+        AxisBeat b;
+        b.tdata.assign(payload.begin() + static_cast<long>(off),
+                       payload.begin() + static_cast<long>(off + n));
+        b.tdata.resize(width_bytes, 0);
+        b.tkeep = mask(static_cast<unsigned>(n));
+        b.tlast = off + n == payload.size();
+        beats.push_back(std::move(b));
+    }
+    return beats;
+}
+
+std::vector<std::uint8_t>
+axisToPacket(const std::vector<AxisBeat> &beats)
+{
+    if (beats.empty())
+        fatal("axisToPacket: empty beat vector");
+
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i < beats.size(); ++i) {
+        const AxisBeat &b = beats[i];
+        const std::size_t width = b.tdata.size();
+        const std::size_t valid = axisValidBytes(b);
+        if (b.tkeep != mask(static_cast<unsigned>(valid)))
+            fatal("AXIS beat %zu: tkeep not contiguous low-aligned", i);
+        const bool is_final = i + 1 == beats.size();
+        if (!is_final && valid != width)
+            fatal("AXIS beat %zu: partial strobes before tlast", i);
+        if (b.tlast != is_final)
+            fatal("AXIS beat %zu: tlast %d but final=%d", i,
+                  b.tlast ? 1 : 0, is_final ? 1 : 0);
+        payload.insert(payload.end(), b.tdata.begin(),
+                       b.tdata.begin() + static_cast<long>(valid));
+    }
+    return payload;
+}
+
+std::size_t
+axisValidBytes(const AxisBeat &beat)
+{
+    return static_cast<std::size_t>(std::popcount(beat.tkeep));
+}
+
+} // namespace harmonia

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * AXI4-Stream beat model — the streaming protocol spoken by the
+ * Xilinx-family IPs (CMAC, QDMA stream ports). Framing is tkeep+tlast:
+ * there is no start-of-packet marker and byte validity is a per-byte
+ * strobe.
+ */
+
+#ifndef HARMONIA_PROTOCOL_AXI_STREAM_H_
+#define HARMONIA_PROTOCOL_AXI_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace harmonia {
+
+/** One AXI4-Stream data beat. */
+struct AxisBeat {
+    std::vector<std::uint8_t> tdata;  ///< bus-width bytes (padded)
+    std::uint64_t tkeep = 0;          ///< byte-valid strobes, bit per byte
+    bool tlast = false;               ///< end of packet
+    std::uint64_t tuser = 0;          ///< sideband (errors, timestamps)
+};
+
+/**
+ * Segment @p payload into AXI4-Stream beats on a @p width_bytes bus
+ * (width <= 64 so tkeep fits one word). Every beat's tdata is exactly
+ * bus width, zero-padded past the strobed bytes.
+ */
+std::vector<AxisBeat>
+packetToAxis(const std::vector<std::uint8_t> &payload,
+             std::size_t width_bytes);
+
+/**
+ * Reassemble a packet from beats. Enforces the AXI4-Stream packet
+ * rules the wrapper relies on: contiguous low-aligned tkeep, full
+ * strobes on all but the tlast beat, tlast terminating the vector.
+ */
+std::vector<std::uint8_t> axisToPacket(const std::vector<AxisBeat> &beats);
+
+/** Count of valid bytes in a beat (population of tkeep). */
+std::size_t axisValidBytes(const AxisBeat &beat);
+
+} // namespace harmonia
+
+#endif // HARMONIA_PROTOCOL_AXI_STREAM_H_

@@ -1,0 +1,65 @@
+#include "protocol/translate.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+AvalonStBeat
+axisToAvalonSt(const AxisBeat &beat, bool is_first)
+{
+    const std::size_t width = beat.tdata.size();
+    const std::size_t valid = axisValidBytes(beat);
+    if (beat.tkeep != mask(static_cast<unsigned>(valid)))
+        fatal("axisToAvalonSt: non-contiguous tkeep");
+    if (valid == 0)
+        fatal("axisToAvalonSt: null beat (tkeep == 0)");
+
+    AvalonStBeat out;
+    out.data = beat.tdata;
+    out.sop = is_first;
+    out.eop = beat.tlast;
+    out.empty = beat.tlast
+        ? static_cast<std::uint8_t>(width - valid) : 0;
+    if (!beat.tlast && valid != width)
+        fatal("axisToAvalonSt: partial strobes before tlast");
+    return out;
+}
+
+AxisBeat
+avalonStToAxis(const AvalonStBeat &beat)
+{
+    const std::size_t width = beat.data.size();
+    const std::size_t valid = avalonStValidBytes(beat);
+    if (!beat.eop && beat.empty != 0)
+        fatal("avalonStToAxis: empty set without eop");
+
+    AxisBeat out;
+    out.tdata = beat.data;
+    out.tkeep = mask(static_cast<unsigned>(valid));
+    out.tlast = beat.eop;
+    (void)width;
+    return out;
+}
+
+std::vector<AvalonStBeat>
+axisPacketToAvalonSt(const std::vector<AxisBeat> &beats)
+{
+    std::vector<AvalonStBeat> out;
+    out.reserve(beats.size());
+    for (std::size_t i = 0; i < beats.size(); ++i)
+        out.push_back(axisToAvalonSt(beats[i], i == 0));
+    return out;
+}
+
+std::vector<AxisBeat>
+avalonStPacketToAxis(const std::vector<AvalonStBeat> &beats)
+{
+    std::vector<AxisBeat> out;
+    out.reserve(beats.size());
+    for (const auto &b : beats)
+        out.push_back(avalonStToAxis(b));
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Beat-level translation between the vendor streaming protocols. These
+ * are the pure conversion functions inside the lightweight interface
+ * wrappers (§3.2): payload bytes are preserved bit-exactly while the
+ * framing convention (tkeep/tlast vs sop/eop/empty) is re-expressed.
+ */
+
+#ifndef HARMONIA_PROTOCOL_TRANSLATE_H_
+#define HARMONIA_PROTOCOL_TRANSLATE_H_
+
+#include <vector>
+
+#include "protocol/avalon_st.h"
+#include "protocol/axi_stream.h"
+
+namespace harmonia {
+
+/**
+ * Translate one AXI4-Stream beat into Avalon-ST framing.
+ * @param beat     The AXIS beat (contiguous tkeep required).
+ * @param is_first True when this beat starts a packet — AXIS carries
+ *                 no sop, so the wrapper tracks packet state.
+ */
+AvalonStBeat axisToAvalonSt(const AxisBeat &beat, bool is_first);
+
+/** Translate one Avalon-ST beat into AXI4-Stream framing. */
+AxisBeat avalonStToAxis(const AvalonStBeat &beat);
+
+/** Translate a whole packet's beats AXIS -> Avalon-ST. */
+std::vector<AvalonStBeat>
+axisPacketToAvalonSt(const std::vector<AxisBeat> &beats);
+
+/** Translate a whole packet's beats Avalon-ST -> AXIS. */
+std::vector<AxisBeat>
+avalonStPacketToAxis(const std::vector<AvalonStBeat> &beats);
+
+} // namespace harmonia
+
+#endif // HARMONIA_PROTOCOL_TRANSLATE_H_

@@ -1,0 +1,142 @@
+#include "roles/l4lb.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+namespace {
+/** Mixes a flow hash with a server id for rendezvous hashing. */
+std::uint64_t
+rendezvousScore(std::uint64_t flow_hash, unsigned server)
+{
+    std::uint64_t z =
+        flow_hash ^ (0x9e3779b97f4a7c15ULL * (server + 1));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return z ^ (z >> 27);
+}
+} // namespace
+
+Layer4Lb::Layer4Lb(unsigned real_servers)
+    : Role("layer4_lb", RoleArch::BumpInTheWire,
+           standardRequirements()),
+      numServers_(real_servers), healthy_(real_servers, true)
+{
+    if (real_servers == 0)
+        fatal("load balancer needs at least one real server");
+}
+
+RoleRequirements
+Layer4Lb::standardRequirements()
+{
+    RoleRequirements r;
+    r.name = "layer4_lb";
+    r.needsNetwork = true;
+    r.networkGbps = 100;
+    r.networkPorts = 2;  // uplink + downlink
+    r.needsHost = true;
+    r.hostQueues = 32;
+    r.roleLogic = {65000, 88000, 226, 0, 0};
+    r.roleLoc = 7010;
+    return r;
+}
+
+void
+Layer4Lb::setServerHealthy(unsigned server, bool healthy)
+{
+    if (server >= numServers_)
+        fatal("server %u out of range (%u)", server, numServers_);
+    healthy_[server] = healthy;
+}
+
+unsigned
+Layer4Lb::pickServer(std::uint64_t flow_hash) const
+{
+    unsigned best = 0;
+    std::uint64_t best_score = 0;
+    bool found = false;
+    for (unsigned s = 0; s < numServers_; ++s) {
+        if (!healthy_[s])
+            continue;
+        const std::uint64_t score = rendezvousScore(flow_hash, s);
+        if (!found || score > best_score) {
+            best = s;
+            best_score = score;
+            found = true;
+        }
+    }
+    if (!found)
+        fatal("no healthy real servers");
+    return best;
+}
+
+bool
+Layer4Lb::isPinned(std::uint64_t flow_hash) const
+{
+    return connTable_.count(flow_hash) != 0;
+}
+
+unsigned
+Layer4Lb::pinnedServer(std::uint64_t flow_hash) const
+{
+    auto it = connTable_.find(flow_hash);
+    if (it == connTable_.end())
+        fatal("flow %llx is not pinned",
+              static_cast<unsigned long long>(flow_hash));
+    return it->second;
+}
+
+unsigned
+Layer4Lb::processFlowPacket(std::uint64_t flow_hash, FlowPhase phase)
+{
+    auto it = connTable_.find(flow_hash);
+    if (it != connTable_.end()) {
+        stats().counter("table_hits").inc();
+        const unsigned server = it->second;
+        if (phase == FlowPhase::Fin) {
+            connTable_.erase(it);
+            stats().counter("flows_closed").inc();
+        }
+        return server;
+    }
+
+    stats().counter("table_misses").inc();
+    const unsigned server = pickServer(flow_hash);
+    if (phase != FlowPhase::Fin) {
+        if (connTable_.size() >= kConnTableCapacity) {
+            // Bounded table: drop the oldest bucket entry.
+            connTable_.erase(connTable_.begin());
+            stats().counter("evictions").inc();
+        }
+        connTable_.emplace(flow_hash, server);
+        stats().counter("flows_opened").inc();
+    }
+    return server;
+}
+
+void
+Layer4Lb::tick()
+{
+    if (!active())
+        return;
+
+    NetworkRbb &uplink = shell().network(0);
+    NetworkRbb &downlink = shell().networkCount() > 1
+                               ? shell().network(1)
+                               : shell().network(0);
+
+    while (uplink.rxAvailable() && downlink.txReady()) {
+        PacketDesc pkt = uplink.rxPop();
+        FlowPhase phase = FlowPhase::Data;
+        if (pkt.flags & kFlagSyn)
+            phase = FlowPhase::Syn;
+        else if (pkt.flags & kFlagFin)
+            phase = FlowPhase::Fin;
+        const unsigned server = processFlowPacket(pkt.flowHash, phase);
+        pkt.queue = static_cast<std::uint16_t>(server % 1024);
+        stats().counter("forwarded_packets").inc();
+        stats().counter("forwarded_bytes").inc(pkt.bytes);
+        downlink.txPush(pkt);
+    }
+}
+
+} // namespace harmonia

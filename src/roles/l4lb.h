@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Layer-4 LB role (Table 2): a stateful SmartNIC load balancer in the
+ * Tiara/Maglev mould. New flows pick a real server by rendezvous
+ * hashing; established flows stay pinned through a bounded connection
+ * table so server-set changes never break existing connections.
+ */
+
+#ifndef HARMONIA_ROLES_L4LB_H_
+#define HARMONIA_ROLES_L4LB_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "roles/role.h"
+#include "workload/flow_gen.h"
+
+namespace harmonia {
+
+/** The Layer-4 load balancer role. */
+class Layer4Lb : public Role {
+  public:
+    /** @param real_servers Size of the backend pool. */
+    explicit Layer4Lb(unsigned real_servers = 64);
+
+    static RoleRequirements standardRequirements();
+
+    /** Connection-table capacity before eviction. */
+    static constexpr std::size_t kConnTableCapacity = 1 << 16;
+
+    unsigned realServers() const { return numServers_; }
+
+    /** Add/remove a backend (consistent behaviour for pinned flows). */
+    void setServerHealthy(unsigned server, bool healthy);
+
+    /** Rendezvous-hash choice among healthy servers. */
+    unsigned pickServer(std::uint64_t flow_hash) const;
+
+    /** Current pin for a flow, if any (exposed for tests). */
+    bool isPinned(std::uint64_t flow_hash) const;
+    unsigned pinnedServer(std::uint64_t flow_hash) const;
+
+    std::size_t connectionCount() const { return connTable_.size(); }
+
+    /**
+     * Process one flow packet (SYN inserts, FIN removes). Returns the
+     * chosen server. Exposed so tests and the datapath share logic.
+     */
+    unsigned processFlowPacket(std::uint64_t flow_hash,
+                               FlowPhase phase);
+
+    void tick() override;
+
+  private:
+    unsigned numServers_;
+    std::vector<bool> healthy_;
+    std::unordered_map<std::uint64_t, unsigned> connTable_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_ROLES_L4LB_H_

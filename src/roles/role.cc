@@ -1,0 +1,84 @@
+#include "roles/role.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+const char *
+toString(RoleArch arch)
+{
+    switch (arch) {
+      case RoleArch::BumpInTheWire:
+        return "BITW";
+      case RoleArch::LookAside:
+        return "Look-aside";
+      case RoleArch::Infrastructure:
+        return "Infrastructure";
+    }
+    return "?";
+}
+
+Role::Role(std::string name, RoleArch arch, RoleRequirements reqs)
+    : Component(std::move(name)), arch_(arch), reqs_(std::move(reqs)),
+      stats_(this->name())
+{
+}
+
+void
+Role::bind(Engine &engine, Shell &shell, std::uint8_t slot)
+{
+    if (shell_ != nullptr)
+        fatal("role '%s' is already bound to shell '%s'",
+              name().c_str(), shell_->name().c_str());
+
+    const RoleRequirements &r = reqs_;
+    if (r.needsNetwork && shell.networkCount() < r.networkPorts)
+        fatal("role '%s' needs %u network port(s); shell '%s' has %zu",
+              name().c_str(), r.networkPorts, shell.name().c_str(),
+              shell.networkCount());
+    if (r.needsMemory && shell.memoryCount() == 0)
+        fatal("role '%s' needs memory; shell '%s' has none",
+              name().c_str(), shell.name().c_str());
+    if (r.needsHost && !shell.hasHost())
+        fatal("role '%s' needs the host RBB; shell '%s' lacks it",
+              name().c_str(), shell.name().c_str());
+
+    shell_ = &shell;
+    slot_ = slot;
+    engine.add(this, shell.userClock());
+    shell.kernel().registerTarget(kRoleRbbIdBase, slot, this);
+}
+
+Shell &
+Role::shell()
+{
+    if (shell_ == nullptr)
+        panic("role '%s' used before bind()", name().c_str());
+    return *shell_;
+}
+
+const Shell &
+Role::shell() const
+{
+    return const_cast<Role *>(this)->shell();
+}
+
+CommandResult
+Role::executeCommand(std::uint16_t code,
+                     const std::vector<std::uint32_t> &data)
+{
+    if (code == kCmdStatsSnapshot) {
+        const std::uint32_t start = data.empty() ? 0 : data[0];
+        const auto snap = stats_.snapshot();
+        CommandResult res;
+        res.data.push_back(static_cast<std::uint32_t>(snap.size()));
+        for (std::size_t i = start;
+             i < snap.size() && res.data.size() < 16; ++i)
+            res.data.push_back(
+                static_cast<std::uint32_t>(snap[i].second));
+        return res;
+    }
+    return {kCmdUnknownCode, {}};
+}
+
+} // namespace harmonia

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Role base class: the user-owned application logic deployed in the
+ * FPGA's role partition. Roles bind to a shell's RBBs, run in the user
+ * clock domain, and may expose their own command targets.
+ */
+
+#ifndef HARMONIA_ROLES_ROLE_H_
+#define HARMONIA_ROLES_ROLE_H_
+
+#include <string>
+
+#include "cmd/command.h"
+#include "common/stats.h"
+#include "shell/tailoring.h"
+#include "shell/unified_shell.h"
+#include "sim/component.h"
+
+namespace harmonia {
+
+/** Acceleration architectures (paper Table 2). */
+enum class RoleArch {
+    BumpInTheWire,  ///< on-path packet processing
+    LookAside,      ///< request/response offload
+    Infrastructure, ///< board/infra services
+};
+
+const char *toString(RoleArch arch);
+
+/** DstID space where roles register their command targets. */
+constexpr std::uint8_t kRoleRbbIdBase = 0x10;
+
+/**
+ * Base role. Concrete roles implement bind() to attach to the shell's
+ * RBBs and tick() for their datapath.
+ */
+class Role : public Component, public CommandTarget {
+  public:
+    Role(std::string name, RoleArch arch, RoleRequirements reqs);
+
+    RoleArch arch() const { return arch_; }
+    const RoleRequirements &requirements() const { return reqs_; }
+
+    /**
+     * Attach to @p shell and register on its user clock. fatal() when
+     * the shell lacks an RBB the role requires. @p slot selects the
+     * role partition (command instance id) for multi-tenant shells.
+     */
+    virtual void bind(Engine &engine, Shell &shell,
+                      std::uint8_t slot = 0);
+
+    /**
+     * Whether the role partition is live. Partial reconfiguration
+     * deactivates a role while its slot is being rewritten; concrete
+     * roles gate their datapaths on this.
+     */
+    bool active() const { return active_; }
+    void setActive(bool on) { active_ = on; }
+
+    /** Slot assigned at bind time. */
+    std::uint8_t slot() const { return slot_; }
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Default: roles answer status reads with their stats. */
+    CommandResult
+    executeCommand(std::uint16_t code,
+                   const std::vector<std::uint32_t> &data) override;
+
+  protected:
+    Shell &shell();
+    const Shell &shell() const;
+
+  private:
+    RoleArch arch_;
+    RoleRequirements reqs_;
+    Shell *shell_ = nullptr;
+    StatGroup stats_;
+    bool active_ = true;
+    std::uint8_t slot_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_ROLES_ROLE_H_

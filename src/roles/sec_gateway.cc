@@ -1,0 +1,83 @@
+#include "roles/sec_gateway.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+SecGateway::SecGateway()
+    : Role("sec_gateway", RoleArch::BumpInTheWire,
+           standardRequirements())
+{
+}
+
+RoleRequirements
+SecGateway::standardRequirements()
+{
+    RoleRequirements r;
+    r.name = "sec_gateway";
+    r.needsNetwork = true;
+    r.networkGbps = 100;
+    r.networkPorts = 1;
+    r.needsHost = true;
+    r.hostQueues = 16;
+    r.roleLogic = {38000, 52000, 96, 0, 0};
+    r.roleLoc = 3170;
+    return r;
+}
+
+void
+SecGateway::addPolicy(const GatewayPolicy &policy)
+{
+    policies_.push_back(policy);
+}
+
+bool
+SecGateway::allows(std::uint64_t flow_hash) const
+{
+    for (const GatewayPolicy &p : policies_)
+        if (p.matches(flow_hash))
+            return p.allow;
+    return defaultAllow_;
+}
+
+void
+SecGateway::tick()
+{
+    if (!active())
+        return;
+
+    NetworkRbb &net = shell().network();
+    while (net.rxAvailable() && net.txReady()) {
+        PacketDesc pkt = net.rxPop();
+        if (!allows(pkt.flowHash)) {
+            stats().counter("denied_packets").inc();
+            stats().counter("denied_bytes").inc(pkt.bytes);
+            continue;
+        }
+        stats().counter("forwarded_packets").inc();
+        stats().counter("forwarded_bytes").inc(pkt.bytes);
+        net.txPush(pkt);
+    }
+}
+
+CommandResult
+SecGateway::executeCommand(std::uint16_t code,
+                           const std::vector<std::uint32_t> &data)
+{
+    if (code == kCmdTableWrite) {
+        // data: mask_lo, mask_hi, value_lo, value_hi, allow.
+        if (data.size() < 5)
+            return {kCmdBadArgument, {}};
+        GatewayPolicy p;
+        p.mask = (static_cast<std::uint64_t>(data[1]) << 32) | data[0];
+        p.value =
+            (static_cast<std::uint64_t>(data[3]) << 32) | data[2];
+        p.allow = data[4] != 0;
+        addPolicy(p);
+        return {kCmdOk,
+                {static_cast<std::uint32_t>(policies_.size())}};
+    }
+    return Role::executeCommand(code, data);
+}
+
+} // namespace harmonia

@@ -1,0 +1,84 @@
+#include "rtl/arbiter.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+RoundRobinArbiter::RoundRobinArbiter(std::size_t num_slots)
+    : numSlots_(num_slots)
+{
+    if (num_slots == 0)
+        fatal("arbiter needs at least one slot");
+}
+
+std::optional<std::size_t>
+RoundRobinArbiter::grant(const std::function<bool(std::size_t)> &requesting)
+{
+    for (std::size_t i = 0; i < numSlots_; ++i) {
+        const std::size_t slot = (next_ + i) % numSlots_;
+        if (requesting(slot)) {
+            next_ = (slot + 1) % numSlots_;
+            return slot;
+        }
+    }
+    return std::nullopt;
+}
+
+ActiveListArbiter::ActiveListArbiter(std::size_t num_slots)
+    : numSlots_(num_slots), position_(num_slots, 0)
+{
+    if (num_slots == 0)
+        fatal("arbiter needs at least one slot");
+}
+
+void
+ActiveListArbiter::activate(std::size_t slot)
+{
+    if (slot >= numSlots_)
+        fatal("activate: slot %zu out of range (%zu)", slot, numSlots_);
+    if (position_[slot] != 0)
+        return;
+    active_.push_back(slot);
+    position_[slot] = active_.size();
+}
+
+void
+ActiveListArbiter::deactivate(std::size_t slot)
+{
+    if (slot >= numSlots_)
+        fatal("deactivate: slot %zu out of range (%zu)", slot, numSlots_);
+    const std::size_t pos1 = position_[slot];
+    if (pos1 == 0)
+        return;
+    const std::size_t idx = pos1 - 1;
+    const std::size_t last = active_.back();
+    active_[idx] = last;
+    position_[last] = idx + 1;
+    active_.pop_back();
+    position_[slot] = 0;
+    if (cursor_ >= active_.size())
+        cursor_ = 0;
+}
+
+bool
+ActiveListArbiter::isActive(std::size_t slot) const
+{
+    return slot < numSlots_ && position_[slot] != 0;
+}
+
+std::optional<std::size_t>
+ActiveListArbiter::grant(const std::function<bool(std::size_t)> &requesting)
+{
+    const std::size_t n = active_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = (cursor_ + i) % n;
+        const std::size_t slot = active_[idx];
+        if (requesting(slot)) {
+            cursor_ = (idx + 1) % n;
+            return slot;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace harmonia

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Round-robin arbitration. The Host RBB schedules its 1K DMA queues
+ * with an active-list round-robin (§3.3.1); the unified control kernel
+ * arbitrates between software controllers.
+ */
+
+#ifndef HARMONIA_RTL_ARBITER_H_
+#define HARMONIA_RTL_ARBITER_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace harmonia {
+
+/**
+ * Work-conserving round-robin arbiter over a fixed set of requestors.
+ * grant() scans from the slot after the previous winner and returns the
+ * first requesting slot, or nothing when no slot requests.
+ */
+class RoundRobinArbiter {
+  public:
+    explicit RoundRobinArbiter(std::size_t num_slots);
+
+    /**
+     * @param requesting Predicate: does slot i want a grant this cycle?
+     * @return granted slot, if any.
+     */
+    std::optional<std::size_t>
+    grant(const std::function<bool(std::size_t)> &requesting);
+
+    std::size_t numSlots() const { return numSlots_; }
+
+    /** Slot that would be scanned first next call. */
+    std::size_t nextSlot() const { return next_; }
+
+    void reset() { next_ = 0; }
+
+  private:
+    std::size_t numSlots_;
+    std::size_t next_ = 0;
+};
+
+/**
+ * Round-robin over a dynamic membership set (the Host RBB's
+ * active-queue list): only member slots are scanned, so the cost per
+ * grant is O(active) instead of O(total queues).
+ */
+class ActiveListArbiter {
+  public:
+    explicit ActiveListArbiter(std::size_t num_slots);
+
+    /** Mark a slot active (idempotent). */
+    void activate(std::size_t slot);
+
+    /** Mark a slot inactive (idempotent). */
+    void deactivate(std::size_t slot);
+
+    bool isActive(std::size_t slot) const;
+    std::size_t activeCount() const { return active_.size(); }
+
+    /**
+     * Grant the next active slot for which @p requesting holds;
+     * slots that no longer request are skipped but stay active.
+     */
+    std::optional<std::size_t>
+    grant(const std::function<bool(std::size_t)> &requesting);
+
+  private:
+    std::size_t numSlots_;
+    std::vector<std::size_t> active_;      ///< active slots, scan order
+    std::vector<std::size_t> position_;    ///< slot -> index+1 (0 = off)
+    std::size_t cursor_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_RTL_ARBITER_H_

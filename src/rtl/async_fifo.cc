@@ -1,0 +1,19 @@
+#include "rtl/async_fifo.h"
+
+namespace harmonia {
+
+GraySync::GraySync(unsigned stages) : regs_(stages, 0)
+{
+    if (stages < 1)
+        fatal("GraySync needs at least one stage");
+}
+
+void
+GraySync::shift(std::uint64_t src_gray)
+{
+    for (std::size_t i = regs_.size(); i-- > 1;)
+        regs_[i] = regs_[i - 1];
+    regs_[0] = src_gray;
+}
+
+} // namespace harmonia

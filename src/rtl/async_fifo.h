@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Dual-clock FIFO with Gray-coded pointer synchronization — the
+ * building block of Harmonia's parameterized clock-domain crossing
+ * (§3.3.1, Figure 6; design per Cummings SNUG'02).
+ */
+
+#ifndef HARMONIA_RTL_ASYNC_FIFO_H_
+#define HARMONIA_RTL_ASYNC_FIFO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+/**
+ * A multi-flop synchronizer for a Gray-coded pointer crossing into a
+ * foreign clock domain. shift() is called once per destination-domain
+ * cycle; value() is the pointer as seen by that domain, delayed by the
+ * synchronizer depth.
+ */
+class GraySync {
+  public:
+    /** @param stages Number of synchronizer flops (>= 2 in practice). */
+    explicit GraySync(unsigned stages);
+
+    /** One destination-domain clock edge: shift @p src_gray in. */
+    void shift(std::uint64_t src_gray);
+
+    /** The synchronized (delayed) Gray value. */
+    std::uint64_t value() const { return regs_.back(); }
+
+    unsigned stages() const { return static_cast<unsigned>(regs_.size()); }
+
+  private:
+    std::vector<std::uint64_t> regs_;
+};
+
+/**
+ * Dual-clock FIFO. The write side and read side belong to different
+ * clock domains; each domain must call its tick function exactly once
+ * per cycle of its own clock (the shell's CDC component does this).
+ *
+ * Occupancy as seen by each side is conservative, exactly as in real
+ * hardware: the writer may think the FIFO is fuller than it is, the
+ * reader may think it is emptier — never the unsafe direction.
+ */
+template <typename T>
+class AsyncFifo {
+  public:
+    /**
+     * @param capacity    Must be a power of two (pointer arithmetic).
+     * @param sync_stages Synchronizer flops per crossing (default 2).
+     */
+    explicit AsyncFifo(std::size_t capacity, unsigned sync_stages = 2)
+        : capacity_(capacity), storage_(capacity),
+          wptrInRead_(sync_stages), rptrInWrite_(sync_stages)
+    {
+        if (!isPowerOf2(capacity))
+            fatal("AsyncFifo capacity must be a power of two (got %zu)",
+                  capacity);
+    }
+
+    /** One write-domain clock edge: synchronize the read pointer. */
+    void writeTick() { rptrInWrite_.shift(binaryToGray(rptr_)); }
+
+    /** One read-domain clock edge: synchronize the write pointer. */
+    void readTick() { wptrInRead_.shift(binaryToGray(wptr_)); }
+
+    /** Writer-visible free check (conservative). */
+    bool
+    canPush() const
+    {
+        const std::uint64_t rptr_seen =
+            grayToBinary(rptrInWrite_.value());
+        return wptr_ - rptr_seen < capacity_;
+    }
+
+    /** Reader-visible data check (conservative). */
+    bool
+    canPop() const
+    {
+        const std::uint64_t wptr_seen = grayToBinary(wptrInRead_.value());
+        return rptr_ != wptr_seen;
+    }
+
+    void
+    push(T item)
+    {
+        if (!canPush())
+            panic("AsyncFifo push without canPush");
+        storage_[wptr_ % capacity_] = std::move(item);
+        ++wptr_;
+    }
+
+    T
+    pop()
+    {
+        if (!canPop())
+            panic("AsyncFifo pop without canPop");
+        T item = std::move(storage_[rptr_ % capacity_]);
+        ++rptr_;
+        return item;
+    }
+
+    /** True occupancy (testing/monitoring only — not domain-visible). */
+    std::size_t
+    trueSize() const
+    {
+        return static_cast<std::size_t>(wptr_ - rptr_);
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    unsigned syncStages() const { return wptrInRead_.stages(); }
+
+  private:
+    std::size_t capacity_;
+    std::vector<T> storage_;
+    std::uint64_t wptr_ = 0;  ///< write-domain binary pointer
+    std::uint64_t rptr_ = 0;  ///< read-domain binary pointer
+    GraySync wptrInRead_;     ///< wptr as seen by the read domain
+    GraySync rptrInWrite_;    ///< rptr as seen by the write domain
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_RTL_ASYNC_FIFO_H_

@@ -1,0 +1,71 @@
+#include "rtl/crc.h"
+
+#include <array>
+
+namespace harmonia {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256> &
+table()
+{
+    static const std::array<std::uint32_t, 256> t = makeTable();
+    return t;
+}
+
+} // namespace
+
+void
+Crc32::update(const std::uint8_t *data, std::size_t len)
+{
+    const auto &t = table();
+    for (std::size_t i = 0; i < len; ++i)
+        state_ = t[(state_ ^ data[i]) & 0xff] ^ (state_ >> 8);
+}
+
+void
+Crc32::update(const std::vector<std::uint8_t> &data)
+{
+    update(data.data(), data.size());
+}
+
+std::uint32_t
+Crc32::value() const
+{
+    return state_ ^ 0xffffffffu;
+}
+
+void
+Crc32::reset()
+{
+    state_ = 0xffffffffu;
+}
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t len)
+{
+    Crc32 c;
+    c.update(data, len);
+    return c.value();
+}
+
+std::uint32_t
+crc32(const std::vector<std::uint8_t> &data)
+{
+    return crc32(data.data(), data.size());
+}
+
+} // namespace harmonia

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) — the MAC IP models append/verify an
+ * Ethernet FCS with it.
+ */
+
+#ifndef HARMONIA_RTL_CRC_H_
+#define HARMONIA_RTL_CRC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace harmonia {
+
+/** Compute the Ethernet CRC-32 of @p data (reflected, final XOR). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len);
+
+/** Convenience overload for byte vectors. */
+std::uint32_t crc32(const std::vector<std::uint8_t> &data);
+
+/** Incremental CRC-32 builder for streamed data. */
+class Crc32 {
+  public:
+    void update(const std::uint8_t *data, std::size_t len);
+    void update(const std::vector<std::uint8_t> &data);
+    std::uint32_t value() const;
+    void reset();
+
+  private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_RTL_CRC_H_

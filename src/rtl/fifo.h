@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bounded single-clock FIFO. The basic queueing element between stages
+ * inside one clock domain; cross-domain queues use AsyncFifo.
+ */
+
+#ifndef HARMONIA_RTL_FIFO_H_
+#define HARMONIA_RTL_FIFO_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+/**
+ * A bounded FIFO with explicit back-pressure: producers must check
+ * canPush() (the "ready" signal) before push().
+ */
+template <typename T>
+class Fifo {
+  public:
+    explicit Fifo(std::size_t capacity) : capacity_(capacity)
+    {
+        if (capacity == 0)
+            fatal("Fifo capacity must be non-zero");
+    }
+
+    bool canPush() const { return items_.size() < capacity_; }
+    bool canPop() const { return !items_.empty(); }
+
+    std::size_t size() const { return items_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+
+    void
+    push(T item)
+    {
+        if (full())
+            panic("push to full FIFO (producer ignored back-pressure)");
+        items_.push_back(std::move(item));
+    }
+
+    T
+    pop()
+    {
+        if (empty())
+            panic("pop from empty FIFO");
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    const T &
+    front() const
+    {
+        if (empty())
+            panic("front of empty FIFO");
+        return items_.front();
+    }
+
+    void clear() { items_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_RTL_FIFO_H_

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fixed-latency pipeline register chain. The interface wrappers (§3.2)
+ * are "fully pipelined sequential translation logic" that adds a few
+ * fixed cycles of latency without creating bubbles — this models that.
+ */
+
+#ifndef HARMONIA_RTL_PIPELINE_H_
+#define HARMONIA_RTL_PIPELINE_H_
+
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/types.h"
+
+namespace harmonia {
+
+/**
+ * An N-deep shift register of optional payloads. Each cycle the caller
+ * shifts once; at most one item may enter per cycle and items emerge
+ * exactly N cycles later, preserving order and throughput (one item
+ * per cycle — no bubbles are introduced).
+ */
+template <typename T>
+class PipelineReg {
+  public:
+    explicit PipelineReg(unsigned depth) : stages_(depth)
+    {
+        if (depth == 0)
+            fatal("PipelineReg depth must be non-zero");
+    }
+
+    /**
+     * Advance one cycle: shift the pipe, inserting @p in (which may be
+     * empty) and returning whatever falls out of the last stage.
+     */
+    std::optional<T>
+    shift(std::optional<T> in)
+    {
+        std::optional<T> out = std::move(stages_.back());
+        for (std::size_t i = stages_.size(); i-- > 1;)
+            stages_[i] = std::move(stages_[i - 1]);
+        stages_[0] = std::move(in);
+        return out;
+    }
+
+    unsigned depth() const { return static_cast<unsigned>(stages_.size()); }
+
+    /** Number of occupied stages (for drain checks). */
+    unsigned
+    occupancy() const
+    {
+        unsigned n = 0;
+        for (const auto &s : stages_)
+            if (s.has_value())
+                ++n;
+        return n;
+    }
+
+    bool empty() const { return occupancy() == 0; }
+
+  private:
+    std::vector<std::optional<T>> stages_;
+};
+
+/**
+ * A time-stamped delay line: items pushed now become popable after a
+ * fixed latency, with no rate limit — the packet-level view of a fully
+ * pipelined datapath stage. Used where PipelineReg's one-slot-per-
+ * cycle granularity is finer than the model needs.
+ */
+template <typename T>
+class DelayLine {
+  public:
+    void
+    push(T item, Tick ready_at)
+    {
+        if (!items_.empty() && ready_at < items_.back().first)
+            ready_at = items_.back().first;  // preserve FIFO order
+        items_.emplace_back(ready_at, std::move(item));
+    }
+
+    bool
+    ready(Tick now) const
+    {
+        return !items_.empty() && items_.front().first <= now;
+    }
+
+    T
+    pop(Tick now)
+    {
+        if (!ready(now))
+            panic("DelayLine pop before ready");
+        T item = std::move(items_.front().second);
+        items_.pop_front();
+        return item;
+    }
+
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+
+  private:
+    std::deque<std::pair<Tick, T>> items_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_RTL_PIPELINE_H_

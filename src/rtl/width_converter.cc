@@ -1,0 +1,54 @@
+#include "rtl/width_converter.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+ByteRepacker::ByteRepacker(std::size_t out_width) : outWidth_(out_width)
+{
+    if (out_width == 0)
+        fatal("ByteRepacker output width must be non-zero");
+}
+
+void
+ByteRepacker::feed(const Beat &in)
+{
+    residue_.insert(residue_.end(), in.data.begin(), in.data.end());
+    while (residue_.size() >= outWidth_) {
+        Beat b;
+        b.data.assign(residue_.begin(),
+                      residue_.begin() + static_cast<long>(outWidth_));
+        residue_.erase(residue_.begin(),
+                       residue_.begin() + static_cast<long>(outWidth_));
+        b.last = in.last && residue_.empty();
+        out_.push_back(std::move(b));
+    }
+    if (in.last && !residue_.empty()) {
+        Beat b;
+        b.data = std::move(residue_);
+        residue_.clear();
+        b.last = true;
+        out_.push_back(std::move(b));
+    }
+}
+
+Beat
+ByteRepacker::pop()
+{
+    if (out_.empty())
+        panic("ByteRepacker pop with no output ready");
+    Beat b = std::move(out_.front());
+    out_.pop_front();
+    return b;
+}
+
+std::uint64_t
+beatsForBytes(std::uint64_t bytes, std::uint64_t width)
+{
+    if (width == 0)
+        fatal("bus width must be non-zero");
+    return bytes == 0 ? 0 : ceilDiv(bytes, width);
+}
+
+} // namespace harmonia

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Byte-level width conversion between interfaces of different data
+ * widths — what the wrapper/CDC logic does when an RBB at M bits feeds
+ * a role at U bits (§3.3.1).
+ */
+
+#ifndef HARMONIA_RTL_WIDTH_CONVERTER_H_
+#define HARMONIA_RTL_WIDTH_CONVERTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace harmonia {
+
+/** One data beat: up to width-bytes of payload plus framing. */
+struct Beat {
+    std::vector<std::uint8_t> data;  ///< valid payload bytes
+    bool last = false;               ///< end of packet/burst
+};
+
+/**
+ * Re-packs an input beat stream of arbitrary widths into output beats
+ * of exactly @p out_width bytes (the final beat of a packet may be
+ * short). Framing (last) is preserved: an input beat with last=true
+ * flushes the residue.
+ */
+class ByteRepacker {
+  public:
+    explicit ByteRepacker(std::size_t out_width);
+
+    /** Feed one input beat; ready output beats become popable. */
+    void feed(const Beat &in);
+
+    bool hasOutput() const { return !out_.empty(); }
+    Beat pop();
+
+    /** Bytes buffered but not yet emitted. */
+    std::size_t residue() const { return residue_.size(); }
+
+    std::size_t outWidth() const { return outWidth_; }
+
+  private:
+    std::size_t outWidth_;
+    std::vector<std::uint8_t> residue_;
+    std::deque<Beat> out_;
+};
+
+/**
+ * Number of output beats a packet of @p bytes occupies on a bus that
+ * carries @p width bytes per beat.
+ */
+std::uint64_t beatsForBytes(std::uint64_t bytes, std::uint64_t width);
+
+} // namespace harmonia
+
+#endif // HARMONIA_RTL_WIDTH_CONVERTER_H_

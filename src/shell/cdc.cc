@@ -1,0 +1,72 @@
+#include "shell/cdc.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+ParamCdc::ParamCdc(Engine &engine, const std::string &name,
+                   Clock *write_clk, Clock *read_clk,
+                   unsigned write_width_bits, unsigned read_width_bits,
+                   std::size_t capacity, unsigned sync_stages)
+    : writeClk_(write_clk), readClk_(read_clk),
+      writeWidthBytes_(write_width_bits / 8),
+      readWidthBytes_(read_width_bits / 8),
+      fifo_(capacity, sync_stages), writeSide_(name + ".wr", *this, true),
+      readSide_(name + ".rd", *this, false)
+{
+    if (write_width_bits % 8 != 0 || read_width_bits % 8 != 0 ||
+        write_width_bits == 0 || read_width_bits == 0) {
+        fatal("CDC '%s': widths must be whole non-zero bytes",
+              name.c_str());
+    }
+    engine.add(&writeSide_, write_clk);
+    engine.add(&readSide_, read_clk);
+}
+
+bool
+ParamCdc::canPush() const
+{
+    return fifo_.canPush() && writeClk_->cycle() >= writeFreeCycle_;
+}
+
+void
+ParamCdc::push(const PacketDesc &pkt)
+{
+    if (!canPush())
+        panic("ParamCdc push without canPush");
+    fifo_.push(pkt);
+    writeFreeCycle_ =
+        writeClk_->cycle() + ceilDiv(pkt.bytes, writeWidthBytes_);
+}
+
+bool
+ParamCdc::canPop() const
+{
+    return fifo_.canPop() && readClk_->cycle() >= readFreeCycle_;
+}
+
+PacketDesc
+ParamCdc::pop()
+{
+    if (!canPop())
+        panic("ParamCdc pop without canPop");
+    PacketDesc pkt = fifo_.pop();
+    readFreeCycle_ =
+        readClk_->cycle() + ceilDiv(pkt.bytes, readWidthBytes_);
+    return pkt;
+}
+
+double
+ParamCdc::writeBandwidthBps() const
+{
+    return writeClk_->mhz() * 1e6 * writeWidthBytes_ * 8;
+}
+
+double
+ParamCdc::readBandwidthBps() const
+{
+    return readClk_->mhz() * 1e6 * readWidthBytes_ * 8;
+}
+
+} // namespace harmonia

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The parameterized clock-domain crossing of §3.3.1 (Figure 6): an
+ * async FIFO with Gray-coded pointers bridging an RBB at S MHz and
+ * M-bit data to user logic at R MHz and U-bit data. Clock and width
+ * are configurable; selecting instances with S*M = R*U gives lossless
+ * bandwidth.
+ */
+
+#ifndef HARMONIA_SHELL_CDC_H_
+#define HARMONIA_SHELL_CDC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/packet.h"
+#include "rtl/async_fifo.h"
+#include "sim/component.h"
+#include "sim/engine.h"
+
+namespace harmonia {
+
+/**
+ * One direction of packet flow between two clock domains. The write
+ * and read ports each serialize packets at their own width: a packet
+ * of B bytes occupies the port for ceil(B / width_bytes) cycles.
+ */
+class ParamCdc {
+  public:
+    /**
+     * @param engine       Simulation engine (registers the tick sides).
+     * @param name         Base name for the two side components.
+     * @param write_clk    Producer domain.
+     * @param read_clk     Consumer domain.
+     * @param write_width_bits Producer datapath width (M).
+     * @param read_width_bits  Consumer datapath width (U).
+     * @param capacity     FIFO depth in packets (power of two).
+     * @param sync_stages  Gray-pointer synchronizer flops.
+     */
+    ParamCdc(Engine &engine, const std::string &name, Clock *write_clk,
+             Clock *read_clk, unsigned write_width_bits,
+             unsigned read_width_bits, std::size_t capacity = 16,
+             unsigned sync_stages = 2);
+
+    /** Producer-side: port free and FIFO not (visibly) full. */
+    bool canPush() const;
+    void push(const PacketDesc &pkt);
+
+    /** Consumer-side: data (visibly) present and port free. */
+    bool canPop() const;
+    PacketDesc pop();
+
+    /** Producer-side bandwidth S*M in bits/second. */
+    double writeBandwidthBps() const;
+
+    /** Consumer-side bandwidth R*U in bits/second. */
+    double readBandwidthBps() const;
+
+    /** True when the consumer side can absorb the producer side. */
+    bool lossless() const
+    {
+        return readBandwidthBps() >= writeBandwidthBps();
+    }
+
+    unsigned syncStages() const { return fifo_.syncStages(); }
+    std::size_t occupancy() const { return fifo_.trueSize(); }
+
+  private:
+    class Side : public Component {
+      public:
+        Side(std::string name, ParamCdc &parent, bool is_write)
+            : Component(std::move(name)), parent_(parent),
+              isWrite_(is_write)
+        {
+        }
+        void tick() override
+        {
+            if (isWrite_)
+                parent_.fifo_.writeTick();
+            else
+                parent_.fifo_.readTick();
+        }
+
+      private:
+        ParamCdc &parent_;
+        bool isWrite_;
+    };
+
+    Clock *writeClk_;
+    Clock *readClk_;
+    unsigned writeWidthBytes_;
+    unsigned readWidthBytes_;
+    AsyncFifo<PacketDesc> fifo_;
+    Side writeSide_;
+    Side readSide_;
+    Cycles writeFreeCycle_ = 0;
+    Cycles readFreeCycle_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SHELL_CDC_H_

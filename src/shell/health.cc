@@ -1,0 +1,115 @@
+#include "shell/health.h"
+
+#include "cmd/command_codes.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+HealthMonitor::HealthMonitor(std::string name, IrqHub &irqs)
+    : Component(std::move(name)),
+      alarm_(&irqs.line("health_alarm"))
+{
+    resources_ = ResourceVector{900, 1200, 1, 0, 0};
+    refreshSensors();
+}
+
+void
+HealthMonitor::setUtilization(double fraction)
+{
+    if (fraction < 0.0 || fraction > 1.0)
+        fatal("utilization %f outside [0,1]", fraction);
+    utilization_ = fraction;
+}
+
+void
+HealthMonitor::setAmbientMilliC(std::uint32_t milli_c)
+{
+    ambientMilliC_ = milli_c;
+}
+
+void
+HealthMonitor::setTempLimitMilliC(std::uint32_t limit)
+{
+    tempLimitMilliC_ = limit;
+}
+
+void
+HealthMonitor::refreshSensors()
+{
+    // First-order thermal model: ambient + utilization-driven rise
+    // plus a small deterministic ripple from switching activity.
+    const std::uint32_t rise =
+        static_cast<std::uint32_t>(45'000 * utilization_);
+    const std::uint32_t ripple =
+        static_cast<std::uint32_t>((cycle() / 64) % 16) * 125;
+    tempMilliC_ = ambientMilliC_ + rise + ripple;
+
+    powerMilliW_ = static_cast<std::uint32_t>(
+        18'000 + 120'000 * utilization_);
+
+    // Rails droop ~1 mV per 4 W of draw.
+    const std::uint32_t droop = powerMilliW_ / 4000;
+    vccIntMilliV_ = 850 - std::min<std::uint32_t>(droop, 40);
+    vccAuxMilliV_ = 1800 - std::min<std::uint32_t>(droop / 2, 40);
+
+    std::uint32_t new_alarms = 0;
+    if (tempMilliC_ >= tempLimitMilliC_)
+        new_alarms |= kAlarmOverTemp;
+    if (vccIntMilliV_ < 820)
+        new_alarms |= kAlarmVccIntLow;
+    if (vccAuxMilliV_ < 1750)
+        new_alarms |= kAlarmVccAuxLow;
+
+    if (new_alarms & ~alarms_) {
+        alarms_ |= new_alarms;
+        alarm_->raise();  // latency-critical: bypasses the reg plane
+    }
+}
+
+void
+HealthMonitor::tick()
+{
+    // Sensor ADCs convert at a fraction of the fabric clock.
+    if (cycle() % 16 == 0)
+        refreshSensors();
+}
+
+CommandResult
+HealthMonitor::executeCommand(std::uint16_t code,
+                              const std::vector<std::uint32_t> &data)
+{
+    switch (code) {
+      case kCmdSensorRead: {
+        if (data.empty()) {
+            // No index: the full sensor block in one response.
+            return {kCmdOk,
+                    {tempMilliC_, vccIntMilliV_, vccAuxMilliV_,
+                     powerMilliW_, alarms_}};
+        }
+        switch (data[0]) {
+          case kSensorTempMilliC:
+            return {kCmdOk, {tempMilliC_}};
+          case kSensorVccIntMilliV:
+            return {kCmdOk, {vccIntMilliV_}};
+          case kSensorVccAuxMilliV:
+            return {kCmdOk, {vccAuxMilliV_}};
+          case kSensorPowerMilliW:
+            return {kCmdOk, {powerMilliW_}};
+          case kSensorAlarms:
+            return {kCmdOk, {alarms_}};
+          default:
+            return {kCmdBadArgument, {}};
+        }
+      }
+      case kCmdModuleStatusRead:
+        return {kCmdOk, {alarms_ == 0 ? 1u : 0u}};
+      case kCmdModuleReset:
+        alarms_ = 0;
+        alarm_->clear();
+        return {kCmdOk, {}};
+      default:
+        return {kCmdUnknownCode, {}};
+    }
+}
+
+} // namespace harmonia

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Board health monitoring — one of the production-shell
+ * functionalities §2.1 enumerates. Models the sensors a cloud card
+ * exposes (die temperature, rail voltages, per-RBB heartbeats),
+ * alarm thresholds that raise an irq (the latency-critical signal
+ * class of §3.2), and the SensorRead command the BMC and standalone
+ * tools poll with.
+ */
+
+#ifndef HARMONIA_SHELL_HEALTH_H_
+#define HARMONIA_SHELL_HEALTH_H_
+
+#include <vector>
+
+#include "cmd/command.h"
+#include "common/stats.h"
+#include "device/resource.h"
+#include "sim/component.h"
+#include "wrapper/reg_wrapper.h"
+
+namespace harmonia {
+
+/** Sensor indices in the SensorRead command's data[0]. */
+enum HealthSensor : std::uint32_t {
+    kSensorTempMilliC = 0,    ///< die temperature, milli-degC
+    kSensorVccIntMilliV = 1,  ///< core rail, mV
+    kSensorVccAuxMilliV = 2,  ///< aux rail, mV
+    kSensorPowerMilliW = 3,   ///< estimated power draw, mW
+    kSensorAlarms = 4,        ///< latched alarm bit mask
+    kSensorCount = 5,
+};
+
+/** Alarm bits in kSensorAlarms. */
+enum HealthAlarm : std::uint32_t {
+    kAlarmOverTemp = 0x1,
+    kAlarmVccIntLow = 0x2,
+    kAlarmVccAuxLow = 0x4,
+};
+
+/**
+ * The health monitor. Temperature and power follow a first-order
+ * model of the design's utilization plus a deterministic activity
+ * ripple; voltage rails droop slightly under power. Crossing a
+ * threshold latches an alarm and raises the `health_alarm` irq line
+ * immediately — management software clears it via ModuleReset.
+ */
+class HealthMonitor : public Component, public CommandTarget {
+  public:
+    /** Default over-temperature threshold (production cards: ~95C). */
+    static constexpr std::uint32_t kDefaultTempLimitMilliC = 95'000;
+
+    HealthMonitor(std::string name, IrqHub &irqs);
+
+    /**
+     * Tell the monitor how loaded the fabric is; utilization drives
+     * the steady-state temperature and power. Typically called once
+     * after the shell is composed.
+     */
+    void setUtilization(double fraction);
+
+    /** Inject thermal stress (testing / failure injection). */
+    void setAmbientMilliC(std::uint32_t milli_c);
+
+    void setTempLimitMilliC(std::uint32_t limit);
+
+    std::uint32_t temperatureMilliC() const { return tempMilliC_; }
+    std::uint32_t vccIntMilliV() const { return vccIntMilliV_; }
+    std::uint32_t vccAuxMilliV() const { return vccAuxMilliV_; }
+    std::uint32_t powerMilliW() const { return powerMilliW_; }
+    std::uint32_t alarms() const { return alarms_; }
+
+    /** The raw alarm line (subscribe for immediate notification). */
+    IrqLine &alarmLine() { return *alarm_; }
+
+    void tick() override;
+
+    /** SensorRead / StatsSnapshot / ModuleReset handling. */
+    CommandResult
+    executeCommand(std::uint16_t code,
+                   const std::vector<std::uint32_t> &data) override;
+
+    /** Sensor + alarm soft logic (SYSMON wrapper scale). */
+    const ResourceVector &resources() const { return resources_; }
+
+  private:
+    void refreshSensors();
+
+    IrqLine *alarm_;
+    double utilization_ = 0.1;
+    std::uint32_t ambientMilliC_ = 35'000;
+    std::uint32_t tempLimitMilliC_ = kDefaultTempLimitMilliC;
+    std::uint32_t tempMilliC_ = 35'000;
+    std::uint32_t vccIntMilliV_ = 850;
+    std::uint32_t vccAuxMilliV_ = 1800;
+    std::uint32_t powerMilliW_ = 0;
+    std::uint32_t alarms_ = 0;
+    ResourceVector resources_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SHELL_HEALTH_H_

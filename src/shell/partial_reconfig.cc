@@ -1,0 +1,175 @@
+#include "shell/partial_reconfig.h"
+
+#include "cmd/command_codes.h"
+#include "common/logging.h"
+#include "sim/trace.h"
+
+namespace harmonia {
+
+const char *
+toString(PrSlotState state)
+{
+    switch (state) {
+      case PrSlotState::Empty:
+        return "empty";
+      case PrSlotState::Reconfiguring:
+        return "reconfiguring";
+      case PrSlotState::Active:
+        return "active";
+    }
+    return "?";
+}
+
+PrController::PrController(std::string name, Engine &engine,
+                           Shell &shell,
+                           std::vector<ResourceVector> slot_capacities)
+    : Component(std::move(name)), engine_(engine), shell_(shell),
+      stats_(this->name())
+{
+    if (slot_capacities.empty())
+        fatal("PR controller needs at least one slot");
+    for (ResourceVector &cap : slot_capacities)
+        slots_.push_back(Slot{cap, PrSlotState::Empty, nullptr, 0});
+
+    // ICAP wrapper, per-slot decoupling and scrub logic.
+    resources_ = ResourceVector{
+        2400 + 600 * static_cast<std::uint64_t>(slots_.size()),
+        3100 + 800 * static_cast<std::uint64_t>(slots_.size()),
+        4, 0, 0};
+
+    engine.add(this, shell.kernelClock());
+    shell.kernel().registerTarget(kRbbPrCtrl, 0, this);
+}
+
+PrSlotState
+PrController::slotState(std::size_t slot) const
+{
+    if (slot >= slots_.size())
+        fatal("PR slot %zu out of range (%zu)", slot, slots_.size());
+    return slots_[slot].state;
+}
+
+Role *
+PrController::occupant(std::size_t slot) const
+{
+    if (slot >= slots_.size())
+        fatal("PR slot %zu out of range (%zu)", slot, slots_.size());
+    return slots_[slot].role;
+}
+
+Tick
+PrController::reconfigTime(std::size_t slot) const
+{
+    if (slot >= slots_.size())
+        fatal("PR slot %zu out of range (%zu)", slot, slots_.size());
+    const double bits =
+        static_cast<double>(slots_[slot].capacity.lut) * kBitsPerLut;
+    return static_cast<Tick>(bits / 8 / kIcapBandwidth *
+                             kTicksPerSecond);
+}
+
+bool
+PrController::load(std::size_t slot, Role &role)
+{
+    if (slot >= slots_.size())
+        fatal("PR slot %zu out of range (%zu)", slot, slots_.size());
+    Slot &s = slots_[slot];
+    if (s.state != PrSlotState::Empty) {
+        stats_.counter("load_rejected").inc();
+        return false;
+    }
+    if (!role.requirements().roleLogic.fitsIn(s.capacity)) {
+        stats_.counter("load_too_big").inc();
+        return false;
+    }
+
+    role.bind(engine_, shell_, static_cast<std::uint8_t>(slot));
+    role.setActive(false);  // decoupled while the slot is rewritten
+    s.role = &role;
+    s.state = PrSlotState::Reconfiguring;
+    s.doneAt = now() + reconfigTime(slot);
+    stats_.counter("loads").inc();
+    return true;
+}
+
+bool
+PrController::unload(std::size_t slot)
+{
+    if (slot >= slots_.size())
+        fatal("PR slot %zu out of range (%zu)", slot, slots_.size());
+    Slot &s = slots_[slot];
+    if (s.state == PrSlotState::Empty) {
+        stats_.counter("unload_rejected").inc();
+        return false;
+    }
+    if (s.role != nullptr)
+        s.role->setActive(false);
+    s.role = nullptr;
+    s.state = PrSlotState::Empty;
+    s.doneAt = 0;
+    stats_.counter("unloads").inc();
+    return true;
+}
+
+void
+PrController::tick()
+{
+    for (Slot &s : slots_) {
+        if (s.state == PrSlotState::Reconfiguring &&
+            now() >= s.doneAt) {
+            s.state = PrSlotState::Active;
+            if (s.role != nullptr) {
+                s.role->setActive(true);
+                trace(*this, "slot activated with role '%s'",
+                      s.role->name().c_str());
+            }
+            stats_.counter("activations").inc();
+        }
+    }
+}
+
+CommandResult
+PrController::executeCommand(std::uint16_t code,
+                             const std::vector<std::uint32_t> &data)
+{
+    switch (code) {
+      case kCmdPrStatus: {
+        if (data.empty() || data[0] >= slots_.size())
+            return {kCmdBadArgument, {}};
+        const Slot &s = slots_[data[0]];
+        return {kCmdOk,
+                {static_cast<std::uint32_t>(s.state),
+                 static_cast<std::uint32_t>(
+                     s.state == PrSlotState::Reconfiguring
+                         ? (s.doneAt - now()) / 1000
+                         : 0)}};
+      }
+      case kCmdPrUnload: {
+        if (data.empty() || data[0] >= slots_.size())
+            return {kCmdBadArgument, {}};
+        return unload(data[0]) ? CommandResult{kCmdOk, {}}
+                               : CommandResult{kCmdBadArgument, {}};
+      }
+      case kCmdPrLoad:
+        // Loading needs a host-resident bitstream handle; the
+        // software API is load(). The command reports the modelled
+        // reconfiguration cost for the requested slot instead.
+        if (data.empty() || data[0] >= slots_.size())
+            return {kCmdBadArgument, {}};
+        return {kCmdOk,
+                {static_cast<std::uint32_t>(
+                    reconfigTime(data[0]) / 1000)}};
+      case kCmdModuleStatusRead: {
+        std::uint32_t active = 0;
+        for (const Slot &s : slots_)
+            if (s.state == PrSlotState::Active)
+                ++active;
+        return {kCmdOk,
+                {static_cast<std::uint32_t>(slots_.size()), active}};
+      }
+      default:
+        return {kCmdUnknownCode, {}};
+    }
+}
+
+} // namespace harmonia

@@ -1,0 +1,139 @@
+#include "shell/tailoring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+unsigned
+cageGbps(PeripheralKind kind)
+{
+    switch (kind) {
+      case PeripheralKind::Qsfp28:
+        return 100;
+      case PeripheralKind::Qsfp56:
+        return 100;  // modelled MAC rates are 25/100/400
+      case PeripheralKind::Qsfp112:
+        return 400;
+      case PeripheralKind::Dsfp:
+        return 100;
+      default:
+        fatal("peripheral %s is not a network cage", toString(kind));
+    }
+}
+
+std::vector<unsigned>
+supportedMacRates()
+{
+    return {25, 100, 400};
+}
+
+ShellConfig
+unifiedConfigFor(const FpgaDevice &device)
+{
+    ShellConfig cfg;
+    for (const Peripheral &p : device.peripherals) {
+        switch (classOf(p.kind)) {
+          case PeripheralClass::Network:
+            for (unsigned i = 0; i < p.count; ++i)
+                cfg.networks.push_back({cageGbps(p.kind)});
+            break;
+          case PeripheralClass::Memory:
+            cfg.memories.push_back({p.kind, p.channels()});
+            break;
+          case PeripheralClass::Host:
+            cfg.includeHost = true;
+            cfg.hostQueues = 1024;
+            break;
+        }
+    }
+    return cfg;
+}
+
+ShellConfig
+tailorConfigFor(const FpgaDevice &device, const RoleRequirements &role)
+{
+    ShellConfig cfg;
+    cfg.dmaStyle = role.dmaStyle;
+
+    // --- Module-level: network RBBs. ---
+    if (role.needsNetwork) {
+        std::vector<unsigned> cages;
+        for (const Peripheral &p : device.peripherals)
+            if (classOf(p.kind) == PeripheralClass::Network)
+                for (unsigned i = 0; i < p.count; ++i)
+                    cages.push_back(cageGbps(p.kind));
+        std::sort(cages.begin(), cages.end());
+
+        unsigned placed = 0;
+        for (unsigned cage : cages) {
+            if (placed == role.networkPorts)
+                break;
+            if (cage < role.networkGbps)
+                continue;
+            // Select the smallest supported instance covering the
+            // demand, bounded by the cage's own rate.
+            unsigned pick = cage;
+            for (unsigned rate : supportedMacRates()) {
+                if (rate >= role.networkGbps && rate <= cage) {
+                    pick = rate;
+                    break;
+                }
+            }
+            cfg.networks.push_back({pick});
+            ++placed;
+        }
+        if (placed < role.networkPorts)
+            fatal("role '%s' needs %u network port(s) at %uG; device "
+                  "'%s' cannot provide them",
+                  role.name.c_str(), role.networkPorts,
+                  role.networkGbps, device.name.c_str());
+    }
+
+    // --- Module-level: memory RBBs. ---
+    if (role.needsMemory) {
+        const bool has_hbm = device.has(PeripheralKind::Hbm);
+        const bool has_ddr = device.has(PeripheralKind::Ddr4) ||
+                             device.has(PeripheralKind::Ddr3);
+        double ddr_bw = 0;
+        unsigned ddr_channels = 0;
+        PeripheralKind ddr_kind = PeripheralKind::Ddr4;
+        for (const Peripheral &p : device.peripherals) {
+            if (p.kind == PeripheralKind::Ddr4 ||
+                p.kind == PeripheralKind::Ddr3) {
+                ddr_bw += p.peakBandwidth();
+                ddr_channels += p.channels();
+                ddr_kind = p.kind;
+            }
+        }
+
+        const double need_bps = role.memoryBandwidthGBps * 1e9;
+        if (has_ddr && ddr_bw >= need_bps) {
+            cfg.memories.push_back({ddr_kind, ddr_channels});
+        } else if (has_hbm) {
+            cfg.memories.push_back({PeripheralKind::Hbm, 32});
+        } else if (has_ddr) {
+            fatal("role '%s' needs %.1f GB/s of memory bandwidth; "
+                  "device '%s' DDR peaks at %.1f GB/s",
+                  role.name.c_str(), role.memoryBandwidthGBps,
+                  device.name.c_str(), ddr_bw / 1e9);
+        } else {
+            fatal("role '%s' needs external memory; device '%s' has "
+                  "none",
+                  role.name.c_str(), device.name.c_str());
+        }
+    }
+
+    // --- Module-level: host RBB. ---
+    cfg.includeHost = role.needsHost;
+    if (role.needsHost) {
+        if (role.hostQueues == 0 || role.hostQueues > 1024)
+            fatal("role '%s' requests %u host queues (1..1024)",
+                  role.name.c_str(), role.hostQueues);
+        cfg.hostQueues = role.hostQueues;
+    }
+    return cfg;
+}
+
+} // namespace harmonia

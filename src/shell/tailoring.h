@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hierarchical shell tailoring (§3.3.2, Figure 7). Module-level
+ * tailoring removes non-essential RBBs and selects instances matching
+ * the role's data-transfer performance demands; property-level
+ * tailoring then exposes only the role-oriented properties of what
+ * remains. The outputs here are ShellConfigs consumed by Shell.
+ */
+
+#ifndef HARMONIA_SHELL_TAILORING_H_
+#define HARMONIA_SHELL_TAILORING_H_
+
+#include <string>
+#include <vector>
+
+#include "device/database.h"
+#include "ip/ip_block.h"
+
+namespace harmonia {
+
+/** DMA instance styles a role can select (§3.3.2). */
+enum class DmaStyle {
+    Bdma,   ///< bulk transfers
+    Sgdma,  ///< scatter/gather (discrete) transfers
+};
+
+/** One network RBB instance to build. */
+struct NetworkInstanceCfg {
+    unsigned gbps = 100;
+};
+
+/** One memory RBB instance to build. */
+struct MemoryInstanceCfg {
+    PeripheralKind kind = PeripheralKind::Ddr4;
+    unsigned channels = 1;
+};
+
+/** What a shell instance contains after (or without) tailoring. */
+struct ShellConfig {
+    std::vector<NetworkInstanceCfg> networks;
+    std::vector<MemoryInstanceCfg> memories;
+    bool includeHost = true;
+    unsigned hostQueues = 1024;
+    DmaStyle dmaStyle = DmaStyle::Sgdma;
+    double userClockMhz = 250.0;
+};
+
+/**
+ * A role's acceleration requirements — the "Role Demands" input of
+ * Figure 7 plus the role's own logic footprint for compilation and
+ * workload accounting.
+ */
+struct RoleRequirements {
+    std::string name;
+
+    bool needsNetwork = false;
+    unsigned networkGbps = 0;   ///< per-port line rate demanded
+    unsigned networkPorts = 1;
+
+    bool needsMemory = false;
+    double memoryBandwidthGBps = 0;
+    std::uint64_t memoryCapacityBytes = 0;
+
+    bool needsHost = true;
+    unsigned hostQueues = 64;
+    DmaStyle dmaStyle = DmaStyle::Sgdma;
+
+    ResourceVector roleLogic;   ///< the role's own resources
+    std::uint32_t roleLoc = 0;  ///< role development workload
+};
+
+/**
+ * The one-size-fits-all configuration: every peripheral the board has
+ * gets its RBB, at the board's full capability.
+ */
+ShellConfig unifiedConfigFor(const FpgaDevice &device);
+
+/**
+ * Module-level tailoring: the minimal configuration satisfying
+ * @p role on @p device. fatal() when the board lacks a capability the
+ * role requires (roles migrate only to platforms with appropriate
+ * hardware, per the paper's portability definition).
+ */
+ShellConfig tailorConfigFor(const FpgaDevice &device,
+                            const RoleRequirements &role);
+
+/** The line rate an RBB instance must use for a network cage. */
+unsigned cageGbps(PeripheralKind kind);
+
+/** Supported MAC instance rates, ascending. */
+std::vector<unsigned> supportedMacRates();
+
+} // namespace harmonia
+
+#endif // HARMONIA_SHELL_TAILORING_H_

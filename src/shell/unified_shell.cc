@@ -1,0 +1,295 @@
+#include "shell/unified_shell.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
+             std::string name)
+    : engine_(engine), device_(device), config_(std::move(config)),
+      name_(std::move(name)), adapter_(device),
+      kernel_(name_ + ".uck"), health_(name_ + ".health", irqs_)
+{
+    const Vendor chip_vendor = device_.chip().vendor();
+
+    // Clocks for the role and the soft core.
+    userClk_ = engine_.addClock(name_ + ".user_clk",
+                                config_.userClockMhz);
+    adapter_.mapClock("user_clk", config_.userClockMhz);
+    kernelClk_ = engine_.addClock(name_ + ".kernel_clk", 250.0);
+    adapter_.mapClock("kernel_clk", 250.0);
+    engine_.add(&kernel_, kernelClk_);
+
+    // Expand the board's network cages to (kind, per-kind index).
+    std::vector<std::pair<PeripheralKind, unsigned>> cages;
+    {
+        std::map<PeripheralKind, unsigned> next;
+        for (const Peripheral &p : device_.peripherals)
+            if (classOf(p.kind) == PeripheralClass::Network)
+                for (unsigned c = 0; c < p.count; ++c)
+                    cages.emplace_back(p.kind, next[p.kind]++);
+    }
+
+    // --- Network RBBs. ---
+    if (config_.networks.size() > cages.size())
+        fatal("shell '%s': %zu network RBBs requested but device '%s' "
+              "has %zu cages",
+              name_.c_str(), config_.networks.size(),
+              device_.name.c_str(), cages.size());
+    for (std::size_t i = 0; i < config_.networks.size(); ++i) {
+        const auto &[cage_kind, kind_index] = cages[i];
+        if (config_.networks[i].gbps > cageGbps(cage_kind))
+            fatal("shell '%s': %uG MAC exceeds %s cage rate",
+                  name_.c_str(), config_.networks[i].gbps,
+                  toString(cage_kind));
+        adapter_.mapPins(format("net%zu", i), cage_kind, kind_index);
+        auto rbb = std::make_unique<NetworkRbb>(
+            engine_,
+            engine_.addClock(format("%s.net_clk%zu", name_.c_str(), i),
+                             MacIp::clockMhzFor(
+                                 config_.networks[i].gbps)),
+            chip_vendor, config_.networks[i].gbps,
+            static_cast<std::uint8_t>(i));
+        kernel_.registerTarget(rbb->rbbId(), rbb->instanceId(),
+                               rbb.get());
+        regs_.attach(rbb->name(), rbb->ctrlRegs());
+        regs_.attach(rbb->name() + ".inst", rbb->instance().regs());
+        networks_.push_back(std::move(rbb));
+    }
+
+    // --- Memory RBBs. ---
+    {
+        std::map<PeripheralKind, unsigned> next;
+        for (std::size_t i = 0; i < config_.memories.size(); ++i) {
+            const MemoryInstanceCfg &m = config_.memories[i];
+            adapter_.mapPins(format("mem%zu", i), m.kind,
+                             next[m.kind]++);
+            auto rbb = std::make_unique<MemoryRbb>(
+                engine_,
+                engine_.addClock(
+                    format("%s.mem_clk%zu", name_.c_str(), i),
+                    m.kind == PeripheralKind::Hbm ? 450.0 : 300.0),
+                chip_vendor, m.kind, m.channels,
+                static_cast<std::uint8_t>(i));
+            kernel_.registerTarget(rbb->rbbId(), rbb->instanceId(),
+                                   rbb.get());
+            regs_.attach(rbb->name(), rbb->ctrlRegs());
+            regs_.attach(rbb->name() + ".inst",
+                         rbb->instance().regs());
+            memories_.push_back(std::move(rbb));
+        }
+    }
+
+    // --- Host RBB. ---
+    if (config_.includeHost) {
+        const Peripheral &pcie = device_.pcie();
+        unsigned gen = 3;
+        if (pcie.kind == PeripheralKind::PcieGen4)
+            gen = 4;
+        else if (pcie.kind == PeripheralKind::PcieGen5)
+            gen = 5;
+        adapter_.mapPins("host0", pcie.kind, 0);
+        host_ = std::make_unique<HostRbb>(
+            engine_,
+            engine_.addClock(name_ + ".host_clk",
+                             DmaIp::clockMhzFor(gen)),
+            chip_vendor, gen, pcie.lanes, config_.hostQueues, 0,
+            config_.dmaStyle == DmaStyle::Bdma
+                ? DmaEngineStyle::Bulk
+                : DmaEngineStyle::ScatterGather);
+        kernel_.registerTarget(host_->rbbId(), host_->instanceId(),
+                               host_.get());
+        regs_.attach(host_->name(), host_->ctrlRegs());
+        regs_.attach(host_->name() + ".inst", host_->instance().regs());
+    }
+
+    // --- Health monitoring (production-shell functionality). ---
+    engine_.add(&health_, kernelClk_);
+    kernel_.registerTarget(kRbbHealth, 0, &health_);
+    health_.setUtilization(
+        shellResources().maxUtilization(device_.chip().budget));
+}
+
+std::unique_ptr<Shell>
+Shell::makeUnified(Engine &engine, const FpgaDevice &device)
+{
+    return std::make_unique<Shell>(engine, device,
+                                   unifiedConfigFor(device),
+                                   "unified_" + device.name);
+}
+
+std::unique_ptr<Shell>
+Shell::makeTailored(Engine &engine, const FpgaDevice &device,
+                    const RoleRequirements &role)
+{
+    return std::make_unique<Shell>(engine, device,
+                                   tailorConfigFor(device, role),
+                                   role.name + "_" + device.name);
+}
+
+NetworkRbb &
+Shell::network(std::size_t i)
+{
+    if (i >= networks_.size())
+        fatal("shell '%s' has %zu network RBB(s); index %zu",
+              name_.c_str(), networks_.size(), i);
+    return *networks_[i];
+}
+
+MemoryRbb &
+Shell::memory(std::size_t i)
+{
+    if (i >= memories_.size())
+        fatal("shell '%s' has %zu memory RBB(s); index %zu",
+              name_.c_str(), memories_.size(), i);
+    return *memories_[i];
+}
+
+HostRbb &
+Shell::host()
+{
+    if (host_ == nullptr)
+        fatal("shell '%s' was tailored without a host RBB",
+              name_.c_str());
+    return *host_;
+}
+
+std::vector<Rbb *>
+Shell::rbbs()
+{
+    std::vector<Rbb *> out;
+    for (auto &n : networks_)
+        out.push_back(n.get());
+    for (auto &m : memories_)
+        out.push_back(m.get());
+    if (host_)
+        out.push_back(host_.get());
+    return out;
+}
+
+std::vector<const Rbb *>
+Shell::rbbs() const
+{
+    std::vector<const Rbb *> out;
+    for (const auto &n : networks_)
+        out.push_back(n.get());
+    for (const auto &m : memories_)
+        out.push_back(m.get());
+    if (host_)
+        out.push_back(host_.get());
+    return out;
+}
+
+ResourceVector
+Shell::shellResources() const
+{
+    ResourceVector total = kernel_.resources() + health_.resources();
+    for (const Rbb *rbb : rbbs())
+        total += rbb->totalResources() + rbb->wrapperResources();
+    return total;
+}
+
+ResourceVector
+Shell::wrapperResources() const
+{
+    ResourceVector total;
+    for (const Rbb *rbb : rbbs())
+        total += rbb->wrapperResources();
+    return total;
+}
+
+std::vector<ConfigItem>
+Shell::allConfigItems() const
+{
+    std::vector<ConfigItem> out;
+    for (const Rbb *rbb : rbbs()) {
+        const auto items = rbb->allConfigItems();
+        out.insert(out.end(), items.begin(), items.end());
+    }
+    return out;
+}
+
+std::vector<ConfigItem>
+Shell::roleConfigItems() const
+{
+    std::vector<ConfigItem> out;
+    for (const Rbb *rbb : rbbs()) {
+        const auto items = rbb->roleConfigItems();
+        out.insert(out.end(), items.begin(), items.end());
+    }
+    return out;
+}
+
+std::size_t
+Shell::registerInitOps() const
+{
+    std::size_t n = 0;
+    for (const Rbb *rbb : rbbs())
+        n += rbb->registerInitOpCount();
+    return n;
+}
+
+std::size_t
+Shell::commandInitOps() const
+{
+    std::size_t n = 0;
+    for (const Rbb *rbb : rbbs())
+        n += rbb->commandInitCount();
+    return n;
+}
+
+std::size_t
+Shell::monitoringRegOps() const
+{
+    std::size_t n = 0;
+    for (const Rbb *rbb : rbbs())
+        n += rbb->monitoringRegCount();
+    return n;
+}
+
+std::size_t
+Shell::monitoringCommandOps() const
+{
+    std::size_t n = 0;
+    for (const Rbb *rbb : rbbs())
+        n += rbb->monitoringCommandCount();
+    return n;
+}
+
+DevWorkload
+Shell::devWorkload() const
+{
+    DevWorkload total;
+    for (const Rbb *rbb : rbbs()) {
+        const DevWorkload w = rbb->devWorkload();
+        total.instanceLoc += w.instanceLoc;
+        total.reusableLoc += w.reusableLoc;
+        total.controlLoc += w.controlLoc;
+        total.monitorLoc += w.monitorLoc;
+    }
+    return total;
+}
+
+CompileJob
+Shell::compileJob(const std::string &project,
+                  const ResourceVector &role_logic) const
+{
+    CompileJob job;
+    job.projectName = project;
+    job.device = &device_;
+    for (const Rbb *rbb : rbbs())
+        job.modules.push_back(&rbb->instance());
+    ResourceVector soft = kernel_.resources();
+    for (const Rbb *rbb : rbbs()) {
+        soft += rbb->exFunctionResources();
+        soft += rbb->controlMonitorResources();
+        soft += rbb->wrapperResources();
+    }
+    job.shellLogic = soft;
+    job.roleLogic = role_logic;
+    return job;
+}
+
+} // namespace harmonia

@@ -1,0 +1,90 @@
+#include "shell/workload_model.h"
+
+namespace harmonia {
+
+/*
+ * Calibration note
+ * ----------------
+ * Workload weights are handcrafted-LoC equivalents assigned once, in
+ * the constructors of the vendor IPs (instance integration) and RBBs
+ * (reusable / control / monitor logic):
+ *
+ *   RBB      instance  reusable  control  monitor  total
+ *   Network     ~820      3540      470      300   ~5130
+ *   Memory      ~560      6240      750      450   ~8000
+ *   Host       ~1450     12240     1500      920  ~16110
+ *
+ * They are calibrated so the model reproduces the paper's measured
+ * reuse ratios (Fig 14): cross-vendor reuse = reusable/total lands at
+ * 0.69 (Network), 0.78 (Memory), 0.76 (Host); cross-chip reuse =
+ * (total - instance)/total lands at 0.84, 0.93, 0.91. The ratios --
+ * not the absolute LoC -- are what the experiments report, matching
+ * the paper's methodology of measuring relative proportions of
+ * manually developed versus reusable hardware logic.
+ */
+
+const char *
+toString(MigrationKind kind)
+{
+    switch (kind) {
+      case MigrationKind::CrossVendor:
+        return "cross-vendor";
+      case MigrationKind::CrossChip:
+        return "cross-chip";
+    }
+    return "?";
+}
+
+ReuseBreakdown
+rbbReuse(const Rbb &rbb, MigrationKind kind)
+{
+    const DevWorkload w = rbb.devWorkload();
+    ReuseBreakdown out;
+    switch (kind) {
+      case MigrationKind::CrossVendor:
+        // New vendor: instance integration is rewritten, and the
+        // control/monitor logic depends on hardware details that
+        // changed with it.
+        out.reusedLoc = w.reusableLoc;
+        out.redevelopedLoc =
+            w.instanceLoc + w.controlLoc + w.monitorLoc;
+        break;
+      case MigrationKind::CrossChip:
+        // Same vendor, new chip family: modules share design
+        // similarities, so only the instance integration changes.
+        out.reusedLoc = w.reusableLoc + w.controlLoc + w.monitorLoc;
+        out.redevelopedLoc = w.instanceLoc;
+        break;
+    }
+    return out;
+}
+
+double
+rbbReuseFraction(const Rbb &rbb, MigrationKind kind)
+{
+    return rbbReuse(rbb, kind).reuseFraction();
+}
+
+WorkloadSplit
+appWorkloadSplit(const Shell &shell, std::uint32_t role_loc)
+{
+    WorkloadSplit split;
+    split.shellLoc = shell.devWorkload().total();
+    split.roleLoc = role_loc;
+    return split;
+}
+
+double
+appShellReuse(const Shell &shell, MigrationKind kind)
+{
+    std::uint64_t reused = 0;
+    std::uint64_t total = 0;
+    for (const Rbb *rbb : shell.rbbs()) {
+        const ReuseBreakdown b = rbbReuse(*rbb, kind);
+        reused += b.reusedLoc;
+        total += b.reusedLoc + b.redevelopedLoc;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(reused) / total;
+}
+
+} // namespace harmonia

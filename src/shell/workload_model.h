@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Development-workload accounting for the reuse experiments (Figs 3a,
+ * 14, 15). Workload is measured in handcrafted-LoC equivalents
+ * attached to module parts; the calibration rationale is documented in
+ * workload_model.cc.
+ */
+
+#ifndef HARMONIA_SHELL_WORKLOAD_MODEL_H_
+#define HARMONIA_SHELL_WORKLOAD_MODEL_H_
+
+#include "shell/rbb.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+
+/** What kind of platform migration a port represents (§5.3). */
+enum class MigrationKind {
+    CrossVendor,  ///< e.g. device A (Xilinx) -> device C (Intel chip)
+    CrossChip,    ///< same vendor, new chip family (device A -> B)
+};
+
+const char *toString(MigrationKind kind);
+
+/**
+ * Fraction of an RBB's development workload reused when porting it.
+ * Cross-vendor ports redevelop the instance integration and the
+ * hardware-detail-bound control/monitor logic; cross-chip ports
+ * redevelop only the instance integration.
+ */
+double rbbReuseFraction(const Rbb &rbb, MigrationKind kind);
+
+/** Reused / redeveloped LoC for one RBB port. */
+struct ReuseBreakdown {
+    std::uint32_t reusedLoc = 0;
+    std::uint32_t redevelopedLoc = 0;
+
+    double reuseFraction() const
+    {
+        const double total = reusedLoc + redevelopedLoc;
+        return total == 0 ? 0.0 : reusedLoc / total;
+    }
+};
+
+ReuseBreakdown rbbReuse(const Rbb &rbb, MigrationKind kind);
+
+/** Fig 3a: handcraft workload split between shell and role. */
+struct WorkloadSplit {
+    std::uint32_t shellLoc = 0;
+    std::uint32_t roleLoc = 0;
+
+    double shellFraction() const
+    {
+        const double total = shellLoc + roleLoc;
+        return total == 0 ? 0.0 : shellLoc / total;
+    }
+};
+
+WorkloadSplit appWorkloadSplit(const Shell &shell,
+                               std::uint32_t role_loc);
+
+/** Fig 15: whole-shell reuse fraction for an application migration. */
+double appShellReuse(const Shell &shell, MigrationKind kind);
+
+} // namespace harmonia
+
+#endif // HARMONIA_SHELL_WORKLOAD_MODEL_H_

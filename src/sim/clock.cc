@@ -1,0 +1,24 @@
+#include "sim/clock.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+Clock::Clock(std::string name, double mhz)
+    : name_(std::move(name)), mhz_(mhz), period_(periodFromMhz(mhz))
+{
+    if (mhz <= 0.0)
+        fatal("clock '%s': frequency must be positive (got %f MHz)",
+              name_.c_str(), mhz);
+    if (period_ == 0)
+        fatal("clock '%s': frequency %f MHz exceeds the ps time base",
+              name_.c_str(), mhz);
+}
+
+Tick
+Clock::nextEdge(Tick now) const
+{
+    return (now / period_ + 1) * period_;
+}
+
+} // namespace harmonia

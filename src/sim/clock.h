@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Clock domains for the tick-based simulation kernel. FPGA shells are
+ * inherently multi-clock (the paper's RBBs run at S MHz while roles run
+ * at R MHz); every component belongs to exactly one Clock.
+ */
+
+#ifndef HARMONIA_SIM_CLOCK_H_
+#define HARMONIA_SIM_CLOCK_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace harmonia {
+
+/**
+ * A clock domain: a name, a period, and a running cycle count. The
+ * Engine advances clocks; components read their cycle count to convert
+ * between cycles and wall (simulated) time.
+ */
+class Clock {
+  public:
+    /**
+     * @param name Human-readable domain name, e.g. "rbb_clk".
+     * @param mhz  Frequency in MHz; must be positive.
+     */
+    Clock(std::string name, double mhz);
+
+    const std::string &name() const { return name_; }
+    double mhz() const { return mhz_; }
+    Tick period() const { return period_; }
+
+    /** Rising edges seen so far. */
+    Cycles cycle() const { return cycle_; }
+
+    /** Time of the next rising edge strictly after @p now. */
+    Tick nextEdge(Tick now) const;
+
+    /** Convert a cycle count in this domain to simulated time. */
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** Cycles elapsed in @p t time (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / period_; }
+
+  private:
+    friend class Engine;
+    void advance() { ++cycle_; }
+
+    std::string name_;
+    double mhz_;
+    Tick period_;
+    Cycles cycle_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_CLOCK_H_

@@ -1,0 +1,23 @@
+#include "sim/component.h"
+
+#include "sim/engine.h"
+
+namespace harmonia {
+
+Component::Component(std::string name) : name_(std::move(name))
+{
+}
+
+Tick
+Component::now() const
+{
+    return engine_ ? engine_->now() : 0;
+}
+
+Cycles
+Component::cycle() const
+{
+    return clock_ ? clock_->cycle() : 0;
+}
+
+} // namespace harmonia

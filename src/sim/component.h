@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Base class for everything that does work on a clock edge: vendor IP
+ * models, wrappers, RBB logic, roles, the unified control kernel.
+ */
+
+#ifndef HARMONIA_SIM_COMPONENT_H_
+#define HARMONIA_SIM_COMPONENT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/types.h"
+
+namespace harmonia {
+
+class Clock;
+class Engine;
+
+/**
+ * A clocked component. The engine calls tick() once per rising edge of
+ * the component's clock, in registration order within the domain —
+ * register consumers before producers to model registered outputs.
+ */
+class Component {
+  public:
+    explicit Component(std::string name);
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Advance one cycle of this component's clock domain. */
+    virtual void tick() = 0;
+
+    const std::string &name() const { return name_; }
+
+    /** Clock domain; null until registered with an Engine. */
+    Clock *clock() const { return clock_; }
+
+    /** Current simulated time; 0 until registered. */
+    Tick now() const;
+
+    /** Current cycle of this component's clock; 0 until registered. */
+    Cycles cycle() const;
+
+  private:
+    friend class Engine;
+
+    std::string name_;
+    Clock *clock_ = nullptr;
+    Engine *engine_ = nullptr;
+};
+
+/** Wraps a lambda as a Component — handy in tests and benches. */
+class FunctionComponent : public Component {
+  public:
+    FunctionComponent(std::string name, std::function<void()> fn)
+        : Component(std::move(name)), fn_(std::move(fn)) {}
+
+    void tick() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_COMPONENT_H_

@@ -1,0 +1,106 @@
+#include "sim/engine.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+Clock *
+Engine::addClock(const std::string &name, double mhz)
+{
+    domains_.push_back(Domain{std::make_unique<Clock>(name, mhz), {}});
+    return domains_.back().clock.get();
+}
+
+Engine::Domain *
+Engine::findDomain(const Clock *clk)
+{
+    for (auto &d : domains_)
+        if (d.clock.get() == clk)
+            return &d;
+    return nullptr;
+}
+
+void
+Engine::add(Component *c, Clock *clk)
+{
+    if (c == nullptr || clk == nullptr)
+        fatal("Engine::add: null component or clock");
+    Domain *d = findDomain(clk);
+    if (d == nullptr)
+        fatal("clock '%s' does not belong to this engine",
+              clk->name().c_str());
+    if (c->engine_ != nullptr)
+        fatal("component '%s' is already registered", c->name().c_str());
+    c->engine_ = this;
+    c->clock_ = clk;
+    d->components.push_back(c);
+}
+
+void
+Engine::step()
+{
+    if (domains_.empty())
+        fatal("Engine::step with no clock domains");
+
+    Tick next = std::numeric_limits<Tick>::max();
+    for (const auto &d : domains_)
+        next = std::min(next, d.clock->nextEdge(now_));
+
+    now_ = next;
+    for (auto &d : domains_) {
+        if (d.clock->nextEdge(now_ - 1) != now_)
+            continue;
+        d.clock->advance();
+        for (Component *c : d.components)
+            c->tick();
+    }
+}
+
+void
+Engine::runFor(Tick duration)
+{
+    runUntil(now_ + duration);
+}
+
+void
+Engine::runUntil(Tick t)
+{
+    while (true) {
+        Tick next = std::numeric_limits<Tick>::max();
+        for (const auto &d : domains_)
+            next = std::min(next, d.clock->nextEdge(now_));
+        if (next > t)
+            break;
+        step();
+    }
+    now_ = t;
+}
+
+void
+Engine::runCycles(Clock *clk, Cycles n)
+{
+    if (findDomain(clk) == nullptr)
+        fatal("runCycles: clock '%s' not in this engine",
+              clk->name().c_str());
+    const Cycles target = clk->cycle() + n;
+    while (clk->cycle() < target)
+        step();
+}
+
+bool
+Engine::runUntilDone(const std::function<bool()> &done, Tick max_duration)
+{
+    const Tick deadline = now_ + max_duration;
+    if (done())
+        return true;
+    while (now_ < deadline) {
+        step();
+        if (done())
+            return true;
+    }
+    return false;
+}
+
+} // namespace harmonia

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The simulation engine: owns clock domains, registers components, and
+ * advances simulated time edge by edge.
+ */
+
+#ifndef HARMONIA_SIM_ENGINE_H_
+#define HARMONIA_SIM_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/clock.h"
+#include "sim/component.h"
+
+namespace harmonia {
+
+/**
+ * Tick-based multi-clock simulation engine.
+ *
+ * Clocks are owned by the engine; components are not (they usually live
+ * inside a testbench or platform object). Each step advances time to
+ * the earliest pending clock edge and ticks that domain's components in
+ * registration order.
+ */
+class Engine {
+  public:
+    Engine() = default;
+
+    /** Create a clock domain owned by this engine. */
+    Clock *addClock(const std::string &name, double mhz);
+
+    /**
+     * Register @p c on domain @p clk. A component may be registered
+     * exactly once; @p clk must belong to this engine.
+     */
+    void add(Component *c, Clock *clk);
+
+    Tick now() const { return now_; }
+
+    /** Advance exactly one clock edge (possibly several domains). */
+    void step();
+
+    /** Run for @p duration simulated picoseconds. */
+    void runFor(Tick duration);
+
+    /** Run until simulated time reaches @p t. */
+    void runUntil(Tick t);
+
+    /** Run @p n cycles of domain @p clk. */
+    void runCycles(Clock *clk, Cycles n);
+
+    /**
+     * Run until @p done returns true (checked after every edge) or
+     * @p max_duration elapses. Returns true if @p done fired.
+     */
+    bool runUntilDone(const std::function<bool()> &done,
+                      Tick max_duration);
+
+  private:
+    struct Domain {
+        std::unique_ptr<Clock> clock;
+        std::vector<Component *> components;
+    };
+
+    Domain *findDomain(const Clock *clk);
+
+    Tick now_ = 0;
+    std::vector<Domain> domains_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_ENGINE_H_

@@ -1,0 +1,56 @@
+#include "sim/trace.h"
+
+#include <cstdarg>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sim/component.h"
+
+namespace harmonia {
+
+Trace &
+Trace::instance()
+{
+    static Trace t;
+    return t;
+}
+
+void
+Trace::record(Tick tick, std::string who, std::string what)
+{
+    if (!enabled_)
+        return;
+    entries_.push_back({tick, std::move(who), std::move(what)});
+    if (entries_.size() > kCapacity)
+        entries_.pop_front();
+}
+
+std::string
+Trace::dump(std::size_t last_n) const
+{
+    std::string out;
+    const std::size_t start =
+        entries_.size() > last_n ? entries_.size() - last_n : 0;
+    for (std::size_t i = start; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        out += format("%12s  %-24s %s\n",
+                      humanTime(e.tick).c_str(), e.who.c_str(),
+                      e.what.c_str());
+    }
+    return out;
+}
+
+void
+trace(const Component &component, const char *fmt, ...)
+{
+    Trace &t = Trace::instance();
+    if (!t.enabled())
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string what = vformat(fmt, ap);
+    va_end(ap);
+    t.record(component.now(), component.name(), std::move(what));
+}
+
+} // namespace harmonia

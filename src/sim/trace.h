@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lightweight simulation tracing: a bounded ring of time-stamped
+ * events that components append to when tracing is enabled. Debugging
+ * aid for multi-clock testbenches — off by default and free when off.
+ */
+
+#ifndef HARMONIA_SIM_TRACE_H_
+#define HARMONIA_SIM_TRACE_H_
+
+#include <deque>
+#include <string>
+
+#include "common/types.h"
+
+namespace harmonia {
+
+class Component;
+
+/** Process-wide trace ring. */
+class Trace {
+  public:
+    /** One recorded event. */
+    struct Entry {
+        Tick tick = 0;
+        std::string who;
+        std::string what;
+    };
+
+    static constexpr std::size_t kCapacity = 4096;
+
+    static Trace &instance();
+
+    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_; }
+
+    /** Append an event (oldest entries fall off past kCapacity). */
+    void record(Tick tick, std::string who, std::string what);
+
+    const std::deque<Entry> &entries() const { return entries_; }
+    std::size_t size() const { return entries_.size(); }
+    void clear() { entries_.clear(); }
+
+    /** Render the last @p last_n entries, one per line. */
+    std::string dump(std::size_t last_n = kCapacity) const;
+
+  private:
+    Trace() = default;
+
+    bool enabled_ = false;
+    std::deque<Entry> entries_;
+};
+
+/**
+ * Record an event on behalf of a component (no-op when tracing is
+ * disabled — callers may format eagerly only behind enabled()).
+ */
+void trace(const Component &component, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_TRACE_H_

@@ -1,0 +1,52 @@
+#include "workload/flow_gen.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+FlowGenerator::FlowGenerator(const FlowGenConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+    if (cfg_.concurrentFlows == 0)
+        fatal("flow generator needs at least one flow");
+    active_.reserve(cfg_.concurrentFlows);
+    for (std::uint64_t i = 0; i < cfg_.concurrentFlows; ++i) {
+        active_.push_back({rng_.next(), 0, false});
+        ++opened_;
+    }
+}
+
+FlowPacket
+FlowGenerator::next(Tick now)
+{
+    ActiveFlow &flow = active_[cursor_];
+
+    FlowPacket out;
+    out.packet.id = nextPktId_++;
+    out.packet.bytes = cfg_.packetBytes;
+    out.packet.injected = now;
+    out.packet.flowHash = flow.hash;
+
+    if (!flow.synSent) {
+        flow.synSent = true;
+        out.phase = FlowPhase::Syn;
+        out.packet.flags = kFlagSyn;
+        out.packet.bytes = 64;  // SYNs are minimum-size
+    } else if (flow.sent < cfg_.packetsPerFlow) {
+        ++flow.sent;
+        out.phase = FlowPhase::Data;
+    } else {
+        out.phase = FlowPhase::Fin;
+        out.packet.flags = kFlagFin;
+        out.packet.bytes = 64;
+        ++closed_;
+        // Replace with a fresh flow at the same slot.
+        flow = {rng_.next(), 0, false};
+        ++opened_;
+    }
+
+    cursor_ = (cursor_ + 1) % active_.size();
+    return out;
+}
+
+} // namespace harmonia

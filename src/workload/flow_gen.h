@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Stateful flow workload for the Layer-4 load balancer: flows open,
+ * carry a packet train, and close, so connection-table behaviour
+ * (insert, hit, evict) is exercised the way a public-facing VIP sees
+ * traffic.
+ */
+
+#ifndef HARMONIA_WORKLOAD_FLOW_GEN_H_
+#define HARMONIA_WORKLOAD_FLOW_GEN_H_
+
+#include <vector>
+
+#include "workload/packet_gen.h"
+
+namespace harmonia {
+
+/** Flow lifecycle markers carried on packets. */
+enum class FlowPhase { Syn, Data, Fin };
+
+/** One packet of a stateful flow workload. */
+struct FlowPacket {
+    PacketDesc packet;
+    FlowPhase phase = FlowPhase::Data;
+};
+
+/** Configuration for the flow workload. */
+struct FlowGenConfig {
+    std::uint64_t seed = 7;
+    std::uint64_t concurrentFlows = 4096;
+    std::uint32_t packetsPerFlow = 16;  ///< data packets per flow
+    std::uint32_t packetBytes = 256;
+};
+
+/**
+ * Generates an interleaved schedule of flow packets: each active flow
+ * emits SYN, N data packets, FIN; finished flows are replaced by new
+ * ones so the concurrent-flow level stays constant.
+ */
+class FlowGenerator {
+  public:
+    explicit FlowGenerator(const FlowGenConfig &config);
+
+    /** Next packet in the interleaved schedule. */
+    FlowPacket next(Tick now);
+
+    std::uint64_t flowsOpened() const { return opened_; }
+    std::uint64_t flowsClosed() const { return closed_; }
+
+  private:
+    struct ActiveFlow {
+        std::uint64_t hash;
+        std::uint32_t sent = 0;  ///< data packets emitted
+        bool synSent = false;
+    };
+
+    FlowGenConfig cfg_;
+    Rng rng_;
+    std::vector<ActiveFlow> active_;
+    std::uint64_t nextFlowId_ = 0;
+    std::uint64_t nextPktId_ = 0;
+    std::uint64_t opened_ = 0;
+    std::uint64_t closed_ = 0;
+    std::size_t cursor_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOAD_FLOW_GEN_H_

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Matrix-multiplication workload (§5.1): single-precision 64x64
+ * matrix products, the compute-intensive benchmark of Fig 18b. The
+ * functional path computes real results with lane-partitioned
+ * accumulation (as a loop-unrolled FPGA datapath would) and verifies
+ * them against a reference; the timing path counts datapath cycles as
+ * a function of the unroll parallelism.
+ */
+
+#ifndef HARMONIA_WORKLOAD_MATMUL_H_
+#define HARMONIA_WORKLOAD_MATMUL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace harmonia {
+
+/** Workload parameters. */
+struct MatMulConfig {
+    unsigned dim = 64;           ///< square matrix dimension
+    unsigned iterations = 1024;  ///< matrices per measurement
+    unsigned parallelism = 4;    ///< unrolled MAC lanes (x4/x8/x16)
+    double clockMhz = 300.0;     ///< kernel clock
+    std::uint64_t seed = 3;
+};
+
+/** Result of a run. */
+struct MatMulResult {
+    double matricesPerSecond = 0;
+    std::uint64_t cyclesPerMatrix = 0;
+    unsigned dspUsed = 0;
+    bool verified = false;       ///< FPGA result matches reference
+    float maxAbsError = 0;
+};
+
+/** The matmul kernel model. */
+class MatMulWorkload {
+  public:
+    explicit MatMulWorkload(const MatMulConfig &config);
+
+    /** DSP slices one single-precision MAC lane consumes. */
+    static constexpr unsigned kDspPerLane = 5;
+
+    /** Functional + timing run. */
+    MatMulResult run() const;
+
+    /** Reference product (row-major, straight accumulation). */
+    static std::vector<float>
+    reference(const std::vector<float> &a, const std::vector<float> &b,
+              unsigned dim);
+
+    /**
+     * Datapath product: the inner dimension is strided across
+     * `parallelism` accumulator lanes that are summed at the end,
+     * matching the hardware's reduction order.
+     */
+    static std::vector<float>
+    laneProduct(const std::vector<float> &a, const std::vector<float> &b,
+                unsigned dim, unsigned parallelism);
+
+  private:
+    MatMulConfig cfg_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOAD_MATMUL_H_

@@ -1,0 +1,50 @@
+#include "workload/packet_gen.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+PacketGenerator::PacketGenerator(const PacketGenConfig &config)
+    : cfg_(config), rng_(config.seed)
+{
+    if (cfg_.flows == 0)
+        fatal("packet generator needs at least one flow");
+    if (cfg_.sizeMode == SizeMode::Fixed &&
+        (cfg_.fixedBytes < 64 || cfg_.fixedBytes > 9600))
+        fatal("fixed packet size %u outside 64..9600", cfg_.fixedBytes);
+    if (cfg_.foreignFraction + cfg_.multicastFraction > 1.0)
+        fatal("foreign + multicast fractions exceed 1.0");
+}
+
+PacketDesc
+PacketGenerator::next(Tick now)
+{
+    PacketDesc pkt;
+    pkt.id = nextId_++;
+    pkt.injected = now;
+    pkt.flowHash = rng_.nextBounded(cfg_.flows);
+
+    switch (cfg_.sizeMode) {
+      case SizeMode::Fixed:
+        pkt.bytes = cfg_.fixedBytes;
+        break;
+      case SizeMode::Imix: {
+        const std::uint64_t r = rng_.nextBounded(12);
+        pkt.bytes = r < 7 ? 64 : (r < 11 ? 576 : 1500);
+        break;
+      }
+    }
+
+    const double draw = rng_.nextDouble();
+    if (draw < cfg_.multicastFraction) {
+        pkt.multicast = true;
+        pkt.dstMac = 0x01005e000000ULL | rng_.nextBounded(256);
+    } else if (draw < cfg_.multicastFraction + cfg_.foreignFraction) {
+        pkt.dstMac = 0xddccbbaa0000ULL | rng_.nextBounded(4096);
+    } else {
+        pkt.dstMac = cfg_.localMac;
+    }
+    return pkt;
+}
+
+} // namespace harmonia

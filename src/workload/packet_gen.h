@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic synthetic packet workloads standing in for the
+ * production traffic the paper measures against: configurable packet
+ * sizes, flow counts, destination mixes and multicast fractions.
+ */
+
+#ifndef HARMONIA_WORKLOAD_PACKET_GEN_H_
+#define HARMONIA_WORKLOAD_PACKET_GEN_H_
+
+#include <cstdint>
+
+#include "common/packet.h"
+
+namespace harmonia {
+
+/** SplitMix64: small, fast, reproducible PRNG for workloads. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, bound). bound must be non-zero. */
+    std::uint64_t nextBounded(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** Packet-size regimes. */
+enum class SizeMode {
+    Fixed,  ///< every packet is `fixedBytes`
+    Imix,   ///< 7:4:1 mix of 64/576/1500B (classic IMIX)
+};
+
+/** Generator configuration. */
+struct PacketGenConfig {
+    std::uint64_t seed = 1;
+    SizeMode sizeMode = SizeMode::Fixed;
+    std::uint32_t fixedBytes = 256;
+    std::uint64_t flows = 1024;          ///< concurrent flow hashes
+    std::uint64_t localMac = 0x112233445566ULL;
+    double foreignFraction = 0.0;        ///< unicast to other machines
+    double multicastFraction = 0.0;
+};
+
+/** Deterministic packet source. */
+class PacketGenerator {
+  public:
+    explicit PacketGenerator(const PacketGenConfig &config);
+
+    /** Produce the next packet, stamped at @p now. */
+    PacketDesc next(Tick now);
+
+    std::uint64_t generated() const { return nextId_; }
+
+  private:
+    PacketGenConfig cfg_;
+    Rng rng_;
+    std::uint64_t nextId_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOAD_PACKET_GEN_H_

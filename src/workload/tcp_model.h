@@ -1,0 +1,56 @@
+/**
+ * @file
+ * TCP transmission workload (§5.1): two servers whose FPGAs forward
+ * the hosts' TCP traffic, measuring end-to-end throughput and latency
+ * versus packet size — the communication-intensive benchmark of
+ * Fig 18d. Windowed segment/ACK exchange over two peer-connected
+ * Network RBBs.
+ */
+
+#ifndef HARMONIA_WORKLOAD_TCP_MODEL_H_
+#define HARMONIA_WORKLOAD_TCP_MODEL_H_
+
+#include <map>
+
+#include "shell/network_rbb.h"
+#include "sim/engine.h"
+
+namespace harmonia {
+
+/** Session parameters. */
+struct TcpConfig {
+    std::uint32_t segmentBytes = 512;
+    std::uint32_t windowSegments = 32;
+    std::uint64_t totalSegments = 4000;
+};
+
+/** Session outcome. */
+struct TcpResult {
+    std::uint64_t segmentsDelivered = 0;
+    double throughputBps = 0;   ///< goodput (payload bits/s)
+    double avgRttUs = 0;        ///< segment-send to ACK-receive
+};
+
+/**
+ * A windowed reliable byte stream between two Network RBBs whose MACs
+ * are peer-connected (caller wires the link). The sender keeps
+ * `windowSegments` in flight; the receiver ACKs every segment.
+ */
+class TcpSession {
+  public:
+    TcpSession(Engine &engine, NetworkRbb &sender, NetworkRbb &receiver,
+               const TcpConfig &config);
+
+    /** Run to completion; fatal() if @p max_time elapses first. */
+    TcpResult run(Tick max_time = kTicksPerSecond);
+
+  private:
+    Engine &engine_;
+    NetworkRbb &sender_;
+    NetworkRbb &receiver_;
+    TcpConfig cfg_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOAD_TCP_MODEL_H_

@@ -1,0 +1,146 @@
+#include "workload/vector_db.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+const char *
+toString(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::Sequential:
+        return "sequential";
+      case AccessPattern::Fixed:
+        return "fixed";
+      case AccessPattern::Random:
+        return "random";
+    }
+    return "?";
+}
+
+VectorDbWorkload::VectorDbWorkload(Engine &engine, MemoryRbb &memory,
+                                   const VectorDbConfig &config)
+    : engine_(engine), memory_(memory), cfg_(config)
+{
+    if (cfg_.dbVectors == 0 || cfg_.accesses == 0)
+        fatal("vector DB needs a non-empty store and access count");
+    if (cfg_.maxInFlight == 0)
+        fatal("vector DB needs at least one in-flight slot");
+}
+
+Addr
+VectorDbWorkload::addrOf(std::uint64_t index) const
+{
+    return index * cfg_.vectorBytes;
+}
+
+std::uint32_t
+VectorDbWorkload::expectedVector(std::uint64_t index) const
+{
+    // Deterministic mix of index and seed; cheap to recompute.
+    std::uint64_t z = index * 0x9e3779b97f4a7c15ULL + cfg_.seed;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    return static_cast<std::uint32_t>(z >> 32);
+}
+
+void
+VectorDbWorkload::populate()
+{
+    // Page-sized batches keep the sparse store efficient.
+    std::vector<std::uint8_t> batch;
+    const std::uint64_t per_batch = 1024;
+    for (std::uint64_t base = 0; base < cfg_.dbVectors;
+         base += per_batch) {
+        const std::uint64_t n =
+            std::min(per_batch, cfg_.dbVectors - base);
+        batch.assign(n * cfg_.vectorBytes, 0);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const std::uint32_t v = expectedVector(base + i);
+            for (unsigned b = 0; b < 4 && b < cfg_.vectorBytes; ++b)
+                batch[i * cfg_.vectorBytes + b] =
+                    static_cast<std::uint8_t>(v >> (8 * b));
+        }
+        memory_.storeWrite(addrOf(base), batch);
+    }
+}
+
+VectorDbResult
+VectorDbWorkload::run(AccessPattern pattern, bool write)
+{
+    Rng rng(cfg_.seed ^ (write ? 0xface : 0) ^
+            static_cast<std::uint64_t>(pattern));
+
+    std::uint64_t issued = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t in_flight = 0;
+    std::uint64_t latency_sum = 0;
+    std::uint64_t seq_cursor = 0;
+    const Tick started = engine_.now();
+
+    auto next_index = [&]() -> std::uint64_t {
+        switch (pattern) {
+          case AccessPattern::Sequential:
+            return seq_cursor++ % cfg_.dbVectors;
+          case AccessPattern::Fixed:
+            return 42 % cfg_.dbVectors;
+          case AccessPattern::Random:
+            return rng.nextBounded(cfg_.dbVectors);
+        }
+        return 0;
+    };
+
+    while (completed < cfg_.accesses) {
+        // Keep the pipe full.
+        while (issued < cfg_.accesses &&
+               in_flight < cfg_.maxInFlight) {
+            const std::uint64_t index = next_index();
+            const bool ok =
+                write ? memory_.write(addrOf(index), cfg_.vectorBytes,
+                                      index)
+                      : memory_.read(addrOf(index), cfg_.vectorBytes,
+                                     index);
+            if (!ok)
+                break;  // controller back-pressure; tick and retry
+            ++issued;
+            ++in_flight;
+        }
+
+        engine_.step();
+
+        while (memory_.hasCompletion()) {
+            const MemCompletion c = memory_.popCompletion();
+            latency_sum += c.latency();
+            ++completed;
+            --in_flight;
+            if (!write) {
+                const auto bytes = memory_.storeRead(
+                    c.request.addr, cfg_.vectorBytes);
+                std::uint32_t got = 0;
+                for (unsigned b = 0;
+                     b < 4 && b < bytes.size(); ++b)
+                    got |= static_cast<std::uint32_t>(bytes[b])
+                           << (8 * b);
+                const std::uint64_t index =
+                    c.request.addr / cfg_.vectorBytes;
+                if (got != expectedVector(index))
+                    panic("vector %llu corrupted: got %u want %u",
+                          static_cast<unsigned long long>(index), got,
+                          expectedVector(index));
+            }
+        }
+    }
+
+    const double seconds =
+        static_cast<double>(engine_.now() - started) / kTicksPerSecond;
+    VectorDbResult result;
+    result.pattern = pattern;
+    result.write = write;
+    result.vectors = completed;
+    result.vectorsPerSecond =
+        seconds > 0 ? completed / seconds : 0;
+    result.avgLatencyNs =
+        completed ? latency_sum / 1000.0 / completed : 0;
+    return result;
+}
+
+} // namespace harmonia

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Vector-database workload (§5.1 "Database access"): a store of 32-bit
+ * vectors in external memory, accessed sequentially, at a fixed
+ * location, or randomly, measuring vectors processed per second —
+ * the storage-intensive benchmark of Figs 10c and 18c.
+ */
+
+#ifndef HARMONIA_WORKLOAD_VECTOR_DB_H_
+#define HARMONIA_WORKLOAD_VECTOR_DB_H_
+
+#include <string>
+
+#include "shell/memory_rbb.h"
+#include "sim/engine.h"
+#include "workload/packet_gen.h"
+
+namespace harmonia {
+
+/** Access patterns the benchmark sweeps. */
+enum class AccessPattern { Sequential, Fixed, Random };
+
+const char *toString(AccessPattern p);
+
+/** Result of one access-pattern run. */
+struct VectorDbResult {
+    AccessPattern pattern;
+    bool write = false;
+    std::uint64_t vectors = 0;
+    double vectorsPerSecond = 0;
+    double avgLatencyNs = 0;
+};
+
+/** Workload parameters. */
+struct VectorDbConfig {
+    std::uint64_t seed = 11;
+    std::uint32_t vectorBytes = 4;       ///< 32-bit vectors
+    std::uint64_t dbVectors = 1 << 20;   ///< store size in vectors
+    std::uint64_t accesses = 20000;      ///< operations per run
+    std::uint64_t maxInFlight = 32;
+};
+
+/**
+ * Drives a Memory RBB with the configured pattern. populate() fills
+ * the functional store (verifiable reads); run() measures timing.
+ */
+class VectorDbWorkload {
+  public:
+    VectorDbWorkload(Engine &engine, MemoryRbb &memory,
+                     const VectorDbConfig &config);
+
+    /** Fill the functional store with deterministic vectors. */
+    void populate();
+
+    /** Expected value of vector @p index (for read verification). */
+    std::uint32_t expectedVector(std::uint64_t index) const;
+
+    /** Timed run of one pattern; reads verify data integrity. */
+    VectorDbResult run(AccessPattern pattern, bool write);
+
+  private:
+    Addr addrOf(std::uint64_t index) const;
+
+    Engine &engine_;
+    MemoryRbb &memory_;
+    VectorDbConfig cfg_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WORKLOAD_VECTOR_DB_H_

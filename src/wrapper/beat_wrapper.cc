@@ -1,0 +1,41 @@
+#include "wrapper/beat_wrapper.h"
+
+namespace harmonia {
+
+AxisIngressWrapper::AxisIngressWrapper(std::string name)
+    : BeatPipeline(std::move(name),
+                   [this](const AxisBeat &beat) {
+                       const UniformStreamBeat out =
+                           uniformFromAxis(beat, first_);
+                       first_ = beat.tlast;  // next beat starts a pkt
+                       return out;
+                   })
+{
+}
+
+AvalonIngressWrapper::AvalonIngressWrapper(std::string name)
+    : BeatPipeline(std::move(name), [](const AvalonStBeat &beat) {
+          return uniformFromAvalonSt(beat);
+      })
+{
+}
+
+AxisEgressWrapper::AxisEgressWrapper(std::string name,
+                                     std::size_t width_bytes)
+    : BeatPipeline(std::move(name),
+                   [width_bytes](const UniformStreamBeat &beat) {
+                       return uniformToAxis(beat, width_bytes);
+                   })
+{
+}
+
+AvalonEgressWrapper::AvalonEgressWrapper(std::string name,
+                                         std::size_t width_bytes)
+    : BeatPipeline(std::move(name),
+                   [width_bytes](const UniformStreamBeat &beat) {
+                       return uniformToAvalonSt(beat, width_bytes);
+                   })
+{
+}
+
+} // namespace harmonia

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Beat-granular interface wrappers: the cycle-accurate view of the
+ * lightweight wrapper's translation pipeline. Where StreamWrapper
+ * moves packet descriptors (the fast timing model), these components
+ * move real beats through a fixed-depth pipeline, performing the
+ * actual AXI/Avalon <-> uniform field translation each cycle — one
+ * beat in, one beat out, no bubbles.
+ */
+
+#ifndef HARMONIA_WRAPPER_BEAT_WRAPPER_H_
+#define HARMONIA_WRAPPER_BEAT_WRAPPER_H_
+
+#include <functional>
+
+#include "protocol/avalon_st.h"
+#include "protocol/axi_stream.h"
+#include "rtl/fifo.h"
+#include "rtl/pipeline.h"
+#include "sim/component.h"
+#include "wrapper/uniform.h"
+
+namespace harmonia {
+
+/**
+ * A clocked translation pipeline from @p In beats to @p Out beats:
+ * input FIFO -> N-stage pipeline (the converter runs at entry) ->
+ * output FIFO. Fully pipelined: sustains one beat per cycle.
+ */
+template <typename In, typename Out>
+class BeatPipeline : public Component {
+  public:
+    using Convert = std::function<Out(const In &)>;
+
+    BeatPipeline(std::string name, Convert convert, unsigned depth = 3)
+        : Component(std::move(name)), convert_(std::move(convert)),
+          pipe_(depth)
+    {
+    }
+
+    bool canPush() const { return in_.canPush(); }
+    void push(const In &beat) { in_.push(beat); }
+
+    bool canPop() const { return out_.canPop(); }
+    Out pop() { return out_.pop(); }
+
+    unsigned depth() const { return pipe_.depth(); }
+
+    void
+    tick() override
+    {
+        if (!out_.canPush())
+            return;  // back-pressure stalls the whole pipe
+        std::optional<Out> staged;
+        if (in_.canPop())
+            staged = convert_(in_.pop());
+        if (auto done = pipe_.shift(std::move(staged)))
+            out_.push(std::move(*done));
+    }
+
+  private:
+    Convert convert_;
+    Fifo<In> in_{64};
+    PipelineReg<Out> pipe_;
+    Fifo<Out> out_{64};
+};
+
+/** AXIS -> uniform ingress (tracks packet-start state across beats). */
+class AxisIngressWrapper
+    : public BeatPipeline<AxisBeat, UniformStreamBeat> {
+  public:
+    explicit AxisIngressWrapper(std::string name);
+
+  private:
+    bool first_ = true;
+};
+
+/** Avalon-ST -> uniform ingress (sop/eop carry the framing). */
+class AvalonIngressWrapper
+    : public BeatPipeline<AvalonStBeat, UniformStreamBeat> {
+  public:
+    explicit AvalonIngressWrapper(std::string name);
+};
+
+/** Uniform -> AXIS egress at a fixed bus width. */
+class AxisEgressWrapper
+    : public BeatPipeline<UniformStreamBeat, AxisBeat> {
+  public:
+    AxisEgressWrapper(std::string name, std::size_t width_bytes);
+};
+
+/** Uniform -> Avalon-ST egress at a fixed bus width. */
+class AvalonEgressWrapper
+    : public BeatPipeline<UniformStreamBeat, AvalonStBeat> {
+  public:
+    AvalonEgressWrapper(std::string name, std::size_t width_bytes);
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WRAPPER_BEAT_WRAPPER_H_

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Memory-mapped interface wrapper: presents the uniform mem map
+ * interface (address + size) over a vendor memory controller, issuing
+ * the vendor's native burst encoding (AXI arlen/arsize vs Avalon
+ * burstcount) underneath and adding only its fixed pipeline latency.
+ */
+
+#ifndef HARMONIA_WRAPPER_MEMMAP_WRAPPER_H_
+#define HARMONIA_WRAPPER_MEMMAP_WRAPPER_H_
+
+#include <deque>
+
+#include "common/stats.h"
+#include "ip/memory_ip.h"
+#include "protocol/avalon_mm.h"
+#include "protocol/axi_mm.h"
+#include "sim/component.h"
+#include "wrapper/uniform.h"
+
+namespace harmonia {
+
+/**
+ * Wraps one MemoryIp. Requests enter in uniform form; completions
+ * surface through the wrapper with kPipelineDepth extra cycles each
+ * way. The wrapper also exposes the exact vendor burst commands it
+ * would drive, so tests can assert translation correctness.
+ */
+class MemMapWrapper : public Component {
+  public:
+    static constexpr unsigned kPipelineDepth = 3;
+
+    MemMapWrapper(std::string name, MemoryIp &memory);
+
+    MemoryIp &memory() { return memory_; }
+
+    /**
+     * Issue a uniform command on @p channel.
+     * @return false when the controller queue back-pressures.
+     */
+    bool post(unsigned channel, const UniformMemCommand &cmd,
+              std::uint64_t id = 0);
+
+    bool hasCompletion() const;
+    MemCompletion popCompletion();
+
+    void tick() override;
+
+    Tick addedLatency() const;
+
+    /**
+     * The native burst commands the wrapper drives for a uniform
+     * command on this vendor's controller (pure translation).
+     */
+    std::vector<AxiMmCommand>
+    toAxiBursts(const UniformMemCommand &cmd) const;
+    std::vector<AvalonMmCommand>
+    toAvalonBursts(const UniformMemCommand &cmd) const;
+
+    const ResourceVector &resources() const { return resources_; }
+    StatGroup &stats() { return stats_; }
+
+  private:
+    MemoryIp &memory_;
+    std::deque<MemCompletion> out_;
+    ResourceVector resources_;
+    StatGroup stats_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WRAPPER_MEMMAP_WRAPPER_H_

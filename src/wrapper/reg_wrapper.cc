@@ -1,0 +1,99 @@
+#include "wrapper/reg_wrapper.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+Addr
+RegInterconnect::attach(const std::string &module_name,
+                        RegisterFile &regs)
+{
+    if (byName_.count(module_name))
+        fatal("module '%s' already attached to the reg interconnect",
+              module_name.c_str());
+    const Addr base = windows_.size() * kWindowSize;
+    windows_.push_back({module_name, base, &regs});
+    byName_[module_name] = windows_.size() - 1;
+    return base;
+}
+
+const RegInterconnect::Window &
+RegInterconnect::windowFor(Addr uniform_addr) const
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(uniform_addr / kWindowSize);
+    if (idx >= windows_.size())
+        fatal("uniform register address 0x%llx outside all windows",
+              static_cast<unsigned long long>(uniform_addr));
+    return windows_[idx];
+}
+
+std::uint32_t
+RegInterconnect::read(Addr uniform_addr) const
+{
+    const Window &w = windowFor(uniform_addr);
+    return w.regs->read(uniform_addr - w.base);
+}
+
+void
+RegInterconnect::write(Addr uniform_addr, std::uint32_t value)
+{
+    const Window &w = windowFor(uniform_addr);
+    w.regs->write(uniform_addr - w.base, value);
+}
+
+Addr
+RegInterconnect::baseOf(const std::string &module_name) const
+{
+    auto it = byName_.find(module_name);
+    if (it == byName_.end())
+        fatal("module '%s' not attached", module_name.c_str());
+    return windows_[it->second].base;
+}
+
+Addr
+RegInterconnect::addrOf(const std::string &module_name,
+                        const std::string &reg_name) const
+{
+    auto it = byName_.find(module_name);
+    if (it == byName_.end())
+        fatal("module '%s' not attached", module_name.c_str());
+    const Window &w = windows_[it->second];
+    return w.base + w.regs->addrOf(reg_name);
+}
+
+std::size_t
+RegInterconnect::totalRegisters() const
+{
+    std::size_t n = 0;
+    for (const Window &w : windows_)
+        n += w.regs->count();
+    return n;
+}
+
+IrqLine &
+IrqHub::line(const std::string &name)
+{
+    auto it = lines_.find(name);
+    if (it == lines_.end())
+        it = lines_.emplace(name, IrqLine(name)).first;
+    return it->second;
+}
+
+bool
+IrqHub::contains(const std::string &name) const
+{
+    return lines_.count(name) != 0;
+}
+
+std::vector<std::string>
+IrqHub::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(lines_.size());
+    for (const auto &[name, line] : lines_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace harmonia

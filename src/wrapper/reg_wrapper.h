@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The uniform reg control plane: Harmonia "registers diverse control
+ * signals and assigns unique addresses to access them through the
+ * register read/write approach" (§3.2). A RegInterconnect windows
+ * every module's register file into one flat 32-bit address space;
+ * raw latency-critical signals bypass it as irq lines.
+ */
+
+#ifndef HARMONIA_WRAPPER_REG_WRAPPER_H_
+#define HARMONIA_WRAPPER_REG_WRAPPER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ip/ip_block.h"
+#include "wrapper/uniform.h"
+
+namespace harmonia {
+
+/**
+ * Routes uniform register addresses to module register files. Windows
+ * are fixed-size and allocated in registration order, so addresses are
+ * stable for a given shell composition.
+ */
+class RegInterconnect {
+  public:
+    /** Bytes reserved per module window. */
+    static constexpr Addr kWindowSize = 0x1000;
+
+    /** Attach a module's registers; returns the window base address. */
+    Addr attach(const std::string &module_name, RegisterFile &regs);
+
+    std::uint32_t read(Addr uniform_addr) const;
+    void write(Addr uniform_addr, std::uint32_t value);
+
+    /** Window base of a module; fatal() when unknown. */
+    Addr baseOf(const std::string &module_name) const;
+
+    /** Uniform address of a named register within a module. */
+    Addr addrOf(const std::string &module_name,
+                const std::string &reg_name) const;
+
+    std::size_t moduleCount() const { return windows_.size(); }
+
+    /** Total registers reachable through the interconnect. */
+    std::size_t totalRegisters() const;
+
+  private:
+    struct Window {
+        std::string name;
+        Addr base;
+        RegisterFile *regs;
+    };
+    const Window &windowFor(Addr uniform_addr) const;
+
+    std::vector<Window> windows_;
+    std::map<std::string, std::size_t> byName_;
+};
+
+/** Registry of raw irq lines exposed beside the reg plane. */
+class IrqHub {
+  public:
+    /** Create (or fetch) a line by name. */
+    IrqLine &line(const std::string &name);
+
+    bool contains(const std::string &name) const;
+    std::size_t count() const { return lines_.size(); }
+
+    /** Names of all lines, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    std::map<std::string, IrqLine> lines_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WRAPPER_REG_WRAPPER_H_

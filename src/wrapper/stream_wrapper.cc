@@ -1,0 +1,64 @@
+#include "wrapper/stream_wrapper.h"
+
+#include "common/logging.h"
+#include "sim/clock.h"
+
+namespace harmonia {
+
+StreamWrapper::StreamWrapper(std::string name)
+    : Component(std::move(name)), stats_(this->name())
+{
+    // Translation pipeline + sideband FIFO soft logic.
+    resources_ = ResourceVector{1750, 2400, 4, 0, 0};
+}
+
+Tick
+StreamWrapper::addedLatency() const
+{
+    if (clock() == nullptr)
+        panic("StreamWrapper '%s' used before engine registration",
+              name().c_str());
+    return kPipelineDepth * clock()->period();
+}
+
+void
+StreamWrapper::ingressPush(const PacketDesc &pkt)
+{
+    ingress_.push(pkt, now() + addedLatency());
+    stats_.counter("ingress_packets").inc();
+    stats_.counter("ingress_bytes").inc(pkt.bytes);
+}
+
+bool
+StreamWrapper::ingressAvailable() const
+{
+    return ingress_.ready(now());
+}
+
+PacketDesc
+StreamWrapper::ingressPop()
+{
+    return ingress_.pop(now());
+}
+
+void
+StreamWrapper::egressPush(const PacketDesc &pkt)
+{
+    egress_.push(pkt, now() + addedLatency());
+    stats_.counter("egress_packets").inc();
+    stats_.counter("egress_bytes").inc(pkt.bytes);
+}
+
+bool
+StreamWrapper::egressAvailable() const
+{
+    return egress_.ready(now());
+}
+
+PacketDesc
+StreamWrapper::egressPop()
+{
+    return egress_.pop(now());
+}
+
+} // namespace harmonia

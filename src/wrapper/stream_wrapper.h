@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The lightweight streaming interface wrapper as a timed component.
+ * Fully pipelined sequential translation logic: every packet crossing
+ * the wrapper gains a small fixed number of clock cycles of latency
+ * and nothing else — no bubbles, so native throughput is preserved
+ * (the property Figure 10 measures).
+ */
+
+#ifndef HARMONIA_WRAPPER_STREAM_WRAPPER_H_
+#define HARMONIA_WRAPPER_STREAM_WRAPPER_H_
+
+#include "common/packet.h"
+#include "common/stats.h"
+#include "device/resource.h"
+#include "rtl/pipeline.h"
+#include "sim/component.h"
+
+namespace harmonia {
+
+/**
+ * Bidirectional stream wrapper between a vendor IP (ingress source /
+ * egress sink) and role logic. Both directions are independent
+ * pipelines of kPipelineDepth stages at the wrapper's clock.
+ */
+class StreamWrapper : public Component {
+  public:
+    /** Fixed translation-pipeline depth in cycles (§3.2: "a few"). */
+    static constexpr unsigned kPipelineDepth = 3;
+
+    explicit StreamWrapper(std::string name);
+
+    /** IP-to-role direction. */
+    void ingressPush(const PacketDesc &pkt);
+    bool ingressAvailable() const;
+    PacketDesc ingressPop();
+
+    /** Role-to-IP direction. */
+    void egressPush(const PacketDesc &pkt);
+    bool egressAvailable() const;
+    PacketDesc egressPop();
+
+    void tick() override {}
+
+    /** Added latency at the component's clock. */
+    Tick addedLatency() const;
+
+    /** Wrapper soft-logic footprint (Fig 16: well under 0.37%). */
+    const ResourceVector &resources() const { return resources_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    DelayLine<PacketDesc> ingress_;
+    DelayLine<PacketDesc> egress_;
+    ResourceVector resources_;
+    StatGroup stats_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_WRAPPER_STREAM_WRAPPER_H_

@@ -1,0 +1,191 @@
+#include "wrapper/uniform.h"
+
+#include "common/bits.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+unsigned
+ClockArray::add(const std::string &name, double mhz)
+{
+    if (mhz <= 0)
+        fatal("clock '%s': frequency must be positive", name.c_str());
+    names_.push_back(name);
+    mhz_.push_back(mhz);
+    return static_cast<unsigned>(mhz_.size() - 1);
+}
+
+double
+ClockArray::mhzAt(unsigned index) const
+{
+    if (index >= mhz_.size())
+        fatal("clock index %u out of range (%zu)", index, mhz_.size());
+    return mhz_[index];
+}
+
+const std::string &
+ClockArray::nameAt(unsigned index) const
+{
+    if (index >= names_.size())
+        fatal("clock index %u out of range (%zu)", index, names_.size());
+    return names_[index];
+}
+
+unsigned
+ResetArray::add(const std::string &name)
+{
+    names_.push_back(name);
+    asserted_.push_back(false);
+    return static_cast<unsigned>(asserted_.size() - 1);
+}
+
+void
+ResetArray::assertReset(unsigned index)
+{
+    if (index >= asserted_.size())
+        fatal("reset index %u out of range", index);
+    asserted_[index] = true;
+}
+
+void
+ResetArray::deassertReset(unsigned index)
+{
+    if (index >= asserted_.size())
+        fatal("reset index %u out of range", index);
+    asserted_[index] = false;
+}
+
+bool
+ResetArray::isAsserted(unsigned index) const
+{
+    if (index >= asserted_.size())
+        fatal("reset index %u out of range", index);
+    return asserted_[index];
+}
+
+const std::string &
+ResetArray::nameAt(unsigned index) const
+{
+    if (index >= names_.size())
+        fatal("reset index %u out of range", index);
+    return names_[index];
+}
+
+void
+IrqLine::raise()
+{
+    const bool was = level_;
+    level_ = true;
+    if (!was) {
+        ++edges_;
+        for (const Listener &fn : listeners_)
+            fn();
+    }
+}
+
+UniformStreamBeat
+uniformFromAxis(const AxisBeat &beat, bool is_first)
+{
+    const std::size_t valid = axisValidBytes(beat);
+    if (beat.tkeep != mask(static_cast<unsigned>(valid)))
+        fatal("uniformFromAxis: non-contiguous tkeep");
+    UniformStreamBeat out;
+    out.data.assign(beat.tdata.begin(),
+                    beat.tdata.begin() + static_cast<long>(valid));
+    out.first = is_first;
+    out.last = beat.tlast;
+    return out;
+}
+
+AxisBeat
+uniformToAxis(const UniformStreamBeat &beat, std::size_t width_bytes)
+{
+    if (beat.data.size() > width_bytes)
+        fatal("uniformToAxis: beat carries %zu bytes > width %zu",
+              beat.data.size(), width_bytes);
+    AxisBeat out;
+    out.tdata = beat.data;
+    out.tdata.resize(width_bytes, 0);
+    out.tkeep = mask(static_cast<unsigned>(beat.data.size()));
+    out.tlast = beat.last;
+    return out;
+}
+
+UniformStreamBeat
+uniformFromAvalonSt(const AvalonStBeat &beat)
+{
+    UniformStreamBeat out;
+    const std::size_t valid = avalonStValidBytes(beat);
+    out.data.assign(beat.data.begin(),
+                    beat.data.begin() + static_cast<long>(valid));
+    out.first = beat.sop;
+    out.last = beat.eop;
+    return out;
+}
+
+AvalonStBeat
+uniformToAvalonSt(const UniformStreamBeat &beat,
+                  std::size_t width_bytes)
+{
+    if (beat.data.size() > width_bytes)
+        fatal("uniformToAvalonSt: beat carries %zu bytes > width %zu",
+              beat.data.size(), width_bytes);
+    AvalonStBeat out;
+    out.data = beat.data;
+    out.data.resize(width_bytes, 0);
+    out.sop = beat.first;
+    out.eop = beat.last;
+    out.empty = beat.last ? static_cast<std::uint8_t>(
+                                width_bytes - beat.data.size())
+                          : 0;
+    if (!beat.last && beat.data.size() != width_bytes)
+        fatal("uniformToAvalonSt: partial non-final beat");
+    return out;
+}
+
+std::vector<UniformStreamBeat>
+packetToUniform(const std::vector<std::uint8_t> &payload,
+                std::size_t width_bytes)
+{
+    if (width_bytes == 0)
+        fatal("uniform beat width must be non-zero");
+    if (payload.empty())
+        fatal("uniform packets must carry at least one byte");
+    std::vector<UniformStreamBeat> beats;
+    beats.reserve(ceilDiv(payload.size(), width_bytes));
+    for (std::size_t off = 0; off < payload.size();
+         off += width_bytes) {
+        const std::size_t n =
+            std::min(width_bytes, payload.size() - off);
+        UniformStreamBeat b;
+        b.data.assign(payload.begin() + static_cast<long>(off),
+                      payload.begin() + static_cast<long>(off + n));
+        b.first = off == 0;
+        b.last = off + n == payload.size();
+        beats.push_back(std::move(b));
+    }
+    return beats;
+}
+
+std::vector<std::uint8_t>
+uniformToPacket(const std::vector<UniformStreamBeat> &beats)
+{
+    if (beats.empty())
+        fatal("uniformToPacket: empty beat vector");
+    std::vector<std::uint8_t> payload;
+    for (std::size_t i = 0; i < beats.size(); ++i) {
+        const UniformStreamBeat &b = beats[i];
+        const bool is_first = i == 0;
+        const bool is_final = i + 1 == beats.size();
+        if (b.first != is_first)
+            fatal("uniform beat %zu: first=%d but position says %d", i,
+                  b.first ? 1 : 0, is_first ? 1 : 0);
+        if (b.last != is_final)
+            fatal("uniform beat %zu: last=%d but position says %d", i,
+                  b.last ? 1 : 0, is_final ? 1 : 0);
+        payload.insert(payload.end(), b.data.begin(), b.data.end());
+    }
+    return payload;
+}
+
+} // namespace harmonia

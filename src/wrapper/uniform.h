@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Harmonia's uniform interface format (§3.2). Along with clock and
+ * reset arrays, five basic types cover cloud applications: stream
+ * (continuous data with explicit start/end), mem map (address + size
+ * chunks), reg (32-bit control), and irq (raw latency-critical
+ * signals). Conversion functions re-express vendor beats in the
+ * uniform format bit-exactly.
+ */
+
+#ifndef HARMONIA_WRAPPER_UNIFORM_H_
+#define HARMONIA_WRAPPER_UNIFORM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "protocol/avalon_st.h"
+#include "protocol/axi_stream.h"
+
+namespace harmonia {
+
+/** One uniform stream beat: payload plus explicit start/end markers. */
+struct UniformStreamBeat {
+    std::vector<std::uint8_t> data;  ///< valid bytes only (no padding)
+    bool first = false;              ///< start of stream/packet
+    bool last = false;               ///< end of stream/packet
+};
+
+/** One uniform memory-mapped command: address and size of the chunk. */
+struct UniformMemCommand {
+    Addr addr = 0;
+    std::uint32_t size = 0;  ///< bytes
+    bool write = false;
+};
+
+/**
+ * Indexed clock array: modules select signals by index according to
+ * their performance needs. Index 0 is conventionally the shell clock.
+ */
+class ClockArray {
+  public:
+    /** Register a clock; returns its index. */
+    unsigned add(const std::string &name, double mhz);
+
+    double mhzAt(unsigned index) const;
+    const std::string &nameAt(unsigned index) const;
+    unsigned size() const { return static_cast<unsigned>(mhz_.size()); }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<double> mhz_;
+};
+
+/** Indexed reset array (hard/soft resets as entries). */
+class ResetArray {
+  public:
+    unsigned add(const std::string &name);
+    void assertReset(unsigned index);
+    void deassertReset(unsigned index);
+    bool isAsserted(unsigned index) const;
+    const std::string &nameAt(unsigned index) const;
+    unsigned size() const
+    {
+        return static_cast<unsigned>(asserted_.size());
+    }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<bool> asserted_;
+};
+
+/**
+ * A raw interrupt line exposed to upper-level logic without register
+ * indirection — the special `irq` type for latency-intensive signals.
+ */
+class IrqLine {
+  public:
+    using Listener = std::function<void()>;
+
+    explicit IrqLine(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    bool level() const { return level_; }
+
+    /** Raise the line; fires listeners on the rising edge. */
+    void raise();
+    void clear() { level_ = false; }
+    void subscribe(Listener fn) { listeners_.push_back(std::move(fn)); }
+    std::uint64_t edgeCount() const { return edges_; }
+
+  private:
+    std::string name_;
+    bool level_ = false;
+    std::uint64_t edges_ = 0;
+    std::vector<Listener> listeners_;
+};
+
+/** AXI4-Stream beat -> uniform (caller tracks packet starts). */
+UniformStreamBeat uniformFromAxis(const AxisBeat &beat, bool is_first);
+
+/** Uniform -> AXI4-Stream beat of @p width_bytes. */
+AxisBeat uniformToAxis(const UniformStreamBeat &beat,
+                       std::size_t width_bytes);
+
+/** Avalon-ST beat -> uniform. */
+UniformStreamBeat uniformFromAvalonSt(const AvalonStBeat &beat);
+
+/** Uniform -> Avalon-ST beat of @p width_bytes. */
+AvalonStBeat uniformToAvalonSt(const UniformStreamBeat &beat,
+                               std::size_t width_bytes);
+
+/** Segment a packet into uniform beats of at most @p width_bytes. */
+std::vector<UniformStreamBeat>
+packetToUniform(const std::vector<std::uint8_t> &payload,
+                std::size_t width_bytes);
+
+/** Reassemble a packet from uniform beats (validates framing). */
+std::vector<std::uint8_t>
+uniformToPacket(const std::vector<UniformStreamBeat> &beats);
+
+} // namespace harmonia
+
+#endif // HARMONIA_WRAPPER_UNIFORM_H_

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "adapter/device_adapter.h"
+#include "common/logging.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+TEST(DeviceAdapter, StaticGroupDerivedFromDatabase)
+{
+    DeviceAdapter adapter(deviceA());
+    const auto &cfg = adapter.staticConfig();
+    EXPECT_EQ(cfg.at("chip.name"), "XCVU35P");
+    EXPECT_EQ(cfg.at("chip.vendor"), "Xilinx");
+    EXPECT_EQ(cfg.at("chip.process_nm"), "16");
+    EXPECT_EQ(cfg.at("peripheral.count"), "4");
+    // Channel numbers are inherent static properties (§3.2).
+    EXPECT_EQ(cfg.at("peripheral.0.kind"), "HBM");
+    EXPECT_EQ(cfg.at("peripheral.0.channels"), "32");
+}
+
+TEST(DeviceAdapter, DynamicClockMapping)
+{
+    DeviceAdapter adapter(deviceA());
+    const ClockMapping &m = adapter.mapClock("user_clk", 250.0);
+    EXPECT_EQ(m.pllIndex, 0u);
+    const ClockMapping &m2 = adapter.mapClock("net_clk", 322.0);
+    EXPECT_EQ(m2.pllIndex, 1u);
+    EXPECT_EQ(adapter.clockMappings().size(), 2u);
+}
+
+TEST(DeviceAdapter, ClockBudgetAndDuplicatesEnforced)
+{
+    DeviceAdapter adapter(deviceA());
+    adapter.mapClock("a", 100);
+    EXPECT_THROW(adapter.mapClock("a", 200), FatalError);
+    EXPECT_THROW(adapter.mapClock("bad", 0), FatalError);
+    for (unsigned i = 1; i < DeviceAdapter::kPllBudget; ++i)
+        adapter.mapClock(format("c%u", i), 100 + i);
+    EXPECT_THROW(adapter.mapClock("overflow", 100), FatalError);
+}
+
+TEST(DeviceAdapter, PinMappingValidatesHardware)
+{
+    DeviceAdapter adapter(deviceA());
+    adapter.mapPins("net0", PeripheralKind::Qsfp28, 0);
+    adapter.mapPins("net1", PeripheralKind::Qsfp28, 1);
+    // Device A has 2 QSFP cages; a third is a user error.
+    EXPECT_THROW(adapter.mapPins("net2", PeripheralKind::Qsfp28, 2),
+                 FatalError);
+    // Device A has no DSFP at all.
+    EXPECT_THROW(adapter.mapPins("x", PeripheralKind::Dsfp, 0),
+                 FatalError);
+    // Double-claiming an instance is a user error.
+    EXPECT_THROW(adapter.mapPins("dup", PeripheralKind::Qsfp28, 0),
+                 FatalError);
+}
+
+TEST(DeviceAdapter, ConstraintScriptCoversMappings)
+{
+    DeviceAdapter adapter(deviceA());
+    adapter.mapClock("user_clk", 250.0);
+    adapter.mapPins("net0", PeripheralKind::Qsfp28, 0);
+    const auto lines = adapter.emitConstraintScript();
+    ASSERT_EQ(lines.size(), 3u);  // header + clock + pins
+    EXPECT_NE(lines[1].find("create_clock"), std::string::npos);
+    EXPECT_NE(lines[1].find("user_clk"), std::string::npos);
+    EXPECT_NE(lines[2].find("QSFP28_0"), std::string::npos);
+}
+
+TEST(DeviceAdapter, PcieStaticGroupHasLanesAndVfs)
+{
+    DeviceAdapter adapter(deviceA());
+    const auto &cfg = adapter.staticConfig();
+    // Peripheral 3 is the PCIe attachment on device A.
+    EXPECT_EQ(cfg.at("peripheral.3.kind"), "PCIe-Gen4");
+    EXPECT_EQ(cfg.at("peripheral.3.lanes"), "8");
+    EXPECT_EQ(cfg.at("peripheral.3.virtual_functions"), "4");
+}
+
+} // namespace
+} // namespace harmonia

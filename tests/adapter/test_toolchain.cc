@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "adapter/toolchain.h"
+#include "common/logging.h"
+#include "ip/dma_ip.h"
+#include "ip/mac_ip.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+TEST(Toolchain, SuccessfulFlowProducesArtifact)
+{
+    XilinxCmac mac(100);
+    auto dma = makeDma(Vendor::Xilinx, 4, 8, 64);
+
+    Toolchain tc(VendorAdapter::standardFor(deviceA()));
+    CompileJob job;
+    job.projectName = "demo";
+    job.device = &deviceA();
+    job.modules = {&mac, dma.get()};
+    job.shellLogic = {20000, 30000, 40, 0, 0};
+    job.roleLogic = {50000, 60000, 50, 0, 10};
+
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_TRUE(art.success) << art.log.back();
+    EXPECT_FALSE(art.bitstreamId.empty());
+    EXPECT_GT(art.timingSlackNs, 0.0);
+    EXPECT_GT(art.total.lut, job.roleLogic.lut);
+    EXPECT_LT(art.maxUtilization, 0.5);
+}
+
+TEST(Toolchain, DependencyIssueAbortsBeforeSynthesis)
+{
+    IntelEtileMac mac(100);  // wrong vendor for a Vivado environment
+    Toolchain tc(VendorAdapter::standardFor(Vendor::Xilinx));
+    CompileJob job;
+    job.projectName = "bad";
+    job.device = &deviceA();
+    job.modules = {&mac};
+
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_FALSE(art.success);
+    bool mentions_dependency = false;
+    for (const auto &line : art.log)
+        if (line.find("dependency") != std::string::npos)
+            mentions_dependency = true;
+    EXPECT_TRUE(mentions_dependency);
+    EXPECT_EQ(art.total, ResourceVector{});  // never synthesized
+}
+
+TEST(Toolchain, OverflowingDesignFailsFit)
+{
+    Toolchain tc(VendorAdapter::standardFor(deviceA()));
+    CompileJob job;
+    job.projectName = "huge";
+    job.device = &deviceA();
+    job.roleLogic = {10'000'000, 0, 0, 0, 0};  // > any chip
+
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_FALSE(art.success);
+    bool mentions_fit = false;
+    for (const auto &line : art.log)
+        if (line.find("does not fit") != std::string::npos)
+            mentions_fit = true;
+    EXPECT_TRUE(mentions_fit);
+}
+
+TEST(Toolchain, CongestedDesignFailsTiming)
+{
+    Toolchain tc(VendorAdapter::standardFor(deviceA()));
+    const ResourceVector budget = deviceA().chip().budget;
+    CompileJob job;
+    job.projectName = "congested";
+    job.device = &deviceA();
+    job.roleLogic = budget.scaled(0.95);  // fits, but past the wall
+
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_FALSE(art.success);
+    EXPECT_LT(art.timingSlackNs, 0.0);
+}
+
+TEST(Toolchain, DeterministicBitstreamIds)
+{
+    Toolchain tc(VendorAdapter::standardFor(deviceA()));
+    CompileJob job;
+    job.projectName = "stable";
+    job.device = &deviceA();
+    job.roleLogic = {1000, 1000, 1, 0, 0};
+    const BuildArtifact a = tc.compile(job);
+    const BuildArtifact b = tc.compile(job);
+    EXPECT_EQ(a.bitstreamId, b.bitstreamId);
+
+    job.projectName = "different";
+    const BuildArtifact c = tc.compile(job);
+    EXPECT_NE(a.bitstreamId, c.bitstreamId);
+}
+
+TEST(Toolchain, MissingDeviceIsReported)
+{
+    Toolchain tc(VendorAdapter::standardFor(Vendor::Xilinx));
+    CompileJob job;
+    job.projectName = "nodevice";
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_FALSE(art.success);
+}
+
+} // namespace
+} // namespace harmonia

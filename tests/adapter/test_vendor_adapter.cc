@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "adapter/vendor_adapter.h"
+#include "common/logging.h"
+#include "ip/dma_ip.h"
+#include "ip/mac_ip.h"
+#include "ip/memory_ip.h"
+
+namespace harmonia {
+namespace {
+
+TEST(VendorAdapter, StandardEnvironmentSatisfiesMatchingIps)
+{
+    const VendorAdapter xenv =
+        VendorAdapter::standardFor(Vendor::Xilinx);
+    XilinxCmac mac(100);
+    XilinxMigDdr4 ddr(1);
+    EXPECT_TRUE(xenv.compatible({&mac, &ddr}));
+
+    const VendorAdapter ienv =
+        VendorAdapter::standardFor(Vendor::Intel);
+    IntelEtileMac imac(100);
+    EXPECT_TRUE(ienv.compatible({&imac}));
+}
+
+TEST(VendorAdapter, CrossVendorModulesAreFlagged)
+{
+    const VendorAdapter ienv =
+        VendorAdapter::standardFor(Vendor::Intel);
+    XilinxCmac mac(100);
+    const auto issues = ienv.inspect({&mac});
+    ASSERT_FALSE(issues.empty());
+    // Wrong CAD tool is among the mismatches.
+    bool cad_flagged = false;
+    for (const auto &i : issues)
+        if (i.key == "cad_tool")
+            cad_flagged = true;
+    EXPECT_TRUE(cad_flagged);
+}
+
+TEST(VendorAdapter, MissingVsMismatchedDistinguished)
+{
+    VendorAdapter env(Vendor::Xilinx);
+    env.provide("cad_tool", "vivado-2021.1");  // stale version
+    XilinxCmac mac(100);
+    const auto issues = env.inspect({&mac});
+    bool saw_mismatch = false, saw_missing = false;
+    for (const auto &i : issues) {
+        if (i.key == "cad_tool") {
+            EXPECT_EQ(i.found, "vivado-2021.1");
+            saw_mismatch = true;
+        }
+        if (i.key == "ip:cmac_usplus") {
+            EXPECT_TRUE(i.found.empty());
+            saw_missing = true;
+        }
+    }
+    EXPECT_TRUE(saw_mismatch);
+    EXPECT_TRUE(saw_missing);
+}
+
+TEST(VendorAdapter, IssueToStringIsActionable)
+{
+    DependencyIssue missing{"modA", "ip:foo", "1.0", ""};
+    EXPECT_NE(missing.toString().find("missing"), std::string::npos);
+    DependencyIssue mismatch{"modA", "cad_tool", "a", "b"};
+    EXPECT_NE(mismatch.toString().find("mismatch"),
+              std::string::npos);
+}
+
+TEST(VendorAdapter, DeviceEnvironmentPinsPcieHardIp)
+{
+    const auto &db = DeviceDatabase::instance();
+    const VendorAdapter env_a =
+        VendorAdapter::standardFor(db.byName("DeviceA"));
+    // Device A: Xilinx chip, Gen4 x8.
+    EXPECT_EQ(env_a.environment().at("pcie_hard_ip"),
+              "pcie4_uscale_plus:gen4_x8");
+
+    const VendorAdapter env_d =
+        VendorAdapter::standardFor(db.byName("DeviceD"));
+    EXPECT_EQ(env_d.environment().at("pcie_hard_ip"),
+              "ptile:gen4_x16");
+
+    // The right DMA model passes inspection against its board env.
+    auto dma = makeDma(Vendor::Intel, 4, 16, 64);
+    EXPECT_TRUE(env_d.compatible({dma.get()}));
+    // A Gen4 x8 build fails on a x16 board environment (wrong hard
+    // IP variant) — caught before compilation, not during.
+    auto dma_x8 = makeDma(Vendor::Intel, 4, 16, 64);
+    const VendorAdapter env_a_intel =
+        VendorAdapter::standardFor(db.byName("DeviceA"));
+    EXPECT_FALSE(env_a_intel.compatible({dma_x8.get()}));
+}
+
+TEST(VendorAdapter, NullModulePanics)
+{
+    const VendorAdapter env =
+        VendorAdapter::standardFor(Vendor::Xilinx);
+    EXPECT_THROW(env.inspect({nullptr}), PanicError);
+}
+
+TEST(VendorAdapter, InHouseBoardsUseChipVendorToolchain)
+{
+    const auto &db = DeviceDatabase::instance();
+    // Device C: in-house board, Intel chip -> Quartus environment.
+    const VendorAdapter env =
+        VendorAdapter::standardFor(db.byName("DeviceC"));
+    EXPECT_EQ(env.environment().at("cad_tool"), "quartus-23.4");
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "cmd/command.h"
+#include "common/logging.h"
+
+namespace harmonia {
+namespace {
+
+CommandPacket
+samplePacket()
+{
+    CommandPacket pkt;
+    pkt.srcId = kCtrlApplication;
+    pkt.dstId = kRbbNetwork;
+    pkt.rbbId = kRbbNetwork;
+    pkt.instanceId = 1;
+    pkt.commandCode = kCmdTableWrite;
+    pkt.options = 0xdead;
+    pkt.data = {1, 2, 3};
+    return pkt;
+}
+
+TEST(Command, EncodeDecodeRoundTrip)
+{
+    const CommandPacket pkt = samplePacket();
+    const auto bytes = pkt.encode();
+    EXPECT_EQ(bytes.size(), pkt.encodedSize());
+    EXPECT_EQ(bytes.size() % 4, 0u);  // 4-byte alignment (Fig 9)
+
+    std::size_t consumed = 0;
+    const DecodeOutcome out = decodeCommand(bytes, &consumed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(consumed, bytes.size());
+    const CommandPacket &d = *out.packet;
+    EXPECT_EQ(d.srcId, pkt.srcId);
+    EXPECT_EQ(d.dstId, pkt.dstId);
+    EXPECT_EQ(d.rbbId, pkt.rbbId);
+    EXPECT_EQ(d.instanceId, pkt.instanceId);
+    EXPECT_EQ(d.commandCode, pkt.commandCode);
+    EXPECT_EQ(d.options, pkt.options);
+    EXPECT_EQ(d.data, pkt.data);
+    EXPECT_EQ(d.status, kCmdOk);
+}
+
+TEST(Command, EmptyDataRoundTrip)
+{
+    CommandPacket pkt;
+    pkt.commandCode = kCmdModuleReset;
+    const auto out = decodeCommand(pkt.encode());
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out.packet->data.empty());
+}
+
+TEST(Command, BoundaryDetectionInByteStream)
+{
+    // Two back-to-back packets in one buffer: HdLen/PayloadLen find
+    // the boundary (walkthrough step 3).
+    CommandPacket a = samplePacket();
+    CommandPacket b;
+    b.commandCode = kCmdModuleStatusRead;
+    b.data = {42};
+    auto stream = a.encode();
+    const auto second = b.encode();
+    stream.insert(stream.end(), second.begin(), second.end());
+
+    std::size_t consumed = 0;
+    const auto first = decodeCommand(stream, &consumed);
+    ASSERT_TRUE(first.ok());
+    EXPECT_EQ(first.packet->commandCode, kCmdTableWrite);
+
+    std::vector<std::uint8_t> rest(stream.begin() +
+                                       static_cast<long>(consumed),
+                                   stream.end());
+    const auto next = decodeCommand(rest, &consumed);
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(next.packet->commandCode, kCmdModuleStatusRead);
+    EXPECT_EQ(next.packet->data[0], 42u);
+}
+
+TEST(Command, TruncationDetected)
+{
+    auto bytes = samplePacket().encode();
+    bytes.resize(bytes.size() - 1);
+    const auto out = decodeCommand(bytes);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(*out.error, DecodeError::Truncated);
+
+    const auto tiny = decodeCommand({0x10});
+    EXPECT_EQ(*tiny.error, DecodeError::Truncated);
+}
+
+TEST(Command, ChecksumCorruptionDetected)
+{
+    auto bytes = samplePacket().encode();
+    bytes[13] ^= 0xff;  // corrupt a data byte
+    const auto out = decodeCommand(bytes);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(*out.error, DecodeError::BadChecksum);
+}
+
+TEST(Command, VersionAndHeaderValidation)
+{
+    auto bytes = samplePacket().encode();
+    bytes[0] = (bytes[0] & 0x0f) | 0x20;  // version 2
+    EXPECT_EQ(*decodeCommand(bytes).error, DecodeError::BadVersion);
+
+    bytes = samplePacket().encode();
+    bytes[0] = (bytes[0] & 0xf0) | 0x05;  // HdLen 5
+    EXPECT_EQ(*decodeCommand(bytes).error, DecodeError::BadHeaderLen);
+}
+
+TEST(Command, OversizedDataRejectedAtEncode)
+{
+    CommandPacket pkt;
+    pkt.data.assign(300, 0);  // > 8-bit PayloadLen
+    EXPECT_THROW(pkt.encode(), FatalError);
+}
+
+TEST(Command, ResponseSwapsSrcAndDst)
+{
+    const CommandPacket req = samplePacket();
+    CommandResult result;
+    result.status = kCmdOk;
+    result.data = {7};
+    const CommandPacket resp = makeResponse(req, result);
+    EXPECT_EQ(resp.srcId, req.dstId);
+    EXPECT_EQ(resp.dstId, req.srcId);  // routed home by SrcID
+    EXPECT_EQ(resp.commandCode, req.commandCode);
+    EXPECT_EQ(resp.data, result.data);
+
+    // Response survives the wire.
+    const auto out = decodeCommand(resp.encode());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.packet->status, kCmdOk);
+}
+
+TEST(Command, CodeAndStatusNames)
+{
+    EXPECT_STREQ(toString(kCmdModuleInit), "ModuleInit");
+    EXPECT_STREQ(toString(kCmdTableWrite), "TableWrite");
+    EXPECT_STREQ(toString(kCmdChecksumError), "checksum error");
+    EXPECT_STREQ(toString(DecodeError::BadChecksum), "bad checksum");
+}
+
+TEST(Command, ToStringMentionsRouting)
+{
+    const std::string s = samplePacket().toString();
+    EXPECT_NE(s.find("rbb=01"), std::string::npos);
+    EXPECT_NE(s.find("0x0004"), std::string::npos);
+}
+
+class CommandFuzzTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CommandFuzzTest, RandomCorruptionNeverDecodesSilently)
+{
+    // Flip one random byte: decode must either fail or (for the
+    // status field, which sits outside the checksum) still verify.
+    const CommandPacket pkt = samplePacket();
+    const auto good = pkt.encode();
+    std::uint64_t seed = GetParam() * 2654435761u + 1;
+    for (int trial = 0; trial < 200; ++trial) {
+        seed = seed * 6364136223846793005ULL + 1;
+        auto bytes = good;
+        const std::size_t pos = (seed >> 33) % (bytes.size() - 2);
+        const std::uint8_t flip =
+            static_cast<std::uint8_t>(seed >> 13) | 1;
+        bytes[pos] ^= flip;
+        const auto out = decodeCommand(bytes);
+        if (out.ok()) {
+            // Only a same-sum aliasing within the checksum's known
+            // word-swap blind spot could decode; payload length and
+            // header fields must still be coherent.
+            EXPECT_EQ(out.packet->data.size(), pkt.data.size());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommandFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+} // namespace
+} // namespace harmonia

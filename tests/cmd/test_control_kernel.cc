@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "cmd/control_kernel.h"
+#include "common/logging.h"
+#include "sim/engine.h"
+
+namespace harmonia {
+namespace {
+
+/** A scriptable command target. */
+class EchoTarget : public CommandTarget {
+  public:
+    CommandResult
+    executeCommand(std::uint16_t code,
+                   const std::vector<std::uint32_t> &data) override
+    {
+        ++calls;
+        lastCode = code;
+        CommandResult res;
+        res.data = data;  // echo
+        return res;
+    }
+
+    int calls = 0;
+    std::uint16_t lastCode = 0;
+};
+
+struct KernelBench {
+    Engine engine;
+    Clock *clk;
+    UnifiedControlKernel kernel{"uck"};
+    EchoTarget net;
+
+    KernelBench()
+    {
+        clk = engine.addClock("clk", 250.0);
+        engine.add(&kernel, clk);
+        kernel.registerTarget(kRbbNetwork, 0, &net);
+    }
+
+    CommandPacket
+    roundTrip(const CommandPacket &pkt)
+    {
+        EXPECT_TRUE(kernel.submit(pkt));
+        EXPECT_TRUE(engine.runUntilDone(
+            [&] { return kernel.hasResponse(); }, 10'000'000));
+        return kernel.popResponse();
+    }
+};
+
+TEST(ControlKernel, ExecutesAndResponds)
+{
+    KernelBench b;
+    CommandPacket cmd;
+    cmd.srcId = kCtrlApplication;
+    cmd.rbbId = kRbbNetwork;
+    cmd.commandCode = kCmdTableWrite;
+    cmd.data = {5, 6};
+
+    const CommandPacket resp = b.roundTrip(cmd);
+    EXPECT_EQ(b.net.calls, 1);
+    EXPECT_EQ(b.net.lastCode, kCmdTableWrite);
+    EXPECT_EQ(resp.status, kCmdOk);
+    EXPECT_EQ(resp.data, (std::vector<std::uint32_t>{5, 6}));
+    EXPECT_EQ(resp.dstId, kCtrlApplication);  // routed by SrcID
+}
+
+TEST(ControlKernel, UnknownTargetReported)
+{
+    KernelBench b;
+    CommandPacket cmd;
+    cmd.rbbId = kRbbMemory;  // nothing registered there
+    const CommandPacket resp = b.roundTrip(cmd);
+    EXPECT_EQ(resp.status, kCmdUnknownTarget);
+    EXPECT_EQ(b.kernel.stats().value("unknown_target"), 1u);
+}
+
+TEST(ControlKernel, SystemServicesBuiltIn)
+{
+    KernelBench b;
+    CommandPacket time_cmd;
+    time_cmd.rbbId = kRbbSystem;
+    time_cmd.commandCode = kCmdTimeCount;
+    const CommandPacket time_resp = b.roundTrip(time_cmd);
+    EXPECT_EQ(time_resp.status, kCmdOk);
+    ASSERT_EQ(time_resp.data.size(), 2u);
+
+    CommandPacket flash;
+    flash.rbbId = kRbbSystem;
+    flash.commandCode = kCmdFlashErase;
+    flash.data = {3};
+    const CommandPacket flash_resp = b.roundTrip(flash);
+    EXPECT_EQ(flash_resp.status, kCmdOk);
+    EXPECT_EQ(b.kernel.stats().value("flash_erases"), 1u);
+}
+
+TEST(ControlKernel, SequentialExecutionPacing)
+{
+    // The soft core retires at most one command per
+    // kCyclesPerCommand cycles.
+    KernelBench b;
+    CommandPacket cmd;
+    cmd.rbbId = kRbbNetwork;
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(b.kernel.submit(cmd));
+    const Cycles start = b.clk->cycle();
+    b.engine.runUntilDone(
+        [&] {
+            return b.kernel.stats().value("commands_executed") == 4;
+        },
+        100'000'000);
+    const Cycles elapsed = b.clk->cycle() - start;
+    EXPECT_GE(elapsed,
+              3 * UnifiedControlKernel::kCyclesPerCommand);
+}
+
+TEST(ControlKernel, PartialPacketWaitsForRest)
+{
+    KernelBench b;
+    CommandPacket cmd;
+    cmd.rbbId = kRbbNetwork;
+    const auto bytes = cmd.encode();
+    const std::vector<std::uint8_t> head(bytes.begin(),
+                                         bytes.begin() + 6);
+    const std::vector<std::uint8_t> tail(bytes.begin() + 6,
+                                         bytes.end());
+    ASSERT_TRUE(b.kernel.submitBytes(head));
+    b.engine.runFor(2'000'000);
+    EXPECT_FALSE(b.kernel.hasResponse());
+    ASSERT_TRUE(b.kernel.submitBytes(tail));
+    EXPECT_TRUE(b.engine.runUntilDone(
+        [&] { return b.kernel.hasResponse(); }, 10'000'000));
+}
+
+TEST(ControlKernel, ChecksumErrorAnsweredAndSkipped)
+{
+    KernelBench b;
+    CommandPacket cmd;
+    cmd.srcId = kCtrlBmc;
+    cmd.rbbId = kRbbNetwork;
+    auto bytes = cmd.encode();
+    bytes[10] ^= 0x55;  // corrupt
+    ASSERT_TRUE(b.kernel.submitBytes(bytes));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] { return b.kernel.hasResponse(); }, 10'000'000));
+    const CommandPacket resp = b.kernel.popResponse();
+    EXPECT_EQ(resp.status, kCmdChecksumError);
+    EXPECT_EQ(resp.dstId, kCtrlBmc);
+    EXPECT_EQ(b.net.calls, 0);  // never executed
+    EXPECT_EQ(b.kernel.stats().value("checksum_errors"), 1u);
+
+    // The kernel recovers: a good command still goes through.
+    ASSERT_TRUE(b.kernel.submit(cmd));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] { return b.kernel.hasResponse(); }, 10'000'000));
+    EXPECT_EQ(b.kernel.popResponse().status, kCmdOk);
+}
+
+TEST(ControlKernel, GarbageBufferFlushed)
+{
+    KernelBench b;
+    ASSERT_TRUE(b.kernel.submitBytes({0xff, 0xff, 0xff, 0xff, 0xff,
+                                      0xff, 0xff, 0xff}));
+    b.engine.runFor(2'000'000);
+    EXPECT_EQ(b.kernel.stats().value("parse_errors"), 1u);
+    EXPECT_FALSE(b.kernel.hasResponse());
+}
+
+TEST(ControlKernel, BufferOverflowRejected)
+{
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 250.0);
+    UnifiedControlKernel kernel("small", 64);
+    engine.add(&kernel, clk);
+    const std::vector<std::uint8_t> blob(65, 0);
+    EXPECT_FALSE(kernel.submitBytes(blob));
+    EXPECT_EQ(kernel.stats().value("buffer_overflow"), 1u);
+}
+
+TEST(ControlKernel, MultipleControllersShareTheKernel)
+{
+    // Applications, BMC and standalone tools all target the same
+    // kernel; responses route back by SrcID.
+    KernelBench b;
+    CommandPacket app, bmc;
+    app.srcId = kCtrlApplication;
+    app.rbbId = kRbbNetwork;
+    bmc.srcId = kCtrlBmc;
+    bmc.rbbId = kRbbSystem;
+    bmc.commandCode = kCmdTimeCount;
+    ASSERT_TRUE(b.kernel.submit(app));
+    ASSERT_TRUE(b.kernel.submit(bmc));
+    b.engine.runUntilDone(
+        [&] {
+            return b.kernel.stats().value("commands_executed") == 2;
+        },
+        50'000'000);
+    const CommandPacket r1 = b.kernel.popResponse();
+    const CommandPacket r2 = b.kernel.popResponse();
+    EXPECT_EQ(r1.dstId, kCtrlApplication);
+    EXPECT_EQ(r2.dstId, kCtrlBmc);
+}
+
+TEST(ControlKernel, DuplicateTargetRegistrationFatal)
+{
+    KernelBench b;
+    EchoTarget other;
+    EXPECT_THROW(b.kernel.registerTarget(kRbbNetwork, 0, &other),
+                 FatalError);
+    EXPECT_THROW(b.kernel.registerTarget(kRbbMemory, 0, nullptr),
+                 FatalError);
+}
+
+TEST(ControlKernel, FootprintWithinFig16Band)
+{
+    UnifiedControlKernel kernel("uck2");
+    const ResourceVector budget{872160, 1744320, 1344, 640, 5952};
+    EXPECT_LT(kernel.resources().maxUtilization(budget), 0.0067);
+}
+
+} // namespace
+} // namespace harmonia

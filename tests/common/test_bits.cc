@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Bits, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(8), 0xffu);
+    EXPECT_EQ(mask(32), 0xffffffffu);
+    EXPECT_EQ(mask(64), ~0ULL);
+    EXPECT_EQ(mask(70), ~0ULL);
+}
+
+TEST(Bits, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+    EXPECT_FALSE(isPowerOf2((1ULL << 63) + 1));
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 4), 0u);
+    EXPECT_EQ(ceilDiv(1, 4), 1u);
+    EXPECT_EQ(ceilDiv(4, 4), 1u);
+    EXPECT_EQ(ceilDiv(5, 4), 2u);
+    EXPECT_EQ(ceilDiv(1500, 64), 24u);
+}
+
+TEST(Bits, Log2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+}
+
+TEST(Bits, GrayRoundTrip)
+{
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        EXPECT_EQ(grayToBinary(binaryToGray(v)), v);
+}
+
+TEST(Bits, GraySingleBitChange)
+{
+    // The async-FIFO safety property: consecutive Gray codes differ
+    // in exactly one bit.
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        const std::uint64_t diff =
+            binaryToGray(v) ^ binaryToGray(v + 1);
+        EXPECT_EQ(__builtin_popcountll(diff), 1) << "at " << v;
+    }
+}
+
+TEST(Bits, ExtractInsert)
+{
+    EXPECT_EQ(bits(0xdeadbeef, 15, 8), 0xbeu);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+    EXPECT_EQ(insertBits(0, 15, 8, 0xab), 0xab00u);
+    EXPECT_EQ(insertBits(0xffffffff, 15, 8, 0), 0xffff00ffu);
+}
+
+class GrayParamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GrayParamTest, RoundTripWideValues)
+{
+    const std::uint64_t v = GetParam();
+    EXPECT_EQ(grayToBinary(binaryToGray(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(WideValues, GrayParamTest,
+                         ::testing::Values(0ULL, 1ULL, 0xffULL,
+                                           0xdeadbeefULL,
+                                           0x123456789abcdefULL,
+                                           ~0ULL, 1ULL << 63));
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Checksum, EmptyBuffer)
+{
+    EXPECT_EQ(checksum16({}), 0xffff);
+}
+
+TEST(Checksum, OddLengthPadsWithZero)
+{
+    const std::vector<std::uint8_t> odd = {0xab};
+    const std::vector<std::uint8_t> even = {0xab, 0x00};
+    EXPECT_EQ(checksum16(odd), checksum16(even));
+}
+
+TEST(Checksum, DetectsSingleBitFlip)
+{
+    std::vector<std::uint8_t> data(64);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 13);
+    const std::uint16_t good = checksum16(data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] ^= 0x40;
+        EXPECT_NE(checksum16(data), good) << "flip at " << i;
+        data[i] ^= 0x40;
+    }
+}
+
+TEST(Checksum, DetectsByteSwapWithinWord)
+{
+    std::vector<std::uint8_t> data = {1, 2, 3, 4};
+    const std::uint16_t good = checksum16(data);
+    std::swap(data[0], data[1]);
+    EXPECT_NE(checksum16(data), good);
+}
+
+TEST(Checksum, KnownBlindSpotCrossWordSwap)
+{
+    // The one's-complement sum is word-commutative: swapping bytes at
+    // the same lane of different words is invisible — why commands
+    // pair the checksum with structural length checks.
+    std::vector<std::uint8_t> data = {1, 2, 3, 4};
+    const std::uint16_t good = checksum16(data);
+    std::swap(data[0], data[2]);
+    EXPECT_EQ(checksum16(data), good);
+}
+
+TEST(Checksum, ChecksumOkHelper)
+{
+    const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+    EXPECT_TRUE(checksumOk(data, checksum16(data)));
+    EXPECT_FALSE(checksumOk(
+        data, static_cast<std::uint16_t>(checksum16(data) + 1)));
+}
+
+TEST(Checksum, DeterministicAcrossCalls)
+{
+    std::vector<std::uint8_t> data(1000);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(checksum16(data), checksum16(data));
+}
+
+} // namespace
+} // namespace harmonia

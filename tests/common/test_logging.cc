@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Logging, FormatBasics)
+{
+    EXPECT_EQ(format("x=%d", 42), "x=42");
+    EXPECT_EQ(format("%s/%s", "a", "b"), "a/b");
+    EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(Logging, FormatLongStrings)
+{
+    const std::string big(500, 'x');
+    EXPECT_EQ(format("%s", big.c_str()), big);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad user input %d", 7), FatalError);
+    try {
+        fatal("value %d out of range", 9);
+        FAIL() << "fatal returned";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value 9 out of range");
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("impossible state"), PanicError);
+}
+
+TEST(Logging, FatalAndPanicAreDistinct)
+{
+    // fatal() = user error, panic() = internal bug: different types
+    // so callers can distinguish them.
+    EXPECT_THROW(
+        {
+            try {
+                fatal("x");
+            } catch (const PanicError &) {
+                FAIL() << "fatal must not throw PanicError";
+            }
+        },
+        FatalError);
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(old);
+}
+
+} // namespace
+} // namespace harmonia

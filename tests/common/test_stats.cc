@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(RateMeter, RatePerSecond)
+{
+    RateMeter m;
+    EXPECT_EQ(m.ratePerSecond(), 0.0);
+    m.record(0, 0);
+    // 1000 events over 1 us => 1e9 events/s.
+    m.record(1'000'000, 1000);
+    EXPECT_DOUBLE_EQ(m.ratePerSecond(), 1e9);
+    EXPECT_EQ(m.total(), 1000u);
+}
+
+TEST(RateMeter, SingleSampleHasNoRate)
+{
+    RateMeter m;
+    m.record(500, 10);
+    EXPECT_EQ(m.ratePerSecond(), 0.0);
+    EXPECT_EQ(m.total(), 10u);
+}
+
+TEST(Histogram, BucketsAndStats)
+{
+    Histogram h(10, 10);
+    for (std::uint64_t v : {5, 15, 15, 25, 95, 1000})
+        h.sample(v);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_NEAR(h.mean(), (5 + 15 + 15 + 25 + 95 + 1000) / 6.0, 1e-9);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[9], 1u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(99), 99.0, 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0, 10), FatalError);
+    EXPECT_THROW(Histogram(10, 0), FatalError);
+}
+
+TEST(Histogram, RejectsBadPercentile)
+{
+    Histogram h(1, 4);
+    h.sample(1);
+    EXPECT_THROW(h.percentile(-1), FatalError);
+    EXPECT_THROW(h.percentile(101), FatalError);
+}
+
+TEST(StatGroup, SnapshotSortedByName)
+{
+    StatGroup g("mod");
+    g.counter("zeta").inc(3);
+    g.counter("alpha").inc(1);
+    g.counter("mid").inc(2);
+    const auto snap = g.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "alpha");
+    EXPECT_EQ(snap[1].first, "mid");
+    EXPECT_EQ(snap[2].first, "zeta");
+    EXPECT_EQ(g.value("zeta"), 3u);
+    EXPECT_EQ(g.value("missing"), 0u);
+}
+
+TEST(StatGroup, ResetAll)
+{
+    StatGroup g("mod");
+    g.counter("a").inc(5);
+    g.counter("b").inc(7);
+    g.resetAll();
+    EXPECT_EQ(g.value("a"), 0u);
+    EXPECT_EQ(g.value("b"), 0u);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/types.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Strings, HumanUnits)
+{
+    EXPECT_EQ(humanBitRate(100e9), "100.00 Gbps");
+    EXPECT_EQ(humanRate(19.2e9), "19.20 GB/s");
+    EXPECT_EQ(humanBytes(4096), "4.00 KiB");
+    EXPECT_EQ(humanTime(1'500'000), "1.50 us");
+    EXPECT_EQ(humanTime(250), "250.00 ps");
+}
+
+TEST(Strings, Split)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+    EXPECT_TRUE(split("", ',').empty());
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("AbC-123"), "abc-123");
+}
+
+TEST(Strings, EnumNames)
+{
+    EXPECT_STREQ(toString(Vendor::Xilinx), "Xilinx");
+    EXPECT_STREQ(toString(Vendor::InHouse), "InHouse");
+    EXPECT_STREQ(toString(Protocol::AvalonStream), "Avalon-ST");
+    EXPECT_STREQ(toString(Protocol::Uniform), "Uniform");
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("longer-name  22"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, RejectsWrongArity)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "device/chip.h"
+#include "device/peripheral.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Chip, CatalogueCoversPaperFamilies)
+{
+    // §3.3.1 names these families as supported.
+    EXPECT_EQ(chipByName("XCVU35P").family,
+              ChipFamily::VirtexUltraScalePlus);
+    EXPECT_EQ(chipByName("XCVU125").family,
+              ChipFamily::VirtexUltraScale);
+    EXPECT_EQ(chipByName("XC7Z045").family, ChipFamily::Zynq7000);
+    EXPECT_EQ(chipByName("AGF014").family, ChipFamily::Agilex);
+    EXPECT_EQ(chipByName("1SX280").family, ChipFamily::Stratix10);
+    EXPECT_EQ(chipByName("10AX115").family, ChipFamily::Arria10);
+}
+
+TEST(Chip, VendorMapping)
+{
+    EXPECT_EQ(vendorOf(ChipFamily::VirtexUltraScalePlus),
+              Vendor::Xilinx);
+    EXPECT_EQ(vendorOf(ChipFamily::Agilex), Vendor::Intel);
+    EXPECT_EQ(chipByName("XCVU9P").vendor(), Vendor::Xilinx);
+    EXPECT_EQ(chipByName("AGF014").vendor(), Vendor::Intel);
+}
+
+TEST(Chip, ProcessNodes)
+{
+    EXPECT_EQ(processNm(ChipFamily::Agilex), 10u);
+    EXPECT_EQ(processNm(ChipFamily::Zynq7000), 28u);
+    EXPECT_EQ(processNm(ChipFamily::VirtexUltraScale), 20u);
+}
+
+TEST(Chip, UnknownChipFatal)
+{
+    EXPECT_THROW(chipByName("XCVU999"), FatalError);
+}
+
+TEST(Chip, HbmFlagAndBudgets)
+{
+    EXPECT_TRUE(chipByName("XCVU35P").hasHbm);
+    EXPECT_FALSE(chipByName("XCVU9P").hasHbm);
+    // Budgets are plausible and non-degenerate.
+    for (const Chip &c : allChips()) {
+        EXPECT_GT(c.budget.lut, 100000u) << c.name;
+        EXPECT_GE(c.budget.reg, c.budget.lut) << c.name;
+    }
+}
+
+TEST(Peripheral, Bandwidths)
+{
+    Peripheral qsfp{PeripheralKind::Qsfp28, 2, 0};
+    EXPECT_DOUBLE_EQ(qsfp.peakBandwidth(), 2 * 100e9 / 8);
+    EXPECT_EQ(qsfp.channels(), 2u);
+
+    Peripheral hbm{PeripheralKind::Hbm, 1, 0};
+    EXPECT_DOUBLE_EQ(hbm.peakBandwidth(), 460e9);
+    EXPECT_EQ(hbm.channels(), 32u);
+
+    Peripheral pcie{PeripheralKind::PcieGen4, 1, 16};
+    EXPECT_NEAR(pcie.peakBandwidth(), 31.5e9, 0.5e9);
+}
+
+TEST(Peripheral, PcieWithoutLanesFatal)
+{
+    Peripheral pcie{PeripheralKind::PcieGen3, 1, 0};
+    EXPECT_THROW(pcie.peakBandwidth(), FatalError);
+}
+
+TEST(Peripheral, Classification)
+{
+    EXPECT_EQ(classOf(PeripheralKind::Qsfp112),
+              PeripheralClass::Network);
+    EXPECT_EQ(classOf(PeripheralKind::Dsfp), PeripheralClass::Network);
+    EXPECT_EQ(classOf(PeripheralKind::Hbm), PeripheralClass::Memory);
+    EXPECT_EQ(classOf(PeripheralKind::PcieGen5),
+              PeripheralClass::Host);
+}
+
+} // namespace
+} // namespace harmonia

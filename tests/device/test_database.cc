@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "device/database.h"
+
+namespace harmonia {
+namespace {
+
+TEST(DeviceDatabase, Table2DevicesPresent)
+{
+    const DeviceDatabase &db = DeviceDatabase::instance();
+    ASSERT_TRUE(db.contains("DeviceA"));
+    ASSERT_TRUE(db.contains("DeviceB"));
+    ASSERT_TRUE(db.contains("DeviceC"));
+    ASSERT_TRUE(db.contains("DeviceD"));
+
+    const FpgaDevice &a = db.byName("DeviceA");
+    EXPECT_EQ(a.boardVendor, Vendor::Xilinx);
+    EXPECT_EQ(a.chipName, "XCVU35P");
+    EXPECT_TRUE(a.has(PeripheralKind::Hbm));
+    EXPECT_TRUE(a.has(PeripheralKind::Qsfp28));
+
+    const FpgaDevice &b = db.byName("DeviceB");
+    EXPECT_EQ(b.boardVendor, Vendor::InHouse);
+    EXPECT_EQ(b.chip().vendor(), Vendor::Xilinx);
+
+    const FpgaDevice &c = db.byName("DeviceC");
+    EXPECT_EQ(c.boardVendor, Vendor::InHouse);
+    EXPECT_EQ(c.chip().vendor(), Vendor::Intel);
+    EXPECT_TRUE(c.has(PeripheralKind::Dsfp));
+    EXPECT_FALSE(c.has(PeripheralKind::Ddr4));
+
+    const FpgaDevice &d = db.byName("DeviceD");
+    EXPECT_EQ(d.boardVendor, Vendor::Intel);
+    EXPECT_TRUE(d.has(PeripheralKind::Ddr4));
+}
+
+TEST(DeviceDatabase, PcieAccessor)
+{
+    const FpgaDevice &b =
+        DeviceDatabase::instance().byName("DeviceB");
+    EXPECT_EQ(b.pcie().kind, PeripheralKind::PcieGen3);
+    EXPECT_EQ(b.pcie().lanes, 16u);
+}
+
+TEST(DeviceDatabase, ByClassFilter)
+{
+    const FpgaDevice &a =
+        DeviceDatabase::instance().byName("DeviceA");
+    EXPECT_EQ(a.byClass(PeripheralClass::Memory).size(), 2u);
+    EXPECT_EQ(a.byClass(PeripheralClass::Network).size(), 1u);
+    EXPECT_EQ(a.byClass(PeripheralClass::Host).size(), 1u);
+}
+
+TEST(DeviceDatabase, UnknownDeviceFatal)
+{
+    EXPECT_THROW(DeviceDatabase::instance().byName("DeviceZ"),
+                 FatalError);
+}
+
+TEST(DeviceDatabase, DuplicateRegistrationFatal)
+{
+    DeviceDatabase db = DeviceDatabase::standard();
+    FpgaDevice dup = db.byName("DeviceA");
+    EXPECT_THROW(db.add(dup), FatalError);
+}
+
+TEST(DeviceDatabase, ExtensibleWithNewBoards)
+{
+    DeviceDatabase db = DeviceDatabase::standard();
+    db.add({"DeviceF", Vendor::InHouse, "XCVU9P",
+            {{PeripheralKind::Qsfp112, 2, 0},
+             {PeripheralKind::PcieGen5, 1, 16}},
+            2025});
+    EXPECT_TRUE(db.contains("DeviceF"));
+    EXPECT_EQ(db.byName("DeviceF").pcie().kind,
+              PeripheralKind::PcieGen5);
+}
+
+TEST(DeviceDatabase, FleetHistoryShapesFig3c)
+{
+    const auto history = fleetHistory(DeviceDatabase::instance());
+    ASSERT_FALSE(history.empty());
+    unsigned types = 0;
+    unsigned prev_total = 0;
+    for (const FleetYear &fy : history) {
+        types += fy.newDeviceTypes;
+        EXPECT_GT(fy.totalUnits, prev_total);  // monotone growth
+        prev_total = fy.totalUnits;
+    }
+    EXPECT_EQ(types, DeviceDatabase::instance().all().size());
+    // "Tens of thousands of FPGA accelerators".
+    EXPECT_GT(history.back().totalUnits, 20'000u);
+}
+
+TEST(DeviceDatabase, ToStringMentionsChipAndPeripherals)
+{
+    const std::string s =
+        DeviceDatabase::instance().byName("DeviceA").toString();
+    EXPECT_NE(s.find("XCVU35P"), std::string::npos);
+    EXPECT_NE(s.find("HBM"), std::string::npos);
+}
+
+} // namespace
+} // namespace harmonia

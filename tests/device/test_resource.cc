@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "device/resource.h"
+
+namespace harmonia {
+namespace {
+
+TEST(ResourceVector, Arithmetic)
+{
+    const ResourceVector a{100, 200, 10, 2, 5};
+    const ResourceVector b{50, 100, 5, 1, 0};
+    const ResourceVector sum = a + b;
+    EXPECT_EQ(sum.lut, 150u);
+    EXPECT_EQ(sum.reg, 300u);
+    EXPECT_EQ(sum.bram, 15u);
+    EXPECT_EQ(sum.uram, 3u);
+    EXPECT_EQ(sum.dsp, 5u);
+    EXPECT_EQ(sum - b, a);
+}
+
+TEST(ResourceVector, SubtractionUnderflowPanics)
+{
+    ResourceVector a{10, 10, 10, 0, 0};
+    const ResourceVector b{20, 0, 0, 0, 0};
+    EXPECT_THROW(a -= b, PanicError);
+}
+
+TEST(ResourceVector, FitsIn)
+{
+    const ResourceVector budget{1000, 2000, 100, 10, 50};
+    EXPECT_TRUE((ResourceVector{1000, 2000, 100, 10, 50}).fitsIn(
+        budget));
+    EXPECT_FALSE(
+        (ResourceVector{1001, 0, 0, 0, 0}).fitsIn(budget));
+    EXPECT_FALSE(
+        (ResourceVector{0, 0, 0, 11, 0}).fitsIn(budget));
+}
+
+TEST(ResourceVector, Scaled)
+{
+    const ResourceVector a{100, 200, 10, 4, 6};
+    const ResourceVector half = a.scaled(0.5);
+    EXPECT_EQ(half.lut, 50u);
+    EXPECT_EQ(half.bram, 5u);
+    EXPECT_THROW(a.scaled(-1.0), FatalError);
+}
+
+TEST(ResourceVector, MaxUtilization)
+{
+    const ResourceVector budget{1000, 1000, 100, 100, 100};
+    const ResourceVector used{100, 200, 90, 0, 0};
+    EXPECT_DOUBLE_EQ(used.maxUtilization(budget), 0.9);  // bram bound
+}
+
+TEST(ResourceVector, UtilizationOfMissingClassOnZeroBudget)
+{
+    const ResourceVector budget{1000, 1000, 100, 0, 100};
+    const ResourceVector none{10, 10, 1, 0, 0};
+    EXPECT_DOUBLE_EQ(none.utilization("uram", budget), 0.0);
+    const ResourceVector some{0, 0, 0, 5, 0};
+    EXPECT_DOUBLE_EQ(some.utilization("uram", budget), 1.0);
+}
+
+TEST(ResourceVector, NamedClassAccess)
+{
+    const ResourceVector v{1, 2, 3, 4, 5};
+    EXPECT_EQ(resourceClass(v, "lut"), 1u);
+    EXPECT_EQ(resourceClass(v, "reg"), 2u);
+    EXPECT_EQ(resourceClass(v, "bram"), 3u);
+    EXPECT_EQ(resourceClass(v, "uram"), 4u);
+    EXPECT_EQ(resourceClass(v, "dsp"), 5u);
+    EXPECT_THROW(resourceClass(v, "flipflop"), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

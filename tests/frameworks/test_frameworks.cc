@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "frameworks/comparison.h"
+#include "roles/sec_gateway.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+device(const char *name)
+{
+    return DeviceDatabase::instance().byName(name);
+}
+
+TEST(Frameworks, Table3SupportMatrix)
+{
+    const SupportMatrix m = buildSupportMatrix();
+    auto supported = [&](const char *fw, const char *dev) {
+        return m.supported.at({fw, dev});
+    };
+    // Vitis: commercial Xilinx boards only.
+    EXPECT_TRUE(supported("Vitis", "DeviceA"));
+    EXPECT_FALSE(supported("Vitis", "DeviceB"));  // in-house board
+    EXPECT_FALSE(supported("Vitis", "DeviceD"));
+    // oneAPI: Intel boards only.
+    EXPECT_FALSE(supported("oneAPI", "DeviceA"));
+    EXPECT_FALSE(supported("oneAPI", "DeviceC"));  // in-house board
+    EXPECT_TRUE(supported("oneAPI", "DeviceD"));
+    // Coyote: Xilinx Alveo-class boards.
+    EXPECT_TRUE(supported("Coyote", "DeviceA"));
+    EXPECT_FALSE(supported("Coyote", "DeviceD"));
+    // Harmonia: everything, including in-house.
+    for (const char *dev :
+         {"DeviceA", "DeviceB", "DeviceC", "DeviceD"})
+        EXPECT_TRUE(supported("Harmonia", dev)) << dev;
+}
+
+TEST(Frameworks, Fig18aHarmoniaUsesLessShell)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, device("DeviceA"), SecGateway::standardRequirements());
+    const auto rows = compareShellFootprints(device("DeviceA"), *shell);
+    // Vitis, Coyote and Harmonia can all target device A.
+    ASSERT_EQ(rows.size(), 3u);
+    double harmonia_lut = 0, best_baseline = 1.0;
+    for (const auto &row : rows) {
+        if (row.framework == "Harmonia")
+            harmonia_lut = row.lutFraction;
+        else
+            best_baseline = std::min(best_baseline, row.lutFraction);
+    }
+    EXPECT_GT(harmonia_lut, 0.0);
+    // Paper: 3.5-14.9 percentage points lower than the baselines.
+    const double saving = best_baseline - harmonia_lut;
+    EXPECT_GE(saving, 0.03);
+    EXPECT_LE(saving, 0.16);
+}
+
+TEST(Frameworks, BaselineFootprintsAreMonolithic)
+{
+    VitisFramework vitis;
+    const ResourceVector r = vitis.shellResources(device("DeviceA"));
+    // Benchmark-independent and a large fixed fraction of the die.
+    const double lut_frac =
+        r.utilization("lut", device("DeviceA").chip().budget);
+    EXPECT_GT(lut_frac, 0.15);
+    EXPECT_LT(lut_frac, 0.25);
+}
+
+TEST(Frameworks, Table4CommandRatioInPaperBand)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    const auto rows = compareConfigCosts(*shell);
+    ASSERT_EQ(rows.size(), 3u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.registerOps, row.commandOps);
+        // Paper: 15-23x simplification.
+        EXPECT_GE(row.ratio(), 10.0) << toString(row.task);
+        EXPECT_LE(row.ratio(), 40.0) << toString(row.task);
+    }
+}
+
+TEST(Frameworks, PerformanceFactorsNearUnity)
+{
+    for (const auto &fw : makeBaselines()) {
+        EXPECT_GE(fw->datapathEfficiency(), 0.95) << fw->name();
+        EXPECT_LE(fw->datapathEfficiency(), 1.0) << fw->name();
+        EXPECT_LT(fw->addedLatencyPs(), 500'000u) << fw->name();
+    }
+}
+
+TEST(Frameworks, ConfigTaskNames)
+{
+    EXPECT_STREQ(toString(ConfigTask::MonitoringStatistics),
+                 "Monitoring Statistics");
+    EXPECT_STREQ(toString(ConfigTask::HostInteraction),
+                 "Host Interaction Config");
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "host/cmd_driver.h"
+#include "roles/board_test.h"
+#include "roles/host_network.h"
+#include "roles/l4lb.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+#include "workload/packet_gen.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+device(const char *name)
+{
+    return DeviceDatabase::instance().byName(name);
+}
+
+/**
+ * Property: the whole stack is deterministic. Two identical runs of a
+ * traffic workload through a shell + role produce identical statistics
+ * and identical final simulated time.
+ */
+TEST(Properties, SimulationIsDeterministic)
+{
+    auto run = [] {
+        Engine engine;
+        auto shell = Shell::makeTailored(
+            engine, device("DeviceA"),
+            SecGateway::standardRequirements());
+        SecGateway role;
+        role.bind(engine, *shell);
+        role.addPolicy({0x7, 0x2, false});
+
+        PacketGenConfig cfg;
+        cfg.sizeMode = SizeMode::Imix;
+        cfg.flows = 128;
+        PacketGenerator gen(cfg);
+        for (int i = 0; i < 600; ++i) {
+            PacketDesc pkt = gen.next(engine.now() + i * 10'000);
+            shell->network().mac().injectRx(pkt, pkt.injected);
+        }
+        engine.runFor(100'000'000);
+        return std::make_tuple(
+            role.stats().value("forwarded_packets"),
+            role.stats().value("denied_packets"),
+            shell->network().monitor().value("rx_bytes"),
+            engine.now());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+/**
+ * Property: tailoring succeeds on exactly the devices that physically
+ * satisfy a role's demands, for every (role, device) combination —
+ * and every feasible combination also compiles and serves commands.
+ */
+TEST(Properties, TailoringFeasibilityMatrix)
+{
+    const std::vector<RoleRequirements> roles = {
+        SecGateway::standardRequirements(),
+        Layer4Lb::standardRequirements(),
+        HostNetwork::standardRequirements(),
+        Retrieval::standardRequirements(),
+        BoardTest::standardRequirements(),
+    };
+
+    for (const FpgaDevice &dev : DeviceDatabase::instance().all()) {
+        for (const RoleRequirements &reqs : roles) {
+            // Independently decide feasibility from the datasheet.
+            unsigned cages = 0;
+            for (const Peripheral &p :
+                 dev.byClass(PeripheralClass::Network))
+                cages += p.count;
+            double mem_bw = 0;
+            for (const Peripheral &p :
+                 dev.byClass(PeripheralClass::Memory))
+                mem_bw += p.peakBandwidth() / 1e9;
+            bool feasible = true;
+            if (reqs.needsNetwork && cages < reqs.networkPorts)
+                feasible = false;
+            if (reqs.needsMemory &&
+                mem_bw < reqs.memoryBandwidthGBps)
+                feasible = false;
+
+            Engine engine;
+            if (!feasible) {
+                EXPECT_THROW(Shell::makeTailored(engine, dev, reqs),
+                             FatalError)
+                    << reqs.name << " on " << dev.name;
+                continue;
+            }
+            auto shell = Shell::makeTailored(engine, dev, reqs);
+            Toolchain tc(VendorAdapter::standardFor(dev));
+            const BuildArtifact art = tc.compile(
+                shell->compileJob(reqs.name + "@" + dev.name,
+                                  reqs.roleLogic));
+            EXPECT_TRUE(art.success)
+                << reqs.name << " on " << dev.name << ": "
+                << (art.log.empty() ? "" : art.log.back());
+
+            CmdDriver driver(engine, *shell);
+            EXPECT_GT(driver.initializeAll(), 0u);
+        }
+    }
+}
+
+/**
+ * Property: the next-generation board (Gen5 + 400G) works with the
+ * same code — the §2.2(iii) generation-evolution claim.
+ */
+TEST(Properties, NextGenDeviceRunsAt400G)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceE"));
+    EXPECT_EQ(shell->network().mac().gbps(), 400u);
+    EXPECT_EQ(shell->network().instance().dataWidthBits(), 2048u);
+    EXPECT_EQ(shell->host().dma().pcieGen(), 5u);
+
+    // 400G line rate actually flows.
+    shell->network().setLoopback(true);
+    const Tick wire = wireTime(1024, 400e9);
+    for (int i = 0; i < 1000; ++i) {
+        PacketDesc pkt;
+        pkt.bytes = 1024;
+        pkt.injected = engine.now() + i * wire;
+        shell->network().txPush(pkt);
+        while (!shell->network().txReady())
+            engine.step();
+    }
+    std::uint64_t got = 0;
+    engine.runUntilDone(
+        [&] {
+            while (shell->network().rxAvailable()) {
+                shell->network().rxPop();
+                ++got;
+            }
+            return got == 1000;
+        },
+        100'000'000);
+    EXPECT_EQ(got, 1000u);
+    // The real-time monitor sees several hundred Gbps.
+    EXPECT_GT(shell->network().rxBitsPerSecond(), 200e9);
+}
+
+/**
+ * Property: monitoring rate meters agree with counters over a run.
+ */
+TEST(Properties, RateMetersMatchCounters)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, device("DeviceA"), SecGateway::standardRequirements());
+    const Tick wire = wireTime(512, 100e9);
+    for (int i = 0; i < 500; ++i) {
+        PacketDesc pkt;
+        pkt.bytes = 512;
+        pkt.injected = engine.now() + i * wire;
+        shell->network().mac().injectRx(pkt, pkt.injected);
+    }
+    std::uint64_t drained = 0;
+    engine.runUntilDone(
+        [&] {
+            while (shell->network().rxAvailable()) {
+                shell->network().rxPop();
+                ++drained;
+            }
+            return drained == 500;
+        },
+        100'000'000);
+    EXPECT_EQ(shell->network().monitor().value("rx_packets"), 500u);
+    // ~91 Gbps goodput at 512B on a 100G line.
+    EXPECT_GT(shell->network().rxBitsPerSecond(), 80e9);
+    EXPECT_LT(shell->network().rxBitsPerSecond(), 100e9);
+    EXPECT_NEAR(shell->network().rxPacketsPerSecond(),
+                shell->network().rxBitsPerSecond() / (512 * 8), 1e5);
+}
+
+/**
+ * Property: control-plane flooding does not corrupt the data plane.
+ */
+TEST(Properties, ControlFloodLeavesDataPlaneIntact)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, device("DeviceA"), SecGateway::standardRequirements());
+    SecGateway role;
+    role.bind(engine, *shell);
+
+    // Flood the kernel with commands while traffic flows.
+    CmdDriver driver(engine, *shell);
+    const Tick wire = wireTime(512, 100e9);
+    for (int i = 0; i < 300; ++i) {
+        PacketDesc pkt;
+        pkt.bytes = 512;
+        pkt.injected = engine.now() + i * wire;
+        shell->network().mac().injectRx(pkt, pkt.injected);
+    }
+    for (int i = 0; i < 40; ++i)
+        driver.call(kRbbNetwork, 0, kCmdStatsSnapshot);
+    engine.runFor(100'000'000);
+    EXPECT_EQ(role.stats().value("forwarded_packets"), 300u);
+    EXPECT_EQ(shell->kernel().stats().value("commands_executed"),
+              40u);
+}
+
+} // namespace
+} // namespace harmonia

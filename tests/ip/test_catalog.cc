@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ip/catalog.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Catalog, MakesAModelForEveryFunctionAndVendor)
+{
+    for (IpFunction fn : fig3bFunctions()) {
+        for (Vendor v : {Vendor::Xilinx, Vendor::Intel}) {
+            auto ip = makeIpFor(fn, v);
+            ASSERT_NE(ip, nullptr)
+                << toString(fn) << "/" << toString(v);
+            EXPECT_FALSE(ip->ports().empty());
+            EXPECT_FALSE(ip->configItems().empty());
+            EXPECT_FALSE(ip->initSequence().empty());
+        }
+    }
+}
+
+TEST(Catalog, CrossVendorDiffsAreSubstantial)
+{
+    // Figure 3b's premise: common modules differ by tens of
+    // properties across vendors, so they cannot simply be reused.
+    for (IpFunction fn : fig3bFunctions()) {
+        const PropertyDiff diff = crossVendorDiff(fn);
+        EXPECT_GE(diff.interfaceDiff, 20u) << toString(fn);
+        EXPECT_GE(diff.configDiff, 20u) << toString(fn);
+    }
+}
+
+TEST(Catalog, FunctionNames)
+{
+    EXPECT_STREQ(toString(IpFunction::Mac), "MAC");
+    EXPECT_STREQ(toString(IpFunction::Tlp), "TLP");
+    EXPECT_STREQ(toString(IpFunction::Hbm), "HBM");
+}
+
+TEST(Catalog, SameFamilyIpsShareNoRegisterNames)
+{
+    // The disparity is total at the register level: nothing to reuse
+    // without the wrapper/RBB layer.
+    for (IpFunction fn :
+         {IpFunction::Mac, IpFunction::Dma, IpFunction::Ddr}) {
+        auto a = makeIpFor(fn, Vendor::Xilinx);
+        auto b = makeIpFor(fn, Vendor::Intel);
+        for (const auto &ra : a->regs().descriptors())
+            for (const auto &rb : b->regs().descriptors())
+                EXPECT_NE(ra.name, rb.name) << toString(fn);
+    }
+}
+
+} // namespace
+} // namespace harmonia

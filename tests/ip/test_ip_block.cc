@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ip/ip_block.h"
+
+namespace harmonia {
+namespace {
+
+class DummyIp : public IpBlock {
+  public:
+    DummyIp() : IpBlock("dummy", Vendor::Xilinx,
+                        Protocol::Axi4Stream, 64, 100.0)
+    {
+        regs().define({"CTRL", 0x0, false, "control"});
+        regs().define({"STATUS", 0x4, true, "status"});
+        addInitOp({RegOp::Kind::Write, "CTRL", 1});
+        addInitOp({RegOp::Kind::Read, "STATUS", 0});
+        addConfig({"WIDTH", ConfigScope::RoleOriented, "64", ""});
+        addConfig({"MODE", ConfigScope::ShellOriented, "fast", ""});
+        addPort({"data_in", Protocol::Axi4Stream, 64, false});
+        addDependency("cad_tool", "vivado-2023.2");
+    }
+    void tick() override {}
+};
+
+TEST(RegisterFile, ReadWriteByAddrAndName)
+{
+    DummyIp ip;
+    ip.regs().write(0x0, 0x55);
+    EXPECT_EQ(ip.regs().read(0x0), 0x55u);
+    ip.regs().writeByName("CTRL", 0x66);
+    EXPECT_EQ(ip.regs().readByName("CTRL"), 0x66u);
+}
+
+TEST(RegisterFile, ReadOnlyEnforced)
+{
+    DummyIp ip;
+    EXPECT_THROW(ip.regs().write(0x4, 1), FatalError);
+    ip.regs().poke(0x4, 7);  // hardware-internal update is fine
+    EXPECT_EQ(ip.regs().read(0x4), 7u);
+}
+
+TEST(RegisterFile, HandlersFire)
+{
+    DummyIp ip;
+    int writes = 0;
+    ip.regs().onWrite(0x0, [&](std::uint32_t v) {
+        ++writes;
+        EXPECT_EQ(v, 9u);
+    });
+    ip.regs().onRead(0x4, [](std::uint32_t) { return 123u; });
+    ip.regs().write(0x0, 9);
+    EXPECT_EQ(writes, 1);
+    EXPECT_EQ(ip.regs().read(0x4), 123u);
+    EXPECT_EQ(ip.regs().peek(0x4), 0u);  // peek bypasses handlers
+}
+
+TEST(RegisterFile, UndefinedAccessFatal)
+{
+    DummyIp ip;
+    EXPECT_THROW(ip.regs().read(0x100), FatalError);
+    EXPECT_THROW(ip.regs().addrOf("NOPE"), FatalError);
+}
+
+TEST(RegisterFile, DuplicateDefinitionFatal)
+{
+    DummyIp ip;
+    EXPECT_THROW(ip.regs().define({"CTRL2", 0x0, false, ""}),
+                 FatalError);
+    EXPECT_THROW(ip.regs().define({"CTRL", 0x8, false, ""}),
+                 FatalError);
+}
+
+TEST(RegisterFile, Descriptors)
+{
+    DummyIp ip;
+    const auto descs = ip.regs().descriptors();
+    ASSERT_EQ(descs.size(), 2u);
+    EXPECT_EQ(descs[0].name, "CTRL");
+    EXPECT_TRUE(descs[1].readOnly);
+}
+
+TEST(IpBlock, InitSequenceMarksInitialized)
+{
+    DummyIp ip;
+    EXPECT_FALSE(ip.initialized());
+    EXPECT_EQ(ip.applyInitSequence(), 2u);
+    EXPECT_TRUE(ip.initialized());
+    EXPECT_EQ(ip.regs().readByName("CTRL"), 1u);
+    ip.reset();
+    EXPECT_FALSE(ip.initialized());
+}
+
+TEST(IpBlock, RoleOrientedConfigFilter)
+{
+    DummyIp ip;
+    const auto role = ip.roleOrientedConfigs();
+    ASSERT_EQ(role.size(), 1u);
+    EXPECT_EQ(role[0], "WIDTH");
+}
+
+TEST(IpBlock, RejectsNonByteWidth)
+{
+    class BadIp : public IpBlock {
+      public:
+        BadIp() : IpBlock("bad", Vendor::Intel,
+                          Protocol::AvalonStream, 65, 100.0) {}
+        void tick() override {}
+    };
+    EXPECT_THROW(BadIp bad, FatalError);
+}
+
+TEST(PropertyDiff, CountsSymmetricDifferences)
+{
+    DummyIp a;
+
+    class OtherIp : public IpBlock {
+      public:
+        OtherIp() : IpBlock("other", Vendor::Intel,
+                            Protocol::AvalonStream, 64, 100.0)
+        {
+            addConfig({"WIDTH", ConfigScope::RoleOriented, "64", ""});
+            addConfig({"speed", ConfigScope::ShellOriented, "x", ""});
+            addConfig({"lanes", ConfigScope::ShellOriented, "4", ""});
+            addPort({"rx_data", Protocol::AvalonStream, 64, true});
+            addPort({"data_in", Protocol::AvalonStream, 64, false});
+        }
+        void tick() override {}
+    };
+    OtherIp b;
+
+    const PropertyDiff diff = propertyDiff(a, b);
+    EXPECT_EQ(diff.interfaceDiff, 1u);  // rx_data only in b
+    EXPECT_EQ(diff.configDiff, 3u);     // MODE vs speed+lanes
+}
+
+TEST(MigrationRegOps, LcsBasedEditCount)
+{
+    DummyIp a;
+
+    class SimilarIp : public IpBlock {
+      public:
+        SimilarIp() : IpBlock("sim", Vendor::Xilinx,
+                              Protocol::Axi4Stream, 64, 100.0)
+        {
+            regs().define({"CTRL", 0x0, false, ""});
+            regs().define({"STATUS", 0x4, true, ""});
+            regs().define({"EXTRA", 0x8, false, ""});
+            addInitOp({RegOp::Kind::Write, "CTRL", 1});
+            addInitOp({RegOp::Kind::Write, "EXTRA", 2});
+            addInitOp({RegOp::Kind::Read, "STATUS", 0});
+        }
+        void tick() override {}
+    };
+    SimilarIp b;
+
+    // Common subsequence: {Write CTRL 1, Read STATUS} => 1 insertion.
+    EXPECT_EQ(migrationRegOps(a, b), 1u);
+    EXPECT_EQ(migrationRegOps(a, a), 0u);
+}
+
+TEST(IpBlock, DependenciesRecorded)
+{
+    DummyIp ip;
+    ASSERT_EQ(ip.dependencies().size(), 1u);
+    EXPECT_EQ(ip.dependencies().at("cad_tool"), "vivado-2023.2");
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ip/memory_ip.h"
+#include "sim/engine.h"
+
+namespace harmonia {
+namespace {
+
+struct MemBench {
+    Engine engine;
+    Clock *clk;
+    XilinxMigDdr4 mem{2};
+
+    MemBench()
+    {
+        clk = engine.addClock("clk", 300.0);
+        engine.add(&mem, clk);
+    }
+
+    std::uint64_t
+    timeAccesses(unsigned channel, bool sequential, unsigned count)
+    {
+        const Tick start = engine.now();
+        unsigned issued = 0, completed = 0;
+        std::uint64_t rng = 42;
+        while (completed < count) {
+            while (issued < count) {
+                MemRequest req;
+                req.addr = sequential
+                               ? issued * 64ULL
+                               : ((rng = rng * 6364136223846793005ULL +
+                                         1) >>
+                                  20) %
+                                     (1ULL << 30) / 64 * 64;
+                req.bytes = 64;
+                req.issued = engine.now();
+                if (!mem.post(channel, req))
+                    break;
+                ++issued;
+            }
+            engine.step();
+            while (mem.hasCompletion()) {
+                mem.popCompletion();
+                ++completed;
+            }
+        }
+        return engine.now() - start;
+    }
+};
+
+TEST(MemoryIp, GeometryByKind)
+{
+    XilinxMigDdr4 ddr(1);
+    XilinxHbm hbm;
+    EXPECT_EQ(ddr.channels(), 1u);
+    EXPECT_EQ(hbm.channels(), 32u);
+    EXPECT_DOUBLE_EQ(ddr.channelBandwidth(), 19.2e9);
+    EXPECT_NEAR(hbm.channelBandwidth(), 460e9 / 32, 1e6);
+    EXPECT_EQ(ddr.rowBytes(), 8192u);
+    EXPECT_EQ(hbm.rowBytes(), 2048u);
+}
+
+TEST(MemoryIp, SequentialBeatsRandom)
+{
+    MemBench b;
+    const std::uint64_t seq = b.timeAccesses(0, true, 400);
+    MemBench b2;
+    const std::uint64_t rnd = b2.timeAccesses(0, false, 400);
+    // Open-row hits make sequential streams much faster (Fig 10c
+    // and 18c shape).
+    EXPECT_LT(seq * 2, rnd);
+}
+
+TEST(MemoryIp, RowHitMissCountersTrackPattern)
+{
+    MemBench b;
+    b.timeAccesses(0, true, 200);
+    EXPECT_GT(b.mem.stats().value("row_hits"),
+              b.mem.stats().value("row_misses"));
+
+    MemBench b2;
+    b2.timeAccesses(0, false, 200);
+    EXPECT_GT(b2.mem.stats().value("row_misses"),
+              b2.mem.stats().value("row_hits"));
+}
+
+TEST(MemoryIp, ChannelsServeIndependently)
+{
+    MemBench b;
+    // Same number of requests split across 2 channels finishes
+    // roughly twice as fast as on one channel.
+    const Tick start = b.engine.now();
+    unsigned completed = 0;
+    for (unsigned i = 0; i < 200; ++i) {
+        MemRequest req;
+        req.addr = i * 64;
+        req.bytes = 64;
+        req.issued = b.engine.now();
+        while (!b.mem.post(i % 2, req))
+            b.engine.step();
+    }
+    while (completed < 200) {
+        b.engine.step();
+        while (b.mem.hasCompletion()) {
+            b.mem.popCompletion();
+            ++completed;
+        }
+    }
+    const Tick two_ch = b.engine.now() - start;
+
+    MemBench b1;
+    const Tick one_ch = b1.timeAccesses(0, true, 200);
+    EXPECT_LT(two_ch, one_ch);
+}
+
+TEST(MemoryIp, FunctionalStoreRoundTrip)
+{
+    XilinxMigDdr4 mem(1);
+    std::vector<std::uint8_t> data(300);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 3);
+    // Crosses a page boundary (pages are 4 KiB).
+    mem.storeWrite(4096 - 100, data);
+    EXPECT_EQ(mem.storeRead(4096 - 100, data.size()), data);
+    // Untouched bytes read as zero.
+    EXPECT_EQ(mem.storeRead(1 << 20, 4),
+              (std::vector<std::uint8_t>{0, 0, 0, 0}));
+}
+
+TEST(MemoryIp, SmallAccessesPayBurstGranularity)
+{
+    MemBench b;
+    // A 4B read occupies the bus like a 64B burst; the latency floor
+    // is the same.
+    MemRequest small;
+    small.addr = 0;
+    small.bytes = 4;
+    small.issued = b.engine.now();
+    ASSERT_TRUE(b.mem.post(0, small));
+    b.engine.runUntilDone([&] { return b.mem.hasCompletion(); },
+                          10'000'000);
+    const MemCompletion c = b.mem.popCompletion();
+    EXPECT_GE(c.latency(), 15'000u);  // at least CAS
+}
+
+TEST(MemoryIp, InvalidRequestsFatal)
+{
+    MemBench b;
+    MemRequest req;
+    req.bytes = 0;
+    EXPECT_THROW(b.mem.post(0, req), FatalError);
+    req.bytes = 64;
+    EXPECT_THROW(b.mem.post(9, req), FatalError);
+    EXPECT_THROW(b.mem.popCompletion(), FatalError);
+}
+
+TEST(MemoryIp, VendorsDifferIntelVsXilinx)
+{
+    XilinxMigDdr4 x(1, "x");
+    IntelEmifDdr4 i(1, "i");
+    EXPECT_EQ(x.dataProtocol(), Protocol::Axi4MemoryMapped);
+    EXPECT_EQ(i.dataProtocol(), Protocol::AvalonMemoryMapped);
+    for (const auto &xd : x.regs().descriptors())
+        for (const auto &id : i.regs().descriptors())
+            EXPECT_NE(xd.name, id.name);
+}
+
+TEST(MemoryIp, FactoryRules)
+{
+    auto ddr_i = makeMemory(Vendor::Intel, PeripheralKind::Ddr4, 2);
+    EXPECT_EQ(ddr_i->vendor(), Vendor::Intel);
+    auto hbm = makeMemory(Vendor::Xilinx, PeripheralKind::Hbm, 32);
+    EXPECT_EQ(hbm->memoryKind(), PeripheralKind::Hbm);
+    EXPECT_THROW(makeMemory(Vendor::Intel, PeripheralKind::Hbm, 32),
+                 FatalError);
+}
+
+TEST(MemoryIp, InitRecipesDiffer)
+{
+    XilinxMigDdr4 x(1, "x2");
+    IntelEmifDdr4 i(1, "i2");
+    x.applyInitSequence();
+    i.applyInitSequence();
+    EXPECT_TRUE(x.initialized());
+    EXPECT_TRUE(i.initialized());
+    EXPECT_EQ(i.regs().readByName("afi_cal_success"), 1u);
+}
+
+} // namespace
+} // namespace harmonia

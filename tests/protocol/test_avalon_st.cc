@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "protocol/avalon_st.h"
+
+namespace harmonia {
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n)
+{
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(i * 41 + 3);
+    return out;
+}
+
+TEST(AvalonSt, SegmentationRoundTrip)
+{
+    const auto payload = pattern(1500);
+    const auto beats = packetToAvalonSt(payload, 64);
+    EXPECT_EQ(beats.size(), 24u);
+    EXPECT_EQ(avalonStToPacket(beats), payload);
+}
+
+TEST(AvalonSt, SopEopEmptyFraming)
+{
+    const auto payload = pattern(100);
+    const auto beats = packetToAvalonSt(payload, 64, 5);
+    ASSERT_EQ(beats.size(), 2u);
+    EXPECT_TRUE(beats[0].sop);
+    EXPECT_FALSE(beats[0].eop);
+    EXPECT_EQ(beats[0].empty, 0);
+    EXPECT_FALSE(beats[1].sop);
+    EXPECT_TRUE(beats[1].eop);
+    EXPECT_EQ(beats[1].empty, 64 - 36);
+    EXPECT_EQ(beats[0].channel, 5);
+}
+
+TEST(AvalonSt, SingleBeatHasSopAndEop)
+{
+    const auto beats = packetToAvalonSt(pattern(10), 64);
+    ASSERT_EQ(beats.size(), 1u);
+    EXPECT_TRUE(beats[0].sop);
+    EXPECT_TRUE(beats[0].eop);
+    EXPECT_EQ(avalonStValidBytes(beats[0]), 10u);
+}
+
+TEST(AvalonSt, ReassemblyEnforcesProtocolRules)
+{
+    auto beats = packetToAvalonSt(pattern(128), 64);
+
+    auto corrupt = beats;
+    corrupt[0].sop = false;
+    EXPECT_THROW(avalonStToPacket(corrupt), FatalError);
+
+    corrupt = beats;
+    corrupt[1].sop = true;  // sop mid-packet
+    EXPECT_THROW(avalonStToPacket(corrupt), FatalError);
+
+    corrupt = beats;
+    corrupt[0].eop = true;  // early eop
+    EXPECT_THROW(avalonStToPacket(corrupt), FatalError);
+
+    corrupt = beats;
+    corrupt[0].empty = 4;  // empty without eop
+    EXPECT_THROW(avalonStToPacket(corrupt), FatalError);
+
+    EXPECT_THROW(avalonStToPacket({}), FatalError);
+}
+
+TEST(AvalonSt, RejectsEmptyPacketAndBadWidth)
+{
+    EXPECT_THROW(packetToAvalonSt({}, 64), FatalError);
+    EXPECT_THROW(packetToAvalonSt(pattern(4), 0), FatalError);
+}
+
+class AvalonSizesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AvalonSizesTest, RoundTripAcrossSizes)
+{
+    const auto payload = pattern(GetParam());
+    for (std::size_t width : {16u, 32u, 64u, 128u}) {
+        const auto beats = packetToAvalonSt(payload, width);
+        EXPECT_EQ(avalonStToPacket(beats), payload)
+            << "width " << width;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AvalonSizesTest,
+                         ::testing::Values(1u, 63u, 64u, 65u, 129u,
+                                           1500u, 4096u));
+
+} // namespace
+} // namespace harmonia

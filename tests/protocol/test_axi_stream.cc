@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "protocol/axi_stream.h"
+
+namespace harmonia {
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n)
+{
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(i * 29 + 1);
+    return out;
+}
+
+TEST(AxiStream, SegmentationRoundTrip)
+{
+    const auto payload = pattern(1500);
+    const auto beats = packetToAxis(payload, 64);
+    EXPECT_EQ(beats.size(), 24u);  // ceil(1500/64)
+    EXPECT_EQ(axisToPacket(beats), payload);
+}
+
+TEST(AxiStream, FinalBeatStrobesAndPadding)
+{
+    const auto payload = pattern(100);
+    const auto beats = packetToAxis(payload, 64);
+    ASSERT_EQ(beats.size(), 2u);
+    EXPECT_EQ(beats[0].tkeep, mask(64));
+    EXPECT_FALSE(beats[0].tlast);
+    EXPECT_EQ(beats[1].tkeep, mask(36));
+    EXPECT_TRUE(beats[1].tlast);
+    EXPECT_EQ(beats[1].tdata.size(), 64u);  // zero-padded to bus width
+    for (std::size_t i = 36; i < 64; ++i)
+        EXPECT_EQ(beats[1].tdata[i], 0);
+}
+
+TEST(AxiStream, SingleBeatPacket)
+{
+    const auto payload = pattern(16);
+    const auto beats = packetToAxis(payload, 64);
+    ASSERT_EQ(beats.size(), 1u);
+    EXPECT_TRUE(beats[0].tlast);
+    EXPECT_EQ(axisValidBytes(beats[0]), 16u);
+    EXPECT_EQ(axisToPacket(beats), payload);
+}
+
+TEST(AxiStream, ExactMultipleOfWidth)
+{
+    const auto payload = pattern(128);
+    const auto beats = packetToAxis(payload, 64);
+    ASSERT_EQ(beats.size(), 2u);
+    EXPECT_EQ(beats[1].tkeep, mask(64));
+    EXPECT_TRUE(beats[1].tlast);
+    EXPECT_EQ(axisToPacket(beats), payload);
+}
+
+TEST(AxiStream, RejectsEmptyPacketAndBadWidth)
+{
+    EXPECT_THROW(packetToAxis({}, 64), FatalError);
+    EXPECT_THROW(packetToAxis(pattern(8), 0), FatalError);
+    EXPECT_THROW(packetToAxis(pattern(8), 65), FatalError);
+}
+
+TEST(AxiStream, ReassemblyEnforcesProtocolRules)
+{
+    auto beats = packetToAxis(pattern(128), 64);
+
+    auto corrupt = beats;
+    corrupt[0].tkeep = 0x5;  // non-contiguous
+    EXPECT_THROW(axisToPacket(corrupt), FatalError);
+
+    corrupt = beats;
+    corrupt[0].tlast = true;  // early tlast
+    EXPECT_THROW(axisToPacket(corrupt), FatalError);
+
+    corrupt = beats;
+    corrupt[1].tlast = false;  // missing tlast
+    EXPECT_THROW(axisToPacket(corrupt), FatalError);
+
+    corrupt = beats;
+    corrupt[0].tkeep = mask(32);  // partial strobe before tlast
+    EXPECT_THROW(axisToPacket(corrupt), FatalError);
+
+    EXPECT_THROW(axisToPacket({}), FatalError);
+}
+
+class AxisSizesTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AxisSizesTest, RoundTripAcrossSizes)
+{
+    const auto payload = pattern(GetParam());
+    for (std::size_t width : {16u, 32u, 64u}) {
+        const auto beats = packetToAxis(payload, width);
+        EXPECT_EQ(axisToPacket(beats), payload)
+            << "width " << width;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AxisSizesTest,
+                         ::testing::Values(1u, 63u, 64u, 65u, 128u,
+                                           1024u, 1500u, 9000u));
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/logging.h"
+#include "protocol/avalon_mm.h"
+#include "protocol/axi_mm.h"
+
+namespace harmonia {
+namespace {
+
+TEST(AxiMm, SingleBurstEncoding)
+{
+    const auto cmds = axiBurstsFor(0x1000, 512, 64, false, 7);
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0].addr, 0x1000u);
+    EXPECT_EQ(cmds[0].len, 7);            // 8 beats - 1
+    EXPECT_EQ(cmds[0].size, 6);           // log2(64)
+    EXPECT_EQ(cmds[0].beats(), 8u);
+    EXPECT_EQ(cmds[0].beatBytes(), 64u);
+    EXPECT_EQ(cmds[0].totalBytes(), 512u);
+    EXPECT_EQ(cmds[0].id, 7);
+    EXPECT_FALSE(cmds[0].write);
+}
+
+TEST(AxiMm, SplitsAt256Beats)
+{
+    // 300 beats of 64B must split into 256 + 44.
+    const auto cmds = axiBurstsFor(0, 300 * 64, 64, true);
+    ASSERT_EQ(cmds.size(), 2u);
+    EXPECT_EQ(cmds[0].beats(), 256u);
+    EXPECT_EQ(cmds[1].beats(), 44u);
+    EXPECT_EQ(cmds[1].addr, 256u * 64u);
+    EXPECT_TRUE(cmds[1].write);
+}
+
+TEST(AxiMm, PartialBeatRoundsUp)
+{
+    const auto cmds = axiBurstsFor(0, 65, 64, false);
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0].beats(), 2u);
+}
+
+TEST(AxiMm, RejectsBadArguments)
+{
+    EXPECT_THROW(axiBurstsFor(0, 64, 48, false), FatalError);
+    EXPECT_THROW(axiBurstsFor(0, 64, 256, false), FatalError);
+    EXPECT_THROW(axiBurstsFor(0, 0, 64, false), FatalError);
+}
+
+TEST(AvalonMm, SingleBurstEncoding)
+{
+    const auto cmds = avalonBurstsFor(0x2000, 512, 64, true);
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0].address, 0x2000u);
+    EXPECT_EQ(cmds[0].burstcount, 8);  // beats, 1-based count
+    EXPECT_EQ(cmds[0].byteenable, mask(64));
+    EXPECT_TRUE(cmds[0].write);
+}
+
+TEST(AvalonMm, SplitsAt2048Beats)
+{
+    const auto cmds = avalonBurstsFor(0, 2100ULL * 64, 64, false);
+    ASSERT_EQ(cmds.size(), 2u);
+    EXPECT_EQ(cmds[0].burstcount, 2048);
+    EXPECT_EQ(cmds[1].burstcount, 52);
+    EXPECT_EQ(cmds[1].address, 2048ULL * 64);
+}
+
+TEST(AvalonMm, RejectsBadArguments)
+{
+    EXPECT_THROW(avalonBurstsFor(0, 64, 100, false), FatalError);
+    EXPECT_THROW(avalonBurstsFor(0, 0, 64, false), FatalError);
+}
+
+TEST(MmEncodings, VendorsEncodeSameTransferDifferently)
+{
+    // The structural disparity the interface wrapper hides: the same
+    // 512B transfer is len=7 (beats-1) on AXI vs burstcount=8 on
+    // Avalon, and Avalon carries byte lanes in the command.
+    const auto axi = axiBurstsFor(0, 512, 64, false);
+    const auto av = avalonBurstsFor(0, 512, 64, false);
+    EXPECT_EQ(axi[0].len + 1, av[0].burstcount);
+    EXPECT_EQ(axi[0].totalBytes(),
+              static_cast<std::uint64_t>(av[0].burstcount) * 64);
+}
+
+class BurstSizesTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BurstSizesTest, TotalBytesCoveredByBothEncodings)
+{
+    const std::uint64_t bytes = GetParam();
+    const auto axi = axiBurstsFor(0, bytes, 64, false);
+    std::uint64_t axi_total = 0;
+    for (const auto &c : axi)
+        axi_total += c.totalBytes();
+    EXPECT_GE(axi_total, bytes);
+    EXPECT_LT(axi_total - bytes, 64u);
+
+    const auto av = avalonBurstsFor(0, bytes, 64, false);
+    std::uint64_t av_total = 0;
+    for (const auto &c : av)
+        av_total += static_cast<std::uint64_t>(c.burstcount) * 64;
+    EXPECT_EQ(av_total, axi_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BurstSizesTest,
+                         ::testing::Values(1ULL, 64ULL, 4096ULL,
+                                           65536ULL, 1ULL << 20,
+                                           (1ULL << 20) + 13));
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "protocol/translate.h"
+
+namespace harmonia {
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n)
+{
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(i ^ (i >> 3));
+    return out;
+}
+
+TEST(Translate, AxisToAvalonPreservesPayload)
+{
+    const auto payload = pattern(1000);
+    const auto axis = packetToAxis(payload, 64);
+    const auto avalon = axisPacketToAvalonSt(axis);
+    EXPECT_EQ(avalonStToPacket(avalon), payload);
+}
+
+TEST(Translate, AvalonToAxisPreservesPayload)
+{
+    const auto payload = pattern(777);
+    const auto avalon = packetToAvalonSt(payload, 64);
+    const auto axis = avalonStPacketToAxis(avalon);
+    EXPECT_EQ(axisToPacket(axis), payload);
+}
+
+TEST(Translate, FramingReExpressed)
+{
+    const auto payload = pattern(100);  // 2 beats at 64B, 36 valid
+    const auto axis = packetToAxis(payload, 64);
+    const auto avalon = axisPacketToAvalonSt(axis);
+
+    ASSERT_EQ(avalon.size(), 2u);
+    EXPECT_TRUE(avalon[0].sop);       // AXIS has no sop; synthesized
+    EXPECT_FALSE(avalon[0].eop);
+    EXPECT_TRUE(avalon[1].eop);       // from tlast
+    EXPECT_EQ(avalon[1].empty, 28);   // from popcount(tkeep)
+}
+
+TEST(Translate, RoundTripBothDirections)
+{
+    const auto payload = pattern(1500);
+    const auto axis = packetToAxis(payload, 32);
+    const auto there = axisPacketToAvalonSt(axis);
+    const auto back = avalonStPacketToAxis(there);
+    EXPECT_EQ(axisToPacket(back), payload);
+}
+
+TEST(Translate, RejectsMalformedBeats)
+{
+    AxisBeat bad;
+    bad.tdata.assign(64, 0);
+    bad.tkeep = 0x5;  // non-contiguous
+    EXPECT_THROW(axisToAvalonSt(bad, true), FatalError);
+
+    bad.tkeep = 0;  // null beat
+    EXPECT_THROW(axisToAvalonSt(bad, true), FatalError);
+
+    AvalonStBeat bad_av;
+    bad_av.data.assign(64, 0);
+    bad_av.empty = 8;
+    bad_av.eop = false;  // empty without eop
+    EXPECT_THROW(avalonStToAxis(bad_av), FatalError);
+}
+
+TEST(Translate, PartialStrobesBeforeTlastRejected)
+{
+    AxisBeat mid;
+    mid.tdata.assign(64, 1);
+    mid.tkeep = (1ULL << 32) - 1;  // half-valid, not last
+    mid.tlast = false;
+    EXPECT_THROW(axisToAvalonSt(mid, false), FatalError);
+}
+
+class TranslateSizesTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TranslateSizesTest, PayloadIdentityAcrossSizes)
+{
+    const auto payload = pattern(GetParam());
+    const auto axis = packetToAxis(payload, 64);
+    EXPECT_EQ(avalonStToPacket(axisPacketToAvalonSt(axis)), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TranslateSizesTest,
+                         ::testing::Values(1u, 64u, 65u, 512u, 1500u,
+                                           9000u));
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "roles/board_test.h"
+
+namespace harmonia {
+namespace {
+
+TEST(BoardTest, FullBoardPasses)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(
+        engine, DeviceDatabase::instance().byName("DeviceA"));
+    BoardTest tester;
+    tester.bind(engine, *shell);
+    const BoardReport report = tester.runAll(engine);
+    EXPECT_TRUE(report.allPass()) << [&] {
+        std::string all;
+        for (const auto &l : report.log)
+            all += l + "\n";
+        return all;
+    }();
+    EXPECT_GT(report.networkGbps, 10.0);
+    EXPECT_GT(report.memoryGBps, 1.0);
+    EXPECT_GT(report.dmaGBps, 1.0);
+    EXPECT_EQ(tester.stats().value("passes"), 1u);
+}
+
+TEST(BoardTest, AdaptsToBoardsWithoutMemory)
+{
+    // Device C has no external memory: the memory test is skipped,
+    // everything else runs.
+    Engine engine;
+    auto shell = Shell::makeUnified(
+        engine, DeviceDatabase::instance().byName("DeviceC"));
+    BoardTest tester;
+    tester.bind(engine, *shell);
+    const BoardReport report = tester.runAll(engine);
+    EXPECT_TRUE(report.allPass());
+    bool skipped = false;
+    for (const auto &line : report.log)
+        if (line.find("memory: skipped") != std::string::npos)
+            skipped = true;
+    EXPECT_TRUE(skipped);
+}
+
+TEST(BoardTest, CrossVendorBoardsPass)
+{
+    for (const char *name : {"DeviceB", "DeviceD"}) {
+        Engine engine;
+        auto shell = Shell::makeUnified(
+            engine, DeviceDatabase::instance().byName(name));
+        BoardTest tester;
+        tester.bind(engine, *shell);
+        EXPECT_TRUE(tester.runAll(engine).allPass()) << name;
+    }
+}
+
+TEST(BoardTest, MeasuredRatesAreWithinPhysicalBounds)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(
+        engine, DeviceDatabase::instance().byName("DeviceA"));
+    BoardTest tester;
+    tester.bind(engine, *shell);
+    const BoardReport report = tester.runAll(engine);
+    EXPECT_LE(report.networkGbps, 100.0);   // 100G cage
+    EXPECT_LE(report.dmaGBps, 16.0);        // Gen4 x8
+}
+
+} // namespace
+} // namespace harmonia

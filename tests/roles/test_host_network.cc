@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/logging.h"
+#include "roles/host_network.h"
+
+namespace harmonia {
+namespace {
+
+struct OffloadBench {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    HostNetwork role;
+
+    OffloadBench()
+        : shell(Shell::makeTailored(
+              engine,
+              DeviceDatabase::instance().byName("DeviceA"),
+              HostNetwork::standardRequirements()))
+    {
+        role.bind(engine, *shell);
+    }
+
+    void
+    inject(std::uint64_t flow, Tick when)
+    {
+        PacketDesc pkt;
+        pkt.flowHash = flow;
+        pkt.bytes = 512;
+        pkt.injected = when;
+        shell->network(0).mac().injectRx(pkt, when);
+    }
+};
+
+TEST(HostNetwork, MissUpcallsThenFastPath)
+{
+    OffloadBench b;
+    const Tick wire = wireTime(512, 100e9);
+    for (int i = 0; i < 10; ++i)
+        b.inject(0x5, b.engine.now() + i * 4 * wire);
+    b.engine.runFor(50'000'000);
+
+    // First packet misses and punts; the auto-installed rule catches
+    // the rest in hardware.
+    EXPECT_EQ(b.role.stats().value("upcalls"), 1u);
+    EXPECT_EQ(b.role.stats().value("to_host"), 9u);
+    EXPECT_TRUE(b.role.hasFlow(0x5));
+}
+
+TEST(HostNetwork, ActionsRouteCorrectly)
+{
+    OffloadBench b;
+    b.role.setAutoInstall(false);
+    b.shell->host().setQueueActive(7, true);
+    b.role.installFlow(1, {FlowAction::Kind::ToHostQueue, 7});
+    b.role.installFlow(2, {FlowAction::Kind::ToWire, 0});
+    b.role.installFlow(3, {FlowAction::Kind::Drop, 0});
+
+    const Tick wire = wireTime(512, 100e9);
+    b.inject(1, b.engine.now());
+    b.inject(2, b.engine.now() + wire);
+    b.inject(3, b.engine.now() + 2 * wire);
+    b.engine.runFor(50'000'000);
+
+    EXPECT_EQ(b.role.stats().value("to_host"), 1u);
+    EXPECT_EQ(b.role.stats().value("to_wire"), 1u);
+    EXPECT_EQ(b.role.stats().value("dropped"), 1u);
+    EXPECT_EQ(b.shell->network(1).monitor().value("tx_packets"), 1u);
+    // The to-host packet landed on queue 7 of the DMA engine.
+    b.engine.runFor(50'000'000);
+    bool queue7 = false;
+    while (b.shell->host().hasCompletion())
+        if (b.shell->host().popCompletion().request.queue == 7)
+            queue7 = true;
+    EXPECT_TRUE(queue7);
+}
+
+TEST(HostNetwork, FlowTableViaCommands)
+{
+    OffloadBench b;
+    const auto res = b.role.executeCommand(
+        kCmdTableWrite, {0x99, 0x0, /*kind=ToWire*/ 1, 0});
+    EXPECT_EQ(res.status, kCmdOk);
+    EXPECT_TRUE(b.role.hasFlow(0x99));
+    EXPECT_EQ(b.role.executeCommand(kCmdTableWrite, {1, 2, 9, 0})
+                  .status,
+              kCmdBadArgument);
+}
+
+TEST(HostNetwork, SustainedTrafficConvergesToHardware)
+{
+    OffloadBench b;
+    const Tick wire = wireTime(512, 100e9);
+    // 64 flows, 20 packets each, interleaved.
+    for (int round = 0; round < 20; ++round)
+        for (std::uint64_t flow = 0; flow < 64; ++flow)
+            b.inject(flow, b.engine.now() +
+                               (round * 64 + flow) * wire);
+    b.engine.runFor(300'000'000);
+    EXPECT_EQ(b.role.stats().value("upcalls"), 64u);
+    EXPECT_EQ(b.role.flowCount(), 64u);
+    const double fast =
+        static_cast<double>(b.role.stats().value("to_host"));
+    EXPECT_GT(fast / (fast + 64), 0.9);
+}
+
+TEST(HostNetwork, RequirementsNeedEverySubsystem)
+{
+    const RoleRequirements r = HostNetwork::standardRequirements();
+    EXPECT_TRUE(r.needsNetwork);
+    EXPECT_TRUE(r.needsMemory);
+    EXPECT_TRUE(r.needsHost);
+    EXPECT_EQ(r.networkPorts, 2u);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "roles/l4lb.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Layer4Lb, RendezvousIsDeterministicAndSpread)
+{
+    Layer4Lb lb(64);
+    std::map<unsigned, int> counts;
+    for (std::uint64_t flow = 0; flow < 64000; ++flow) {
+        const unsigned s = lb.pickServer(flow);
+        EXPECT_EQ(s, lb.pickServer(flow));  // deterministic
+        ++counts[s];
+    }
+    EXPECT_EQ(counts.size(), 64u);
+    for (const auto &[server, n] : counts) {
+        EXPECT_GT(n, 600) << server;   // ~1000 expected
+        EXPECT_LT(n, 1400) << server;
+    }
+}
+
+TEST(Layer4Lb, ConnectionTablePinsFlows)
+{
+    Layer4Lb lb(16);
+    const unsigned s = lb.processFlowPacket(0x42, FlowPhase::Syn);
+    EXPECT_TRUE(lb.isPinned(0x42));
+    EXPECT_EQ(lb.pinnedServer(0x42), s);
+    EXPECT_EQ(lb.processFlowPacket(0x42, FlowPhase::Data), s);
+    EXPECT_EQ(lb.stats().value("table_hits"), 1u);
+    lb.processFlowPacket(0x42, FlowPhase::Fin);
+    EXPECT_FALSE(lb.isPinned(0x42));
+    EXPECT_EQ(lb.stats().value("flows_closed"), 1u);
+}
+
+TEST(Layer4Lb, PinnedFlowsSurviveServerSetChanges)
+{
+    // The stateful-LB property: established connections stay on
+    // their server even when the healthy set changes.
+    Layer4Lb lb(8);
+    const unsigned s = lb.processFlowPacket(0x77, FlowPhase::Syn);
+    const unsigned other = (s + 1) % 8;
+    lb.setServerHealthy(other, false);
+    EXPECT_EQ(lb.processFlowPacket(0x77, FlowPhase::Data), s);
+
+    // New flows avoid the unhealthy server.
+    for (std::uint64_t flow = 1000; flow < 1200; ++flow)
+        EXPECT_NE(lb.pickServer(flow), other);
+}
+
+TEST(Layer4Lb, RendezvousMinimalDisruption)
+{
+    // Removing one of 16 servers remaps only its own flows.
+    Layer4Lb lb(16);
+    std::map<std::uint64_t, unsigned> before;
+    for (std::uint64_t flow = 0; flow < 4000; ++flow)
+        before[flow] = lb.pickServer(flow);
+    lb.setServerHealthy(3, false);
+    int moved = 0;
+    for (const auto &[flow, server] : before) {
+        if (lb.pickServer(flow) != server) {
+            EXPECT_EQ(server, 3u) << "non-victim flow moved";
+            ++moved;
+        }
+    }
+    EXPECT_GT(moved, 100);  // server 3's share did move
+}
+
+TEST(Layer4Lb, TableEvictionWhenFull)
+{
+    Layer4Lb lb(4);
+    for (std::uint64_t flow = 0;
+         flow < Layer4Lb::kConnTableCapacity + 10; ++flow)
+        lb.processFlowPacket(flow, FlowPhase::Syn);
+    EXPECT_LE(lb.connectionCount(), Layer4Lb::kConnTableCapacity);
+    EXPECT_GT(lb.stats().value("evictions"), 0u);
+}
+
+TEST(Layer4Lb, NoHealthyServersFatal)
+{
+    Layer4Lb lb(2);
+    lb.setServerHealthy(0, false);
+    lb.setServerHealthy(1, false);
+    EXPECT_THROW(lb.pickServer(1), FatalError);
+    EXPECT_THROW(Layer4Lb{0}, FatalError);
+}
+
+TEST(Layer4Lb, DatapathForwardsAcrossPorts)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, DeviceDatabase::instance().byName("DeviceB"),
+        Layer4Lb::standardRequirements());
+    Layer4Lb role(16);
+    role.bind(engine, *shell);
+
+    // Flows arrive on port 0 and leave on port 1 toward the chosen
+    // real server's queue.
+    for (std::uint64_t flow = 0; flow < 8; ++flow) {
+        PacketDesc pkt;
+        pkt.flowHash = flow;
+        pkt.flags = kFlagSyn;
+        pkt.bytes = 64;
+        shell->network(0).mac().injectRx(pkt, engine.now());
+    }
+    engine.runFor(20'000'000);
+    EXPECT_EQ(role.stats().value("forwarded_packets"), 8u);
+    EXPECT_EQ(shell->network(1).monitor().value("tx_packets"), 8u);
+    EXPECT_EQ(role.connectionCount(), 8u);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "roles/retrieval.h"
+
+namespace harmonia {
+namespace {
+
+struct RetrievalBench {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    Retrieval role;
+
+    explicit RetrievalBench(std::uint64_t corpus = 1 << 10)
+        : shell(Shell::makeTailored(
+              engine,
+              DeviceDatabase::instance().byName("DeviceA"),
+              Retrieval::standardRequirements()))
+    {
+        role.bind(engine, *shell);
+        role.setCorpusItems(corpus);
+        role.populateCorpus();
+    }
+
+    RetrievalResult
+    query(std::uint64_t id)
+    {
+        EXPECT_TRUE(role.submitQuery(id));
+        EXPECT_TRUE(engine.runUntilDone(
+            [&] { return role.hasResult(); }, 30ULL * 1000 * 1000 *
+                                                  1000));
+        return role.popResult();
+    }
+};
+
+TEST(Retrieval, TopKMatchesExhaustiveReference)
+{
+    RetrievalBench b(512);
+    const RetrievalResult r = b.query(7);
+    ASSERT_EQ(r.topK.size(), 10u);
+
+    // Reference: score every item, sort.
+    std::vector<std::pair<std::int32_t, std::uint64_t>> all;
+    for (std::uint64_t item = 0; item < 512; ++item)
+        all.emplace_back(b.role.score(7, item), item);
+    std::sort(all.begin(), all.end(), [](const auto &x, const auto &y) {
+        return x.first > y.first ||
+               (x.first == y.first && x.second < y.second);
+    });
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(r.topK[i].first, all[i].second) << i;
+        EXPECT_EQ(r.topK[i].second, all[i].first) << i;
+    }
+}
+
+TEST(Retrieval, ScoresAreOrderedInResult)
+{
+    RetrievalBench b(256);
+    const RetrievalResult r = b.query(3);
+    for (std::size_t i = 1; i < r.topK.size(); ++i)
+        EXPECT_GE(r.topK[i - 1].second, r.topK[i].second);
+}
+
+TEST(Retrieval, LatencyGrowsWithCorpus)
+{
+    RetrievalBench small(1 << 10);
+    const Tick lat_small = small.query(1).latency();
+
+    RetrievalBench big(1 << 14);
+    const Tick lat_big = big.query(1).latency();
+    EXPECT_GT(lat_big, 4 * lat_small);
+}
+
+TEST(Retrieval, TimingOnlyModeForHugeCorpora)
+{
+    RetrievalBench b(1 << 10);
+    b.role.setCorpusItems(100'000'000);  // 10^8 items: timing only
+    const Tick service = b.role.queryServiceTime();
+    // 10^8 x 64B = 6.4 GB at HBM rate (~460 GB/s) ~ 14 ms.
+    EXPECT_GT(service, 5ULL * 1000 * 1000 * 1000);
+    EXPECT_LT(service, 50ULL * 1000 * 1000 * 1000);
+    EXPECT_THROW(b.role.populateCorpus(), FatalError);
+}
+
+TEST(Retrieval, QueriesQueueAndAllComplete)
+{
+    RetrievalBench b(512);
+    for (std::uint64_t q = 0; q < 5; ++q)
+        ASSERT_TRUE(b.role.submitQuery(q));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] {
+            return b.role.stats().value("completed_queries") == 5;
+        },
+        30ULL * 1000 * 1000 * 1000));
+    std::set<std::uint64_t> ids;
+    while (b.role.hasResult())
+        ids.insert(b.role.popResult().queryId);
+    EXPECT_EQ(ids.size(), 5u);
+}
+
+TEST(Retrieval, ConfigValidation)
+{
+    RetrievalConfig bad;
+    bad.topK = 0;
+    EXPECT_THROW(Retrieval{bad}, FatalError);
+    Retrieval ok;
+    EXPECT_THROW(ok.setCorpusItems(0), FatalError);
+}
+
+TEST(Retrieval, DeterministicEmbeddings)
+{
+    Retrieval r;
+    EXPECT_EQ(r.embeddingElement(5, 3), r.embeddingElement(5, 3));
+    EXPECT_EQ(r.score(2, 9), r.score(2, 9));
+}
+
+} // namespace
+} // namespace harmonia

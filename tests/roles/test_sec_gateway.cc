@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "host/cmd_driver.h"
+#include "roles/sec_gateway.h"
+
+namespace harmonia {
+namespace {
+
+struct GatewayBench {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    SecGateway role;
+
+    GatewayBench()
+        : shell(Shell::makeTailored(
+              engine,
+              DeviceDatabase::instance().byName("DeviceA"),
+              SecGateway::standardRequirements()))
+    {
+        role.bind(engine, *shell);
+    }
+
+    void
+    inject(std::uint64_t flow, std::uint32_t bytes = 256,
+           Tick when = 0)
+    {
+        PacketDesc pkt;
+        pkt.flowHash = flow;
+        pkt.bytes = bytes;
+        pkt.injected = when ? when : engine.now();
+        shell->network().mac().injectRx(pkt, pkt.injected);
+    }
+};
+
+TEST(SecGateway, PolicyMatching)
+{
+    SecGateway gw;
+    gw.setDefaultAllow(true);
+    gw.addPolicy({0xff00, 0x1200, false});  // deny 0x12xx
+    gw.addPolicy({0xffff, 0x1234, true});   // unreachable: first wins
+    EXPECT_FALSE(gw.allows(0x1234));
+    EXPECT_FALSE(gw.allows(0x12ff));
+    EXPECT_TRUE(gw.allows(0x1334));
+    gw.setDefaultAllow(false);
+    EXPECT_FALSE(gw.allows(0x9999));
+}
+
+TEST(SecGateway, ForwardsAllowedDropsDenied)
+{
+    GatewayBench b;
+    b.role.setDefaultAllow(true);
+    b.role.addPolicy({0xf, 0x3, false});  // deny flows ending in 3
+
+    for (std::uint64_t flow = 0; flow < 16; ++flow)
+        b.inject(flow);
+    b.engine.runFor(20'000'000);
+
+    // 15 forwarded (flow 3 denied); forwarded packets leave via TX.
+    EXPECT_EQ(b.role.stats().value("forwarded_packets"), 15u);
+    EXPECT_EQ(b.role.stats().value("denied_packets"), 1u);
+    EXPECT_EQ(b.shell->network().monitor().value("tx_packets"), 15u);
+}
+
+TEST(SecGateway, LineRateForwardingUnderLoad)
+{
+    GatewayBench b;
+    // Saturate: 2000 packets of 512B paced at the 100G wire rate.
+    const Tick wire = wireTime(512, 100e9);
+    for (int i = 0; i < 2000; ++i)
+        b.inject(i % 64, 512, b.engine.now() + i * wire);
+    b.engine.runFor(200'000'000);
+    const std::uint64_t fwd =
+        b.role.stats().value("forwarded_packets");
+    // No policy: everything forwards; nothing is lost in the shell.
+    EXPECT_EQ(fwd + b.shell->network().monitor().value("rx_drops") +
+                  b.shell->network().mac().stats().value(
+                      "rx_dropped"),
+              2000u);
+    EXPECT_GT(fwd, 1800u);
+}
+
+TEST(SecGateway, PoliciesViaCommandInterface)
+{
+    GatewayBench b;
+    CmdDriver driver(b.engine, *b.shell);
+    // Role targets live at kRoleRbbIdBase.
+    const CommandPacket resp = driver.call(
+        kRoleRbbIdBase, 0, kCmdTableWrite,
+        {0xf, 0x0, 0x3, 0x0, 0});  // deny mask=0xf value=0x3
+    EXPECT_EQ(resp.status, kCmdOk);
+    EXPECT_EQ(b.role.policyCount(), 1u);
+    EXPECT_FALSE(b.role.allows(0x13));
+}
+
+TEST(SecGateway, RequirementsDescribeBitwRole)
+{
+    const RoleRequirements r = SecGateway::standardRequirements();
+    EXPECT_TRUE(r.needsNetwork);
+    EXPECT_TRUE(r.needsHost);
+    EXPECT_FALSE(r.needsMemory);
+    EXPECT_EQ(SecGateway().arch(), RoleArch::BumpInTheWire);
+}
+
+TEST(SecGateway, DoubleBindRejected)
+{
+    GatewayBench b;
+    EXPECT_THROW(b.role.bind(b.engine, *b.shell), FatalError);
+}
+
+TEST(SecGateway, BindValidatesShellCapabilities)
+{
+    Engine engine;
+    ShellConfig cfg;  // host-only shell: no network RBB
+    Shell shell(engine,
+                DeviceDatabase::instance().byName("DeviceC"), cfg,
+                "hostonly");
+    SecGateway role;
+    EXPECT_THROW(role.bind(engine, shell), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

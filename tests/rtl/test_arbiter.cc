@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "rtl/arbiter.h"
+
+namespace harmonia {
+namespace {
+
+TEST(RoundRobinArbiter, CyclesThroughRequestors)
+{
+    RoundRobinArbiter arb(4);
+    auto all = [](std::size_t) { return true; };
+    EXPECT_EQ(*arb.grant(all), 0u);
+    EXPECT_EQ(*arb.grant(all), 1u);
+    EXPECT_EQ(*arb.grant(all), 2u);
+    EXPECT_EQ(*arb.grant(all), 3u);
+    EXPECT_EQ(*arb.grant(all), 0u);
+}
+
+TEST(RoundRobinArbiter, SkipsIdleSlots)
+{
+    RoundRobinArbiter arb(4);
+    auto only2 = [](std::size_t s) { return s == 2; };
+    EXPECT_EQ(*arb.grant(only2), 2u);
+    EXPECT_EQ(*arb.grant(only2), 2u);
+}
+
+TEST(RoundRobinArbiter, NoRequestsNoGrant)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_FALSE(
+        arb.grant([](std::size_t) { return false; }).has_value());
+}
+
+TEST(RoundRobinArbiter, WorkConservingFairness)
+{
+    RoundRobinArbiter arb(3);
+    std::vector<int> grants(3, 0);
+    for (int i = 0; i < 300; ++i) {
+        auto g = arb.grant([](std::size_t) { return true; });
+        ++grants[*g];
+    }
+    EXPECT_EQ(grants[0], 100);
+    EXPECT_EQ(grants[1], 100);
+    EXPECT_EQ(grants[2], 100);
+}
+
+TEST(ActiveListArbiter, OnlyActiveSlotsGranted)
+{
+    ActiveListArbiter arb(1024);
+    arb.activate(5);
+    arb.activate(900);
+    auto all = [](std::size_t) { return true; };
+
+    std::set<std::size_t> seen;
+    for (int i = 0; i < 10; ++i)
+        seen.insert(*arb.grant(all));
+    EXPECT_EQ(seen, (std::set<std::size_t>{5, 900}));
+}
+
+TEST(ActiveListArbiter, ActivateIsIdempotent)
+{
+    ActiveListArbiter arb(16);
+    arb.activate(3);
+    arb.activate(3);
+    EXPECT_EQ(arb.activeCount(), 1u);
+    arb.deactivate(3);
+    arb.deactivate(3);
+    EXPECT_EQ(arb.activeCount(), 0u);
+}
+
+TEST(ActiveListArbiter, DeactivatedSlotStopsGranting)
+{
+    ActiveListArbiter arb(8);
+    arb.activate(1);
+    arb.activate(2);
+    arb.deactivate(1);
+    auto all = [](std::size_t) { return true; };
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(*arb.grant(all), 2u);
+}
+
+TEST(ActiveListArbiter, FairAcrossActiveSet)
+{
+    ActiveListArbiter arb(1024);
+    for (std::size_t s : {10u, 20u, 30u, 40u})
+        arb.activate(s);
+    std::map<std::size_t, int> grants;
+    for (int i = 0; i < 400; ++i)
+        ++grants[*arb.grant([](std::size_t) { return true; })];
+    for (std::size_t s : {10u, 20u, 30u, 40u})
+        EXPECT_EQ(grants[s], 100) << "slot " << s;
+}
+
+TEST(ActiveListArbiter, OutOfRangeRejected)
+{
+    ActiveListArbiter arb(4);
+    EXPECT_THROW(arb.activate(4), FatalError);
+    EXPECT_THROW(arb.deactivate(9), FatalError);
+}
+
+TEST(ActiveListArbiter, EmptyActiveSetNoGrant)
+{
+    ActiveListArbiter arb(4);
+    EXPECT_FALSE(
+        arb.grant([](std::size_t) { return true; }).has_value());
+}
+
+TEST(ActiveListArbiter, SurvivesChurn)
+{
+    // Activate/deactivate aggressively; membership invariants hold.
+    ActiveListArbiter arb(64);
+    std::uint64_t seed = 99;
+    auto rand = [&] {
+        seed = seed * 6364136223846793005ULL + 1;
+        return seed >> 33;
+    };
+    std::set<std::size_t> active;
+    for (int i = 0; i < 5000; ++i) {
+        const std::size_t slot = rand() % 64;
+        if (rand() % 2) {
+            arb.activate(slot);
+            active.insert(slot);
+        } else {
+            arb.deactivate(slot);
+            active.erase(slot);
+        }
+        ASSERT_EQ(arb.activeCount(), active.size());
+        auto g = arb.grant([](std::size_t) { return true; });
+        if (active.empty()) {
+            ASSERT_FALSE(g.has_value());
+        } else {
+            ASSERT_TRUE(g.has_value());
+            ASSERT_TRUE(active.count(*g));
+        }
+    }
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rtl/async_fifo.h"
+
+namespace harmonia {
+namespace {
+
+TEST(GraySync, DelaysByStageCount)
+{
+    GraySync sync(2);
+    EXPECT_EQ(sync.value(), 0u);
+    sync.shift(0x1);
+    EXPECT_EQ(sync.value(), 0u);  // one stage in
+    sync.shift(0x3);
+    EXPECT_EQ(sync.value(), 0x1u);  // first value emerges
+    sync.shift(0x3);
+    EXPECT_EQ(sync.value(), 0x3u);
+}
+
+TEST(AsyncFifo, RequiresPowerOfTwoCapacity)
+{
+    EXPECT_THROW(AsyncFifo<int>(6), FatalError);
+    AsyncFifo<int> ok(8);
+    EXPECT_EQ(ok.capacity(), 8u);
+}
+
+TEST(AsyncFifo, DataVisibleAfterSynchronizerDelay)
+{
+    AsyncFifo<int> f(8, 2);
+    f.writeTick();
+    EXPECT_TRUE(f.canPush());
+    f.push(42);
+    // Reader cannot see the write until the pointer crosses the
+    // 2-flop synchronizer.
+    EXPECT_FALSE(f.canPop());
+    f.readTick();
+    EXPECT_FALSE(f.canPop());
+    f.readTick();
+    EXPECT_TRUE(f.canPop());
+    EXPECT_EQ(f.pop(), 42);
+}
+
+TEST(AsyncFifo, WriterSeesSpaceConservatively)
+{
+    AsyncFifo<int> f(4, 2);
+    f.writeTick();
+    for (int i = 0; i < 4; ++i)
+        f.push(i);
+    EXPECT_FALSE(f.canPush());
+
+    // Reader drains everything...
+    for (int i = 0; i < 4; ++i)
+        f.readTick();
+    while (f.canPop())
+        f.pop();
+    EXPECT_EQ(f.trueSize(), 0u);
+
+    // ...but the writer still sees it full until rptr synchronizes.
+    EXPECT_FALSE(f.canPush());
+    f.writeTick();
+    f.writeTick();
+    EXPECT_TRUE(f.canPush());
+}
+
+TEST(AsyncFifo, NeverOverflowsOrDropsUnderRandomTraffic)
+{
+    AsyncFifo<std::uint64_t> f(16, 2);
+    std::uint64_t wr = 0, rd = 0;
+    std::uint64_t seed = 12345;
+    auto rand = [&] {
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        return seed >> 33;
+    };
+
+    for (int cycle = 0; cycle < 20000; ++cycle) {
+        // Interleave domain ticks at an irregular ratio.
+        f.writeTick();
+        if (rand() % 3 && f.canPush())
+            f.push(wr++);
+        if (rand() % 2) {
+            f.readTick();
+            while (f.canPop()) {
+                const std::uint64_t v = f.pop();
+                ASSERT_EQ(v, rd) << "out of order at " << cycle;
+                ++rd;
+            }
+        }
+        ASSERT_LE(f.trueSize(), f.capacity());
+    }
+    EXPECT_GT(rd, 1000u);
+}
+
+TEST(AsyncFifo, PushWithoutSpacePanics)
+{
+    AsyncFifo<int> f(2, 2);
+    f.writeTick();
+    f.push(1);
+    f.push(2);
+    EXPECT_THROW(f.push(3), PanicError);
+}
+
+TEST(AsyncFifo, PopWithoutDataPanics)
+{
+    AsyncFifo<int> f(2, 2);
+    EXPECT_THROW(f.pop(), PanicError);
+}
+
+class SyncStagesTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SyncStagesTest, VisibilityLatencyEqualsStages)
+{
+    const unsigned stages = GetParam();
+    AsyncFifo<int> f(8, stages);
+    f.writeTick();
+    f.push(7);
+    unsigned ticks = 0;
+    while (!f.canPop()) {
+        f.readTick();
+        ++ticks;
+        ASSERT_LE(ticks, stages + 1);
+    }
+    EXPECT_EQ(ticks, stages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SyncStagesTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,55 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rtl/crc.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Crc32, KnownVectors)
+{
+    // Standard CRC-32 check value for "123456789".
+    const std::string s = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t *>(s.data()),
+                    s.size()),
+              0xcbf43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::vector<std::uint8_t> data(300);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 17);
+
+    Crc32 inc;
+    inc.update(data.data(), 100);
+    inc.update(data.data() + 100, 200);
+    EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, ResetRestartsState)
+{
+    Crc32 c;
+    c.update({1, 2, 3});
+    c.reset();
+    c.update({4, 5});
+    EXPECT_EQ(c.value(), crc32({4, 5}));
+}
+
+TEST(Crc32, DetectsCorruption)
+{
+    std::vector<std::uint8_t> frame(64, 0xaa);
+    const std::uint32_t fcs = crc32(frame);
+    frame[10] ^= 0x01;
+    EXPECT_NE(crc32(frame), fcs);
+}
+
+} // namespace
+} // namespace harmonia

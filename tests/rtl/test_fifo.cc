@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rtl/fifo.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Fifo, FifoOrder)
+{
+    Fifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, BackPressure)
+{
+    Fifo<int> f(2);
+    EXPECT_TRUE(f.canPush());
+    f.push(1);
+    f.push(2);
+    EXPECT_FALSE(f.canPush());
+    EXPECT_TRUE(f.full());
+    f.pop();
+    EXPECT_TRUE(f.canPush());
+}
+
+TEST(Fifo, OverflowIsPanic)
+{
+    Fifo<int> f(1);
+    f.push(1);
+    EXPECT_THROW(f.push(2), PanicError);
+}
+
+TEST(Fifo, UnderflowIsPanic)
+{
+    Fifo<int> f(1);
+    EXPECT_THROW(f.pop(), PanicError);
+    EXPECT_THROW(f.front(), PanicError);
+}
+
+TEST(Fifo, ZeroCapacityRejected)
+{
+    EXPECT_THROW(Fifo<int>(0), FatalError);
+}
+
+TEST(Fifo, FrontDoesNotConsume)
+{
+    Fifo<int> f(2);
+    f.push(9);
+    EXPECT_EQ(f.front(), 9);
+    EXPECT_EQ(f.size(), 1u);
+    EXPECT_EQ(f.pop(), 9);
+}
+
+TEST(Fifo, MoveOnlyPayloads)
+{
+    Fifo<std::unique_ptr<int>> f(2);
+    f.push(std::make_unique<int>(5));
+    auto p = f.pop();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, 5);
+}
+
+TEST(Fifo, Clear)
+{
+    Fifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.clear();
+    EXPECT_TRUE(f.empty());
+    EXPECT_TRUE(f.canPush());
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rtl/pipeline.h"
+
+namespace harmonia {
+namespace {
+
+TEST(PipelineReg, FixedLatency)
+{
+    PipelineReg<int> pipe(3);
+    EXPECT_FALSE(pipe.shift(1).has_value());
+    EXPECT_FALSE(pipe.shift(2).has_value());
+    EXPECT_FALSE(pipe.shift(3).has_value());
+    auto out = pipe.shift(4);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, 1);
+    EXPECT_EQ(*pipe.shift(std::nullopt), 2);
+}
+
+TEST(PipelineReg, NoBubblesAtFullRate)
+{
+    // One item in, one item out, every cycle: full throughput.
+    PipelineReg<int> pipe(4);
+    int received = 0;
+    for (int i = 0; i < 1000; ++i) {
+        auto out = pipe.shift(i);
+        if (i >= 4) {
+            ASSERT_TRUE(out.has_value());
+            EXPECT_EQ(*out, i - 4);
+            ++received;
+        } else {
+            EXPECT_FALSE(out.has_value());
+        }
+    }
+    EXPECT_EQ(received, 996);
+}
+
+TEST(PipelineReg, GapsPropagate)
+{
+    PipelineReg<int> pipe(2);
+    pipe.shift(1);
+    pipe.shift(std::nullopt);
+    EXPECT_EQ(*pipe.shift(std::nullopt), 1);
+    EXPECT_FALSE(pipe.shift(std::nullopt).has_value());
+}
+
+TEST(PipelineReg, OccupancyAndDrain)
+{
+    PipelineReg<int> pipe(3);
+    EXPECT_TRUE(pipe.empty());
+    pipe.shift(1);
+    pipe.shift(2);
+    EXPECT_EQ(pipe.occupancy(), 2u);
+    pipe.shift(std::nullopt);
+    pipe.shift(std::nullopt);
+    pipe.shift(std::nullopt);
+    EXPECT_TRUE(pipe.empty());
+}
+
+TEST(PipelineReg, ZeroDepthRejected)
+{
+    EXPECT_THROW(PipelineReg<int>(0), FatalError);
+}
+
+TEST(DelayLine, ReleasesAtTimestamp)
+{
+    DelayLine<int> dl;
+    dl.push(1, 100);
+    dl.push(2, 200);
+    EXPECT_FALSE(dl.ready(99));
+    EXPECT_TRUE(dl.ready(100));
+    EXPECT_EQ(dl.pop(100), 1);
+    EXPECT_FALSE(dl.ready(150));
+    EXPECT_EQ(dl.pop(200), 2);
+    EXPECT_TRUE(dl.empty());
+}
+
+TEST(DelayLine, PreservesFifoOrderForOutOfOrderDeadlines)
+{
+    DelayLine<int> dl;
+    dl.push(1, 300);
+    dl.push(2, 100);  // earlier deadline still leaves after item 1
+    EXPECT_FALSE(dl.ready(200));
+    EXPECT_TRUE(dl.ready(300));
+    EXPECT_EQ(dl.pop(300), 1);
+    EXPECT_EQ(dl.pop(300), 2);
+}
+
+TEST(DelayLine, PopBeforeReadyPanics)
+{
+    DelayLine<int> dl;
+    dl.push(1, 50);
+    EXPECT_THROW(dl.pop(10), PanicError);
+}
+
+} // namespace
+} // namespace harmonia

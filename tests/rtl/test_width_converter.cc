@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "rtl/width_converter.h"
+
+namespace harmonia {
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n)
+{
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    return out;
+}
+
+std::vector<std::uint8_t>
+drain(ByteRepacker &rp)
+{
+    std::vector<std::uint8_t> out;
+    while (rp.hasOutput()) {
+        const Beat b = rp.pop();
+        out.insert(out.end(), b.data.begin(), b.data.end());
+    }
+    return out;
+}
+
+TEST(ByteRepacker, WideToNarrow)
+{
+    ByteRepacker rp(4);
+    Beat in;
+    in.data = pattern(16);
+    in.last = true;
+    rp.feed(in);
+
+    std::size_t beats = 0;
+    std::vector<std::uint8_t> got;
+    while (rp.hasOutput()) {
+        const Beat b = rp.pop();
+        EXPECT_EQ(b.data.size(), 4u);
+        EXPECT_EQ(b.last, !rp.hasOutput());
+        got.insert(got.end(), b.data.begin(), b.data.end());
+        ++beats;
+    }
+    EXPECT_EQ(beats, 4u);
+    EXPECT_EQ(got, pattern(16));
+}
+
+TEST(ByteRepacker, NarrowToWide)
+{
+    ByteRepacker rp(16);
+    const auto payload = pattern(16);
+    for (std::size_t off = 0; off < 16; off += 4) {
+        Beat in;
+        in.data.assign(payload.begin() + static_cast<long>(off),
+                       payload.begin() + static_cast<long>(off + 4));
+        in.last = off + 4 == 16;
+        rp.feed(in);
+        if (!in.last) {
+            EXPECT_FALSE(rp.hasOutput());
+        }
+    }
+    ASSERT_TRUE(rp.hasOutput());
+    const Beat out = rp.pop();
+    EXPECT_EQ(out.data, payload);
+    EXPECT_TRUE(out.last);
+}
+
+TEST(ByteRepacker, ShortFinalBeatOnLast)
+{
+    ByteRepacker rp(8);
+    Beat in;
+    in.data = pattern(13);
+    in.last = true;
+    rp.feed(in);
+    const Beat b0 = rp.pop();
+    EXPECT_EQ(b0.data.size(), 8u);
+    EXPECT_FALSE(b0.last);
+    const Beat b1 = rp.pop();
+    EXPECT_EQ(b1.data.size(), 5u);
+    EXPECT_TRUE(b1.last);
+    EXPECT_EQ(rp.residue(), 0u);
+}
+
+TEST(ByteRepacker, ResidueHeldWithoutLast)
+{
+    ByteRepacker rp(8);
+    Beat in;
+    in.data = pattern(5);
+    in.last = false;
+    rp.feed(in);
+    EXPECT_FALSE(rp.hasOutput());
+    EXPECT_EQ(rp.residue(), 5u);
+}
+
+TEST(ByteRepacker, PopWithoutOutputPanics)
+{
+    ByteRepacker rp(8);
+    EXPECT_THROW(rp.pop(), PanicError);
+}
+
+TEST(ByteRepacker, ZeroWidthRejected)
+{
+    EXPECT_THROW(ByteRepacker(0), FatalError);
+}
+
+class RepackParamTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RepackParamTest, PayloadPreservedAcrossWidths)
+{
+    const auto [in_width, out_width] = GetParam();
+    ByteRepacker rp(static_cast<std::size_t>(out_width));
+    const auto payload = pattern(1500);
+
+    for (std::size_t off = 0; off < payload.size();
+         off += static_cast<std::size_t>(in_width)) {
+        const std::size_t n = std::min<std::size_t>(
+            static_cast<std::size_t>(in_width), payload.size() - off);
+        Beat in;
+        in.data.assign(payload.begin() + static_cast<long>(off),
+                       payload.begin() + static_cast<long>(off + n));
+        in.last = off + n == payload.size();
+        rp.feed(in);
+    }
+    EXPECT_EQ(drain(rp), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthPairs, RepackParamTest,
+    ::testing::Values(std::pair{16, 64}, std::pair{64, 16},
+                      std::pair{64, 256}, std::pair{256, 64},
+                      std::pair{13, 64}, std::pair{64, 13},
+                      std::pair{1, 256}));
+
+TEST(BeatsForBytes, Rounding)
+{
+    EXPECT_EQ(beatsForBytes(0, 64), 0u);
+    EXPECT_EQ(beatsForBytes(1, 64), 1u);
+    EXPECT_EQ(beatsForBytes(64, 64), 1u);
+    EXPECT_EQ(beatsForBytes(65, 64), 2u);
+    EXPECT_THROW(beatsForBytes(10, 0), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "shell/cdc.h"
+
+namespace harmonia {
+namespace {
+
+TEST(ParamCdc, CrossesDomainsInOrder)
+{
+    Engine engine;
+    Clock *fast = engine.addClock("fast", 322.0);
+    Clock *slow = engine.addClock("slow", 250.0);
+    ParamCdc cdc(engine, "cdc", fast, slow, 512, 512);
+
+    std::uint64_t pushed = 0, popped = 0;
+    while (popped < 200) {
+        while (pushed < 200 && cdc.canPush()) {
+            PacketDesc pkt;
+            pkt.id = pushed++;
+            pkt.bytes = 64;
+            cdc.push(pkt);
+        }
+        engine.step();
+        while (cdc.canPop()) {
+            ASSERT_EQ(cdc.pop().id, popped);
+            ++popped;
+        }
+        ASSERT_LT(engine.now(), 10'000'000u) << "stalled";
+    }
+}
+
+TEST(ParamCdc, BandwidthMath)
+{
+    Engine engine;
+    Clock *rbb = engine.addClock("rbb", 322.265625);  // S
+    Clock *user = engine.addClock("user", 250.0);     // R
+    // S*M vs R*U: 322*512 > 250*512 -> lossy; 250*1024 > 322*512 -> ok.
+    ParamCdc narrow(engine, "n", rbb, user, 512, 512);
+    EXPECT_FALSE(narrow.lossless());
+    ParamCdc wide(engine, "w", rbb, user, 512, 1024);
+    EXPECT_TRUE(wide.lossless());
+    EXPECT_NEAR(wide.writeBandwidthBps(), 322.265625e6 * 512, 1e6);
+    EXPECT_NEAR(wide.readBandwidthBps(), 250e6 * 1024, 1e6);
+}
+
+TEST(ParamCdc, WidthConversionThrottlesNarrowSide)
+{
+    Engine engine;
+    Clock *clk_a = engine.addClock("a", 250.0);
+    Clock *clk_b = engine.addClock("b", 250.0);
+    // 512b write side, 128b read side: a 64B packet takes 1 write
+    // beat but 4 read beats, so the reader drains at 1/4 rate.
+    ParamCdc cdc(engine, "cdc", clk_a, clk_b, 512, 128);
+
+    std::uint64_t pushed = 0, popped = 0;
+    const Cycles start_rd = clk_b->cycle();
+    for (int i = 0; i < 400; ++i) {
+        if (cdc.canPush() && pushed < 64) {
+            PacketDesc pkt;
+            pkt.bytes = 64;
+            pkt.id = pushed++;
+            cdc.push(pkt);
+        }
+        engine.step();
+        if (cdc.canPop()) {
+            cdc.pop();
+            ++popped;
+        }
+    }
+    const Cycles rd_cycles = clk_b->cycle() - start_rd;
+    // Popping 64 packets x 4 beats needs >= 256 read cycles.
+    EXPECT_EQ(popped, 64u);
+    EXPECT_GE(rd_cycles, 256u);
+}
+
+TEST(ParamCdc, SynchronizerLatencyVisible)
+{
+    Engine engine;
+    Clock *a = engine.addClock("a", 100.0);
+    Clock *b = engine.addClock("b", 100.0);
+    ParamCdc cdc(engine, "cdc", a, b, 64, 64, 16, 3);
+    EXPECT_EQ(cdc.syncStages(), 3u);
+
+    PacketDesc pkt;
+    pkt.bytes = 8;
+    cdc.push(pkt);
+    unsigned read_ticks = 0;
+    while (!cdc.canPop()) {
+        engine.step();
+        ++read_ticks;
+        ASSERT_LT(read_ticks, 10u);
+    }
+    EXPECT_GE(read_ticks, 3u);  // at least the synchronizer depth
+}
+
+TEST(ParamCdc, MisuseIsPanic)
+{
+    Engine engine;
+    Clock *a = engine.addClock("a", 100.0);
+    Clock *b = engine.addClock("b", 100.0);
+    ParamCdc cdc(engine, "cdc", a, b, 64, 64);
+    EXPECT_THROW(cdc.pop(), PanicError);
+}
+
+TEST(ParamCdc, RejectsNonByteWidths)
+{
+    Engine engine;
+    Clock *a = engine.addClock("a", 100.0);
+    Clock *b = engine.addClock("b", 100.0);
+    EXPECT_THROW(ParamCdc(engine, "bad", a, b, 7, 64), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "host/cmd_driver.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+TEST(HealthMonitor, SensorsTrackUtilization)
+{
+    IrqHub irqs;
+    HealthMonitor cool("cool", irqs);
+    cool.setUtilization(0.1);
+    IrqHub irqs2;
+    HealthMonitor hot("hot", irqs2);
+    hot.setUtilization(0.9);
+
+    // Force a refresh outside an engine (cycle() == 0 path).
+    Engine e1, e2;
+    Clock *c1 = e1.addClock("c1", 250.0);
+    Clock *c2 = e2.addClock("c2", 250.0);
+    e1.add(&cool, c1);
+    e2.add(&hot, c2);
+    e1.runFor(1'000'000);
+    e2.runFor(1'000'000);
+
+    EXPECT_GT(hot.temperatureMilliC(), cool.temperatureMilliC());
+    EXPECT_GT(hot.powerMilliW(), cool.powerMilliW());
+    EXPECT_LT(hot.vccIntMilliV(), cool.vccIntMilliV());
+    EXPECT_EQ(cool.alarms(), 0u);
+}
+
+TEST(HealthMonitor, OverTempLatchesAlarmAndRaisesIrq)
+{
+    IrqHub irqs;
+    HealthMonitor mon("mon", irqs);
+    bool fired = false;
+    irqs.line("health_alarm").subscribe([&] { fired = true; });
+
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 250.0);
+    engine.add(&mon, clk);
+
+    mon.setUtilization(0.5);
+    mon.setAmbientMilliC(80'000);  // thermal stress injection
+    engine.runFor(1'000'000);
+    ASSERT_TRUE(fired);
+    EXPECT_TRUE(mon.alarms() & kAlarmOverTemp);
+
+    // Alarm stays latched after the stress goes away...
+    mon.setAmbientMilliC(35'000);
+    engine.runFor(1'000'000);
+    EXPECT_TRUE(mon.alarms() & kAlarmOverTemp);
+
+    // ...until management clears it.
+    const auto res = mon.executeCommand(kCmdModuleReset, {});
+    EXPECT_EQ(res.status, kCmdOk);
+    EXPECT_EQ(mon.alarms(), 0u);
+}
+
+TEST(HealthMonitor, SensorReadCommand)
+{
+    IrqHub irqs;
+    HealthMonitor mon("mon", irqs);
+    const auto all = mon.executeCommand(kCmdSensorRead, {});
+    ASSERT_EQ(all.status, kCmdOk);
+    ASSERT_EQ(all.data.size(), 5u);
+    EXPECT_EQ(all.data[0], mon.temperatureMilliC());
+    EXPECT_EQ(all.data[4], mon.alarms());
+
+    const auto temp =
+        mon.executeCommand(kCmdSensorRead, {kSensorTempMilliC});
+    ASSERT_EQ(temp.data.size(), 1u);
+    EXPECT_EQ(temp.data[0], mon.temperatureMilliC());
+
+    EXPECT_EQ(mon.executeCommand(kCmdSensorRead, {99}).status,
+              kCmdBadArgument);
+    EXPECT_EQ(mon.executeCommand(0x4444, {}).status,
+              kCmdUnknownCode);
+}
+
+TEST(HealthMonitor, IntegratedIntoEveryShell)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, deviceA());
+    engine.runFor(1'000'000);
+    EXPECT_GT(shell->health().temperatureMilliC(), 35'000u);
+
+    // Reachable through the command interface like any module (the
+    // BMC's path).
+    CmdDriver bmc(engine, *shell, kCtrlBmc);
+    const CommandPacket resp =
+        bmc.call(kRbbHealth, 0, kCmdSensorRead, {});
+    EXPECT_EQ(resp.status, kCmdOk);
+    ASSERT_EQ(resp.data.size(), 5u);
+    EXPECT_GT(resp.data[3], 0u);  // power draw
+}
+
+TEST(HealthMonitor, UtilizationDerivedFromShellSize)
+{
+    Engine e1, e2;
+    auto unified = Shell::makeUnified(e1, deviceA());
+    ShellConfig tiny_cfg;
+    Shell tiny(e2, deviceA(), tiny_cfg, "tiny");
+    e1.runFor(1'000'000);
+    e2.runFor(1'000'000);
+    // A bigger shell runs hotter.
+    EXPECT_GT(unified->health().temperatureMilliC(),
+              tiny.health().temperatureMilliC());
+}
+
+TEST(HealthMonitor, RejectsBadUtilization)
+{
+    IrqHub irqs;
+    HealthMonitor mon("mon", irqs);
+    EXPECT_THROW(mon.setUtilization(-0.1), FatalError);
+    EXPECT_THROW(mon.setUtilization(1.5), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "cmd/command_codes.h"
+#include "common/logging.h"
+#include "shell/memory_rbb.h"
+
+namespace harmonia {
+namespace {
+
+struct MemRbbBench {
+    Engine engine;
+    Clock *clk;
+    MemoryRbb rbb;
+
+    explicit MemRbbBench(PeripheralKind kind = PeripheralKind::Ddr4,
+                         unsigned channels = 2)
+        : clk(engine.addClock("clk", 300.0)),
+          rbb(engine, clk, Vendor::Xilinx, kind, channels)
+    {
+    }
+
+    MemCompletion
+    readAndWait(Addr addr, std::uint32_t bytes)
+    {
+        EXPECT_TRUE(rbb.read(addr, bytes));
+        EXPECT_TRUE(engine.runUntilDone(
+            [&] { return rbb.hasCompletion(); }, 100'000'000));
+        return rbb.popCompletion();
+    }
+};
+
+TEST(MemoryRbb, ReadWriteCompletions)
+{
+    MemRbbBench b;
+    const MemCompletion c = b.readAndWait(0x1000, 64);
+    EXPECT_EQ(c.request.addr, 0x1000u);
+    EXPECT_GT(c.latency(), 0u);
+    EXPECT_EQ(b.rbb.monitor().value("reads"), 1u);
+
+    EXPECT_TRUE(b.rbb.write(0x2000, 128));
+    b.engine.runUntilDone([&] { return b.rbb.hasCompletion(); },
+                          100'000'000);
+    EXPECT_TRUE(b.rbb.popCompletion().request.write);
+}
+
+TEST(MemoryRbb, HotCacheAcceleratesRepeatedReads)
+{
+    MemRbbBench b;
+    const Tick cold = b.readAndWait(0x4000, 64).latency();
+    const Tick hot = b.readAndWait(0x4000, 64).latency();
+    EXPECT_LT(hot * 2, cold);
+    EXPECT_EQ(b.rbb.monitor().value("cache_hits"), 1u);
+    EXPECT_EQ(b.rbb.monitor().value("cache_misses"), 1u);
+}
+
+TEST(MemoryRbb, WritesInvalidateCache)
+{
+    MemRbbBench b;
+    b.readAndWait(0x4000, 64);            // fill
+    EXPECT_TRUE(b.rbb.write(0x4000, 64)); // invalidate
+    b.engine.runUntilDone([&] { return b.rbb.hasCompletion(); },
+                          100'000'000);
+    b.rbb.popCompletion();
+    b.readAndWait(0x4000, 64);
+    EXPECT_EQ(b.rbb.monitor().value("cache_misses"), 2u);
+}
+
+TEST(MemoryRbb, HotCacheCanBeDisabled)
+{
+    MemRbbBench b;
+    b.rbb.setHotCacheEnabled(false);
+    b.readAndWait(0x4000, 64);
+    b.readAndWait(0x4000, 64);
+    EXPECT_EQ(b.rbb.monitor().value("cache_hits"), 0u);
+}
+
+TEST(MemoryRbb, InterleavingSpreadsStripes)
+{
+    MemRbbBench b(PeripheralKind::Ddr4, 2);
+    EXPECT_TRUE(b.rbb.interleaveEnabled());
+    EXPECT_EQ(b.rbb.channelFor(0), 0u);
+    EXPECT_EQ(b.rbb.channelFor(256), 1u);
+    EXPECT_EQ(b.rbb.channelFor(512), 0u);
+
+    b.rbb.setInterleaveEnabled(false);
+    // Linear carving: low addresses land on one channel.
+    EXPECT_EQ(b.rbb.channelFor(0), b.rbb.channelFor(512));
+}
+
+TEST(MemoryRbb, HbmInstanceHas32Channels)
+{
+    MemRbbBench b(PeripheralKind::Hbm, 32);
+    EXPECT_EQ(b.rbb.controller().channels(), 32u);
+    // Stripes cover all 32 channels.
+    std::set<unsigned> seen;
+    for (Addr a = 0; a < 32 * 256; a += 256)
+        seen.insert(b.rbb.channelFor(a));
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(MemoryRbb, FunctionalStoreThroughRbb)
+{
+    MemRbbBench b;
+    const std::vector<std::uint8_t> data = {9, 8, 7, 6};
+    b.rbb.storeWrite(0x100, data);
+    EXPECT_EQ(b.rbb.storeRead(0x100, 4), data);
+}
+
+TEST(MemoryRbb, CommandInterfaceControlsExFunctions)
+{
+    MemRbbBench b;
+    // StatusWrite bank 0 offset of HOTCACHE_EN (0x4).
+    const auto res =
+        b.rbb.executeCommand(kCmdModuleStatusWrite, {0x4, 0});
+    EXPECT_EQ(res.status, kCmdOk);
+    EXPECT_FALSE(b.rbb.hotCacheEnabled());
+
+    const auto read =
+        b.rbb.executeCommand(kCmdModuleStatusRead, {0x4});
+    EXPECT_EQ(read.status, kCmdOk);
+    ASSERT_EQ(read.data.size(), 1u);
+    EXPECT_EQ(read.data[0], 0u);
+}
+
+TEST(MemoryRbb, StatsSnapshotCommand)
+{
+    MemRbbBench b;
+    b.readAndWait(0, 64);
+    const auto res = b.rbb.executeCommand(kCmdStatsSnapshot, {});
+    EXPECT_EQ(res.status, kCmdOk);
+    ASSERT_GE(res.data.size(), 2u);
+    EXPECT_GT(res.data[0], 0u);  // number of stats
+}
+
+TEST(MemoryRbb, ResetRestoresDefaults)
+{
+    MemRbbBench b;
+    b.rbb.setHotCacheEnabled(false);
+    b.rbb.setInterleaveEnabled(false);
+    b.rbb.executeCommand(kCmdModuleReset, {});
+    EXPECT_TRUE(b.rbb.hotCacheEnabled());
+    EXPECT_TRUE(b.rbb.interleaveEnabled());
+}
+
+TEST(MemoryRbb, WorkloadCalibrationMatchesPaperRatios)
+{
+    MemRbbBench b;
+    const DevWorkload w = b.rbb.devWorkload();
+    const double total = w.total();
+    EXPECT_NEAR(w.reusableLoc / total, 0.78, 0.02);
+    EXPECT_NEAR((total - w.instanceLoc) / total, 0.93, 0.02);
+}
+
+} // namespace
+} // namespace harmonia

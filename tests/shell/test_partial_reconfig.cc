@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "host/cmd_driver.h"
+#include "roles/sec_gateway.h"
+#include "shell/partial_reconfig.h"
+
+namespace harmonia {
+namespace {
+
+struct PrBench {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    PrController pr;
+
+    PrBench()
+        : shell(Shell::makeTailored(
+              engine,
+              DeviceDatabase::instance().byName("DeviceA"),
+              SecGateway::standardRequirements())),
+          pr("pr", engine, *shell,
+             {ResourceVector{120000, 160000, 200, 0, 100},
+              ResourceVector{60000, 80000, 100, 0, 50}})
+    {
+    }
+};
+
+TEST(PartialReconfig, LoadActivatesAfterReconfigTime)
+{
+    PrBench b;
+    SecGateway role;
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Empty);
+
+    ASSERT_TRUE(b.pr.load(0, role));
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Reconfiguring);
+    EXPECT_FALSE(role.active());
+
+    const Tick t = b.pr.reconfigTime(0);
+    EXPECT_GT(t, 100'000u);  // a real partial bitstream takes time
+    b.engine.runFor(t + 10'000'000);
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Active);
+    EXPECT_TRUE(role.active());
+    EXPECT_EQ(b.pr.occupant(0), &role);
+}
+
+TEST(PartialReconfig, InactiveRoleDoesNotProcessTraffic)
+{
+    PrBench b;
+    SecGateway role;
+    ASSERT_TRUE(b.pr.load(0, role));
+
+    // Traffic arrives while the slot is still being rewritten.
+    PacketDesc pkt;
+    pkt.bytes = 256;
+    b.shell->network().mac().injectRx(pkt, b.engine.now());
+    b.engine.runFor(2'000'000);
+    EXPECT_EQ(role.stats().value("forwarded_packets"), 0u);
+
+    // After activation the backlog drains.
+    b.engine.runFor(b.pr.reconfigTime(0) + 10'000'000);
+    EXPECT_EQ(role.stats().value("forwarded_packets"), 1u);
+}
+
+TEST(PartialReconfig, SlotCapacityEnforced)
+{
+    PrBench b;
+    SecGateway fits;  // 38k LUT role vs 60k slot: fits slot 1
+    ASSERT_TRUE(b.pr.load(1, fits));
+
+    // A dedicated shell with one tiny slot rejects the same role.
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, DeviceDatabase::instance().byName("DeviceA"),
+        SecGateway::standardRequirements());
+    PrController tight("tight", engine, *shell,
+                       {ResourceVector{1000, 1000, 1, 0, 0}});
+    SecGateway too_big;
+    EXPECT_FALSE(tight.load(0, too_big));
+    EXPECT_EQ(tight.stats().value("load_too_big"), 1u);
+}
+
+TEST(PartialReconfig, BusySlotRejectsSecondLoad)
+{
+    PrBench b;
+    SecGateway a;
+    SecGateway c;
+    ASSERT_TRUE(b.pr.load(0, a));
+    EXPECT_FALSE(b.pr.load(0, c));
+    EXPECT_EQ(b.pr.stats().value("load_rejected"), 1u);
+}
+
+TEST(PartialReconfig, MultiTenantSlotsAreIndependent)
+{
+    PrBench b;
+    SecGateway tenant_a;
+    SecGateway tenant_b;
+    ASSERT_TRUE(b.pr.load(0, tenant_a));
+    b.engine.runFor(b.pr.reconfigTime(0) + 10'000'000);
+    ASSERT_TRUE(tenant_a.active());
+
+    // Loading tenant B does not disturb tenant A.
+    ASSERT_TRUE(b.pr.load(1, tenant_b));
+    EXPECT_TRUE(tenant_a.active());
+    EXPECT_EQ(b.pr.slotState(1), PrSlotState::Reconfiguring);
+    b.engine.runFor(b.pr.reconfigTime(1) + 10'000'000);
+    EXPECT_TRUE(tenant_b.active());
+
+    // Tenants answer commands at distinct instance ids.
+    CmdDriver driver(b.engine, *b.shell);
+    EXPECT_EQ(driver.call(kRoleRbbIdBase, 0, kCmdStatsSnapshot)
+                  .status,
+              kCmdOk);
+    EXPECT_EQ(driver.call(kRoleRbbIdBase, 1, kCmdStatsSnapshot)
+                  .status,
+              kCmdOk);
+}
+
+TEST(PartialReconfig, UnloadFreesSlotAndDeactivates)
+{
+    PrBench b;
+    SecGateway role;
+    ASSERT_TRUE(b.pr.load(0, role));
+    b.engine.runFor(b.pr.reconfigTime(0) + 10'000'000);
+    ASSERT_TRUE(role.active());
+
+    ASSERT_TRUE(b.pr.unload(0));
+    EXPECT_FALSE(role.active());
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Empty);
+    EXPECT_EQ(b.pr.occupant(0), nullptr);
+    EXPECT_FALSE(b.pr.unload(0));  // already empty
+}
+
+TEST(PartialReconfig, ManagedOverCommands)
+{
+    PrBench b;
+    SecGateway role;
+    b.pr.load(0, role);
+    CmdDriver driver(b.engine, *b.shell);
+
+    const CommandPacket status =
+        driver.call(kRbbPrCtrl, 0, kCmdPrStatus, {0});
+    EXPECT_EQ(status.status, kCmdOk);
+    EXPECT_EQ(status.data[0],
+              static_cast<std::uint32_t>(
+                  PrSlotState::Reconfiguring));
+
+    b.engine.runFor(b.pr.reconfigTime(0) + 10'000'000);
+    const CommandPacket overview =
+        driver.call(kRbbPrCtrl, 0, kCmdModuleStatusRead);
+    ASSERT_EQ(overview.data.size(), 2u);
+    EXPECT_EQ(overview.data[0], 2u);  // slots
+    EXPECT_EQ(overview.data[1], 1u);  // active
+
+    const CommandPacket unload =
+        driver.call(kRbbPrCtrl, 0, kCmdPrUnload, {0});
+    EXPECT_EQ(unload.status, kCmdOk);
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Empty);
+
+    EXPECT_EQ(driver.call(kRbbPrCtrl, 0, kCmdPrStatus, {9}).status,
+              kCmdBadArgument);
+}
+
+TEST(PartialReconfig, ReconfigTimeScalesWithSlotSize)
+{
+    PrBench b;
+    // Slot 0 (120k LUT) takes longer to rewrite than slot 1 (60k).
+    EXPECT_GT(b.pr.reconfigTime(0), b.pr.reconfigTime(1));
+}
+
+TEST(PartialReconfig, NeedsAtLeastOneSlot)
+{
+    PrBench b;
+    EXPECT_THROW(
+        PrController("bad", b.engine, *b.shell, {}), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "cmd/command_codes.h"
+#include "common/logging.h"
+#include "shell/network_rbb.h"
+
+namespace harmonia {
+namespace {
+
+// Base-class behaviour is exercised through NetworkRbb, the smallest
+// concrete RBB.
+struct RbbBench {
+    Engine engine;
+    Clock *clk;
+    NetworkRbb rbb;
+
+    RbbBench()
+        : clk(engine.addClock("clk", 322.0)),
+          rbb(engine, clk, Vendor::Xilinx, 100)
+    {
+    }
+};
+
+TEST(Rbb, IdentityAndRouting)
+{
+    RbbBench b;
+    EXPECT_EQ(b.rbb.kind(), RbbKind::Network);
+    EXPECT_EQ(b.rbb.rbbId(), kRbbNetwork);
+    EXPECT_EQ(b.rbb.instanceId(), 0);
+    EXPECT_STREQ(toString(RbbKind::Memory), "Memory");
+    EXPECT_EQ(rbbIdFor(RbbKind::Host), kRbbHost);
+}
+
+TEST(Rbb, TotalResourcesSumParts)
+{
+    RbbBench b;
+    const ResourceVector total = b.rbb.totalResources();
+    const ResourceVector parts = b.rbb.instance().resources() +
+                                 b.rbb.exFunctionResources() +
+                                 b.rbb.controlMonitorResources();
+    EXPECT_EQ(total, parts);
+    EXPECT_GT(b.rbb.wrapperResources().lut, 0u);
+}
+
+TEST(Rbb, StatusReadWriteBankSelection)
+{
+    RbbBench b;
+    // Bank 1 = instance registers: GT_LOOPBACK_REG is at 0x20.
+    const Addr loopback =
+        b.rbb.instance().regs().addrOf("GT_LOOPBACK_REG");
+    auto res = b.rbb.executeCommand(
+        kCmdModuleStatusWrite,
+        {static_cast<std::uint32_t>((1u << 16) | loopback), 0x3});
+    EXPECT_EQ(res.status, kCmdOk);
+    EXPECT_EQ(b.rbb.instance().regs().read(loopback), 0x3u);
+
+    res = b.rbb.executeCommand(
+        kCmdModuleStatusRead,
+        {static_cast<std::uint32_t>((1u << 16) | loopback)});
+    EXPECT_EQ(res.status, kCmdOk);
+    ASSERT_EQ(res.data.size(), 1u);
+    EXPECT_EQ(res.data[0], 0x3u);
+}
+
+TEST(Rbb, StatusCommandsValidateArguments)
+{
+    RbbBench b;
+    EXPECT_EQ(b.rbb.executeCommand(kCmdModuleStatusRead, {}).status,
+              kCmdBadArgument);
+    EXPECT_EQ(
+        b.rbb.executeCommand(kCmdModuleStatusRead, {0xfff0}).status,
+        kCmdBadArgument);
+    EXPECT_EQ(
+        b.rbb.executeCommand(kCmdModuleStatusWrite, {0x0}).status,
+        kCmdBadArgument);
+}
+
+TEST(Rbb, ConfigSurfaceIncludesInstanceSelect)
+{
+    RbbBench b;
+    const auto all = b.rbb.allConfigItems();
+    const auto role = b.rbb.roleConfigItems();
+    EXPECT_GT(all.size(), role.size());
+    bool has_select = false;
+    for (const auto &c : role)
+        if (c.name == "Network.INSTANCE_SELECT")
+            has_select = true;
+    EXPECT_TRUE(has_select);
+    // Property-level tailoring: roles see a small fraction.
+    EXPECT_GE(all.size(), 3 * role.size());
+}
+
+TEST(Rbb, MonitoringRegCountCoversStatsAndRoRegs)
+{
+    RbbBench b;
+    // Generate some stats so the monitor group is populated.
+    b.rbb.monitor().counter("rx_packets").inc();
+    const std::size_t n = b.rbb.monitoringRegCount();
+    EXPECT_GT(n, 5u);
+    EXPECT_GE(n, b.rbb.monitoringCommandCount() * 5);
+}
+
+TEST(Rbb, StatsSnapshotPaginates)
+{
+    RbbBench b;
+    for (int i = 0; i < 20; ++i)
+        b.rbb.monitor().counter(format("stat_%02d", i)).inc(i);
+    const auto first = b.rbb.executeCommand(kCmdStatsSnapshot, {0});
+    EXPECT_EQ(first.status, kCmdOk);
+    EXPECT_EQ(first.data[0], 20u);
+    EXPECT_EQ(first.data.size(), 16u);  // capped page
+    const auto second =
+        b.rbb.executeCommand(kCmdStatsSnapshot, {15});
+    EXPECT_EQ(second.data.size(), 1u + 5u);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "shell/tailoring.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+device(const char *name)
+{
+    return DeviceDatabase::instance().byName(name);
+}
+
+TEST(Tailoring, UnifiedConfigCoversEveryPeripheral)
+{
+    const ShellConfig cfg = unifiedConfigFor(device("DeviceA"));
+    EXPECT_EQ(cfg.networks.size(), 2u);   // QSFPx2
+    EXPECT_EQ(cfg.memories.size(), 2u);   // HBM + DDR
+    EXPECT_TRUE(cfg.includeHost);
+    EXPECT_EQ(cfg.hostQueues, 1024u);
+}
+
+TEST(Tailoring, ModuleLevelDropsUnneededRbbs)
+{
+    RoleRequirements role;
+    role.name = "netonly";
+    role.needsNetwork = true;
+    role.networkGbps = 100;
+    role.networkPorts = 1;
+    role.needsMemory = false;
+    role.needsHost = true;
+    role.hostQueues = 16;
+
+    const ShellConfig cfg = tailorConfigFor(device("DeviceA"), role);
+    EXPECT_EQ(cfg.networks.size(), 1u);
+    EXPECT_TRUE(cfg.memories.empty());  // dropped
+    EXPECT_EQ(cfg.hostQueues, 16u);
+}
+
+TEST(Tailoring, InstanceSelectionMatchesDemand)
+{
+    RoleRequirements role;
+    role.name = "slow";
+    role.needsNetwork = true;
+    role.networkGbps = 25;  // 25G is enough
+    role.networkPorts = 1;
+    const ShellConfig cfg = tailorConfigFor(device("DeviceA"), role);
+    ASSERT_EQ(cfg.networks.size(), 1u);
+    EXPECT_EQ(cfg.networks[0].gbps, 25u);  // smallest fitting instance
+}
+
+TEST(Tailoring, MemorySelectionPrefersSufficientDdr)
+{
+    RoleRequirements small;
+    small.name = "small";
+    small.needsMemory = true;
+    small.memoryBandwidthGBps = 10;
+    const ShellConfig cfg = tailorConfigFor(device("DeviceA"), small);
+    ASSERT_EQ(cfg.memories.size(), 1u);
+    EXPECT_EQ(cfg.memories[0].kind, PeripheralKind::Ddr4);
+
+    RoleRequirements big;
+    big.name = "big";
+    big.needsMemory = true;
+    big.memoryBandwidthGBps = 200;  // beyond DDR
+    const ShellConfig cfg2 = tailorConfigFor(device("DeviceA"), big);
+    ASSERT_EQ(cfg2.memories.size(), 1u);
+    EXPECT_EQ(cfg2.memories[0].kind, PeripheralKind::Hbm);
+    EXPECT_EQ(cfg2.memories[0].channels, 32u);
+}
+
+TEST(Tailoring, InfeasibleDemandsAreFatal)
+{
+    RoleRequirements role;
+    role.name = "impossible";
+    role.needsNetwork = true;
+    role.networkGbps = 400;  // Device A cages are 100G
+    EXPECT_THROW(tailorConfigFor(device("DeviceA"), role), FatalError);
+
+    RoleRequirements mem_role;
+    mem_role.name = "memless";
+    mem_role.needsMemory = true;
+    mem_role.memoryBandwidthGBps = 1;
+    // Device C has no external memory at all.
+    EXPECT_THROW(tailorConfigFor(device("DeviceC"), mem_role),
+                 FatalError);
+
+    RoleRequirements q_role;
+    q_role.name = "greedy";
+    q_role.hostQueues = 5000;
+    EXPECT_THROW(tailorConfigFor(device("DeviceA"), q_role),
+                 FatalError);
+}
+
+TEST(Tailoring, TooMuchBandwidthForDdrOnlyBoardIsFatal)
+{
+    RoleRequirements role;
+    role.name = "bw";
+    role.needsMemory = true;
+    role.memoryBandwidthGBps = 300;
+    // Device B has DDR only (2 channels, ~38 GB/s).
+    EXPECT_THROW(tailorConfigFor(device("DeviceB"), role), FatalError);
+}
+
+TEST(Tailoring, CageRates)
+{
+    EXPECT_EQ(cageGbps(PeripheralKind::Qsfp28), 100u);
+    EXPECT_EQ(cageGbps(PeripheralKind::Qsfp112), 400u);
+    EXPECT_THROW(cageGbps(PeripheralKind::Ddr4), FatalError);
+}
+
+TEST(Tailoring, DmaStylePropagatesToTheEngine)
+{
+    RoleRequirements bulk_role;
+    bulk_role.name = "bulk";
+    bulk_role.dmaStyle = DmaStyle::Bdma;
+    const ShellConfig cfg =
+        tailorConfigFor(device("DeviceA"), bulk_role);
+    EXPECT_EQ(cfg.dmaStyle, DmaStyle::Bdma);
+
+    Engine engine;
+    Shell shell(engine, device("DeviceA"), cfg, "bulk_shell");
+    EXPECT_EQ(shell.host().dma().style(), DmaEngineStyle::Bulk);
+
+    Engine engine2;
+    Shell sg_shell(engine2, device("DeviceA"),
+                   tailorConfigFor(device("DeviceA"),
+                                   RoleRequirements{.name = "sg",
+                                                    .roleLogic = {}}),
+                   "sg_shell");
+    EXPECT_EQ(sg_shell.host().dma().style(),
+              DmaEngineStyle::ScatterGather);
+}
+
+TEST(Tailoring, HostlessRolesDropTheHostRbb)
+{
+    RoleRequirements role;
+    role.name = "wire_only";
+    role.needsNetwork = true;
+    role.networkGbps = 100;
+    role.networkPorts = 2;
+    role.needsHost = false;
+    const ShellConfig cfg = tailorConfigFor(device("DeviceB"), role);
+    EXPECT_FALSE(cfg.includeHost);
+    EXPECT_EQ(cfg.networks.size(), 2u);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "roles/sec_gateway.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+device(const char *name)
+{
+    return DeviceDatabase::instance().byName(name);
+}
+
+TEST(Shell, UnifiedShellBuildsEveryRbbTheBoardSupports)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    EXPECT_EQ(shell->networkCount(), 2u);
+    EXPECT_EQ(shell->memoryCount(), 2u);
+    EXPECT_TRUE(shell->hasHost());
+    EXPECT_EQ(shell->rbbs().size(), 5u);
+}
+
+TEST(Shell, TailoredShellIsSmaller)
+{
+    Engine engine;
+    auto unified = Shell::makeUnified(engine, device("DeviceA"));
+    auto tailored = Shell::makeTailored(
+        engine, device("DeviceA"), SecGateway::standardRequirements());
+    const ResourceVector u = unified->shellResources();
+    const ResourceVector t = tailored->shellResources();
+    EXPECT_LT(t.lut, u.lut);
+    EXPECT_LT(t.bram, u.bram);
+    // Fig 11: tailoring saves a meaningful fraction.
+    EXPECT_LT(t.lut * 100, u.lut * 97);
+}
+
+TEST(Shell, CrossVendorConstruction)
+{
+    // The same code builds shells on all four boards — the paper's
+    // central claim.
+    for (const char *name :
+         {"DeviceA", "DeviceB", "DeviceC", "DeviceD"}) {
+        Engine engine;
+        auto shell = Shell::makeUnified(engine, device(name));
+        EXPECT_TRUE(shell->hasHost()) << name;
+        EXPECT_GT(shell->shellResources().lut, 0u) << name;
+    }
+}
+
+TEST(Shell, ChipVendorSelectsIpFamilies)
+{
+    Engine engine;
+    auto xilinx = Shell::makeUnified(engine, device("DeviceA"));
+    EXPECT_EQ(xilinx->network().instance().dataProtocol(),
+              Protocol::Axi4Stream);
+    Engine engine2;
+    auto intel = Shell::makeUnified(engine2, device("DeviceD"));
+    EXPECT_EQ(intel->network().instance().dataProtocol(),
+              Protocol::AvalonStream);
+}
+
+TEST(Shell, RegInterconnectReachesAllModules)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    // Both RBB ctrl windows and instance windows are attached.
+    EXPECT_EQ(shell->regs().moduleCount(), 2 * shell->rbbs().size());
+    // A write through the interconnect reaches the module.
+    const Addr a =
+        shell->regs().addrOf("net_rbb0", "DIRECTOR_QUEUES");
+    shell->regs().write(a, 32);
+    EXPECT_EQ(
+        shell->network().ctrlRegs().readByName("DIRECTOR_QUEUES"),
+        32u);
+}
+
+TEST(Shell, KernelRoutesCommandsToRbbs)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    CommandPacket cmd;
+    cmd.rbbId = kRbbNetwork;
+    cmd.instanceId = 0;
+    cmd.commandCode = kCmdModuleInit;
+    ASSERT_TRUE(shell->kernel().submit(cmd));
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] { return shell->kernel().hasResponse(); }, 10'000'000));
+    const CommandPacket resp = shell->kernel().popResponse();
+    EXPECT_EQ(resp.status, kCmdOk);
+    EXPECT_TRUE(shell->network().instance().initialized());
+}
+
+TEST(Shell, ConfigSurfacesForPropertyTailoring)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, device("DeviceA"), SecGateway::standardRequirements());
+    const auto native = shell->allConfigItems();
+    const auto role = shell->roleConfigItems();
+    EXPECT_GT(native.size(), role.size() * 4);
+}
+
+TEST(Shell, CompileJobIntegratesWithToolchain)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(
+        engine, device("DeviceA"), SecGateway::standardRequirements());
+    const CompileJob job = shell->compileJob(
+        "secgw", SecGateway::standardRequirements().roleLogic);
+    Toolchain tc(VendorAdapter::standardFor(device("DeviceA")));
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_TRUE(art.success) << (art.log.empty() ? "" : art.log.back());
+}
+
+TEST(Shell, PinFeasibilityEnforcedThroughAdapter)
+{
+    // Asking for more network RBBs than cages must fail at
+    // construction, via the device adapter.
+    Engine engine;
+    ShellConfig cfg = unifiedConfigFor(device("DeviceA"));
+    cfg.networks.push_back({100});  // a third MAC on a 2-cage board
+    EXPECT_THROW(Shell(engine, device("DeviceA"), cfg, "bad"),
+                 FatalError);
+}
+
+TEST(Shell, CageRateEnforced)
+{
+    Engine engine;
+    ShellConfig cfg;
+    cfg.networks.push_back({400});  // 400G MAC on a 100G cage
+    EXPECT_THROW(Shell(engine, device("DeviceA"), cfg, "toofast"),
+                 FatalError);
+}
+
+TEST(Shell, AccessorsValidate)
+{
+    Engine engine;
+    ShellConfig cfg;  // host only
+    Shell shell(engine, device("DeviceC"), cfg, "minimal");
+    EXPECT_THROW(shell.network(), FatalError);
+    EXPECT_THROW(shell.memory(), FatalError);
+    EXPECT_NO_THROW(shell.host());
+}
+
+TEST(Shell, InitAndMonitoringOpCountsAggregate)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    EXPECT_GT(shell->registerInitOps(), shell->commandInitOps() * 3);
+    EXPECT_GT(shell->monitoringRegOps(),
+              shell->monitoringCommandOps() * 5);
+}
+
+} // namespace
+} // namespace harmonia

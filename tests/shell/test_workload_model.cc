@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "roles/host_network.h"
+#include "roles/l4lb.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+#include "shell/workload_model.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+TEST(WorkloadModel, RbbReuseBandsMatchFig14)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, deviceA());
+
+    for (const Rbb *rbb : shell->rbbs()) {
+        const double vendor =
+            rbbReuseFraction(*rbb, MigrationKind::CrossVendor);
+        const double chip =
+            rbbReuseFraction(*rbb, MigrationKind::CrossChip);
+        // Paper: 69-76% cross-vendor (memory RBB reaches 78%),
+        // 84-93% cross-chip.
+        EXPECT_GE(vendor, 0.67) << rbb->name();
+        EXPECT_LE(vendor, 0.80) << rbb->name();
+        EXPECT_GE(chip, 0.82) << rbb->name();
+        EXPECT_LE(chip, 0.95) << rbb->name();
+        EXPECT_GT(chip, vendor) << rbb->name();
+    }
+}
+
+TEST(WorkloadModel, ReuseBreakdownConserves)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, deviceA());
+    const Rbb *rbb = shell->rbbs().front();
+    const ReuseBreakdown vendor =
+        rbbReuse(*rbb, MigrationKind::CrossVendor);
+    const ReuseBreakdown chip =
+        rbbReuse(*rbb, MigrationKind::CrossChip);
+    EXPECT_EQ(vendor.reusedLoc + vendor.redevelopedLoc,
+              rbb->devWorkload().total());
+    EXPECT_EQ(chip.reusedLoc + chip.redevelopedLoc,
+              rbb->devWorkload().total());
+}
+
+TEST(WorkloadModel, ShellFractionsMatchFig3a)
+{
+    // Fig 3a: shells occupy 66-87% of handcraft workloads.
+    struct Case {
+        RoleRequirements reqs;
+        double expect_shell;
+    };
+    const std::vector<Case> cases = {
+        {SecGateway::standardRequirements(), 0.87},
+        {Layer4Lb::standardRequirements(), 0.79},
+        {Retrieval::standardRequirements(), 0.79},
+        {HostNetwork::standardRequirements(), 0.66},
+    };
+    for (const Case &c : cases) {
+        Engine engine;
+        auto shell = Shell::makeTailored(engine, deviceA(), c.reqs);
+        const WorkloadSplit split =
+            appWorkloadSplit(*shell, c.reqs.roleLoc);
+        EXPECT_NEAR(split.shellFraction(), c.expect_shell, 0.04)
+            << c.reqs.name;
+    }
+}
+
+TEST(WorkloadModel, AppShellReuseInFig15Band)
+{
+    // Fig 15: 70-80% shell reuse across applications.
+    const std::vector<RoleRequirements> roles = {
+        SecGateway::standardRequirements(),
+        Layer4Lb::standardRequirements(),
+        Retrieval::standardRequirements(),
+        HostNetwork::standardRequirements(),
+    };
+    for (const auto &reqs : roles) {
+        Engine engine;
+        auto shell = Shell::makeTailored(engine, deviceA(), reqs);
+        const double reuse =
+            appShellReuse(*shell, MigrationKind::CrossVendor);
+        EXPECT_GE(reuse, 0.70) << reqs.name;
+        EXPECT_LE(reuse, 0.80) << reqs.name;
+    }
+}
+
+TEST(WorkloadModel, MigrationKindNames)
+{
+    EXPECT_STREQ(toString(MigrationKind::CrossVendor),
+                 "cross-vendor");
+    EXPECT_STREQ(toString(MigrationKind::CrossChip), "cross-chip");
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/clock.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Clock, PeriodFromFrequency)
+{
+    Clock c("c", 250.0);
+    EXPECT_EQ(c.period(), 4000u);  // 250 MHz = 4 ns = 4000 ps
+    EXPECT_DOUBLE_EQ(c.mhz(), 250.0);
+}
+
+TEST(Clock, NextEdgeStrictlyAfterNow)
+{
+    Clock c("c", 250.0);
+    EXPECT_EQ(c.nextEdge(0), 4000u);
+    EXPECT_EQ(c.nextEdge(3999), 4000u);
+    EXPECT_EQ(c.nextEdge(4000), 8000u);
+    EXPECT_EQ(c.nextEdge(4001), 8000u);
+}
+
+TEST(Clock, CycleTickConversions)
+{
+    Clock c("c", 100.0);  // 10 ns period
+    EXPECT_EQ(c.cyclesToTicks(3), 30000u);
+    EXPECT_EQ(c.ticksToCycles(35000), 3u);
+}
+
+TEST(Clock, RejectsBadFrequency)
+{
+    EXPECT_THROW(Clock("bad", 0.0), FatalError);
+    EXPECT_THROW(Clock("bad", -5.0), FatalError);
+    // Beyond the picosecond time base (>1 THz).
+    EXPECT_THROW(Clock("bad", 2'000'000.0), FatalError);
+}
+
+TEST(Clock, NonIntegerPeriodTruncates)
+{
+    Clock c("c", 322.265625);  // CMAC core clock
+    EXPECT_EQ(c.period(), periodFromMhz(322.265625));
+    EXPECT_GT(c.period(), 3000u);
+    EXPECT_LT(c.period(), 3200u);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Engine, SingleDomainTickCount)
+{
+    Engine e;
+    Clock *clk = e.addClock("clk", 250.0);
+    int ticks = 0;
+    FunctionComponent c("c", [&] { ++ticks; });
+    e.add(&c, clk);
+
+    e.runFor(40'000);  // 10 cycles at 4 ns
+    EXPECT_EQ(ticks, 10);
+    EXPECT_EQ(clk->cycle(), 10u);
+    EXPECT_EQ(e.now(), 40'000u);
+}
+
+TEST(Engine, TwoDomainsRatio)
+{
+    Engine e;
+    Clock *fast = e.addClock("fast", 500.0);  // 2 ns
+    Clock *slow = e.addClock("slow", 125.0);  // 8 ns
+    int fast_ticks = 0, slow_ticks = 0;
+    FunctionComponent cf("f", [&] { ++fast_ticks; });
+    FunctionComponent cs("s", [&] { ++slow_ticks; });
+    e.add(&cf, fast);
+    e.add(&cs, slow);
+
+    e.runFor(80'000);  // 80 ns
+    EXPECT_EQ(fast_ticks, 40);
+    EXPECT_EQ(slow_ticks, 10);
+}
+
+TEST(Engine, RegistrationOrderWithinDomain)
+{
+    Engine e;
+    Clock *clk = e.addClock("clk", 100.0);
+    std::vector<int> order;
+    FunctionComponent a("a", [&] { order.push_back(1); });
+    FunctionComponent b("b", [&] { order.push_back(2); });
+    e.add(&a, clk);
+    e.add(&b, clk);
+
+    e.step();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
+TEST(Engine, RunCycles)
+{
+    Engine e;
+    Clock *a = e.addClock("a", 300.0);
+    Clock *b = e.addClock("b", 100.0);
+    (void)b;
+    e.runCycles(a, 7);
+    EXPECT_EQ(a->cycle(), 7u);
+}
+
+TEST(Engine, RunUntilDone)
+{
+    Engine e;
+    Clock *clk = e.addClock("clk", 100.0);
+    int ticks = 0;
+    FunctionComponent c("c", [&] { ++ticks; });
+    e.add(&c, clk);
+
+    EXPECT_TRUE(e.runUntilDone([&] { return ticks >= 5; }, 1'000'000));
+    EXPECT_EQ(ticks, 5);
+
+    EXPECT_FALSE(
+        e.runUntilDone([&] { return ticks >= 1000; }, 50'000));
+}
+
+TEST(Engine, ComponentNowAndCycle)
+{
+    Engine e;
+    Clock *clk = e.addClock("clk", 250.0);
+    Tick seen_now = 0;
+    Cycles seen_cycle = 0;
+    FunctionComponent *cp = nullptr;
+    FunctionComponent c("c", [&] {
+        seen_now = cp->now();
+        seen_cycle = cp->cycle();
+    });
+    cp = &c;
+    e.add(&c, clk);
+    e.step();
+    EXPECT_EQ(seen_now, 4000u);
+    EXPECT_EQ(seen_cycle, 1u);
+}
+
+TEST(Engine, DoubleRegistrationRejected)
+{
+    Engine e;
+    Clock *clk = e.addClock("clk", 100.0);
+    FunctionComponent c("c", [] {});
+    e.add(&c, clk);
+    EXPECT_THROW(e.add(&c, clk), FatalError);
+}
+
+TEST(Engine, ForeignClockRejected)
+{
+    Engine e1, e2;
+    Clock *clk2 = e2.addClock("clk", 100.0);
+    FunctionComponent c("c", [] {});
+    EXPECT_THROW(e1.add(&c, clk2), FatalError);
+}
+
+TEST(Engine, StepWithNoClocksRejected)
+{
+    Engine e;
+    EXPECT_THROW(e.step(), FatalError);
+}
+
+TEST(Engine, RunUntilSetsExactTime)
+{
+    Engine e;
+    e.addClock("clk", 100.0);
+    e.runUntil(12'345);
+    EXPECT_EQ(e.now(), 12'345u);
+}
+
+} // namespace
+} // namespace harmonia

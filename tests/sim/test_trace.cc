@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "cmd/control_kernel.h"
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+namespace harmonia {
+namespace {
+
+/** RAII guard: enable tracing for one test, restore after. */
+struct TraceGuard {
+    TraceGuard()
+    {
+        Trace::instance().clear();
+        Trace::instance().setEnabled(true);
+    }
+    ~TraceGuard()
+    {
+        Trace::instance().setEnabled(false);
+        Trace::instance().clear();
+    }
+};
+
+TEST(Trace, DisabledByDefaultAndFreeWhenOff)
+{
+    Trace::instance().clear();
+    ASSERT_FALSE(Trace::instance().enabled());
+    Trace::instance().record(100, "x", "y");
+    EXPECT_EQ(Trace::instance().size(), 0u);
+}
+
+TEST(Trace, RecordsComponentEvents)
+{
+    TraceGuard guard;
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 100.0);
+    FunctionComponent *cp = nullptr;
+    FunctionComponent c("worker", [&] {
+        trace(*cp, "tick %llu",
+              static_cast<unsigned long long>(cp->cycle()));
+    });
+    cp = &c;
+    engine.add(&c, clk);
+    engine.runCycles(clk, 3);
+
+    ASSERT_EQ(Trace::instance().size(), 3u);
+    const auto &entries = Trace::instance().entries();
+    EXPECT_EQ(entries[0].who, "worker");
+    EXPECT_EQ(entries[0].what, "tick 1");
+    EXPECT_EQ(entries[2].tick, 30'000u);  // 3rd edge of 100 MHz
+}
+
+TEST(Trace, RingBounded)
+{
+    TraceGuard guard;
+    for (std::size_t i = 0; i < Trace::kCapacity + 50; ++i)
+        Trace::instance().record(i, "a", "b");
+    EXPECT_EQ(Trace::instance().size(), Trace::kCapacity);
+    EXPECT_EQ(Trace::instance().entries().front().tick, 50u);
+}
+
+TEST(Trace, DumpRendersReadableLines)
+{
+    TraceGuard guard;
+    Trace::instance().record(1'500'000, "uck", "executed ModuleInit");
+    const std::string out = Trace::instance().dump();
+    EXPECT_NE(out.find("uck"), std::string::npos);
+    EXPECT_NE(out.find("ModuleInit"), std::string::npos);
+    EXPECT_NE(out.find("us"), std::string::npos);  // human time
+}
+
+TEST(Trace, ControlKernelEmitsExecutionEvents)
+{
+    TraceGuard guard;
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 250.0);
+    UnifiedControlKernel kernel("uck");
+    engine.add(&kernel, clk);
+
+    CommandPacket cmd;
+    cmd.rbbId = kRbbSystem;
+    cmd.commandCode = kCmdTimeCount;
+    ASSERT_TRUE(kernel.submit(cmd));
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] { return kernel.hasResponse(); }, 10'000'000));
+
+    bool seen = false;
+    for (const auto &e : Trace::instance().entries())
+        if (e.who == "uck" &&
+            e.what.find("TimeCount") != std::string::npos)
+            seen = true;
+    EXPECT_TRUE(seen);
+}
+
+} // namespace
+} // namespace harmonia

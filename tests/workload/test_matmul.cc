@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/matmul.h"
+
+namespace harmonia {
+namespace {
+
+TEST(MatMul, LaneProductMatchesReference)
+{
+    MatMulConfig cfg;
+    cfg.dim = 16;
+    cfg.parallelism = 4;
+    const MatMulResult r = MatMulWorkload(cfg).run();
+    EXPECT_TRUE(r.verified);
+    EXPECT_LT(r.maxAbsError, 1e-3f);
+}
+
+TEST(MatMul, ThroughputScalesWithParallelism)
+{
+    // Fig 18b: x4 -> x8 -> x16 unrolling raises matrices/s.
+    double last = 0;
+    for (unsigned p : {4u, 8u, 16u}) {
+        MatMulConfig cfg;
+        cfg.parallelism = p;
+        const MatMulResult r = MatMulWorkload(cfg).run();
+        EXPECT_GT(r.matricesPerSecond, last);
+        last = r.matricesPerSecond;
+        EXPECT_EQ(r.dspUsed, p * MatMulWorkload::kDspPerLane);
+    }
+}
+
+TEST(MatMul, NearLinearScaling)
+{
+    MatMulConfig c4, c16;
+    c4.parallelism = 4;
+    c16.parallelism = 16;
+    const double r4 = MatMulWorkload(c4).run().matricesPerSecond;
+    const double r16 = MatMulWorkload(c16).run().matricesPerSecond;
+    EXPECT_GT(r16 / r4, 3.5);
+    EXPECT_LT(r16 / r4, 4.0);  // fill/drain overhead costs a little
+}
+
+TEST(MatMul, CyclesAccountsMacsAndOverhead)
+{
+    MatMulConfig cfg;
+    cfg.dim = 64;
+    cfg.parallelism = 4;
+    const MatMulResult r = MatMulWorkload(cfg).run();
+    EXPECT_EQ(r.cyclesPerMatrix,
+              64ULL * 64 * 64 / 4 + 2 * 64 + 32);
+}
+
+TEST(MatMul, ValidatesConfig)
+{
+    MatMulConfig cfg;
+    cfg.parallelism = 0;
+    EXPECT_THROW(MatMulWorkload{cfg}, FatalError);
+    cfg = {};
+    cfg.dim = 10;
+    cfg.parallelism = 4;  // does not divide
+    EXPECT_THROW(MatMulWorkload{cfg}, FatalError);
+}
+
+TEST(MatMul, ReferenceKnownSmallCase)
+{
+    // 2x2 sanity: [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]].
+    const std::vector<float> a = {1, 2, 3, 4};
+    const std::vector<float> b = {5, 6, 7, 8};
+    const auto c = MatMulWorkload::reference(a, b, 2);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+    const auto lanes = MatMulWorkload::laneProduct(a, b, 2, 2);
+    EXPECT_FLOAT_EQ(lanes[3], 50);
+}
+
+class MatMulParamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MatMulParamTest, VerifiedAcrossParallelism)
+{
+    MatMulConfig cfg;
+    cfg.dim = 32;
+    cfg.parallelism = GetParam();
+    EXPECT_TRUE(MatMulWorkload(cfg).run().verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, MatMulParamTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/flow_gen.h"
+#include "workload/packet_gen.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Rng, DeterministicAndSpread)
+{
+    Rng a(7), b(7), c(8);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+    // Bounded draws stay in range.
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.nextBounded(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(PacketGen, FixedSizesAndIds)
+{
+    PacketGenConfig cfg;
+    cfg.fixedBytes = 512;
+    PacketGenerator gen(cfg);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const PacketDesc pkt = gen.next(1000 * i);
+        EXPECT_EQ(pkt.id, i);
+        EXPECT_EQ(pkt.bytes, 512u);
+        EXPECT_EQ(pkt.injected, 1000 * i);
+        EXPECT_LT(pkt.flowHash, cfg.flows);
+    }
+    EXPECT_EQ(gen.generated(), 100u);
+}
+
+TEST(PacketGen, ImixMixesClassicSizes)
+{
+    PacketGenConfig cfg;
+    cfg.sizeMode = SizeMode::Imix;
+    PacketGenerator gen(cfg);
+    std::map<std::uint32_t, int> sizes;
+    for (int i = 0; i < 6000; ++i)
+        ++sizes[gen.next(0).bytes];
+    ASSERT_EQ(sizes.size(), 3u);
+    // 7:4:1 ratio, within sampling tolerance.
+    EXPECT_GT(sizes[64], sizes[576]);
+    EXPECT_GT(sizes[576], sizes[1500]);
+    EXPECT_NEAR(sizes[64] / 6000.0, 7 / 12.0, 0.05);
+}
+
+TEST(PacketGen, DestinationMix)
+{
+    PacketGenConfig cfg;
+    cfg.foreignFraction = 0.3;
+    cfg.multicastFraction = 0.1;
+    PacketGenerator gen(cfg);
+    int local = 0, foreign = 0, multicast = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const PacketDesc pkt = gen.next(0);
+        if (pkt.multicast)
+            ++multicast;
+        else if (pkt.dstMac == cfg.localMac)
+            ++local;
+        else
+            ++foreign;
+    }
+    EXPECT_NEAR(multicast / 10000.0, 0.1, 0.02);
+    EXPECT_NEAR(foreign / 10000.0, 0.3, 0.02);
+    EXPECT_NEAR(local / 10000.0, 0.6, 0.02);
+}
+
+TEST(PacketGen, ValidatesConfig)
+{
+    PacketGenConfig cfg;
+    cfg.flows = 0;
+    EXPECT_THROW(PacketGenerator{cfg}, FatalError);
+    cfg = {};
+    cfg.fixedBytes = 32;  // below minimum frame
+    EXPECT_THROW(PacketGenerator{cfg}, FatalError);
+    cfg = {};
+    cfg.foreignFraction = 0.8;
+    cfg.multicastFraction = 0.4;
+    EXPECT_THROW(PacketGenerator{cfg}, FatalError);
+}
+
+TEST(FlowGen, FlowLifecycles)
+{
+    FlowGenConfig cfg;
+    cfg.concurrentFlows = 4;
+    cfg.packetsPerFlow = 2;
+    FlowGenerator gen(cfg);
+    std::map<std::uint64_t, std::vector<FlowPhase>> phases;
+    for (int i = 0; i < 64; ++i) {
+        const FlowPacket fp = gen.next(0);
+        phases[fp.packet.flowHash].push_back(fp.phase);
+    }
+    // Each observed flow follows SYN, data..., FIN in order.
+    for (const auto &[hash, seq] : phases) {
+        EXPECT_EQ(seq.front(), FlowPhase::Syn);
+        for (std::size_t i = 1; i < seq.size(); ++i) {
+            if (seq[i] == FlowPhase::Syn)
+                FAIL() << "SYN mid-flow";
+            if (seq[i - 1] == FlowPhase::Fin)
+                FAIL() << "packet after FIN";
+        }
+    }
+    EXPECT_GT(gen.flowsClosed(), 0u);
+    EXPECT_EQ(gen.flowsOpened(),
+              gen.flowsClosed() + cfg.concurrentFlows);
+}
+
+TEST(FlowGen, FlagsMatchPhases)
+{
+    FlowGenConfig cfg;
+    cfg.concurrentFlows = 1;
+    cfg.packetsPerFlow = 1;
+    FlowGenerator gen(cfg);
+    const FlowPacket syn = gen.next(0);
+    EXPECT_EQ(syn.phase, FlowPhase::Syn);
+    EXPECT_EQ(syn.packet.flags, kFlagSyn);
+    const FlowPacket data = gen.next(0);
+    EXPECT_EQ(data.phase, FlowPhase::Data);
+    EXPECT_EQ(data.packet.flags, 0);
+    const FlowPacket fin = gen.next(0);
+    EXPECT_EQ(fin.phase, FlowPhase::Fin);
+    EXPECT_EQ(fin.packet.flags, kFlagFin);
+}
+
+TEST(FlowGen, ConstantConcurrency)
+{
+    FlowGenConfig cfg;
+    cfg.concurrentFlows = 16;
+    cfg.packetsPerFlow = 3;
+    FlowGenerator gen(cfg);
+    for (int i = 0; i < 1000; ++i)
+        gen.next(0);
+    EXPECT_EQ(gen.flowsOpened() - gen.flowsClosed(),
+              cfg.concurrentFlows);
+}
+
+} // namespace
+} // namespace harmonia

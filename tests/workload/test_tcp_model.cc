@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/tcp_model.h"
+
+namespace harmonia {
+namespace {
+
+struct TcpBench {
+    Engine engine;
+    Clock *clk;
+    NetworkRbb a;
+    NetworkRbb b;
+
+    TcpBench()
+        : clk(engine.addClock("clk", MacIp::clockMhzFor(100))),
+          a(engine, clk, Vendor::Xilinx, 100, 0),
+          b(engine, clk, Vendor::Xilinx, 100, 1)
+    {
+        a.mac().connectPeer(&b.mac());
+        b.mac().connectPeer(&a.mac());
+    }
+};
+
+TEST(TcpModel, DeliversAllSegments)
+{
+    TcpBench bench;
+    TcpConfig cfg;
+    cfg.segmentBytes = 512;
+    cfg.totalSegments = 500;
+    TcpSession session(bench.engine, bench.a, bench.b, cfg);
+    const TcpResult r = session.run();
+    EXPECT_EQ(r.segmentsDelivered, 500u);
+    EXPECT_GT(r.throughputBps, 0.0);
+    EXPECT_GT(r.avgRttUs, 0.0);
+}
+
+TEST(TcpModel, ThroughputGrowsWithSegmentSize)
+{
+    // Fig 18d shape: bigger packets amortize per-packet overheads.
+    double last = 0;
+    for (std::uint32_t size : {64u, 512u, 1500u}) {
+        TcpBench bench;
+        TcpConfig cfg;
+        cfg.segmentBytes = size;
+        cfg.totalSegments = 400;
+        const TcpResult r =
+            TcpSession(bench.engine, bench.a, bench.b, cfg).run();
+        EXPECT_GT(r.throughputBps, last) << size;
+        last = r.throughputBps;
+    }
+}
+
+TEST(TcpModel, WindowLimitsThroughput)
+{
+    TcpBench bench;
+    TcpConfig small;
+    small.windowSegments = 1;
+    small.totalSegments = 200;
+    const TcpResult one =
+        TcpSession(bench.engine, bench.a, bench.b, small).run();
+
+    TcpBench bench2;
+    TcpConfig big = small;
+    big.windowSegments = 32;
+    const TcpResult many =
+        TcpSession(bench2.engine, bench2.a, bench2.b, big).run();
+    EXPECT_GT(many.throughputBps, 2 * one.throughputBps);
+}
+
+TEST(TcpModel, RttIncludesWireAndShellLatency)
+{
+    TcpBench bench;
+    TcpConfig cfg;
+    cfg.windowSegments = 1;  // clean per-segment RTT
+    cfg.totalSegments = 50;
+    const TcpResult r =
+        TcpSession(bench.engine, bench.a, bench.b, cfg).run();
+    // Two wire crossings + two full shell traversals: order 1 us in
+    // the model; must be non-trivial and bounded.
+    EXPECT_GT(r.avgRttUs, 0.05);
+    EXPECT_LT(r.avgRttUs, 50.0);
+}
+
+TEST(TcpModel, ValidatesConfig)
+{
+    TcpBench bench;
+    TcpConfig bad;
+    bad.segmentBytes = 32;
+    EXPECT_THROW(TcpSession(bench.engine, bench.a, bench.b, bad),
+                 FatalError);
+    bad = {};
+    bad.windowSegments = 0;
+    EXPECT_THROW(TcpSession(bench.engine, bench.a, bench.b, bad),
+                 FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "workload/vector_db.h"
+
+namespace harmonia {
+namespace {
+
+struct DbBench {
+    Engine engine;
+    Clock *clk;
+    MemoryRbb mem;
+    VectorDbConfig cfg;
+
+    DbBench()
+        : clk(engine.addClock("clk", 300.0)),
+          mem(engine, clk, Vendor::Xilinx, PeripheralKind::Ddr4, 2)
+    {
+        cfg.dbVectors = 1 << 14;
+        cfg.accesses = 1500;
+    }
+};
+
+TEST(VectorDb, PopulateAndVerifyReads)
+{
+    DbBench b;
+    VectorDbWorkload db(b.engine, b.mem, b.cfg);
+    db.populate();
+    // run() panics internally if any read returns corrupt data.
+    const VectorDbResult r = db.run(AccessPattern::Sequential, false);
+    EXPECT_EQ(r.vectors, b.cfg.accesses);
+    EXPECT_GT(r.vectorsPerSecond, 0.0);
+    EXPECT_GT(r.avgLatencyNs, 0.0);
+}
+
+TEST(VectorDb, PatternOrderingMatchesPaper)
+{
+    // Fig 18c: random is slowest. The DB must dwarf both the hot
+    // cache and the open-row reach, so the cache is disabled and the
+    // store is 4 MiB (the default test DB fits entirely in open
+    // rows, which would flatten the comparison).
+    DbBench b;
+    b.mem.setHotCacheEnabled(false);
+    b.cfg.dbVectors = 1 << 20;
+    VectorDbWorkload db(b.engine, b.mem, b.cfg);
+    db.populate();
+    const auto seq = db.run(AccessPattern::Sequential, false);
+    const auto fix = db.run(AccessPattern::Fixed, false);
+    const auto rnd = db.run(AccessPattern::Random, false);
+    EXPECT_GT(seq.vectorsPerSecond, 2 * rnd.vectorsPerSecond);
+    EXPECT_GT(fix.vectorsPerSecond, 2 * rnd.vectorsPerSecond);
+    // Row-hit locality keeps the fixed pattern's latency below the
+    // random pattern's.
+    EXPECT_LT(fix.avgLatencyNs, rnd.avgLatencyNs);
+}
+
+TEST(VectorDb, HotCacheMakesFixedFast)
+{
+    DbBench b;
+    VectorDbWorkload db(b.engine, b.mem, b.cfg);
+    db.populate();
+    const auto with_cache = db.run(AccessPattern::Fixed, false);
+    b.mem.setHotCacheEnabled(false);
+    const auto without = db.run(AccessPattern::Fixed, false);
+    EXPECT_GT(with_cache.vectorsPerSecond,
+              2 * without.vectorsPerSecond);
+}
+
+TEST(VectorDb, WritesComplete)
+{
+    DbBench b;
+    VectorDbWorkload db(b.engine, b.mem, b.cfg);
+    db.populate();
+    const auto w = db.run(AccessPattern::Sequential, true);
+    EXPECT_EQ(w.vectors, b.cfg.accesses);
+    EXPECT_TRUE(w.write);
+}
+
+TEST(VectorDb, ExpectedVectorsAreDeterministic)
+{
+    DbBench b;
+    VectorDbWorkload db(b.engine, b.mem, b.cfg);
+    EXPECT_EQ(db.expectedVector(0), db.expectedVector(0));
+    EXPECT_NE(db.expectedVector(0), db.expectedVector(1));
+}
+
+TEST(VectorDb, ValidatesConfig)
+{
+    DbBench b;
+    VectorDbConfig bad = b.cfg;
+    bad.accesses = 0;
+    EXPECT_THROW(VectorDbWorkload(b.engine, b.mem, bad), FatalError);
+    bad = b.cfg;
+    bad.maxInFlight = 0;
+    EXPECT_THROW(VectorDbWorkload(b.engine, b.mem, bad), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "ip/mac_ip.h"
+#include "wrapper/reg_wrapper.h"
+
+namespace harmonia {
+namespace {
+
+TEST(RegInterconnect, WindowsAreDisjointAndStable)
+{
+    XilinxCmac mac_a(100, "a");
+    XilinxCmac mac_b(100, "b");
+    RegInterconnect regs;
+    const Addr base_a = regs.attach("mac_a", mac_a.regs());
+    const Addr base_b = regs.attach("mac_b", mac_b.regs());
+    EXPECT_EQ(base_a, 0u);
+    EXPECT_EQ(base_b, RegInterconnect::kWindowSize);
+    EXPECT_EQ(regs.baseOf("mac_b"), base_b);
+    EXPECT_EQ(regs.moduleCount(), 2u);
+}
+
+TEST(RegInterconnect, RoutesReadsAndWrites)
+{
+    XilinxCmac mac_a(100, "c");
+    XilinxCmac mac_b(100, "d");
+    RegInterconnect regs;
+    regs.attach("a", mac_a.regs());
+    regs.attach("b", mac_b.regs());
+
+    const Addr a_ctrl = regs.addrOf("a", "GT_LOOPBACK_REG");
+    const Addr b_ctrl = regs.addrOf("b", "GT_LOOPBACK_REG");
+    regs.write(a_ctrl, 0x11);
+    regs.write(b_ctrl, 0x22);
+    EXPECT_EQ(regs.read(a_ctrl), 0x11u);
+    EXPECT_EQ(regs.read(b_ctrl), 0x22u);
+    EXPECT_EQ(mac_a.regs().readByName("GT_LOOPBACK_REG"), 0x11u);
+    EXPECT_EQ(mac_b.regs().readByName("GT_LOOPBACK_REG"), 0x22u);
+}
+
+TEST(RegInterconnect, UniqueAddressesAcrossModules)
+{
+    XilinxCmac mac_a(100, "e");
+    XilinxCmac mac_b(100, "f");
+    RegInterconnect regs;
+    regs.attach("a", mac_a.regs());
+    regs.attach("b", mac_b.regs());
+    // Same register name, different uniform addresses.
+    EXPECT_NE(regs.addrOf("a", "RESET_REG"),
+              regs.addrOf("b", "RESET_REG"));
+    EXPECT_EQ(regs.totalRegisters(),
+              mac_a.regs().count() + mac_b.regs().count());
+}
+
+TEST(RegInterconnect, ErrorsAreFatal)
+{
+    XilinxCmac mac(100, "g");
+    RegInterconnect regs;
+    regs.attach("m", mac.regs());
+    EXPECT_THROW(regs.attach("m", mac.regs()), FatalError);
+    EXPECT_THROW(regs.baseOf("missing"), FatalError);
+    EXPECT_THROW(regs.read(99 * RegInterconnect::kWindowSize),
+                 FatalError);
+    EXPECT_THROW(regs.addrOf("m", "NO_SUCH_REG"), FatalError);
+}
+
+TEST(IrqHub, LinesAreSingletonsByName)
+{
+    IrqHub hub;
+    IrqLine &a = hub.line("dma_done");
+    IrqLine &b = hub.line("dma_done");
+    EXPECT_EQ(&a, &b);
+    hub.line("link_up");
+    EXPECT_EQ(hub.count(), 2u);
+    EXPECT_TRUE(hub.contains("link_up"));
+    EXPECT_FALSE(hub.contains("nope"));
+    const auto names = hub.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "dma_done");
+}
+
+TEST(IrqHub, RawSignalBypassesRegisterPlane)
+{
+    // The irq type exists exactly because some signals cannot afford
+    // the register round trip: subscribing fires synchronously.
+    IrqHub hub;
+    bool seen = false;
+    hub.line("urgent").subscribe([&] { seen = true; });
+    hub.line("urgent").raise();
+    EXPECT_TRUE(seen);
+}
+
+} // namespace
+} // namespace harmonia

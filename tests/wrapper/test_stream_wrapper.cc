@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "wrapper/stream_wrapper.h"
+
+namespace harmonia {
+namespace {
+
+struct WrapBench {
+    Engine engine;
+    Clock *clk;
+    StreamWrapper wrap{"wrap"};
+
+    WrapBench()
+    {
+        clk = engine.addClock("clk", 250.0);
+        engine.add(&wrap, clk);
+    }
+};
+
+TEST(StreamWrapper, AddsExactlyPipelineLatency)
+{
+    WrapBench b;
+    PacketDesc pkt;
+    pkt.id = 1;
+    pkt.bytes = 256;
+    const Tick t0 = b.engine.now();
+    b.wrap.ingressPush(pkt);
+    EXPECT_FALSE(b.wrap.ingressAvailable());
+
+    Tick ready_at = 0;
+    b.engine.runUntilDone(
+        [&] {
+            if (b.wrap.ingressAvailable()) {
+                ready_at = b.engine.now();
+                return true;
+            }
+            return false;
+        },
+        1'000'000);
+    const Tick expected =
+        StreamWrapper::kPipelineDepth * b.clk->period();
+    EXPECT_EQ(ready_at - t0, expected);
+    EXPECT_EQ(b.wrap.addedLatency(), expected);
+    EXPECT_EQ(b.wrap.ingressPop().id, 1u);
+}
+
+TEST(StreamWrapper, NoBubblesBackToBack)
+{
+    // Push one packet per cycle; after the pipe fills, one pops per
+    // cycle — throughput is preserved (Fig 10 property).
+    WrapBench b;
+    std::uint64_t pushed = 0, popped = 0;
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        PacketDesc pkt;
+        pkt.id = pushed++;
+        pkt.bytes = 64;
+        b.wrap.ingressPush(pkt);
+        b.engine.step();
+        if (cycle >= static_cast<int>(StreamWrapper::kPipelineDepth)) {
+            ASSERT_TRUE(b.wrap.ingressAvailable())
+                << "bubble at cycle " << cycle;
+            EXPECT_EQ(b.wrap.ingressPop().id, popped);
+            ++popped;
+        }
+    }
+    EXPECT_EQ(popped, 100 - StreamWrapper::kPipelineDepth);
+}
+
+TEST(StreamWrapper, DirectionsAreIndependent)
+{
+    WrapBench b;
+    PacketDesc in, out;
+    in.id = 1;
+    out.id = 2;
+    b.wrap.ingressPush(in);
+    b.wrap.egressPush(out);
+    b.engine.runFor(4 * b.clk->period());
+    ASSERT_TRUE(b.wrap.ingressAvailable());
+    ASSERT_TRUE(b.wrap.egressAvailable());
+    EXPECT_EQ(b.wrap.ingressPop().id, 1u);
+    EXPECT_EQ(b.wrap.egressPop().id, 2u);
+}
+
+TEST(StreamWrapper, StatsTrackBothDirections)
+{
+    WrapBench b;
+    PacketDesc pkt;
+    pkt.bytes = 100;
+    b.wrap.ingressPush(pkt);
+    b.wrap.ingressPush(pkt);
+    b.wrap.egressPush(pkt);
+    EXPECT_EQ(b.wrap.stats().value("ingress_packets"), 2u);
+    EXPECT_EQ(b.wrap.stats().value("ingress_bytes"), 200u);
+    EXPECT_EQ(b.wrap.stats().value("egress_packets"), 1u);
+}
+
+TEST(StreamWrapper, TinyResourceFootprint)
+{
+    // Fig 16: the wrapper must be well under 0.37% of a mid chip.
+    StreamWrapper w("w");
+    const ResourceVector &r = w.resources();
+    const ResourceVector budget{872160, 1744320, 1344, 640, 5952};
+    EXPECT_LT(r.maxUtilization(budget), 0.0037);
+    EXPECT_GT(r.lut, 0u);
+}
+
+TEST(StreamWrapper, UseBeforeRegistrationPanics)
+{
+    StreamWrapper w("unbound");
+    EXPECT_THROW(w.addedLatency(), PanicError);
+}
+
+} // namespace
+} // namespace harmonia

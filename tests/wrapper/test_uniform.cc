@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "wrapper/uniform.h"
+
+namespace harmonia {
+namespace {
+
+std::vector<std::uint8_t>
+pattern(std::size_t n)
+{
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<std::uint8_t>(i * 7 + 11);
+    return out;
+}
+
+TEST(Uniform, PacketRoundTrip)
+{
+    const auto payload = pattern(1000);
+    const auto beats = packetToUniform(payload, 64);
+    EXPECT_EQ(beats.size(), 16u);
+    EXPECT_TRUE(beats.front().first);
+    EXPECT_TRUE(beats.back().last);
+    EXPECT_EQ(uniformToPacket(beats), payload);
+}
+
+TEST(Uniform, BeatsCarryOnlyValidBytes)
+{
+    const auto beats = packetToUniform(pattern(100), 64);
+    ASSERT_EQ(beats.size(), 2u);
+    EXPECT_EQ(beats[0].data.size(), 64u);
+    EXPECT_EQ(beats[1].data.size(), 36u);  // no padding in uniform
+}
+
+TEST(Uniform, FromAxisAndBack)
+{
+    const auto payload = pattern(200);
+    const auto axis = packetToAxis(payload, 64);
+    std::vector<UniformStreamBeat> uni;
+    for (std::size_t i = 0; i < axis.size(); ++i)
+        uni.push_back(uniformFromAxis(axis[i], i == 0));
+    EXPECT_EQ(uniformToPacket(uni), payload);
+
+    std::vector<AxisBeat> back;
+    for (const auto &b : uni)
+        back.push_back(uniformToAxis(b, 64));
+    EXPECT_EQ(axisToPacket(back), payload);
+}
+
+TEST(Uniform, FromAvalonAndBack)
+{
+    const auto payload = pattern(333);
+    const auto avalon = packetToAvalonSt(payload, 64);
+    std::vector<UniformStreamBeat> uni;
+    for (const auto &b : avalon)
+        uni.push_back(uniformFromAvalonSt(b));
+    EXPECT_EQ(uniformToPacket(uni), payload);
+
+    std::vector<AvalonStBeat> back;
+    for (const auto &b : uni)
+        back.push_back(uniformToAvalonSt(b, 64));
+    EXPECT_EQ(avalonStToPacket(back), payload);
+}
+
+TEST(Uniform, CrossVendorIdentityThroughUniform)
+{
+    // AXIS -> uniform -> Avalon: the wrapper's whole job.
+    const auto payload = pattern(1500);
+    const auto axis = packetToAxis(payload, 64);
+    std::vector<AvalonStBeat> avalon;
+    for (std::size_t i = 0; i < axis.size(); ++i)
+        avalon.push_back(uniformToAvalonSt(
+            uniformFromAxis(axis[i], i == 0), 64));
+    EXPECT_EQ(avalonStToPacket(avalon), payload);
+}
+
+TEST(Uniform, FramingValidation)
+{
+    auto beats = packetToUniform(pattern(200), 64);
+    auto bad = beats;
+    bad[1].first = true;
+    EXPECT_THROW(uniformToPacket(bad), FatalError);
+    bad = beats;
+    bad[0].last = true;
+    EXPECT_THROW(uniformToPacket(bad), FatalError);
+    EXPECT_THROW(uniformToPacket({}), FatalError);
+    EXPECT_THROW(packetToUniform({}, 64), FatalError);
+    EXPECT_THROW(packetToUniform(pattern(4), 0), FatalError);
+}
+
+TEST(ClockArray, IndexedSelection)
+{
+    ClockArray clocks;
+    EXPECT_EQ(clocks.add("shell", 250.0), 0u);
+    EXPECT_EQ(clocks.add("net", 322.0), 1u);
+    EXPECT_DOUBLE_EQ(clocks.mhzAt(1), 322.0);
+    EXPECT_EQ(clocks.nameAt(0), "shell");
+    EXPECT_THROW(clocks.mhzAt(2), FatalError);
+    EXPECT_THROW(clocks.add("bad", -1), FatalError);
+}
+
+TEST(ResetArray, AssertDeassert)
+{
+    ResetArray resets;
+    const unsigned hard = resets.add("hard");
+    const unsigned soft = resets.add("soft");
+    EXPECT_FALSE(resets.isAsserted(hard));
+    resets.assertReset(soft);
+    EXPECT_TRUE(resets.isAsserted(soft));
+    EXPECT_FALSE(resets.isAsserted(hard));
+    resets.deassertReset(soft);
+    EXPECT_FALSE(resets.isAsserted(soft));
+    EXPECT_THROW(resets.assertReset(7), FatalError);
+}
+
+TEST(IrqLine, EdgeSemantics)
+{
+    IrqLine irq("door");
+    int fires = 0;
+    irq.subscribe([&] { ++fires; });
+    irq.raise();
+    irq.raise();  // still high: no new edge
+    EXPECT_EQ(fires, 1);
+    EXPECT_EQ(irq.edgeCount(), 1u);
+    irq.clear();
+    irq.raise();
+    EXPECT_EQ(fires, 2);
+    EXPECT_TRUE(irq.level());
+}
+
+} // namespace
+} // namespace harmonia
