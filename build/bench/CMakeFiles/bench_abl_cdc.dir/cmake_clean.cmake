@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cdc.dir/abl_cdc.cc.o"
+  "CMakeFiles/bench_abl_cdc.dir/abl_cdc.cc.o.d"
+  "bench_abl_cdc"
+  "bench_abl_cdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

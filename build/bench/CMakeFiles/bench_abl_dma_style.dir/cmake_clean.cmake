@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dma_style.dir/abl_dma_style.cc.o"
+  "CMakeFiles/bench_abl_dma_style.dir/abl_dma_style.cc.o.d"
+  "bench_abl_dma_style"
+  "bench_abl_dma_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dma_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_hotcache.dir/abl_hotcache.cc.o"
+  "CMakeFiles/bench_abl_hotcache.dir/abl_hotcache.cc.o.d"
+  "bench_abl_hotcache"
+  "bench_abl_hotcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hotcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

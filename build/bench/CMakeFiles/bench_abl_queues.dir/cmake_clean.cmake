@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_queues.dir/abl_queues.cc.o"
+  "CMakeFiles/bench_abl_queues.dir/abl_queues.cc.o.d"
+  "bench_abl_queues"
+  "bench_abl_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

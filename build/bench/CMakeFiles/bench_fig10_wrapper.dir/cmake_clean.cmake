@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_wrapper.dir/fig10_wrapper.cc.o"
+  "CMakeFiles/bench_fig10_wrapper.dir/fig10_wrapper.cc.o.d"
+  "bench_fig10_wrapper"
+  "bench_fig10_wrapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tailoring.dir/fig11_tailoring.cc.o"
+  "CMakeFiles/bench_fig11_tailoring.dir/fig11_tailoring.cc.o.d"
+  "bench_fig11_tailoring"
+  "bench_fig11_tailoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tailoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_swmods.dir/fig13_swmods.cc.o"
+  "CMakeFiles/bench_fig13_swmods.dir/fig13_swmods.cc.o.d"
+  "bench_fig13_swmods"
+  "bench_fig13_swmods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_swmods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

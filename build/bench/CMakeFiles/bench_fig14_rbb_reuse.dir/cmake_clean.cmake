@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rbb_reuse.dir/fig14_rbb_reuse.cc.o"
+  "CMakeFiles/bench_fig14_rbb_reuse.dir/fig14_rbb_reuse.cc.o.d"
+  "bench_fig14_rbb_reuse"
+  "bench_fig14_rbb_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rbb_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_app_reuse.dir/fig15_app_reuse.cc.o"
+  "CMakeFiles/bench_fig15_app_reuse.dir/fig15_app_reuse.cc.o.d"
+  "bench_fig15_app_reuse"
+  "bench_fig15_app_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_app_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_frameworks.dir/fig18_frameworks.cc.o"
+  "CMakeFiles/bench_fig18_frameworks.dir/fig18_frameworks.cc.o.d"
+  "bench_fig18_frameworks"
+  "bench_fig18_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

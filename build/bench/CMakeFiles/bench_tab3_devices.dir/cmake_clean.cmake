@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_devices.dir/tab3_devices.cc.o"
+  "CMakeFiles/bench_tab3_devices.dir/tab3_devices.cc.o.d"
+  "bench_tab3_devices"
+  "bench_tab3_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

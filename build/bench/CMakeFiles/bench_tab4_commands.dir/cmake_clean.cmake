@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_commands.dir/tab4_commands.cc.o"
+  "CMakeFiles/bench_tab4_commands.dir/tab4_commands.cc.o.d"
+  "bench_tab4_commands"
+  "bench_tab4_commands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

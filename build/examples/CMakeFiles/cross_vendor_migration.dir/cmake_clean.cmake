@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_vendor_migration.dir/cross_vendor_migration.cc.o"
+  "CMakeFiles/cross_vendor_migration.dir/cross_vendor_migration.cc.o.d"
+  "cross_vendor_migration"
+  "cross_vendor_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_vendor_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

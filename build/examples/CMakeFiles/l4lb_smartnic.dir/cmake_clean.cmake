@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l4lb_smartnic.dir/l4lb_smartnic.cc.o"
+  "CMakeFiles/l4lb_smartnic.dir/l4lb_smartnic.cc.o.d"
+  "l4lb_smartnic"
+  "l4lb_smartnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l4lb_smartnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_pr.dir/multi_tenant_pr.cc.o"
+  "CMakeFiles/multi_tenant_pr.dir/multi_tenant_pr.cc.o.d"
+  "multi_tenant_pr"
+  "multi_tenant_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_monitoring.dir/ops_monitoring.cc.o"
+  "CMakeFiles/ops_monitoring.dir/ops_monitoring.cc.o.d"
+  "ops_monitoring"
+  "ops_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

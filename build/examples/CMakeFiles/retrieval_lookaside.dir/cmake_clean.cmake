@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_lookaside.dir/retrieval_lookaside.cc.o"
+  "CMakeFiles/retrieval_lookaside.dir/retrieval_lookaside.cc.o.d"
+  "retrieval_lookaside"
+  "retrieval_lookaside.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_lookaside.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adapter/device_adapter.cc" "src/CMakeFiles/harmonia.dir/adapter/device_adapter.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/adapter/device_adapter.cc.o.d"
+  "/root/repo/src/adapter/toolchain.cc" "src/CMakeFiles/harmonia.dir/adapter/toolchain.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/adapter/toolchain.cc.o.d"
+  "/root/repo/src/adapter/vendor_adapter.cc" "src/CMakeFiles/harmonia.dir/adapter/vendor_adapter.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/adapter/vendor_adapter.cc.o.d"
+  "/root/repo/src/cmd/command.cc" "src/CMakeFiles/harmonia.dir/cmd/command.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/cmd/command.cc.o.d"
+  "/root/repo/src/cmd/command_codes.cc" "src/CMakeFiles/harmonia.dir/cmd/command_codes.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/cmd/command_codes.cc.o.d"
+  "/root/repo/src/cmd/control_kernel.cc" "src/CMakeFiles/harmonia.dir/cmd/control_kernel.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/cmd/control_kernel.cc.o.d"
+  "/root/repo/src/common/checksum.cc" "src/CMakeFiles/harmonia.dir/common/checksum.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/common/checksum.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/harmonia.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/harmonia.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/harmonia.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/common/strings.cc.o.d"
+  "/root/repo/src/device/chip.cc" "src/CMakeFiles/harmonia.dir/device/chip.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/device/chip.cc.o.d"
+  "/root/repo/src/device/database.cc" "src/CMakeFiles/harmonia.dir/device/database.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/device/database.cc.o.d"
+  "/root/repo/src/device/peripheral.cc" "src/CMakeFiles/harmonia.dir/device/peripheral.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/device/peripheral.cc.o.d"
+  "/root/repo/src/device/resource.cc" "src/CMakeFiles/harmonia.dir/device/resource.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/device/resource.cc.o.d"
+  "/root/repo/src/frameworks/comparison.cc" "src/CMakeFiles/harmonia.dir/frameworks/comparison.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/frameworks/comparison.cc.o.d"
+  "/root/repo/src/frameworks/coyote.cc" "src/CMakeFiles/harmonia.dir/frameworks/coyote.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/frameworks/coyote.cc.o.d"
+  "/root/repo/src/frameworks/framework.cc" "src/CMakeFiles/harmonia.dir/frameworks/framework.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/frameworks/framework.cc.o.d"
+  "/root/repo/src/frameworks/oneapi.cc" "src/CMakeFiles/harmonia.dir/frameworks/oneapi.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/frameworks/oneapi.cc.o.d"
+  "/root/repo/src/frameworks/vitis.cc" "src/CMakeFiles/harmonia.dir/frameworks/vitis.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/frameworks/vitis.cc.o.d"
+  "/root/repo/src/host/cmd_driver.cc" "src/CMakeFiles/harmonia.dir/host/cmd_driver.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/host/cmd_driver.cc.o.d"
+  "/root/repo/src/host/dma_engine.cc" "src/CMakeFiles/harmonia.dir/host/dma_engine.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/host/dma_engine.cc.o.d"
+  "/root/repo/src/host/host_app.cc" "src/CMakeFiles/harmonia.dir/host/host_app.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/host/host_app.cc.o.d"
+  "/root/repo/src/host/reg_driver.cc" "src/CMakeFiles/harmonia.dir/host/reg_driver.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/host/reg_driver.cc.o.d"
+  "/root/repo/src/ip/catalog.cc" "src/CMakeFiles/harmonia.dir/ip/catalog.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/ip/catalog.cc.o.d"
+  "/root/repo/src/ip/dma_ip.cc" "src/CMakeFiles/harmonia.dir/ip/dma_ip.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/ip/dma_ip.cc.o.d"
+  "/root/repo/src/ip/ip_block.cc" "src/CMakeFiles/harmonia.dir/ip/ip_block.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/ip/ip_block.cc.o.d"
+  "/root/repo/src/ip/mac_ip.cc" "src/CMakeFiles/harmonia.dir/ip/mac_ip.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/ip/mac_ip.cc.o.d"
+  "/root/repo/src/ip/memory_ip.cc" "src/CMakeFiles/harmonia.dir/ip/memory_ip.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/ip/memory_ip.cc.o.d"
+  "/root/repo/src/protocol/avalon_mm.cc" "src/CMakeFiles/harmonia.dir/protocol/avalon_mm.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/protocol/avalon_mm.cc.o.d"
+  "/root/repo/src/protocol/avalon_st.cc" "src/CMakeFiles/harmonia.dir/protocol/avalon_st.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/protocol/avalon_st.cc.o.d"
+  "/root/repo/src/protocol/axi_mm.cc" "src/CMakeFiles/harmonia.dir/protocol/axi_mm.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/protocol/axi_mm.cc.o.d"
+  "/root/repo/src/protocol/axi_stream.cc" "src/CMakeFiles/harmonia.dir/protocol/axi_stream.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/protocol/axi_stream.cc.o.d"
+  "/root/repo/src/protocol/translate.cc" "src/CMakeFiles/harmonia.dir/protocol/translate.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/protocol/translate.cc.o.d"
+  "/root/repo/src/roles/board_test.cc" "src/CMakeFiles/harmonia.dir/roles/board_test.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/roles/board_test.cc.o.d"
+  "/root/repo/src/roles/host_network.cc" "src/CMakeFiles/harmonia.dir/roles/host_network.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/roles/host_network.cc.o.d"
+  "/root/repo/src/roles/l4lb.cc" "src/CMakeFiles/harmonia.dir/roles/l4lb.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/roles/l4lb.cc.o.d"
+  "/root/repo/src/roles/retrieval.cc" "src/CMakeFiles/harmonia.dir/roles/retrieval.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/roles/retrieval.cc.o.d"
+  "/root/repo/src/roles/role.cc" "src/CMakeFiles/harmonia.dir/roles/role.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/roles/role.cc.o.d"
+  "/root/repo/src/roles/sec_gateway.cc" "src/CMakeFiles/harmonia.dir/roles/sec_gateway.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/roles/sec_gateway.cc.o.d"
+  "/root/repo/src/rtl/arbiter.cc" "src/CMakeFiles/harmonia.dir/rtl/arbiter.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/rtl/arbiter.cc.o.d"
+  "/root/repo/src/rtl/async_fifo.cc" "src/CMakeFiles/harmonia.dir/rtl/async_fifo.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/rtl/async_fifo.cc.o.d"
+  "/root/repo/src/rtl/crc.cc" "src/CMakeFiles/harmonia.dir/rtl/crc.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/rtl/crc.cc.o.d"
+  "/root/repo/src/rtl/width_converter.cc" "src/CMakeFiles/harmonia.dir/rtl/width_converter.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/rtl/width_converter.cc.o.d"
+  "/root/repo/src/shell/cdc.cc" "src/CMakeFiles/harmonia.dir/shell/cdc.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/cdc.cc.o.d"
+  "/root/repo/src/shell/health.cc" "src/CMakeFiles/harmonia.dir/shell/health.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/health.cc.o.d"
+  "/root/repo/src/shell/host_rbb.cc" "src/CMakeFiles/harmonia.dir/shell/host_rbb.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/host_rbb.cc.o.d"
+  "/root/repo/src/shell/memory_rbb.cc" "src/CMakeFiles/harmonia.dir/shell/memory_rbb.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/memory_rbb.cc.o.d"
+  "/root/repo/src/shell/network_rbb.cc" "src/CMakeFiles/harmonia.dir/shell/network_rbb.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/network_rbb.cc.o.d"
+  "/root/repo/src/shell/partial_reconfig.cc" "src/CMakeFiles/harmonia.dir/shell/partial_reconfig.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/partial_reconfig.cc.o.d"
+  "/root/repo/src/shell/rbb.cc" "src/CMakeFiles/harmonia.dir/shell/rbb.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/rbb.cc.o.d"
+  "/root/repo/src/shell/tailoring.cc" "src/CMakeFiles/harmonia.dir/shell/tailoring.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/tailoring.cc.o.d"
+  "/root/repo/src/shell/unified_shell.cc" "src/CMakeFiles/harmonia.dir/shell/unified_shell.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/unified_shell.cc.o.d"
+  "/root/repo/src/shell/workload_model.cc" "src/CMakeFiles/harmonia.dir/shell/workload_model.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/shell/workload_model.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/CMakeFiles/harmonia.dir/sim/clock.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/sim/clock.cc.o.d"
+  "/root/repo/src/sim/component.cc" "src/CMakeFiles/harmonia.dir/sim/component.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/sim/component.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/harmonia.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/harmonia.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workload/flow_gen.cc" "src/CMakeFiles/harmonia.dir/workload/flow_gen.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/workload/flow_gen.cc.o.d"
+  "/root/repo/src/workload/matmul.cc" "src/CMakeFiles/harmonia.dir/workload/matmul.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/workload/matmul.cc.o.d"
+  "/root/repo/src/workload/packet_gen.cc" "src/CMakeFiles/harmonia.dir/workload/packet_gen.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/workload/packet_gen.cc.o.d"
+  "/root/repo/src/workload/tcp_model.cc" "src/CMakeFiles/harmonia.dir/workload/tcp_model.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/workload/tcp_model.cc.o.d"
+  "/root/repo/src/workload/vector_db.cc" "src/CMakeFiles/harmonia.dir/workload/vector_db.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/workload/vector_db.cc.o.d"
+  "/root/repo/src/wrapper/beat_wrapper.cc" "src/CMakeFiles/harmonia.dir/wrapper/beat_wrapper.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/wrapper/beat_wrapper.cc.o.d"
+  "/root/repo/src/wrapper/memmap_wrapper.cc" "src/CMakeFiles/harmonia.dir/wrapper/memmap_wrapper.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/wrapper/memmap_wrapper.cc.o.d"
+  "/root/repo/src/wrapper/reg_wrapper.cc" "src/CMakeFiles/harmonia.dir/wrapper/reg_wrapper.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/wrapper/reg_wrapper.cc.o.d"
+  "/root/repo/src/wrapper/stream_wrapper.cc" "src/CMakeFiles/harmonia.dir/wrapper/stream_wrapper.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/wrapper/stream_wrapper.cc.o.d"
+  "/root/repo/src/wrapper/uniform.cc" "src/CMakeFiles/harmonia.dir/wrapper/uniform.cc.o" "gcc" "src/CMakeFiles/harmonia.dir/wrapper/uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

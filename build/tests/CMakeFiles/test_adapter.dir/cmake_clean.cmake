@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adapter.dir/adapter/test_device_adapter.cc.o"
+  "CMakeFiles/test_adapter.dir/adapter/test_device_adapter.cc.o.d"
+  "CMakeFiles/test_adapter.dir/adapter/test_toolchain.cc.o"
+  "CMakeFiles/test_adapter.dir/adapter/test_toolchain.cc.o.d"
+  "CMakeFiles/test_adapter.dir/adapter/test_vendor_adapter.cc.o"
+  "CMakeFiles/test_adapter.dir/adapter/test_vendor_adapter.cc.o.d"
+  "test_adapter"
+  "test_adapter.pdb"
+  "test_adapter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

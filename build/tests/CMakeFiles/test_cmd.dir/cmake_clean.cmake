@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cmd.dir/cmd/test_command.cc.o"
+  "CMakeFiles/test_cmd.dir/cmd/test_command.cc.o.d"
+  "CMakeFiles/test_cmd.dir/cmd/test_control_kernel.cc.o"
+  "CMakeFiles/test_cmd.dir/cmd/test_control_kernel.cc.o.d"
+  "test_cmd"
+  "test_cmd.pdb"
+  "test_cmd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

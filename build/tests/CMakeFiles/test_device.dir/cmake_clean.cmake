@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device.dir/device/test_chip.cc.o"
+  "CMakeFiles/test_device.dir/device/test_chip.cc.o.d"
+  "CMakeFiles/test_device.dir/device/test_database.cc.o"
+  "CMakeFiles/test_device.dir/device/test_database.cc.o.d"
+  "CMakeFiles/test_device.dir/device/test_resource.cc.o"
+  "CMakeFiles/test_device.dir/device/test_resource.cc.o.d"
+  "test_device"
+  "test_device.pdb"
+  "test_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ip/test_catalog.cc" "tests/CMakeFiles/test_ip.dir/ip/test_catalog.cc.o" "gcc" "tests/CMakeFiles/test_ip.dir/ip/test_catalog.cc.o.d"
+  "/root/repo/tests/ip/test_dma_ip.cc" "tests/CMakeFiles/test_ip.dir/ip/test_dma_ip.cc.o" "gcc" "tests/CMakeFiles/test_ip.dir/ip/test_dma_ip.cc.o.d"
+  "/root/repo/tests/ip/test_ip_block.cc" "tests/CMakeFiles/test_ip.dir/ip/test_ip_block.cc.o" "gcc" "tests/CMakeFiles/test_ip.dir/ip/test_ip_block.cc.o.d"
+  "/root/repo/tests/ip/test_mac_ip.cc" "tests/CMakeFiles/test_ip.dir/ip/test_mac_ip.cc.o" "gcc" "tests/CMakeFiles/test_ip.dir/ip/test_mac_ip.cc.o.d"
+  "/root/repo/tests/ip/test_memory_ip.cc" "tests/CMakeFiles/test_ip.dir/ip/test_memory_ip.cc.o" "gcc" "tests/CMakeFiles/test_ip.dir/ip/test_memory_ip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmonia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

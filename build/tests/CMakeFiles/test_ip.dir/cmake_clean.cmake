@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ip.dir/ip/test_catalog.cc.o"
+  "CMakeFiles/test_ip.dir/ip/test_catalog.cc.o.d"
+  "CMakeFiles/test_ip.dir/ip/test_dma_ip.cc.o"
+  "CMakeFiles/test_ip.dir/ip/test_dma_ip.cc.o.d"
+  "CMakeFiles/test_ip.dir/ip/test_ip_block.cc.o"
+  "CMakeFiles/test_ip.dir/ip/test_ip_block.cc.o.d"
+  "CMakeFiles/test_ip.dir/ip/test_mac_ip.cc.o"
+  "CMakeFiles/test_ip.dir/ip/test_mac_ip.cc.o.d"
+  "CMakeFiles/test_ip.dir/ip/test_memory_ip.cc.o"
+  "CMakeFiles/test_ip.dir/ip/test_memory_ip.cc.o.d"
+  "test_ip"
+  "test_ip.pdb"
+  "test_ip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

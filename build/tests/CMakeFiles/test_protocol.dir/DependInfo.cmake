@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocol/test_avalon_st.cc" "tests/CMakeFiles/test_protocol.dir/protocol/test_avalon_st.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_avalon_st.cc.o.d"
+  "/root/repo/tests/protocol/test_axi_stream.cc" "tests/CMakeFiles/test_protocol.dir/protocol/test_axi_stream.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_axi_stream.cc.o.d"
+  "/root/repo/tests/protocol/test_mm.cc" "tests/CMakeFiles/test_protocol.dir/protocol/test_mm.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_mm.cc.o.d"
+  "/root/repo/tests/protocol/test_translate.cc" "tests/CMakeFiles/test_protocol.dir/protocol/test_translate.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/protocol/test_translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmonia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/protocol/test_avalon_st.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_avalon_st.cc.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_axi_stream.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_axi_stream.cc.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_mm.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_mm.cc.o.d"
+  "CMakeFiles/test_protocol.dir/protocol/test_translate.cc.o"
+  "CMakeFiles/test_protocol.dir/protocol/test_translate.cc.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+  "test_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/roles/test_board_test.cc" "tests/CMakeFiles/test_roles.dir/roles/test_board_test.cc.o" "gcc" "tests/CMakeFiles/test_roles.dir/roles/test_board_test.cc.o.d"
+  "/root/repo/tests/roles/test_host_network.cc" "tests/CMakeFiles/test_roles.dir/roles/test_host_network.cc.o" "gcc" "tests/CMakeFiles/test_roles.dir/roles/test_host_network.cc.o.d"
+  "/root/repo/tests/roles/test_l4lb.cc" "tests/CMakeFiles/test_roles.dir/roles/test_l4lb.cc.o" "gcc" "tests/CMakeFiles/test_roles.dir/roles/test_l4lb.cc.o.d"
+  "/root/repo/tests/roles/test_retrieval.cc" "tests/CMakeFiles/test_roles.dir/roles/test_retrieval.cc.o" "gcc" "tests/CMakeFiles/test_roles.dir/roles/test_retrieval.cc.o.d"
+  "/root/repo/tests/roles/test_sec_gateway.cc" "tests/CMakeFiles/test_roles.dir/roles/test_sec_gateway.cc.o" "gcc" "tests/CMakeFiles/test_roles.dir/roles/test_sec_gateway.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmonia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roles.dir/roles/test_board_test.cc.o"
+  "CMakeFiles/test_roles.dir/roles/test_board_test.cc.o.d"
+  "CMakeFiles/test_roles.dir/roles/test_host_network.cc.o"
+  "CMakeFiles/test_roles.dir/roles/test_host_network.cc.o.d"
+  "CMakeFiles/test_roles.dir/roles/test_l4lb.cc.o"
+  "CMakeFiles/test_roles.dir/roles/test_l4lb.cc.o.d"
+  "CMakeFiles/test_roles.dir/roles/test_retrieval.cc.o"
+  "CMakeFiles/test_roles.dir/roles/test_retrieval.cc.o.d"
+  "CMakeFiles/test_roles.dir/roles/test_sec_gateway.cc.o"
+  "CMakeFiles/test_roles.dir/roles/test_sec_gateway.cc.o.d"
+  "test_roles"
+  "test_roles.pdb"
+  "test_roles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rtl/test_arbiter.cc" "tests/CMakeFiles/test_rtl.dir/rtl/test_arbiter.cc.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_arbiter.cc.o.d"
+  "/root/repo/tests/rtl/test_async_fifo.cc" "tests/CMakeFiles/test_rtl.dir/rtl/test_async_fifo.cc.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_async_fifo.cc.o.d"
+  "/root/repo/tests/rtl/test_crc.cc" "tests/CMakeFiles/test_rtl.dir/rtl/test_crc.cc.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_crc.cc.o.d"
+  "/root/repo/tests/rtl/test_fifo.cc" "tests/CMakeFiles/test_rtl.dir/rtl/test_fifo.cc.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_fifo.cc.o.d"
+  "/root/repo/tests/rtl/test_pipeline.cc" "tests/CMakeFiles/test_rtl.dir/rtl/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_pipeline.cc.o.d"
+  "/root/repo/tests/rtl/test_width_converter.cc" "tests/CMakeFiles/test_rtl.dir/rtl/test_width_converter.cc.o" "gcc" "tests/CMakeFiles/test_rtl.dir/rtl/test_width_converter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmonia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/rtl/test_arbiter.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_arbiter.cc.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_async_fifo.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_async_fifo.cc.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_crc.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_crc.cc.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_fifo.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_fifo.cc.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_pipeline.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_pipeline.cc.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_width_converter.cc.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_width_converter.cc.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+  "test_rtl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

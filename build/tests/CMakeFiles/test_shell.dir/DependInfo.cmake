@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/shell/test_cdc.cc" "tests/CMakeFiles/test_shell.dir/shell/test_cdc.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_cdc.cc.o.d"
+  "/root/repo/tests/shell/test_health.cc" "tests/CMakeFiles/test_shell.dir/shell/test_health.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_health.cc.o.d"
+  "/root/repo/tests/shell/test_host_rbb.cc" "tests/CMakeFiles/test_shell.dir/shell/test_host_rbb.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_host_rbb.cc.o.d"
+  "/root/repo/tests/shell/test_memory_rbb.cc" "tests/CMakeFiles/test_shell.dir/shell/test_memory_rbb.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_memory_rbb.cc.o.d"
+  "/root/repo/tests/shell/test_network_rbb.cc" "tests/CMakeFiles/test_shell.dir/shell/test_network_rbb.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_network_rbb.cc.o.d"
+  "/root/repo/tests/shell/test_partial_reconfig.cc" "tests/CMakeFiles/test_shell.dir/shell/test_partial_reconfig.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_partial_reconfig.cc.o.d"
+  "/root/repo/tests/shell/test_rbb.cc" "tests/CMakeFiles/test_shell.dir/shell/test_rbb.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_rbb.cc.o.d"
+  "/root/repo/tests/shell/test_tailoring.cc" "tests/CMakeFiles/test_shell.dir/shell/test_tailoring.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_tailoring.cc.o.d"
+  "/root/repo/tests/shell/test_unified_shell.cc" "tests/CMakeFiles/test_shell.dir/shell/test_unified_shell.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_unified_shell.cc.o.d"
+  "/root/repo/tests/shell/test_workload_model.cc" "tests/CMakeFiles/test_shell.dir/shell/test_workload_model.cc.o" "gcc" "tests/CMakeFiles/test_shell.dir/shell/test_workload_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmonia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shell.dir/shell/test_cdc.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_cdc.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_health.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_health.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_host_rbb.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_host_rbb.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_memory_rbb.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_memory_rbb.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_network_rbb.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_network_rbb.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_partial_reconfig.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_partial_reconfig.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_rbb.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_rbb.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_tailoring.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_tailoring.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_unified_shell.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_unified_shell.cc.o.d"
+  "CMakeFiles/test_shell.dir/shell/test_workload_model.cc.o"
+  "CMakeFiles/test_shell.dir/shell/test_workload_model.cc.o.d"
+  "test_shell"
+  "test_shell.pdb"
+  "test_shell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_matmul.cc" "tests/CMakeFiles/test_workload.dir/workload/test_matmul.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_matmul.cc.o.d"
+  "/root/repo/tests/workload/test_packet_gen.cc" "tests/CMakeFiles/test_workload.dir/workload/test_packet_gen.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_packet_gen.cc.o.d"
+  "/root/repo/tests/workload/test_tcp_model.cc" "tests/CMakeFiles/test_workload.dir/workload/test_tcp_model.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_tcp_model.cc.o.d"
+  "/root/repo/tests/workload/test_vector_db.cc" "tests/CMakeFiles/test_workload.dir/workload/test_vector_db.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_vector_db.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmonia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_matmul.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_matmul.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_packet_gen.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_packet_gen.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_tcp_model.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_tcp_model.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_vector_db.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_vector_db.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

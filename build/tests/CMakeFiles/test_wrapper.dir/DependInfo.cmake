@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wrapper/test_beat_wrapper.cc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_beat_wrapper.cc.o" "gcc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_beat_wrapper.cc.o.d"
+  "/root/repo/tests/wrapper/test_memmap_wrapper.cc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_memmap_wrapper.cc.o" "gcc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_memmap_wrapper.cc.o.d"
+  "/root/repo/tests/wrapper/test_reg_wrapper.cc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_reg_wrapper.cc.o" "gcc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_reg_wrapper.cc.o.d"
+  "/root/repo/tests/wrapper/test_stream_wrapper.cc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_stream_wrapper.cc.o" "gcc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_stream_wrapper.cc.o.d"
+  "/root/repo/tests/wrapper/test_uniform.cc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_uniform.cc.o" "gcc" "tests/CMakeFiles/test_wrapper.dir/wrapper/test_uniform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/harmonia.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrapper.dir/wrapper/test_beat_wrapper.cc.o"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_beat_wrapper.cc.o.d"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_memmap_wrapper.cc.o"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_memmap_wrapper.cc.o.d"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_reg_wrapper.cc.o"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_reg_wrapper.cc.o.d"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_stream_wrapper.cc.o"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_stream_wrapper.cc.o.d"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_uniform.cc.o"
+  "CMakeFiles/test_wrapper.dir/wrapper/test_uniform.cc.o.d"
+  "test_wrapper"
+  "test_wrapper.pdb"
+  "test_wrapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_ip[1]_include.cmake")
+include("/root/repo/build/tests/test_adapter[1]_include.cmake")
+include("/root/repo/build/tests/test_wrapper[1]_include.cmake")
+include("/root/repo/build/tests/test_shell[1]_include.cmake")
+include("/root/repo/build/tests/test_cmd[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_roles[1]_include.cmake")
+include("/root/repo/build/tests/test_frameworks[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
