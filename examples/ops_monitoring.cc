@@ -1,84 +1,264 @@
 /**
  * @file
- * Operations scenario: what a fleet operator's tooling does with
- * Harmonia. The board-test role validates a new card; a standalone
- * control tool (distinct SrcID from the application) reads health
- * over the command interface — temperature-free here, but the same
- * walkthrough as the paper's Figure 8 — and exercises the kernel's
- * system services (flash erase, time count).
+ * Observability scenario: what a fleet operator's tooling sees through
+ * Harmonia's telemetry plane. An L4 load balancer serves traffic on a
+ * unified shell while every layer — interface wrappers, RBBs, the
+ * unified control kernel, the host command driver — publishes into the
+ * metrics registry; a Sampler scrapes it on a fixed simulated-time
+ * period. Afterwards a standalone tool walks the same registry over
+ * the packetized command interface (TelemetryList / TelemetrySnapshot)
+ * and checks parity with the in-process view, and the run exports a
+ * Chrome trace (chrome://tracing, Perfetto) plus Prometheus-style and
+ * JSON-lines metrics.
  *
  *   $ ./ops_monitoring
+ *   $ jq . ops_trace.json | head
  */
 
+#include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "host/cmd_driver.h"
-#include "roles/board_test.h"
+#include "roles/l4lb.h"
+#include "telemetry/exporter.h"
+#include "telemetry/sampler.h"
+#include "telemetry/telemetry_target.h"
+#include "workload/flow_gen.h"
 
 using namespace harmonia;
+
+namespace {
+
+std::uint64_t
+u64At(const std::vector<std::uint32_t> &d, std::size_t i)
+{
+    return (static_cast<std::uint64_t>(d[i]) << 32) | d[i + 1];
+}
+
+bool
+milliClose(std::uint64_t wire_milli, double expected)
+{
+    return std::fabs(wire_milli / 1000.0 - expected) <= 0.001;
+}
+
+} // namespace
 
 int
 main()
 {
+    // Deep trace: the workload generates thousands of wrapper spans.
+    Trace::instance().setEnabled(true);
+    Trace::instance().setCapacity(16384);
+
     const FpgaDevice &device =
         DeviceDatabase::instance().byName("DeviceA");
     Engine engine;
     auto shell = Shell::makeUnified(engine, device);
+    std::printf("board: %s\n", device.toString().c_str());
 
-    // --- Board validation, as the infrastructure role does it. ---
-    BoardTest tester;
-    tester.bind(engine, *shell);
-    std::printf("validating %s ...\n", device.toString().c_str());
-    const BoardReport report = tester.runAll(engine);
-    for (const std::string &line : report.log)
-        std::printf("  %s\n", line.c_str());
-    std::printf("board verdict: %s\n",
-                report.allPass() ? "PASS" : "FAIL");
+    // --- Publish every layer into the process-wide registry. ---
+    MetricsRegistry &reg = MetricsRegistry::instance();
+    reg.clear();  // examples share the process-wide instance
+    shell->registerTelemetry(reg);
 
-    // --- A standalone tool monitors over commands (SrcID != app). ---
-    CmdDriver tool(engine, *shell, kCtrlStandaloneTool);
+    // Scrape the registry every 1 us of simulated time.
+    Sampler sampler("sampler", reg, 1'000'000);
+    engine.add(&sampler, shell->kernelClock());
 
-    std::puts("\nfleet monitoring sweep (one command per RBB):");
-    for (Rbb *rbb : shell->rbbs()) {
-        const CommandPacket resp = tool.call(
-            rbb->rbbId(), rbb->instanceId(), kCmdStatsSnapshot);
-        std::printf("  %-10s -> %u stats, status=%s, round trip "
-                    "%.1f us\n",
-                    rbb->name().c_str(),
-                    resp.data.empty() ? 0 : resp.data[0],
-                    toString(static_cast<CommandStatus>(resp.status)),
-                    tool.lastLatency() / 1e6);
+    CmdDriver driver(engine, *shell);
+    driver.registerTelemetry(reg, "host/app");
+    driver.initializeAll();
+
+    // --- Serve L4LB traffic; every layer records as it works. ---
+    Layer4Lb lb(16);
+    lb.bind(engine, *shell);
+    FlowGenConfig fg;
+    fg.concurrentFlows = 256;
+    fg.packetsPerFlow = 8;
+    FlowGenerator flows(fg);
+    const Tick wire = wireTime(256, 100e9);
+    for (int i = 0; i < 3000; ++i) {
+        FlowPacket fp = flows.next(engine.now() + i * wire);
+        fp.packet.injected = engine.now() + i * wire;
+        shell->network(0).mac().injectRx(fp.packet,
+                                         fp.packet.injected);
     }
+    engine.runFor(100'000'000);  // 100 us
 
-    // --- Health sensors, as the BMC polls them (Figure 8 path). ---
-    const CommandPacket sensors =
-        tool.call(kRbbHealth, 0, kCmdSensorRead, {});
-    std::printf("\nhealth: %u.%03u C, vccint %u mV, %u mW, "
-                "alarms=0x%x\n",
-                sensors.data[0] / 1000, sensors.data[0] % 1000,
-                sensors.data[1], sensors.data[3], sensors.data[4]);
+    std::printf("workload: %llu packets forwarded, %llu connections\n",
+                static_cast<unsigned long long>(
+                    lb.stats().value("forwarded_packets")),
+                static_cast<unsigned long long>(lb.connectionCount()));
+    std::printf("sampler: %zu scrapes, %zu metrics each\n",
+                sampler.sampleCount(),
+                sampler.latest().samples.size());
 
-    // --- Kernel-local services: uptime and a flash sector erase. ---
-    const CommandPacket uptime =
-        tool.call(kRbbSystem, 0, kCmdTimeCount);
-    const std::uint64_t cycles =
-        (static_cast<std::uint64_t>(uptime.data[0]) << 32) |
-        uptime.data[1];
-    std::printf("\ncontrol kernel uptime: %llu cycles\n",
-                static_cast<unsigned long long>(cycles));
+    // --- A standalone tool reads the registry over commands. ---
+    CmdDriver tool(engine, *shell, kCtrlStandaloneTool);
+    tool.registerTelemetry(reg, "host/tool");
 
-    const CommandPacket erase =
-        tool.call(kRbbSystem, 0, kCmdFlashErase, {3});
-    std::printf("flash sector 3 erase: %s\n",
-                erase.status == kCmdOk ? "ok" : "failed");
+    // Prime the command path first: executing List/Snapshot lazily
+    // creates their per-command-code kernel counters, which would
+    // otherwise grow the registry between baseline and walk.
+    tool.call(kRbbTelemetry, 0, kCmdTelemetryList, {0});
+    tool.call(kRbbTelemetry, 0, kCmdTelemetrySnapshot, {0});
 
-    // --- A BMC shares the same kernel without interfering. ---
-    CmdDriver bmc(engine, *shell, kCtrlBmc);
-    const CommandPacket health =
-        bmc.call(kRbbHost, 0, kCmdStatsSnapshot);
-    std::printf("BMC health poll: status=%s (response routed to "
-                "SrcID 0x%02x)\n",
-                toString(static_cast<CommandStatus>(health.status)),
-                bmc.commandCount() ? kCtrlBmc : 0);
-    return 0;
+    const std::vector<MetricSample> expected = reg.snapshot();
+    std::vector<std::pair<std::string, MetricKind>> listed;
+    for (std::uint32_t start = 0;;) {
+        const CommandPacket resp =
+            tool.call(kRbbTelemetry, 0, kCmdTelemetryList, {start});
+        if (resp.status != kCmdOk) {
+            std::printf("telemetry list failed\n");
+            return 1;
+        }
+        const std::uint32_t total = resp.data[0];
+        const std::uint32_t k = resp.data[1];
+        std::size_t off = 2;
+        for (std::uint32_t i = 0; i < k; ++i) {
+            listed.emplace_back(
+                TelemetryTarget::unpackName(&resp.data[off + 2]),
+                static_cast<MetricKind>(resp.data[off + 1]));
+            off += 2 + TelemetryTarget::kNameWords;
+        }
+        start += k;
+        if (start >= total || k == 0)
+            break;
+    }
+    std::printf("\ncommand-plane walk: %zu metrics listed "
+                "(in-process registry has %zu)\n",
+                listed.size(), expected.size());
+
+    // Parity: names and kinds must agree everywhere; values must
+    // agree for the layers quiescent during the walk (the command
+    // path itself keeps churning uck/host counters).
+    std::size_t value_checks = 0, mismatches = 0;
+    const bool names_ok = listed.size() == expected.size();
+    for (std::size_t i = 0; names_ok && i < listed.size(); ++i) {
+        const std::string truncated = expected[i].name.substr(
+            0, TelemetryTarget::kNameWords * 4);
+        if (listed[i].first != truncated ||
+            listed[i].second != expected[i].kind) {
+            std::printf("  name/kind mismatch at %zu: wire '%s' vs "
+                        "'%s'\n",
+                        i, listed[i].first.c_str(), truncated.c_str());
+            ++mismatches;
+            continue;
+        }
+        const bool quiescent =
+            expected[i].name.find("/net") != std::string::npos ||
+            expected[i].name.find("/mem") != std::string::npos;
+        if (!quiescent)
+            continue;
+        const CommandPacket resp = tool.call(
+            kRbbTelemetry, 0, kCmdTelemetrySnapshot,
+            {static_cast<std::uint32_t>(i)});
+        if (resp.status != kCmdOk) {
+            ++mismatches;
+            continue;
+        }
+        const MetricSample &e = expected[i];
+        bool ok = resp.data[0] == static_cast<std::uint32_t>(e.kind);
+        switch (e.kind) {
+          case MetricKind::Counter:
+            ok = ok && u64At(resp.data, 1) ==
+                           static_cast<std::uint64_t>(e.value);
+            break;
+          case MetricKind::Gauge:
+          case MetricKind::Rate:
+            ok = ok && milliClose(u64At(resp.data, 1), e.value);
+            break;
+          case MetricKind::Histogram:
+            ok = ok && u64At(resp.data, 1) == e.count &&
+                 u64At(resp.data, 3) == e.min &&
+                 u64At(resp.data, 5) == e.max &&
+                 milliClose(u64At(resp.data, 7), e.mean) &&
+                 milliClose(u64At(resp.data, 9), e.p50) &&
+                 milliClose(u64At(resp.data, 11), e.p99);
+            break;
+        }
+        ++value_checks;
+        if (!ok) {
+            std::printf("  value mismatch at %zu (%s)\n", i,
+                        e.name.c_str());
+            ++mismatches;
+        }
+    }
+    std::printf("parity: %zu quiescent metrics value-checked, "
+                "%zu mismatches -> %s\n",
+                value_checks, mismatches,
+                names_ok && mismatches == 0 ? "OK" : "FAIL");
+
+    // --- Span accounting: every layer shows up in the trace. ---
+    std::map<std::string, std::size_t> by_cat;
+    for (const Trace::Span &s : Trace::instance().spans())
+        ++by_cat[s.cat];
+    std::printf("\ntrace spans by category (%zu retained, "
+                "%zu open, %llu unmatched ends):\n",
+                Trace::instance().spanCount(),
+                Trace::instance().openSpanCount(),
+                static_cast<unsigned long long>(
+                    Trace::instance().unmatchedEnds()));
+    for (const auto &[cat, n] : by_cat)
+        std::printf("  %-10s %zu\n", cat.c_str(), n);
+
+    // --- Export: Chrome trace + Prometheus text + JSON lines. ---
+    const std::vector<MetricSample> final_snap = reg.snapshot();
+    const std::string trace_json =
+        toChromeTraceJson(Trace::instance());
+    const std::string metrics_text = toMetricsText(final_snap);
+    const std::string metrics_jsonl = toMetricsJsonLines(final_snap);
+    const bool exported =
+        writeTextFile("ops_trace.json", trace_json) &&
+        writeTextFile("ops_metrics.txt", metrics_text) &&
+        writeTextFile("ops_metrics.jsonl", metrics_jsonl);
+    if (exported)
+        std::printf("\nexported ops_trace.json (%zu bytes), "
+                    "ops_metrics.txt (%zu bytes), "
+                    "ops_metrics.jsonl (%zu lines)\n",
+                    trace_json.size(), metrics_text.size(),
+                    final_snap.size());
+    else
+        std::printf("\nexport failed (unwritable directory?)\n");
+
+    // --- Self-check of the scenario's observability claims. ---
+    const bool has_cmd_span = by_cat.count("command") != 0;
+    const bool has_wrapper_span =
+        by_cat.count("wrapper") != 0 || by_cat.count("fifo") != 0;
+    std::size_t histogram_layers = 0;
+    bool saw_wrapper_hist = false, saw_uck_hist = false,
+         saw_host_hist = false;
+    for (const MetricSample &s : final_snap) {
+        if (s.kind != MetricKind::Histogram || s.count == 0)
+            continue;
+        if (!saw_wrapper_hist &&
+            s.name.find("/wrapper/") != std::string::npos) {
+            saw_wrapper_hist = true;
+            ++histogram_layers;
+        }
+        if (!saw_uck_hist &&
+            s.name.find("/uck/") != std::string::npos) {
+            saw_uck_hist = true;
+            ++histogram_layers;
+        }
+        if (!saw_host_hist &&
+            s.name.find("host/") == 0) {
+            saw_host_hist = true;
+            ++histogram_layers;
+        }
+    }
+    std::printf("self-check: command span %s, wrapper/fifo span %s, "
+                "latency histograms from %zu layers -> %s\n",
+                has_cmd_span ? "yes" : "NO",
+                has_wrapper_span ? "yes" : "NO", histogram_layers,
+                has_cmd_span && has_wrapper_span &&
+                        histogram_layers >= 3 && names_ok &&
+                        mismatches == 0 && exported
+                    ? "PASS"
+                    : "FAIL");
+    return has_cmd_span && has_wrapper_span && histogram_layers >= 3 &&
+                   names_ok && mismatches == 0 && exported
+               ? 0
+               : 1;
 }

@@ -34,6 +34,10 @@ toString(CommandCode code)
         return "FlashErase";
       case kCmdTimeCount:
         return "TimeCount";
+      case kCmdTelemetryList:
+        return "TelemetryList";
+      case kCmdTelemetrySnapshot:
+        return "TelemetrySnapshot";
     }
     return "?";
 }

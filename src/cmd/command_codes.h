@@ -30,6 +30,10 @@ enum CommandCode : std::uint16_t {
     kCmdPrLoad = 0x0020,
     kCmdPrUnload = 0x0021,
     kCmdPrStatus = 0x0022,
+    // Telemetry plane: enumerate / read the unified metrics registry
+    // the same packetized way the BMC reads sensors.
+    kCmdTelemetryList = 0x0030,
+    kCmdTelemetrySnapshot = 0x0031,
 };
 
 /** Command execution status in response packets. */
@@ -47,6 +51,7 @@ enum RbbId : std::uint8_t {
     kRbbNetwork = 0x01,
     kRbbMemory = 0x02,
     kRbbHost = 0x03,
+    kRbbTelemetry = 0x7c,  ///< unified telemetry plane
     kRbbHealth = 0x7d,  ///< board health monitor
     kRbbPrCtrl = 0x7e,  ///< partial-reconfiguration controller
     kRbbSystem = 0x7f,  ///< kernel-local services (flash, time)

@@ -1,14 +1,23 @@
 #include "cmd/control_kernel.h"
 
 #include "common/logging.h"
+#include "sim/clock.h"
 #include "sim/trace.h"
 
 namespace harmonia {
 
+namespace {
+// Command service time covers buffer queueing plus the soft core's
+// 50-cycle execution: 50 ns buckets out to 6.4 us.
+constexpr std::uint64_t kServiceBucketPs = 50'000;
+constexpr std::size_t kServiceBuckets = 128;
+} // namespace
+
 UnifiedControlKernel::UnifiedControlKernel(std::string name,
                                            std::size_t buffer_bytes)
     : Component(std::move(name)), bufferBytes_(buffer_bytes),
-      stats_(this->name())
+      stats_(this->name()), serviceLat_(kServiceBucketPs,
+                                        kServiceBuckets)
 {
     if (buffer_bytes < 64)
         fatal("control kernel buffer of %zu bytes is too small",
@@ -46,7 +55,23 @@ UnifiedControlKernel::submitBytes(const std::vector<std::uint8_t> &bytes)
         return false;
     }
     buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+    // One arrival stamp per submission; the command transport delivers
+    // one packet per submit, so this approximates per-packet queueing
+    // even when a burst of packets lands back to back.
+    arrivals_.push_back(clock() != nullptr ? now() : 0);
     return true;
+}
+
+void
+UnifiedControlKernel::registerTelemetry(MetricsRegistry &reg,
+                                        const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &stats_);
+    telemetry_.addHistogram(prefix + "/service_time_ps", &serviceLat_);
+    telemetry_.addGauge(prefix + "/buffer_occupancy", [this] {
+        return static_cast<double>(buffer_.size());
+    });
 }
 
 bool
@@ -153,6 +178,9 @@ UnifiedControlKernel::tick()
             buffer_.clear();
             stats_.counter("parse_errors").inc();
         }
+        // The dropped packet's arrival stamp goes with it.
+        if (!arrivals_.empty())
+            arrivals_.pop_front();
         busyUntilCycle_ = cycle() + kCyclesPerCommand;
         return;
     }
@@ -168,9 +196,25 @@ UnifiedControlKernel::tick()
           toString(static_cast<CommandStatus>(result.status)));
     responses_.push_back(makeResponse(pkt, result).encode());
     stats_.counter("commands_executed").inc();
+    stats_
+        .counter(std::string("cmd_") +
+                 toString(static_cast<CommandCode>(pkt.commandCode)))
+        .inc();
     if (result.status != kCmdOk)
         stats_.counter("commands_failed").inc();
     busyUntilCycle_ = cycle() + kCyclesPerCommand;
+
+    // Service time: buffer arrival through end of soft-core execution.
+    const Tick done = clock()->cyclesToTicks(busyUntilCycle_);
+    if (!arrivals_.empty()) {
+        const Tick arrived = arrivals_.front();
+        arrivals_.pop_front();
+        serviceLat_.sample(done >= arrived ? done - arrived : 0);
+        Trace::instance().completeSpan(
+            arrived, done, name(),
+            toString(static_cast<CommandCode>(pkt.commandCode)),
+            "command");
+    }
 }
 
 } // namespace harmonia

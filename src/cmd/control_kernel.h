@@ -18,6 +18,7 @@
 #include "common/stats.h"
 #include "device/resource.h"
 #include "sim/component.h"
+#include "telemetry/metrics_registry.h"
 
 namespace harmonia {
 
@@ -72,6 +73,16 @@ class UnifiedControlKernel : public Component {
 
     StatGroup &stats() { return stats_; }
 
+    /** Queueing + execution time of completed commands. */
+    const Histogram &serviceTime() const { return serviceLat_; }
+
+    /**
+     * Publish kernel stats (per-command-code counters, service-time
+     * distribution, buffer occupancy) under @p prefix.
+     */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
   private:
     CommandResult execute(const CommandPacket &pkt);
     CommandResult systemCommand(const CommandPacket &pkt);
@@ -84,6 +95,9 @@ class UnifiedControlKernel : public Component {
     Cycles busyUntilCycle_ = 0;
     ResourceVector resources_;
     StatGroup stats_;
+    Histogram serviceLat_;
+    std::deque<Tick> arrivals_;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

@@ -69,17 +69,32 @@ Histogram::percentile(double pct) const
 {
     if (count_ == 0)
         return 0.0;
-    if (pct < 0.0 || pct > 100.0)
-        fatal("percentile %f out of [0,100]", pct);
-    const std::uint64_t target =
-        static_cast<std::uint64_t>(pct / 100.0 * count_);
+    pct = std::clamp(pct, 0.0, 100.0);
+    // Rank of the sample we are after, 1-based. pct == 0 degenerates
+    // to rank 1 — the first occupied bucket — never an empty guess.
+    std::uint64_t target = static_cast<std::uint64_t>(
+        pct / 100.0 * static_cast<double>(count_));
+    if (target == 0)
+        target = 1;
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= target)
-            return (i + 0.5) * bucketWidth_;
+            return (static_cast<double>(i) + 0.5) *
+                   static_cast<double>(bucketWidth_);
     }
     return static_cast<double>(max_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
 }
 
 Counter &

@@ -70,10 +70,21 @@ class Histogram {
     std::uint64_t min() const { return count_ ? min_ : 0; }
     std::uint64_t max() const { return max_; }
 
-    /** Approximate percentile (0..100) using bucket midpoints. */
+    /**
+     * Approximate percentile using bucket midpoints. Contract: @p pct
+     * is clamped into [0, 100] (no error for out-of-range input); an
+     * empty histogram returns exactly 0.0; pct == 0 returns the first
+     * occupied bucket's midpoint; samples past the last bucket resolve
+     * to max().
+     */
     double percentile(double pct) const;
 
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Samples that landed beyond the last bucket. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    void reset();
 
   private:
     std::uint64_t bucketWidth_;

@@ -1,14 +1,35 @@
 #include "host/cmd_driver.h"
 
 #include "common/logging.h"
+#include "sim/trace.h"
 
 namespace harmonia {
+
+namespace {
+// Round trips span control-queue DMA both ways plus soft-core
+// execution: 100 ns buckets out to 25.6 us (I2C overflows; its max
+// still registers through the overflow bucket).
+constexpr std::uint64_t kRoundTripBucketPs = 100'000;
+constexpr std::size_t kRoundTripBuckets = 256;
+} // namespace
 
 CmdDriver::CmdDriver(Engine &engine, Shell &shell, std::uint8_t src_id,
                      CmdTransport transport)
     : engine_(engine), shell_(shell), srcId_(src_id),
-      transport_(transport)
+      transport_(transport),
+      roundTrip_(kRoundTripBucketPs, kRoundTripBuckets)
 {
+}
+
+void
+CmdDriver::registerTelemetry(MetricsRegistry &reg,
+                             const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addHistogram(prefix + "/roundtrip_ps", &roundTrip_);
+    telemetry_.addGauge(prefix + "/commands", [this] {
+        return static_cast<double>(commands_);
+    });
 }
 
 CommandPacket
@@ -57,6 +78,11 @@ CmdDriver::call(std::uint8_t rbb_id, std::uint8_t instance_id,
     // Response upload shares the control queue's latency.
     lastLatency_ =
         (engine_.now() - started) + 2 * transfer_latency;
+    roundTrip_.sample(lastLatency_);
+    Trace::instance().completeSpan(
+        started, started + lastLatency_,
+        format("cmd%02x", srcId_),
+        toString(static_cast<CommandCode>(code)), "command");
     return resp;
 }
 

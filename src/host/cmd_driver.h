@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "shell/unified_shell.h"
+#include "telemetry/metrics_registry.h"
 
 namespace harmonia {
 
@@ -61,6 +62,16 @@ class CmdDriver {
     /** Round-trip latency of the most recent call(). */
     Tick lastLatency() const { return lastLatency_; }
 
+    /** Distribution of every call()'s round-trip latency. */
+    const Histogram &roundTrip() const { return roundTrip_; }
+
+    /**
+     * Publish the driver's round-trip histogram and command counter
+     * under @p prefix (e.g. "host/cmd01").
+     */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
   private:
     Engine &engine_;
     Shell &shell_;
@@ -68,6 +79,8 @@ class CmdDriver {
     CmdTransport transport_;
     std::size_t commands_ = 0;
     Tick lastLatency_ = 0;
+    Histogram roundTrip_;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "shell/host_rbb.h"
+#include "telemetry/metrics_registry.h"
 
 namespace harmonia {
 
@@ -43,12 +44,26 @@ class HostDma {
     std::uint64_t completedTransfers() const { return transfers_; }
     std::uint64_t completedBytes() const { return bytes_; }
 
+    /** Publish completion gauges under @p prefix. */
+    void
+    registerTelemetry(MetricsRegistry &reg, const std::string &prefix)
+    {
+        telemetry_.reset(reg);
+        telemetry_.addGauge(prefix + "/completed_transfers", [this] {
+            return static_cast<double>(transfers_);
+        });
+        telemetry_.addGauge(prefix + "/completed_bytes", [this] {
+            return static_cast<double>(bytes_);
+        });
+    }
+
   private:
     HostRbb &host_;
     std::vector<std::deque<DmaCompletion>> bins_;
     std::deque<DmaCompletion> control_;
     std::uint64_t transfers_ = 0;
     std::uint64_t bytes_ = 0;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

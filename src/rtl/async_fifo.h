@@ -94,6 +94,9 @@ class AsyncFifo {
             panic("AsyncFifo push without canPush");
         storage_[wptr_ % capacity_] = std::move(item);
         ++wptr_;
+        const std::size_t occupancy = trueSize();
+        if (occupancy > highWater_)
+            highWater_ = occupancy;
     }
 
     T
@@ -116,9 +119,13 @@ class AsyncFifo {
     std::size_t capacity() const { return capacity_; }
     unsigned syncStages() const { return wptrInRead_.stages(); }
 
+    /** Peak true occupancy since construction (telemetry). */
+    std::size_t highWater() const { return highWater_; }
+
   private:
     std::size_t capacity_;
     std::vector<T> storage_;
+    std::size_t highWater_ = 0;
     std::uint64_t wptr_ = 0;  ///< write-domain binary pointer
     std::uint64_t rptr_ = 0;  ///< read-domain binary pointer
     GraySync wptrInRead_;     ///< wptr as seen by the read domain

@@ -9,10 +9,12 @@ ParamCdc::ParamCdc(Engine &engine, const std::string &name,
                    Clock *write_clk, Clock *read_clk,
                    unsigned write_width_bits, unsigned read_width_bits,
                    std::size_t capacity, unsigned sync_stages)
-    : writeClk_(write_clk), readClk_(read_clk),
+    : name_(name), writeClk_(write_clk), readClk_(read_clk),
       writeWidthBytes_(write_width_bits / 8),
       readWidthBytes_(read_width_bits / 8),
-      fifo_(capacity, sync_stages), writeSide_(name + ".wr", *this, true),
+      fifo_(capacity, sync_stages),
+      residency_(1000, 256),  // 1 ns buckets out to 256 ns
+      writeSide_(name + ".wr", *this, true),
       readSide_(name + ".rd", *this, false)
 {
     if (write_width_bits % 8 != 0 || read_width_bits % 8 != 0 ||
@@ -36,6 +38,10 @@ ParamCdc::push(const PacketDesc &pkt)
     if (!canPush())
         panic("ParamCdc push without canPush");
     fifo_.push(pkt);
+    const Tick t = writeClk_->cyclesToTicks(writeClk_->cycle());
+    inFlight_.push_back(
+        {t, Trace::instance().beginSpan(t, name_, "cdc_cross",
+                                        "fifo")});
     writeFreeCycle_ =
         writeClk_->cycle() + ceilDiv(pkt.bytes, writeWidthBytes_);
 }
@@ -52,9 +58,28 @@ ParamCdc::pop()
     if (!canPop())
         panic("ParamCdc pop without canPop");
     PacketDesc pkt = fifo_.pop();
+    const Tick t = readClk_->cyclesToTicks(readClk_->cycle());
+    const InFlight f = inFlight_.front();
+    inFlight_.pop_front();
+    residency_.sample(t >= f.pushed ? t - f.pushed : 0);
+    Trace::instance().endSpan(f.span, t);
     readFreeCycle_ =
         readClk_->cycle() + ceilDiv(pkt.bytes, readWidthBytes_);
     return pkt;
+}
+
+void
+ParamCdc::registerTelemetry(MetricsRegistry &reg,
+                            const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGauge(prefix + "/occupancy", [this] {
+        return static_cast<double>(fifo_.trueSize());
+    });
+    telemetry_.addGauge(prefix + "/occupancy_high_water", [this] {
+        return static_cast<double>(fifo_.highWater());
+    });
+    telemetry_.addHistogram(prefix + "/residency_ps", &residency_);
 }
 
 double

@@ -10,13 +10,17 @@
 #ifndef HARMONIA_SHELL_CDC_H_
 #define HARMONIA_SHELL_CDC_H_
 
+#include <deque>
 #include <memory>
 #include <string>
 
 #include "common/packet.h"
+#include "common/stats.h"
 #include "rtl/async_fifo.h"
 #include "sim/component.h"
 #include "sim/engine.h"
+#include "sim/trace.h"
+#include "telemetry/metrics_registry.h"
 
 namespace harmonia {
 
@@ -65,6 +69,16 @@ class ParamCdc {
     unsigned syncStages() const { return fifo_.syncStages(); }
     std::size_t occupancy() const { return fifo_.trueSize(); }
 
+    /** Peak FIFO occupancy since construction. */
+    std::size_t occupancyHighWater() const { return fifo_.highWater(); }
+
+    /** Per-packet residence time in the crossing, in ps. */
+    const Histogram &residency() const { return residency_; }
+
+    /** Export occupancy gauges and the residency histogram. */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
   private:
     class Side : public Component {
       public:
@@ -86,15 +100,25 @@ class ParamCdc {
         bool isWrite_;
     };
 
+    /** Entry-time bookkeeping; the FIFO preserves order. */
+    struct InFlight {
+        Tick pushed = 0;
+        SpanId span = 0;
+    };
+
+    std::string name_;
     Clock *writeClk_;
     Clock *readClk_;
     unsigned writeWidthBytes_;
     unsigned readWidthBytes_;
     AsyncFifo<PacketDesc> fifo_;
+    std::deque<InFlight> inFlight_;
+    Histogram residency_;
     Side writeSide_;
     Side readSide_;
     Cycles writeFreeCycle_ = 0;
     Cycles readFreeCycle_ = 0;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

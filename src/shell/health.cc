@@ -34,6 +34,22 @@ HealthMonitor::setTempLimitMilliC(std::uint32_t limit)
 }
 
 void
+HealthMonitor::registerTelemetry(MetricsRegistry &reg,
+                                 const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGauge(prefix + "/temp_milli_c", [this] {
+        return static_cast<double>(tempMilliC_);
+    });
+    telemetry_.addGauge(prefix + "/power_milli_w", [this] {
+        return static_cast<double>(powerMilliW_);
+    });
+    telemetry_.addGauge(prefix + "/alarms", [this] {
+        return static_cast<double>(alarms_);
+    });
+}
+
+void
 HealthMonitor::refreshSensors()
 {
     // First-order thermal model: ambient + utilization-driven rise

@@ -17,6 +17,7 @@
 #include "common/stats.h"
 #include "device/resource.h"
 #include "sim/component.h"
+#include "telemetry/metrics_registry.h"
 #include "wrapper/reg_wrapper.h"
 
 namespace harmonia {
@@ -83,6 +84,10 @@ class HealthMonitor : public Component, public CommandTarget {
     /** Sensor + alarm soft logic (SYSMON wrapper scale). */
     const ResourceVector &resources() const { return resources_; }
 
+    /** Publish sensor gauges under @p prefix. */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
   private:
     void refreshSensors();
 
@@ -96,6 +101,7 @@ class HealthMonitor : public Component, public CommandTarget {
     std::uint32_t powerMilliW_ = 0;
     std::uint32_t alarms_ = 0;
     ResourceVector resources_;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

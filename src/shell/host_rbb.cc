@@ -182,6 +182,21 @@ HostRbb::tick()
     }
 }
 
+void
+HostRbb::registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix)
+{
+    Rbb::registerTelemetry(reg, prefix);
+    wrapper_.registerTelemetry(reg, prefix + "/wrapper");
+    telemetryHandle().addGauge(prefix + "/active_queues", [this] {
+        return static_cast<double>(activeQueueCount());
+    });
+    telemetryHandle().addGauge(prefix + "/completions_pending",
+                               [this] {
+        return static_cast<double>(out_.size());
+    });
+}
+
 std::size_t
 HostRbb::registerInitOpCount() const
 {

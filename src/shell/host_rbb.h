@@ -69,6 +69,9 @@ class HostRbb : public Rbb {
 
     void tick() override;
 
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix) override;
+
     std::size_t registerInitOpCount() const override;
     std::size_t commandInitCount() const override;
 

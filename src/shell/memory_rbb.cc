@@ -188,6 +188,18 @@ MemoryRbb::tick()
         out_.push_back(cacheHits_.pop(now()));
 }
 
+void
+MemoryRbb::registerTelemetry(MetricsRegistry &reg,
+                             const std::string &prefix)
+{
+    Rbb::registerTelemetry(reg, prefix);
+    wrapper_.registerTelemetry(reg, prefix + "/wrapper");
+    telemetryHandle().addGauge(prefix + "/completions_pending",
+                               [this] {
+        return static_cast<double>(out_.size());
+    });
+}
+
 std::size_t
 MemoryRbb::registerInitOpCount() const
 {

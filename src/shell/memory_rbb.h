@@ -67,6 +67,9 @@ class MemoryRbb : public Rbb {
 
     void tick() override;
 
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix) override;
+
     std::size_t registerInitOpCount() const override;
     std::size_t commandInitCount() const override { return 2; }
 

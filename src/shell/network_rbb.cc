@@ -196,6 +196,19 @@ NetworkRbb::rxPacketsPerSecond() const
     return rxPacketsMeter_.ratePerSecond();
 }
 
+void
+NetworkRbb::registerTelemetry(MetricsRegistry &reg,
+                              const std::string &prefix)
+{
+    Rbb::registerTelemetry(reg, prefix);
+    wrapper_.registerTelemetry(reg, prefix + "/wrapper");
+    telemetryHandle().addRate(prefix + "/rx_pps", &rxPacketsMeter_);
+    telemetryHandle().addRate(prefix + "/rx_Bps", &rxBytesMeter_);
+    telemetryHandle().addGauge(prefix + "/rx_queue_usage", [this] {
+        return static_cast<double>(rxOut_.size());
+    });
+}
+
 std::uint16_t
 NetworkRbb::directQueue(std::uint64_t flow_hash) const
 {

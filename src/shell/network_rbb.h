@@ -80,6 +80,9 @@ class NetworkRbb : public Rbb {
 
     void tick() override;
 
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix) override;
+
     std::size_t registerInitOpCount() const override;
     std::size_t commandInitCount() const override;
 

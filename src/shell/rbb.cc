@@ -57,6 +57,13 @@ Rbb::devWorkload() const
 }
 
 void
+Rbb::registerTelemetry(MetricsRegistry &reg, const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &monitor_);
+}
+
+void
 Rbb::setReusableWeights(std::uint32_t reusable, std::uint32_t ctrl,
                         std::uint32_t monitor)
 {

@@ -19,6 +19,7 @@
 #include "device/resource.h"
 #include "ip/ip_block.h"
 #include "sim/component.h"
+#include "telemetry/metrics_registry.h"
 
 namespace harmonia {
 
@@ -57,6 +58,16 @@ class Rbb : public Component, public CommandTarget {
     /** Monitoring statistics maintained by the reusable logic. */
     StatGroup &monitor() { return monitor_; }
     const StatGroup &monitor() const { return monitor_; }
+
+    /**
+     * Publish this RBB's monitoring surface into the telemetry plane
+     * under @p prefix (typically "<shell>/<rbb>"). The base exports
+     * the monitor StatGroup; subclasses add wrapper latency, rates
+     * and queue gauges. Re-registration releases the previous ids;
+     * destruction unregisters everything.
+     */
+    virtual void registerTelemetry(MetricsRegistry &reg,
+                                   const std::string &prefix);
 
     /** Ex-function soft logic footprint. */
     const ResourceVector &exFunctionResources() const { return exRes_; }
@@ -127,6 +138,9 @@ class Rbb : public Component, public CommandTarget {
     void setReusableWeights(std::uint32_t reusable, std::uint32_t ctrl,
                             std::uint32_t monitor);
 
+    /** Registration bundle subclasses extend in registerTelemetry. */
+    ScopedMetrics &telemetryHandle() { return telemetry_; }
+
   private:
     CommandResult statusRead(const std::vector<std::uint32_t> &data);
     CommandResult statusWrite(const std::vector<std::uint32_t> &data);
@@ -141,6 +155,7 @@ class Rbb : public Component, public CommandTarget {
     std::uint32_t reusableLoc_ = 0;
     std::uint32_t controlLoc_ = 0;
     std::uint32_t monitorLoc_ = 0;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

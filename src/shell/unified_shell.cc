@@ -110,6 +110,24 @@ Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
     kernel_.registerTarget(kRbbHealth, 0, &health_);
     health_.setUtilization(
         shellResources().maxUtilization(device_.chip().budget));
+
+    // --- Telemetry plane: registry access over the command path. ---
+    kernel_.registerTarget(kRbbTelemetry, 0, &telemetryTarget_);
+}
+
+void
+Shell::registerTelemetry(MetricsRegistry &reg)
+{
+    for (std::size_t i = 0; i < networks_.size(); ++i)
+        networks_[i]->registerTelemetry(
+            reg, format("%s/net%zu", name_.c_str(), i));
+    for (std::size_t i = 0; i < memories_.size(); ++i)
+        memories_[i]->registerTelemetry(
+            reg, format("%s/mem%zu", name_.c_str(), i));
+    if (host_)
+        host_->registerTelemetry(reg, name_ + "/host0");
+    kernel_.registerTelemetry(reg, name_ + "/uck");
+    health_.registerTelemetry(reg, name_ + "/health");
 }
 
 std::unique_ptr<Shell>

@@ -24,6 +24,7 @@
 #include "shell/network_rbb.h"
 #include "shell/tailoring.h"
 #include "sim/engine.h"
+#include "telemetry/telemetry_target.h"
 #include "wrapper/reg_wrapper.h"
 
 namespace harmonia {
@@ -70,6 +71,16 @@ class Shell {
     IrqHub &irqs() { return irqs_; }
     HealthMonitor &health() { return health_; }
     DeviceAdapter &deviceAdapter() { return adapter_; }
+
+    /**
+     * Publish the whole shell — every RBB with its wrappers, the
+     * control kernel and the health monitor — into @p reg under this
+     * shell's name. Hosts then read the same registry in-process or
+     * over TelemetryList/TelemetrySnapshot commands at
+     * (kRbbTelemetry, 0).
+     */
+    void registerTelemetry(MetricsRegistry &reg =
+                               MetricsRegistry::instance());
 
     Clock *userClock() { return userClk_; }
     Clock *kernelClock() { return kernelClk_; }
@@ -132,6 +143,7 @@ class Shell {
     RegInterconnect regs_;
     IrqHub irqs_;
     HealthMonitor health_;
+    TelemetryTarget telemetryTarget_;
 };
 
 } // namespace harmonia

@@ -20,9 +20,69 @@ Trace::record(Tick tick, std::string who, std::string what)
 {
     if (!enabled_)
         return;
-    entries_.push_back({tick, std::move(who), std::move(what)});
-    if (entries_.size() > kCapacity)
-        entries_.pop_front();
+    entries_.push({tick, std::move(who), std::move(what)});
+}
+
+SpanId
+Trace::beginSpan(Tick begin, std::string who, std::string what,
+                 std::string cat)
+{
+    if (!enabled_ || open_.size() >= kMaxOpenSpans)
+        return 0;
+    const SpanId id = nextSpanId_++;
+    open_[id] = {id, begin, begin, std::move(who), std::move(what),
+                 std::move(cat)};
+    return id;
+}
+
+Tick
+Trace::endSpan(SpanId id, Tick end)
+{
+    if (id == 0)
+        return 0;
+    auto it = open_.find(id);
+    if (it == open_.end()) {
+        // Unbalanced end (double close, or begun while disabled):
+        // count it; the completed-span ring stays consistent.
+        ++unmatchedEnds_;
+        return 0;
+    }
+    Span span = std::move(it->second);
+    open_.erase(it);
+    span.end = end < span.begin ? span.begin : end;
+    const Tick duration = span.end - span.begin;
+    spans_.push(std::move(span));
+    return duration;
+}
+
+void
+Trace::completeSpan(Tick begin, Tick end, std::string who,
+                    std::string what, std::string cat)
+{
+    if (!enabled_)
+        return;
+    if (end < begin)
+        end = begin;
+    spans_.push({nextSpanId_++, begin, end, std::move(who),
+                 std::move(what), std::move(cat)});
+}
+
+void
+Trace::clear()
+{
+    entries_.clear();
+    spans_.clear();
+    open_.clear();
+    unmatchedEnds_ = 0;
+}
+
+void
+Trace::setCapacity(std::size_t capacity)
+{
+    if (capacity == 0)
+        capacity = 1;
+    entries_.setCapacity(capacity);
+    spans_.setCapacity(capacity);
 }
 
 std::string
@@ -32,7 +92,7 @@ Trace::dump(std::size_t last_n) const
     const std::size_t start =
         entries_.size() > last_n ? entries_.size() - last_n : 0;
     for (std::size_t i = start; i < entries_.size(); ++i) {
-        const Entry &e = entries_[i];
+        const Entry &e = entries_.at(i);
         out += format("%12s  %-24s %s\n",
                       humanTime(e.tick).c_str(), e.who.c_str(),
                       e.what.c_str());

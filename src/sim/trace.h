@@ -1,15 +1,20 @@
 /**
  * @file
- * Lightweight simulation tracing: a bounded ring of time-stamped
- * events that components append to when tracing is enabled. Debugging
- * aid for multi-clock testbenches — off by default and free when off.
+ * Simulation tracing: bounded rings of time-stamped instant events and
+ * structured spans that components append to when tracing is enabled.
+ * Spans measure end-to-end latencies (command round trips, packet
+ * lifetimes through wrappers and CDC FIFOs); the telemetry exporter
+ * renders both as Chrome trace_event JSON. Off by default and free
+ * when off.
  */
 
 #ifndef HARMONIA_SIM_TRACE_H_
 #define HARMONIA_SIM_TRACE_H_
 
-#include <deque>
+#include <cstddef>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -17,43 +22,166 @@ namespace harmonia {
 
 class Component;
 
-/** Process-wide trace ring. */
+/** Identifier of an in-flight or completed span. 0 means "no span". */
+using SpanId = std::uint64_t;
+
+/**
+ * Fixed-capacity ring with O(1) eviction of the oldest element. The
+ * trace's hot path must not allocate per record once warm, so storage
+ * is a vector reused in place.
+ */
+template <typename T>
+class BoundedRing {
+  public:
+    explicit BoundedRing(std::size_t capacity) : capacity_(capacity) {}
+
+    void
+    push(T item)
+    {
+        if (storage_.size() < capacity_) {
+            storage_.push_back(std::move(item));
+            return;
+        }
+        storage_[head_] = std::move(item);
+        head_ = (head_ + 1) % capacity_;
+    }
+
+    std::size_t size() const { return storage_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Element @p i counted from the oldest retained entry. */
+    const T &
+    at(std::size_t i) const
+    {
+        return storage_[(head_ + i) % storage_.size()];
+    }
+
+    /** Materialize oldest-to-newest (exporters, tests). */
+    std::vector<T>
+    snapshot() const
+    {
+        std::vector<T> out;
+        out.reserve(storage_.size());
+        for (std::size_t i = 0; i < storage_.size(); ++i)
+            out.push_back(at(i));
+        return out;
+    }
+
+    void
+    clear()
+    {
+        storage_.clear();
+        head_ = 0;
+    }
+
+    void
+    setCapacity(std::size_t capacity)
+    {
+        // Preserve the newest entries that still fit.
+        std::vector<T> keep = snapshot();
+        if (keep.size() > capacity)
+            keep.erase(keep.begin(),
+                       keep.begin() +
+                           static_cast<long>(keep.size() - capacity));
+        capacity_ = capacity;
+        storage_ = std::move(keep);
+        head_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::vector<T> storage_;
+};
+
+/** Process-wide trace: instant events plus begin/end spans. */
 class Trace {
   public:
-    /** One recorded event. */
+    /** One instant event. */
     struct Entry {
         Tick tick = 0;
         std::string who;
         std::string what;
     };
 
+    /** One completed (or still-open) span. */
+    struct Span {
+        SpanId id = 0;
+        Tick begin = 0;
+        Tick end = 0;
+        std::string who;   ///< track the span renders on (component)
+        std::string what;  ///< span name
+        std::string cat;   ///< category (wrapper, fifo, cmd, ...)
+    };
+
     static constexpr std::size_t kCapacity = 4096;
+
+    /** Open spans beyond this are dropped (leak guard). */
+    static constexpr std::size_t kMaxOpenSpans = 4096;
 
     static Trace &instance();
 
     void setEnabled(bool on) { enabled_ = on; }
     bool enabled() const { return enabled_; }
 
-    /** Append an event (oldest entries fall off past kCapacity). */
+    /** Append an instant event (oldest entries evicted in O(1)). */
     void record(Tick tick, std::string who, std::string what);
 
-    const std::deque<Entry> &entries() const { return entries_; }
-    std::size_t size() const { return entries_.size(); }
-    void clear() { entries_.clear(); }
+    /**
+     * Open a span. Returns 0 when tracing is disabled or the open-span
+     * table is full; endSpan(0) is a no-op, so callers need no guard.
+     */
+    SpanId beginSpan(Tick begin, std::string who, std::string what,
+                     std::string cat = "span");
 
-    /** Render the last @p last_n entries, one per line. */
+    /**
+     * Close a span and return its duration in ticks. Unknown or zero
+     * ids return 0 and are counted, never corrupting recorded spans.
+     */
+    Tick endSpan(SpanId id, Tick end);
+
+    /** Record an already-measured interval as one completed span. */
+    void completeSpan(Tick begin, Tick end, std::string who,
+                      std::string what, std::string cat = "span");
+
+    std::vector<Entry> entries() const { return entries_.snapshot(); }
+    std::size_t size() const { return entries_.size(); }
+
+    std::vector<Span> spans() const { return spans_.snapshot(); }
+    std::size_t spanCount() const { return spans_.size(); }
+    std::size_t openSpanCount() const { return open_.size(); }
+
+    /** endSpan() calls that matched no open span. */
+    std::uint64_t unmatchedEnds() const { return unmatchedEnds_; }
+
+    void clear();
+
+    /**
+     * Resize both rings (long runs need deeper history). Capacity 0 is
+     * clamped to 1; the newest retained entries survive.
+     */
+    void setCapacity(std::size_t capacity);
+    std::size_t capacity() const { return entries_.capacity(); }
+
+    /** Render the last @p last_n instant entries, one per line. */
     std::string dump(std::size_t last_n = kCapacity) const;
 
   private:
     Trace() = default;
 
     bool enabled_ = false;
-    std::deque<Entry> entries_;
+    SpanId nextSpanId_ = 1;
+    std::uint64_t unmatchedEnds_ = 0;
+    BoundedRing<Entry> entries_{kCapacity};
+    BoundedRing<Span> spans_{kCapacity};
+    std::map<SpanId, Span> open_;
 };
 
 /**
- * Record an event on behalf of a component (no-op when tracing is
- * disabled — callers may format eagerly only behind enabled()).
+ * Record an event on behalf of a component. Returns before touching
+ * the varargs when tracing is disabled, so un-guarded call sites cost
+ * only the test-and-branch; callers may still format eagerly behind
+ * enabled() for expensive arguments.
  */
 void trace(const Component &component, const char *fmt, ...)
     __attribute__((format(printf, 2, 3)));

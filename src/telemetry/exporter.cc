@@ -1,0 +1,173 @@
+#include "telemetry/exporter.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+namespace {
+
+/** Escape for a JSON string literal (names are ASCII identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += format("\\u%04x", c);
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+/** Prometheus metric-name charset: [a-zA-Z0-9_:]. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "harmonia_";
+    for (char c : name)
+        out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+    return out;
+}
+
+std::string
+ticksToUs(Tick t)
+{
+    return format("%.6f", static_cast<double>(t) / 1e6);
+}
+
+} // namespace
+
+std::string
+toChromeTraceJson(const Trace &trace)
+{
+    // Stable tid per track so the viewer groups spans by component.
+    std::map<std::string, int> tids;
+    auto tidFor = [&](const std::string &who) {
+        auto it = tids.find(who);
+        if (it == tids.end())
+            it = tids.emplace(who, static_cast<int>(tids.size()) + 1)
+                     .first;
+        return it->second;
+    };
+
+    std::string events;
+    auto append = [&](const std::string &obj) {
+        if (!events.empty())
+            events += ",\n";
+        events += "  " + obj;
+    };
+
+    for (const Trace::Span &s : trace.spans()) {
+        append(format(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,"
+            "\"args\":{\"span_id\":%llu}}",
+            jsonEscape(s.what).c_str(), jsonEscape(s.cat).c_str(),
+            ticksToUs(s.begin).c_str(),
+            ticksToUs(s.end - s.begin).c_str(), tidFor(s.who),
+            static_cast<unsigned long long>(s.id)));
+    }
+    for (const Trace::Entry &e : trace.entries()) {
+        append(format("{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\","
+                      "\"ts\":%s,\"s\":\"t\",\"pid\":1,\"tid\":%d}",
+                      jsonEscape(e.what).c_str(),
+                      ticksToUs(e.tick).c_str(), tidFor(e.who)));
+    }
+    // Thread-name metadata renders the component names as track names.
+    for (const auto &[who, tid] : tids) {
+        append(format("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                      tid, jsonEscape(who).c_str()));
+    }
+
+    return "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n" + events +
+           "\n]}\n";
+}
+
+std::string
+toMetricsText(const std::vector<MetricSample> &samples)
+{
+    std::string out;
+    for (const MetricSample &s : samples) {
+        const std::string name = promName(s.name);
+        switch (s.kind) {
+          case MetricKind::Counter:
+            out += format("# TYPE %s counter\n%s %.0f\n", name.c_str(),
+                          name.c_str(), s.value);
+            break;
+          case MetricKind::Gauge:
+          case MetricKind::Rate:
+            out += format("# TYPE %s gauge\n%s %g\n", name.c_str(),
+                          name.c_str(), s.value);
+            break;
+          case MetricKind::Histogram:
+            out += format("# TYPE %s summary\n", name.c_str());
+            out += format("%s_count %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(s.count));
+            out += format("%s_min %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(s.min));
+            out += format("%s_max %llu\n", name.c_str(),
+                          static_cast<unsigned long long>(s.max));
+            out += format("%s_mean %g\n", name.c_str(), s.mean);
+            out += format("%s{quantile=\"0.5\"} %g\n", name.c_str(),
+                          s.p50);
+            out += format("%s{quantile=\"0.99\"} %g\n", name.c_str(),
+                          s.p99);
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+toMetricsJsonLines(const std::vector<MetricSample> &samples)
+{
+    std::string out;
+    for (const MetricSample &s : samples) {
+        if (s.kind == MetricKind::Histogram) {
+            out += format(
+                "{\"name\":\"%s\",\"kind\":\"histogram\","
+                "\"count\":%llu,\"min\":%llu,\"max\":%llu,"
+                "\"mean\":%g,\"p50\":%g,\"p99\":%g}\n",
+                jsonEscape(s.name).c_str(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.min),
+                static_cast<unsigned long long>(s.max), s.mean, s.p50,
+                s.p99);
+            continue;
+        }
+        out += format("{\"name\":\"%s\",\"kind\":\"%s\",\"value\":%g}\n",
+                      jsonEscape(s.name).c_str(), toString(s.kind),
+                      s.value);
+    }
+    return out;
+}
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    const std::size_t n =
+        std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    if (n != content.size()) {
+        warn("short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace harmonia

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Offline exporters for the telemetry plane: spans and events render
+ * as Chrome trace_event JSON (load in chrome://tracing / Perfetto),
+ * metrics render as Prometheus-style text or JSON lines. Pure
+ * formatting — no simulation state is touched.
+ */
+
+#ifndef HARMONIA_TELEMETRY_EXPORTER_H_
+#define HARMONIA_TELEMETRY_EXPORTER_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "telemetry/metrics_registry.h"
+
+namespace harmonia {
+
+/**
+ * Render completed spans as Chrome "X" (complete) events and instant
+ * entries as "i" events. Each distinct `who` becomes a named thread
+ * track. Timestamps convert from ticks (ps) to the format's
+ * microseconds. Open (unbalanced) spans are simply absent — they can
+ * never corrupt the JSON.
+ */
+std::string toChromeTraceJson(const Trace &trace);
+
+/**
+ * Prometheus-style exposition text. Hierarchical names flatten with
+ * '/' -> '_' plus a "harmonia_" namespace; histograms emit _count,
+ * _min, _max, _mean and quantile-labelled series.
+ */
+std::string toMetricsText(const std::vector<MetricSample> &samples);
+
+/** One JSON object per metric per line (jq-friendly). */
+std::string
+toMetricsJsonLines(const std::vector<MetricSample> &samples);
+
+/** Write @p content to @p path; warn() and return false on failure. */
+bool writeTextFile(const std::string &path, const std::string &content);
+
+} // namespace harmonia
+
+#endif // HARMONIA_TELEMETRY_EXPORTER_H_

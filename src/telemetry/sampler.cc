@@ -1,0 +1,51 @@
+#include "telemetry/sampler.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+Sampler::Sampler(std::string name, MetricsRegistry &registry,
+                 Tick period, std::size_t history)
+    : Component(std::move(name)), registry_(registry), period_(period),
+      capacity_(history)
+{
+    if (period == 0)
+        fatal("sampler '%s': period must be non-zero",
+              this->name().c_str());
+    if (history == 0)
+        fatal("sampler '%s': history must be non-zero",
+              this->name().c_str());
+}
+
+void
+Sampler::setPeriod(Tick period)
+{
+    if (period == 0)
+        fatal("sampler '%s': period must be non-zero",
+              name().c_str());
+    period_ = period;
+}
+
+void
+Sampler::tick()
+{
+    if (now() < nextDue_)
+        return;
+    history_.push_back({now(), registry_.snapshot()});
+    while (history_.size() > capacity_)
+        history_.pop_front();
+    // Next scrape one full period from this one. When the sampling
+    // clock is slower than the period the schedule degrades to "every
+    // edge", never to a burst of catch-up scrapes.
+    nextDue_ = now() + period_;
+}
+
+const Sampler::TimedSnapshot &
+Sampler::latest() const
+{
+    if (history_.empty())
+        fatal("sampler '%s': no snapshot taken yet", name().c_str());
+    return history_.back();
+}
+
+} // namespace harmonia

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Periodic telemetry sampler: a clocked component that snapshots the
+ * metrics registry every @p period of simulated time into a bounded
+ * time-series ring — the in-fabric analogue of a scrape loop. Register
+ * it on any clock domain; sampling is aligned to simulated time, not
+ * cycles, so the period holds across domains.
+ */
+
+#ifndef HARMONIA_TELEMETRY_SAMPLER_H_
+#define HARMONIA_TELEMETRY_SAMPLER_H_
+
+#include <deque>
+
+#include "sim/component.h"
+#include "telemetry/metrics_registry.h"
+
+namespace harmonia {
+
+class Sampler : public Component {
+  public:
+    /** One scrape of the whole registry. */
+    struct TimedSnapshot {
+        Tick tick = 0;
+        std::vector<MetricSample> samples;
+    };
+
+    static constexpr std::size_t kDefaultHistory = 256;
+
+    /**
+     * @param period  Simulated time between snapshots, in ticks (ps).
+     * @param history Ring depth; older snapshots are evicted.
+     */
+    Sampler(std::string name, MetricsRegistry &registry, Tick period,
+            std::size_t history = kDefaultHistory);
+
+    void tick() override;
+
+    /** Change the scrape period; takes effect from the next sample. */
+    void setPeriod(Tick period);
+    Tick period() const { return period_; }
+
+    std::size_t sampleCount() const { return history_.size(); }
+    const std::deque<TimedSnapshot> &history() const
+    {
+        return history_;
+    }
+
+    /** Most recent snapshot; fatal() when none was taken yet. */
+    const TimedSnapshot &latest() const;
+
+    void clearHistory() { history_.clear(); }
+
+  private:
+    MetricsRegistry &registry_;
+    Tick period_;
+    std::size_t capacity_;
+    Tick nextDue_ = 0;
+    std::deque<TimedSnapshot> history_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_TELEMETRY_SAMPLER_H_

@@ -1,0 +1,128 @@
+#include "telemetry/telemetry_target.h"
+
+#include <cmath>
+
+namespace harmonia {
+
+namespace {
+
+void
+pushU64(std::vector<std::uint32_t> &out, std::uint64_t v)
+{
+    out.push_back(static_cast<std::uint32_t>(v >> 32));
+    out.push_back(static_cast<std::uint32_t>(v));
+}
+
+std::uint64_t
+milli(double v)
+{
+    if (!(v > 0.0))
+        return 0;
+    return static_cast<std::uint64_t>(std::llround(v * 1000.0));
+}
+
+void
+packName(std::vector<std::uint32_t> &out, const std::string &name)
+{
+    for (std::size_t w = 0; w < TelemetryTarget::kNameWords; ++w) {
+        std::uint32_t word = 0;
+        for (std::size_t b = 0; b < 4; ++b) {
+            const std::size_t i = w * 4 + b;
+            const std::uint32_t c =
+                i < name.size()
+                    ? static_cast<unsigned char>(name[i])
+                    : 0;
+            word |= c << (24 - 8 * b);
+        }
+        out.push_back(word);
+    }
+}
+
+} // namespace
+
+std::string
+TelemetryTarget::unpackName(const std::uint32_t *words, std::size_t n)
+{
+    std::string out;
+    for (std::size_t w = 0; w < n; ++w)
+        for (std::size_t b = 0; b < 4; ++b) {
+            const char c = static_cast<char>(
+                (words[w] >> (24 - 8 * b)) & 0xff);
+            if (c == '\0')
+                return out;
+            out += c;
+        }
+    return out;
+}
+
+CommandResult
+TelemetryTarget::list(const std::vector<std::uint32_t> &data)
+{
+    const std::vector<MetricSample> snap = registry_.snapshot();
+    const std::size_t start = data.empty() ? 0 : data[0];
+
+    CommandResult res;
+    res.data.push_back(static_cast<std::uint32_t>(snap.size()));
+    res.data.push_back(0);  // record count, patched below
+    std::uint32_t k = 0;
+    for (std::size_t i = start;
+         i < snap.size() && k < kListBatch; ++i, ++k) {
+        res.data.push_back(static_cast<std::uint32_t>(i));
+        res.data.push_back(static_cast<std::uint32_t>(snap[i].kind));
+        packName(res.data, snap[i].name);
+    }
+    res.data[1] = k;
+    return res;
+}
+
+CommandResult
+TelemetryTarget::snapshotOne(const std::vector<std::uint32_t> &data)
+{
+    if (data.empty())
+        return {kCmdBadArgument, {}};
+    const std::vector<MetricSample> snap = registry_.snapshot();
+    if (data[0] >= snap.size())
+        return {kCmdBadArgument, {}};
+    const MetricSample &s = snap[data[0]];
+
+    CommandResult res;
+    res.data.push_back(static_cast<std::uint32_t>(s.kind));
+    switch (s.kind) {
+      case MetricKind::Counter:
+        pushU64(res.data, static_cast<std::uint64_t>(s.value));
+        break;
+      case MetricKind::Gauge:
+      case MetricKind::Rate:
+        pushU64(res.data, milli(s.value));
+        break;
+      case MetricKind::Histogram:
+        pushU64(res.data, s.count);
+        pushU64(res.data, s.min);
+        pushU64(res.data, s.max);
+        pushU64(res.data, milli(s.mean));
+        pushU64(res.data, milli(s.p50));
+        pushU64(res.data, milli(s.p99));
+        break;
+    }
+    return res;
+}
+
+CommandResult
+TelemetryTarget::executeCommand(std::uint16_t code,
+                                const std::vector<std::uint32_t> &data)
+{
+    switch (code) {
+      case kCmdTelemetryList:
+        return list(data);
+      case kCmdTelemetrySnapshot:
+        return snapshotOne(data);
+      case kCmdModuleStatusRead:
+        // Alive probe: number of registered entries.
+        return {kCmdOk,
+                {static_cast<std::uint32_t>(registry_.size())}};
+      default:
+        return {kCmdUnknownCode, {}};
+    }
+}
+
+} // namespace harmonia

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Command-plane access to the telemetry registry: a CommandTarget the
+ * shell registers at (kRbbTelemetry, 0) so hosts, BMCs and standalone
+ * tools read the whole metrics registry through the same packetized
+ * command interface the paper uses for sensors (§3.3.3).
+ *
+ * Wire protocol (all values 32-bit words):
+ *
+ *   TelemetryList  data[0] = start index (optional, default 0)
+ *     -> [ total, k, then k records of
+ *          { index, kind, name[kNameWords] (NUL-padded ASCII) } ]
+ *
+ *   TelemetrySnapshot  data[0] = metric index (from the List order)
+ *     -> counters:            [ kind, value_hi, value_lo ]
+ *        gauges/rates:        [ kind, milli_hi, milli_lo ]   (x1000)
+ *        histograms:          [ kind, count_hi, count_lo,
+ *                               min_hi, min_lo, max_hi, max_lo,
+ *                               mean_milli_hi, mean_milli_lo,
+ *                               p50_milli_hi, p50_milli_lo,
+ *                               p99_milli_hi, p99_milli_lo ]
+ *
+ * Indices are positions in the registry's name-sorted snapshot, so a
+ * List immediately followed by Snapshots observes a consistent view
+ * as long as no module registers or unregisters in between.
+ */
+
+#ifndef HARMONIA_TELEMETRY_TELEMETRY_TARGET_H_
+#define HARMONIA_TELEMETRY_TELEMETRY_TARGET_H_
+
+#include "cmd/command.h"
+#include "telemetry/metrics_registry.h"
+
+namespace harmonia {
+
+class TelemetryTarget : public CommandTarget {
+  public:
+    /** Words of packed metric name per List record (4 chars each). */
+    static constexpr std::size_t kNameWords = 12;
+
+    /** List records per response (bounded by PayloadLen's 8 bits). */
+    static constexpr std::size_t kListBatch = 8;
+
+    explicit TelemetryTarget(MetricsRegistry &registry =
+                                 MetricsRegistry::instance())
+        : registry_(registry)
+    {
+    }
+
+    CommandResult
+    executeCommand(std::uint16_t code,
+                   const std::vector<std::uint32_t> &data) override;
+
+    /** Decode a List record's packed name (tests, host tooling). */
+    static std::string unpackName(const std::uint32_t *words,
+                                  std::size_t n = kNameWords);
+
+  private:
+    CommandResult list(const std::vector<std::uint32_t> &data);
+    CommandResult snapshotOne(const std::vector<std::uint32_t> &data);
+
+    MetricsRegistry &registry_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_TELEMETRY_TELEMETRY_TARGET_H_

@@ -2,13 +2,31 @@
 
 #include "common/logging.h"
 #include "sim/clock.h"
+#include "sim/trace.h"
 
 namespace harmonia {
 
+namespace {
+// Memory accesses span controller queueing + DRAM + wrapper transit:
+// 20 ns buckets out to ~2.5 us, overflow beyond.
+constexpr std::uint64_t kLatBucketPs = 20'000;
+constexpr std::size_t kLatBuckets = 128;
+} // namespace
+
 MemMapWrapper::MemMapWrapper(std::string name, MemoryIp &memory)
-    : Component(std::move(name)), memory_(memory), stats_(this->name())
+    : Component(std::move(name)), memory_(memory),
+      accessLat_(kLatBucketPs, kLatBuckets), stats_(this->name())
 {
     resources_ = ResourceVector{2100, 2900, 4, 0, 0};
+}
+
+void
+MemMapWrapper::registerTelemetry(MetricsRegistry &reg,
+                                 const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &stats_);
+    telemetry_.addHistogram(prefix + "/access_latency_ps", &accessLat_);
 }
 
 Tick
@@ -45,6 +63,12 @@ MemMapWrapper::tick()
     while (memory_.hasCompletion()) {
         MemCompletion c = memory_.popCompletion();
         c.completed += 2 * addedLatency();
+        accessLat_.sample(c.latency());
+        Trace::instance().completeSpan(c.request.issued, c.completed,
+                                       name(),
+                                       c.request.write ? "mem_write"
+                                                       : "mem_read",
+                                       "wrapper");
         out_.push_back(c);
     }
 }

@@ -16,6 +16,7 @@
 #include "protocol/avalon_mm.h"
 #include "protocol/axi_mm.h"
 #include "sim/component.h"
+#include "telemetry/metrics_registry.h"
 #include "wrapper/uniform.h"
 
 namespace harmonia {
@@ -60,11 +61,20 @@ class MemMapWrapper : public Component {
     const ResourceVector &resources() const { return resources_; }
     StatGroup &stats() { return stats_; }
 
+    /** Issue-to-completion latency through controller + wrapper. */
+    const Histogram &accessLatency() const { return accessLat_; }
+
+    /** Export counters and the access-latency histogram. */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
   private:
     MemoryIp &memory_;
     std::deque<MemCompletion> out_;
+    Histogram accessLat_;
     ResourceVector resources_;
     StatGroup stats_;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

@@ -5,11 +5,31 @@
 
 namespace harmonia {
 
+namespace {
+// Latency buckets: 1 ns per bucket, 64 buckets. Wrapper transit is a
+// few cycles, so this resolves any plausible wrapper clock; slower
+// paths land in the overflow bucket and still count toward max().
+constexpr std::uint64_t kLatBucketPs = 1000;
+constexpr std::size_t kLatBuckets = 64;
+} // namespace
+
 StreamWrapper::StreamWrapper(std::string name)
-    : Component(std::move(name)), stats_(this->name())
+    : Component(std::move(name)), ingressLat_(kLatBucketPs, kLatBuckets),
+      egressLat_(kLatBucketPs, kLatBuckets), stats_(this->name())
 {
     // Translation pipeline + sideband FIFO soft logic.
     resources_ = ResourceVector{1750, 2400, 4, 0, 0};
+}
+
+void
+StreamWrapper::registerTelemetry(MetricsRegistry &reg,
+                                 const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &stats_);
+    telemetry_.addHistogram(prefix + "/ingress_latency_ps",
+                            &ingressLat_);
+    telemetry_.addHistogram(prefix + "/egress_latency_ps", &egressLat_);
 }
 
 Tick
@@ -25,6 +45,9 @@ void
 StreamWrapper::ingressPush(const PacketDesc &pkt)
 {
     ingress_.push(pkt, now() + addedLatency());
+    ingressFlight_.push_back(
+        {now(), Trace::instance().beginSpan(now(), name(), "ingress",
+                                            "wrapper")});
     stats_.counter("ingress_packets").inc();
     stats_.counter("ingress_bytes").inc(pkt.bytes);
 }
@@ -38,13 +61,23 @@ StreamWrapper::ingressAvailable() const
 PacketDesc
 StreamWrapper::ingressPop()
 {
-    return ingress_.pop(now());
+    PacketDesc pkt = ingress_.pop(now());
+    // The DelayLine preserves FIFO order, so the oldest in-flight
+    // record is the packet that just emerged.
+    const InFlight f = ingressFlight_.front();
+    ingressFlight_.pop_front();
+    ingressLat_.sample(now() - f.pushed);
+    Trace::instance().endSpan(f.span, now());
+    return pkt;
 }
 
 void
 StreamWrapper::egressPush(const PacketDesc &pkt)
 {
     egress_.push(pkt, now() + addedLatency());
+    egressFlight_.push_back(
+        {now(), Trace::instance().beginSpan(now(), name(), "egress",
+                                            "wrapper")});
     stats_.counter("egress_packets").inc();
     stats_.counter("egress_bytes").inc(pkt.bytes);
 }
@@ -58,7 +91,12 @@ StreamWrapper::egressAvailable() const
 PacketDesc
 StreamWrapper::egressPop()
 {
-    return egress_.pop(now());
+    PacketDesc pkt = egress_.pop(now());
+    const InFlight f = egressFlight_.front();
+    egressFlight_.pop_front();
+    egressLat_.sample(now() - f.pushed);
+    Trace::instance().endSpan(f.span, now());
+    return pkt;
 }
 
 } // namespace harmonia

@@ -10,11 +10,15 @@
 #ifndef HARMONIA_WRAPPER_STREAM_WRAPPER_H_
 #define HARMONIA_WRAPPER_STREAM_WRAPPER_H_
 
+#include <deque>
+
 #include "common/packet.h"
 #include "common/stats.h"
 #include "device/resource.h"
 #include "rtl/pipeline.h"
 #include "sim/component.h"
+#include "sim/trace.h"
+#include "telemetry/metrics_registry.h"
 
 namespace harmonia {
 
@@ -50,11 +54,30 @@ class StreamWrapper : public Component {
 
     StatGroup &stats() { return stats_; }
 
+    /** Per-packet residence time through each direction, in ps. */
+    const Histogram &ingressLatency() const { return ingressLat_; }
+    const Histogram &egressLatency() const { return egressLat_; }
+
+    /** Export counters and latency histograms under @p prefix. */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
   private:
+    /** Push-side bookkeeping for the packet currently in flight. */
+    struct InFlight {
+        Tick pushed = 0;
+        SpanId span = 0;
+    };
+
     DelayLine<PacketDesc> ingress_;
     DelayLine<PacketDesc> egress_;
+    std::deque<InFlight> ingressFlight_;
+    std::deque<InFlight> egressFlight_;
+    Histogram ingressLat_;
+    Histogram egressLat_;
     ResourceVector resources_;
     StatGroup stats_;
+    ScopedMetrics telemetry_;
 };
 
 } // namespace harmonia

@@ -66,12 +66,57 @@ TEST(Histogram, RejectsBadConstruction)
     EXPECT_THROW(Histogram(10, 0), FatalError);
 }
 
-TEST(Histogram, RejectsBadPercentile)
+TEST(Histogram, PercentileClampsOutOfRangeRequests)
 {
-    Histogram h(1, 4);
-    h.sample(1);
-    EXPECT_THROW(h.percentile(-1), FatalError);
-    EXPECT_THROW(h.percentile(101), FatalError);
+    Histogram h(10, 4);
+    h.sample(5);
+    h.sample(25);
+    // Out-of-range requests clamp to [0, 100] instead of aborting, so
+    // monitoring code can pass through unvalidated wire values.
+    EXPECT_DOUBLE_EQ(h.percentile(-1), h.percentile(0));
+    EXPECT_DOUBLE_EQ(h.percentile(101), h.percentile(100));
+    // p100 lands in the last occupied bucket; p0 in the first.
+    EXPECT_GE(h.percentile(100), h.percentile(0));
+}
+
+TEST(Histogram, PercentileOnEmptyIsZero)
+{
+    Histogram h(10, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(200), 0.0);
+}
+
+TEST(Histogram, PercentileOverflowReportsMax)
+{
+    Histogram h(10, 2);  // covers [0, 20); everything else overflows
+    h.sample(1'000'000);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 1'000'000.0);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(10, 4);
+    h.sample(5);
+    h.sample(500);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(RateMeter, SameTickRecordsAccumulateWithoutRate)
+{
+    RateMeter m;
+    m.record(1000, 5);
+    m.record(1000, 7);
+    // Zero elapsed time cannot produce a finite rate; the total still
+    // accumulates and a later record restores the rate.
+    EXPECT_EQ(m.ratePerSecond(), 0.0);
+    EXPECT_EQ(m.total(), 12u);
+    m.record(1'001'000, 12);
+    EXPECT_GT(m.ratePerSecond(), 0.0);
 }
 
 TEST(StatGroup, SnapshotSortedByName)

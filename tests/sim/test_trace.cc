@@ -70,6 +70,72 @@ TEST(Trace, DumpRendersReadableLines)
     EXPECT_NE(out.find("us"), std::string::npos);  // human time
 }
 
+TEST(Trace, SetCapacityPreservesNewestEntries)
+{
+    TraceGuard guard;
+    for (Tick t = 0; t < 100; ++t)
+        Trace::instance().record(t, "a", "b");
+    Trace::instance().setCapacity(10);
+    ASSERT_EQ(Trace::instance().size(), 10u);
+    const auto entries = Trace::instance().entries();
+    EXPECT_EQ(entries.front().tick, 90u);
+    EXPECT_EQ(entries.back().tick, 99u);
+    // Capacity 0 clamps to 1 rather than wedging the ring.
+    Trace::instance().setCapacity(0);
+    EXPECT_EQ(Trace::instance().capacity(), 1u);
+    Trace::instance().record(123, "a", "b");
+    EXPECT_EQ(Trace::instance().size(), 1u);
+    Trace::instance().setCapacity(Trace::kCapacity);
+}
+
+TEST(Trace, SpanPairingMeasuresDuration)
+{
+    TraceGuard guard;
+    const SpanId id =
+        Trace::instance().beginSpan(1000, "wrap", "ingress", "wrapper");
+    ASSERT_NE(id, 0u);
+    EXPECT_EQ(Trace::instance().openSpanCount(), 1u);
+    EXPECT_EQ(Trace::instance().endSpan(id, 4000), 3000u);
+    EXPECT_EQ(Trace::instance().openSpanCount(), 0u);
+    ASSERT_EQ(Trace::instance().spanCount(), 1u);
+    const auto spans = Trace::instance().spans();
+    EXPECT_EQ(spans[0].begin, 1000u);
+    EXPECT_EQ(spans[0].end, 4000u);
+    EXPECT_EQ(spans[0].who, "wrap");
+    EXPECT_EQ(spans[0].cat, "wrapper");
+}
+
+TEST(Trace, UnmatchedSpanEndsAreCountedNotRecorded)
+{
+    TraceGuard guard;
+    EXPECT_EQ(Trace::instance().endSpan(0, 100), 0u);  // "no span" id
+    EXPECT_EQ(Trace::instance().endSpan(777, 100), 0u);
+    EXPECT_EQ(Trace::instance().spanCount(), 0u);
+    // endSpan(0) is the documented no-op for disabled begins; only the
+    // genuinely unknown id counts as unmatched.
+    EXPECT_EQ(Trace::instance().unmatchedEnds(), 1u);
+}
+
+TEST(Trace, SpansFreeWhenDisabled)
+{
+    Trace::instance().clear();
+    ASSERT_FALSE(Trace::instance().enabled());
+    EXPECT_EQ(Trace::instance().beginSpan(1, "a", "b"), 0u);
+    Trace::instance().completeSpan(1, 2, "a", "b");
+    EXPECT_EQ(Trace::instance().spanCount(), 0u);
+    EXPECT_EQ(Trace::instance().openSpanCount(), 0u);
+}
+
+TEST(Trace, CompleteSpanRecordsPreMeasuredInterval)
+{
+    TraceGuard guard;
+    Trace::instance().completeSpan(500, 900, "mem", "mem_read",
+                                   "wrapper");
+    ASSERT_EQ(Trace::instance().spanCount(), 1u);
+    const auto spans = Trace::instance().spans();
+    EXPECT_EQ(spans[0].end - spans[0].begin, 400u);
+}
+
 TEST(Trace, ControlKernelEmitsExecutionEvents)
 {
     TraceGuard guard;

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace.h"
+#include "telemetry/exporter.h"
+
+namespace harmonia {
+namespace {
+
+struct TraceGuard {
+    TraceGuard()
+    {
+        Trace::instance().clear();
+        Trace::instance().setEnabled(true);
+    }
+    ~TraceGuard()
+    {
+        Trace::instance().setEnabled(false);
+        Trace::instance().clear();
+    }
+};
+
+TEST(ChromeTraceExport, GoldenShapeForSpansAndEvents)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const SpanId s = t.beginSpan(2'000'000, "wrap0", "ingress",
+                                 "wrapper");
+    t.endSpan(s, 5'000'000);
+    t.record(3'000'000, "uck", "executed ModuleInit");
+
+    const std::string json = toChromeTraceJson(t);
+
+    // Structural envelope.
+    EXPECT_EQ(json.find("{\"displayTimeUnit\":\"ns\","
+                        "\"traceEvents\":[\n"),
+              0u);
+    EXPECT_NE(json.find("\n]}\n"), std::string::npos);
+    // The completed span: "X" phase, ts in us (2 us), dur 3 us.
+    EXPECT_NE(json.find("\"name\":\"ingress\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"wrapper\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":2.000000"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":3.000000"), std::string::npos);
+    // The instant event.
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("executed ModuleInit"), std::string::npos);
+    // Thread-name metadata for both tracks.
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"wrap0\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"args\":{\"name\":\"uck\"}"),
+              std::string::npos);
+}
+
+TEST(ChromeTraceExport, OpenSpansAreOmittedNotCorrupting)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    t.beginSpan(1'000, "wrap", "never_closed", "wrapper");
+    const SpanId s = t.beginSpan(2'000, "wrap", "closed", "wrapper");
+    t.endSpan(s, 3'000);
+    t.endSpan(999'999, 4'000);  // unbalanced end
+
+    const std::string json = toChromeTraceJson(t);
+    EXPECT_EQ(json.find("never_closed"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"closed\""), std::string::npos);
+    EXPECT_EQ(t.openSpanCount(), 1u);
+    EXPECT_EQ(t.unmatchedEnds(), 1u);
+}
+
+TEST(ChromeTraceExport, EscapesQuotesInNames)
+{
+    TraceGuard guard;
+    Trace::instance().record(1, "who", "said \"hi\"");
+    const std::string json = toChromeTraceJson(Trace::instance());
+    EXPECT_NE(json.find("said \\\"hi\\\""), std::string::npos);
+}
+
+TEST(MetricsTextExport, CountersGaugesAndSummaries)
+{
+    std::vector<MetricSample> samples;
+    MetricSample c;
+    c.name = "shell/net0/rx_packets";
+    c.kind = MetricKind::Counter;
+    c.value = 42;
+    samples.push_back(c);
+
+    MetricSample r;
+    r.name = "shell/net0/rx_pps";
+    r.kind = MetricKind::Rate;
+    r.value = 1.5e6;
+    samples.push_back(r);
+
+    MetricSample h;
+    h.name = "shell/net0/wrapper/ingress_latency_ps";
+    h.kind = MetricKind::Histogram;
+    h.count = 10;
+    h.min = 1000;
+    h.max = 9000;
+    h.mean = 4500.0;
+    h.p50 = 4000.0;
+    h.p99 = 9000.0;
+    samples.push_back(h);
+
+    const std::string text = toMetricsText(samples);
+    EXPECT_NE(text.find("# TYPE harmonia_shell_net0_rx_packets "
+                        "counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("harmonia_shell_net0_rx_packets 42"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE harmonia_shell_net0_rx_pps gauge"),
+              std::string::npos);
+    const std::string hn =
+        "harmonia_shell_net0_wrapper_ingress_latency_ps";
+    EXPECT_NE(text.find("# TYPE " + hn + " summary"),
+              std::string::npos);
+    EXPECT_NE(text.find(hn + "_count 10"), std::string::npos);
+    EXPECT_NE(text.find(hn + "_min 1000"), std::string::npos);
+    EXPECT_NE(text.find(hn + "_max 9000"), std::string::npos);
+    EXPECT_NE(text.find(hn + "{quantile=\"0.5\"} 4000"),
+              std::string::npos);
+    EXPECT_NE(text.find(hn + "{quantile=\"0.99\"} 9000"),
+              std::string::npos);
+}
+
+TEST(MetricsJsonLinesExport, OneObjectPerLine)
+{
+    std::vector<MetricSample> samples;
+    MetricSample g;
+    g.name = "shell/host0/active_queues";
+    g.kind = MetricKind::Gauge;
+    g.value = 64;
+    samples.push_back(g);
+    MetricSample h;
+    h.name = "shell/uck/service_time_ps";
+    h.kind = MetricKind::Histogram;
+    h.count = 3;
+    samples.push_back(h);
+
+    const std::string out = toMetricsJsonLines(samples);
+    EXPECT_NE(out.find("{\"name\":\"shell/host0/active_queues\","
+                       "\"kind\":\"gauge\",\"value\":64}"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"kind\":\"histogram\",\"count\":3"),
+              std::string::npos);
+    // Exactly one line per sample.
+    std::size_t lines = 0;
+    for (char ch : out)
+        if (ch == '\n')
+            ++lines;
+    EXPECT_EQ(lines, samples.size());
+}
+
+} // namespace
+} // namespace harmonia

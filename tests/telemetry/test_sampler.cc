@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "telemetry/sampler.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Sampler, PeriodHoldsInSimulatedTime)
+{
+    MetricsRegistry reg;
+    Counter c;
+    reg.addCounter("ctr", &c);
+
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 100.0);  // 10 ns period
+    Sampler sampler("sampler", reg, 50'000);     // scrape every 50 ns
+    engine.add(&sampler, clk);
+
+    engine.runCycles(clk, 100);  // 1 us
+    // First edge at 10 ns scrapes immediately, then every 50 ns:
+    // 10, 60, 110, ... 960 -> 20 snapshots over the run.
+    EXPECT_EQ(sampler.sampleCount(), 20u);
+    const auto &hist = sampler.history();
+    EXPECT_EQ(hist[1].tick - hist[0].tick, 50'000u);
+}
+
+TEST(Sampler, PeriodIndependentOfClockDomain)
+{
+    // The same 100 ns period scrapes at the same simulated-time rate
+    // whether the sampler ticks on a fast or a slow clock.
+    MetricsRegistry reg;
+    Engine engine;
+    Clock *fast = engine.addClock("fast", 500.0);  // 2 ns
+    Clock *slow = engine.addClock("slow", 50.0);   // 20 ns
+    Sampler a("a", reg, 100'000);
+    Sampler b("b", reg, 100'000);
+    engine.add(&a, fast);
+    engine.add(&b, slow);
+
+    engine.runFor(1'000'000);  // 1 us
+    EXPECT_EQ(a.sampleCount(), b.sampleCount());
+    ASSERT_GE(a.sampleCount(), 2u);
+    EXPECT_EQ(a.history()[1].tick - a.history()[0].tick, 100'000u);
+    EXPECT_EQ(b.history()[1].tick - b.history()[0].tick, 100'000u);
+}
+
+TEST(Sampler, SlowClockDegradesToEveryEdge)
+{
+    // Period shorter than the clock: one scrape per edge, no bursts.
+    MetricsRegistry reg;
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 10.0);  // 100 ns period
+    Sampler sampler("s", reg, 1'000);           // 1 ns "period"
+    engine.add(&sampler, clk);
+    engine.runCycles(clk, 10);
+    EXPECT_EQ(sampler.sampleCount(), 10u);
+}
+
+TEST(Sampler, HistoryRingEvictsOldest)
+{
+    MetricsRegistry reg;
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 100.0);
+    Sampler sampler("s", reg, 10'000, 4);  // every edge, 4 retained
+    engine.add(&sampler, clk);
+    engine.runCycles(clk, 10);
+    EXPECT_EQ(sampler.sampleCount(), 4u);
+    EXPECT_EQ(sampler.latest().tick, 100'000u);  // 10th edge
+    EXPECT_EQ(sampler.history().front().tick, 70'000u);
+}
+
+TEST(Sampler, SnapshotsSeeLiveValues)
+{
+    MetricsRegistry reg;
+    Counter c;
+    reg.addCounter("ctr", &c);
+
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 100.0);
+    FunctionComponent *wp = nullptr;
+    FunctionComponent worker("worker", [&] { c.inc(); });
+    wp = &worker;
+    (void)wp;
+    Sampler sampler("s", reg, 10'000);  // every edge
+    engine.add(&worker, clk);
+    engine.add(&sampler, clk);
+
+    engine.runCycles(clk, 5);
+    ASSERT_EQ(sampler.sampleCount(), 5u);
+    // Later scrapes observe strictly more increments than earlier.
+    const double first = sampler.history().front().samples[0].value;
+    const double last = sampler.latest().samples[0].value;
+    EXPECT_GT(last, first);
+    EXPECT_EQ(sampler.latest().samples[0].name, "ctr");
+}
+
+TEST(Sampler, RejectsZeroPeriodAndHistory)
+{
+    MetricsRegistry reg;
+    EXPECT_THROW(Sampler("s", reg, 0), FatalError);
+    EXPECT_THROW(Sampler("s", reg, 1000, 0), FatalError);
+    Sampler ok("s", reg, 1000);
+    EXPECT_THROW(ok.setPeriod(0), FatalError);
+    EXPECT_THROW(ok.latest(), FatalError);
+}
+
+} // namespace
+} // namespace harmonia
