@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Platform lint: run the static design-rule checker (src/drc) across
+ * the whole device database and the five shipped roles — no simulator,
+ * no compilation, just the plan. Prints the rule catalogue, a
+ * device x role findings matrix, and a detailed report for a
+ * deliberately broken configuration in both renderers.
+ *
+ *   $ ./platform_lint
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "drc/checker.h"
+#include "drc/render.h"
+#include "roles/board_test.h"
+#include "roles/host_network.h"
+#include "roles/l4lb.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    // 1. The rule catalogue, straight from the checker.
+    std::printf("platform DRC rule set (%zu rules)\n",
+                drc::standardRules().size());
+    for (const drc::RuleInfo &r : drc::ruleTable())
+        std::printf("  %-9s %-6s %s\n", r.id, r.paperRef,
+                    r.description);
+
+    // 2. Lint every shipped role deployment on every board. checkRole
+    //    tailors when feasible and falls back to the unified config so
+    //    infeasible demands show up as Error diagnostics, not throws.
+    const std::vector<RoleRequirements> roles = {
+        SecGateway::standardRequirements(),
+        Layer4Lb::standardRequirements(),
+        HostNetwork::standardRequirements(),
+        Retrieval::standardRequirements(),
+        BoardTest::standardRequirements(),
+    };
+    const auto &devices = DeviceDatabase::instance().all();
+
+    std::printf("\nfindings matrix (cell: first error rule, or "
+                "warning count)\n%-10s", "");
+    for (const RoleRequirements &role : roles)
+        std::printf(" %-12s", role.name.c_str());
+    std::printf("\n");
+    for (const FpgaDevice &device : devices) {
+        std::printf("%-10s", device.name.c_str());
+        for (const RoleRequirements &role : roles) {
+            const drc::DrcReport report =
+                drc::checkRole(device, role);
+            if (report.errorCount() > 0)
+                std::printf(" %-12s",
+                            report.firstError().ruleId.c_str());
+            else if (report.count(drc::Severity::Warning) > 0)
+                std::printf(" %zu warn      ",
+                            report.count(drc::Severity::Warning));
+            else
+                std::printf(" %-12s", "clean");
+        }
+        std::printf("\n");
+    }
+
+    // 3. A broken plan, in full: a 400G MAC on 100G cages, a DMA
+    //    queue count past the hard-IP limit, and a memory instance
+    //    the board does not have.
+    const FpgaDevice &device = devices.front();
+    ShellConfig broken = unifiedConfigFor(device);
+    if (!broken.networks.empty())
+        broken.networks[0].gbps = 400;
+    broken.hostQueues = 4096;
+    broken.memories.push_back({PeripheralKind::Hbm, 0});
+    const drc::DrcReport report =
+        drc::check(device, broken, nullptr,
+                   "broken_" + device.name);
+
+    std::printf("\n--- text renderer ---\n%s",
+                drc::renderText(report).c_str());
+    std::printf("\n--- JSON-lines renderer ---\n%s",
+                drc::renderJsonLines(report).c_str());
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include "common/checksum.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "drc/checker.h"
 
 namespace harmonia {
 
@@ -28,13 +29,49 @@ Toolchain::compile(const CompileJob &job) const
                job.projectName.c_str(), device.name.c_str(),
                device.chipName.c_str()));
 
+    // Step 0: static design-rule check over the shell plan, when the
+    // job carries one. This catches composition hazards the flow
+    // below would hit mid-compile, plus hazards it would never see
+    // at all (CDC coverage, command-schema breakage).
+    if (job.shellConfig != nullptr) {
+        drc::DrcInput in;
+        in.device = job.device;
+        in.config = *job.shellConfig;
+        in.role = job.role;
+        in.roleLogic = job.roleLogic;
+        in.shellName = job.projectName;
+        in.environment = env_;
+        const drc::DrcReport report = drc::check(in);
+        for (const drc::Diagnostic &d : report.diagnostics())
+            log("[drc] " + d.toString());
+        if (!report.clean() && !drcOverride_) {
+            log(format("[flow] aborted: design-rule check reported "
+                       "%zu error(s)",
+                       report.errorCount()));
+            return art;
+        }
+        if (!report.clean())
+            log(format("[drc] override: proceeding past %zu "
+                       "error(s)",
+                       report.errorCount()));
+        else
+            log(format("[drc] clean (%s)",
+                       report.summary().c_str()));
+    }
+
     // Step 1: rigid dependency inspection via the vendor adapter.
-    const auto issues = env_.inspect(job.modules);
-    if (!issues.empty()) {
-        for (const DependencyIssue &i : issues)
-            log("error: " + i.toString());
+    std::size_t hard_issues = 0;
+    for (const DependencyIssue &i : env_.inspect(job.modules)) {
+        if (!i.blocking()) {
+            log("info: " + i.toString());
+            continue;
+        }
+        log("error: " + i.toString());
+        ++hard_issues;
+    }
+    if (hard_issues > 0) {
         log(format("[flow] aborted: %zu dependency issue(s)",
-                   issues.size()));
+                   hard_issues));
         return art;
     }
     log(format("[flow] dependency inspection passed (%zu modules)",

@@ -17,6 +17,7 @@
 #include "adapter/vendor_adapter.h"
 #include "device/database.h"
 #include "ip/ip_block.h"
+#include "shell/tailoring.h"
 
 namespace harmonia {
 
@@ -27,6 +28,16 @@ struct CompileJob {
     std::vector<const IpBlock *> modules;  ///< shell IP instances
     ResourceVector shellLogic;  ///< wrappers, Ex-functions, kernel
     ResourceVector roleLogic;   ///< the user's role
+
+    /**
+     * The shell plan behind this job, when known (Shell::compileJob
+     * sets it). compile() then runs the platform DRC (src/drc) ahead
+     * of the flow and refuses to start on Error findings.
+     */
+    const ShellConfig *shellConfig = nullptr;
+
+    /** Role demands for tailoring-consistency rules (optional). */
+    const RoleRequirements *role = nullptr;
 };
 
 /** The outcome of a compilation. */
@@ -56,8 +67,16 @@ class Toolchain {
     /** Utilization above which (modelled) timing closure fails. */
     static constexpr double kTimingWall = 0.90;
 
+    /**
+     * Proceed past DRC Error findings (they still log). An escape
+     * hatch for bring-up experiments, not for production flows.
+     */
+    void setDrcOverride(bool on) { drcOverride_ = on; }
+    bool drcOverride() const { return drcOverride_; }
+
   private:
     VendorAdapter env_;
+    bool drcOverride_ = false;
 };
 
 } // namespace harmonia

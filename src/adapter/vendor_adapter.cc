@@ -1,5 +1,7 @@
 #include "adapter/vendor_adapter.h"
 
+#include <set>
+
 #include "common/logging.h"
 
 namespace harmonia {
@@ -7,6 +9,10 @@ namespace harmonia {
 std::string
 DependencyIssue::toString() const
 {
+    if (kind == Kind::DeadProvide)
+        return format("environment provides %s=%s but no module "
+                      "consumes it",
+                      key.c_str(), found.c_str());
     if (found.empty())
         return format("%s: missing dependency %s (wants %s)",
                       module.c_str(), key.c_str(), expected.c_str());
@@ -30,19 +36,29 @@ std::vector<DependencyIssue>
 VendorAdapter::inspect(const std::vector<const IpBlock *> &modules) const
 {
     std::vector<DependencyIssue> issues;
+    std::set<std::string> consumed;
     for (const IpBlock *m : modules) {
         if (m == nullptr)
             panic("null module handed to vendor adapter");
         for (const auto &[key, expected] : m->dependencies()) {
+            consumed.insert(key);
             auto it = env_.find(key);
             if (it == env_.end()) {
-                issues.push_back({m->name(), key, expected, ""});
+                issues.push_back({m->name(), key, expected, "",
+                                  DependencyIssue::Kind::Missing});
             } else if (it->second != expected) {
-                issues.push_back(
-                    {m->name(), key, expected, it->second});
+                issues.push_back({m->name(), key, expected,
+                                  it->second,
+                                  DependencyIssue::Kind::Mismatch});
             }
         }
     }
+    // Dead provides: declared capabilities nothing consumes. Never
+    // blocking, but deployment-description drift starts here.
+    for (const auto &[key, value] : env_)
+        if (!consumed.count(key))
+            issues.push_back({"", key, "", value,
+                              DependencyIssue::Kind::DeadProvide});
     return issues;
 }
 
@@ -50,7 +66,10 @@ bool
 VendorAdapter::compatible(
     const std::vector<const IpBlock *> &modules) const
 {
-    return inspect(modules).empty();
+    for (const DependencyIssue &i : inspect(modules))
+        if (i.blocking())
+            return false;
+    return true;
 }
 
 VendorAdapter

@@ -20,12 +20,23 @@
 
 namespace harmonia {
 
-/** One dependency mismatch found during inspection. */
+/** One dependency finding from inspection. */
 struct DependencyIssue {
+    /** What kind of drift this entry records. */
+    enum class Kind {
+        Missing,      ///< module wants a key the environment lacks
+        Mismatch,     ///< version strings differ
+        DeadProvide,  ///< environment key no module consumes
+    };
+
     std::string module;    ///< IP model that declared the dependency
     std::string key;       ///< dependency attribute
     std::string expected;  ///< version the module requires
     std::string found;     ///< what the environment provides ("" = none)
+    Kind kind = Kind::Missing;
+
+    /** True for the Kinds that make an environment incompatible. */
+    bool blocking() const { return kind != Kind::DeadProvide; }
 
     std::string toString() const;
 };
@@ -49,11 +60,16 @@ class VendorAdapter {
         return env_;
     }
 
-    /** Rigidly inspect @p modules; returns every mismatch found. */
+    /**
+     * Rigidly inspect @p modules: every missing or mismatched
+     * dependency, plus (non-blocking) DeadProvide entries for
+     * environment keys no module consumes — drift in deployment
+     * descriptions stays visible.
+     */
     std::vector<DependencyIssue>
     inspect(const std::vector<const IpBlock *> &modules) const;
 
-    /** True when inspect() returns no issues. */
+    /** True when inspect() returns no blocking issues. */
     bool compatible(const std::vector<const IpBlock *> &modules) const;
 
     /**

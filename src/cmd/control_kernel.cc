@@ -11,6 +11,26 @@ namespace {
 // 50-cycle execution: 50 ns buckets out to 6.4 us.
 constexpr std::uint64_t kServiceBucketPs = 50'000;
 constexpr std::size_t kServiceBuckets = 128;
+
+// One named counter per decode failure, so malformed-input telemetry
+// distinguishes line noise (checksum) from framing bugs (the rest).
+const char *
+decodeStatName(DecodeError error)
+{
+    switch (error) {
+      case DecodeError::Truncated:
+        return "decode_truncated";
+      case DecodeError::BadVersion:
+        return "decode_bad_version";
+      case DecodeError::BadHeaderLen:
+        return "decode_bad_header_len";
+      case DecodeError::LengthMismatch:
+        return "decode_length_mismatch";
+      case DecodeError::BadChecksum:
+        return "decode_bad_checksum";
+    }
+    return "decode_error";
+}
 } // namespace
 
 UnifiedControlKernel::UnifiedControlKernel(std::string name,
@@ -23,7 +43,13 @@ UnifiedControlKernel::UnifiedControlKernel(std::string name,
         fatal("control kernel buffer of %zu bytes is too small",
               buffer_bytes);
     // Nios-class soft core, instruction memory and command buffer.
-    resources_ = ResourceVector{5200, 6900, 6, 0, 0};
+    resources_ = plannedResources();
+}
+
+ResourceVector
+UnifiedControlKernel::plannedResources()
+{
+    return ResourceVector{5200, 6900, 6, 0, 0};
 }
 
 void
@@ -152,8 +178,16 @@ UnifiedControlKernel::tick()
     std::size_t consumed = 0;
     const DecodeOutcome outcome = decodeCommand(buffer_, &consumed);
     if (!outcome.ok()) {
-        if (*outcome.error == DecodeError::Truncated)
+        if (*outcome.error == DecodeError::Truncated) {
+            // Count the stall once per buffer state, not per tick.
+            if (buffer_.size() != lastTruncatedSize_) {
+                stats_.counter(decodeStatName(*outcome.error)).inc();
+                lastTruncatedSize_ = buffer_.size();
+            }
             return;  // wait for the rest of the packet
+        }
+        stats_.counter(decodeStatName(*outcome.error)).inc();
+        lastTruncatedSize_ = 0;
         if (*outcome.error == DecodeError::BadChecksum) {
             // Boundary is known: drop the packet, answer with an error.
             const std::uint32_t word0 =
@@ -188,6 +222,7 @@ UnifiedControlKernel::tick()
     const CommandPacket &pkt = *outcome.packet;
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<long>(consumed));
+    lastTruncatedSize_ = 0;
 
     const CommandResult result = execute(pkt);
     trace(*this, "executed %s for src=%02x -> %s",
@@ -202,6 +237,8 @@ UnifiedControlKernel::tick()
         .inc();
     if (result.status != kCmdOk)
         stats_.counter("commands_failed").inc();
+    if (result.status == kCmdUnknownCode)
+        stats_.counter("unknown_code").inc();
     busyUntilCycle_ = cycle() + kCyclesPerCommand;
 
     // Service time: buffer arrival through end of soft-core execution.

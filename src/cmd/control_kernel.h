@@ -71,6 +71,9 @@ class UnifiedControlKernel : public Component {
     /** Soft core + buffer footprint (Fig 16: < 0.67%). */
     const ResourceVector &resources() const { return resources_; }
 
+    /** The same footprint, available before construction (DRC). */
+    static ResourceVector plannedResources();
+
     StatGroup &stats() { return stats_; }
 
     /** Queueing + execution time of completed commands. */
@@ -93,6 +96,9 @@ class UnifiedControlKernel : public Component {
     std::map<std::pair<std::uint8_t, std::uint8_t>, CommandTarget *>
         targets_;
     Cycles busyUntilCycle_ = 0;
+    /// Buffer size at the last Truncated decode, so a packet waiting
+    /// for its tail counts once, not once per tick.
+    std::size_t lastTruncatedSize_ = 0;
     ResourceVector resources_;
     StatGroup stats_;
     Histogram serviceLat_;

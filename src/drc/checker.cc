@@ -1,0 +1,46 @@
+#include "drc/checker.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+namespace drc {
+
+DrcReport
+check(const DrcInput &input)
+{
+    DrcContext ctx(input);
+    DrcReport report;
+    for (const Rule *rule : standardRules())
+        rule->check(ctx, report);
+    return report;
+}
+
+DrcReport
+check(const FpgaDevice &device, const ShellConfig &config,
+      const RoleRequirements *role, const std::string &shell_name)
+{
+    DrcInput input;
+    input.device = &device;
+    input.config = config;
+    input.role = role;
+    input.shellName = shell_name;
+    return check(input);
+}
+
+DrcReport
+checkRole(const FpgaDevice &device, const RoleRequirements &role)
+{
+    try {
+        return check(device, tailorConfigFor(device, role), &role,
+                     role.name + "_" + device.name);
+    } catch (const FatalError &) {
+        // Tailoring refused the demands outright. Lint them against
+        // the unified configuration so every reason becomes a
+        // diagnostic instead of an exception.
+        return check(device, unifiedConfigFor(device), &role,
+                     role.name + "_" + device.name);
+    }
+}
+
+} // namespace drc
+} // namespace harmonia

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The platform design-rule checker entry points. check() lints a
+ * (device, shell config, role, environment) tuple with the standard
+ * rule set and returns a structured report — no simulator, no
+ * side effects, never throws for broken inputs. Toolchain::compile
+ * and strict-mode Shell construction gate on the result.
+ */
+
+#ifndef HARMONIA_DRC_CHECKER_H_
+#define HARMONIA_DRC_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "drc/diagnostic.h"
+#include "drc/rule.h"
+
+namespace harmonia {
+namespace drc {
+
+/** The shipped rule set, in evaluation order. */
+const std::vector<const Rule *> &standardRules();
+
+/** One row of the documentation/rule-listing table. */
+struct RuleInfo {
+    const char *id;
+    const char *description;
+    const char *paperRef;
+};
+
+/** (id, description, paper section) for every standard rule. */
+std::vector<RuleInfo> ruleTable();
+
+/** Run every standard rule over @p input. */
+DrcReport check(const DrcInput &input);
+
+/** Convenience: lint a config (and optional role) on a device. */
+DrcReport check(const FpgaDevice &device, const ShellConfig &config,
+                const RoleRequirements *role = nullptr,
+                const std::string &shell_name = "shell");
+
+/**
+ * Lint a role deployment. Tailors the config when the demands are
+ * feasible; when tailoring itself refuses (fatal), lints the demands
+ * against the board's unified configuration instead so the reasons
+ * surface as Error diagnostics rather than an exception.
+ */
+DrcReport checkRole(const FpgaDevice &device,
+                    const RoleRequirements &role);
+
+} // namespace drc
+} // namespace harmonia
+
+#endif // HARMONIA_DRC_CHECKER_H_

@@ -1,0 +1,86 @@
+#include "drc/diagnostic.h"
+
+#include "common/logging.h"
+
+namespace harmonia {
+namespace drc {
+
+const char *
+toString(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "INFO";
+      case Severity::Warning:
+        return "WARNING";
+      case Severity::Error:
+        return "ERROR";
+    }
+    return "UNKNOWN";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::string out = format("[%s] %s %s: %s", drc::toString(severity),
+                             ruleId.c_str(), path.c_str(),
+                             message.c_str());
+    if (!hint.empty())
+        out += format(" (fix: %s)", hint.c_str());
+    return out;
+}
+
+void
+DrcReport::add(Diagnostic d)
+{
+    diags_.push_back(std::move(d));
+}
+
+std::size_t
+DrcReport::count(Severity s) const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diags_)
+        if (d.severity == s)
+            ++n;
+    return n;
+}
+
+bool
+DrcReport::hasRule(const std::string &rule_id) const
+{
+    for (const Diagnostic &d : diags_)
+        if (d.ruleId == rule_id)
+            return true;
+    return false;
+}
+
+std::vector<Diagnostic>
+DrcReport::byRule(const std::string &rule_id) const
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : diags_)
+        if (d.ruleId == rule_id)
+            out.push_back(d);
+    return out;
+}
+
+const Diagnostic &
+DrcReport::firstError() const
+{
+    for (const Diagnostic &d : diags_)
+        if (d.severity == Severity::Error)
+            return d;
+    fatal("firstError() on a clean DRC report");
+}
+
+std::string
+DrcReport::summary() const
+{
+    return format("%zu error(s), %zu warning(s), %zu info(s)",
+                  count(Severity::Error), count(Severity::Warning),
+                  count(Severity::Info));
+}
+
+} // namespace drc
+} // namespace harmonia

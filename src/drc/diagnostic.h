@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Structured diagnostics for the platform design-rule checker. A
+ * Diagnostic carries the rule that fired, a severity, the hierarchical
+ * path of the offending element (e.g. "unified_DeviceA/net0/wrapper"),
+ * a message and a fix hint; a DrcReport aggregates them and answers
+ * the one question gates care about: any Errors?
+ */
+
+#ifndef HARMONIA_DRC_DIAGNOSTIC_H_
+#define HARMONIA_DRC_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace harmonia {
+namespace drc {
+
+/** How bad a finding is. Only Error findings gate builds. */
+enum class Severity {
+    Info,     ///< worth knowing, never blocks anything
+    Warning,  ///< suspicious but buildable
+    Error,    ///< the platform tuple is broken; builds must not start
+};
+
+const char *toString(Severity s);
+
+/** One finding from one rule. */
+struct Diagnostic {
+    std::string ruleId;    ///< e.g. "CDC-001"
+    Severity severity = Severity::Info;
+    std::string path;      ///< hierarchical element path
+    std::string message;   ///< what is wrong
+    std::string hint;      ///< how to fix it ("" = no suggestion)
+
+    /** "[ERROR] CDC-001 shell/net0: message (fix: hint)". */
+    std::string toString() const;
+};
+
+/** Every finding of one checker run. */
+class DrcReport {
+  public:
+    void add(Diagnostic d);
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diags_;
+    }
+
+    std::size_t count(Severity s) const;
+    std::size_t errorCount() const { return count(Severity::Error); }
+
+    /** True when no rule reported an Error. */
+    bool clean() const { return errorCount() == 0; }
+
+    /** Did @p rule_id fire at all? */
+    bool hasRule(const std::string &rule_id) const;
+
+    /** All findings of one rule. */
+    std::vector<Diagnostic> byRule(const std::string &rule_id) const;
+
+    /** The first Error finding; fatal() when the report is clean. */
+    const Diagnostic &firstError() const;
+
+    /** "2 error(s), 1 warning(s), 3 info(s)". */
+    std::string summary() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace drc
+} // namespace harmonia
+
+#endif // HARMONIA_DRC_DIAGNOSTIC_H_

@@ -1,0 +1,50 @@
+#include "drc/render.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+#include "telemetry/exporter.h"
+
+namespace harmonia {
+namespace drc {
+
+std::string
+renderText(const DrcReport &report)
+{
+    std::string out =
+        format("platform DRC: %s\n", report.summary().c_str());
+    for (const Diagnostic &d : report.diagnostics()) {
+        out += format("  [%-7s] %s %s: %s\n", toString(d.severity),
+                      d.ruleId.c_str(), d.path.c_str(),
+                      d.message.c_str());
+        if (!d.hint.empty())
+            out += format("            fix: %s\n", d.hint.c_str());
+    }
+    return out;
+}
+
+std::string
+renderJsonLines(const DrcReport &report)
+{
+    std::string out;
+    for (const Diagnostic &d : report.diagnostics()) {
+        std::string sev = toString(d.severity);
+        std::transform(sev.begin(), sev.end(), sev.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(
+                               std::tolower(c));
+                       });
+        out += format("{\"rule\":\"%s\",\"severity\":\"%s\","
+                      "\"path\":\"%s\",\"message\":\"%s\","
+                      "\"hint\":\"%s\"}\n",
+                      jsonEscape(d.ruleId).c_str(), sev.c_str(),
+                      jsonEscape(d.path).c_str(),
+                      jsonEscape(d.message).c_str(),
+                      jsonEscape(d.hint).c_str());
+    }
+    return out;
+}
+
+} // namespace drc
+} // namespace harmonia

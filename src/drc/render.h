@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Report renderers for the design-rule checker, following the
+ * telemetry exporter style: a human-readable text form and one JSON
+ * object per finding per line (jq-friendly). Pure formatting.
+ */
+
+#ifndef HARMONIA_DRC_RENDER_H_
+#define HARMONIA_DRC_RENDER_H_
+
+#include <string>
+
+#include "drc/diagnostic.h"
+
+namespace harmonia {
+namespace drc {
+
+/**
+ * Multi-line text report: a summary header followed by one indented
+ * line per finding (severity, rule, path, message, fix hint).
+ */
+std::string renderText(const DrcReport &report);
+
+/**
+ * One JSON object per finding per line:
+ * {"rule":"CDC-001","severity":"error","path":...,"message":...,
+ *  "hint":...}.
+ */
+std::string renderJsonLines(const DrcReport &report);
+
+} // namespace drc
+} // namespace harmonia
+
+#endif // HARMONIA_DRC_RENDER_H_

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The design-rule checker's input model and rule interface. A DrcInput
+ * names the platform tuple to lint — device, shell configuration,
+ * optional role demands, deployment environment — and the DrcContext
+ * derives the same composition plan Shell would build (IP instances,
+ * clock-domain links, command bindings) without touching the
+ * simulator. Rules read the context and append Diagnostics.
+ */
+
+#ifndef HARMONIA_DRC_RULE_H_
+#define HARMONIA_DRC_RULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "adapter/vendor_adapter.h"
+#include "common/types.h"
+#include "device/database.h"
+#include "device/resource.h"
+#include "drc/diagnostic.h"
+#include "ip/ip_block.h"
+#include "shell/tailoring.h"
+
+namespace harmonia {
+namespace drc {
+
+/** Gray synchronizer stages an async FIFO needs for safe crossings. */
+constexpr unsigned kMinSyncStages = 2;
+
+/**
+ * Command data words that fit one 64-byte control-queue slot: 16
+ * words minus the 3-word header and the 1-word trailer.
+ */
+constexpr unsigned kMaxCommandPayloadWords = 12;
+
+/** Role-side datapath width of the uniform stream/mem format. */
+constexpr unsigned kUniformDataWidthBits = 512;
+
+/** Per-class utilization above which headroom warnings fire. */
+constexpr double kUtilizationHeadroom = 0.75;
+
+/**
+ * One planned connection between clock domains / protocols: an RBB
+ * instance into the role datapath, or the control kernel into the
+ * user domain. This is what the shell would instantiate a wrapper and
+ * a ParamCdc for.
+ */
+struct PlannedLink {
+    std::string path;                ///< e.g. "shell/net0"
+    Protocol source = Protocol::Uniform;
+    Protocol sink = Protocol::Uniform;
+    bool viaWrapper = true;          ///< interface wrapper in between
+    double sourceMhz = 0;
+    double sinkMhz = 0;
+    unsigned sourceWidthBits = 0;
+    unsigned sinkWidthBits = 0;
+    bool viaAsyncFifo = true;        ///< ParamCdc between the domains
+    unsigned syncStages = kMinSyncStages;
+};
+
+/** One (RBB, instance) address the control kernel would register. */
+struct PlannedTarget {
+    std::string path;
+    std::uint8_t rbbId = 0;
+    std::uint8_t instanceId = 0;
+};
+
+/** One command the host driver plans to issue at a target. */
+struct CommandBinding {
+    std::string path;
+    std::uint8_t rbbId = 0;
+    std::uint8_t instanceId = 0;
+    std::uint16_t commandCode = 0;
+    unsigned payloadWords = 0;  ///< data words (trailer excluded)
+};
+
+/**
+ * What one checker run looks at. Only device and config are
+ * mandatory; the optional members refine or override what the context
+ * derives — tests use the overrides to lint deliberately broken
+ * compositions that Shell itself would refuse to construct.
+ */
+struct DrcInput {
+    const FpgaDevice *device = nullptr;
+    ShellConfig config;
+    const RoleRequirements *role = nullptr;  ///< tailoring checks
+    std::string shellName = "shell";
+
+    /** Deployment environment; standardFor(device) when unset. */
+    std::optional<VendorAdapter> environment;
+
+    /** Role logic footprint when no full role is supplied. */
+    ResourceVector roleLogic;
+
+    /** Overrides for the derived plan (unset = derive from config). */
+    std::optional<std::vector<PlannedLink>> links;
+    std::optional<std::vector<PlannedTarget>> targets;
+    std::optional<std::vector<CommandBinding>> commands;
+};
+
+/**
+ * The derived composition plan rules check against. Construction
+ * never throws: configuration elements the shell could not build
+ * (unsupported line rates, absent peripherals) are simply left out of
+ * the derived module list — the matching rules diagnose them from the
+ * raw config instead.
+ */
+class DrcContext {
+  public:
+    explicit DrcContext(const DrcInput &input);
+
+    DrcContext(const DrcContext &) = delete;
+    DrcContext &operator=(const DrcContext &) = delete;
+
+    const FpgaDevice &device() const { return *input_.device; }
+    const ShellConfig &config() const { return input_.config; }
+    const RoleRequirements *role() const { return input_.role; }
+    const std::string &shellName() const { return input_.shellName; }
+    const VendorAdapter &environment() const { return env_; }
+
+    /** Vendor IP instances the config would place (engine-free). */
+    const std::vector<const IpBlock *> &modules() const
+    {
+        return moduleViews_;
+    }
+
+    const std::vector<PlannedLink> &links() const { return links_; }
+    const std::vector<PlannedTarget> &targets() const
+    {
+        return targets_;
+    }
+    const std::vector<CommandBinding> &commands() const
+    {
+        return commands_;
+    }
+
+    /** Kernel + RBB soft logic, mirroring Shell::compileJob. */
+    ResourceVector plannedShellLogic() const;
+
+    /** Shell logic + IP instances + role logic — the fit total. */
+    ResourceVector plannedTotal() const;
+
+    /** The role logic applied in plannedTotal(). */
+    const ResourceVector &roleLogic() const { return roleLogic_; }
+
+    /** "<shellName>/<leaf>". */
+    std::string path(const std::string &leaf) const;
+
+  private:
+    void deriveModulesAndLinks();
+    void deriveCommandPlane();
+
+    const DrcInput &input_;
+    VendorAdapter env_;
+    ResourceVector roleLogic_;
+    std::vector<std::unique_ptr<IpBlock>> ownedModules_;
+    std::vector<const IpBlock *> moduleViews_;
+    std::vector<PlannedLink> links_;
+    std::vector<PlannedTarget> targets_;
+    std::vector<CommandBinding> commands_;
+    std::size_t hostModules_ = 0;
+};
+
+/** One design rule. Implementations are stateless and reusable. */
+class Rule {
+  public:
+    virtual ~Rule() = default;
+
+    /** Stable identifier, e.g. "CDC-001". */
+    virtual const char *id() const = 0;
+
+    /** One-line description for the rule table. */
+    virtual const char *description() const = 0;
+
+    /** Paper section the rule is grounded in, e.g. "§3.3.1". */
+    virtual const char *paperRef() const = 0;
+
+    /** Evaluate against @p ctx, appending findings to @p out. */
+    virtual void check(const DrcContext &ctx, DrcReport &out) const = 0;
+};
+
+} // namespace drc
+} // namespace harmonia
+
+#endif // HARMONIA_DRC_RULE_H_

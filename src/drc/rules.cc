@@ -1,0 +1,783 @@
+/**
+ * @file
+ * The concrete design rules. Each rule is grounded in a paper
+ * mechanism: the parameterized CDC and uniform wrappers of §3.3.1,
+ * the vendor adapter's rigid inspection of §3.2, hierarchical
+ * tailoring of §3.3.2, the command-based interface of §3.3.3 and the
+ * CAD-flow budget/timing model of §4. Rules only read the DrcContext;
+ * nothing here touches the simulator.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "adapter/toolchain.h"
+#include "common/logging.h"
+#include "drc/checker.h"
+#include "drc/rule.h"
+
+namespace harmonia {
+namespace drc {
+
+namespace {
+
+bool
+sameClock(const PlannedLink &l)
+{
+    return std::abs(l.sourceMhz - l.sinkMhz) < 1e-9;
+}
+
+// --- CDC coverage (§3.3.1, Figure 6). ---
+
+class CdcAsyncFifoRule : public Rule {
+  public:
+    const char *id() const override { return "CDC-001"; }
+    const char *description() const override
+    {
+        return "cross-clock links must pass through an async FIFO";
+    }
+    const char *paperRef() const override { return "§3.3.1"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const PlannedLink &l : ctx.links()) {
+            if (sameClock(l) || l.viaAsyncFifo)
+                continue;
+            out.add({id(), Severity::Error, l.path,
+                     format("direct crossing from %.3f MHz into "
+                            "%.3f MHz without an async FIFO",
+                            l.sourceMhz, l.sinkMhz),
+                     "route the link through a ParamCdc (Gray-coded "
+                     "async FIFO)"});
+        }
+    }
+};
+
+class CdcSyncStagesRule : public Rule {
+  public:
+    const char *id() const override { return "CDC-002"; }
+    const char *description() const override
+    {
+        return "async FIFOs need >= 2 Gray synchronizer stages";
+    }
+    const char *paperRef() const override { return "§3.3.1"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const PlannedLink &l : ctx.links()) {
+            if (!l.viaAsyncFifo || l.syncStages >= kMinSyncStages)
+                continue;
+            out.add({id(), Severity::Error, l.path,
+                     format("async FIFO with %u Gray sync stage(s); "
+                            "metastability needs at least %u",
+                            l.syncStages, kMinSyncStages),
+                     format("raise sync_stages to %u",
+                            kMinSyncStages)});
+        }
+    }
+};
+
+class CdcShortcutRule : public Rule {
+  public:
+    const char *id() const override { return "CDC-003"; }
+    const char *description() const override
+    {
+        return "same-domain shortcuts silently break under retuning";
+    }
+    const char *paperRef() const override { return "§3.3.1"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const PlannedLink &l : ctx.links()) {
+            if (!sameClock(l) || l.viaAsyncFifo)
+                continue;
+            out.add({id(), Severity::Warning, l.path,
+                     format("direct same-domain connection at %.3f "
+                            "MHz; retuning either clock turns it "
+                            "into an unsynchronized crossing",
+                            l.sourceMhz),
+                     "keep the async FIFO even when both domains "
+                     "currently share a clock"});
+        }
+    }
+};
+
+// --- Protocol compatibility (§3.2, uniform interface format). ---
+
+class ProtocolWrapperRule : public Rule {
+  public:
+    const char *id() const override { return "PROTO-001"; }
+    const char *description() const override
+    {
+        return "protocol changes on a link require a wrapper";
+    }
+    const char *paperRef() const override { return "§3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const PlannedLink &l : ctx.links()) {
+            if (l.source == l.sink || l.viaWrapper)
+                continue;
+            out.add({id(), Severity::Error, l.path,
+                     format("%s source bound directly to %s sink",
+                            toString(l.source), toString(l.sink)),
+                     "insert the uniform interface wrapper between "
+                     "the instance and the role"});
+        }
+    }
+};
+
+class WidthRatioRule : public Rule {
+  public:
+    const char *id() const override { return "PROTO-002"; }
+    const char *description() const override
+    {
+        return "width-conversion ratios must be integral";
+    }
+    const char *paperRef() const override { return "§3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const PlannedLink &l : ctx.links()) {
+            if (l.sourceWidthBits == 0 || l.sinkWidthBits == 0)
+                continue;
+            const unsigned wide =
+                std::max(l.sourceWidthBits, l.sinkWidthBits);
+            const unsigned narrow =
+                std::min(l.sourceWidthBits, l.sinkWidthBits);
+            if (wide % narrow == 0)
+                continue;
+            out.add({id(), Severity::Error, l.path,
+                     format("width conversion %u -> %u bits is not "
+                            "an integral ratio",
+                            l.sourceWidthBits, l.sinkWidthBits),
+                     "pick datapath widths with an integral wide/"
+                     "narrow ratio so the converter stays lossless"});
+        }
+    }
+};
+
+// --- Peripheral availability (§2.2, §3.3.2). ---
+
+class NetworkCageRule : public Rule {
+  public:
+    const char *id() const override { return "PERI-001"; }
+    const char *description() const override
+    {
+        return "network instances must map onto real cages at "
+               "supported rates";
+    }
+    const char *paperRef() const override { return "§2.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const FpgaDevice &dev = ctx.device();
+        const ShellConfig &cfg = ctx.config();
+        std::vector<PeripheralKind> cages;
+        for (const Peripheral &p : dev.peripherals)
+            if (classOf(p.kind) == PeripheralClass::Network)
+                for (unsigned c = 0; c < p.count; ++c)
+                    cages.push_back(p.kind);
+
+        if (cfg.networks.size() > cages.size()) {
+            out.add({id(), Severity::Error, ctx.path("net"),
+                     format("%zu network RBB(s) configured but "
+                            "device '%s' has %zu cage(s)",
+                            cfg.networks.size(), dev.name.c_str(),
+                            cages.size()),
+                     "drop network instances or target a board with "
+                     "more cages"});
+            return;
+        }
+        const auto rates = supportedMacRates();
+        for (std::size_t i = 0; i < cfg.networks.size(); ++i) {
+            const unsigned gbps = cfg.networks[i].gbps;
+            if (std::find(rates.begin(), rates.end(), gbps) ==
+                rates.end()) {
+                out.add({id(), Severity::Error,
+                         ctx.path(format("net%zu", i)),
+                         format("no MAC instance model for %uG",
+                                gbps),
+                         "use a supported line rate (25/100/400G)"});
+                continue;
+            }
+            if (gbps > cageGbps(cages[i]))
+                out.add({id(), Severity::Error,
+                         ctx.path(format("net%zu", i)),
+                         format("%uG MAC exceeds the %s cage rate "
+                                "(%uG)",
+                                gbps, toString(cages[i]),
+                                cageGbps(cages[i])),
+                         "lower the instance rate to the cage rate"});
+        }
+    }
+};
+
+class MemoryAvailabilityRule : public Rule {
+  public:
+    const char *id() const override { return "PERI-002"; }
+    const char *description() const override
+    {
+        return "memory instances need the matching on-board "
+               "peripheral and channel budget";
+    }
+    const char *paperRef() const override { return "§2.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const FpgaDevice &dev = ctx.device();
+        const ShellConfig &cfg = ctx.config();
+        std::map<PeripheralKind, unsigned> placed;
+        for (std::size_t i = 0; i < cfg.memories.size(); ++i) {
+            const MemoryInstanceCfg &m = cfg.memories[i];
+            const std::string p = ctx.path(format("mem%zu", i));
+            if (classOf(m.kind) != PeripheralClass::Memory) {
+                out.add({id(), Severity::Error, p,
+                         format("%s is not a memory peripheral",
+                                toString(m.kind)),
+                         "use DDR3/DDR4/HBM in memory instances"});
+                continue;
+            }
+            if (!dev.has(m.kind)) {
+                out.add({id(), Severity::Error, p,
+                         format("%s instance but device '%s' has no "
+                                "%s peripheral",
+                                toString(m.kind), dev.name.c_str(),
+                                toString(m.kind)),
+                         "select a memory kind the board carries or "
+                         "migrate to a board that has it"});
+                continue;
+            }
+            unsigned attachments = 0;
+            unsigned channels = 0;
+            for (const Peripheral &per : dev.peripherals) {
+                if (per.kind != m.kind)
+                    continue;
+                attachments += per.count;
+                channels += per.channels();
+            }
+            if (++placed[m.kind] > attachments)
+                out.add({id(), Severity::Error, p,
+                         format("instance %u of %s but the board "
+                                "only has %u attachment(s)",
+                                placed[m.kind], toString(m.kind),
+                                attachments),
+                         "merge instances or reduce their count"});
+            if (m.channels == 0 || m.channels > channels)
+                out.add({id(), Severity::Error, p,
+                         format("%u channel(s) requested; %s on "
+                                "'%s' exposes %u",
+                                m.channels, toString(m.kind),
+                                dev.name.c_str(), channels),
+                         "clamp the channel count to what the "
+                         "peripheral exposes"});
+        }
+    }
+};
+
+class HostAvailabilityRule : public Rule {
+  public:
+    const char *id() const override { return "PERI-003"; }
+    const char *description() const override
+    {
+        return "the host RBB needs a PCIe endpoint and a sane queue "
+               "count";
+    }
+    const char *paperRef() const override { return "§2.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const ShellConfig &cfg = ctx.config();
+        if (!cfg.includeHost)
+            return;
+        if (ctx.device().byClass(PeripheralClass::Host).empty())
+            out.add({id(), Severity::Error, ctx.path("host0"),
+                     format("host RBB configured but device '%s' "
+                            "has no PCIe endpoint",
+                            ctx.device().name.c_str()),
+                     "drop the host RBB or target a PCIe-attached "
+                     "board"});
+        if (cfg.hostQueues == 0 || cfg.hostQueues > 1024)
+            out.add({id(), Severity::Error, ctx.path("host0"),
+                     format("%u host queues outside the platform "
+                            "contract (1..1024)",
+                            cfg.hostQueues),
+                     "configure between 1 and 1024 queues"});
+    }
+};
+
+// --- Resource budget and headroom (§4, Figure 16). ---
+
+class ResourceFitRule : public Rule {
+  public:
+    const char *id() const override { return "RES-001"; }
+    const char *description() const override
+    {
+        return "planned logic must fit the chip budget";
+    }
+    const char *paperRef() const override { return "§4"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const ResourceVector total = ctx.plannedTotal();
+        const ResourceVector &budget = ctx.device().chip().budget;
+        if (total.fitsIn(budget))
+            return;
+        out.add({id(), Severity::Error, ctx.shellName(),
+                 format("planned design %s exceeds %s budget %s",
+                        total.toString().c_str(),
+                        ctx.device().chipName.c_str(),
+                        budget.toString().c_str()),
+                 "shrink the role logic or tailor away unused "
+                 "RBBs"});
+    }
+};
+
+class TimingWallRule : public Rule {
+  public:
+    const char *id() const override { return "RES-002"; }
+    const char *description() const override
+    {
+        return "utilization at the timing wall cannot close";
+    }
+    const char *paperRef() const override { return "§4"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const ResourceVector total = ctx.plannedTotal();
+        const ResourceVector &budget = ctx.device().chip().budget;
+        if (!total.fitsIn(budget))
+            return;  // RES-001 already fired
+        const double util = total.maxUtilization(budget);
+        if (util < Toolchain::kTimingWall)
+            return;
+        out.add({id(), Severity::Error, ctx.shellName(),
+                 format("max utilization %.1f%% is past the timing "
+                        "wall (%.0f%%); closure would fail",
+                        util * 100, Toolchain::kTimingWall * 100),
+                 "free resources until utilization drops below the "
+                 "wall"});
+    }
+};
+
+class HeadroomRule : public Rule {
+  public:
+    const char *id() const override { return "RES-003"; }
+    const char *description() const override
+    {
+        return "per-class utilization headroom below 75%";
+    }
+    const char *paperRef() const override { return "§4"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        static const char *kClasses[] = {"lut", "reg", "bram", "uram",
+                                         "dsp"};
+        const ResourceVector total = ctx.plannedTotal();
+        const ResourceVector &budget = ctx.device().chip().budget;
+        for (const char *klass : kClasses) {
+            if (resourceClass(budget, klass) == 0)
+                continue;
+            const double util = total.utilization(klass, budget);
+            if (util < kUtilizationHeadroom ||
+                util >= Toolchain::kTimingWall)
+                continue;
+            out.add({id(), Severity::Warning, ctx.shellName(),
+                     format("%s utilization %.1f%% leaves little "
+                            "headroom for role growth",
+                            klass, util * 100),
+                     "plan a migration target or trim the role "
+                     "before the class saturates"});
+        }
+    }
+};
+
+// --- Vendor dependency inspection (§3.2). ---
+
+class VendorDependencyRule : public Rule {
+  public:
+    const char *id() const override { return "VEND-001"; }
+    const char *description() const override
+    {
+        return "module dependencies must match the environment";
+    }
+    const char *paperRef() const override { return "§3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const DependencyIssue &i :
+             ctx.environment().inspect(ctx.modules())) {
+            if (i.kind == DependencyIssue::Kind::DeadProvide)
+                continue;
+            out.add({id(), Severity::Error, ctx.path(i.module),
+                     i.toString(),
+                     "provision the build host with the versions "
+                     "the module declares"});
+        }
+    }
+};
+
+class DeadProvideRule : public Rule {
+  public:
+    const char *id() const override { return "VEND-002"; }
+    const char *description() const override
+    {
+        return "environment provides nothing consumes (drift "
+               "signal)";
+    }
+    const char *paperRef() const override { return "§3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const DependencyIssue &i :
+             ctx.environment().inspect(ctx.modules())) {
+            if (i.kind != DependencyIssue::Kind::DeadProvide)
+                continue;
+            out.add({id(), Severity::Info, ctx.shellName(),
+                     i.toString(),
+                     "prune the stale provide from the deployment "
+                     "description"});
+        }
+    }
+};
+
+// --- Tailoring consistency (§3.3.2, Figure 7). ---
+
+class NetworkDemandRule : public Rule {
+  public:
+    const char *id() const override { return "TLR-001"; }
+    const char *description() const override
+    {
+        return "network demands must be satisfiable by the board";
+    }
+    const char *paperRef() const override { return "§3.3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const RoleRequirements *role = ctx.role();
+        if (role == nullptr || !role->needsNetwork)
+            return;
+        if (role->networkPorts == 0) {
+            out.add({id(), Severity::Warning, ctx.shellName(),
+                     format("role '%s' declares a network need for "
+                            "0 ports; the capability tailors away",
+                            role->name.c_str()),
+                     "either demand at least one port or clear "
+                     "needsNetwork"});
+            return;
+        }
+        unsigned usable = 0;
+        for (const Peripheral &p : ctx.device().peripherals)
+            if (classOf(p.kind) == PeripheralClass::Network &&
+                cageGbps(p.kind) >= role->networkGbps)
+                usable += p.count;
+        if (usable >= role->networkPorts)
+            return;
+        out.add({id(), Severity::Error, ctx.shellName(),
+                 format("role '%s' needs %u port(s) at %uG; device "
+                        "'%s' can provide %u",
+                        role->name.c_str(), role->networkPorts,
+                        role->networkGbps,
+                        ctx.device().name.c_str(), usable),
+                 "migrate the role to a board with enough cages at "
+                 "the demanded rate"});
+    }
+};
+
+class HostQueueDemandRule : public Rule {
+  public:
+    const char *id() const override { return "TLR-002"; }
+    const char *description() const override
+    {
+        return "role host-queue demand within 1..1024";
+    }
+    const char *paperRef() const override { return "§3.3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const RoleRequirements *role = ctx.role();
+        if (role == nullptr || !role->needsHost)
+            return;
+        if (role->hostQueues >= 1 && role->hostQueues <= 1024)
+            return;
+        out.add({id(), Severity::Error, ctx.shellName(),
+                 format("role '%s' requests %u host queues (allowed "
+                        "1..1024)",
+                        role->name.c_str(), role->hostQueues),
+                 "partition the workload across queues within the "
+                 "limit"});
+    }
+};
+
+class MemoryDemandRule : public Rule {
+  public:
+    const char *id() const override { return "TLR-003"; }
+    const char *description() const override
+    {
+        return "memory bandwidth demand satisfiable by the board";
+    }
+    const char *paperRef() const override { return "§3.3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const RoleRequirements *role = ctx.role();
+        if (role == nullptr || !role->needsMemory)
+            return;
+        const FpgaDevice &dev = ctx.device();
+        const bool has_hbm = dev.has(PeripheralKind::Hbm);
+        double ddr_bw = 0;
+        bool has_ddr = false;
+        for (const Peripheral &p : dev.peripherals) {
+            if (p.kind == PeripheralKind::Ddr4 ||
+                p.kind == PeripheralKind::Ddr3) {
+                has_ddr = true;
+                ddr_bw += p.peakBandwidth();
+            }
+        }
+        const double need_bps = role->memoryBandwidthGBps * 1e9;
+        if (has_hbm || (has_ddr && ddr_bw >= need_bps))
+            return;
+        if (has_ddr)
+            out.add({id(), Severity::Error, ctx.shellName(),
+                     format("role '%s' needs %.1f GB/s; device '%s' "
+                            "DDR peaks at %.1f GB/s",
+                            role->name.c_str(),
+                            role->memoryBandwidthGBps,
+                            dev.name.c_str(), ddr_bw / 1e9),
+                     "migrate to an HBM-bearing board"});
+        else
+            out.add({id(), Severity::Error, ctx.shellName(),
+                     format("role '%s' needs external memory; "
+                            "device '%s' has none",
+                            role->name.c_str(), dev.name.c_str()),
+                     "migrate to a board with DDR or HBM"});
+    }
+};
+
+class DmaStyleRule : public Rule {
+  public:
+    const char *id() const override { return "TLR-004"; }
+    const char *description() const override
+    {
+        return "DMA instance style should match the transfer "
+               "profile";
+    }
+    const char *paperRef() const override { return "§3.3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const RoleRequirements *role = ctx.role();
+        const ShellConfig &cfg = ctx.config();
+        if (role == nullptr || !role->needsHost || !cfg.includeHost ||
+            cfg.dmaStyle == role->dmaStyle)
+            return;
+        auto styleName = [](DmaStyle s) {
+            return s == DmaStyle::Bdma ? "BDMA (bulk)"
+                                       : "SGDMA (scatter/gather)";
+        };
+        out.add({id(), Severity::Warning, ctx.path("host0"),
+                 format("config selects %s but role '%s' profiles "
+                        "as %s",
+                        styleName(cfg.dmaStyle), role->name.c_str(),
+                        styleName(role->dmaStyle)),
+                 "re-tailor so the DMA instance matches the role's "
+                 "transfer profile"});
+    }
+};
+
+class RoleCoverageRule : public Rule {
+  public:
+    const char *id() const override { return "TLR-005"; }
+    const char *description() const override
+    {
+        return "the tailored config must cover every role demand";
+    }
+    const char *paperRef() const override { return "§3.3.2"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        const RoleRequirements *role = ctx.role();
+        if (role == nullptr)
+            return;
+        const ShellConfig &cfg = ctx.config();
+        if (role->needsNetwork && role->networkPorts > 0) {
+            unsigned covered = 0;
+            for (const NetworkInstanceCfg &n : cfg.networks)
+                if (n.gbps >= role->networkGbps)
+                    ++covered;
+            if (covered < role->networkPorts)
+                out.add({id(), Severity::Error, ctx.path("net"),
+                         format("config covers %u of the %u "
+                                "port(s) role '%s' demands at %uG",
+                                covered, role->networkPorts,
+                                role->name.c_str(),
+                                role->networkGbps),
+                         "add network instances at (or above) the "
+                         "demanded line rate"});
+        }
+        if (role->needsMemory && cfg.memories.empty())
+            out.add({id(), Severity::Error, ctx.path("mem"),
+                     format("role '%s' needs memory but the config "
+                            "tailored every memory RBB away",
+                            role->name.c_str()),
+                     "keep at least one memory RBB instance"});
+        if (role->needsHost && !cfg.includeHost)
+            out.add({id(), Severity::Error, ctx.path("host0"),
+                     format("role '%s' needs host access but the "
+                            "config drops the host RBB",
+                            role->name.c_str()),
+                     "keep the host RBB for this role"});
+        if (role->needsHost && cfg.includeHost &&
+            role->hostQueues >= 1 && role->hostQueues <= 1024 &&
+            cfg.hostQueues < role->hostQueues)
+            out.add({id(), Severity::Error, ctx.path("host0"),
+                     format("config provides %u host queue(s); role "
+                            "'%s' demands %u",
+                            cfg.hostQueues, role->name.c_str(),
+                            role->hostQueues),
+                     "raise the configured queue count to the "
+                     "demand"});
+    }
+};
+
+// --- Command-schema checks (§3.3.3, Figure 9). ---
+
+class CommandTargetRule : public Rule {
+  public:
+    const char *id() const override { return "CMD-001"; }
+    const char *description() const override
+    {
+        return "every planned command must resolve to a registered "
+               "target";
+    }
+    const char *paperRef() const override { return "§3.3.3"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const CommandBinding &b : ctx.commands()) {
+            bool resolved = false;
+            for (const PlannedTarget &t : ctx.targets()) {
+                if (t.rbbId == b.rbbId &&
+                    t.instanceId == b.instanceId) {
+                    resolved = true;
+                    break;
+                }
+            }
+            if (resolved)
+                continue;
+            out.add({id(), Severity::Error, b.path,
+                     format("command 0x%04x addresses rbb=%02x "
+                            "inst=%02x, which no module registers",
+                            b.commandCode, b.rbbId, b.instanceId),
+                     "fix the (RBB ID, Instance ID) address or add "
+                     "the missing module"});
+        }
+    }
+};
+
+class CommandPayloadRule : public Rule {
+  public:
+    const char *id() const override { return "CMD-002"; }
+    const char *description() const override
+    {
+        return "command payloads must fit the 12-word slot";
+    }
+    const char *paperRef() const override { return "§3.3.3"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        for (const CommandBinding &b : ctx.commands()) {
+            if (b.payloadWords <= kMaxCommandPayloadWords)
+                continue;
+            out.add({id(), Severity::Error, b.path,
+                     format("command 0x%04x carries %u data words; "
+                            "a 64-byte control slot fits %u",
+                            b.commandCode, b.payloadWords,
+                            kMaxCommandPayloadWords),
+                     "split the payload across multiple commands"});
+        }
+    }
+};
+
+class DuplicateTargetRule : public Rule {
+  public:
+    const char *id() const override { return "CMD-003"; }
+    const char *description() const override
+    {
+        return "no two modules may claim one (RBB, instance) "
+               "address";
+    }
+    const char *paperRef() const override { return "§3.3.3"; }
+
+    void check(const DrcContext &ctx, DrcReport &out) const override
+    {
+        std::set<std::pair<std::uint8_t, std::uint8_t>> seen;
+        for (const PlannedTarget &t : ctx.targets()) {
+            if (seen.insert({t.rbbId, t.instanceId}).second)
+                continue;
+            out.add({id(), Severity::Error, t.path,
+                     format("rbb=%02x inst=%02x registered more "
+                            "than once; routing would be ambiguous",
+                            t.rbbId, t.instanceId),
+                     "give each module a unique instance id"});
+        }
+    }
+};
+
+std::vector<std::unique_ptr<Rule>>
+makeStandardRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<CdcAsyncFifoRule>());
+    rules.push_back(std::make_unique<CdcSyncStagesRule>());
+    rules.push_back(std::make_unique<CdcShortcutRule>());
+    rules.push_back(std::make_unique<ProtocolWrapperRule>());
+    rules.push_back(std::make_unique<WidthRatioRule>());
+    rules.push_back(std::make_unique<NetworkCageRule>());
+    rules.push_back(std::make_unique<MemoryAvailabilityRule>());
+    rules.push_back(std::make_unique<HostAvailabilityRule>());
+    rules.push_back(std::make_unique<ResourceFitRule>());
+    rules.push_back(std::make_unique<TimingWallRule>());
+    rules.push_back(std::make_unique<HeadroomRule>());
+    rules.push_back(std::make_unique<VendorDependencyRule>());
+    rules.push_back(std::make_unique<DeadProvideRule>());
+    rules.push_back(std::make_unique<NetworkDemandRule>());
+    rules.push_back(std::make_unique<HostQueueDemandRule>());
+    rules.push_back(std::make_unique<MemoryDemandRule>());
+    rules.push_back(std::make_unique<DmaStyleRule>());
+    rules.push_back(std::make_unique<RoleCoverageRule>());
+    rules.push_back(std::make_unique<CommandTargetRule>());
+    rules.push_back(std::make_unique<CommandPayloadRule>());
+    rules.push_back(std::make_unique<DuplicateTargetRule>());
+    return rules;
+}
+
+} // namespace
+
+const std::vector<const Rule *> &
+standardRules()
+{
+    static const std::vector<std::unique_ptr<Rule>> owned =
+        makeStandardRules();
+    static const std::vector<const Rule *> views = [] {
+        std::vector<const Rule *> v;
+        for (const auto &r : owned)
+            v.push_back(r.get());
+        return v;
+    }();
+    return views;
+}
+
+std::vector<RuleInfo>
+ruleTable()
+{
+    std::vector<RuleInfo> table;
+    for (const Rule *r : standardRules())
+        table.push_back({r->id(), r->description(), r->paperRef()});
+    return table;
+}
+
+} // namespace drc
+} // namespace harmonia

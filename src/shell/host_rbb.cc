@@ -4,6 +4,20 @@
 
 namespace harmonia {
 
+namespace {
+// Multi-queue isolation state + scheduler soft logic.
+const ResourceVector kExResources{6800, 8200, 52, 0, 0};
+// Reusable control + monitoring logic.
+const ResourceVector kCmResources{2400, 3300, 4, 0, 0};
+} // namespace
+
+ResourceVector
+HostRbb::plannedSoftLogic()
+{
+    return kExResources + kCmResources +
+           StreamWrapper::plannedResources();
+}
+
 HostRbb::HostRbb(Engine &engine, Clock *rbb_clk, Vendor chip_vendor,
                  unsigned pcie_gen, unsigned lanes, unsigned num_queues,
                  std::uint8_t instance_id, DmaEngineStyle style)
@@ -20,9 +34,8 @@ HostRbb::HostRbb(Engine &engine, Clock *rbb_clk, Vendor chip_vendor,
 
     defineCtrlRegs();
 
-    // Multi-queue isolation state + scheduler soft logic.
-    setExResources({6800, 8200, 52, 0, 0});
-    setCmResources({2400, 3300, 4, 0, 0});
+    setExResources(kExResources);
+    setCmResources(kCmResources);
     setReusableWeights(12240, 1500, 920);
 
     engine.add(this, rbb_clk);

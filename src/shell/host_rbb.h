@@ -31,6 +31,10 @@ class HostRbb : public Rbb {
     /** Paper: "1K DMA queues to isolate transmitted data". */
     static constexpr unsigned kDefaultQueues = 1024;
 
+    /** Ex-function + control/monitor + wrapper soft logic one
+     *  instance adds, available before construction (DRC). */
+    static ResourceVector plannedSoftLogic();
+
     HostRbb(Engine &engine, Clock *rbb_clk, Vendor chip_vendor,
             unsigned pcie_gen, unsigned lanes,
             unsigned num_queues = kDefaultQueues,

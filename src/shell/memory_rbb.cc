@@ -5,6 +5,20 @@
 
 namespace harmonia {
 
+namespace {
+// Address interleaver + hot cache (BRAM-heavy) soft logic.
+const ResourceVector kExResources{5200, 6400, 64, 0, 0};
+// Reusable control + monitoring logic.
+const ResourceVector kCmResources{1900, 2600, 2, 0, 0};
+} // namespace
+
+ResourceVector
+MemoryRbb::plannedSoftLogic()
+{
+    return kExResources + kCmResources +
+           MemMapWrapper::plannedResources();
+}
+
 MemoryRbb::MemoryRbb(Engine &engine, Clock *rbb_clk, Vendor chip_vendor,
                      PeripheralKind kind, unsigned channels,
                      std::uint8_t instance_id)
@@ -17,9 +31,8 @@ MemoryRbb::MemoryRbb(Engine &engine, Clock *rbb_clk, Vendor chip_vendor,
 {
     defineCtrlRegs();
 
-    // Address interleaver + hot cache (BRAM-heavy) soft logic.
-    setExResources({5200, 6400, 64, 0, 0});
-    setCmResources({1900, 2600, 2, 0, 0});
+    setExResources(kExResources);
+    setCmResources(kCmResources);
     setReusableWeights(6240, 750, 450);
 
     engine.add(this, rbb_clk);

@@ -34,6 +34,10 @@ class MemoryRbb : public Rbb {
     /** Interleave stripe across channels. */
     static constexpr std::uint32_t kStripeBytes = 256;
 
+    /** Ex-function + control/monitor + wrapper soft logic one
+     *  instance adds, available before construction (DRC). */
+    static ResourceVector plannedSoftLogic();
+
     MemoryRbb(Engine &engine, Clock *rbb_clk, Vendor chip_vendor,
               PeripheralKind kind, unsigned channels,
               std::uint8_t instance_id = 0);

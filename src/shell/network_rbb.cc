@@ -5,6 +5,20 @@
 
 namespace harmonia {
 
+namespace {
+// Packet filter + flow director soft logic.
+const ResourceVector kExResources{4200, 5600, 12, 0, 0};
+// Reusable control + monitoring logic.
+const ResourceVector kCmResources{2100, 3000, 2, 0, 0};
+} // namespace
+
+ResourceVector
+NetworkRbb::plannedSoftLogic()
+{
+    return kExResources + kCmResources +
+           StreamWrapper::plannedResources();
+}
+
 NetworkRbb::NetworkRbb(Engine &engine, Clock *rbb_clk,
                        Vendor chip_vendor, unsigned gbps,
                        std::uint8_t instance_id)
@@ -17,10 +31,8 @@ NetworkRbb::NetworkRbb(Engine &engine, Clock *rbb_clk,
 {
     defineCtrlRegs();
 
-    // Packet filter + flow director soft logic.
-    setExResources({4200, 5600, 12, 0, 0});
-    // Reusable control + monitoring logic.
-    setCmResources({2100, 3000, 2, 0, 0});
+    setExResources(kExResources);
+    setCmResources(kCmResources);
     // Workload calibration: see shell/workload_model.cc.
     setReusableWeights(3540, 470, 300);
 

@@ -37,6 +37,10 @@ class NetworkRbb : public Rbb {
     /** Programmable flow-table entries. */
     static constexpr std::size_t kFlowTableSize = 256;
 
+    /** Ex-function + control/monitor + wrapper soft logic one
+     *  instance adds, available before construction (DRC). */
+    static ResourceVector plannedSoftLogic();
+
     NetworkRbb(Engine &engine, Clock *rbb_clk, Vendor chip_vendor,
                unsigned gbps, std::uint8_t instance_id = 0);
 

@@ -3,8 +3,25 @@
 #include <map>
 
 #include "common/logging.h"
+#include "drc/checker.h"
 
 namespace harmonia {
+
+namespace {
+bool g_strictDrc = false;
+} // namespace
+
+void
+Shell::setStrictDrc(bool on)
+{
+    g_strictDrc = on;
+}
+
+bool
+Shell::strictDrc()
+{
+    return g_strictDrc;
+}
 
 Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
              std::string name)
@@ -12,6 +29,17 @@ Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
       name_(std::move(name)), adapter_(device),
       kernel_(name_ + ".uck"), health_(name_ + ".health", irqs_)
 {
+    if (g_strictDrc) {
+        const drc::DrcReport report =
+            drc::check(device_, config_, nullptr, name_);
+        if (!report.clean())
+            fatal("shell '%s': strict DRC found %zu error(s); "
+                  "first: %s %s",
+                  name_.c_str(), report.errorCount(),
+                  report.firstError().ruleId.c_str(),
+                  report.firstError().message.c_str());
+    }
+
     const Vendor chip_vendor = device_.chip().vendor();
 
     // Clocks for the role and the soft core.
@@ -307,6 +335,7 @@ Shell::compileJob(const std::string &project,
     }
     job.shellLogic = soft;
     job.roleLogic = role_logic;
+    job.shellConfig = &config_;
     return job;
 }
 

@@ -122,9 +122,21 @@ class Shell {
     /** Shell development workload (LoC-equivalents) over all RBBs. */
     DevWorkload devWorkload() const;
 
-    /** Compile job for this shell plus a role. */
+    /** Compile job for this shell plus a role. The job carries this
+     *  shell's configuration so Toolchain::compile runs the platform
+     *  DRC before the flow starts. */
     CompileJob compileJob(const std::string &project,
                           const ResourceVector &role_logic) const;
+
+    /**
+     * Strict DRC mode: when on, every Shell constructor runs
+     * drc::check over the requested configuration and fatal()s if the
+     * report is not clean. Off by default so experiments can build
+     * deliberately odd shells; CI turns it on to assert that shipped
+     * configurations stay lint-free.
+     */
+    static void setStrictDrc(bool on);
+    static bool strictDrc();
 
   private:
     Engine &engine_;

@@ -8,9 +8,6 @@
 
 namespace harmonia {
 
-namespace {
-
-/** Escape for a JSON string literal (names are ASCII identifiers). */
 std::string
 jsonEscape(const std::string &s)
 {
@@ -27,6 +24,8 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
+
+namespace {
 
 /** Prometheus metric-name charset: [a-zA-Z0-9_:]. */
 std::string

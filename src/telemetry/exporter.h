@@ -37,6 +37,13 @@ std::string toMetricsText(const std::vector<MetricSample> &samples);
 std::string
 toMetricsJsonLines(const std::vector<MetricSample> &samples);
 
+/**
+ * Escape @p s for embedding in a JSON string literal (quotes,
+ * backslashes, control characters). Shared by every JSON-producing
+ * renderer in the tree.
+ */
+std::string jsonEscape(const std::string &s);
+
 /** Write @p content to @p path; warn() and return false on failure. */
 bool writeTextFile(const std::string &path, const std::string &content);
 

@@ -17,7 +17,14 @@ MemMapWrapper::MemMapWrapper(std::string name, MemoryIp &memory)
     : Component(std::move(name)), memory_(memory),
       accessLat_(kLatBucketPs, kLatBuckets), stats_(this->name())
 {
-    resources_ = ResourceVector{2100, 2900, 4, 0, 0};
+    // Command/response reorder + burst alignment soft logic.
+    resources_ = plannedResources();
+}
+
+ResourceVector
+MemMapWrapper::plannedResources()
+{
+    return ResourceVector{2100, 2900, 4, 0, 0};
 }
 
 void

@@ -59,6 +59,9 @@ class MemMapWrapper : public Component {
     toAvalonBursts(const UniformMemCommand &cmd) const;
 
     const ResourceVector &resources() const { return resources_; }
+
+    /** Footprint one instance will occupy, for static planning. */
+    static ResourceVector plannedResources();
     StatGroup &stats() { return stats_; }
 
     /** Issue-to-completion latency through controller + wrapper. */

@@ -18,7 +18,13 @@ StreamWrapper::StreamWrapper(std::string name)
       egressLat_(kLatBucketPs, kLatBuckets), stats_(this->name())
 {
     // Translation pipeline + sideband FIFO soft logic.
-    resources_ = ResourceVector{1750, 2400, 4, 0, 0};
+    resources_ = plannedResources();
+}
+
+ResourceVector
+StreamWrapper::plannedResources()
+{
+    return ResourceVector{1750, 2400, 4, 0, 0};
 }
 
 void

@@ -52,6 +52,9 @@ class StreamWrapper : public Component {
     /** Wrapper soft-logic footprint (Fig 16: well under 0.37%). */
     const ResourceVector &resources() const { return resources_; }
 
+    /** Footprint one instance will occupy, for static planning. */
+    static ResourceVector plannedResources();
+
     StatGroup &stats() { return stats_; }
 
     /** Per-packet residence time through each direction, in ps. */

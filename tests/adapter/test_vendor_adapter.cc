@@ -68,6 +68,53 @@ TEST(VendorAdapter, IssueToStringIsActionable)
               std::string::npos);
 }
 
+TEST(VendorAdapter, DeadProvidesAreVisibleButNotBlocking)
+{
+    VendorAdapter env(Vendor::Xilinx);
+    env.provide("cad_tool", "vivado-2023.2");
+    env.provide("ip:cmac_usplus", "3.1");
+    env.provide("gt_type", "GTY");
+    env.provide("ip:retired_widget", "0.1");  // nothing wants this
+    XilinxCmac mac(100);
+
+    // compatible() semantics are unchanged by the dead provide.
+    EXPECT_TRUE(env.compatible({&mac}));
+
+    const auto issues = env.inspect({&mac});
+    std::size_t dead = 0;
+    for (const auto &i : issues) {
+        if (i.kind != DependencyIssue::Kind::DeadProvide)
+            continue;
+        ++dead;
+        EXPECT_FALSE(i.blocking());
+        EXPECT_EQ(i.key, "ip:retired_widget");
+        EXPECT_NE(i.toString().find("no module consumes"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(dead, 1u);
+}
+
+TEST(VendorAdapter, IssueKindsClassifyInspectionFindings)
+{
+    VendorAdapter env(Vendor::Xilinx);
+    env.provide("cad_tool", "vivado-2021.1");  // stale
+    XilinxCmac mac(100);
+    bool saw_missing = false, saw_mismatch = false;
+    for (const auto &i : env.inspect({&mac})) {
+        if (i.kind == DependencyIssue::Kind::Missing) {
+            saw_missing = true;
+            EXPECT_TRUE(i.blocking());
+        }
+        if (i.kind == DependencyIssue::Kind::Mismatch) {
+            saw_mismatch = true;
+            EXPECT_TRUE(i.blocking());
+        }
+    }
+    EXPECT_TRUE(saw_missing);
+    EXPECT_TRUE(saw_mismatch);
+    EXPECT_FALSE(env.compatible({&mac}));
+}
+
 TEST(VendorAdapter, DeviceEnvironmentPinsPcieHardIp)
 {
     const auto &db = DeviceDatabase::instance();

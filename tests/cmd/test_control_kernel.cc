@@ -166,6 +166,62 @@ TEST(ControlKernel, GarbageBufferFlushed)
     EXPECT_FALSE(b.kernel.hasResponse());
 }
 
+TEST(ControlKernel, MalformedPacketStatsAreDistinct)
+{
+    KernelBench b;
+    CommandPacket cmd;
+    cmd.rbbId = kRbbNetwork;
+
+    // A corrupted packet: exactly one decode_bad_checksum.
+    auto corrupt = cmd.encode();
+    corrupt[10] ^= 0x55;
+    ASSERT_TRUE(b.kernel.submitBytes(corrupt));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] { return b.kernel.hasResponse(); }, 10'000'000));
+    EXPECT_EQ(b.kernel.popResponse().status, kCmdChecksumError);
+    EXPECT_EQ(b.kernel.stats().value("decode_bad_checksum"), 1u);
+    EXPECT_EQ(b.kernel.stats().value("decode_truncated"), 0u);
+
+    // A stalled partial packet: one decode_truncated per buffer
+    // state, no matter how many ticks stare at it.
+    const auto bytes = cmd.encode();
+    const std::vector<std::uint8_t> head(bytes.begin(),
+                                         bytes.begin() + 6);
+    const std::vector<std::uint8_t> tail(bytes.begin() + 6,
+                                         bytes.end());
+    ASSERT_TRUE(b.kernel.submitBytes(head));
+    b.engine.runFor(5'000'000);
+    EXPECT_EQ(b.kernel.stats().value("decode_truncated"), 1u);
+    b.engine.runFor(5'000'000);
+    EXPECT_EQ(b.kernel.stats().value("decode_truncated"), 1u);
+    ASSERT_TRUE(b.kernel.submitBytes(tail));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] { return b.kernel.hasResponse(); }, 10'000'000));
+    EXPECT_EQ(b.kernel.popResponse().status, kCmdOk);
+    EXPECT_EQ(b.kernel.stats().value("decode_truncated"), 1u);
+
+    // An executed-but-unknown command code: exactly one unknown_code.
+    CommandPacket odd;
+    odd.rbbId = kRbbSystem;
+    odd.commandCode = 0x0fff;
+    EXPECT_EQ(b.roundTrip(odd).status, kCmdUnknownCode);
+    EXPECT_EQ(b.kernel.stats().value("unknown_code"), 1u);
+    EXPECT_EQ(b.kernel.stats().value("decode_bad_checksum"), 1u);
+    EXPECT_EQ(b.kernel.stats().value("decode_truncated"), 1u);
+}
+
+TEST(ControlKernel, GarbageCountsItsDecodeErrorKind)
+{
+    KernelBench b;
+    ASSERT_TRUE(b.kernel.submitBytes({0xff, 0xff, 0xff, 0xff, 0xff,
+                                      0xff, 0xff, 0xff}));
+    b.engine.runFor(2'000'000);
+    EXPECT_EQ(b.kernel.stats().value("parse_errors"), 1u);
+    // The garbage's version nibble is bad, and the named stat says so.
+    EXPECT_EQ(b.kernel.stats().value("decode_bad_version"), 1u);
+    EXPECT_EQ(b.kernel.stats().value("decode_bad_checksum"), 0u);
+}
+
 TEST(ControlKernel, BufferOverflowRejected)
 {
     Engine engine;

@@ -1,0 +1,589 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adapter/toolchain.h"
+#include "cmd/command.h"
+#include "common/logging.h"
+#include "drc/checker.h"
+#include "drc/render.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+#include "shell/unified_shell.h"
+#include "sim/engine.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+device(const char *name)
+{
+    return DeviceDatabase::instance().byName(name);
+}
+
+/** No RBBs at all: isolates link/command overrides from derivation. */
+ShellConfig
+minimalConfig()
+{
+    ShellConfig cfg;
+    cfg.includeHost = false;
+    return cfg;
+}
+
+drc::DrcInput
+minimalInput()
+{
+    drc::DrcInput in;
+    in.device = &device("DeviceA");
+    in.config = minimalConfig();
+    return in;
+}
+
+// --- Diagnostics and report plumbing. ---
+
+TEST(DrcReport, CountsAndLookups)
+{
+    drc::DrcReport report;
+    report.add({"CDC-001", drc::Severity::Error, "s/a", "m1", "h1"});
+    report.add({"RES-003", drc::Severity::Warning, "s/b", "m2", ""});
+    report.add({"VEND-002", drc::Severity::Info, "s", "m3", "h3"});
+
+    EXPECT_EQ(report.errorCount(), 1u);
+    EXPECT_EQ(report.count(drc::Severity::Warning), 1u);
+    EXPECT_EQ(report.count(drc::Severity::Info), 1u);
+    EXPECT_FALSE(report.clean());
+    EXPECT_TRUE(report.hasRule("RES-003"));
+    EXPECT_FALSE(report.hasRule("RES-001"));
+    EXPECT_EQ(report.byRule("VEND-002").size(), 1u);
+    EXPECT_EQ(report.firstError().ruleId, "CDC-001");
+    EXPECT_EQ(report.summary(),
+              "1 error(s), 1 warning(s), 1 info(s)");
+}
+
+TEST(DrcReport, FirstErrorOnCleanReportIsFatal)
+{
+    drc::DrcReport report;
+    EXPECT_TRUE(report.clean());
+    EXPECT_THROW(report.firstError(), FatalError);
+}
+
+TEST(DrcReport, DiagnosticToStringCarriesEverything)
+{
+    const drc::Diagnostic d{"CMD-002", drc::Severity::Error,
+                            "shell/host0", "too big", "split it"};
+    const std::string s = d.toString();
+    EXPECT_NE(s.find("ERROR"), std::string::npos);
+    EXPECT_NE(s.find("CMD-002"), std::string::npos);
+    EXPECT_NE(s.find("shell/host0"), std::string::npos);
+    EXPECT_NE(s.find("split it"), std::string::npos);
+}
+
+TEST(DrcRules, TableListsEveryRuleWithPaperRefs)
+{
+    const auto table = drc::ruleTable();
+    EXPECT_EQ(table.size(), drc::standardRules().size());
+    std::set<std::string> ids;
+    for (const drc::RuleInfo &r : table) {
+        ids.insert(r.id);
+        EXPECT_NE(std::string(r.paperRef).find("§"),
+                  std::string::npos)
+            << r.id;
+    }
+    EXPECT_EQ(ids.size(), table.size());  // ids are unique
+    EXPECT_GE(ids.size(), 8u);
+}
+
+// --- CDC coverage rules (§3.3.1). ---
+
+TEST(DrcRules, DirectCrossingWithoutFifoIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    drc::PlannedLink link;
+    link.path = "shell/net0";
+    link.sourceMhz = 402.832;
+    link.sinkMhz = 250.0;
+    link.viaAsyncFifo = false;
+    in.links = std::vector<drc::PlannedLink>{link};
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("CDC-001"));
+    EXPECT_EQ(report.byRule("CDC-001")[0].severity,
+              drc::Severity::Error);
+    EXPECT_EQ(report.byRule("CDC-001")[0].path, "shell/net0");
+}
+
+TEST(DrcRules, UnderSynchronizedFifoIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    drc::PlannedLink link;
+    link.path = "shell/mem0";
+    link.sourceMhz = 300.0;
+    link.sinkMhz = 250.0;
+    link.syncStages = 1;
+    in.links = std::vector<drc::PlannedLink>{link};
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("CDC-002"));
+    EXPECT_EQ(report.byRule("CDC-002")[0].severity,
+              drc::Severity::Error);
+}
+
+TEST(DrcRules, SameDomainShortcutIsOnlyAWarning)
+{
+    drc::DrcInput in = minimalInput();
+    drc::PlannedLink link;
+    link.path = "shell/net0";
+    link.sourceMhz = 250.0;
+    link.sinkMhz = 250.0;
+    link.viaAsyncFifo = false;
+    in.links = std::vector<drc::PlannedLink>{link};
+
+    const drc::DrcReport report = drc::check(in);
+    EXPECT_FALSE(report.hasRule("CDC-001"));
+    ASSERT_TRUE(report.hasRule("CDC-003"));
+    EXPECT_EQ(report.byRule("CDC-003")[0].severity,
+              drc::Severity::Warning);
+    EXPECT_EQ(report.errorCount(), 0u);
+}
+
+// --- Protocol compatibility rules (§3.2). ---
+
+TEST(DrcRules, ProtocolChangeWithoutWrapperIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    drc::PlannedLink link;
+    link.path = "shell/net0";
+    link.source = Protocol::Axi4Stream;
+    link.sink = Protocol::Uniform;
+    link.viaWrapper = false;
+    link.sourceMhz = 250.0;
+    link.sinkMhz = 250.0;
+    in.links = std::vector<drc::PlannedLink>{link};
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("PROTO-001"));
+    EXPECT_EQ(report.byRule("PROTO-001")[0].severity,
+              drc::Severity::Error);
+}
+
+TEST(DrcRules, NonIntegralWidthRatioIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    drc::PlannedLink link;
+    link.path = "shell/net0";
+    link.sourceMhz = 250.0;
+    link.sinkMhz = 250.0;
+    link.sourceWidthBits = 512;
+    link.sinkWidthBits = 384;
+    in.links = std::vector<drc::PlannedLink>{link};
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("PROTO-002"));
+
+    // An integral ratio (4:1) passes.
+    link.sinkWidthBits = 128;
+    in.links = std::vector<drc::PlannedLink>{link};
+    EXPECT_FALSE(drc::check(in).hasRule("PROTO-002"));
+}
+
+// --- Peripheral availability rules (§2.2). ---
+
+TEST(DrcRules, NetworkInstanceBeyondCageIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    in.config.networks = {{400}};  // Device A cages are 100G
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("PERI-001"));
+    EXPECT_EQ(report.byRule("PERI-001")[0].severity,
+              drc::Severity::Error);
+}
+
+TEST(DrcRules, UnsupportedMacRateAndCageOverflowAreErrors)
+{
+    drc::DrcInput in = minimalInput();
+    in.config.networks = {{10}};  // no 10G MAC model
+    EXPECT_TRUE(drc::check(in).hasRule("PERI-001"));
+
+    in.config.networks.assign(10, {100});  // more than the cages
+    EXPECT_TRUE(drc::check(in).hasRule("PERI-001"));
+}
+
+TEST(DrcRules, MemoryInstanceBeyondPeripheralIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    in.config.memories = {{PeripheralKind::Hbm, 33}};  // HBM has 32
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("PERI-002"));
+    EXPECT_EQ(report.byRule("PERI-002")[0].severity,
+              drc::Severity::Error);
+
+    // A network cage is not a memory peripheral.
+    in.config.memories = {{PeripheralKind::Qsfp28, 1}};
+    EXPECT_TRUE(drc::check(in).hasRule("PERI-002"));
+}
+
+TEST(DrcRules, HostQueueContractViolationsAreErrors)
+{
+    drc::DrcInput in = minimalInput();
+    in.config.includeHost = true;
+    in.config.hostQueues = 4096;
+    EXPECT_TRUE(drc::check(in).hasRule("PERI-003"));
+
+    in.config.hostQueues = 0;
+    EXPECT_TRUE(drc::check(in).hasRule("PERI-003"));
+
+    in.config.hostQueues = 64;
+    EXPECT_FALSE(drc::check(in).hasRule("PERI-003"));
+}
+
+// --- Resource budget rules (§4). ---
+
+TEST(DrcRules, OverflowingPlanFailsFit)
+{
+    drc::DrcInput in = minimalInput();
+    in.roleLogic = {10'000'000, 0, 0, 0, 0};
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("RES-001"));
+    EXPECT_FALSE(report.hasRule("RES-002"));  // RES-001 subsumes it
+}
+
+TEST(DrcRules, UtilizationPastTheTimingWallIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    in.roleLogic = device("DeviceA").chip().budget.scaled(0.92);
+
+    const drc::DrcReport report = drc::check(in);
+    EXPECT_FALSE(report.hasRule("RES-001"));  // it does fit
+    ASSERT_TRUE(report.hasRule("RES-002"));
+    EXPECT_EQ(report.byRule("RES-002")[0].severity,
+              drc::Severity::Error);
+}
+
+TEST(DrcRules, TightHeadroomIsAWarning)
+{
+    drc::DrcInput in = minimalInput();
+    in.roleLogic = device("DeviceA").chip().budget.scaled(0.80);
+
+    const drc::DrcReport report = drc::check(in);
+    EXPECT_EQ(report.errorCount(), 0u);
+    ASSERT_TRUE(report.hasRule("RES-003"));
+    EXPECT_EQ(report.byRule("RES-003")[0].severity,
+              drc::Severity::Warning);
+}
+
+// --- Vendor dependency rules (§3.2). ---
+
+TEST(DrcRules, UnprovisionedEnvironmentIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    in.config.networks = {{100}};  // derives a CMAC module
+    in.environment = VendorAdapter(Vendor::Xilinx);  // empty env
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("VEND-001"));
+    EXPECT_EQ(report.byRule("VEND-001")[0].severity,
+              drc::Severity::Error);
+}
+
+TEST(DrcRules, DeadProvidesSurfaceAsInfo)
+{
+    drc::DrcInput in = minimalInput();
+    VendorAdapter env(Vendor::Xilinx);
+    env.provide("ip:legacy_widget", "0.9");
+    in.environment = env;
+
+    const drc::DrcReport report = drc::check(in);
+    EXPECT_EQ(report.errorCount(), 0u);
+    ASSERT_TRUE(report.hasRule("VEND-002"));
+    const auto infos = report.byRule("VEND-002");
+    EXPECT_EQ(infos[0].severity, drc::Severity::Info);
+    EXPECT_NE(infos[0].message.find("ip:legacy_widget"),
+              std::string::npos);
+}
+
+// --- Tailoring consistency rules (§3.3.2). ---
+
+TEST(DrcRules, ZeroPortNetworkDemandIsAWarning)
+{
+    RoleRequirements role;
+    role.name = "portless";
+    role.needsNetwork = true;
+    role.networkPorts = 0;
+    const drc::DrcReport report =
+        drc::check(device("DeviceA"), tailorConfigFor(
+                       device("DeviceA"), role), &role);
+    EXPECT_EQ(report.errorCount(), 0u);
+    ASSERT_TRUE(report.hasRule("TLR-001"));
+    EXPECT_EQ(report.byRule("TLR-001")[0].severity,
+              drc::Severity::Warning);
+}
+
+TEST(DrcRules, UnsatisfiableNetworkDemandIsAnError)
+{
+    RoleRequirements role;
+    role.name = "fast";
+    role.needsNetwork = true;
+    role.networkGbps = 400;  // Device A cages are 100G
+    role.networkPorts = 1;
+    const drc::DrcReport report = drc::check(
+        device("DeviceA"), unifiedConfigFor(device("DeviceA")),
+        &role);
+    EXPECT_TRUE(report.hasRule("TLR-001"));
+}
+
+TEST(DrcRules, ExcessiveHostQueueDemandIsAnError)
+{
+    RoleRequirements role;
+    role.name = "greedy";
+    role.hostQueues = 5000;
+    const drc::DrcReport report = drc::check(
+        device("DeviceA"), unifiedConfigFor(device("DeviceA")),
+        &role);
+    ASSERT_TRUE(report.hasRule("TLR-002"));
+    EXPECT_EQ(report.byRule("TLR-002")[0].severity,
+              drc::Severity::Error);
+}
+
+TEST(DrcRules, UnsatisfiableMemoryBandwidthIsAnError)
+{
+    RoleRequirements role;
+    role.name = "bw";
+    role.needsMemory = true;
+    role.memoryBandwidthGBps = 300;  // Device B DDR peaks below that
+    const drc::DrcReport report = drc::check(
+        device("DeviceB"), unifiedConfigFor(device("DeviceB")),
+        &role);
+    ASSERT_TRUE(report.hasRule("TLR-003"));
+}
+
+TEST(DrcRules, DmaStyleMismatchIsAWarning)
+{
+    RoleRequirements role;
+    role.name = "bulk";
+    role.dmaStyle = DmaStyle::Bdma;
+    ShellConfig cfg = unifiedConfigFor(device("DeviceA"));
+    cfg.dmaStyle = DmaStyle::Sgdma;
+    const drc::DrcReport report =
+        drc::check(device("DeviceA"), cfg, &role);
+    ASSERT_TRUE(report.hasRule("TLR-004"));
+    EXPECT_EQ(report.byRule("TLR-004")[0].severity,
+              drc::Severity::Warning);
+}
+
+TEST(DrcRules, ConfigMissingADemandedCapabilityIsAnError)
+{
+    RoleRequirements role;
+    role.name = "two_port";
+    role.needsNetwork = true;
+    role.networkGbps = 100;
+    role.networkPorts = 2;
+    ShellConfig cfg = minimalConfig();
+    cfg.networks = {{100}};  // covers only one of the two ports
+    const drc::DrcReport one_port =
+        drc::check(device("DeviceA"), cfg, &role);
+    EXPECT_TRUE(one_port.hasRule("TLR-005"));
+
+    RoleRequirements memful;
+    memful.name = "memful";
+    memful.needsMemory = true;
+    const drc::DrcReport memless = drc::check(
+        device("DeviceA"), minimalConfig(), &memful);
+    EXPECT_TRUE(memless.hasRule("TLR-005"));
+}
+
+// --- Command-schema rules (§3.3.3). ---
+
+TEST(DrcRules, UnresolvableCommandTargetIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    in.commands = std::vector<drc::CommandBinding>{
+        {"shell/ghost", 0x55, 0, kCmdModuleInit, 0}};
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("CMD-001"));
+    EXPECT_EQ(report.byRule("CMD-001")[0].severity,
+              drc::Severity::Error);
+}
+
+TEST(DrcRules, OversizedCommandPayloadIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    in.commands = std::vector<drc::CommandBinding>{
+        {"shell/uck", kRbbSystem, 0, kCmdFlashErase, 16}};
+
+    const drc::DrcReport report = drc::check(in);
+    EXPECT_FALSE(report.hasRule("CMD-001"));  // target resolves
+    ASSERT_TRUE(report.hasRule("CMD-002"));
+}
+
+TEST(DrcRules, DuplicateTargetAddressIsAnError)
+{
+    drc::DrcInput in = minimalInput();
+    in.targets = std::vector<drc::PlannedTarget>{
+        {"shell/net0", kRbbNetwork, 0},
+        {"shell/net0b", kRbbNetwork, 0}};
+    in.commands = std::vector<drc::CommandBinding>{};
+
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_TRUE(report.hasRule("CMD-003"));
+    EXPECT_EQ(report.byRule("CMD-003")[0].path, "shell/net0b");
+}
+
+// --- Shipped platforms stay lint-free. ---
+
+TEST(DrcSweep, EveryUnifiedShellConfigIsErrorFree)
+{
+    for (const FpgaDevice &dev : DeviceDatabase::instance().all()) {
+        const drc::DrcReport report = drc::check(
+            dev, unifiedConfigFor(dev), nullptr,
+            "unified_" + dev.name);
+        EXPECT_EQ(report.errorCount(), 0u)
+            << dev.name << ": "
+            << (report.clean() ? ""
+                               : report.firstError().toString());
+    }
+}
+
+TEST(DrcSweep, EveryFeasibleTailoredComboIsErrorFree)
+{
+    const std::vector<RoleRequirements> roles = {
+        SecGateway::standardRequirements(),
+        Retrieval::standardRequirements(),
+    };
+    for (const FpgaDevice &dev : DeviceDatabase::instance().all()) {
+        for (const RoleRequirements &role : roles) {
+            ShellConfig cfg;
+            try {
+                cfg = tailorConfigFor(dev, role);
+            } catch (const FatalError &) {
+                // Infeasible on this board; checkRole must agree.
+                EXPECT_GT(drc::checkRole(dev, role).errorCount(), 0u)
+                    << role.name << " on " << dev.name;
+                continue;
+            }
+            const drc::DrcReport report = drc::check(
+                dev, cfg, &role, role.name + "_" + dev.name);
+            EXPECT_EQ(report.errorCount(), 0u)
+                << role.name << " on " << dev.name << ": "
+                << (report.clean() ? ""
+                                   : report.firstError().toString());
+        }
+    }
+}
+
+// --- Renderers. ---
+
+TEST(DrcRender, TextReportCarriesSummaryFindingsAndHints)
+{
+    drc::DrcInput in = minimalInput();
+    in.config.includeHost = true;
+    in.config.hostQueues = 4096;
+    const drc::DrcReport report = drc::check(in);
+    ASSERT_FALSE(report.clean());
+
+    const std::string text = drc::renderText(report);
+    EXPECT_NE(text.find("platform DRC:"), std::string::npos);
+    EXPECT_NE(text.find("PERI-003"), std::string::npos);
+    EXPECT_NE(text.find("fix:"), std::string::npos);
+}
+
+TEST(DrcRender, JsonLinesAreOnePerDiagnostic)
+{
+    drc::DrcInput in = minimalInput();
+    in.config.includeHost = true;
+    in.config.hostQueues = 4096;
+    const drc::DrcReport report = drc::check(in);
+
+    const std::string json = drc::renderJsonLines(report);
+    std::size_t lines = 0;
+    for (char c : json)
+        if (c == '\n')
+            ++lines;
+    EXPECT_EQ(lines, report.diagnostics().size());
+    EXPECT_NE(json.find("\"rule\":\"PERI-003\""), std::string::npos);
+    EXPECT_NE(json.find("\"severity\":\"error\""),
+              std::string::npos);
+}
+
+// --- Build gates. ---
+
+TEST(DrcGate, ToolchainRefusesDrcErrorsUnlessOverridden)
+{
+    const FpgaDevice &dev_a = device("DeviceA");
+    ShellConfig broken = minimalConfig();
+    broken.includeHost = true;
+    broken.hostQueues = 4096;
+
+    Toolchain tc(VendorAdapter::standardFor(dev_a));
+    CompileJob job;
+    job.projectName = "gated";
+    job.device = &dev_a;
+    job.shellConfig = &broken;
+    job.roleLogic = {1000, 1000, 1, 0, 0};
+
+    const BuildArtifact refused = tc.compile(job);
+    EXPECT_FALSE(refused.success);
+    bool drc_mentioned = false;
+    for (const auto &line : refused.log)
+        if (line.find("PERI-003") != std::string::npos)
+            drc_mentioned = true;
+    EXPECT_TRUE(drc_mentioned);
+    EXPECT_NE(refused.log.back().find("design-rule"),
+              std::string::npos);
+
+    tc.setDrcOverride(true);
+    const BuildArtifact forced = tc.compile(job);
+    EXPECT_TRUE(forced.success) << forced.log.back();
+}
+
+TEST(DrcGate, ShellCompileJobsCarryTheirConfig)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    const CompileJob job = shell->compileJob("carrying", {});
+    ASSERT_NE(job.shellConfig, nullptr);
+    EXPECT_EQ(job.shellConfig->networks.size(),
+              shell->config().networks.size());
+
+    Toolchain tc(VendorAdapter::standardFor(device("DeviceA")));
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_TRUE(art.success) << art.log.back();
+    bool drc_ran = false;
+    for (const auto &line : art.log)
+        if (line.find("[drc] clean") != std::string::npos)
+            drc_ran = true;
+    EXPECT_TRUE(drc_ran);
+}
+
+TEST(DrcGate, StrictShellModeRefusesBrokenConfigs)
+{
+    struct StrictGuard {
+        StrictGuard() { Shell::setStrictDrc(true); }
+        ~StrictGuard() { Shell::setStrictDrc(false); }
+    } guard;
+    ASSERT_TRUE(Shell::strictDrc());
+
+    Engine engine;
+    ShellConfig broken = unifiedConfigFor(device("DeviceA"));
+    broken.hostQueues = 4096;
+    try {
+        Shell shell(engine, device("DeviceA"), broken, "strict_bad");
+        FAIL() << "strict DRC did not reject the config";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("strict DRC"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("PERI-003"),
+                  std::string::npos);
+    }
+
+    // Clean configurations still construct under strict mode.
+    Engine engine2;
+    auto shell = Shell::makeUnified(engine2, device("DeviceA"));
+    EXPECT_GT(shell->rbbs().size(), 0u);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/logging.h"
+#include "drc/checker.h"
 #include "shell/tailoring.h"
 #include "shell/unified_shell.h"
 
@@ -132,6 +133,63 @@ TEST(Tailoring, DmaStylePropagatesToTheEngine)
                    "sg_shell");
     EXPECT_EQ(sg_shell.host().dma().style(),
               DmaEngineStyle::ScatterGather);
+}
+
+// --- Edge cases where tailoring and the DRC must agree. ---
+
+TEST(Tailoring, ZeroPortNetworkDemandTailorsAwayAndDrcOnlyWarns)
+{
+    RoleRequirements role;
+    role.name = "portless";
+    role.needsNetwork = true;
+    role.networkPorts = 0;
+
+    // Tailoring accepts the demand and simply places no network RBB.
+    const ShellConfig cfg = tailorConfigFor(device("DeviceA"), role);
+    EXPECT_TRUE(cfg.networks.empty());
+
+    // The DRC flags the odd demand, but agrees it is buildable.
+    const drc::DrcReport report =
+        drc::check(device("DeviceA"), cfg, &role);
+    EXPECT_EQ(report.errorCount(), 0u);
+    EXPECT_TRUE(report.hasRule("TLR-001"));
+}
+
+TEST(Tailoring, ChannelsBeyondPeripheralNeverTailoredAndDrcErrors)
+{
+    // Tailoring never emits more channels than the peripheral has...
+    RoleRequirements role;
+    role.name = "big";
+    role.needsMemory = true;
+    role.memoryBandwidthGBps = 200;
+    const ShellConfig cfg = tailorConfigFor(device("DeviceA"), role);
+    ASSERT_EQ(cfg.memories.size(), 1u);
+    EXPECT_LE(cfg.memories[0].channels, 32u);
+    EXPECT_EQ(drc::check(device("DeviceA"), cfg, &role).errorCount(),
+              0u);
+
+    // ...and a hand-built config that does is a DRC error.
+    ShellConfig over = cfg;
+    over.memories[0].channels = 33;
+    const drc::DrcReport report =
+        drc::check(device("DeviceA"), over, &role);
+    EXPECT_TRUE(report.hasRule("PERI-002"));
+    EXPECT_GT(report.errorCount(), 0u);
+}
+
+TEST(Tailoring, ExcessiveHostQueuesRefusedByBothTailoringAndDrc)
+{
+    RoleRequirements role;
+    role.name = "greedy";
+    role.hostQueues = 5000;
+    EXPECT_THROW(tailorConfigFor(device("DeviceA"), role),
+                 FatalError);
+
+    // checkRole never throws; the same refusal surfaces as TLR-002.
+    const drc::DrcReport report =
+        drc::checkRole(device("DeviceA"), role);
+    EXPECT_GT(report.errorCount(), 0u);
+    EXPECT_TRUE(report.hasRule("TLR-002"));
 }
 
 TEST(Tailoring, HostlessRolesDropTheHostRbb)
