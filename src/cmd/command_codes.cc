@@ -58,6 +58,10 @@ toString(CommandStatus status)
         return "checksum error";
       case kCmdInternalError:
         return "internal error";
+      case kCmdMalformed:
+        return "malformed packet";
+      case kCmdNoResponse:
+        return "no response (transport gave up)";
     }
     return "?";
 }

@@ -44,6 +44,10 @@ enum CommandStatus : std::uint16_t {
     kCmdUnknownTarget = 0x0003,
     kCmdChecksumError = 0x0004,
     kCmdInternalError = 0x0005,
+    kCmdMalformed = 0x0006,  ///< undecodable request NACKed by kernel
+    // Statuses >= 0x0100 are driver-synthesized: the transport (not
+    // the kernel) failed and every recovery attempt was exhausted.
+    kCmdNoResponse = 0x0100,
 };
 
 /** RBB identifiers used in the DstID/RBB ID routing fields. */

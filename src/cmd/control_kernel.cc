@@ -67,6 +67,13 @@ UnifiedControlKernel::registerTarget(std::uint8_t rbb_id,
     targets_[key] = target;
 }
 
+void
+UnifiedControlKernel::unregisterTarget(std::uint8_t rbb_id,
+                                       std::uint8_t instance_id)
+{
+    targets_.erase(std::make_pair(rbb_id, instance_id));
+}
+
 std::size_t
 UnifiedControlKernel::bufferSpace() const
 {
@@ -208,9 +215,19 @@ UnifiedControlKernel::tick()
             err.status = kCmdChecksumError;
             responses_.push_back(err.encode());
         } else {
-            // No reliable boundary: flush and resynchronize.
+            // No reliable boundary: flush and resynchronize — but
+            // answer with an explicit NACK (best-effort routing from
+            // the header's SrcID byte) so a well-behaved requester
+            // retries immediately instead of waiting out its timeout.
+            const std::uint8_t src = buffer_[2];
             buffer_.clear();
             stats_.counter("parse_errors").inc();
+            CommandPacket err;
+            err.srcId = 0;
+            err.dstId = src;
+            err.status = kCmdMalformed;
+            responses_.push_back(err.encode());
+            stats_.counter("nacks_sent").inc();
         }
         // The dropped packet's arrival stamp goes with it.
         if (!arrivals_.empty())

@@ -45,6 +45,14 @@ class UnifiedControlKernel : public Component {
     void registerTarget(std::uint8_t rbb_id, std::uint8_t instance_id,
                         CommandTarget *target);
 
+    /**
+     * Drop a routing entry (idempotent). Partial reconfiguration uses
+     * this to release a scrubbed or unloaded slot's command target so
+     * the slot can be re-tenanted.
+     */
+    void unregisterTarget(std::uint8_t rbb_id,
+                          std::uint8_t instance_id);
+
     /** Space left in the command buffer. */
     std::size_t bufferSpace() const;
 

@@ -25,6 +25,7 @@ struct PacketDesc {
     std::uint16_t queue = 0;    ///< host DMA queue
     bool multicast = false;     ///< destination is not the local port
     std::uint8_t flags = 0;     ///< kFlagSyn / kFlagFin markers
+    bool fcsError = false;      ///< corrupted on the wire (bad FCS)
 };
 
 /** Packet flag bits (transport markers the roles care about). */

@@ -1,0 +1,112 @@
+#include "fault/recovery.h"
+
+#include "sim/trace.h"
+
+namespace harmonia {
+
+RecoveryManager::RecoveryManager(Engine &engine, Shell &shell,
+                                 RecoveryConfig config)
+    : Component(shell.name() + "_recovery"), shell_(shell),
+      config_(config), stats_(this->name())
+{
+    engine.add(this, shell.kernelClock());
+    // The alarm irq is the latency-critical signal: note it the
+    // instant it fires so the next check degrades even if the sensor
+    // has already drifted back under the limit.
+    shell_.health().alarmLine().subscribe([this] {
+        alarmPending_ = true;
+        stats_.counter("alarm_edges").inc();
+    });
+}
+
+void
+RecoveryManager::tick()
+{
+    if (config_.checkIntervalCycles != 0 &&
+        cycle() % config_.checkIntervalCycles != 0)
+        return;
+
+    HealthMonitor &health = shell_.health();
+    if (!degraded_) {
+        if (alarmPending_ || (health.alarms() & kAlarmOverTemp) != 0)
+            enterDegraded();
+        return;
+    }
+
+    // Restoring needs the die comfortably below the limit — the
+    // hysteresis margin — for several consecutive checks, so a card
+    // hovering at the threshold does not flap.
+    const bool cool = health.temperatureMilliC() +
+                          config_.hysteresisMilliC <=
+                      health.tempLimitMilliC();
+    if (!cool) {
+        stableChecks_ = 0;
+        return;
+    }
+    if (++stableChecks_ >= config_.stableChecksToRestore)
+        restore();
+}
+
+void
+RecoveryManager::enterDegraded()
+{
+    degraded_ = true;
+    alarmPending_ = false;
+    stableChecks_ = 0;
+    stats_.counter("degrade_events").inc();
+    trace(*this, "over-temp: entering degraded mode");
+
+    for (std::size_t i = 0; i < shell_.networkCount(); ++i)
+        shell_.network(i).setRxShed(true);
+
+    if (shell_.hasHost()) {
+        HostRbb &host = shell_.host();
+        shedQueues_.clear();
+        for (std::uint16_t q = config_.hostQueueFloor;
+             q < host.numQueues(); ++q) {
+            if (!host.queueActive(q))
+                continue;
+            host.setQueueActive(q, false);
+            shedQueues_.push_back(q);
+            stats_.counter("queues_shed").inc();
+        }
+    }
+}
+
+void
+RecoveryManager::restore()
+{
+    degraded_ = false;
+    alarmPending_ = false;
+    stableChecks_ = 0;
+    stats_.counter("restore_events").inc();
+    trace(*this, "cooled past hysteresis: restoring full service");
+
+    // Clear the latched alarm (and drop the irq line) the same way
+    // management software does: a ModuleReset at the health target.
+    shell_.health().executeCommand(kCmdModuleReset, {});
+
+    for (std::size_t i = 0; i < shell_.networkCount(); ++i)
+        shell_.network(i).setRxShed(false);
+
+    if (shell_.hasHost()) {
+        HostRbb &host = shell_.host();
+        for (std::uint16_t q : shedQueues_) {
+            host.setQueueActive(q, true);
+            stats_.counter("queues_restored").inc();
+        }
+        shedQueues_.clear();
+    }
+}
+
+void
+RecoveryManager::registerTelemetry(MetricsRegistry &reg,
+                                   const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &stats_);
+    telemetry_.addGauge(prefix + "/degraded",
+                        [this] { return degraded_ ? 1.0 : 0.0; });
+}
+
+} // namespace harmonia

@@ -1,6 +1,9 @@
 #include "host/cmd_driver.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "fault/fault_plan.h"
 #include "sim/trace.h"
 
 namespace harmonia {
@@ -13,11 +16,30 @@ constexpr std::uint64_t kRoundTripBucketPs = 100'000;
 constexpr std::size_t kRoundTripBuckets = 256;
 } // namespace
 
+const char *
+toString(CallStatus status)
+{
+    switch (status) {
+      case CallStatus::Ok:
+        return "ok";
+      case CallStatus::Timeout:
+        return "timeout";
+      case CallStatus::BadResponse:
+        return "bad_response";
+      case CallStatus::Nack:
+        return "nack";
+      case CallStatus::BufferFull:
+        return "buffer_full";
+    }
+    return "?";
+}
+
 CmdDriver::CmdDriver(Engine &engine, Shell &shell, std::uint8_t src_id,
                      CmdTransport transport)
     : engine_(engine), shell_(shell), srcId_(src_id),
       transport_(transport),
-      roundTrip_(kRoundTripBucketPs, kRoundTripBuckets)
+      roundTrip_(kRoundTripBucketPs, kRoundTripBuckets),
+      stats_(format("cmd%02x", src_id))
 {
 }
 
@@ -26,16 +48,115 @@ CmdDriver::registerTelemetry(MetricsRegistry &reg,
                              const std::string &prefix)
 {
     telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &stats_);
     telemetry_.addHistogram(prefix + "/roundtrip_ps", &roundTrip_);
     telemetry_.addGauge(prefix + "/commands", [this] {
         return static_cast<double>(commands_);
     });
 }
 
-CommandPacket
-CmdDriver::call(std::uint8_t rbb_id, std::uint8_t instance_id,
-                std::uint16_t code,
-                const std::vector<std::uint32_t> &data, Tick timeout)
+CallStatus
+CmdDriver::attemptOnce(const CommandPacket &pkt, Tick timeout,
+                       CommandPacket *resp)
+{
+    const std::string target = format("cmd%02x", srcId_);
+    std::vector<std::uint8_t> bytes = pkt.encode();
+
+    // Transfer: PCIe rides the isolated DMA control queue; the I2C
+    // sideband bypasses PCIe entirely at ~400 kbit/s, so the BMC can
+    // manage a card whose host link is down. Every attempt pays for
+    // its own transfer.
+    if (transport_ == CmdTransport::I2c) {
+        ++commands_;
+    } else if (shell_.hasHost()) {
+        shell_.host().submitControl(
+            static_cast<std::uint32_t>(bytes.size()), ++commands_);
+    } else {
+        ++commands_;
+    }
+
+    // Fault hooks on the downstream leg. A dropped command never
+    // reaches the kernel; a truncated or corrupted one arrives and
+    // exercises the kernel's decode error handling.
+    std::uint64_t param = 0;
+    if (injectFault(FaultKind::CmdDrop, target, engine_.now())) {
+        stats_.counter("commands_dropped").inc();
+    } else {
+        if (injectFault(FaultKind::CmdTruncate, target, engine_.now(),
+                        &param)) {
+            const std::size_t keep =
+                param != 0 ? std::min<std::size_t>(param, bytes.size())
+                           : bytes.size() / 2;
+            bytes.resize(std::max<std::size_t>(keep, 1));
+            stats_.counter("commands_truncated").inc();
+        }
+        if (injectFault(FaultKind::CmdCorrupt, target, engine_.now(),
+                        &param)) {
+            bytes[param % bytes.size()] ^= 0x10;
+            stats_.counter("commands_corrupted").inc();
+        }
+        if (!shell_.kernel().submitBytes(bytes)) {
+            stats_.counter("buffer_full").inc();
+            return CallStatus::BufferFull;
+        }
+    }
+
+    const Tick deadline = engine_.now() + timeout;
+    while (true) {
+        if (!shell_.kernel().hasResponse()) {
+            if (engine_.now() >= deadline ||
+                !engine_.runUntilDone(
+                    [this] { return shell_.kernel().hasResponse(); },
+                    deadline - engine_.now())) {
+                stats_.counter("timeouts").inc();
+                return CallStatus::Timeout;
+            }
+        }
+
+        std::vector<std::uint8_t> rbytes =
+            shell_.kernel().popResponseBytes();
+        // Fault hooks on the upstream leg.
+        if (injectFault(FaultKind::RespDrop, target, engine_.now())) {
+            stats_.counter("responses_dropped").inc();
+            continue;  // keep waiting; likely times out and retries
+        }
+        if (injectFault(FaultKind::RespCorrupt, target, engine_.now(),
+                        &param) &&
+            !rbytes.empty()) {
+            rbytes[param % rbytes.size()] ^= 0x10;
+            stats_.counter("responses_corrupted").inc();
+        }
+
+        const DecodeOutcome outcome = decodeCommand(rbytes);
+        if (!outcome.ok()) {
+            stats_.counter("bad_responses").inc();
+            return CallStatus::BadResponse;
+        }
+        const CommandPacket &r = *outcome.packet;
+        // Kernel NACKs carry no echo of the request header, so they
+        // must be recognized before the match check below.
+        if (r.status == kCmdChecksumError ||
+            r.status == kCmdMalformed) {
+            stats_.counter("nacks").inc();
+            *resp = r;
+            return CallStatus::Nack;
+        }
+        if (r.commandCode != pkt.commandCode ||
+            r.rbbId != pkt.rbbId) {
+            // Answer to some earlier, timed-out attempt: discard.
+            stats_.counter("stale_responses").inc();
+            continue;
+        }
+        *resp = r;
+        return CallStatus::Ok;
+    }
+}
+
+CallOutcome
+CmdDriver::callChecked(std::uint8_t rbb_id, std::uint8_t instance_id,
+                       std::uint16_t code,
+                       const std::vector<std::uint32_t> &data,
+                       Tick timeout)
 {
     CommandPacket pkt;
     pkt.srcId = srcId_;
@@ -47,43 +168,63 @@ CmdDriver::call(std::uint8_t rbb_id, std::uint8_t instance_id,
     pkt.data = data;
 
     const Tick started = engine_.now();
-    const std::vector<std::uint8_t> bytes = pkt.encode();
-
-    // Transfer: PCIe rides the isolated DMA control queue; the I2C
-    // sideband bypasses PCIe entirely at ~400 kbit/s, so the BMC can
-    // manage a card whose host link is down.
     Tick transfer_latency = 0;
     if (transport_ == CmdTransport::I2c) {
         transfer_latency = static_cast<Tick>(
-            bytes.size() * 8 / 400e3 * kTicksPerSecond);
-        ++commands_;
+            pkt.encodedSize() * 8 / 400e3 * kTicksPerSecond);
     } else if (shell_.hasHost()) {
         transfer_latency = shell_.host().dma().baseLatency();
-        shell_.host().submitControl(
-            static_cast<std::uint32_t>(bytes.size()), ++commands_);
-    } else {
-        ++commands_;
     }
 
-    if (!shell_.kernel().submitBytes(bytes))
-        fatal("control kernel buffer full (%zu bytes pending)",
-              shell_.kernel().bufferSpace());
+    CallOutcome out;
+    Tick backoff = policy_.initialBackoff;
+    for (unsigned attempt = 1; attempt <= policy_.maxAttempts;
+         ++attempt) {
+        out.attempts = attempt;
+        out.status = attemptOnce(pkt, timeout, &out.response);
+        if (out.ok()) {
+            // Response upload shares the control queue's latency.
+            lastLatency_ =
+                (engine_.now() - started) + 2 * transfer_latency;
+            roundTrip_.sample(lastLatency_);
+            Trace::instance().completeSpan(
+                started, started + lastLatency_,
+                format("cmd%02x", srcId_),
+                toString(static_cast<CommandCode>(code)), "command");
+            return out;
+        }
+        if (attempt == policy_.maxAttempts)
+            break;
+        stats_.counter("retries").inc();
+        engine_.runFor(backoff);
+        backoff = std::min(
+            policy_.maxBackoff,
+            static_cast<Tick>(static_cast<double>(backoff) *
+                              policy_.multiplier));
+    }
+    stats_.counter("exhausted").inc();
+    return out;
+}
 
-    const bool done = engine_.runUntilDone(
-        [this] { return shell_.kernel().hasResponse(); }, timeout);
-    if (!done)
-        fatal("command 0x%04x to rbb=%02x timed out", code, rbb_id);
-
-    CommandPacket resp = shell_.kernel().popResponse();
-    // Response upload shares the control queue's latency.
-    lastLatency_ =
-        (engine_.now() - started) + 2 * transfer_latency;
-    roundTrip_.sample(lastLatency_);
-    Trace::instance().completeSpan(
-        started, started + lastLatency_,
-        format("cmd%02x", srcId_),
-        toString(static_cast<CommandCode>(code)), "command");
-    return resp;
+CommandPacket
+CmdDriver::call(std::uint8_t rbb_id, std::uint8_t instance_id,
+                std::uint16_t code,
+                const std::vector<std::uint32_t> &data, Tick timeout)
+{
+    const CallOutcome out =
+        callChecked(rbb_id, instance_id, code, data, timeout);
+    if (out.ok())
+        return out.response;
+    // Synthesize the failure as a response so legacy callers keep
+    // working: transport failures degrade to a status, never abort.
+    CommandPacket failed;
+    failed.srcId = 0;
+    failed.dstId = srcId_;
+    failed.rbbId = rbb_id;
+    failed.instanceId = instance_id;
+    failed.commandCode = code;
+    failed.status = kCmdNoResponse;
+    return failed;
 }
 
 std::size_t

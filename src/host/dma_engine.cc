@@ -1,11 +1,15 @@
 #include "host/dma_engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace harmonia {
 
 HostDma::HostDma(HostRbb &host)
-    : host_(host), bins_(host.numQueues())
+    : host_(host), bins_(host.numQueues()),
+      outstanding_(host.numQueues()), strikes_(host.numQueues(), 0),
+      quarantined_(host.numQueues(), false), stats_("host_dma")
 {
 }
 
@@ -13,7 +17,23 @@ bool
 HostDma::submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
                 std::uint64_t id)
 {
-    return host_.submit(dir, queue, bytes, id);
+    if (queue >= bins_.size())
+        fatal("queue %u out of range (%zu)", queue, bins_.size());
+    if (quarantined_[queue]) {
+        stats_.counter("rejected_quarantined").inc();
+        return false;
+    }
+    if (!host_.queueActive(queue)) {
+        stats_.counter("rejected_inactive").inc();
+        return false;
+    }
+    if (!host_.submit(dir, queue, bytes, id)) {
+        stats_.counter("rejected_backpressure").inc();
+        return false;
+    }
+    outstanding_[queue].push_back(
+        Pending{dir, bytes, id, host_.now() + policy_.timeout, 1});
+    return true;
 }
 
 void
@@ -21,13 +41,106 @@ HostDma::poll()
 {
     while (host_.hasCompletion()) {
         DmaCompletion c = host_.popCompletion();
+        if (c.request.control) {
+            ++transfers_;
+            bytes_ += c.request.bytes;
+            control_.push_back(c);
+            continue;
+        }
+        // Retire the matching tracked submission. A completion with
+        // no match answers a transfer already requeued or declared
+        // lost — delivering it too would double-complete.
+        auto &open = outstanding_[c.request.queue];
+        const auto it = std::find_if(
+            open.begin(), open.end(),
+            [&c](const Pending &p) { return p.id == c.request.id; });
+        if (it == open.end()) {
+            stats_.counter("duplicate_completions").inc();
+            continue;
+        }
+        open.erase(it);
         ++transfers_;
         bytes_ += c.request.bytes;
-        if (c.request.control)
-            control_.push_back(c);
-        else
-            bins_[c.request.queue].push_back(c);
+        bins_[c.request.queue].push_back(c);
     }
+    timeoutScan();
+}
+
+void
+HostDma::timeoutScan()
+{
+    const Tick t = host_.now();
+    for (std::uint16_t q = 0; q < outstanding_.size(); ++q) {
+        auto &open = outstanding_[q];
+        // Deadlines are monotonic within a queue (same timeout for
+        // every submission), so only the front can be overdue.
+        while (!open.empty() && open.front().deadline < t) {
+            Pending p = open.front();
+            open.pop_front();
+            stats_.counter("timeouts").inc();
+            if (p.attempts >= policy_.maxAttempts) {
+                stats_.counter("lost_transfers").inc();
+                if (++strikes_[q] >= policy_.quarantineStrikes) {
+                    quarantine(q);
+                    break;
+                }
+                continue;
+            }
+            ++p.attempts;
+            p.deadline = t + policy_.timeout;
+            if (host_.submit(p.dir, q, p.bytes, p.id))
+                stats_.counter("requeues").inc();
+            else
+                stats_.counter("requeue_rejected").inc();
+            // Tracked either way: a rejected requeue burns one of the
+            // transfer's attempts and comes due again next deadline.
+            open.push_back(p);
+        }
+    }
+}
+
+void
+HostDma::quarantine(std::uint16_t queue)
+{
+    quarantined_[queue] = true;
+    host_.setQueueActive(queue, false);
+    stats_.counter("quarantines").inc();
+    // Whatever was still in flight on the poisoned queue is lost.
+    stats_.counter("lost_transfers")
+        .inc(outstanding_[queue].size());
+    outstanding_[queue].clear();
+}
+
+std::size_t
+HostDma::outstanding(std::uint16_t queue) const
+{
+    if (queue >= outstanding_.size())
+        fatal("queue %u out of range (%zu)", queue,
+              outstanding_.size());
+    return outstanding_[queue].size();
+}
+
+bool
+HostDma::queueQuarantined(std::uint16_t queue) const
+{
+    if (queue >= quarantined_.size())
+        fatal("queue %u out of range (%zu)", queue,
+              quarantined_.size());
+    return quarantined_[queue];
+}
+
+void
+HostDma::releaseQuarantine(std::uint16_t queue)
+{
+    if (queue >= quarantined_.size())
+        fatal("queue %u out of range (%zu)", queue,
+              quarantined_.size());
+    if (!quarantined_[queue])
+        return;
+    quarantined_[queue] = false;
+    strikes_[queue] = 0;
+    host_.setQueueActive(queue, true);
+    stats_.counter("quarantine_released").inc();
 }
 
 bool
@@ -56,6 +169,20 @@ HostDma::popControlCompletion()
     DmaCompletion c = control_.front();
     control_.pop_front();
     return c;
+}
+
+void
+HostDma::registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &stats_);
+    telemetry_.addGauge(prefix + "/completed_transfers", [this] {
+        return static_cast<double>(transfers_);
+    });
+    telemetry_.addGauge(prefix + "/completed_bytes", [this] {
+        return static_cast<double>(bytes_);
+    });
 }
 
 } // namespace harmonia

@@ -3,6 +3,12 @@
  * Host-side DMA access: a thin multiplexer over the Host RBB that
  * routes completions back to per-queue owners, as the user-space DMA
  * library does over the real driver.
+ *
+ * The library layer also owns end-to-end recovery: every data-plane
+ * submission is tracked until its completion arrives, and one that
+ * times out is requeued. A queue that keeps losing transfers is
+ * quarantined (deactivated) so a wedged consumer cannot absorb the
+ * host's DMA bandwidth forever.
  */
 
 #ifndef HARMONIA_HOST_DMA_ENGINE_H_
@@ -16,6 +22,13 @@
 
 namespace harmonia {
 
+/** Knobs for the DMA timeout/requeue/quarantine machinery. */
+struct DmaRecoveryPolicy {
+    Tick timeout = 50'000'000;       ///< per-transfer deadline (50 us)
+    unsigned maxAttempts = 3;        ///< submissions before declaring loss
+    unsigned quarantineStrikes = 4;  ///< lost transfers before quarantine
+};
+
 /**
  * Per-queue completion routing over one Host RBB. Data-plane users
  * submit on their own queue and pop their own completions; control-
@@ -27,11 +40,26 @@ class HostDma {
 
     HostRbb &host() { return host_; }
 
-    /** Submit a transfer; false on inactive queue or back-pressure. */
+    void setRecoveryPolicy(const DmaRecoveryPolicy &policy)
+    {
+        policy_ = policy;
+    }
+    const DmaRecoveryPolicy &recoveryPolicy() const { return policy_; }
+
+    /**
+     * Submit a transfer; false when the queue is quarantined or
+     * inactive, or the staging FIFO pushed back (each cause has its
+     * own counter). Accepted transfers are tracked until completion.
+     */
     bool submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
                 std::uint64_t id = 0);
 
-    /** Drain the RBB's completion queue into per-queue bins. */
+    /**
+     * Drain the RBB's completion queue into per-queue bins, then run
+     * timeout detection: overdue transfers are requeued, repeatedly
+     * lost ones are declared lost, and a queue that accumulates
+     * losses is quarantined.
+     */
     void poll();
 
     bool hasCompletion(std::uint16_t queue) const;
@@ -40,29 +68,48 @@ class HostDma {
     bool hasControlCompletion() const { return !control_.empty(); }
     DmaCompletion popControlCompletion();
 
+    /** Transfers still awaiting their completion on @p queue. */
+    std::size_t outstanding(std::uint16_t queue) const;
+
+    bool queueQuarantined(std::uint16_t queue) const;
+
+    /** Lift a quarantine: reactivate the queue and forgive strikes. */
+    void releaseQuarantine(std::uint16_t queue);
+
     /** Aggregate counters for throughput accounting. */
     std::uint64_t completedTransfers() const { return transfers_; }
     std::uint64_t completedBytes() const { return bytes_; }
 
-    /** Publish completion gauges under @p prefix. */
-    void
-    registerTelemetry(MetricsRegistry &reg, const std::string &prefix)
-    {
-        telemetry_.reset(reg);
-        telemetry_.addGauge(prefix + "/completed_transfers", [this] {
-            return static_cast<double>(transfers_);
-        });
-        telemetry_.addGauge(prefix + "/completed_bytes", [this] {
-            return static_cast<double>(bytes_);
-        });
-    }
+    /** Recovery counters: timeouts, requeues, losses, quarantines. */
+    StatGroup &stats() { return stats_; }
+
+    /** Publish completion gauges and recovery counters. */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
 
   private:
+    /** One accepted submission awaiting its completion. */
+    struct Pending {
+        DmaDir dir;
+        std::uint32_t bytes;
+        std::uint64_t id;
+        Tick deadline;
+        unsigned attempts;
+    };
+
+    void timeoutScan();
+    void quarantine(std::uint16_t queue);
+
     HostRbb &host_;
+    DmaRecoveryPolicy policy_;
     std::vector<std::deque<DmaCompletion>> bins_;
+    std::vector<std::deque<Pending>> outstanding_;
+    std::vector<unsigned> strikes_;
+    std::vector<bool> quarantined_;
     std::deque<DmaCompletion> control_;
     std::uint64_t transfers_ = 0;
     std::uint64_t bytes_ = 0;
+    StatGroup stats_;
     ScopedMetrics telemetry_;
 };
 

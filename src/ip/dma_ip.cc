@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fault/fault_plan.h"
 #include "sim/clock.h"
 
 namespace harmonia {
@@ -201,13 +202,20 @@ DmaIp::tick()
         stats_.counter("ctrl_transfers").inc();
     }
 
+    // Fault hook: a stalled engine (level-triggered) stops scheduling
+    // data transfers; the isolated control channel above and transfers
+    // already on the link are unaffected.
+    const bool stalled = injectFault(FaultKind::DmaStall, name(), t);
+    if (stalled)
+        stats_.counter("stall_ticks").inc();
+
     // Data path: round-robin over queues onto the shared link. The
     // engine works ahead within the current cycle so link pacing is
     // not quantized to clock edges.
     const Tick window = t + (clock() ? clock()->period() : 1);
     if (busBusyUntil_ < t)
         busBusyUntil_ = t;
-    while (pendingData_ > 0 && busBusyUntil_ < window) {
+    while (!stalled && pendingData_ > 0 && busBusyUntil_ < window) {
         bool found = false;
         for (std::size_t i = 0; i < queues_.size(); ++i) {
             const std::size_t q = (rrNext_ + i) % queues_.size();
@@ -232,11 +240,21 @@ DmaIp::tick()
             break;
     }
 
-    // Deliver finished transfers.
+    // Deliver finished transfers. Fault hook: a lost completion means
+    // the transfer happened but its writeback never lands — the
+    // classic cause of host-side timeouts (control completions are
+    // exempt; that plane is exercised by the Cmd* fault kinds).
     while (!inFlight_.empty() && inFlight_.front().first <= t) {
         if (!completions_.canPush())
             break;
-        completions_.push(inFlight_.front().second);
+        const DmaCompletion &c = inFlight_.front().second;
+        if (!c.request.control &&
+            injectFault(FaultKind::DmaCompletionLoss, name(), t)) {
+            stats_.counter("completions_lost").inc();
+            inFlight_.pop_front();
+            continue;
+        }
+        completions_.push(c);
         inFlight_.pop_front();
     }
 }

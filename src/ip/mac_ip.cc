@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fault/fault_plan.h"
 #include "sim/clock.h"
 
 namespace harmonia {
@@ -74,6 +75,20 @@ MacIp::tick()
 {
     const Tick t = now();
 
+    // Fault hook: a flapped link (level-triggered while the fault
+    // window is open) stops the TX serializer and loses everything
+    // arriving on the line side.
+    const bool link_down =
+        injectFault(FaultKind::LinkFlap, name(), t);
+    if (link_down) {
+        stats_.counter("link_down_ticks").inc();
+        while (!inFlight_.empty() && inFlight_.front().first <= t) {
+            stats_.counter("link_down_drops").inc();
+            inFlight_.pop_front();
+        }
+        return;
+    }
+
     // TX serialization at exactly line rate: the serializer may work
     // ahead within the current cycle so pacing is not quantized to
     // clock edges.
@@ -93,17 +108,25 @@ MacIp::tick()
         // Unconnected line side: packet leaves the model.
     }
 
-    // RX: packets whose last bit has arrived enter the RX queue.
+    // RX: packets whose last bit has arrived enter the RX queue. The
+    // MAC checks the FCS: wire-corrupted packets (injected here or
+    // upstream) are dropped and counted, exactly like hardware.
     while (!inFlight_.empty() && inFlight_.front().first <= t) {
-        if (!rx_.canPush()) {
-            stats_.counter("rx_dropped").inc();
-            inFlight_.pop_front();
+        PacketDesc pkt = inFlight_.front().second;
+        inFlight_.pop_front();
+        if (injectFault(FaultKind::StreamBitFlip, name(), t))
+            pkt.fcsError = true;
+        if (pkt.fcsError) {
+            stats_.counter("rx_bad_fcs").inc();
             continue;
         }
-        rx_.push(inFlight_.front().second);
+        if (!rx_.canPush()) {
+            stats_.counter("rx_dropped").inc();
+            continue;
+        }
+        rx_.push(pkt);
         stats_.counter("rx_packets").inc();
-        stats_.counter("rx_bytes").inc(inFlight_.front().second.bytes);
-        inFlight_.pop_front();
+        stats_.counter("rx_bytes").inc(pkt.bytes);
     }
 }
 

@@ -57,6 +57,9 @@ class Role : public Component, public CommandTarget {
     bool active() const { return active_; }
     void setActive(bool on) { active_ = on; }
 
+    /** Whether bind() has attached this role to a shell. */
+    bool bound() const { return shell_ != nullptr; }
+
     /** Slot assigned at bind time. */
     std::uint8_t slot() const { return slot_; }
 

@@ -2,6 +2,7 @@
 
 #include "common/bits.h"
 #include "common/logging.h"
+#include "fault/fault_plan.h"
 
 namespace harmonia {
 
@@ -37,8 +38,16 @@ ParamCdc::push(const PacketDesc &pkt)
 {
     if (!canPush())
         panic("ParamCdc push without canPush");
-    fifo_.push(pkt);
     const Tick t = writeClk_->cyclesToTicks(writeClk_->cycle());
+    // Fault hook: a beat lost in the crossing never reaches the FIFO
+    // or the residency bookkeeping, but it did occupy the write port.
+    if (injectFault(FaultKind::CdcBeatDrop, name_, t)) {
+        faultDrops_.inc();
+        writeFreeCycle_ = writeClk_->cycle() +
+                          ceilDiv(pkt.bytes, writeWidthBytes_);
+        return;
+    }
+    fifo_.push(pkt);
     inFlight_.push_back(
         {t, Trace::instance().beginSpan(t, name_, "cdc_cross",
                                         "fifo")});
@@ -80,6 +89,9 @@ ParamCdc::registerTelemetry(MetricsRegistry &reg,
         return static_cast<double>(fifo_.highWater());
     });
     telemetry_.addHistogram(prefix + "/residency_ps", &residency_);
+    telemetry_.addGauge(prefix + "/fault_drops", [this] {
+        return static_cast<double>(faultDrops_.value());
+    });
 }
 
 double

@@ -75,6 +75,9 @@ class ParamCdc {
     /** Per-packet residence time in the crossing, in ps. */
     const Histogram &residency() const { return residency_; }
 
+    /** Beats lost to injected CDC faults (see fault/fault_plan.h). */
+    std::uint64_t droppedBeats() const { return faultDrops_.value(); }
+
     /** Export occupancy gauges and the residency histogram. */
     void registerTelemetry(MetricsRegistry &reg,
                            const std::string &prefix);
@@ -113,6 +116,7 @@ class ParamCdc {
     unsigned readWidthBytes_;
     AsyncFifo<PacketDesc> fifo_;
     std::deque<InFlight> inFlight_;
+    Counter faultDrops_;
     Histogram residency_;
     Side writeSide_;
     Side readSide_;

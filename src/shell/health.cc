@@ -2,6 +2,7 @@
 
 #include "cmd/command_codes.h"
 #include "common/logging.h"
+#include "fault/fault_plan.h"
 
 namespace harmonia {
 
@@ -59,6 +60,15 @@ HealthMonitor::refreshSensors()
     const std::uint32_t ripple =
         static_cast<std::uint32_t>((cycle() / 64) % 16) * 125;
     tempMilliC_ = ambientMilliC_ + rise + ripple;
+
+    // Fault hook: a thermal excursion adds param milli-degC to this
+    // conversion — enough (by default) to cross the alarm threshold.
+    std::uint64_t excursion = 0;
+    if (injectFault(FaultKind::ThermalExcursion, name(), now(),
+                    &excursion)) {
+        tempMilliC_ += static_cast<std::uint32_t>(
+            excursion != 0 ? excursion : 30'000);
+    }
 
     powerMilliW_ = static_cast<std::uint32_t>(
         18'000 + 120'000 * utilization_);

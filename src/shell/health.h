@@ -64,6 +64,7 @@ class HealthMonitor : public Component, public CommandTarget {
     void setAmbientMilliC(std::uint32_t milli_c);
 
     void setTempLimitMilliC(std::uint32_t limit);
+    std::uint32_t tempLimitMilliC() const { return tempLimitMilliC_; }
 
     std::uint32_t temperatureMilliC() const { return tempMilliC_; }
     std::uint32_t vccIntMilliV() const { return vccIntMilliV_; }

@@ -123,8 +123,18 @@ HostRbb::submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
 {
     if (queue >= numQueues_)
         fatal("queue %u out of range (%u)", queue, numQueues_);
-    if (!arbiter_.isActive(queue) || !staging_[queue].canPush()) {
+    // Per-cause reject counters: an inactive queue is a tenant
+    // configuration problem, a full staging FIFO is back-pressure —
+    // they call for different fixes, so they are counted apart (the
+    // aggregate feeds the MON_REJECTED register).
+    if (!arbiter_.isActive(queue)) {
         monitor().counter("rejected").inc();
+        monitor().counter("rejected_inactive").inc();
+        return false;
+    }
+    if (!staging_[queue].canPush()) {
+        monitor().counter("rejected").inc();
+        monitor().counter("rejected_backpressure").inc();
         return false;
     }
     DmaRequest req;

@@ -196,6 +196,17 @@ NetworkRbb::flowTableEntry(std::uint32_t index) const
     return flowTable_[index];
 }
 
+void
+NetworkRbb::setRxShed(bool on)
+{
+    if (rxShed_ != on)
+        monitor()
+            .counter(on ? "shed_enters" : "shed_exits")
+            .inc();
+    rxShed_ = on;
+    rxShedPhase_ = 0;
+}
+
 double
 NetworkRbb::rxBitsPerSecond() const
 {
@@ -257,6 +268,16 @@ NetworkRbb::tick()
             continue;
         }
         PacketDesc pkt = wrapper_.ingressPop();
+        if (pkt.fcsError) {
+            // Corrupted on a shell-internal link (injected fault);
+            // the filter stage drops it like the MAC drops bad FCS.
+            monitor().counter("rx_bad_fcs").inc();
+            continue;
+        }
+        if (rxShed_ && (rxShedPhase_++ & 1)) {
+            monitor().counter("rx_shed").inc();
+            continue;
+        }
         if (!filterPass(pkt))
             continue;
         pkt.queue = directQueue(pkt.flowHash);
@@ -345,6 +366,8 @@ NetworkRbb::onReset()
     localMac_ = 0;
     multicastGroups_.clear();
     directorMode_ = DirectorMode::Hash;
+    rxShed_ = false;
+    rxShedPhase_ = 0;
     flowTable_.assign(kFlowTableSize, 0);
     flowEntriesProgrammed_ = 0;
     rxOut_.clear();

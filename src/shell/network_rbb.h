@@ -82,6 +82,15 @@ class NetworkRbb : public Rbb {
     /** Loop the MAC line side back (Fig 10a test). */
     void setLoopback(bool on) { mac_->setLoopback(on); }
 
+    /**
+     * Degraded mode (driven by RecoveryManager on over-temp): shed
+     * every other role-bound RX packet to halve the ingress rate.
+     * Shed packets are counted in the `rx_shed` monitor stat — the
+     * degradation is declared, never silent.
+     */
+    void setRxShed(bool on);
+    bool rxShedding() const { return rxShed_; }
+
     void tick() override;
 
     void registerTelemetry(MetricsRegistry &reg,
@@ -116,6 +125,8 @@ class NetworkRbb : public Rbb {
     std::set<std::uint64_t> multicastGroups_;
     DirectorMode directorMode_ = DirectorMode::Hash;
     std::uint16_t directorQueues_ = 16;
+    bool rxShed_ = false;
+    std::uint64_t rxShedPhase_ = 0;
     std::vector<std::uint16_t> flowTable_;
     std::size_t flowEntriesProgrammed_ = 0;
     RateMeter rxBytesMeter_;

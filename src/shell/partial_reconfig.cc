@@ -2,6 +2,7 @@
 
 #include "cmd/command_codes.h"
 #include "common/logging.h"
+#include "fault/fault_plan.h"
 #include "sim/trace.h"
 
 namespace harmonia {
@@ -83,11 +84,25 @@ PrController::load(std::size_t slot, Role &role)
         return false;
     }
 
-    role.bind(engine_, shell_, static_cast<std::uint8_t>(slot));
+    if (!role.bound()) {
+        role.bind(engine_, shell_, static_cast<std::uint8_t>(slot));
+    } else if (role.slot() != static_cast<std::uint8_t>(slot)) {
+        // A bound role keeps its clock registration and slot id for
+        // life; it may only be reloaded into its original slot.
+        stats_.counter("load_rejected").inc();
+        return false;
+    } else {
+        // Reload after unload/scrub: re-attach the command target the
+        // unload released.
+        shell_.kernel().registerTarget(kRoleRbbIdBase,
+                                       static_cast<std::uint8_t>(slot),
+                                       &role);
+    }
     role.setActive(false);  // decoupled while the slot is rewritten
     s.role = &role;
     s.state = PrSlotState::Reconfiguring;
     s.doneAt = now() + reconfigTime(slot);
+    s.attempts = 1;
     stats_.counter("loads").inc();
     return true;
 }
@@ -102,11 +117,15 @@ PrController::unload(std::size_t slot)
         stats_.counter("unload_rejected").inc();
         return false;
     }
-    if (s.role != nullptr)
+    if (s.role != nullptr) {
         s.role->setActive(false);
+        shell_.kernel().unregisterTarget(
+            kRoleRbbIdBase, static_cast<std::uint8_t>(slot));
+    }
     s.role = nullptr;
     s.state = PrSlotState::Empty;
     s.doneAt = 0;
+    s.attempts = 0;
     stats_.counter("unloads").inc();
     return true;
 }
@@ -114,17 +133,45 @@ PrController::unload(std::size_t slot)
 void
 PrController::tick()
 {
-    for (Slot &s : slots_) {
-        if (s.state == PrSlotState::Reconfiguring &&
-            now() >= s.doneAt) {
-            s.state = PrSlotState::Active;
-            if (s.role != nullptr) {
-                s.role->setActive(true);
-                trace(*this, "slot activated with role '%s'",
-                      s.role->name().c_str());
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        Slot &s = slots_[i];
+        if (s.state != PrSlotState::Reconfiguring || now() < s.doneAt)
+            continue;
+        // Fault hook: the post-load readback CRC failed. Re-stream
+        // the partial bitstream; after kMaxLoadAttempts scrub the
+        // slot back to Empty rather than wedging in Reconfiguring.
+        if (injectFault(FaultKind::PrLoadFail, name(), now())) {
+            if (s.attempts < kMaxLoadAttempts) {
+                ++s.attempts;
+                s.doneAt = now() + reconfigTime(i);
+                stats_.counter("load_retries").inc();
+                trace(*this, "slot %zu load failed; retry %u/%u", i,
+                      s.attempts, kMaxLoadAttempts);
+                continue;
             }
-            stats_.counter("activations").inc();
+            // Scrub releases the command target so the slot can be
+            // re-tenanted; the failed role never activates.
+            if (s.role != nullptr) {
+                s.role->setActive(false);
+                shell_.kernel().unregisterTarget(
+                    kRoleRbbIdBase, static_cast<std::uint8_t>(i));
+            }
+            s.role = nullptr;
+            s.state = PrSlotState::Empty;
+            s.doneAt = 0;
+            s.attempts = 0;
+            stats_.counter("load_aborted").inc();
+            trace(*this, "slot %zu scrubbed after failed loads", i);
+            continue;
         }
+        s.state = PrSlotState::Active;
+        s.attempts = 0;
+        if (s.role != nullptr) {
+            s.role->setActive(true);
+            trace(*this, "slot activated with role '%s'",
+                  s.role->name().c_str());
+        }
+        stats_.counter("activations").inc();
     }
 }
 

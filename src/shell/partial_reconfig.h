@@ -40,6 +40,14 @@ class PrController : public Component, public CommandTarget {
     static constexpr double kBitsPerLut = 96.0;
 
     /**
+     * Bitstream-load attempts (initial + retries) before the
+     * controller gives up and scrubs the slot back to Empty. A load
+     * whose readback CRC fails (the PrLoadFail fault) is re-streamed
+     * through the ICAP; a slot never wedges in Reconfiguring.
+     */
+    static constexpr unsigned kMaxLoadAttempts = 3;
+
+    /**
      * @param slot_capacities Logic capacity of each slot; together
      *        they partition the role region.
      */
@@ -85,6 +93,7 @@ class PrController : public Component, public CommandTarget {
         PrSlotState state = PrSlotState::Empty;
         Role *role = nullptr;
         Tick doneAt = 0;
+        unsigned attempts = 0;  ///< bitstream loads this occupancy
     };
 
     Engine &engine_;

@@ -1,6 +1,7 @@
 #include "wrapper/stream_wrapper.h"
 
 #include "common/logging.h"
+#include "fault/fault_plan.h"
 #include "sim/clock.h"
 
 namespace harmonia {
@@ -50,12 +51,23 @@ StreamWrapper::addedLatency() const
 void
 StreamWrapper::ingressPush(const PacketDesc &pkt)
 {
-    ingress_.push(pkt, now() + addedLatency());
+    // Fault hooks: a dropped packet must not enter the delay line or
+    // the flight-record deque (they are matched 1:1 on pop).
+    if (injectFault(FaultKind::StreamBeatDrop, name(), now())) {
+        stats_.counter("fault_drops").inc();
+        return;
+    }
+    PacketDesc p = pkt;
+    if (injectFault(FaultKind::StreamBitFlip, name(), now())) {
+        p.fcsError = true;
+        stats_.counter("fault_corruptions").inc();
+    }
+    ingress_.push(p, now() + addedLatency());
     ingressFlight_.push_back(
         {now(), Trace::instance().beginSpan(now(), name(), "ingress",
                                             "wrapper")});
     stats_.counter("ingress_packets").inc();
-    stats_.counter("ingress_bytes").inc(pkt.bytes);
+    stats_.counter("ingress_bytes").inc(p.bytes);
 }
 
 bool
@@ -80,12 +92,21 @@ StreamWrapper::ingressPop()
 void
 StreamWrapper::egressPush(const PacketDesc &pkt)
 {
-    egress_.push(pkt, now() + addedLatency());
+    if (injectFault(FaultKind::StreamBeatDrop, name(), now())) {
+        stats_.counter("fault_drops").inc();
+        return;
+    }
+    PacketDesc p = pkt;
+    if (injectFault(FaultKind::StreamBitFlip, name(), now())) {
+        p.fcsError = true;
+        stats_.counter("fault_corruptions").inc();
+    }
+    egress_.push(p, now() + addedLatency());
     egressFlight_.push_back(
         {now(), Trace::instance().beginSpan(now(), name(), "egress",
                                             "wrapper")});
     stats_.counter("egress_packets").inc();
-    stats_.counter("egress_bytes").inc(pkt.bytes);
+    stats_.counter("egress_bytes").inc(p.bytes);
 }
 
 bool

@@ -156,14 +156,25 @@ TEST(ControlKernel, ChecksumErrorAnsweredAndSkipped)
     EXPECT_EQ(b.kernel.popResponse().status, kCmdOk);
 }
 
-TEST(ControlKernel, GarbageBufferFlushed)
+TEST(ControlKernel, GarbageBufferFlushedWithNack)
 {
     KernelBench b;
     ASSERT_TRUE(b.kernel.submitBytes({0xff, 0xff, 0xff, 0xff, 0xff,
                                       0xff, 0xff, 0xff}));
     b.engine.runFor(2'000'000);
     EXPECT_EQ(b.kernel.stats().value("parse_errors"), 1u);
+    // The flush is no longer silent: an explicit NACK tells the
+    // requester to retry now instead of waiting out its timeout.
+    ASSERT_TRUE(b.kernel.hasResponse());
+    const CommandPacket nack = b.kernel.popResponse();
+    EXPECT_EQ(nack.status, kCmdMalformed);
+    EXPECT_EQ(b.kernel.stats().value("nacks_sent"), 1u);
     EXPECT_FALSE(b.kernel.hasResponse());
+
+    // The kernel resynchronized: a good command still goes through.
+    CommandPacket cmd;
+    cmd.rbbId = kRbbNetwork;
+    EXPECT_EQ(b.roundTrip(cmd).status, kCmdOk);
 }
 
 TEST(ControlKernel, MalformedPacketStatsAreDistinct)
@@ -220,6 +231,91 @@ TEST(ControlKernel, GarbageCountsItsDecodeErrorKind)
     // The garbage's version nibble is bad, and the named stat says so.
     EXPECT_EQ(b.kernel.stats().value("decode_bad_version"), 1u);
     EXPECT_EQ(b.kernel.stats().value("decode_bad_checksum"), 0u);
+}
+
+namespace {
+/** Mirror of the kernel's per-error stat naming. */
+const char *
+decodeCounterName(DecodeError error)
+{
+    switch (error) {
+      case DecodeError::Truncated:
+        return "decode_truncated";
+      case DecodeError::BadVersion:
+        return "decode_bad_version";
+      case DecodeError::BadHeaderLen:
+        return "decode_bad_header_len";
+      case DecodeError::LengthMismatch:
+        return "decode_length_mismatch";
+      case DecodeError::BadChecksum:
+        return "decode_bad_checksum";
+    }
+    return "?";
+}
+} // namespace
+
+TEST(ControlKernel, EverySingleBitFlipDetectedAndClassified)
+{
+    // The integrity claim behind the command plane: the checksum (or
+    // an earlier header check) catches EVERY single-bit corruption of
+    // a command packet, each flip lands in exactly one decode_*
+    // counter, and a corrupted command is never executed. The only
+    // uncovered bytes are the two trailer status bytes — the checksum
+    // is computed over everything before the trailer, and a request's
+    // status field carries no meaning.
+    CommandPacket cmd;
+    cmd.srcId = kCtrlApplication;
+    cmd.rbbId = kRbbNetwork;
+    cmd.commandCode = kCmdTableWrite;
+    cmd.data = {0xdeadbeef, 0x12345678};
+    const std::vector<std::uint8_t> clean = cmd.encode();
+
+    static const char *const kDecodeCounters[] = {
+        "decode_truncated",      "decode_bad_version",
+        "decode_bad_header_len", "decode_length_mismatch",
+        "decode_bad_checksum",
+    };
+
+    for (std::size_t byte = 0; byte + 2 < clean.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<std::uint8_t> flipped = clean;
+            flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+
+            const DecodeOutcome expect = decodeCommand(flipped);
+            ASSERT_FALSE(expect.ok())
+                << "flip byte " << byte << " bit " << bit
+                << " went undetected";
+
+            KernelBench b;
+            ASSERT_TRUE(b.kernel.submitBytes(flipped));
+            // 25 kernel cycles: enough for the first decode attempt,
+            // below the 50-cycle command pacing, so a partial consume
+            // (e.g. a shrunk PayloadLen) hasn't re-parsed its residue
+            // as a second packet yet.
+            b.engine.runFor(100'000);
+
+            std::uint64_t total = 0;
+            for (const char *name : kDecodeCounters)
+                total += b.kernel.stats().value(name);
+            EXPECT_EQ(total, 1u)
+                << "flip byte " << byte << " bit " << bit;
+            EXPECT_EQ(b.kernel.stats().value(
+                          decodeCounterName(*expect.error)),
+                      1u)
+                << "flip byte " << byte << " bit " << bit;
+            EXPECT_EQ(b.net.calls, 0)
+                << "corrupted command executed (byte " << byte
+                << " bit " << bit << ")";
+        }
+    }
+
+    // Control: the status bytes really are the only uncovered ones.
+    for (std::size_t byte = clean.size() - 2; byte < clean.size();
+         ++byte) {
+        std::vector<std::uint8_t> flipped = clean;
+        flipped[byte] ^= 0x01;
+        EXPECT_TRUE(decodeCommand(flipped).ok());
+    }
 }
 
 TEST(ControlKernel, BufferOverflowRejected)

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+
+namespace harmonia {
+namespace {
+
+TEST(FaultPlan, WindowFiresOnlyInsideItsSpan)
+{
+    FaultPlan plan(7);
+    plan.addWindow(FaultKind::StreamBitFlip, 100, 200, 1.0);
+
+    EXPECT_FALSE(plan.shouldInject(FaultKind::StreamBitFlip, "x", 99));
+    EXPECT_TRUE(plan.shouldInject(FaultKind::StreamBitFlip, "x", 100));
+    EXPECT_TRUE(plan.shouldInject(FaultKind::StreamBitFlip, "x", 199));
+    EXPECT_FALSE(
+        plan.shouldInject(FaultKind::StreamBitFlip, "x", 200));
+    EXPECT_EQ(plan.injected(FaultKind::StreamBitFlip), 2u);
+    EXPECT_EQ(plan.injectedTotal(), 2u);
+}
+
+TEST(FaultPlan, KindAndFilterSelectTheRule)
+{
+    FaultPlan plan(7);
+    plan.addWindow(FaultKind::CmdDrop, 0, 1000, 1.0, "cmd01");
+
+    // Wrong kind, then wrong target, then a hit (substring match).
+    EXPECT_FALSE(plan.shouldInject(FaultKind::CmdCorrupt, "cmd01", 5));
+    EXPECT_FALSE(plan.shouldInject(FaultKind::CmdDrop, "cmd02", 5));
+    EXPECT_TRUE(
+        plan.shouldInject(FaultKind::CmdDrop, "shell_cmd01_x", 5));
+}
+
+TEST(FaultPlan, OneShotFiresExactlyOnce)
+{
+    FaultPlan plan(7);
+    plan.addOneShot(FaultKind::ThermalExcursion, 500, "", 12'000);
+
+    std::uint64_t param = 0;
+    EXPECT_FALSE(plan.shouldInject(FaultKind::ThermalExcursion,
+                                   "health", 499, &param));
+    // First matching query at/after the scheduled tick fires...
+    EXPECT_TRUE(plan.shouldInject(FaultKind::ThermalExcursion,
+                                  "health", 640, &param));
+    EXPECT_EQ(param, 12'000u);
+    // ...and never again.
+    EXPECT_FALSE(plan.shouldInject(FaultKind::ThermalExcursion,
+                                   "health", 656, &param));
+    EXPECT_EQ(plan.injected(FaultKind::ThermalExcursion), 1u);
+}
+
+TEST(FaultPlan, RateZeroNeverFiresRateOneAlwaysFires)
+{
+    FaultPlan plan(7);
+    plan.addWindow(FaultKind::CdcBeatDrop, 0, 1000, 0.0);
+    plan.addWindow(FaultKind::StreamBeatDrop, 0, 1000, 1.0);
+    for (Tick t = 0; t < 1000; t += 10) {
+        EXPECT_FALSE(plan.shouldInject(FaultKind::CdcBeatDrop, "c", t));
+        EXPECT_TRUE(
+            plan.shouldInject(FaultKind::StreamBeatDrop, "s", t));
+    }
+    EXPECT_EQ(plan.injected(FaultKind::CdcBeatDrop), 0u);
+    EXPECT_EQ(plan.injected(FaultKind::StreamBeatDrop), 100u);
+}
+
+TEST(FaultPlan, FractionalRateLandsNearExpectation)
+{
+    FaultPlan plan(42);
+    plan.addWindow(FaultKind::DmaCompletionLoss, 0, 1'000'000, 0.1);
+    for (Tick t = 0; t < 10'000; ++t)
+        plan.shouldInject(FaultKind::DmaCompletionLoss, "dma", t);
+    const std::uint64_t hits =
+        plan.injected(FaultKind::DmaCompletionLoss);
+    EXPECT_GT(hits, 700u);
+    EXPECT_LT(hits, 1300u);
+}
+
+TEST(FaultPlan, IdenticalSeedAndScheduleGiveIdenticalFingerprints)
+{
+    auto run = [](std::uint64_t seed) {
+        FaultPlan plan(seed);
+        plan.addWindow(FaultKind::StreamBitFlip, 0, 5000, 0.3, "net");
+        plan.addWindow(FaultKind::CmdCorrupt, 100, 4000, 0.2);
+        plan.addOneShot(FaultKind::PrLoadFail, 2500);
+        for (Tick t = 0; t < 5000; t += 7) {
+            plan.shouldInject(FaultKind::StreamBitFlip, "net0", t);
+            plan.shouldInject(FaultKind::CmdCorrupt, "cmd01", t);
+            plan.shouldInject(FaultKind::PrLoadFail, "pr", t);
+        }
+        return std::make_pair(plan.fingerprint(),
+                              plan.injectedTotal());
+    };
+
+    const auto a = run(1234), b = run(1234), c = run(99);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+    EXPECT_GT(a.second, 0u);
+    // A different seed draws a different schedule.
+    EXPECT_NE(a.first, c.first);
+}
+
+TEST(FaultPlan, AddingARuleDoesNotPerturbEarlierRuleDraws)
+{
+    // Each rule owns an independent RNG stream, so extending a plan
+    // leaves the faults of existing rules untouched.
+    auto run = [](bool extra) {
+        FaultPlan plan(77);
+        plan.addWindow(FaultKind::StreamBitFlip, 0, 10'000, 0.25);
+        if (extra)
+            plan.addWindow(FaultKind::RespDrop, 0, 10'000, 0.25);
+        for (Tick t = 0; t < 10'000; t += 3)
+            plan.shouldInject(FaultKind::StreamBitFlip, "n", t);
+        return plan.injected(FaultKind::StreamBitFlip);
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultPlan, LogRecordsEventsInOrderAndStaysBounded)
+{
+    FaultPlan plan(7);
+    plan.addWindow(FaultKind::LinkFlap, 0,
+                   static_cast<Tick>(FaultPlan::kMaxLogEntries) * 4,
+                   1.0);
+    for (Tick t = 0; t < static_cast<Tick>(FaultPlan::kMaxLogEntries) +
+                             100;
+         ++t)
+        plan.shouldInject(FaultKind::LinkFlap, "mac", t);
+
+    EXPECT_EQ(plan.log().size(), FaultPlan::kMaxLogEntries);
+    EXPECT_EQ(plan.injectedTotal(), FaultPlan::kMaxLogEntries + 100);
+    EXPECT_EQ(plan.log().front().at, 0u);
+    EXPECT_EQ(plan.log().front().target, "mac");
+    EXPECT_EQ(plan.log()[1].at, 1u);
+}
+
+TEST(FaultPlan, ArmGatesTheHookHelper)
+{
+    EXPECT_EQ(FaultPlan::active(), nullptr);
+    EXPECT_FALSE(injectFault(FaultKind::StreamBitFlip, "x", 0));
+
+    {
+        FaultPlan plan(7);
+        plan.addWindow(FaultKind::StreamBitFlip, 0, 100, 1.0);
+        EXPECT_FALSE(injectFault(FaultKind::StreamBitFlip, "x", 0));
+        plan.arm();
+        EXPECT_EQ(FaultPlan::active(), &plan);
+        EXPECT_TRUE(injectFault(FaultKind::StreamBitFlip, "x", 0));
+        plan.disarm();
+        EXPECT_FALSE(injectFault(FaultKind::StreamBitFlip, "x", 1));
+        plan.arm();  // destructor must disarm on scope exit
+    }
+    EXPECT_EQ(FaultPlan::active(), nullptr);
+}
+
+TEST(FaultPlan, EveryKindHasAName)
+{
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(FaultKind::kCount); ++k) {
+        const char *name = toString(static_cast<FaultKind>(k));
+        EXPECT_NE(std::string(name), "?");
+    }
+}
+
+} // namespace
+} // namespace harmonia

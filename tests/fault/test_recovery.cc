@@ -1,0 +1,381 @@
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.h"
+#include "fault/recovery.h"
+#include "host/cmd_driver.h"
+#include "host/dma_engine.h"
+#include "roles/sec_gateway.h"
+#include "shell/partial_reconfig.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+/** A unified shell plus an application command driver. */
+struct ShellBench {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    CmdDriver driver;
+
+    ShellBench()
+        : shell(Shell::makeUnified(engine, deviceA())),
+          driver(engine, *shell)
+    {
+    }
+};
+
+TEST(CmdRecovery, DroppedCommandIsRetriedToSuccess)
+{
+    ShellBench b;
+    FaultPlan plan(11);
+    // The application driver is cmd01; lose its first command.
+    plan.addOneShot(FaultKind::CmdDrop, 0, "cmd01");
+    plan.arm();
+
+    const CallOutcome out =
+        b.driver.callChecked(kRbbSystem, 0, kCmdTimeCount);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.attempts, 2u);
+    EXPECT_EQ(b.driver.stats().value("commands_dropped"), 1u);
+    EXPECT_EQ(b.driver.stats().value("timeouts"), 1u);
+    EXPECT_EQ(b.driver.stats().value("retries"), 1u);
+    EXPECT_EQ(plan.injected(FaultKind::CmdDrop), 1u);
+}
+
+TEST(CmdRecovery, CorruptedCommandNackedThenRetried)
+{
+    ShellBench b;
+    FaultPlan plan(11);
+    plan.addOneShot(FaultKind::CmdCorrupt, 0, "cmd01", 10);
+    plan.arm();
+
+    const CallOutcome out =
+        b.driver.callChecked(kRbbSystem, 0, kCmdTimeCount);
+    ASSERT_TRUE(out.ok());
+    EXPECT_GE(out.attempts, 2u);
+    EXPECT_EQ(b.driver.stats().value("commands_corrupted"), 1u);
+    EXPECT_GE(b.driver.stats().value("nacks"), 1u);
+    // The corruption really exercised the kernel's decode counters.
+    EXPECT_GE(b.shell->kernel().stats().value("decode_bad_checksum"),
+              1u);
+}
+
+TEST(CmdRecovery, TruncatedCommandEventuallySucceeds)
+{
+    ShellBench b;
+    FaultPlan plan(11);
+    plan.addOneShot(FaultKind::CmdTruncate, 0, "cmd01");
+    plan.arm();
+
+    const CallOutcome out =
+        b.driver.callChecked(kRbbSystem, 0, kCmdTimeCount);
+    ASSERT_TRUE(out.ok());
+    EXPECT_GE(out.attempts, 2u);
+    EXPECT_EQ(b.driver.stats().value("commands_truncated"), 1u);
+    // The half packet stalled the decoder before resync.
+    EXPECT_GE(b.shell->kernel().stats().value("decode_truncated"),
+              1u);
+}
+
+TEST(CmdRecovery, LostResponseIsRetriedToSuccess)
+{
+    ShellBench b;
+    FaultPlan plan(11);
+    plan.addOneShot(FaultKind::RespDrop, 0, "cmd01");
+    plan.arm();
+
+    const CallOutcome out =
+        b.driver.callChecked(kRbbSystem, 0, kCmdTimeCount);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(b.driver.stats().value("responses_dropped"), 1u);
+    EXPECT_GE(out.attempts, 2u);
+}
+
+TEST(CmdRecovery, CorruptedResponseIsRetriedToSuccess)
+{
+    ShellBench b;
+    FaultPlan plan(11);
+    plan.addOneShot(FaultKind::RespCorrupt, 0, "cmd01");
+    plan.arm();
+
+    const CallOutcome out =
+        b.driver.callChecked(kRbbSystem, 0, kCmdTimeCount);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(b.driver.stats().value("responses_corrupted"), 1u);
+    EXPECT_EQ(b.driver.stats().value("bad_responses"), 1u);
+}
+
+TEST(CmdRecovery, ExhaustedTransportReportsInsteadOfAborting)
+{
+    ShellBench b;
+    FaultPlan plan(11);
+    // Nothing ever gets through.
+    plan.addWindow(FaultKind::CmdDrop, 0, 1'000'000'000'000, 1.0);
+    plan.arm();
+
+    RetryPolicy fast;
+    fast.maxAttempts = 3;
+    fast.initialBackoff = 1'000'000;
+    b.driver.setRetryPolicy(fast);
+
+    const CallOutcome out = b.driver.callChecked(
+        kRbbSystem, 0, kCmdTimeCount, {}, 5'000'000);
+    EXPECT_FALSE(out.ok());
+    EXPECT_EQ(out.status, CallStatus::Timeout);
+    EXPECT_EQ(out.attempts, 3u);
+    EXPECT_EQ(b.driver.stats().value("exhausted"), 1u);
+
+    // The legacy interface degrades to a synthesized status.
+    const CommandPacket resp = b.driver.call(
+        kRbbSystem, 0, kCmdTimeCount, {}, 5'000'000);
+    EXPECT_EQ(resp.status, kCmdNoResponse);
+}
+
+TEST(CmdRecovery, CleanCallStillCountsOneCommand)
+{
+    ShellBench b;
+    const CallOutcome out =
+        b.driver.callChecked(kRbbSystem, 0, kCmdTimeCount);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.attempts, 1u);
+    EXPECT_EQ(b.driver.commandCount(), 1u);
+    EXPECT_EQ(b.driver.stats().value("retries"), 0u);
+}
+
+struct HostDmaBench {
+    Engine engine;
+    Clock *clk;
+    HostRbb rbb;
+    HostDma dma;
+
+    HostDmaBench()
+        : clk(engine.addClock("clk", 250.0)),
+          rbb(engine, clk, Vendor::Xilinx, 4, 16, 64), dma(rbb)
+    {
+        rbb.setQueueActive(1, true);
+        rbb.setQueueActive(2, true);
+    }
+};
+
+TEST(DmaRecovery, SubmitRejectsAreCountedByCause)
+{
+    HostDmaBench b;
+    // The driver layer rejects inactive queues before the hardware
+    // model ever sees the request.
+    EXPECT_FALSE(b.dma.submit(DmaDir::H2C, 5, 64));  // inactive
+    EXPECT_EQ(b.dma.stats().value("rejected_inactive"), 1u);
+    // The hardware model classifies its own rejects the same way.
+    EXPECT_FALSE(b.rbb.submit(DmaDir::H2C, 5, 64, 99));
+    EXPECT_EQ(b.rbb.monitor().value("rejected_inactive"), 1u);
+
+    // Fill queue 1's staging FIFO (16 deep) until it pushes back.
+    int accepted = 0;
+    while (b.dma.submit(DmaDir::H2C, 1, 64,
+                        static_cast<std::uint64_t>(accepted + 1)))
+        ++accepted;
+    EXPECT_EQ(accepted, 16);
+    EXPECT_EQ(b.dma.stats().value("rejected_backpressure"), 1u);
+    EXPECT_EQ(b.rbb.monitor().value("rejected_backpressure"), 1u);
+    EXPECT_EQ(b.rbb.monitor().value("rejected"), 2u);
+}
+
+TEST(DmaRecovery, LostCompletionTimesOutAndRequeues)
+{
+    HostDmaBench b;
+    FaultPlan plan(5);
+    plan.addOneShot(FaultKind::DmaCompletionLoss, 0);
+    plan.arm();
+
+    ASSERT_TRUE(b.dma.submit(DmaDir::H2C, 1, 4096, 42));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] {
+            b.dma.poll();
+            return b.dma.hasCompletion(1);
+        },
+        500'000'000));
+
+    EXPECT_EQ(b.dma.popCompletion(1).request.id, 42u);
+    EXPECT_EQ(b.dma.stats().value("timeouts"), 1u);
+    EXPECT_EQ(b.dma.stats().value("requeues"), 1u);
+    EXPECT_EQ(b.dma.outstanding(1), 0u);
+    EXPECT_EQ(plan.injected(FaultKind::DmaCompletionLoss), 1u);
+}
+
+TEST(DmaRecovery, PoisonedQueueIsQuarantinedThenReleased)
+{
+    HostDmaBench b;
+    FaultPlan plan(5);
+    // Queue 1 never completes anything.
+    plan.addWindow(FaultKind::DmaCompletionLoss, 0,
+                   1'000'000'000'000, 1.0);
+    plan.arm();
+
+    DmaRecoveryPolicy policy;
+    policy.timeout = 10'000'000;
+    policy.maxAttempts = 2;
+    policy.quarantineStrikes = 1;
+    b.dma.setRecoveryPolicy(policy);
+
+    ASSERT_TRUE(b.dma.submit(DmaDir::H2C, 1, 4096, 7));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] {
+            b.dma.poll();
+            return b.dma.queueQuarantined(1);
+        },
+        2'000'000'000));
+
+    EXPECT_GE(b.dma.stats().value("lost_transfers"), 1u);
+    EXPECT_EQ(b.dma.stats().value("quarantines"), 1u);
+    EXPECT_FALSE(b.rbb.queueActive(1));
+    EXPECT_FALSE(b.dma.submit(DmaDir::H2C, 1, 64));
+    EXPECT_EQ(b.dma.stats().value("rejected_quarantined"), 1u);
+
+    // A healthy queue is unaffected by its neighbor's quarantine.
+    plan.disarm();
+    ASSERT_TRUE(b.dma.submit(DmaDir::C2H, 2, 512, 8));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] {
+            b.dma.poll();
+            return b.dma.hasCompletion(2);
+        },
+        500'000'000));
+
+    // Operator lifts the quarantine; the queue serves again.
+    b.dma.releaseQuarantine(1);
+    EXPECT_TRUE(b.rbb.queueActive(1));
+    ASSERT_TRUE(b.dma.submit(DmaDir::H2C, 1, 512, 9));
+    ASSERT_TRUE(b.engine.runUntilDone(
+        [&] {
+            b.dma.poll();
+            return b.dma.hasCompletion(1);
+        },
+        500'000'000));
+}
+
+struct PrBench {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    PrController pr;
+
+    PrBench()
+        : shell(Shell::makeTailored(
+              engine, deviceA(), SecGateway::standardRequirements())),
+          pr("pr", engine, *shell,
+             {ResourceVector{120000, 160000, 200, 0, 100}})
+    {
+    }
+};
+
+TEST(PrRecovery, FailedLoadRetriesThenActivates)
+{
+    PrBench b;
+    FaultPlan plan(3);
+    plan.addOneShot(FaultKind::PrLoadFail, 0, "pr");
+    plan.arm();
+
+    SecGateway role;
+    ASSERT_TRUE(b.pr.load(0, role));
+    b.engine.runFor(3 * b.pr.reconfigTime(0) + 10'000'000);
+
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Active);
+    EXPECT_TRUE(role.active());
+    EXPECT_EQ(b.pr.stats().value("load_retries"), 1u);
+    EXPECT_EQ(b.pr.stats().value("load_aborted"), 0u);
+}
+
+TEST(PrRecovery, PersistentLoadFailureScrubsSlotInsteadOfWedging)
+{
+    PrBench b;
+    FaultPlan plan(3);
+    plan.addWindow(FaultKind::PrLoadFail, 0, 1'000'000'000'000, 1.0,
+                   "pr");
+    plan.arm();
+
+    SecGateway role;
+    ASSERT_TRUE(b.pr.load(0, role));
+    b.engine.runFor((PrController::kMaxLoadAttempts + 1) *
+                        b.pr.reconfigTime(0) +
+                    20'000'000);
+
+    // Scrubbed back to Empty — never wedged in Reconfiguring.
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Empty);
+    EXPECT_FALSE(role.active());
+    EXPECT_EQ(b.pr.stats().value("load_retries"),
+              PrController::kMaxLoadAttempts - 1);
+    EXPECT_EQ(b.pr.stats().value("load_aborted"), 1u);
+
+    // The slot is usable again once the fault clears.
+    plan.disarm();
+    SecGateway second;
+    ASSERT_TRUE(b.pr.load(0, second));
+    b.engine.runFor(b.pr.reconfigTime(0) + 10'000'000);
+    EXPECT_EQ(b.pr.slotState(0), PrSlotState::Active);
+}
+
+TEST(DegradedMode, OverTempShedsLoadThenRestoresWithHysteresis)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, deviceA());
+    RecoveryManager recovery(engine, *shell);
+
+    FaultPlan plan(9);
+    // A 100 us thermal excursion hot enough to trip the alarm.
+    plan.addWindow(FaultKind::ThermalExcursion, 0, 100'000'000, 1.0,
+                   "", 60'000);
+    plan.arm();
+
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] { return recovery.degraded(); }, 200'000'000));
+    EXPECT_EQ(recovery.stats().value("degrade_events"), 1u);
+    EXPECT_TRUE(shell->health().alarms() & kAlarmOverTemp);
+    for (std::size_t i = 0; i < shell->networkCount(); ++i)
+        EXPECT_TRUE(shell->network(i).rxShedding());
+    // Host queues above the floor were shed.
+    EXPECT_GE(recovery.stats().value("queues_shed"), 0u);
+
+    // The excursion ends; the die cools; service is restored after
+    // the hysteresis-stable window and the alarm latch is cleared.
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] { return !recovery.degraded(); }, 500'000'000));
+    EXPECT_EQ(recovery.stats().value("restore_events"), 1u);
+    EXPECT_EQ(shell->health().alarms(), 0u);
+    for (std::size_t i = 0; i < shell->networkCount(); ++i)
+        EXPECT_FALSE(shell->network(i).rxShedding());
+    EXPECT_EQ(recovery.stats().value("queues_restored"),
+              recovery.stats().value("queues_shed"));
+
+    // Hysteresis means no flapping: exactly one cycle of each.
+    engine.runFor(100'000'000);
+    EXPECT_EQ(recovery.stats().value("degrade_events"), 1u);
+    EXPECT_EQ(recovery.stats().value("restore_events"), 1u);
+}
+
+TEST(DegradedMode, LinkFlapPausesMacAndCountsDownTicks)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, deviceA());
+    shell->network(0).setLoopback(true);
+
+    FaultPlan plan(9);
+    plan.addWindow(FaultKind::LinkFlap, 0, 10'000'000, 1.0);
+    plan.arm();
+
+    PacketDesc pkt;
+    pkt.bytes = 256;
+    shell->network(0).txPush(pkt);
+    engine.runFor(20'000'000);
+
+    MacIp &mac = shell->network(0).mac();
+    EXPECT_GT(mac.stats().value("link_down_ticks"), 0u);
+    EXPECT_GE(plan.injected(FaultKind::LinkFlap),
+              mac.stats().value("link_down_ticks"));
+}
+
+} // namespace
+} // namespace harmonia

@@ -65,6 +65,41 @@ TEST(HealthMonitor, OverTempLatchesAlarmAndRaisesIrq)
     EXPECT_EQ(mon.alarms(), 0u);
 }
 
+TEST(HealthMonitor, AlarmLifecycleRelatchesAfterClear)
+{
+    // Full latch lifecycle: stress latches the alarm and fires the
+    // irq edge; ModuleReset clears the latch AND the line; crossing
+    // the threshold again re-latches and fires a second edge — the
+    // monitor does not stay wedged after its first alarm.
+    IrqHub irqs;
+    HealthMonitor mon("mon", irqs);
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 250.0);
+    engine.add(&mon, clk);
+
+    mon.setUtilization(0.5);
+    mon.setAmbientMilliC(80'000);
+    engine.runFor(1'000'000);
+    ASSERT_TRUE(mon.alarms() & kAlarmOverTemp);
+    EXPECT_EQ(mon.alarmLine().edgeCount(), 1u);
+    EXPECT_TRUE(mon.alarmLine().level());
+
+    // Cool down, then clear: latch and irq line both drop.
+    mon.setAmbientMilliC(35'000);
+    engine.runFor(1'000'000);
+    ASSERT_EQ(mon.executeCommand(kCmdModuleReset, {}).status, kCmdOk);
+    EXPECT_EQ(mon.alarms(), 0u);
+    EXPECT_FALSE(mon.alarmLine().level());
+    engine.runFor(1'000'000);
+    EXPECT_EQ(mon.alarms(), 0u);  // stays clear while cool
+
+    // Second excursion: latches and edges again.
+    mon.setAmbientMilliC(80'000);
+    engine.runFor(1'000'000);
+    EXPECT_TRUE(mon.alarms() & kAlarmOverTemp);
+    EXPECT_EQ(mon.alarmLine().edgeCount(), 2u);
+}
+
 TEST(HealthMonitor, SensorReadCommand)
 {
     IrqHub irqs;
