@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "common/strings.h"
 #include "shell/cdc.h"
 
@@ -65,12 +66,19 @@ main()
     {
         TablePrinter table(
             {"sync stages", "throughput Gbps", "crossing ns"});
+        const unsigned packets =
+            static_cast<unsigned>(scaledIters(2000, 200));
         for (unsigned stages : {2u, 3u, 4u}) {
             const CdcResult r =
-                runCdc(322.0, 512, 322.0, 512, stages, 2000);
+                runCdc(322.0, 512, 322.0, 512, stages, packets);
             table.addRow({std::to_string(stages),
                           format("%.1f", r.achievedGbps),
                           format("%.1f", r.crossingNs)});
+            if (stages == 2)
+                BenchReport("abl_cdc", "cdc_crossing")
+                    .metric("throughput_gbps", r.achievedGbps)
+                    .metric("crossing_ns", r.crossingNs)
+                    .emit();
         }
         table.print();
         std::puts("(deeper synchronizers buy metastability margin "
@@ -97,8 +105,9 @@ main()
             Clock *w = probe.addClock("w", 322.0);
             Clock *r = probe.addClock("r", u.mhz);
             ParamCdc cdc(probe, "p", w, r, 512, u.bits);
-            const CdcResult res =
-                runCdc(322.0, 512, u.mhz, u.bits, 2, 2000);
+            const CdcResult res = runCdc(
+                322.0, 512, u.mhz, u.bits, 2,
+                static_cast<unsigned>(scaledIters(2000, 200)));
             table.addRow(
                 {format("%ub@%.0fMHz", u.bits, u.mhz),
                  format("%.0f", cdc.writeBandwidthBps() / 1e9),

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Bench aggregator and regression gate. Collects the JSON-lines
+ * records the bench binaries append to $HARMONIA_BENCH_JSON into one
+ * BENCH_harmonia.json document, and — when given a committed baseline
+ * — fails (exit 1) on any metric regressing beyond the threshold.
+ *
+ *   bench_aggregate <records.jsonl> <out.json> [baseline.json [pct]]
+ *
+ * Metric direction is inferred from its name: "throughput", "gbps",
+ * "qps" and "ops" count up; "lat", "ticks", "ns", "us", "ps" count
+ * down; anything else is informational and never gates.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+using namespace harmonia;
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+bool
+contains(const std::string &s, const char *needle)
+{
+    return s.find(needle) != std::string::npos;
+}
+
+/** +1 higher is better, -1 lower is better, 0 not gated. */
+int
+metricDirection(const std::string &name)
+{
+    // Order matters: "gbps" would otherwise match the "ps" rule.
+    if (contains(name, "throughput") || contains(name, "gbps") ||
+        contains(name, "gbytes") || contains(name, "qps") ||
+        contains(name, "ops"))
+        return 1;
+    if (contains(name, "lat") || contains(name, "ticks") ||
+        contains(name, "_ns") || contains(name, "_us") ||
+        contains(name, "_ps"))
+        return -1;
+    return 0;
+}
+
+std::string
+scenarioKey(const JsonValue &rec)
+{
+    return rec.get("bench").asString() + "/" +
+           rec.get("scenario").asString();
+}
+
+const JsonValue *
+findScenario(const JsonValue &doc, const std::string &key)
+{
+    const JsonValue &arr = doc.get("scenarios");
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        if (scenarioKey(arr.at(i)) == key)
+            return &arr.at(i);
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: %s <records.jsonl> <out.json> "
+                     "[baseline.json [threshold_pct]]\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::string records_path = argv[1];
+    const std::string out_path = argv[2];
+    const std::string baseline_path = argc > 3 ? argv[3] : "";
+    const double threshold =
+        (argc > 4 ? std::strtod(argv[4], nullptr) : 15.0) / 100.0;
+
+    // --- Collect records (last record wins per scenario key). ---
+    std::vector<JsonValue> scenarios;
+    std::istringstream lines(readFile(records_path));
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty())
+            continue;
+        std::string err;
+        JsonValue rec = JsonValue::parse(line, &err);
+        if (!err.empty() || !rec.isObject()) {
+            warn("skipping malformed record: %s", err.c_str());
+            continue;
+        }
+        const std::string key = scenarioKey(rec);
+        bool replaced = false;
+        for (JsonValue &existing : scenarios)
+            if (scenarioKey(existing) == key) {
+                existing = std::move(rec);
+                replaced = true;
+                break;
+            }
+        if (!replaced)
+            scenarios.push_back(std::move(rec));
+    }
+    if (scenarios.empty())
+        fatal("no bench records in '%s'", records_path.c_str());
+
+    JsonValue doc = JsonValue::object();
+    doc.set("suite", JsonValue("harmonia"));
+    JsonValue arr = JsonValue::array();
+    for (JsonValue &s : scenarios)
+        arr.push(std::move(s));
+    doc.set("scenarios", std::move(arr));
+
+    std::ofstream out(out_path);
+    if (!out)
+        fatal("cannot write '%s'", out_path.c_str());
+    out << doc.dump(2);
+    out.close();
+    std::printf("wrote %zu scenario(s) to %s\n", scenarios.size(),
+                out_path.c_str());
+
+    if (baseline_path.empty())
+        return 0;
+
+    // --- Regression gate against the committed baseline. ---
+    std::string err;
+    const JsonValue baseline =
+        JsonValue::parse(readFile(baseline_path), &err);
+    if (!err.empty())
+        fatal("baseline '%s': %s", baseline_path.c_str(),
+              err.c_str());
+
+    int regressions = 0;
+    const JsonValue &base_arr = baseline.get("scenarios");
+    for (std::size_t i = 0; i < base_arr.size(); ++i) {
+        const JsonValue &base = base_arr.at(i);
+        const std::string key = scenarioKey(base);
+        const JsonValue *cur = findScenario(doc, key);
+        if (cur == nullptr) {
+            std::printf("GATE: scenario '%s' missing from this run\n",
+                        key.c_str());
+            ++regressions;
+            continue;
+        }
+        const JsonValue &base_metrics = base.get("metrics");
+        for (const std::string &name : base_metrics.keys()) {
+            const int dir = metricDirection(name);
+            if (dir == 0 || !cur->get("metrics").has(name))
+                continue;
+            const double was = base_metrics.get(name).asDouble();
+            const double now =
+                cur->get("metrics").get(name).asDouble();
+            if (was == 0.0)
+                continue;
+            const double delta = (now - was) / was;
+            const bool regressed = dir > 0 ? delta < -threshold
+                                           : delta > threshold;
+            std::printf("%s %s/%s: %g -> %g (%+.1f%%)\n",
+                        regressed ? "GATE:" : "  ok ", key.c_str(),
+                        name.c_str(), was, now, delta * 100.0);
+            if (regressed)
+                ++regressions;
+        }
+    }
+    if (regressions != 0) {
+        std::printf("%d metric(s) regressed beyond %.0f%%\n",
+                    regressions, threshold * 100.0);
+        return 1;
+    }
+    std::puts("regression gate passed");
+    return 0;
+}

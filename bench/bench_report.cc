@@ -1,0 +1,81 @@
+#include "bench_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+double
+benchScale()
+{
+    const char *scale = std::getenv("HARMONIA_BENCH_SCALE");
+    if (scale == nullptr || *scale == '\0')
+        return 1.0;
+    char *end = nullptr;
+    const double pct = std::strtod(scale, &end);
+    if (end == scale || *end != '\0' || !(pct > 0.0)) {
+        warn("ignoring malformed HARMONIA_BENCH_SCALE='%s'", scale);
+        return 1.0;
+    }
+    return pct / 100.0;
+}
+
+std::size_t
+scaledIters(std::size_t iters, std::size_t floor)
+{
+    const auto scaled = static_cast<std::size_t>(
+        static_cast<double>(iters) * benchScale());
+    return scaled < floor ? floor : scaled;
+}
+
+BenchReport::BenchReport(std::string bench, std::string scenario)
+    : record_(JsonValue::object()), metrics_(JsonValue::object())
+{
+    record_.set("bench", JsonValue(std::move(bench)));
+    record_.set("scenario", JsonValue(std::move(scenario)));
+    record_.set("scale", JsonValue(benchScale()));
+}
+
+BenchReport &
+BenchReport::metric(const std::string &name, double value)
+{
+    metrics_.set(name, JsonValue(value));
+    return *this;
+}
+
+BenchReport &
+BenchReport::detail(const std::string &name, JsonValue v)
+{
+    record_.set(name, std::move(v));
+    return *this;
+}
+
+void
+BenchReport::emit()
+{
+    record_.set("metrics", metrics_);
+
+    std::string line = format(
+        "[bench] %s/%s:", record_.get("bench").asString().c_str(),
+        record_.get("scenario").asString().c_str());
+    for (const std::string &k : metrics_.keys())
+        line += format(" %s=%g", k.c_str(),
+                       metrics_.get(k).asDouble());
+    std::printf("%s\n", line.c_str());
+
+    const char *path = std::getenv("HARMONIA_BENCH_JSON");
+    if (path == nullptr || *path == '\0')
+        return;
+    std::FILE *f = std::fopen(path, "a");
+    if (f == nullptr) {
+        warn("cannot append bench record to '%s'", path);
+        return;
+    }
+    const std::string doc = record_.dump(0) + "\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+}
+
+} // namespace harmonia

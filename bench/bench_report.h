@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Uniform machine-readable bench output. Every bench binary funnels
+ * its headline numbers through a BenchReport so `run_bench.sh` can
+ * collect one JSON-lines stream per binary and the aggregator can
+ * assemble BENCH_harmonia.json at the repo root.
+ *
+ * Two environment knobs drive the pipeline:
+ *   HARMONIA_BENCH_JSON   path to append records to (absent: no file)
+ *   HARMONIA_BENCH_SCALE  percent of full iteration counts (default
+ *                         100; CI smoke runs use 25)
+ */
+
+#ifndef HARMONIA_BENCH_BENCH_REPORT_H_
+#define HARMONIA_BENCH_BENCH_REPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/json.h"
+
+namespace harmonia {
+
+/** HARMONIA_BENCH_SCALE as a fraction (1.0 when unset/malformed). */
+double benchScale();
+
+/** @p iters scaled by benchScale(), never below @p floor. */
+std::size_t scaledIters(std::size_t iters, std::size_t floor = 1);
+
+/**
+ * One scenario's record: a name, a unit-suffixed metric set, and
+ * optional free-form detail (e.g. a profiler attribution object).
+ * Records print to stdout and append to $HARMONIA_BENCH_JSON.
+ */
+class BenchReport {
+  public:
+    /** @p bench names the binary; @p scenario the measured setup. */
+    BenchReport(std::string bench, std::string scenario);
+
+    /**
+     * Add one metric. Regression classification keys off the name:
+     * names containing "gbps", "qps", "ops" or "throughput" are
+     * higher-is-better; "ps", "ns", "us", "ticks", "lat" lower.
+     */
+    BenchReport &metric(const std::string &name, double value);
+
+    /** Attach a structured detail object (not gated on regressions). */
+    BenchReport &detail(const std::string &name, JsonValue v);
+
+    /** Print the one-line summary and append the JSON record. */
+    void emit();
+
+  private:
+    JsonValue record_;
+    JsonValue metrics_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_BENCH_BENCH_REPORT_H_

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench_report.h"
 #include "common/strings.h"
 #include "shell/host_rbb.h"
 #include "shell/memory_rbb.h"
@@ -296,14 +297,23 @@ main()
     {
         TablePrinter table({"pkt size", "native Gbps", "wrapped Gbps",
                             "native lat us", "wrapped lat us"});
+        const unsigned packets =
+            static_cast<unsigned>(scaledIters(2000, 200));
         for (std::uint32_t size : {64u, 128u, 256u, 512u, 1024u}) {
-            const PerfPoint n = macNative(size, 2000);
-            const PerfPoint w = macWrapped(size, 2000);
+            const PerfPoint n = macNative(size, packets);
+            const PerfPoint w = macWrapped(size, packets);
             table.addRow({std::to_string(size),
                           format("%.1f", n.throughput),
                           format("%.1f", w.throughput),
                           format("%.3f", n.latencyUs),
                           format("%.3f", w.latencyUs)});
+            if (size == 512)
+                BenchReport("fig10_wrapper", "wrapper_overhead")
+                    .metric("native_gbps", n.throughput)
+                    .metric("wrapped_gbps", w.throughput)
+                    .metric("native_lat_us", n.latencyUs)
+                    .metric("wrapped_lat_us", w.latencyUs)
+                    .emit();
         }
         table.print();
     }
@@ -315,15 +325,23 @@ main()
         TablePrinter table({"xfer size", "native GB/s",
                             "wrapped GB/s", "native lat us",
                             "wrapped lat us"});
+        const unsigned transfers =
+            static_cast<unsigned>(scaledIters(800, 100));
         for (std::uint32_t size :
              {1024u, 2048u, 4096u, 8192u, 16384u}) {
-            const PerfPoint n = dmaRun(size, 800, false);
-            const PerfPoint w = dmaRun(size, 800, true);
+            const PerfPoint n = dmaRun(size, transfers, false);
+            const PerfPoint w = dmaRun(size, transfers, true);
             table.addRow({humanBytes(size),
                           format("%.2f", n.throughput),
                           format("%.2f", w.throughput),
                           format("%.3f", n.latencyUs),
                           format("%.3f", w.latencyUs)});
+            if (size == 4096)
+                BenchReport("fig10_wrapper", "dma_throughput")
+                    .metric("native_throughput_gbytes", n.throughput)
+                    .metric("wrapped_throughput_gbytes", w.throughput)
+                    .metric("wrapped_lat_us", w.latencyUs)
+                    .emit();
         }
         table.print();
     }
@@ -344,9 +362,11 @@ main()
             {"SeqRead", true, false},
             {"SeqWrite", true, true},
         };
+        const unsigned ops =
+            static_cast<unsigned>(scaledIters(3000, 300));
         for (const auto &p : patterns) {
-            const PerfPoint n = ddrRun(p.seq, p.write, 3000, false);
-            const PerfPoint w = ddrRun(p.seq, p.write, 3000, true);
+            const PerfPoint n = ddrRun(p.seq, p.write, ops, false);
+            const PerfPoint w = ddrRun(p.seq, p.write, ops, true);
             table.addRow({p.name, format("%.1f", n.throughput),
                           format("%.1f", w.throughput),
                           format("%.3f", n.latencyUs),

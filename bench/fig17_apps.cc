@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "bench_report.h"
 #include "common/strings.h"
 #include "roles/host_network.h"
 #include "roles/l4lb.h"
@@ -137,7 +138,8 @@ void
 bitwTable(const char *title, const Decision &native_decision,
           const std::function<std::unique_ptr<Role>()> &make_role,
           const RoleRequirements &reqs,
-          const char *device_name = "DeviceB")
+          const char *device_name = "DeviceB",
+          const char *report_scenario = nullptr)
 {
     std::printf("=== Figure 17: %s (BITW) ===\n", title);
     // The absolute added latency is what matters: deployed BITW
@@ -146,17 +148,26 @@ bitwTable(const char *title, const Decision &native_decision,
     TablePrinter table({"pkt size", "native Gbps", "harmonia Gbps",
                         "native lat us", "harmonia lat us",
                         "added ns", "% of 10us e2e"});
+    const unsigned packets =
+        static_cast<unsigned>(scaledIters(1500, 200));
     for (std::uint32_t size : {64u, 128u, 256u, 512u, 1024u}) {
-        const PerfPoint n = nativeBitw(native_decision, size, 1500);
+        const PerfPoint n = nativeBitw(native_decision, size, packets);
         auto role = make_role();
         const PerfPoint h =
-            harmoniaBitw(*role, reqs, device_name, size, 1500);
+            harmoniaBitw(*role, reqs, device_name, size, packets);
         const double added_ns = (h.latencyUs - n.latencyUs) * 1e3;
         table.addRow(
             {std::to_string(size), format("%.1f", n.gbps),
              format("%.1f", h.gbps), format("%.3f", n.latencyUs),
              format("%.3f", h.latencyUs), format("%.0f", added_ns),
              format("%.2f", added_ns / 10'000 * 100)});
+        if (report_scenario != nullptr && size == 512)
+            BenchReport("fig17_apps", report_scenario)
+                .metric("native_gbps", n.gbps)
+                .metric("harmonia_gbps", h.gbps)
+                .metric("harmonia_lat_us", h.latencyUs)
+                .metric("added_lat_ns", added_ns)
+                .emit();
     }
     table.print();
     std::puts("");
@@ -196,7 +207,7 @@ main()
                 return true;
             },
             [] { return std::make_unique<Layer4Lb>(64); },
-            Layer4Lb::standardRequirements());
+            Layer4Lb::standardRequirements(), "DeviceB", "l4lb_e2e");
     }
 
     // --- Host Network: exact-match flow cache, to-wire actions. ---

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Run the reportable bench scenarios and aggregate their records into
+# BENCH_harmonia.json at the repo root.
+#
+#   bench/run_bench.sh [build_dir] [out.json]
+#
+# Environment:
+#   HARMONIA_BENCH_SCALE     percent of full iterations (default 100;
+#                            CI smoke uses 25)
+#   HARMONIA_BENCH_BASELINE  baseline BENCH_*.json to gate against
+#                            (exit 1 on >15% regression)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_harmonia.json}"
+records="$(mktemp /tmp/harmonia_bench.XXXXXX.jsonl)"
+trap 'rm -f "$records"' EXIT
+
+export HARMONIA_BENCH_JSON="$records"
+
+benches=(
+    bench_cmd_roundtrip
+    bench_fig10_wrapper
+    bench_abl_cdc
+    bench_fig17_apps
+)
+
+for bench in "${benches[@]}"; do
+    bin="$build_dir/bench/$bench"
+    if [[ ! -x "$bin" ]]; then
+        echo "missing bench binary: $bin (build the 'bench' targets)" >&2
+        exit 2
+    fi
+    echo "--- $bench ---"
+    "$bin" > /dev/null
+done
+
+gate_args=()
+if [[ -n "${HARMONIA_BENCH_BASELINE:-}" ]]; then
+    gate_args=("$HARMONIA_BENCH_BASELINE" "${HARMONIA_BENCH_THRESHOLD:-15}")
+fi
+"$build_dir/bench/bench_aggregate" "$records" "$out_json" "${gate_args[@]}"

@@ -11,6 +11,8 @@
 
 #include "host/cmd_driver.h"
 #include "roles/sec_gateway.h"
+#include "sim/trace.h"
+#include "telemetry/profiler.h"
 #include "workload/packet_gen.h"
 
 using namespace harmonia;
@@ -67,5 +69,37 @@ main()
                     role.stats().value("forwarded_packets")),
                 static_cast<unsigned long long>(
                     role.stats().value("denied_packets")));
+
+    // 7. Causal tracing: with the trace armed, a single command call
+    //    unfolds into a span tree — host issue, wire transfer, kernel
+    //    service, RBB execute — all sharing one correlation id, and
+    //    the profiler's per-hop self times sum exactly to the
+    //    driver's observed round-trip latency.
+    Trace &trace = Trace::instance();
+    Profiler &profiler = shell->profiler();
+    trace.setEnabled(true);
+    trace.clear();
+    profiler.reset();
+    driver.call(kRbbNetwork, 0, kCmdModuleStatusRead);
+    trace.setEnabled(false);
+
+    std::uint64_t corr = 0;
+    for (const Trace::Span &s : trace.spans())
+        if (s.corr != 0)
+            corr = s.corr;
+    const std::vector<Trace::Span> tree = spanTreeForCorr(trace, corr);
+    std::printf("\none ModuleStatusRead as a span tree (%zu hops, "
+                "corr=%llu):\n%s",
+                tree.size(), static_cast<unsigned long long>(corr),
+                renderSpanTree(tree).c_str());
+
+    profiler.fold();
+    Tick self_sum = 0;
+    for (const ProfileEntry &e : profiler.snapshot())
+        self_sum += e.selfTicks;
+    std::printf("per-hop self times sum to %llu ticks; the driver "
+                "observed %llu\n",
+                static_cast<unsigned long long>(self_sum),
+                static_cast<unsigned long long>(driver.lastLatency()));
     return 0;
 }

@@ -38,6 +38,10 @@ toString(CommandCode code)
         return "TelemetryList";
       case kCmdTelemetrySnapshot:
         return "TelemetrySnapshot";
+      case kCmdProfileSnapshot:
+        return "ProfileSnapshot";
+      case kCmdProfileReset:
+        return "ProfileReset";
     }
     return "?";
 }

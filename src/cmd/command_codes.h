@@ -34,6 +34,10 @@ enum CommandCode : std::uint16_t {
     // the same packetized way the BMC reads sensors.
     kCmdTelemetryList = 0x0030,
     kCmdTelemetrySnapshot = 0x0031,
+    // Causal-profiling plane: read / reset the cycle-attribution
+    // profile folded from the span trace.
+    kCmdProfileSnapshot = 0x0032,
+    kCmdProfileReset = 0x0033,
 };
 
 /** Command execution status in response packets. */

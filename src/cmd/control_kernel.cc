@@ -241,7 +241,27 @@ UnifiedControlKernel::tick()
                   buffer_.begin() + static_cast<long>(consumed));
     lastTruncatedSize_ = 0;
 
-    const CommandResult result = execute(pkt);
+    // The driver propagates its trace context across the wire as a
+    // tag in the Options high half; resolving it parents this span
+    // (and, through the ambient scope, the target's execute span)
+    // under the originating host call.
+    Trace &tracer = Trace::instance();
+    const TraceContext wire_ctx = tracer.taggedContext(
+        static_cast<std::uint16_t>(pkt.options >> 16));
+    const Tick arrived_at =
+        !arrivals_.empty() ? arrivals_.front()
+                           : (clock() != nullptr ? now() : 0);
+    const SpanId kspan = tracer.beginSpan(
+        arrived_at, name(),
+        toString(static_cast<CommandCode>(pkt.commandCode)),
+        "command", wire_ctx);
+
+    CommandResult result;
+    {
+        ScopedTraceContext scope(
+            TraceContext{kspan, wire_ctx.corr});
+        result = execute(pkt);
+    }
     trace(*this, "executed %s for src=%02x -> %s",
           toString(static_cast<CommandCode>(pkt.commandCode)),
           pkt.srcId,
@@ -264,11 +284,12 @@ UnifiedControlKernel::tick()
         const Tick arrived = arrivals_.front();
         arrivals_.pop_front();
         serviceLat_.sample(done >= arrived ? done - arrived : 0);
-        Trace::instance().completeSpan(
-            arrived, done, name(),
-            toString(static_cast<CommandCode>(pkt.commandCode)),
-            "command");
     }
+    // The span ends now, when the response is visible to the host —
+    // not at `done`: the remaining soft-core busy tail models
+    // throughput, and ending past the caller's observation point
+    // would break the span tree's self-time telescoping.
+    tracer.endSpan(kspan, now());
 }
 
 } // namespace harmonia

@@ -1,0 +1,464 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+namespace {
+
+/** Recursive-descent parser over a bounds-checked cursor. */
+class Parser {
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    JsonValue
+    run()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (!failed_ && pos_ != text_.size())
+            fail("trailing characters after document");
+        return failed_ ? JsonValue() : v;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (failed_)
+            return;
+        failed_ = true;
+        if (error_ != nullptr)
+            *error_ = format("json: %s at offset %zu", why.c_str(),
+                             pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return {};
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return JsonValue(string());
+        if (literal("true"))
+            return JsonValue(true);
+        if (literal("false"))
+            return JsonValue(false);
+        if (literal("null"))
+            return {};
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return number();
+        fail("unexpected character");
+        return {};
+    }
+
+    JsonValue
+    object()
+    {
+        JsonValue out = JsonValue::object();
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return out;
+        while (!failed_) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                break;
+            }
+            const std::string key = string();
+            skipWs();
+            if (!consume(':')) {
+                fail("expected ':' after key");
+                break;
+            }
+            out.set(key, value());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                break;
+            fail("expected ',' or '}'");
+        }
+        return out;
+    }
+
+    JsonValue
+    array()
+    {
+        JsonValue out = JsonValue::array();
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return out;
+        while (!failed_) {
+            out.push(value());
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                break;
+            fail("expected ',' or ']'");
+        }
+        return out;
+    }
+
+    std::string
+    string()
+    {
+        std::string out;
+        consume('"');
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return out;
+                }
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape digit");
+                        return out;
+                    }
+                }
+                // UTF-8 encode the BMP codepoint (we never emit
+                // surrogate pairs; decode them as-is if seen).
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape");
+                return out;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        const std::string tok = text_.substr(start, pos_ - start);
+        // JSON forbids leading zeros ("01"), which strtod accepts.
+        const std::size_t digits = tok[0] == '-' ? 1 : 0;
+        if (tok.size() > digits + 1 && tok[digits] == '0' &&
+            std::isdigit(static_cast<unsigned char>(tok[digits + 1]))) {
+            fail("leading zero in number");
+            return {};
+        }
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == tok.c_str() || *end != '\0') {
+            fail("malformed number");
+            return {};
+        }
+        return JsonValue(v);
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+const JsonValue &
+nullValue()
+{
+    static const JsonValue v;
+    return v;
+}
+
+void
+escapeTo(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            out += format("\\u%04x", c);
+            continue;
+        }
+        out += c;
+    }
+}
+
+void
+numberTo(std::string &out, double v)
+{
+    // Integers (the common case: ticks, counts) print exactly.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        v > -9.0e15 && v < 9.0e15) {
+        out += format("%lld", static_cast<long long>(v));
+        return;
+    }
+    out += format("%.17g", v);
+}
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+    Parser p(text, error);
+    return p.run();
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (type_ == Type::Array)
+        return arr_.size();
+    if (type_ == Type::Object)
+        return obj_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    if (type_ != Type::Array || i >= arr_.size())
+        return nullValue();
+    return arr_[i];
+}
+
+const JsonValue &
+JsonValue::get(const std::string &key) const
+{
+    if (type_ == Type::Object)
+        for (const auto &[k, v] : obj_)
+            if (k == key)
+                return v;
+    return nullValue();
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    for (const auto &[k, v] : obj_)
+        if (k == key)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+JsonValue::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(obj_.size());
+    for (const auto &[k, v] : obj_)
+        out.push_back(k);
+    return out;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Array;
+    if (type_ != Type::Array)
+        fatal("JsonValue::push on a non-array");
+    arr_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue v)
+{
+    if (type_ == Type::Null)
+        type_ = Type::Object;
+    if (type_ != Type::Object)
+        fatal("JsonValue::set on a non-object");
+    for (auto &[k, existing] : obj_)
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    obj_.emplace_back(key, std::move(v));
+}
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) *
+                              (static_cast<std::size_t>(depth) + 1),
+                          ' ');
+    const std::string close(
+        static_cast<std::size_t>(indent) *
+            static_cast<std::size_t>(depth),
+        ' ');
+    const char *nl = indent > 0 ? "\n" : "";
+
+    switch (type_) {
+      case Type::Null:
+        out += "null";
+        return;
+      case Type::Bool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Type::Number:
+        numberTo(out, num_);
+        return;
+      case Type::String:
+        out += '"';
+        escapeTo(out, str_);
+        out += '"';
+        return;
+      case Type::Array: {
+        if (arr_.empty()) {
+            out += "[]";
+            return;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            out += pad;
+            arr_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < arr_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close;
+        out += ']';
+        return;
+      }
+      case Type::Object: {
+        if (obj_.empty()) {
+            out += "{}";
+            return;
+        }
+        out += '{';
+        out += nl;
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            out += pad;
+            out += '"';
+            escapeTo(out, obj_[i].first);
+            out += "\":";
+            if (indent > 0)
+                out += ' ';
+            obj_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < obj_.size())
+                out += ',';
+            out += nl;
+        }
+        out += close;
+        out += '}';
+        return;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal JSON document model: parse, inspect, build, serialize. Used
+ * by the bench aggregator (BENCH_*.json records), the exporter round-
+ * trip tests, and anything else that must consume its own machine-
+ * readable output without an external dependency. Numbers are doubles
+ * (exact for integers up to 2^53 — every tick count we emit); object
+ * keys keep insertion order so serialization is deterministic.
+ */
+
+#ifndef HARMONIA_COMMON_JSON_H_
+#define HARMONIA_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace harmonia {
+
+class JsonValue {
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+    JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+    JsonValue(double n) : type_(Type::Number), num_(n) {}
+    JsonValue(std::uint64_t n)
+        : type_(Type::Number), num_(static_cast<double>(n))
+    {
+    }
+    JsonValue(int n) : type_(Type::Number), num_(n) {}
+    JsonValue(std::string s) : type_(Type::String), str_(std::move(s))
+    {
+    }
+    JsonValue(const char *s) : type_(Type::String), str_(s) {}
+
+    static JsonValue array() { return JsonValue(Type::Array); }
+    static JsonValue object() { return JsonValue(Type::Object); }
+
+    /**
+     * Parse one JSON document. Returns a Null value and fills
+     * @p error (when given) on malformed input; a parsed `null`
+     * yields ok() == true, so check error for the distinction.
+     */
+    static JsonValue parse(const std::string &text,
+                           std::string *error = nullptr);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    double asDouble() const { return num_; }
+    std::uint64_t
+    asU64() const
+    {
+        return num_ <= 0 ? 0 : static_cast<std::uint64_t>(num_ + 0.5);
+    }
+    const std::string &asString() const { return str_; }
+
+    /** Array / object element count. */
+    std::size_t size() const;
+
+    /** Array element; Null value on out-of-range or non-array. */
+    const JsonValue &at(std::size_t i) const;
+
+    /** Object member; Null value when absent or non-object. */
+    const JsonValue &get(const std::string &key) const;
+    bool has(const std::string &key) const;
+
+    /** Object keys in insertion order. */
+    std::vector<std::string> keys() const;
+
+    /** Append to an array (converts a Null value into an array). */
+    void push(JsonValue v);
+
+    /** Set an object member (converts Null; replaces an existing key). */
+    void set(const std::string &key, JsonValue v);
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits the compact single-line form.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    explicit JsonValue(Type t) : type_(t) {}
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_COMMON_JSON_H_

@@ -176,6 +176,25 @@ CmdDriver::callChecked(std::uint8_t rbb_id, std::uint8_t instance_id,
         transfer_latency = shell_.host().dma().baseLatency();
     }
 
+    // Root of this call's span tree. The correlation context rides the
+    // wire as a 16-bit tag in the Options high half so the kernel can
+    // parent its decode span under this call. When tracing is off the
+    // root id is 0 and the packet bytes are bit-identical to before.
+    Trace &tracer = Trace::instance();
+    const std::uint64_t corr =
+        tracer.enabled() ? tracer.newCorrelation() : 0;
+    const SpanId root = tracer.beginSpan(
+        started, format("cmd%02x", srcId_),
+        format("call:%s", toString(static_cast<CommandCode>(code))),
+        "command", TraceContext{tracer.context().parent, corr});
+    TraceContext ctx;
+    std::uint16_t tag = 0;
+    if (root != 0) {
+        ctx = TraceContext{root, corr};
+        tag = tracer.armTag(ctx);
+        pkt.options |= static_cast<std::uint32_t>(tag) << 16;
+    }
+
     CallOutcome out;
     Tick backoff = policy_.initialBackoff;
     for (unsigned attempt = 1; attempt <= policy_.maxAttempts;
@@ -187,10 +206,20 @@ CmdDriver::callChecked(std::uint8_t rbb_id, std::uint8_t instance_id,
             lastLatency_ =
                 (engine_.now() - started) + 2 * transfer_latency;
             roundTrip_.sample(lastLatency_);
-            Trace::instance().completeSpan(
-                started, started + lastLatency_,
-                format("cmd%02x", srcId_),
-                toString(static_cast<CommandCode>(code)), "command");
+            if (root != 0) {
+                const Tick root_end = started + lastLatency_;
+                // The transfer legs are added to the latency after the
+                // kernel window ends, so modelling them as one tail
+                // span keeps the root's children disjoint and the
+                // per-hop self times summing to lastLatency_.
+                if (transfer_latency != 0)
+                    tracer.completeSpan(root_end - 2 * transfer_latency,
+                                        root_end,
+                                        format("cmd%02x", srcId_),
+                                        "transfer", "wire", ctx);
+                tracer.endSpan(root, root_end);
+                tracer.disarmTag(tag);
+            }
             return out;
         }
         if (attempt == policy_.maxAttempts)
@@ -203,6 +232,10 @@ CmdDriver::callChecked(std::uint8_t rbb_id, std::uint8_t instance_id,
                               policy_.multiplier));
     }
     stats_.counter("exhausted").inc();
+    if (root != 0) {
+        tracer.endSpan(root, engine_.now());
+        tracer.disarmTag(tag);
+    }
     return out;
 }
 

@@ -31,8 +31,15 @@ HostDma::submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
         stats_.counter("rejected_backpressure").inc();
         return false;
     }
+    // One span per tracked transfer, submit to retirement; requeues
+    // extend the same span, so its duration is the user-visible
+    // completion latency, not a single attempt's.
+    const SpanId span = Trace::instance().beginSpan(
+        host_.now(), "host_dma",
+        dir == DmaDir::H2C ? "dma:h2c" : "dma:c2h", "dma");
     outstanding_[queue].push_back(
-        Pending{dir, bytes, id, host_.now() + policy_.timeout, 1});
+        Pending{dir, bytes, id, host_.now() + policy_.timeout, 1,
+                span});
     return true;
 }
 
@@ -58,6 +65,7 @@ HostDma::poll()
             stats_.counter("duplicate_completions").inc();
             continue;
         }
+        Trace::instance().endSpan(it->span, host_.now());
         open.erase(it);
         ++transfers_;
         bytes_ += c.request.bytes;
@@ -79,6 +87,7 @@ HostDma::timeoutScan()
             open.pop_front();
             stats_.counter("timeouts").inc();
             if (p.attempts >= policy_.maxAttempts) {
+                Trace::instance().endSpan(p.span, t);
                 stats_.counter("lost_transfers").inc();
                 if (++strikes_[q] >= policy_.quarantineStrikes) {
                     quarantine(q);
@@ -108,6 +117,8 @@ HostDma::quarantine(std::uint16_t queue)
     // Whatever was still in flight on the poisoned queue is lost.
     stats_.counter("lost_transfers")
         .inc(outstanding_[queue].size());
+    for (const Pending &p : outstanding_[queue])
+        Trace::instance().endSpan(p.span, host_.now());
     outstanding_[queue].clear();
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "shell/host_rbb.h"
+#include "sim/trace.h"
 #include "telemetry/metrics_registry.h"
 
 namespace harmonia {
@@ -95,6 +96,7 @@ class HostDma {
         std::uint64_t id;
         Tick deadline;
         unsigned attempts;
+        SpanId span = 0;  ///< open trace span (submit -> completion)
     };
 
     void timeoutScan();

@@ -2,6 +2,8 @@
 
 #include "cmd/command_codes.h"
 #include "common/logging.h"
+#include "sim/clock.h"
+#include "sim/trace.h"
 
 namespace harmonia {
 
@@ -155,6 +157,26 @@ CommandResult
 Rbb::executeCommand(std::uint16_t code,
                     const std::vector<std::uint32_t> &data)
 {
+    // Child hop of the command's span tree: parents under the kernel
+    // span through the ambient context the kernel arms around this
+    // dispatch. Modeled as the two user-clock cycles ending at the
+    // execution instant, clamped inside the parent's window so the
+    // tree's self times telescope exactly. Unclocked RBBs (unit tests
+    // poking executeCommand directly) record nothing.
+    if (clock() != nullptr && Trace::instance().enabled()) {
+        Trace &tracer = Trace::instance();
+        const Tick two_cycles = 2 * clock()->period();
+        Tick begin = now() >= two_cycles ? now() - two_cycles : 0;
+        const Tick parent_begin =
+            tracer.openSpanBegin(tracer.context().parent);
+        if (begin < parent_begin)
+            begin = parent_begin;
+        tracer.completeSpan(
+            begin, now(), name(),
+            format("execute:%s",
+                   toString(static_cast<CommandCode>(code))),
+            "rbb");
+    }
     switch (code) {
       case kCmdModuleStatusRead:
         return statusRead(data);

@@ -141,6 +141,7 @@ Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
 
     // --- Telemetry plane: registry access over the command path. ---
     kernel_.registerTarget(kRbbTelemetry, 0, &telemetryTarget_);
+    telemetryTarget_.attachProfiler(&profiler_);
 }
 
 void
@@ -156,6 +157,9 @@ Shell::registerTelemetry(MetricsRegistry &reg)
         host_->registerTelemetry(reg, name_ + "/host0");
     kernel_.registerTelemetry(reg, name_ + "/uck");
     health_.registerTelemetry(reg, name_ + "/health");
+    profiler_.registerTelemetry(reg, name_ + "/profile");
+    traceTelemetry_.reset(reg);
+    registerTraceGauges(traceTelemetry_, name_ + "/trace");
 }
 
 std::unique_ptr<Shell>

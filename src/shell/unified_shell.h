@@ -24,6 +24,7 @@
 #include "shell/network_rbb.h"
 #include "shell/tailoring.h"
 #include "sim/engine.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry_target.h"
 #include "wrapper/reg_wrapper.h"
 
@@ -71,6 +72,13 @@ class Shell {
     IrqHub &irqs() { return irqs_; }
     HealthMonitor &health() { return health_; }
     DeviceAdapter &deviceAdapter() { return adapter_; }
+
+    /**
+     * Cycle-attribution profiler over the causal trace. Also served
+     * over the command plane as ProfileSnapshot / ProfileReset at
+     * (kRbbTelemetry, 0).
+     */
+    Profiler &profiler() { return profiler_; }
 
     /**
      * Publish the whole shell — every RBB with its wrappers, the
@@ -156,6 +164,8 @@ class Shell {
     IrqHub irqs_;
     HealthMonitor health_;
     TelemetryTarget telemetryTarget_;
+    Profiler profiler_;
+    ScopedMetrics traceTelemetry_;
 };
 
 } // namespace harmonia

@@ -1,6 +1,7 @@
 #include "sim/trace.h"
 
 #include <cstdarg>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -11,8 +12,29 @@ namespace harmonia {
 Trace &
 Trace::instance()
 {
+    static bool applied_env = false;
     static Trace t;
+    if (!applied_env) {
+        applied_env = true;
+        t.applyEnvCapacity();
+    }
     return t;
+}
+
+void
+Trace::applyEnvCapacity()
+{
+    const char *cap = std::getenv("HARMONIA_TRACE_CAP");
+    if (cap == nullptr || *cap == '\0')
+        return;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(cap, &end, 10);
+    if (end == cap || *end != '\0' || v == 0) {
+        warn("ignoring malformed HARMONIA_TRACE_CAP='%s'", cap);
+        return;
+    }
+    setCapacity(static_cast<std::size_t>(v));
+    setMaxOpenSpans(static_cast<std::size_t>(v));
 }
 
 void
@@ -27,11 +49,24 @@ SpanId
 Trace::beginSpan(Tick begin, std::string who, std::string what,
                  std::string cat)
 {
-    if (!enabled_ || open_.size() >= kMaxOpenSpans)
+    return beginSpan(begin, std::move(who), std::move(what),
+                     std::move(cat), current_);
+}
+
+SpanId
+Trace::beginSpan(Tick begin, std::string who, std::string what,
+                 std::string cat, const TraceContext &ctx)
+{
+    if (!enabled_)
         return 0;
+    if (open_.size() >= maxOpen_) {
+        ++droppedOpens_;
+        return 0;
+    }
     const SpanId id = nextSpanId_++;
-    open_[id] = {id, begin, begin, std::move(who), std::move(what),
-                 std::move(cat)};
+    open_[id] = {id,     ctx.parent,      ctx.corr,
+                 begin,  begin,           std::move(who),
+                 std::move(what), std::move(cat)};
     return id;
 }
 
@@ -55,16 +90,61 @@ Trace::endSpan(SpanId id, Tick end)
     return duration;
 }
 
+Tick
+Trace::openSpanBegin(SpanId id) const
+{
+    const auto it = open_.find(id);
+    return it == open_.end() ? 0 : it->second.begin;
+}
+
 void
 Trace::completeSpan(Tick begin, Tick end, std::string who,
                     std::string what, std::string cat)
+{
+    completeSpan(begin, end, std::move(who), std::move(what),
+                 std::move(cat), current_);
+}
+
+void
+Trace::completeSpan(Tick begin, Tick end, std::string who,
+                    std::string what, std::string cat,
+                    const TraceContext &ctx)
 {
     if (!enabled_)
         return;
     if (end < begin)
         end = begin;
-    spans_.push({nextSpanId_++, begin, end, std::move(who),
-                 std::move(what), std::move(cat)});
+    spans_.push({nextSpanId_++, ctx.parent, ctx.corr, begin, end,
+                 std::move(who), std::move(what), std::move(cat)});
+}
+
+std::uint16_t
+Trace::armTag(const TraceContext &ctx)
+{
+    if (!enabled_ || tags_.size() >= 0xfffe)
+        return 0;
+    // Rotating allocation, skipping 0 ("no tag") and live tags so a
+    // stale tag in a delayed packet never aliases a newer request.
+    while (nextTag_ == 0 || tags_.count(nextTag_) != 0)
+        ++nextTag_;
+    const std::uint16_t tag = nextTag_++;
+    tags_[tag] = ctx;
+    return tag;
+}
+
+TraceContext
+Trace::taggedContext(std::uint16_t tag) const
+{
+    if (tag == 0)
+        return {};
+    const auto it = tags_.find(tag);
+    return it == tags_.end() ? TraceContext{} : it->second;
+}
+
+void
+Trace::disarmTag(std::uint16_t tag)
+{
+    tags_.erase(tag);
 }
 
 void
@@ -73,7 +153,10 @@ Trace::clear()
     entries_.clear();
     spans_.clear();
     open_.clear();
+    tags_.clear();
+    current_ = TraceContext{};
     unmatchedEnds_ = 0;
+    droppedOpens_ = 0;
 }
 
 void
@@ -83,6 +166,12 @@ Trace::setCapacity(std::size_t capacity)
         capacity = 1;
     entries_.setCapacity(capacity);
     spans_.setCapacity(capacity);
+}
+
+void
+Trace::setMaxOpenSpans(std::size_t n)
+{
+    maxOpen_ = n == 0 ? 1 : n;
 }
 
 std::string

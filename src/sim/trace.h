@@ -6,6 +6,14 @@
  * lifetimes through wrappers and CDC FIFOs); the telemetry exporter
  * renders both as Chrome trace_event JSON. Off by default and free
  * when off.
+ *
+ * Spans are causal: each carries an optional parent span and a 64-bit
+ * correlation id, so one host command unfolds into a span *tree*
+ * (driver call -> wire -> kernel decode -> RBB execute). Context
+ * propagates two ways: in-process via an ambient TraceContext that
+ * begin/completeSpan stamp onto new spans, and across the simulated
+ * wire via a 16-bit tag the command driver packs into the packet's
+ * Options word (armTag / taggedContext).
  */
 
 #ifndef HARMONIA_SIM_TRACE_H_
@@ -24,6 +32,18 @@ class Component;
 
 /** Identifier of an in-flight or completed span. 0 means "no span". */
 using SpanId = std::uint64_t;
+
+/**
+ * Causal context a span is born under: the enclosing span and the
+ * correlation id of the whole request tree. A default-constructed
+ * context is "unarmed" and stamps nothing.
+ */
+struct TraceContext {
+    SpanId parent = 0;
+    std::uint64_t corr = 0;
+
+    bool armed() const { return parent != 0 || corr != 0; }
+};
 
 /**
  * Fixed-capacity ring with O(1) eviction of the oldest element. The
@@ -107,6 +127,8 @@ class Trace {
     /** One completed (or still-open) span. */
     struct Span {
         SpanId id = 0;
+        SpanId parent = 0;         ///< enclosing span, 0 = root
+        std::uint64_t corr = 0;    ///< request-tree correlation id
         Tick begin = 0;
         Tick end = 0;
         std::string who;   ///< track the span renders on (component)
@@ -114,9 +136,10 @@ class Trace {
         std::string cat;   ///< category (wrapper, fifo, cmd, ...)
     };
 
+    /** Default ring depth; raise via setCapacity / HARMONIA_TRACE_CAP. */
     static constexpr std::size_t kCapacity = 4096;
 
-    /** Open spans beyond this are dropped (leak guard). */
+    /** Default open-span table bound (leak guard). */
     static constexpr std::size_t kMaxOpenSpans = 4096;
 
     static Trace &instance();
@@ -130,9 +153,14 @@ class Trace {
     /**
      * Open a span. Returns 0 when tracing is disabled or the open-span
      * table is full; endSpan(0) is a no-op, so callers need no guard.
+     * The span is stamped with the ambient context (see setContext).
      */
     SpanId beginSpan(Tick begin, std::string who, std::string what,
                      std::string cat = "span");
+
+    /** Open a span under an explicit context instead of the ambient. */
+    SpanId beginSpan(Tick begin, std::string who, std::string what,
+                     std::string cat, const TraceContext &ctx);
 
     /**
      * Close a span and return its duration in ticks. Unknown or zero
@@ -144,6 +172,43 @@ class Trace {
     void completeSpan(Tick begin, Tick end, std::string who,
                       std::string what, std::string cat = "span");
 
+    /** Same, under an explicit context instead of the ambient. */
+    void completeSpan(Tick begin, Tick end, std::string who,
+                      std::string what, std::string cat,
+                      const TraceContext &ctx);
+
+    // --- Causal context -------------------------------------------
+
+    /** Allocate a fresh correlation id (never 0). */
+    std::uint64_t newCorrelation() { return nextCorr_++; }
+
+    /**
+     * Set the ambient context new spans are stamped with. Single-
+     * threaded simulation makes this the analogue of a thread-local;
+     * prefer ScopedTraceContext so nesting restores correctly.
+     */
+    void setContext(const TraceContext &ctx) { current_ = ctx; }
+    const TraceContext &context() const { return current_; }
+    void clearContext() { current_ = TraceContext{}; }
+
+    /**
+     * Register @p ctx for wire propagation and return the 16-bit tag
+     * that names it (the command driver packs the tag into the command
+     * packet's Options high half). Returns 0 — meaning "don't write a
+     * tag" — when tracing is disabled or the tag space is exhausted.
+     */
+    std::uint16_t armTag(const TraceContext &ctx);
+
+    /** Context registered under @p tag; unarmed when 0 or unknown. */
+    TraceContext taggedContext(std::uint16_t tag) const;
+
+    /** Release a tag (idempotent). */
+    void disarmTag(std::uint16_t tag);
+
+    std::size_t armedTagCount() const { return tags_.size(); }
+
+    // --- Introspection --------------------------------------------
+
     std::vector<Entry> entries() const { return entries_.snapshot(); }
     std::size_t size() const { return entries_.size(); }
 
@@ -151,8 +216,18 @@ class Trace {
     std::size_t spanCount() const { return spans_.size(); }
     std::size_t openSpanCount() const { return open_.size(); }
 
+    /**
+     * Begin tick of a still-open span; 0 when unknown. Children use
+     * it to clamp their own window inside the parent's, keeping the
+     * self-time telescoping identity exact.
+     */
+    Tick openSpanBegin(SpanId id) const;
+
     /** endSpan() calls that matched no open span. */
     std::uint64_t unmatchedEnds() const { return unmatchedEnds_; }
+
+    /** beginSpan() calls dropped because the open table was full. */
+    std::uint64_t droppedOpens() const { return droppedOpens_; }
 
     void clear();
 
@@ -163,6 +238,18 @@ class Trace {
     void setCapacity(std::size_t capacity);
     std::size_t capacity() const { return entries_.capacity(); }
 
+    /** Bound on concurrently open spans (clamped to >= 1). */
+    void setMaxOpenSpans(std::size_t n);
+    std::size_t maxOpenSpans() const { return maxOpen_; }
+
+    /**
+     * Apply the HARMONIA_TRACE_CAP environment override (ring depth
+     * and open-span bound) — a full chaos drill outgrows the default
+     * 4096. instance() applies it once at first use; exposed so tests
+     * and long-running tools can re-read the environment.
+     */
+    void applyEnvCapacity();
+
     /** Render the last @p last_n instant entries, one per line. */
     std::string dump(std::size_t last_n = kCapacity) const;
 
@@ -171,10 +258,38 @@ class Trace {
 
     bool enabled_ = false;
     SpanId nextSpanId_ = 1;
+    std::uint64_t nextCorr_ = 1;
+    std::uint16_t nextTag_ = 1;
     std::uint64_t unmatchedEnds_ = 0;
+    std::uint64_t droppedOpens_ = 0;
+    std::size_t maxOpen_ = kMaxOpenSpans;
+    TraceContext current_;
     BoundedRing<Entry> entries_{kCapacity};
     BoundedRing<Span> spans_{kCapacity};
     std::map<SpanId, Span> open_;
+    std::map<std::uint16_t, TraceContext> tags_;
+};
+
+/**
+ * RAII ambient-context scope: sets the trace's current context on
+ * construction and restores the previous one on destruction, so
+ * nested scopes (kernel dispatch inside a driver call) compose.
+ */
+class ScopedTraceContext {
+  public:
+    explicit ScopedTraceContext(const TraceContext &ctx)
+        : saved_(Trace::instance().context())
+    {
+        Trace::instance().setContext(ctx);
+    }
+
+    ~ScopedTraceContext() { Trace::instance().setContext(saved_); }
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+  private:
+    TraceContext saved_;
 };
 
 /**

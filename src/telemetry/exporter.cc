@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 
+#include "common/json.h"
 #include "common/logging.h"
 
 namespace harmonia {
@@ -69,11 +70,14 @@ toChromeTraceJson(const Trace &trace)
         append(format(
             "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
             "\"ts\":%s,\"dur\":%s,\"pid\":1,\"tid\":%d,"
-            "\"args\":{\"span_id\":%llu}}",
+            "\"args\":{\"span_id\":%llu,\"parent\":%llu,"
+            "\"corr\":%llu}}",
             jsonEscape(s.what).c_str(), jsonEscape(s.cat).c_str(),
             ticksToUs(s.begin).c_str(),
             ticksToUs(s.end - s.begin).c_str(), tidFor(s.who),
-            static_cast<unsigned long long>(s.id)));
+            static_cast<unsigned long long>(s.id),
+            static_cast<unsigned long long>(s.parent),
+            static_cast<unsigned long long>(s.corr)));
     }
     for (const Trace::Entry &e : trace.entries()) {
         append(format("{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\","
@@ -90,6 +94,60 @@ toChromeTraceJson(const Trace &trace)
 
     return "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n" + events +
            "\n]}\n";
+}
+
+std::string
+toSpanJsonLines(const Trace &trace)
+{
+    std::string out;
+    for (const Trace::Span &s : trace.spans()) {
+        out += format(
+            "{\"id\":%llu,\"parent\":%llu,\"corr\":%llu,"
+            "\"begin\":%llu,\"end\":%llu,\"who\":\"%s\","
+            "\"what\":\"%s\",\"cat\":\"%s\"}\n",
+            static_cast<unsigned long long>(s.id),
+            static_cast<unsigned long long>(s.parent),
+            static_cast<unsigned long long>(s.corr),
+            static_cast<unsigned long long>(s.begin),
+            static_cast<unsigned long long>(s.end),
+            jsonEscape(s.who).c_str(), jsonEscape(s.what).c_str(),
+            jsonEscape(s.cat).c_str());
+    }
+    return out;
+}
+
+std::vector<Trace::Span>
+spansFromJsonLines(const std::string &text)
+{
+    std::vector<Trace::Span> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        std::string err;
+        const JsonValue v = JsonValue::parse(line, &err);
+        if (!err.empty() || !v.isObject()) {
+            warn("spansFromJsonLines: skipping malformed line: %s",
+                 err.c_str());
+            continue;
+        }
+        Trace::Span s;
+        s.id = v.get("id").asU64();
+        s.parent = v.get("parent").asU64();
+        s.corr = v.get("corr").asU64();
+        s.begin = v.get("begin").asU64();
+        s.end = v.get("end").asU64();
+        s.who = v.get("who").asString();
+        s.what = v.get("what").asString();
+        s.cat = v.get("cat").asString();
+        out.push_back(std::move(s));
+    }
+    return out;
 }
 
 std::string

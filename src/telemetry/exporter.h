@@ -21,10 +21,22 @@ namespace harmonia {
  * Render completed spans as Chrome "X" (complete) events and instant
  * entries as "i" events. Each distinct `who` becomes a named thread
  * track. Timestamps convert from ticks (ps) to the format's
- * microseconds. Open (unbalanced) spans are simply absent — they can
- * never corrupt the JSON.
+ * microseconds; span ids, parent links and correlation ids ride in
+ * each event's args so chrome://tracing / Perfetto can group one
+ * command's tree. Open (unbalanced) spans are simply absent — they
+ * can never corrupt the JSON.
  */
 std::string toChromeTraceJson(const Trace &trace);
+
+/**
+ * One JSON object per completed span per line, carrying every Span
+ * field (id, parent, corr, begin/end ticks, who/what/cat) so a span
+ * tree round-trips losslessly through text.
+ */
+std::string toSpanJsonLines(const Trace &trace);
+
+/** Inverse of toSpanJsonLines(); malformed lines are skipped. */
+std::vector<Trace::Span> spansFromJsonLines(const std::string &text);
 
 /**
  * Prometheus-style exposition text. Hierarchical names flatten with

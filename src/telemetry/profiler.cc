@@ -1,0 +1,240 @@
+#include "telemetry/profiler.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/logging.h"
+
+namespace harmonia {
+
+std::size_t
+Profiler::fold()
+{
+    const std::vector<Trace::Span> all = trace_->spans();
+
+    std::vector<const Trace::Span *> fresh;
+    fresh.reserve(all.size());
+    for (const Trace::Span &s : all)
+        if (s.id > watermark_)
+            fresh.push_back(&s);
+    if (fresh.empty())
+        return 0;
+
+    // Pass 1: direct-child time per parent, so pass 2 can compute
+    // self = duration - children without ordering assumptions.
+    std::map<SpanId, Tick> child_ticks;
+    for (const Trace::Span *s : fresh)
+        if (s->parent != 0)
+            child_ticks[s->parent] += s->end - s->begin;
+
+    for (const Trace::Span *s : fresh) {
+        const Tick dur = s->end - s->begin;
+        Agg &a = agg_[{s->who, s->cat}];
+        ++a.spans;
+        a.total += dur;
+        const auto it = child_ticks.find(s->id);
+        const Tick children =
+            it == child_ticks.end() ? 0 : it->second;
+        // Overlapping children clamp at the span's own duration so
+        // self time never goes negative.
+        a.self += dur - std::min(dur, children);
+        a.max = std::max(a.max, dur);
+        if (!sawSpan_ || s->begin < windowBegin_)
+            windowBegin_ = s->begin;
+        if (!sawSpan_ || s->end > windowEnd_)
+            windowEnd_ = s->end;
+        sawSpan_ = true;
+        watermark_ = std::max(watermark_, s->id);
+    }
+
+    if (reg_ != nullptr)
+        for (auto &[key, a] : agg_)
+            if (!a.exported) {
+                a.exported = true;
+                exportKey(key);
+            }
+    return fresh.size();
+}
+
+void
+Profiler::reset()
+{
+    // Skip everything already recorded: the watermark jumps past the
+    // newest completed span (still-open spans complete with higher
+    // ids, so they stay profiled).
+    for (const Trace::Span &s : trace_->spans())
+        watermark_ = std::max(watermark_, s.id);
+    agg_.clear();
+    telemetry_.release();
+    windowBegin_ = 0;
+    windowEnd_ = 0;
+    sawSpan_ = false;
+}
+
+std::vector<ProfileEntry>
+Profiler::snapshot() const
+{
+    const Tick window = windowEnd_ - windowBegin_;
+    std::vector<ProfileEntry> out;
+    out.reserve(agg_.size());
+    for (const auto &[key, a] : agg_) {
+        ProfileEntry e;
+        e.who = key.first;
+        e.cat = key.second;
+        e.spans = a.spans;
+        e.totalTicks = a.total;
+        e.selfTicks = a.self;
+        e.maxTicks = a.max;
+        e.occupancy = window == 0
+                          ? 0.0
+                          : static_cast<double>(a.total) /
+                                static_cast<double>(window);
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+void
+Profiler::exportKey(const Key &key)
+{
+    const std::string base =
+        format("%s/%s/%s", prefix_.c_str(), key.first.c_str(),
+               key.second.c_str());
+    // The map node is stable (std::map), so the lambdas may capture
+    // a pointer to the aggregate for the profiler's lifetime.
+    const Agg *a = &agg_[key];
+    telemetry_.addGauge(base + "/spans", [a] {
+        return static_cast<double>(a->spans);
+    });
+    telemetry_.addGauge(base + "/total_ticks", [a] {
+        return static_cast<double>(a->total);
+    });
+    telemetry_.addGauge(base + "/self_ticks", [a] {
+        return static_cast<double>(a->self);
+    });
+    telemetry_.addGauge(base + "/occupancy", [this, a] {
+        const Tick window = windowEnd_ - windowBegin_;
+        return window == 0 ? 0.0
+                           : static_cast<double>(a->total) /
+                                 static_cast<double>(window);
+    });
+}
+
+void
+Profiler::registerTelemetry(MetricsRegistry &reg,
+                            const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    reg_ = &reg;
+    prefix_ = prefix;
+    for (auto &[key, a] : agg_) {
+        a.exported = true;
+        exportKey(key);
+    }
+}
+
+std::string
+Profiler::toJson() const
+{
+    JsonValue root = JsonValue::object();
+    root.set("window_begin_ps", JsonValue(windowBegin_));
+    root.set("window_end_ps", JsonValue(windowEnd_));
+    JsonValue entries = JsonValue::array();
+    for (const ProfileEntry &e : snapshot()) {
+        JsonValue obj = JsonValue::object();
+        obj.set("who", JsonValue(e.who));
+        obj.set("cat", JsonValue(e.cat));
+        obj.set("spans", JsonValue(e.spans));
+        obj.set("total_ticks", JsonValue(e.totalTicks));
+        obj.set("self_ticks", JsonValue(e.selfTicks));
+        obj.set("max_ticks", JsonValue(e.maxTicks));
+        obj.set("occupancy", JsonValue(e.occupancy));
+        entries.push(std::move(obj));
+    }
+    root.set("entries", std::move(entries));
+    return root.dump(2);
+}
+
+std::vector<Trace::Span>
+spanTreeForCorr(const Trace &trace, std::uint64_t corr)
+{
+    std::vector<Trace::Span> out;
+    for (const Trace::Span &s : trace.spans())
+        if (s.corr == corr && corr != 0)
+            out.push_back(s);
+    std::sort(out.begin(), out.end(),
+              [](const Trace::Span &a, const Trace::Span &b) {
+                  if (a.begin != b.begin)
+                      return a.begin < b.begin;
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+std::string
+renderSpanTree(const std::vector<Trace::Span> &tree)
+{
+    std::map<SpanId, Tick> child_ticks;
+    std::map<SpanId, int> depth;
+    for (const Trace::Span &s : tree)
+        if (s.parent != 0)
+            child_ticks[s.parent] += s.end - s.begin;
+
+    auto depthOf = [&](const Trace::Span &s) {
+        int d = 0;
+        SpanId p = s.parent;
+        // Bounded walk: the tree is tiny and acyclic by construction.
+        while (p != 0 && d < 16) {
+            bool found = false;
+            for (const Trace::Span &t : tree)
+                if (t.id == p) {
+                    p = t.parent;
+                    found = true;
+                    break;
+                }
+            if (!found)
+                break;
+            ++d;
+        }
+        return d;
+    };
+
+    std::string out;
+    for (const Trace::Span &s : tree) {
+        const Tick dur = s.end - s.begin;
+        const auto it = child_ticks.find(s.id);
+        const Tick children =
+            it == child_ticks.end() ? 0 : it->second;
+        const Tick self = dur - std::min(dur, children);
+        out += format("%*s%s/%s %-24s %10llu ticks (self %llu)\n",
+                      depthOf(s) * 2, "", s.who.c_str(),
+                      s.cat.c_str(), s.what.c_str(),
+                      static_cast<unsigned long long>(dur),
+                      static_cast<unsigned long long>(self));
+    }
+    return out;
+}
+
+void
+registerTraceGauges(ScopedMetrics &handle, const std::string &prefix,
+                    const Trace &trace)
+{
+    const Trace *t = &trace;
+    handle.addGauge(prefix + "/open_spans", [t] {
+        return static_cast<double>(t->openSpanCount());
+    });
+    handle.addGauge(prefix + "/unmatched_ends", [t] {
+        return static_cast<double>(t->unmatchedEnds());
+    });
+    handle.addGauge(prefix + "/dropped_open_spans", [t] {
+        return static_cast<double>(t->droppedOpens());
+    });
+    handle.addGauge(prefix + "/span_capacity", [t] {
+        return static_cast<double>(t->capacity());
+    });
+    handle.addGauge(prefix + "/completed_spans", [t] {
+        return static_cast<double>(t->spanCount());
+    });
+}
+
+} // namespace harmonia

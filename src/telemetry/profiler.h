@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cycle-attribution profiler over the causal trace: folds completed
+ * spans into per-(who, cat) totals with self-vs-child time, so one
+ * command round trip decomposes into "driver self + wire + kernel
+ * decode + RBB execute" tick budgets that sum exactly to the observed
+ * end-to-end latency (the telescoping identity: every span's self
+ * time is its duration minus its direct children's durations).
+ *
+ * Folding is incremental — a watermark on span ids makes repeated
+ * fold() calls cheap and double-count-free — and the aggregates are
+ * exported three ways: in-process snapshot(), MetricsRegistry gauges
+ * (hence every exporter), and the command plane via TelemetryTarget's
+ * ProfileSnapshot/ProfileReset codes.
+ */
+
+#ifndef HARMONIA_TELEMETRY_PROFILER_H_
+#define HARMONIA_TELEMETRY_PROFILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+#include "telemetry/metrics_registry.h"
+
+namespace harmonia {
+
+/** Aggregated spans of one (who, cat) track. */
+struct ProfileEntry {
+    std::string who;
+    std::string cat;
+    std::uint64_t spans = 0;
+    Tick totalTicks = 0;  ///< sum of span durations
+    Tick selfTicks = 0;   ///< durations minus direct children
+    Tick maxTicks = 0;    ///< longest single span
+    double occupancy = 0; ///< totalTicks / profiled window
+};
+
+class Profiler {
+  public:
+    explicit Profiler(Trace &trace = Trace::instance())
+        : trace_(&trace)
+    {
+    }
+
+    /**
+     * Fold spans completed since the last fold (or reset) into the
+     * aggregates; returns how many were consumed. A child that
+     * completes in a later fold than its parent keeps its own self
+     * time but no longer subtracts from the parent — fold after the
+     * workload quiesces for exact attribution.
+     */
+    std::size_t fold();
+
+    /** Drop aggregates and skip everything recorded so far. */
+    void reset();
+
+    /** Aggregates sorted by (who, cat), occupancy filled in. */
+    std::vector<ProfileEntry> snapshot() const;
+
+    /** [min begin, max end] over every folded span. */
+    Tick windowBegin() const { return windowBegin_; }
+    Tick windowEnd() const { return windowEnd_; }
+
+    /**
+     * Publish per-track gauges (`<prefix>/<who>/<cat>/self_ticks`,
+     * `/total_ticks`, `/spans`, `/occupancy`) — tracks register as
+     * fold() discovers them.
+     */
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
+    /** The whole profile as one JSON object (bench reports, tools). */
+    std::string toJson() const;
+
+  private:
+    struct Agg {
+        std::uint64_t spans = 0;
+        Tick total = 0;
+        Tick self = 0;
+        Tick max = 0;
+        bool exported = false;
+    };
+
+    using Key = std::pair<std::string, std::string>;
+
+    void exportKey(const Key &key);
+
+    Trace *trace_;
+    SpanId watermark_ = 0;
+    Tick windowBegin_ = 0;
+    Tick windowEnd_ = 0;
+    bool sawSpan_ = false;
+    std::map<Key, Agg> agg_;
+    MetricsRegistry *reg_ = nullptr;
+    std::string prefix_;
+    ScopedMetrics telemetry_;
+};
+
+/**
+ * Completed spans belonging to one correlation id, sorted by begin
+ * tick then id (parents before their children at equal begins).
+ */
+std::vector<Trace::Span> spanTreeForCorr(const Trace &trace,
+                                         std::uint64_t corr);
+
+/**
+ * Render a span tree (as returned by spanTreeForCorr) as indented
+ * text, one line per hop with duration and self time.
+ */
+std::string renderSpanTree(const std::vector<Trace::Span> &tree);
+
+/**
+ * Register span-leak visibility gauges for @p trace under @p prefix:
+ * open spans, unmatched ends, dropped opens, ring capacity. Keeps the
+ * registrations alive through @p handle.
+ */
+void registerTraceGauges(ScopedMetrics &handle,
+                         const std::string &prefix,
+                         const Trace &trace = Trace::instance());
+
+} // namespace harmonia
+
+#endif // HARMONIA_TELEMETRY_PROFILER_H_

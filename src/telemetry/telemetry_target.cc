@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "telemetry/profiler.h"
+
 namespace harmonia {
 
 namespace {
@@ -108,6 +110,41 @@ TelemetryTarget::snapshotOne(const std::vector<std::uint32_t> &data)
 }
 
 CommandResult
+TelemetryTarget::profileSnapshot(const std::vector<std::uint32_t> &data)
+{
+    if (profiler_ == nullptr)
+        return {kCmdInternalError, {}};
+    profiler_->fold();
+    const std::vector<ProfileEntry> snap = profiler_->snapshot();
+    const std::size_t start = data.empty() ? 0 : data[0];
+
+    CommandResult res;
+    res.data.push_back(static_cast<std::uint32_t>(snap.size()));
+    res.data.push_back(0);  // record count, patched below
+    std::uint32_t k = 0;
+    for (std::size_t i = start;
+         i < snap.size() && k < kProfileBatch; ++i, ++k) {
+        const ProfileEntry &e = snap[i];
+        res.data.push_back(static_cast<std::uint32_t>(i));
+        pushU64(res.data, e.spans);
+        pushU64(res.data, e.totalTicks);
+        pushU64(res.data, e.selfTicks);
+        packName(res.data, e.who + "|" + e.cat);
+    }
+    res.data[1] = k;
+    return res;
+}
+
+CommandResult
+TelemetryTarget::profileReset()
+{
+    if (profiler_ == nullptr)
+        return {kCmdInternalError, {}};
+    profiler_->reset();
+    return {};
+}
+
+CommandResult
 TelemetryTarget::executeCommand(std::uint16_t code,
                                 const std::vector<std::uint32_t> &data)
 {
@@ -116,6 +153,10 @@ TelemetryTarget::executeCommand(std::uint16_t code,
         return list(data);
       case kCmdTelemetrySnapshot:
         return snapshotOne(data);
+      case kCmdProfileSnapshot:
+        return profileSnapshot(data);
+      case kCmdProfileReset:
+        return profileReset();
       case kCmdModuleStatusRead:
         // Alive probe: number of registered entries.
         return {kCmdOk,

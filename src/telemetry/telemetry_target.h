@@ -20,6 +20,15 @@
  *                               p50_milli_hi, p50_milli_lo,
  *                               p99_milli_hi, p99_milli_lo ]
  *
+ *   ProfileSnapshot  data[0] = start index (optional, default 0)
+ *     -> [ total, k, then k records of
+ *          { index, spans_hi, spans_lo, total_ticks_hi/lo,
+ *            self_ticks_hi/lo, name[kNameWords] = "who|cat" } ]
+ *        (folds the trace first; kCmdInternalError when no profiler
+ *         is attached)
+ *
+ *   ProfileReset     -> drops aggregates, skips recorded spans
+ *
  * Indices are positions in the registry's name-sorted snapshot, so a
  * List immediately followed by Snapshots observes a consistent view
  * as long as no module registers or unregisters in between.
@@ -33,6 +42,8 @@
 
 namespace harmonia {
 
+class Profiler;
+
 class TelemetryTarget : public CommandTarget {
   public:
     /** Words of packed metric name per List record (4 chars each). */
@@ -40,6 +51,9 @@ class TelemetryTarget : public CommandTarget {
 
     /** List records per response (bounded by PayloadLen's 8 bits). */
     static constexpr std::size_t kListBatch = 8;
+
+    /** Profile records per response (wider records, smaller batch). */
+    static constexpr std::size_t kProfileBatch = 4;
 
     explicit TelemetryTarget(MetricsRegistry &registry =
                                  MetricsRegistry::instance())
@@ -51,6 +65,12 @@ class TelemetryTarget : public CommandTarget {
     executeCommand(std::uint16_t code,
                    const std::vector<std::uint32_t> &data) override;
 
+    /**
+     * Wire the causal profiler in; ProfileSnapshot / ProfileReset
+     * answer kCmdInternalError until one is attached. Not owned.
+     */
+    void attachProfiler(Profiler *profiler) { profiler_ = profiler; }
+
     /** Decode a List record's packed name (tests, host tooling). */
     static std::string unpackName(const std::uint32_t *words,
                                   std::size_t n = kNameWords);
@@ -58,8 +78,12 @@ class TelemetryTarget : public CommandTarget {
   private:
     CommandResult list(const std::vector<std::uint32_t> &data);
     CommandResult snapshotOne(const std::vector<std::uint32_t> &data);
+    CommandResult
+    profileSnapshot(const std::vector<std::uint32_t> &data);
+    CommandResult profileReset();
 
     MetricsRegistry &registry_;
+    Profiler *profiler_ = nullptr;
 };
 
 } // namespace harmonia

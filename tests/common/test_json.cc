@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace harmonia {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse("null", &err).isNull());
+    EXPECT_TRUE(err.empty());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("3.5").asDouble(), 3.5);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2e3").asDouble(), -2000.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, LargeTickCountsRoundTripExactly)
+{
+    // Tick counts stay exact as doubles up to 2^53; a full round trip
+    // through dump + parse must not lose a single tick.
+    const std::uint64_t ticks = 9'007'199'254'740'992ull;  // 2^53
+    JsonValue v(ticks);
+    const JsonValue back = JsonValue::parse(v.dump());
+    EXPECT_EQ(back.asU64(), ticks);
+}
+
+TEST(Json, ParsesNestedDocuments)
+{
+    const JsonValue v = JsonValue::parse(
+        "{\"suite\":\"harmonia\",\"scenarios\":[{\"name\":\"a\","
+        "\"metrics\":{\"gbps\":94.5}},{\"name\":\"b\"}]}");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.get("suite").asString(), "harmonia");
+    const JsonValue &arr = v.get("scenarios");
+    ASSERT_TRUE(arr.isArray());
+    ASSERT_EQ(arr.size(), 2u);
+    EXPECT_DOUBLE_EQ(
+        arr.at(0).get("metrics").get("gbps").asDouble(), 94.5);
+    EXPECT_TRUE(arr.at(1).get("metrics").isNull());
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    JsonValue v = JsonValue::object();
+    v.set("s", "quote \" slash \\ tab \t newline \n ctrl \x01");
+    const std::string text = v.dump();
+    std::string err;
+    const JsonValue back = JsonValue::parse(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_EQ(back.get("s").asString(), v.get("s").asString());
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrder)
+{
+    JsonValue v = JsonValue::object();
+    v.set("zeta", 1);
+    v.set("alpha", 2);
+    v.set("mid", 3);
+    const auto keys = v.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0], "zeta");
+    EXPECT_EQ(keys[1], "alpha");
+    EXPECT_EQ(keys[2], "mid");
+    // Re-setting replaces in place, not append.
+    v.set("alpha", 9);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v.get("alpha").asDouble(), 9.0);
+}
+
+TEST(Json, DumpCompactAndPretty)
+{
+    JsonValue v = JsonValue::object();
+    v.set("n", 1);
+    JsonValue arr = JsonValue::array();
+    arr.push(2);
+    arr.push("x");
+    v.set("a", std::move(arr));
+    EXPECT_EQ(v.dump(), "{\"n\":1,\"a\":[2,\"x\"]}");
+    const std::string pretty = v.dump(2);
+    EXPECT_NE(pretty.find("{\n  \"n\": 1"), std::string::npos);
+    // Pretty output re-parses to the same document.
+    EXPECT_EQ(JsonValue::parse(pretty).dump(), v.dump());
+}
+
+TEST(Json, MalformedInputReportsErrorNotCrash)
+{
+    for (const char *bad :
+         {"{", "[1,", "{\"a\":}", "tru", "\"unterminated",
+          "{\"a\":1}trailing", "01", "nan", ""}) {
+        std::string err;
+        const JsonValue v = JsonValue::parse(bad, &err);
+        EXPECT_TRUE(v.isNull()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(Json, AccessorsAreTotalOnWrongTypes)
+{
+    const JsonValue v = JsonValue::parse("[1,2]");
+    EXPECT_TRUE(v.at(5).isNull());
+    EXPECT_TRUE(v.get("missing").isNull());
+    EXPECT_FALSE(v.has("missing"));
+    EXPECT_EQ(JsonValue("str").asU64(), 0u);
+    EXPECT_EQ(JsonValue(-4.0).asU64(), 0u);  // clamped, not wrapped
+}
+
+} // namespace
+} // namespace harmonia

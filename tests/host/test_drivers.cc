@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/logging.h"
 #include "host/host_app.h"
 #include "roles/host_network.h"
 #include "roles/sec_gateway.h"
+#include "sim/trace.h"
+#include "telemetry/profiler.h"
 
 namespace harmonia {
 namespace {
@@ -118,6 +122,91 @@ TEST(CmdDriver, I2cSidebandIsSlowButIndependent)
                   CmdTransport::Pcie);
     app.call(kRbbHealth, 0, kCmdSensorRead, {});
     EXPECT_GT(i2c_latency, 10 * app.lastLatency());
+}
+
+TEST(CmdDriver, OneCallUnfoldsIntoASpanTree)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    CmdDriver driver(engine, *shell);
+    driver.initializeAll();  // warm up untraced
+
+    Trace &t = Trace::instance();
+    t.setEnabled(true);
+    t.clear();
+    Profiler prof;
+    prof.reset();
+    const CommandPacket resp =
+        driver.call(kRbbNetwork, 0, kCmdStatsSnapshot);
+    t.setEnabled(false);
+    ASSERT_EQ(resp.status, kCmdOk);
+
+    // Every span of the call shares one correlation id.
+    std::uint64_t corr = 0;
+    for (const Trace::Span &s : t.spans())
+        if (s.corr != 0)
+            corr = s.corr;
+    ASSERT_NE(corr, 0u);
+    const std::vector<Trace::Span> tree = spanTreeForCorr(t, corr);
+    ASSERT_GE(tree.size(), 4u);
+
+    // The expected hops: driver call (root), wire transfer, kernel
+    // service, RBB execute.
+    std::set<std::string> cats;
+    for (const Trace::Span &s : tree)
+        cats.insert(s.cat);
+    EXPECT_TRUE(cats.count("command"));
+    EXPECT_TRUE(cats.count("wire"));
+    EXPECT_TRUE(cats.count("rbb"));
+
+    // The root is the driver's call span and lasts exactly the
+    // driver's observed latency.
+    const Trace::Span &root = tree.front();
+    EXPECT_EQ(root.parent, 0u);
+    EXPECT_EQ(root.who, "cmd01");
+    EXPECT_EQ(root.end - root.begin, driver.lastLatency());
+
+    // Telescoping identity: per-hop self times sum exactly to the
+    // end-to-end latency (the profiler's headline guarantee).
+    prof.fold();
+    Tick self_sum = 0;
+    for (const ProfileEntry &e : prof.snapshot())
+        self_sum += e.selfTicks;
+    EXPECT_EQ(self_sum, driver.lastLatency());
+    t.clear();
+}
+
+TEST(CmdDriver, TracingOffLeavesTheWireBitIdentical)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, device("DeviceA"));
+    CmdDriver driver(engine, *shell);
+    ASSERT_FALSE(Trace::instance().enabled());
+
+    // The kernel echoes the request's Options word into the response
+    // verbatim, so the echo proves what went over the wire. Untraced:
+    // exactly the transport id, no tag bits — the packet is
+    // bit-identical to a build without tracing at all.
+    const CommandPacket off =
+        driver.call(kRbbNetwork, 0, kCmdStatsSnapshot);
+    ASSERT_EQ(off.status, kCmdOk);
+    EXPECT_EQ(off.options,
+              static_cast<std::uint32_t>(CmdTransport::Pcie));
+    EXPECT_EQ(Trace::instance().armedTagCount(), 0u);
+
+    // Traced: the correlation tag rides the Options high half, and
+    // the driver disarms it once the call completes.
+    Trace::instance().setEnabled(true);
+    Trace::instance().clear();
+    const CommandPacket on =
+        driver.call(kRbbNetwork, 0, kCmdStatsSnapshot);
+    Trace::instance().setEnabled(false);
+    ASSERT_EQ(on.status, kCmdOk);
+    EXPECT_NE(on.options >> 16, 0u);
+    EXPECT_EQ(on.options & 0xffffu,
+              static_cast<std::uint32_t>(CmdTransport::Pcie));
+    EXPECT_EQ(Trace::instance().armedTagCount(), 0u);
+    Trace::instance().clear();
 }
 
 TEST(HostApplication, InterfaceSelection)

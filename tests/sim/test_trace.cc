@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "cmd/control_kernel.h"
 #include "common/logging.h"
 #include "sim/engine.h"
@@ -134,6 +136,139 @@ TEST(Trace, CompleteSpanRecordsPreMeasuredInterval)
     ASSERT_EQ(Trace::instance().spanCount(), 1u);
     const auto spans = Trace::instance().spans();
     EXPECT_EQ(spans[0].end - spans[0].begin, 400u);
+}
+
+TEST(Trace, AmbientContextStampsNewSpans)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const std::uint64_t corr = t.newCorrelation();
+    const SpanId root = t.beginSpan(0, "drv", "call", "command",
+                                    TraceContext{0, corr});
+    {
+        ScopedTraceContext scope(TraceContext{root, corr});
+        const SpanId child = t.beginSpan(10, "uck", "decode");
+        t.endSpan(child, 20);
+        t.completeSpan(12, 18, "rbb", "exec");
+    }
+    // Scope popped: back to the unarmed default.
+    EXPECT_FALSE(t.context().armed());
+    t.endSpan(root, 30);
+
+    const auto spans = t.spans();
+    ASSERT_EQ(spans.size(), 3u);
+    for (const Trace::Span &s : spans)
+        EXPECT_EQ(s.corr, corr) << s.who;
+    EXPECT_EQ(spans[0].parent, root);  // child closed first
+    EXPECT_EQ(spans[1].parent, root);
+    EXPECT_EQ(spans[2].parent, 0u);    // the root itself
+}
+
+TEST(Trace, ScopedContextsNest)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    ScopedTraceContext outer(TraceContext{11, 1});
+    {
+        ScopedTraceContext inner(TraceContext{22, 1});
+        EXPECT_EQ(t.context().parent, 22u);
+    }
+    EXPECT_EQ(t.context().parent, 11u);
+}
+
+TEST(Trace, WireTagsRoundTripContexts)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const TraceContext ctx{42, 7};
+    const std::uint16_t tag = t.armTag(ctx);
+    ASSERT_NE(tag, 0);
+    EXPECT_EQ(t.armedTagCount(), 1u);
+
+    const TraceContext back = t.taggedContext(tag);
+    EXPECT_EQ(back.parent, 42u);
+    EXPECT_EQ(back.corr, 7u);
+
+    // Unknown and zero tags resolve to the unarmed context.
+    EXPECT_FALSE(t.taggedContext(0).armed());
+    EXPECT_FALSE(
+        t.taggedContext(static_cast<std::uint16_t>(tag + 1)).armed());
+
+    t.disarmTag(tag);
+    EXPECT_EQ(t.armedTagCount(), 0u);
+    EXPECT_FALSE(t.taggedContext(tag).armed());
+    t.disarmTag(tag);  // idempotent
+}
+
+TEST(Trace, TagAllocationSkipsLiveTags)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const std::uint16_t a = t.armTag({1, 1});
+    const std::uint16_t b = t.armTag({2, 2});
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.taggedContext(a).parent, 1u);
+    EXPECT_EQ(t.taggedContext(b).parent, 2u);
+    t.disarmTag(a);
+    t.disarmTag(b);
+    // Disabled tracing never hands out tags.
+    t.setEnabled(false);
+    EXPECT_EQ(t.armTag({3, 3}), 0);
+    t.setEnabled(true);
+}
+
+TEST(Trace, OpenSpanTableBoundDropsNotLeaks)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    t.setMaxOpenSpans(2);
+    const SpanId a = t.beginSpan(1, "x", "a");
+    const SpanId b = t.beginSpan(2, "x", "b");
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    EXPECT_EQ(t.beginSpan(3, "x", "c"), 0u);  // table full
+    EXPECT_EQ(t.droppedOpens(), 1u);
+    t.endSpan(a, 5);
+    EXPECT_NE(t.beginSpan(6, "x", "d"), 0u);  // slot freed
+    t.setMaxOpenSpans(Trace::kMaxOpenSpans);
+}
+
+TEST(Trace, OpenSpanBeginQueriesLiveSpans)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const SpanId s = t.beginSpan(1234, "x", "live");
+    EXPECT_EQ(t.openSpanBegin(s), 1234u);
+    EXPECT_EQ(t.openSpanBegin(0), 0u);
+    t.endSpan(s, 2000);
+    EXPECT_EQ(t.openSpanBegin(s), 0u);  // completed: no longer open
+}
+
+TEST(Trace, EnvCapacityOverrideAppliesAndValidates)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const std::size_t before = t.capacity();
+
+    ::setenv("HARMONIA_TRACE_CAP", "512", 1);
+    t.applyEnvCapacity();
+    EXPECT_EQ(t.capacity(), 512u);
+    EXPECT_EQ(t.maxOpenSpans(), 512u);
+
+    // Malformed values are ignored, not fatal.
+    ::setenv("HARMONIA_TRACE_CAP", "12abc", 1);
+    t.applyEnvCapacity();
+    EXPECT_EQ(t.capacity(), 512u);
+    ::setenv("HARMONIA_TRACE_CAP", "0", 1);
+    t.applyEnvCapacity();
+    EXPECT_EQ(t.capacity(), 512u);
+
+    ::unsetenv("HARMONIA_TRACE_CAP");
+    t.applyEnvCapacity();  // absent: no change
+    EXPECT_EQ(t.capacity(), 512u);
+
+    t.setCapacity(before);
+    t.setMaxOpenSpans(Trace::kMaxOpenSpans);
 }
 
 TEST(Trace, ControlKernelEmitsExecutionEvents)

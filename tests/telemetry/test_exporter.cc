@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/json.h"
 #include "sim/trace.h"
 #include "telemetry/exporter.h"
 
@@ -74,6 +75,86 @@ TEST(ChromeTraceExport, EscapesQuotesInNames)
     Trace::instance().record(1, "who", "said \"hi\"");
     const std::string json = toChromeTraceJson(Trace::instance());
     EXPECT_NE(json.find("said \\\"hi\\\""), std::string::npos);
+}
+
+TEST(ChromeTraceExport, CarriesCausalArgsAndParsesAsJson)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const std::uint64_t corr = t.newCorrelation();
+    const SpanId root = t.beginSpan(1'000, "drv", "call", "command",
+                                    TraceContext{0, corr});
+    t.completeSpan(1'200, 1'800, "uck", "decode", "command",
+                   TraceContext{root, corr});
+    t.endSpan(root, 2'000);
+    t.record(1'500, "uck", "note");
+
+    const std::string json = toChromeTraceJson(t);
+    // The whole export must be one valid JSON document.
+    std::string err;
+    const JsonValue doc = JsonValue::parse(json, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const JsonValue &events = doc.get("traceEvents");
+    ASSERT_TRUE(events.isArray());
+
+    // Every "X" span event carries span_id/parent/corr args; the
+    // child points at the root and both share the correlation.
+    bool saw_root = false, saw_child = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        if (e.get("ph").asString() != "X")
+            continue;
+        const JsonValue &args = e.get("args");
+        EXPECT_EQ(args.get("corr").asU64(), corr);
+        if (e.get("name").asString() == "call") {
+            saw_root = true;
+            EXPECT_EQ(args.get("span_id").asU64(), root);
+            EXPECT_EQ(args.get("parent").asU64(), 0u);
+        }
+        if (e.get("name").asString() == "decode") {
+            saw_child = true;
+            EXPECT_EQ(args.get("parent").asU64(), root);
+        }
+    }
+    EXPECT_TRUE(saw_root);
+    EXPECT_TRUE(saw_child);
+}
+
+TEST(SpanJsonLines, RoundTripIsLossless)
+{
+    TraceGuard guard;
+    Trace &t = Trace::instance();
+    const SpanId root = t.beginSpan(10, "drv \"A\"", "call", "command",
+                                    TraceContext{0, 99});
+    t.completeSpan(20, 30, "uck", "decode\nfast", "command",
+                   TraceContext{root, 99});
+    t.endSpan(root, 50);
+
+    const std::string text = toSpanJsonLines(t);
+    const std::vector<Trace::Span> back = spansFromJsonLines(text);
+    const std::vector<Trace::Span> orig = t.spans();
+    ASSERT_EQ(back.size(), orig.size());
+    for (std::size_t i = 0; i < back.size(); ++i) {
+        EXPECT_EQ(back[i].id, orig[i].id);
+        EXPECT_EQ(back[i].parent, orig[i].parent);
+        EXPECT_EQ(back[i].corr, orig[i].corr);
+        EXPECT_EQ(back[i].begin, orig[i].begin);
+        EXPECT_EQ(back[i].end, orig[i].end);
+        EXPECT_EQ(back[i].who, orig[i].who);
+        EXPECT_EQ(back[i].what, orig[i].what);
+        EXPECT_EQ(back[i].cat, orig[i].cat);
+    }
+}
+
+TEST(SpanJsonLines, MalformedLinesAreSkippedNotFatal)
+{
+    TraceGuard guard;
+    Trace::instance().completeSpan(1, 2, "a", "b", "c");
+    std::string text = toSpanJsonLines(Trace::instance());
+    text += "this is not json\n{\"id\":\n\n";
+    const auto back = spansFromJsonLines(text);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].who, "a");
 }
 
 TEST(MetricsTextExport, CountersGaugesAndSummaries)
