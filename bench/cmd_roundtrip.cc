@@ -7,7 +7,9 @@
  * transfer, kernel service, RBB execute) folded from the span trees.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_report.h"
 #include "host/cmd_driver.h"
@@ -16,6 +18,44 @@
 #include "telemetry/profiler.h"
 
 using namespace harmonia;
+
+namespace {
+
+/** One timed command-plane run; returns (wall seconds, sim end). */
+struct TimedRun {
+    double wallSeconds = 0.0;
+    Tick simEnd = 0;
+    std::uint64_t executed = 0;
+};
+
+TimedRun
+timedRoundTrips(unsigned threads, bool fast_forward)
+{
+    Engine engine;
+    engine.setThreads(threads);
+    engine.setParallel(threads > 1);
+    engine.setIdleFastForward(fast_forward);
+    auto shell = Shell::makeUnified(
+        engine, DeviceDatabase::instance().byName("DeviceA"));
+    CmdDriver driver(engine, *shell);
+    driver.initializeAll();
+
+    const std::size_t iters = scaledIters(1000, 50);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i)
+        driver.call(kRbbNetwork, 0,
+                    i % 2 ? kCmdStatsSnapshot : kCmdModuleStatusRead);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    TimedRun run;
+    run.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    run.simEnd = engine.now();
+    run.executed = shell->kernel().stats().value("commands_executed");
+    return run;
+}
+
+} // namespace
 
 int
 main()
@@ -80,6 +120,42 @@ main()
                 static_cast<double>(max_latency) / 1e3)
         .metric("throughput_cmds_per_s", cmds_per_s)
         .detail("cycle_attribution", std::move(hops))
+        .emit();
+
+    // --- Serial vs parallel + idle fast-forward wall clock. ---
+    // Same workload twice: the seed tick-by-tick engine against the
+    // 4-thread configuration with idle fast-forward. Bit-identical
+    // simulated results are a hard requirement, so the simulated end
+    // times must agree before the speedup means anything.
+    const TimedRun serial = timedRoundTrips(1, false);
+    const TimedRun parallel = timedRoundTrips(4, true);
+    if (serial.simEnd != parallel.simEnd ||
+        serial.executed != parallel.executed) {
+        std::fprintf(stderr,
+                     "determinism violation: serial end=%llu/%llu "
+                     "parallel end=%llu/%llu\n",
+                     static_cast<unsigned long long>(serial.simEnd),
+                     static_cast<unsigned long long>(serial.executed),
+                     static_cast<unsigned long long>(parallel.simEnd),
+                     static_cast<unsigned long long>(
+                         parallel.executed));
+        return 1;
+    }
+    const double speedup =
+        parallel.wallSeconds > 0.0
+            ? serial.wallSeconds / parallel.wallSeconds
+            : 0.0;
+    std::printf("  serial %.3fs vs parallel(4)+ff %.3fs -> "
+                "speedup %.2fx (sim end %llu ps, both)\n",
+                serial.wallSeconds, parallel.wallSeconds, speedup,
+                static_cast<unsigned long long>(serial.simEnd));
+
+    // Wall-clock depends on the host machine, so the speedup is
+    // reported but not regression-gated (no gated suffix).
+    BenchReport("cmd_roundtrip", "parallel_speedup")
+        .metric("parallel_speedup_x", speedup)
+        .metric("serial_wall_s", serial.wallSeconds)
+        .metric("parallel_wall_s", parallel.wallSeconds)
         .emit();
     return 0;
 }

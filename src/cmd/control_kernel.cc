@@ -173,6 +173,30 @@ UnifiedControlKernel::execute(const CommandPacket &pkt)
     return it->second->executeCommand(pkt.commandCode, pkt.data);
 }
 
+bool
+UnifiedControlKernel::idle() const
+{
+    if (cycle() < busyUntilCycle_)
+        return true;
+    if (buffer_.size() < 4)
+        return true;
+    // A buffer whose size still equals the last Truncated decode is
+    // byte-identical to that decode (growth changes the size, erases
+    // reset the marker), so another attempt would change nothing.
+    return buffer_.size() == lastTruncatedSize_;
+}
+
+Tick
+UnifiedControlKernel::wakeTime() const
+{
+    // Only a busy window with decodable work behind it wakes on its
+    // own; everything else waits for an external submit.
+    if (cycle() < busyUntilCycle_ && buffer_.size() >= 4 &&
+        buffer_.size() != lastTruncatedSize_)
+        return clock()->cyclesToTicks(busyUntilCycle_);
+    return kTickMax;
+}
+
 void
 UnifiedControlKernel::tick()
 {

@@ -76,6 +76,12 @@ class UnifiedControlKernel : public Component {
 
     void tick() override;
 
+    /** No decodable work, or soft core busy: tick is a no-op. */
+    bool idle() const override;
+
+    /** End of the soft-core busy window when work is queued behind it. */
+    Tick wakeTime() const override;
+
     /** Soft core + buffer footprint (Fig 16: < 0.67%). */
     const ResourceVector &resources() const { return resources_; }
 

@@ -23,6 +23,9 @@ using Addr = std::uint64_t;
 /** One tick per picosecond. */
 constexpr Tick kTicksPerSecond = 1'000'000'000'000ULL;
 
+/** "Never": the far-future sentinel for wake times and deadlines. */
+constexpr Tick kTickMax = ~static_cast<Tick>(0);
+
 /** Convert a frequency in MHz to a clock period in ticks (ps). */
 constexpr Tick
 periodFromMhz(double mhz)

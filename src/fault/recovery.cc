@@ -19,6 +19,33 @@ RecoveryManager::RecoveryManager(Engine &engine, Shell &shell,
     });
 }
 
+bool
+RecoveryManager::idle() const
+{
+    if (config_.checkIntervalCycles == 0)
+        return false;  // checks every cycle
+    // Healthy and at rest: a check would observe nothing and change
+    // nothing, at this cycle or any later one — only an alarm edge
+    // (driven by a health sample the engine never skips) wakes us.
+    if (!degraded_ && !alarmPending_ &&
+        (shell_.health().alarms() & kAlarmOverTemp) == 0)
+        return true;
+    return cycle() % config_.checkIntervalCycles != 0;
+}
+
+Tick
+RecoveryManager::wakeTime() const
+{
+    if (config_.checkIntervalCycles == 0)
+        return kTickMax;
+    if (!degraded_ && !alarmPending_ &&
+        (shell_.health().alarms() & kAlarmOverTemp) == 0)
+        return kTickMax;
+    const Cycles next = (cycle() / config_.checkIntervalCycles + 1) *
+                        config_.checkIntervalCycles;
+    return clock()->cyclesToTicks(next);
+}
+
 void
 RecoveryManager::tick()
 {

@@ -49,6 +49,12 @@ class RecoveryManager : public Component {
 
     void tick() override;
 
+    /** Quiescent (healthy, not degraded), or between check cycles. */
+    bool idle() const override;
+
+    /** The next check cycle, when a transition may be pending. */
+    Tick wakeTime() const override;
+
     /** Transition counters: degrade/restore events, queues shed. */
     StatGroup &stats() { return stats_; }
 

@@ -37,9 +37,15 @@ HostDma::submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
     const SpanId span = Trace::instance().beginSpan(
         host_.now(), "host_dma",
         dir == DmaDir::H2C ? "dma:h2c" : "dma:c2h", "dma");
+    const Tick deadline = host_.now() + policy_.timeout;
     outstanding_[queue].push_back(
-        Pending{dir, bytes, id, host_.now() + policy_.timeout, 1,
-                span});
+        Pending{dir, bytes, id, deadline, 1, span});
+    // The timeout scan runs from host code, invisible to the engine's
+    // idle fast-forward. Post the deadline as a next-event hint so a
+    // quiescent simulation still wakes on the first edge where this
+    // transfer becomes overdue (deadline < now).
+    if (host_.engine() != nullptr)
+        host_.engine()->scheduleEvent(deadline + 1);
     return true;
 }
 
@@ -97,6 +103,8 @@ HostDma::timeoutScan()
             }
             ++p.attempts;
             p.deadline = t + policy_.timeout;
+            if (host_.engine() != nullptr)
+                host_.engine()->scheduleEvent(p.deadline + 1);
             if (host_.submit(p.dir, q, p.bytes, p.id))
                 stats_.counter("requeues").inc();
             else

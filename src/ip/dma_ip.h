@@ -102,6 +102,19 @@ class DmaIp : public IpBlock {
     void tick() override;
     void reset() override;
 
+    /** No queued work and nothing on the link due yet. */
+    bool idle() const override
+    {
+        return controlQueue_.empty() && pendingData_ == 0 &&
+               (inFlight_.empty() || inFlight_.front().first > now());
+    }
+
+    /** Earliest in-flight transfer completion. */
+    Tick wakeTime() const override
+    {
+        return inFlight_.empty() ? kTickMax : inFlight_.front().first;
+    }
+
     StatGroup &stats() { return stats_; }
 
     /** PCIe data width in bits for a generation (doubles per gen). */

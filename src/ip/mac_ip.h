@@ -57,6 +57,21 @@ class MacIp : public IpBlock {
     void tick() override;
     void reset() override;
 
+    /** Nothing to serialize and nothing arriving yet. (When a fault
+     *  plan is armed the engine never skips ticks, so the per-tick
+     *  LinkFlap hook still fires on schedule.) */
+    bool idle() const override
+    {
+        return tx_.empty() &&
+               (inFlight_.empty() || inFlight_.front().first > now());
+    }
+
+    /** Next line-side arrival. */
+    Tick wakeTime() const override
+    {
+        return inFlight_.empty() ? kTickMax : inFlight_.front().first;
+    }
+
     StatGroup &stats() { return stats_; }
 
     /** Data width in bits for a given line rate (paper §3.3.1). */

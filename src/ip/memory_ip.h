@@ -71,6 +71,21 @@ class MemoryIp : public IpBlock {
     void tick() override;
     void reset() override;
 
+    /** All channel queues drained and nothing in flight due yet. */
+    bool idle() const override
+    {
+        for (const Channel &ch : channels_)
+            if (!ch.queue.empty())
+                return false;
+        return inFlight_.empty() || inFlight_.front().first > now();
+    }
+
+    /** Earliest in-flight access completion. */
+    Tick wakeTime() const override
+    {
+        return inFlight_.empty() ? kTickMax : inFlight_.front().first;
+    }
+
     StatGroup &stats() { return stats_; }
 
     /** Functional store access (byte-addressed, sparse pages). */

@@ -33,6 +33,17 @@ class GraySync {
     /** The synchronized (delayed) Gray value. */
     std::uint64_t value() const { return regs_.back(); }
 
+    /** True when every flop already holds @p src_gray — one more
+     *  shift() of the same value would change nothing. */
+    bool
+    settled(std::uint64_t src_gray) const
+    {
+        for (std::uint64_t r : regs_)
+            if (r != src_gray)
+                return false;
+        return true;
+    }
+
     unsigned stages() const { return static_cast<unsigned>(regs_.size()); }
 
   private:
@@ -121,6 +132,20 @@ class AsyncFifo {
 
     /** Peak true occupancy since construction (telemetry). */
     std::size_t highWater() const { return highWater_; }
+
+    /**
+     * Fully drained and settled: no data in flight and both pointer
+     * synchronizers already show the source value, so writeTick() and
+     * readTick() are no-ops until the next push. This is what lets an
+     * idle engine fast-forward across a quiet CDC.
+     */
+    bool
+    quiescent() const
+    {
+        return wptr_ == rptr_ &&
+               wptrInRead_.settled(binaryToGray(wptr_)) &&
+               rptrInWrite_.settled(binaryToGray(rptr_));
+    }
 
   private:
     std::size_t capacity_;

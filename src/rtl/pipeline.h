@@ -102,6 +102,14 @@ class DelayLine {
     std::size_t size() const { return items_.size(); }
     bool empty() const { return items_.empty(); }
 
+    /** Ready time of the oldest item; kTickMax when empty (the idle
+     *  fast-forward wake hint). */
+    Tick
+    frontReadyAt() const
+    {
+        return items_.empty() ? kTickMax : items_.front().first;
+    }
+
   private:
     std::deque<std::pair<Tick, T>> items_;
 };

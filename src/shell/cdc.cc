@@ -25,6 +25,10 @@ ParamCdc::ParamCdc(Engine &engine, const std::string &name,
     }
     engine.add(&writeSide_, write_clk);
     engine.add(&readSide_, read_clk);
+    // Both sides touch the shared FIFO (and producers/consumers call
+    // push/pop across the boundary), so the two domains must never
+    // tick concurrently.
+    engine.fuseClocks(write_clk, read_clk);
 }
 
 bool

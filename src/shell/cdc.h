@@ -98,6 +98,16 @@ class ParamCdc {
                 parent_.fifo_.readTick();
         }
 
+        /**
+         * A drained, settled FIFO makes both side ticks pure no-ops;
+         * only an external push wakes the crossing again, so no wake
+         * time is advertised.
+         */
+        bool idle() const override
+        {
+            return parent_.fifo_.quiescent();
+        }
+
       private:
         ParamCdc &parent_;
         bool isWrite_;

@@ -3,6 +3,7 @@
 #include "cmd/command_codes.h"
 #include "common/logging.h"
 #include "fault/fault_plan.h"
+#include "sim/clock.h"
 
 namespace harmonia {
 
@@ -98,6 +99,12 @@ HealthMonitor::tick()
     // Sensor ADCs convert at a fraction of the fabric clock.
     if (cycle() % 16 == 0)
         refreshSensors();
+}
+
+Tick
+HealthMonitor::wakeTime() const
+{
+    return clock()->cyclesToTicks((cycle() / 16 + 1) * 16);
 }
 
 CommandResult

@@ -77,6 +77,16 @@ class HealthMonitor : public Component, public CommandTarget {
 
     void tick() override;
 
+    /**
+     * Idle between ADC conversions. Sample edges are never skippable:
+     * the stored sensor values are observable (SensorRead, gauges), so
+     * the fast-forward must land on every conversion cycle.
+     */
+    bool idle() const override { return cycle() % 16 != 0; }
+
+    /** The next conversion edge. */
+    Tick wakeTime() const override;
+
     /** SensorRead / StatsSnapshot / ModuleReset handling. */
     CommandResult
     executeCommand(std::uint16_t code,

@@ -73,6 +73,18 @@ class HostRbb : public Rbb {
 
     void tick() override;
 
+    /** Nothing staged for the scheduler and no engine completion to
+     *  collect. The DMA model's own wake covers in-flight transfers. */
+    bool idle() const override
+    {
+        if (dma_->hasCompletion())
+            return false;
+        for (const auto &q : staging_)
+            if (!q.empty())
+                return false;
+        return true;
+    }
+
     void registerTelemetry(MetricsRegistry &reg,
                            const std::string &prefix) override;
 

@@ -71,6 +71,15 @@ class MemoryRbb : public Rbb {
 
     void tick() override;
 
+    /** No wrapper completion to collect and no cache hit matured. */
+    bool idle() const override
+    {
+        return !wrapper_.hasCompletion() && !cacheHits_.ready(now());
+    }
+
+    /** Next hot-cache hit maturation. */
+    Tick wakeTime() const override { return cacheHits_.frontReadyAt(); }
+
     void registerTelemetry(MetricsRegistry &reg,
                            const std::string &prefix) override;
 

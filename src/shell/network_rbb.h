@@ -93,6 +93,18 @@ class NetworkRbb : public Rbb {
 
     void tick() override;
 
+    /** No packet movable on either path this cycle. (rxOut_ waits for
+     *  the role to pop; no tick needed for that.) */
+    bool idle() const override
+    {
+        return !mac_->rxAvailable() && !wrapper_.ingressAvailable() &&
+               !txIn_.canPop() &&
+               !(wrapper_.egressAvailable() && mac_->txReady());
+    }
+
+    /** Next maturation inside the wrapper pipelines. */
+    Tick wakeTime() const override { return wrapper_.nextReadyAt(); }
+
     void registerTelemetry(MetricsRegistry &reg,
                            const std::string &prefix) override;
 

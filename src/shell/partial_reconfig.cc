@@ -130,6 +130,25 @@ PrController::unload(std::size_t slot)
     return true;
 }
 
+bool
+PrController::idle() const
+{
+    for (const Slot &s : slots_)
+        if (s.state == PrSlotState::Reconfiguring && now() >= s.doneAt)
+            return false;
+    return true;
+}
+
+Tick
+PrController::wakeTime() const
+{
+    Tick wake = kTickMax;
+    for (const Slot &s : slots_)
+        if (s.state == PrSlotState::Reconfiguring)
+            wake = std::min(wake, s.doneAt);
+    return wake;
+}
+
 void
 PrController::tick()
 {

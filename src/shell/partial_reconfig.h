@@ -76,6 +76,12 @@ class PrController : public Component, public CommandTarget {
 
     void tick() override;
 
+    /** No slot mid-reconfiguration, or none done streaming yet. */
+    bool idle() const override;
+
+    /** Earliest pending bitstream completion. */
+    Tick wakeTime() const override;
+
     /** PrLoad/PrUnload/PrStatus over the command interface operate
      *  on slots whose roles were registered by prior load() calls. */
     CommandResult

@@ -50,6 +50,11 @@ Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
     adapter_.mapClock("kernel_clk", 250.0);
     engine_.add(&kernel_, kernelClk_);
 
+    // One shell is one concurrency group: the command plane reaches
+    // every RBB from the kernel domain and roles touch RBB FIFOs from
+    // the user domain, so none of these clocks may tick concurrently.
+    engine_.fuseClocks(userClk_, kernelClk_);
+
     // Expand the board's network cages to (kind, per-kind index).
     std::vector<std::pair<PeripheralKind, unsigned>> cages;
     {
@@ -80,6 +85,7 @@ Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
                                  config_.networks[i].gbps)),
             chip_vendor, config_.networks[i].gbps,
             static_cast<std::uint8_t>(i));
+        engine_.fuseClocks(userClk_, rbb->clock());
         kernel_.registerTarget(rbb->rbbId(), rbb->instanceId(),
                                rbb.get());
         regs_.attach(rbb->name(), rbb->ctrlRegs());
@@ -101,6 +107,7 @@ Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
                     m.kind == PeripheralKind::Hbm ? 450.0 : 300.0),
                 chip_vendor, m.kind, m.channels,
                 static_cast<std::uint8_t>(i));
+            engine_.fuseClocks(userClk_, rbb->clock());
             kernel_.registerTarget(rbb->rbbId(), rbb->instanceId(),
                                    rbb.get());
             regs_.attach(rbb->name(), rbb->ctrlRegs());
@@ -127,6 +134,7 @@ Shell::Shell(Engine &engine, const FpgaDevice &device, ShellConfig config,
             config_.dmaStyle == DmaStyle::Bdma
                 ? DmaEngineStyle::Bulk
                 : DmaEngineStyle::ScatterGather);
+        engine_.fuseClocks(userClk_, host_->clock());
         kernel_.registerTarget(host_->rbbId(), host_->instanceId(),
                                host_.get());
         regs_.attach(host_->name(), host_->ctrlRegs());

@@ -47,6 +47,14 @@ class Clock {
     friend class Engine;
     void advance() { ++cycle_; }
 
+    /**
+     * Batch-advance to @p now: the cycle count always equals the number
+     * of edges at or before the current time (edges sit at multiples of
+     * the period), so a fast-forwarding engine can land a clock at any
+     * instant without walking the intermediate edges.
+     */
+    void syncTo(Tick now) { cycle_ = now / period_; }
+
     std::string name_;
     double mhz_;
     Tick period_;

@@ -33,10 +33,33 @@ class Component {
     /** Advance one cycle of this component's clock domain. */
     virtual void tick() = 0;
 
+    /**
+     * Quiescence report for the engine's idle fast-forward. Returning
+     * true is a contract: tick() at the current instant — and at every
+     * later edge up to wakeTime(), absent external input — would change
+     * no observable state (no counters, no queues, no trace, no fault
+     * queries). The default is the safe answer: never idle.
+     */
+    virtual bool idle() const { return false; }
+
+    /**
+     * Earliest future time at which tick() may stop being a no-op while
+     * idle() is true (a scheduled delivery, a sample interval, a busy
+     * window expiring). kTickMax means "only external input wakes me".
+     * Must be conservative: waking too early is harmless, too late is
+     * a simulation bug.
+     */
+    virtual Tick wakeTime() const { return kTickMax; }
+
     const std::string &name() const { return name_; }
 
     /** Clock domain; null until registered with an Engine. */
     Clock *clock() const { return clock_; }
+
+    /** Owning engine; null until registered. Lets host-side code
+     *  reached from a component post next-event hints
+     *  (Engine::scheduleEvent) for deadlines the engine cannot see. */
+    Engine *engine() const { return engine_; }
 
     /** Current simulated time; 0 until registered. */
     Tick now() const;

@@ -1,15 +1,44 @@
 #include "sim/engine.h"
 
-#include <limits>
+#include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
+#include "fault/fault_plan.h"
+#include "sim/trace.h"
 
 namespace harmonia {
+
+Engine::Engine()
+{
+    const unsigned n = envThreads();
+    if (n >= 1) {
+        threads_ = n;
+        parallel_ = n > 1;
+        fastForward_ = true;
+    }
+}
+
+Engine::~Engine() { stopWorkers(); }
+
+unsigned
+Engine::envThreads()
+{
+    const char *env = std::getenv("HARMONIA_SIM_THREADS");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    const unsigned long n = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0')
+        return 0;
+    return static_cast<unsigned>(n);
+}
 
 Clock *
 Engine::addClock(const std::string &name, double mhz)
 {
-    domains_.push_back(Domain{std::make_unique<Clock>(name, mhz), {}});
+    domains_.push_back(Domain{std::make_unique<Clock>(name, mhz), {},
+                              domains_.size()});
     return domains_.back().clock.get();
 }
 
@@ -20,6 +49,42 @@ Engine::findDomain(const Clock *clk)
         if (d.clock.get() == clk)
             return &d;
     return nullptr;
+}
+
+std::size_t
+Engine::domainIndex(const Clock *clk)
+{
+    for (std::size_t i = 0; i < domains_.size(); ++i)
+        if (domains_[i].clock.get() == clk)
+            return i;
+    fatal("clock '%s' does not belong to this engine",
+          clk->name().c_str());
+    return 0;
+}
+
+std::size_t
+Engine::groupOf(std::size_t domain_index)
+{
+    std::size_t root = domain_index;
+    while (domains_[root].group != root)
+        root = domains_[root].group;
+    while (domains_[domain_index].group != root) {
+        const std::size_t next = domains_[domain_index].group;
+        domains_[domain_index].group = root;
+        domain_index = next;
+    }
+    return root;
+}
+
+void
+Engine::fuseClocks(Clock *a, Clock *b)
+{
+    if (a == nullptr || b == nullptr)
+        fatal("Engine::fuseClocks: null clock");
+    const std::size_t ra = groupOf(domainIndex(a));
+    const std::size_t rb = groupOf(domainIndex(b));
+    if (ra != rb)
+        domains_[std::max(ra, rb)].group = std::min(ra, rb);
 }
 
 void
@@ -39,23 +104,124 @@ Engine::add(Component *c, Clock *clk)
 }
 
 void
+Engine::scheduleEvent(Tick t)
+{
+    events_.push(t);
+}
+
+void
 Engine::step()
 {
     if (domains_.empty())
         fatal("Engine::step with no clock domains");
 
-    Tick next = std::numeric_limits<Tick>::max();
+    Tick next = kTickMax;
     for (const auto &d : domains_)
         next = std::min(next, d.clock->nextEdge(now_));
 
+    commitEdge(next,
+               fastForward_ && FaultPlan::active() == nullptr);
+}
+
+void
+Engine::commitEdge(Tick next, bool skip_idle)
+{
+    if (domains_.empty())
+        fatal("Engine::commitEdge with no clock domains");
+
     now_ = next;
+
+    // Land every clock at the new instant before any component runs: a
+    // cycle count always equals the number of edges at or before now,
+    // so batch-syncing is identical to the reference schedule's
+    // advance-as-you-go (and is the only order that works once fired
+    // domains tick concurrently).
+    std::vector<Domain *> fired;
     for (auto &d : domains_) {
-        if (d.clock->nextEdge(now_ - 1) != now_)
-            continue;
-        d.clock->advance();
+        d.clock->syncTo(now_);
+        if (d.clock->nextEdge(now_ - 1) == now_)
+            fired.push_back(&d);
+    }
+
+    std::vector<std::vector<Domain *>> groups;
+    if (parallel_ && threads_ > 1 && fired.size() > 1 &&
+        !Trace::instance().enabled() &&
+        FaultPlan::active() == nullptr) {
+        // Bucket fired domains by concurrency group, preserving
+        // creation order within each bucket.
+        std::vector<std::size_t> roots;
+        for (Domain *d : fired) {
+            const std::size_t root =
+                groupOf(static_cast<std::size_t>(d - domains_.data()));
+            std::size_t slot = roots.size();
+            for (std::size_t i = 0; i < roots.size(); ++i)
+                if (roots[i] == root) {
+                    slot = i;
+                    break;
+                }
+            if (slot == roots.size()) {
+                roots.push_back(root);
+                groups.emplace_back();
+            }
+            groups[slot].push_back(d);
+        }
+    }
+
+    if (groups.size() > 1) {
+        tickFired(groups, skip_idle);
+    } else {
+        // Serial reference schedule: creation order across domains.
+        for (Domain *d : fired)
+            tickDomain(*d, skip_idle);
+    }
+}
+
+void
+Engine::tickDomain(Domain &d, bool skip_idle)
+{
+    if (skip_idle) {
+        // Re-evaluate at tick time, not scan time: a producer that
+        // ticked earlier this edge may have just woken this component.
+        for (Component *c : d.components)
+            if (!c->idle())
+                c->tick();
+    } else {
         for (Component *c : d.components)
             c->tick();
     }
+}
+
+Tick
+Engine::nextEventEdge()
+{
+    while (!events_.empty() && events_.top() <= now_)
+        events_.pop();
+    const Tick hint = events_.empty() ? kTickMax : events_.top();
+
+    Tick next = kTickMax;
+    for (auto &d : domains_) {
+        Tick cand = kTickMax;
+        bool active = false;
+        Tick wake = kTickMax;
+        for (Component *c : d.components) {
+            if (!c->idle()) {
+                active = true;
+                break;
+            }
+            wake = std::min(wake, c->wakeTime());
+        }
+        if (active)
+            cand = d.clock->nextEdge(now_);
+        else if (wake != kTickMax)
+            cand = d.clock->nextEdge(
+                std::max(now_, wake == 0 ? 0 : wake - 1));
+        if (hint != kTickMax)
+            cand = std::min(
+                cand, d.clock->nextEdge(
+                          std::max(now_, hint == 0 ? 0 : hint - 1)));
+        next = std::min(next, cand);
+    }
+    return next;
 }
 
 void
@@ -67,15 +233,29 @@ Engine::runFor(Tick duration)
 void
 Engine::runUntil(Tick t)
 {
+    if (domains_.empty())
+        fatal("Engine::runUntil with no clock domains");
+
     while (true) {
-        Tick next = std::numeric_limits<Tick>::max();
-        for (const auto &d : domains_)
-            next = std::min(next, d.clock->nextEdge(now_));
+        const bool ff =
+            fastForward_ && FaultPlan::active() == nullptr;
+        Tick next;
+        if (ff) {
+            next = nextEventEdge();
+        } else {
+            next = kTickMax;
+            for (const auto &d : domains_)
+                next = std::min(next, d.clock->nextEdge(now_));
+        }
         if (next > t)
             break;
-        step();
+        commitEdge(next, ff);
     }
-    now_ = t;
+    // Clamp, never rewind: a runUntilDone-style caller may already sit
+    // past t. Sync the clocks so skipped no-op edges still count.
+    now_ = std::max(now_, t);
+    for (auto &d : domains_)
+        d.clock->syncTo(now_);
 }
 
 void
@@ -84,9 +264,7 @@ Engine::runCycles(Clock *clk, Cycles n)
     if (findDomain(clk) == nullptr)
         fatal("runCycles: clock '%s' not in this engine",
               clk->name().c_str());
-    const Cycles target = clk->cycle() + n;
-    while (clk->cycle() < target)
-        step();
+    runUntil(clk->cyclesToTicks(clk->cycle() + n));
 }
 
 bool
@@ -96,11 +274,125 @@ Engine::runUntilDone(const std::function<bool()> &done, Tick max_duration)
     if (done())
         return true;
     while (now_ < deadline) {
-        step();
+        const bool ff =
+            fastForward_ && FaultPlan::active() == nullptr;
+        Tick next;
+        if (ff) {
+            next = nextEventEdge();
+        } else {
+            next = kTickMax;
+            for (const auto &d : domains_)
+                next = std::min(next, d.clock->nextEdge(now_));
+        }
+        // The reference schedule never runs past the first edge at or
+        // after the deadline; an idle jump must land there too, not at
+        // some later wake.
+        Tick stop = kTickMax;
+        for (const auto &d : domains_)
+            stop = std::min(
+                stop, d.clock->nextEdge(std::max(now_, deadline - 1)));
+        next = std::min(next, stop);
+        commitEdge(next, ff);
         if (done())
             return true;
     }
     return false;
+}
+
+// --- Worker pool ---------------------------------------------------
+
+void
+Engine::setParallel(bool on)
+{
+    parallel_ = on;
+}
+
+void
+Engine::setThreads(unsigned n)
+{
+    threads_ = std::max(1u, n);
+}
+
+void
+Engine::ensureWorkers()
+{
+    const std::size_t want = threads_ - 1;  // main thread participates
+    while (workers_.size() < want)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+Engine::stopWorkers()
+{
+    {
+        std::lock_guard<std::mutex> lk(poolMutex_);
+        poolShutdown_ = true;
+    }
+    poolCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+    workers_.clear();
+    poolShutdown_ = false;
+}
+
+void
+Engine::workerLoop()
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(poolMutex_);
+    while (true) {
+        poolCv_.wait(lk, [&] {
+            return poolShutdown_ || poolGeneration_ != seen;
+        });
+        if (poolShutdown_)
+            return;
+        seen = poolGeneration_;
+        while (work_ != nullptr && nextTask_ < work_->size()) {
+            std::vector<Domain *> &task = (*work_)[nextTask_++];
+            const bool skip = taskSkipIdle_;
+            lk.unlock();
+            for (Domain *d : task)
+                tickDomain(*d, skip);
+            lk.lock();
+            if (--tasksLeft_ == 0)
+                poolDoneCv_.notify_all();
+        }
+    }
+}
+
+void
+Engine::drainTasks(bool skip_idle)
+{
+    std::unique_lock<std::mutex> lk(poolMutex_);
+    while (work_ != nullptr && nextTask_ < work_->size()) {
+        std::vector<Domain *> &task = (*work_)[nextTask_++];
+        lk.unlock();
+        for (Domain *d : task)
+            tickDomain(*d, skip_idle);
+        lk.lock();
+        if (--tasksLeft_ == 0)
+            poolDoneCv_.notify_all();
+    }
+}
+
+void
+Engine::tickFired(std::vector<std::vector<Domain *>> &fired,
+                  bool skip_idle)
+{
+    ensureWorkers();
+    {
+        std::lock_guard<std::mutex> lk(poolMutex_);
+        work_ = &fired;
+        nextTask_ = 0;
+        tasksLeft_ = fired.size();
+        taskSkipIdle_ = skip_idle;
+        ++poolGeneration_;
+    }
+    poolCv_.notify_all();
+    drainTasks(skip_idle);
+    std::unique_lock<std::mutex> lk(poolMutex_);
+    poolDoneCv_.wait(lk, [&] { return tasksLeft_ == 0; });
+    work_ = nullptr;
 }
 
 } // namespace harmonia

@@ -1,15 +1,24 @@
 /**
  * @file
  * The simulation engine: owns clock domains, registers components, and
- * advances simulated time edge by edge.
+ * advances simulated time edge by edge. Domains can execute in
+ * parallel on a persistent worker pool (grouped by declared coupling,
+ * see fuseClocks), and an idle fast-forward path jumps over spans of
+ * simulated time in which every component reports quiescence. Both
+ * modes are bit-identical to the serial reference schedule; serial is
+ * the default, HARMONIA_SIM_THREADS opts in.
  */
 
 #ifndef HARMONIA_SIM_ENGINE_H_
 #define HARMONIA_SIM_ENGINE_H_
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <queue>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/types.h"
@@ -25,10 +34,23 @@ namespace harmonia {
  * inside a testbench or platform object). Each step advances time to
  * the earliest pending clock edge and ticks that domain's components in
  * registration order.
+ *
+ * Concurrency model: domains that exchange state through direct calls
+ * (a CDC FIFO's two sides, an RBB and the control kernel that commands
+ * it) must be fused into one concurrency group with fuseClocks();
+ * within a group, domains always tick serially in creation order —
+ * exactly the reference schedule. Distinct groups share no state and
+ * may tick concurrently. The engine additionally serializes any step
+ * where tracing is enabled or a fault plan is armed (both keep global
+ * sequential state), so those runs are trivially schedule-independent.
  */
 class Engine {
   public:
-    Engine() = default;
+    Engine();
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
 
     /** Create a clock domain owned by this engine. */
     Clock *addClock(const std::string &name, double mhz);
@@ -39,6 +61,13 @@ class Engine {
      */
     void add(Component *c, Clock *clk);
 
+    /**
+     * Declare that the domains of @p a and @p b exchange state through
+     * direct calls and must never tick concurrently. Transitive: fusing
+     * a-b and b-c puts all three in one group.
+     */
+    void fuseClocks(Clock *a, Clock *b);
+
     Tick now() const { return now_; }
 
     /** Advance exactly one clock edge (possibly several domains). */
@@ -47,7 +76,7 @@ class Engine {
     /** Run for @p duration simulated picoseconds. */
     void runFor(Tick duration);
 
-    /** Run until simulated time reaches @p t. */
+    /** Run until simulated time reaches @p t (never rewinds). */
     void runUntil(Tick t);
 
     /** Run @p n cycles of domain @p clk. */
@@ -56,20 +85,90 @@ class Engine {
     /**
      * Run until @p done returns true (checked after every edge) or
      * @p max_duration elapses. Returns true if @p done fired.
+     *
+     * Fast-forward contract: @p done must be a function of component
+     * state (queues, counters, flags mutated by ticks). A predicate
+     * keyed directly on simulated time needs a scheduleEvent() hint so
+     * the idle jump lands an edge at the time it watches.
      */
     bool runUntilDone(const std::function<bool()> &done,
                       Tick max_duration);
+
+    // --- Parallel execution & idle fast-forward ---------------------
+
+    /** Enable/disable the worker pool. Serial is the default. */
+    void setParallel(bool on);
+    bool parallel() const { return parallel_; }
+
+    /** Worker count used when parallel (clamped to >= 1). */
+    void setThreads(unsigned n);
+    unsigned threads() const { return threads_; }
+
+    /** Enable/disable the idle fast-forward path (default off). */
+    void setIdleFastForward(bool on) { fastForward_ = on; }
+    bool idleFastForward() const { return fastForward_; }
+
+    /**
+     * Hint that something outside the component graph (a host-side DMA
+     * deadline, a fault window opening) becomes interesting at @p t:
+     * an idle fast-forward never jumps past the first edge at or after
+     * a pending hint. Stale hints are discarded harmlessly.
+     */
+    void scheduleEvent(Tick t);
+
+    /** HARMONIA_SIM_THREADS value; 0 when unset or malformed. */
+    static unsigned envThreads();
 
   private:
     struct Domain {
         std::unique_ptr<Clock> clock;
         std::vector<Component *> components;
+        std::size_t group = 0;  ///< union-find parent (domain index)
     };
 
     Domain *findDomain(const Clock *clk);
+    std::size_t domainIndex(const Clock *clk);
+    std::size_t groupOf(std::size_t domain_index);
+
+    /** Earliest edge that must run, honoring idleness; kTickMax when
+     *  every component is dormant with no wake and no hint. */
+    Tick nextEventEdge();
+
+    /** Land at @p next: sync every clock, tick the fired domains. */
+    void commitEdge(Tick next, bool skip_idle);
+
+    /** Tick @p fired (lists of fired domains per group) in parallel
+     *  when eligible, serially otherwise. */
+    void tickFired(std::vector<std::vector<Domain *>> &fired,
+                   bool skip_idle);
+
+    void tickDomain(Domain &d, bool skip_idle);
+
+    void ensureWorkers();
+    void stopWorkers();
+    void workerLoop();
+    void drainTasks(bool skip_idle);
 
     Tick now_ = 0;
     std::vector<Domain> domains_;
+    std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
+        events_;
+
+    bool parallel_ = false;
+    bool fastForward_ = false;
+    unsigned threads_ = 1;
+
+    // Worker pool state, all guarded by poolMutex_.
+    std::vector<std::thread> workers_;
+    std::mutex poolMutex_;
+    std::condition_variable poolCv_;
+    std::condition_variable poolDoneCv_;
+    std::vector<std::vector<Domain *>> *work_ = nullptr;
+    std::size_t nextTask_ = 0;
+    std::size_t tasksLeft_ = 0;
+    bool taskSkipIdle_ = false;
+    std::uint64_t poolGeneration_ = 0;
+    bool poolShutdown_ = false;
 };
 
 } // namespace harmonia

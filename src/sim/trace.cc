@@ -9,6 +9,8 @@
 
 namespace harmonia {
 
+thread_local TraceContext Trace::current_;
+
 Trace &
 Trace::instance()
 {

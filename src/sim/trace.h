@@ -183,9 +183,10 @@ class Trace {
     std::uint64_t newCorrelation() { return nextCorr_++; }
 
     /**
-     * Set the ambient context new spans are stamped with. Single-
-     * threaded simulation makes this the analogue of a thread-local;
-     * prefer ScopedTraceContext so nesting restores correctly.
+     * Set the ambient context new spans are stamped with. The context
+     * really is a thread-local (components tick on worker threads when
+     * the engine runs domains in parallel); prefer ScopedTraceContext
+     * so nesting restores correctly.
      */
     void setContext(const TraceContext &ctx) { current_ = ctx; }
     const TraceContext &context() const { return current_; }
@@ -263,7 +264,7 @@ class Trace {
     std::uint64_t unmatchedEnds_ = 0;
     std::uint64_t droppedOpens_ = 0;
     std::size_t maxOpen_ = kMaxOpenSpans;
-    TraceContext current_;
+    static thread_local TraceContext current_;
     BoundedRing<Entry> entries_{kCapacity};
     BoundedRing<Span> spans_{kCapacity};
     std::map<SpanId, Span> open_;

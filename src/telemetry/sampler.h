@@ -36,6 +36,10 @@ class Sampler : public Component {
 
     void tick() override;
 
+    /** Nothing to scrape until the next due time. */
+    bool idle() const override { return now() < nextDue_; }
+    Tick wakeTime() const override { return nextDue_; }
+
     /** Change the scrape period; takes effect from the next sample. */
     void setPeriod(Tick period);
     Tick period() const { return period_; }

@@ -47,6 +47,10 @@ class MemMapWrapper : public Component {
 
     void tick() override;
 
+    /** Nothing to drain from the controller: tick is a no-op. The
+     *  controller's own wake hint covers the completion schedule. */
+    bool idle() const override { return !memory_.hasCompletion(); }
+
     Tick addedLatency() const;
 
     /**

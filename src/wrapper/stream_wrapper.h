@@ -10,6 +10,7 @@
 #ifndef HARMONIA_WRAPPER_STREAM_WRAPPER_H_
 #define HARMONIA_WRAPPER_STREAM_WRAPPER_H_
 
+#include <algorithm>
 #include <deque>
 
 #include "common/packet.h"
@@ -45,6 +46,24 @@ class StreamWrapper : public Component {
     PacketDesc egressPop();
 
     void tick() override {}
+
+    /** The pipelines are time-stamped, not shifted: tick is a no-op. */
+    bool idle() const override { return true; }
+
+    /** A head packet maturing flips available() — an observable change
+     *  fast-forward must land on even when no owning RBB relays the
+     *  hint (e.g. a bare wrapper under test). */
+    Tick wakeTime() const override { return nextReadyAt(); }
+
+    /** Both directions empty (for the owning RBB's idle report). */
+    bool quiescent() const { return ingress_.empty() && egress_.empty(); }
+
+    /** Earliest time either direction's head packet matures (for the
+     *  owning RBB's wake hint); kTickMax when drained. */
+    Tick nextReadyAt() const
+    {
+        return std::min(ingress_.frontReadyAt(), egress_.frontReadyAt());
+    }
 
     /** Added latency at the component's clock. */
     Tick addedLatency() const;

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * The determinism golden harness: the headline guarantee of the
+ * parallel engine is that a parallel run (any thread count, idle
+ * fast-forward on) is bit-identical to the serial tick-by-tick run.
+ * "Bit-identical" is checked the strong way — full telemetry
+ * snapshots, trace span trees, fault-plan fingerprints and the wire
+ * bytes a scenario moved, not a handful of summary counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "fault/fault_plan.h"
+#include "host/cmd_driver.h"
+#include "host/dma_engine.h"
+#include "shell/cdc.h"
+#include "shell/unified_shell.h"
+#include "sim/trace.h"
+#include "workload/packet_gen.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+/** Engine execution mode under test. */
+struct Mode {
+    unsigned threads = 1;
+    bool parallel = false;
+    bool fastForward = false;
+};
+
+void
+apply(Engine &engine, const Mode &m)
+{
+    engine.setThreads(m.threads);
+    engine.setParallel(m.parallel);
+    engine.setIdleFastForward(m.fastForward);
+}
+
+/**
+ * Everything observable at the end of a run, rendered to strings so a
+ * mismatch prints the first differing line instead of "false".
+ */
+struct RunImage {
+    std::vector<std::string> metrics;
+    std::vector<std::string> spans;
+    std::uint64_t faultFingerprint = 0;
+    std::uint64_t faultInjected = 0;
+    std::uint64_t wireBytes = 0;
+    std::uint64_t wirePackets = 0;
+    Tick endNow = 0;
+
+    bool operator==(const RunImage &) const = default;
+};
+
+std::vector<std::string>
+renderMetrics(const MetricsRegistry &reg)
+{
+    std::vector<std::string> out;
+    for (const MetricSample &s : reg.snapshot())
+        out.push_back(format(
+            "%s k=%u v=%.17g n=%llu min=%llu max=%llu mean=%.17g "
+            "p50=%.17g p99=%.17g",
+            s.name.c_str(), static_cast<unsigned>(s.kind), s.value,
+            static_cast<unsigned long long>(s.count),
+            static_cast<unsigned long long>(s.min),
+            static_cast<unsigned long long>(s.max), s.mean, s.p50,
+            s.p99));
+    return out;
+}
+
+std::vector<std::string>
+renderSpans()
+{
+    // Span ids come from a process-global counter that survives
+    // Trace::clear(), so remap them (and the parent links) to dense
+    // first-appearance order — the tree shape is what must match.
+    std::map<SpanId, std::uint64_t> dense;
+    std::map<std::uint64_t, std::uint64_t> denseCorr;
+    dense[0] = 0;
+    denseCorr[0] = 0;
+    const auto idOf = [&dense](SpanId id) {
+        const auto [it, fresh] = dense.emplace(id, dense.size());
+        (void)fresh;
+        return it->second;
+    };
+    const auto corrOf = [&denseCorr](std::uint64_t corr) {
+        const auto [it, fresh] =
+            denseCorr.emplace(corr, denseCorr.size());
+        (void)fresh;
+        return it->second;
+    };
+    std::vector<std::string> out;
+    for (const Trace::Span &s : Trace::instance().spans())
+        out.push_back(format(
+            "id=%llu parent=%llu corr=%llu [%llu,%llu] %s/%s/%s",
+            static_cast<unsigned long long>(idOf(s.id)),
+            static_cast<unsigned long long>(idOf(s.parent)),
+            static_cast<unsigned long long>(corrOf(s.corr)),
+            static_cast<unsigned long long>(s.begin),
+            static_cast<unsigned long long>(s.end), s.who.c_str(),
+            s.what.c_str(), s.cat.c_str()));
+    return out;
+}
+
+void
+expectIdentical(const RunImage &golden, const RunImage &run,
+                const std::string &label)
+{
+    EXPECT_EQ(golden.endNow, run.endNow) << label;
+    EXPECT_EQ(golden.wireBytes, run.wireBytes) << label;
+    EXPECT_EQ(golden.wirePackets, run.wirePackets) << label;
+    EXPECT_EQ(golden.faultFingerprint, run.faultFingerprint) << label;
+    EXPECT_EQ(golden.faultInjected, run.faultInjected) << label;
+    ASSERT_EQ(golden.metrics.size(), run.metrics.size()) << label;
+    for (std::size_t i = 0; i < golden.metrics.size(); ++i)
+        EXPECT_EQ(golden.metrics[i], run.metrics[i])
+            << label << " metric " << i;
+    ASSERT_EQ(golden.spans.size(), run.spans.size()) << label;
+    for (std::size_t i = 0; i < golden.spans.size(); ++i)
+        EXPECT_EQ(golden.spans[i], run.spans[i])
+            << label << " span " << i;
+}
+
+/**
+ * Fig-10-style end-to-end scenario on a unified shell: loopback
+ * network traffic, DMA on four tenant queues, periodic control
+ * commands, then a long settle window (where idle fast-forward earns
+ * its keep). Optionally under a chaos schedule and with tracing on.
+ */
+RunImage
+runEndToEnd(const Mode &mode, bool with_trace, bool with_chaos)
+{
+    Trace::instance().clear();
+    Trace::instance().setEnabled(with_trace);
+
+    RunImage img;
+    {
+        // Declared before the shell: its ScopedMetrics unregister on
+        // destruction, so the registry must outlive it.
+        MetricsRegistry reg;
+        Engine engine;
+        apply(engine, mode);
+        auto shell = Shell::makeUnified(engine, deviceA());
+        shell->network(0).setLoopback(true);
+
+        shell->registerTelemetry(reg);
+
+        CmdDriver driver(engine, *shell);
+        HostDma dma(shell->host());
+        DmaRecoveryPolicy dma_policy;
+        dma_policy.timeout = 20'000'000;
+        dma.setRecoveryPolicy(dma_policy);
+        for (std::uint16_t q = 1; q <= 4; ++q)
+            shell->host().setQueueActive(q, true);
+        dma.registerTelemetry(reg, "host_dma");
+
+        FaultPlan plan(20260806);
+        if (with_chaos) {
+            plan.addWindow(FaultKind::StreamBitFlip, 0, 200'000'000,
+                           0.1);
+            plan.addWindow(FaultKind::CmdDrop, 0, 200'000'000, 0.1,
+                           "cmd01");
+            plan.addWindow(FaultKind::DmaCompletionLoss, 0,
+                           200'000'000, 0.05);
+            plan.arm();
+        }
+
+        std::uint64_t next_id = 1;
+        for (int round = 0; round < 24; ++round) {
+            if (shell->network(0).txReady()) {
+                PacketDesc pkt;
+                pkt.bytes = 256 + (round % 4) * 64;
+                shell->network(0).txPush(pkt);
+            }
+            const auto q =
+                static_cast<std::uint16_t>(1 + round % 4);
+            dma.submit(round % 2 ? DmaDir::H2C : DmaDir::C2H, q,
+                       1024, next_id++);
+            if (round % 8 == 0)
+                driver.call(kRbbSystem, 0, kCmdTimeCount);
+            engine.runFor(2'000'000);
+            dma.poll();
+            while (shell->network(0).rxAvailable()) {
+                const PacketDesc pkt = shell->network(0).rxPop();
+                img.wireBytes += pkt.bytes;
+                ++img.wirePackets;
+            }
+            for (std::uint16_t dq = 1; dq <= 4; ++dq)
+                while (dma.hasCompletion(dq))
+                    dma.popCompletion(dq);
+        }
+
+        // Mostly-idle settle: the serial engine grinds every edge,
+        // the fast-forward engine jumps between sparse wake points.
+        // Both must land in the same place.
+        for (int i = 0; i < 10; ++i) {
+            engine.runFor(10'000'000);
+            dma.poll();
+        }
+
+        img.endNow = engine.now();
+        img.metrics = renderMetrics(reg);
+        img.faultFingerprint = plan.fingerprint();
+        img.faultInjected = plan.injectedTotal();
+    }
+    img.spans = renderSpans();
+    Trace::instance().setEnabled(false);
+    Trace::instance().clear();
+    return img;
+}
+
+/**
+ * Four fully independent CDC pipelines, each its own pair of fused
+ * clocks — four concurrency groups, so parallel dispatch actually
+ * fans out across the worker pool (the unified shell is one group by
+ * design). Producers serialize packets into the crossing, consumers
+ * checksum what comes out.
+ */
+RunImage
+runGroups(const Mode &mode)
+{
+    constexpr int kPipes = 4;
+    const double write_mhz[kPipes] = {250.0, 322.27, 450.0, 100.0};
+    const double read_mhz[kPipes] = {322.27, 250.0, 300.0, 500.0};
+
+    RunImage img;
+    Engine engine;
+    apply(engine, mode);
+
+    std::vector<std::unique_ptr<ParamCdc>> cdcs;
+    std::vector<std::unique_ptr<FunctionComponent>> comps;
+    std::vector<std::uint64_t> pushed(kPipes, 0);
+    std::vector<std::uint64_t> checksum(kPipes, 0);
+
+    for (int p = 0; p < kPipes; ++p) {
+        Clock *w = engine.addClock(format("pipe%d.w", p),
+                                   write_mhz[p]);
+        Clock *r = engine.addClock(format("pipe%d.r", p),
+                                   read_mhz[p]);
+        auto cdc = std::make_unique<ParamCdc>(
+            engine, format("pipe%d.cdc", p), w, r, 512, 512, 16);
+        ParamCdc *c = cdc.get();
+        auto producer = std::make_unique<FunctionComponent>(
+            format("pipe%d.prod", p), [c, p, &pushed] {
+                if (pushed[p] < 200 && c->canPush()) {
+                    PacketDesc pkt;
+                    pkt.bytes = 64 + (pushed[p] % 7) * 64;
+                    pkt.flowHash = pushed[p] * 2654435761u + p;
+                    c->push(pkt);
+                    ++pushed[p];
+                }
+            });
+        auto consumer = std::make_unique<FunctionComponent>(
+            format("pipe%d.cons", p), [c, p, &checksum] {
+                while (c->canPop()) {
+                    const PacketDesc pkt = c->pop();
+                    checksum[p] =
+                        checksum[p] * 1099511628211ull ^
+                        (pkt.flowHash + pkt.bytes);
+                }
+            });
+        engine.add(consumer.get(), r);
+        engine.add(producer.get(), w);
+        cdcs.push_back(std::move(cdc));
+        comps.push_back(std::move(producer));
+        comps.push_back(std::move(consumer));
+    }
+
+    engine.runFor(20'000'000);
+
+    img.endNow = engine.now();
+    for (int p = 0; p < kPipes; ++p) {
+        img.wirePackets += pushed[p];
+        img.metrics.push_back(format("pipe%d pushed=%llu sum=%llu "
+                                     "occ=%zu",
+                                     p,
+                                     static_cast<unsigned long long>(
+                                         pushed[p]),
+                                     static_cast<unsigned long long>(
+                                         checksum[p]),
+                                     cdcs[p]->occupancy()));
+    }
+    return img;
+}
+
+TEST(Determinism, EndToEndParallelMatchesSerial)
+{
+    const RunImage golden =
+        runEndToEnd(Mode{1, false, false}, false, false);
+    EXPECT_GT(golden.wirePackets, 0u);
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        const RunImage run = runEndToEnd(
+            Mode{threads, threads > 1, true}, false, false);
+        expectIdentical(golden, run,
+                        format("threads=%u", threads));
+    }
+}
+
+TEST(Determinism, EndToEndSpanTreesMatchUnderTracing)
+{
+    const RunImage golden =
+        runEndToEnd(Mode{1, false, false}, true, false);
+    EXPECT_GT(golden.spans.size(), 0u);
+
+    const RunImage run =
+        runEndToEnd(Mode{4, true, true}, true, false);
+    expectIdentical(golden, run, "traced threads=4");
+}
+
+TEST(Determinism, ChaosRunsMatchSerial)
+{
+    const RunImage golden =
+        runEndToEnd(Mode{1, false, false}, false, true);
+    EXPECT_GT(golden.faultInjected, 0u);
+
+    for (unsigned threads : {2u, 4u}) {
+        const RunImage run = runEndToEnd(
+            Mode{threads, true, true}, false, true);
+        expectIdentical(golden, run,
+                        format("chaos threads=%u", threads));
+    }
+}
+
+TEST(Determinism, IndependentGroupsMatchAcrossThreadCounts)
+{
+    const RunImage golden = runGroups(Mode{1, false, false});
+    EXPECT_EQ(golden.wirePackets, 4u * 200u);
+
+    for (unsigned threads : {2u, 4u}) {
+        const RunImage run =
+            runGroups(Mode{threads, true, true});
+        expectIdentical(golden, run,
+                        format("groups threads=%u", threads));
+    }
+}
+
+TEST(Determinism, EnvVarSelectsThreadsAndFastForward)
+{
+    setenv("HARMONIA_SIM_THREADS", "4", 1);
+    {
+        Engine engine;
+        EXPECT_EQ(engine.threads(), 4u);
+        EXPECT_TRUE(engine.parallel());
+        EXPECT_TRUE(engine.idleFastForward());
+    }
+    setenv("HARMONIA_SIM_THREADS", "1", 1);
+    {
+        Engine engine;
+        EXPECT_EQ(engine.threads(), 1u);
+        EXPECT_FALSE(engine.parallel());
+        EXPECT_TRUE(engine.idleFastForward());
+    }
+    unsetenv("HARMONIA_SIM_THREADS");
+    {
+        Engine engine;
+        EXPECT_EQ(engine.threads(), 1u);
+        EXPECT_FALSE(engine.parallel());
+        EXPECT_FALSE(engine.idleFastForward());
+    }
+}
+
+} // namespace
+} // namespace harmonia

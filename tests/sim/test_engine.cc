@@ -126,5 +126,203 @@ TEST(Engine, RunUntilSetsExactTime)
     EXPECT_EQ(e.now(), 12'345u);
 }
 
+TEST(Engine, RunUntilNeverRewindsTime)
+{
+    Engine e;
+    Clock *clk = e.addClock("clk", 250.0);
+    e.runFor(40'000);
+    ASSERT_EQ(e.now(), 40'000u);
+
+    // A target already in the past must clamp, not rewind: rewinding
+    // now_ (and the clock cycles with it) would replay edges.
+    e.runUntil(5'000);
+    EXPECT_EQ(e.now(), 40'000u);
+    EXPECT_EQ(clk->cycle(), 10u);
+}
+
+// --- Idle fast-forward: parity with the tick-by-tick engine. ---
+
+/**
+ * Does observable work every @p interval cycles and reports itself
+ * idle (with an exact wake) in between — the HealthMonitor shape.
+ */
+class PeriodicCounter : public Component {
+  public:
+    PeriodicCounter(std::string name, Cycles interval)
+        : Component(std::move(name)), interval_(interval)
+    {
+    }
+
+    void tick() override
+    {
+        if (cycle() % interval_ == 0) {
+            ++count_;
+            at_.push_back(now());
+        }
+    }
+    bool idle() const override { return cycle() % interval_ != 0; }
+    Tick wakeTime() const override
+    {
+        return clock()->cyclesToTicks(
+            (cycle() / interval_ + 1) * interval_);
+    }
+
+    std::uint64_t count_ = 0;
+    std::vector<Tick> at_;
+
+  private:
+    Cycles interval_;
+};
+
+/** Fires once at the first edge at or after @p when, then sleeps. */
+class OneShotAlarm : public Component {
+  public:
+    OneShotAlarm(std::string name, Tick when)
+        : Component(std::move(name)), when_(when)
+    {
+    }
+
+    void tick() override
+    {
+        if (!fired_ && now() >= when_) {
+            fired_ = true;
+            firedAt_ = now();
+        }
+    }
+    bool idle() const override { return fired_ || now() < when_; }
+    Tick wakeTime() const override
+    {
+        return fired_ ? kTickMax : when_;
+    }
+
+    Tick when_;
+    bool fired_ = false;
+    Tick firedAt_ = 0;
+};
+
+/**
+ * One fixture's worth of state: two multi-ratio domains (the shell's
+ * 250 MHz kernel clock against a 322.27 MHz line clock), periodic
+ * work on both and a one-shot alarm in the middle of a long gap.
+ */
+struct FfScenario {
+    Engine engine;
+    Clock *kernel;
+    Clock *line;
+    PeriodicCounter slow{"slow", 64};
+    PeriodicCounter fast{"fast", 48};
+    OneShotAlarm alarm{"alarm", 777'777};
+
+    explicit FfScenario(bool fast_forward)
+        : kernel(engine.addClock("kernel", 250.0)),
+          line(engine.addClock("line", 322.27))
+    {
+        engine.setIdleFastForward(fast_forward);
+        engine.add(&slow, kernel);
+        engine.add(&fast, line);
+        engine.add(&alarm, line);
+    }
+};
+
+TEST(Engine, FastForwardMatchesTickByTick)
+{
+    FfScenario serial(false);
+    FfScenario ff(true);
+
+    // Cross several intermediate deadlines so clamping at arbitrary
+    // (non-edge) stop times is exercised too, not just the end state.
+    for (const Tick t :
+         {100'000u, 777'000u, 800'001u, 2'000'000u, 5'000'003u}) {
+        serial.engine.runUntil(t);
+        ff.engine.runUntil(t);
+        ASSERT_EQ(serial.engine.now(), ff.engine.now()) << t;
+        ASSERT_EQ(serial.kernel->cycle(), ff.kernel->cycle()) << t;
+        ASSERT_EQ(serial.line->cycle(), ff.line->cycle()) << t;
+    }
+
+    EXPECT_EQ(serial.slow.count_, ff.slow.count_);
+    EXPECT_EQ(serial.slow.at_, ff.slow.at_);
+    EXPECT_EQ(serial.fast.count_, ff.fast.count_);
+    EXPECT_EQ(serial.fast.at_, ff.fast.at_);
+    EXPECT_GT(ff.slow.count_, 10u);
+}
+
+TEST(Engine, MidGapWakeNeverSkipped)
+{
+    FfScenario serial(false);
+    FfScenario ff(true);
+    serial.engine.runUntil(5'000'000);
+    ff.engine.runUntil(5'000'000);
+
+    // The alarm sits mid-gap between the periodic counters' wakes; a
+    // fast-forward that trusted only the active components would jump
+    // straight over it.
+    ASSERT_TRUE(serial.alarm.fired_);
+    ASSERT_TRUE(ff.alarm.fired_);
+    EXPECT_EQ(serial.alarm.firedAt_, ff.alarm.firedAt_);
+    EXPECT_GE(ff.alarm.firedAt_, ff.alarm.when_);
+    // ...and it fired at the *first* line-clock edge past the wake.
+    EXPECT_LT(ff.alarm.firedAt_ - ff.alarm.when_,
+              ff.line->cyclesToTicks(1));
+}
+
+TEST(Engine, RunUntilDoneOvershootMatchesSerial)
+{
+    const auto run = [](bool fast_forward) {
+        Engine e;
+        e.setIdleFastForward(fast_forward);
+        Clock *clk = e.addClock("clk", 322.27);
+        OneShotAlarm alarm("alarm", 9'999'999);  // beyond deadline
+        e.add(&alarm, clk);
+        // done() is time-dependent: the engine must stop on exactly
+        // the first edge at or after the deadline, not at the far
+        // wake point.
+        EXPECT_FALSE(
+            e.runUntilDone([&] { return false; }, 123'456));
+        return e.now();
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Engine, ScheduledEventWakesIdleEngine)
+{
+    const auto run = [](bool fast_forward) {
+        Engine e;
+        e.setIdleFastForward(fast_forward);
+        Clock *clk = e.addClock("clk", 250.0);
+        OneShotAlarm sleeper("sleeper", kTickMax);  // idle forever
+        e.add(&sleeper, clk);
+        e.scheduleEvent(1'000'001);  // host-side deadline hint
+        EXPECT_TRUE(e.runUntilDone(
+            [&] { return e.now() > 1'000'000; }, 100'000'000));
+        return e.now();
+    };
+    const Tick serial = run(false);
+    EXPECT_EQ(serial, run(true));
+    EXPECT_GT(serial, 1'000'000u);
+    // First edge past the hint, not some later wake.
+    EXPECT_LE(serial, 1'004'000u);
+}
+
+TEST(Engine, StepSkipsIdleWorkWhenFastForwarding)
+{
+    Engine e;
+    e.setIdleFastForward(true);
+    Clock *clk = e.addClock("clk", 250.0);
+    PeriodicCounter counter("c", 4);
+    int raw_ticks = 0;
+    FunctionComponent probe("probe", [&] { ++raw_ticks; });
+    e.add(&counter, clk);
+    e.add(&probe, clk);
+
+    // step() still commits one edge at a time (benches drive it), but
+    // idle components are skipped on the edges where they report idle.
+    for (int i = 0; i < 8; ++i)
+        e.step();
+    EXPECT_EQ(raw_ticks, 8);          // default components never skip
+    EXPECT_EQ(counter.count_, 2u);    // cycles 4 and 8
+    EXPECT_EQ(counter.at_.size(), 2u);
+}
+
 } // namespace
 } // namespace harmonia
