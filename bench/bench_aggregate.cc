@@ -10,6 +10,13 @@
  * Metric direction is inferred from its name: "throughput", "gbps",
  * "qps" and "ops" count up; "lat", "ticks", "ns", "us", "ps" count
  * down; anything else is informational and never gates.
+ *
+ * One absolute gate rides on top of the relative one:
+ * "parallel_speedup_x" must clear a floor (default 0.7x) whenever a
+ * run reports it, baseline or not — wall-clock ratios are too noisy
+ * for percent-regression gating, but the parallel engine ending up
+ * drastically slower than the serial one is always a bug. Override
+ * the floor with $HARMONIA_SPEEDUP_FLOOR; 0 disables the gate.
  */
 
 #include <cstdio>
@@ -135,6 +142,31 @@ main(int argc, char **argv)
     out.close();
     std::printf("wrote %zu scenario(s) to %s\n", scenarios.size(),
                 out_path.c_str());
+
+    // --- Absolute floor on the parallel engine's speedup. ---
+    const char *floor_env = std::getenv("HARMONIA_SPEEDUP_FLOOR");
+    const double speedup_floor =
+        floor_env != nullptr ? std::strtod(floor_env, nullptr) : 0.7;
+    int floor_failures = 0;
+    const JsonValue &all = doc.get("scenarios");
+    for (std::size_t i = 0; speedup_floor > 0.0 && i < all.size();
+         ++i) {
+        const JsonValue &metrics = all.at(i).get("metrics");
+        if (!metrics.has("parallel_speedup_x"))
+            continue;
+        const double x = metrics.get("parallel_speedup_x").asDouble();
+        const bool ok = x >= speedup_floor;
+        std::printf("%s %s/parallel_speedup_x: %.2fx (floor %.2fx)\n",
+                    ok ? "  ok " : "GATE:",
+                    scenarioKey(all.at(i)).c_str(), x, speedup_floor);
+        if (!ok)
+            ++floor_failures;
+    }
+    if (floor_failures != 0) {
+        std::printf("%d scenario(s) below the speedup floor\n",
+                    floor_failures);
+        return 1;
+    }
 
     if (baseline_path.empty())
         return 0;

@@ -42,6 +42,12 @@ toString(CommandCode code)
         return "ProfileSnapshot";
       case kCmdProfileReset:
         return "ProfileReset";
+      case kCmdSloStatus:
+        return "SloStatus";
+      case kCmdAlertSnapshot:
+        return "AlertSnapshot";
+      case kCmdFlightDump:
+        return "FlightDump";
     }
     return "?";
 }

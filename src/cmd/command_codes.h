@@ -38,6 +38,11 @@ enum CommandCode : std::uint16_t {
     // profile folded from the span trace.
     kCmdProfileSnapshot = 0x0032,
     kCmdProfileReset = 0x0033,
+    // Operational-intelligence plane: SLO/alert state and the flight
+    // recorder, queryable the same packetized way.
+    kCmdSloStatus = 0x0034,
+    kCmdAlertSnapshot = 0x0035,
+    kCmdFlightDump = 0x0036,
 };
 
 /** Command execution status in response packets. */

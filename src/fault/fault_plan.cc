@@ -1,5 +1,7 @@
 #include "fault/fault_plan.h"
 
+#include "obs/flight_recorder.h"
+
 namespace harmonia {
 
 namespace {
@@ -169,6 +171,8 @@ FaultPlan::record(FaultKind kind, const std::string &target, Tick now)
     }
     if (log_.size() < kMaxLogEntries)
         log_.push_back(Event{kind, now, target});
+    if (FlightRecorder *fdr = FlightRecorder::active())
+        fdr->noteFault(toString(kind), target, now);
 }
 
 std::uint64_t

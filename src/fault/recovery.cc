@@ -1,5 +1,6 @@
 #include "fault/recovery.h"
 
+#include "obs/flight_recorder.h"
 #include "sim/trace.h"
 
 namespace harmonia {
@@ -82,6 +83,8 @@ RecoveryManager::enterDegraded()
     stableChecks_ = 0;
     stats_.counter("degrade_events").inc();
     trace(*this, "over-temp: entering degraded mode");
+    if (FlightRecorder *fdr = FlightRecorder::active())
+        fdr->noteRecovery(name(), "enter-degraded", now());
 
     for (std::size_t i = 0; i < shell_.networkCount(); ++i)
         shell_.network(i).setRxShed(true);
@@ -108,6 +111,8 @@ RecoveryManager::restore()
     stableChecks_ = 0;
     stats_.counter("restore_events").inc();
     trace(*this, "cooled past hysteresis: restoring full service");
+    if (FlightRecorder *fdr = FlightRecorder::active())
+        fdr->noteRecovery(name(), "restore", now());
 
     // Clear the latched alarm (and drop the irq line) the same way
     // management software does: a ModuleReset at the health target.

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_plan.h"
+#include "obs/flight_recorder.h"
 #include "sim/trace.h"
 
 namespace harmonia {
@@ -220,6 +221,11 @@ CmdDriver::callChecked(std::uint8_t rbb_id, std::uint8_t instance_id,
                 tracer.endSpan(root, root_end);
                 tracer.disarmTag(tag);
             }
+            if (FlightRecorder *fdr = FlightRecorder::active())
+                fdr->noteCommand(engine_.now(),
+                                 format("cmd%02x", srcId_), code,
+                                 toString(out.status), true,
+                                 out.attempts, corr);
             return out;
         }
         if (attempt == policy_.maxAttempts)
@@ -236,6 +242,10 @@ CmdDriver::callChecked(std::uint8_t rbb_id, std::uint8_t instance_id,
         tracer.endSpan(root, engine_.now());
         tracer.disarmTag(tag);
     }
+    if (FlightRecorder *fdr = FlightRecorder::active())
+        fdr->noteCommand(engine_.now(), format("cmd%02x", srcId_),
+                         code, toString(out.status), false,
+                         out.attempts, corr);
     return out;
 }
 

@@ -1,0 +1,313 @@
+#include "obs/flight_recorder.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "fault/fault_plan.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "telemetry/exporter.h"
+#include "telemetry/profiler.h"
+
+namespace harmonia {
+
+namespace {
+
+FlightRecorder *gArmed = nullptr;
+
+} // namespace
+
+const char *
+toString(FdrKind kind)
+{
+    switch (kind) {
+      case FdrKind::Command:
+        return "command";
+      case FdrKind::Fault:
+        return "fault";
+      case FdrKind::Alert:
+        return "alert";
+      case FdrKind::Recovery:
+        return "recovery";
+      case FdrKind::Note:
+        return "note";
+    }
+    return "?";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : events_(capacity == 0 ? 1 : capacity), stats_("flight_recorder")
+{
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    disarm();
+}
+
+void
+FlightRecorder::arm()
+{
+    gArmed = this;
+}
+
+void
+FlightRecorder::disarm()
+{
+    if (gArmed == this)
+        gArmed = nullptr;
+}
+
+FlightRecorder *
+FlightRecorder::active()
+{
+    return gArmed;
+}
+
+void
+FlightRecorder::note(FdrKind kind, Tick tick, std::string who,
+                     std::string what, std::uint64_t a,
+                     std::uint64_t b)
+{
+    stats_.counter(std::string("events_") + toString(kind)).inc();
+    events_.push(FdrEvent{tick, kind, std::move(who), std::move(what),
+                          a, b});
+}
+
+void
+FlightRecorder::noteCommand(Tick tick, const std::string &who,
+                            std::uint16_t code,
+                            const std::string &verdict, bool ok,
+                            unsigned attempts, std::uint64_t corr)
+{
+    note(FdrKind::Command, tick, who,
+         format("code=0x%04x %s", code, verdict.c_str()),
+         ok ? 1 : 0, attempts);
+    if (corr != 0)
+        lastCorr_ = corr;
+    if (!ok && corr != 0)
+        lastFailedCorr_ = corr;
+}
+
+void
+FlightRecorder::noteFault(const char *kind, const std::string &target,
+                          Tick tick)
+{
+    note(FdrKind::Fault, tick, target, kind);
+    if (dumpOnFault_)
+        trigger(std::string("fault:") + kind, tick);
+}
+
+void
+FlightRecorder::noteAlert(const std::string &slo,
+                          const std::string &from,
+                          const std::string &to, Tick tick,
+                          double burn, bool firingEdge)
+{
+    note(FdrKind::Alert, tick, slo, from + "->" + to,
+         static_cast<std::uint64_t>(burn * 1000.0));
+    if (dumpOnAlert_ && firingEdge)
+        trigger("alert:" + slo, tick);
+}
+
+void
+FlightRecorder::noteRecovery(const std::string &who,
+                             const std::string &what, Tick tick)
+{
+    note(FdrKind::Recovery, tick, who, what);
+}
+
+std::uint64_t
+FlightRecorder::corrOfInterest() const
+{
+    return lastFailedCorr_ != 0 ? lastFailedCorr_ : lastCorr_;
+}
+
+void
+FlightRecorder::requestDump(const std::string &reason, Tick tick)
+{
+    note(FdrKind::Note, tick, "operator", "dump requested: " + reason);
+    trigger(reason, tick);
+}
+
+void
+FlightRecorder::trigger(const std::string &reason, Tick tick)
+{
+    if (everTriggered_ && tick - lastTrigger_ < rearmInterval_) {
+        stats_.counter("triggers_suppressed").inc();
+        return;
+    }
+    everTriggered_ = true;
+    lastTrigger_ = tick;
+    stats_.counter("triggers").inc();
+    if (!autoDumpPath_.empty()) {
+        dumpToFile(autoDumpPath_, reason, tick);
+        return;
+    }
+    dumpPending_ = true;
+    pendingReason_ = reason;
+}
+
+JsonValue
+FlightRecorder::buildBundle(const std::string &reason,
+                            Tick tick) const
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("harmonia_postmortem", JsonValue(1));
+    doc.set("reason", JsonValue(reason));
+    doc.set("tick", JsonValue(static_cast<std::uint64_t>(tick)));
+
+    // --- The black-box event ring, oldest first. ---
+    JsonValue events = JsonValue::array();
+    for (const FdrEvent &e : events_.snapshot()) {
+        JsonValue j = JsonValue::object();
+        j.set("tick", JsonValue(static_cast<std::uint64_t>(e.tick)));
+        j.set("kind", JsonValue(toString(e.kind)));
+        j.set("who", JsonValue(e.who));
+        j.set("what", JsonValue(e.what));
+        if (e.a != 0)
+            j.set("a", JsonValue(e.a));
+        if (e.b != 0)
+            j.set("b", JsonValue(e.b));
+        events.push(std::move(j));
+    }
+    doc.set("events", std::move(events));
+
+    // --- Alert states at dump time. ---
+    if (slo_ != nullptr) {
+        JsonValue alerts = JsonValue::array();
+        for (const AlertStatus &s : slo_->statuses()) {
+            JsonValue j = JsonValue::object();
+            j.set("name", JsonValue(s.name));
+            j.set("state", JsonValue(toString(s.state)));
+            j.set("since",
+                  JsonValue(static_cast<std::uint64_t>(s.since)));
+            j.set("burn_rate", JsonValue(s.burnRate));
+            j.set("budget_consumed", JsonValue(s.budgetConsumed));
+            j.set("pending_events", JsonValue(s.pendingEvents));
+            j.set("fire_events", JsonValue(s.fireEvents));
+            j.set("resolve_events", JsonValue(s.resolveEvents));
+            alerts.push(std::move(j));
+        }
+        doc.set("alerts", std::move(alerts));
+    }
+
+    // --- Series tails (name-sorted; bounded per series). ---
+    if (store_ != nullptr) {
+        JsonValue series = JsonValue::object();
+        for (const std::string &name : store_->seriesNames()) {
+            const std::vector<TsPoint> pts = store_->points(name);
+            JsonValue j = JsonValue::object();
+            j.set("latest", JsonValue(store_->latest(name)));
+            JsonValue tail = JsonValue::array();
+            const std::size_t from =
+                pts.size() > kBundleSeriesTail
+                    ? pts.size() - kBundleSeriesTail
+                    : 0;
+            for (std::size_t i = from; i < pts.size(); ++i) {
+                JsonValue p = JsonValue::array();
+                p.push(JsonValue(
+                    static_cast<std::uint64_t>(pts[i].tick)));
+                p.push(JsonValue(pts[i].value));
+                tail.push(std::move(p));
+            }
+            j.set("points", std::move(tail));
+            series.set(name, std::move(j));
+        }
+        doc.set("series", std::move(series));
+    }
+
+    // --- Fault-plane evidence. ---
+    if (plan_ != nullptr) {
+        JsonValue f = JsonValue::object();
+        f.set("seed", JsonValue(plan_->seed()));
+        f.set("fingerprint",
+              JsonValue(format("%016llx",
+                               static_cast<unsigned long long>(
+                                   plan_->fingerprint()))));
+        f.set("injected_total", JsonValue(plan_->injectedTotal()));
+        JsonValue log = JsonValue::array();
+        const std::vector<FaultPlan::Event> &flog = plan_->log();
+        const std::size_t from = flog.size() > kBundleFaultTail
+                                     ? flog.size() - kBundleFaultTail
+                                     : 0;
+        for (std::size_t i = from; i < flog.size(); ++i) {
+            JsonValue j = JsonValue::object();
+            j.set("kind", JsonValue(toString(flog[i].kind)));
+            j.set("at",
+                  JsonValue(static_cast<std::uint64_t>(flog[i].at)));
+            j.set("target", JsonValue(flog[i].target));
+            log.push(std::move(j));
+        }
+        f.set("log", std::move(log));
+        doc.set("faults", std::move(f));
+    }
+
+    // --- Causal span tree of the command of interest, normalized:
+    // span/correlation ids come from process-global counters, so the
+    // bundle remaps them to dense first-appearance order (the tree
+    // shape, not the raw ids, is the deterministic artifact). ---
+    const std::uint64_t corr = corrOfInterest();
+    JsonValue tree = JsonValue::array();
+    if (corr != 0) {
+        std::map<SpanId, std::uint64_t> dense;
+        dense[0] = 0;
+        const auto idOf = [&dense](SpanId id) {
+            const auto [it, fresh] = dense.emplace(id, dense.size());
+            (void)fresh;
+            return it->second;
+        };
+        for (const Trace::Span &s :
+             spanTreeForCorr(Trace::instance(), corr)) {
+            JsonValue j = JsonValue::object();
+            j.set("id", JsonValue(idOf(s.id)));
+            j.set("parent", JsonValue(idOf(s.parent)));
+            j.set("begin",
+                  JsonValue(static_cast<std::uint64_t>(s.begin)));
+            j.set("end", JsonValue(static_cast<std::uint64_t>(s.end)));
+            j.set("who", JsonValue(s.who));
+            j.set("what", JsonValue(s.what));
+            j.set("cat", JsonValue(s.cat));
+            tree.push(std::move(j));
+        }
+    }
+    doc.set("span_tree", std::move(tree));
+
+    return doc;
+}
+
+std::string
+FlightRecorder::bundleText(const std::string &reason, Tick tick) const
+{
+    return buildBundle(reason, tick).dump(2) + "\n";
+}
+
+bool
+FlightRecorder::dumpToFile(const std::string &path,
+                           const std::string &reason, Tick tick)
+{
+    const bool ok = writeTextFile(path, bundleText(reason, tick));
+    if (ok) {
+        ++dumps_;
+        stats_.counter("dumps").inc();
+        dumpPending_ = false;
+        pendingReason_.clear();
+    }
+    return ok;
+}
+
+void
+FlightRecorder::registerTelemetry(MetricsRegistry &reg,
+                                  const std::string &prefix)
+{
+    telemetry_.reset(reg);
+    telemetry_.addGroup(prefix, &stats_);
+    telemetry_.addGauge(prefix + "/events_retained", [this] {
+        return static_cast<double>(events_.size());
+    });
+    telemetry_.addGauge(prefix + "/dump_pending", [this] {
+        return dumpPending_ ? 1.0 : 0.0;
+    });
+}
+
+} // namespace harmonia

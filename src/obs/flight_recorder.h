@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Black-box flight recorder: an always-on, bounded ring of the
+ * operational events that matter when a card misbehaves — command
+ * outcomes, injected faults, alert transitions, recovery-mode edges,
+ * free-form notes — plus attachments to the time-series store, the
+ * SLO engine, the fault plan and the trace. When a fault fires, an
+ * alert trips, or an operator asks, it assembles a post-mortem
+ * bundle: one JSON document (src/common/json) carrying the event
+ * ring, the alert states, series tails, the fault log, and the
+ * normalized causal span tree of the command of interest.
+ *
+ * Like FaultPlan, at most one recorder is armed per process so hook
+ * sites (CmdDriver outcomes, FaultPlan injections, RecoveryManager
+ * transitions) reach it without plumbing; an unarmed process pays one
+ * null check per hook.
+ *
+ * Determinism contract: every bundle field derives from simulated
+ * time and deterministic counters — no wall clock, no pointers, no
+ * allocation order. Span and correlation ids are remapped to dense
+ * first-appearance order (the raw ids come from process-global
+ * counters that survive Trace::clear()), so identical runs produce
+ * byte-identical bundles even within one process, and across
+ * HARMONIA_SIM_THREADS settings (the engine serializes whenever
+ * tracing or an armed FaultPlan is live, and the determinism harness
+ * holds the rest).
+ */
+
+#ifndef HARMONIA_OBS_FLIGHT_RECORDER_H_
+#define HARMONIA_OBS_FLIGHT_RECORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "sim/trace.h"
+#include "telemetry/metrics_registry.h"
+
+namespace harmonia {
+
+class TimeSeriesStore;
+class SloEngine;
+class FaultPlan;
+
+/** Event classes the black box distinguishes. */
+enum class FdrKind : std::uint32_t {
+    Command = 0,   ///< a CmdDriver call's final outcome
+    Fault = 1,     ///< a FaultPlan injection
+    Alert = 2,     ///< an SLO alert transition
+    Recovery = 3,  ///< degraded-mode enter/restore
+    Note = 4,      ///< free-form operator/test note
+};
+
+const char *toString(FdrKind kind);
+
+/** One recorded event. a/b carry kind-specific payload words. */
+struct FdrEvent {
+    Tick tick = 0;
+    FdrKind kind = FdrKind::Note;
+    std::string who;
+    std::string what;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+class FlightRecorder {
+  public:
+    /** Event-ring depth (fixed memory once warm). */
+    static constexpr std::size_t kDefaultCapacity = 1024;
+    /** Raw points per series embedded in a bundle. */
+    static constexpr std::size_t kBundleSeriesTail = 16;
+    /** Fault-log entries embedded in a bundle. */
+    static constexpr std::size_t kBundleFaultTail = 64;
+
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+    ~FlightRecorder();
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /** Make this the process-armed recorder (replaces any previous). */
+    void arm();
+    /** Disarm if this recorder is the armed one. */
+    void disarm();
+    /** The armed recorder, or nullptr. */
+    static FlightRecorder *active();
+
+    // --- Recording -------------------------------------------------
+
+    void note(FdrKind kind, Tick tick, std::string who,
+              std::string what, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+    /** CmdDriver hook: one call()'s final verdict. */
+    void noteCommand(Tick tick, const std::string &who,
+                     std::uint16_t code, const std::string &verdict,
+                     bool ok, unsigned attempts, std::uint64_t corr);
+
+    /** FaultPlan hook: one injected fault (may trigger a dump). */
+    void noteFault(const char *kind, const std::string &target,
+                   Tick tick);
+
+    /** SloEngine hook: one alert transition (may trigger a dump). */
+    void noteAlert(const std::string &slo, const std::string &from,
+                   const std::string &to, Tick tick, double burn,
+                   bool firingEdge);
+
+    /** RecoveryManager hook: degraded-mode edge. */
+    void noteRecovery(const std::string &who, const std::string &what,
+                      Tick tick);
+
+    std::size_t size() const { return events_.size(); }
+    std::vector<FdrEvent> events() const { return events_.snapshot(); }
+
+    /**
+     * The correlation id whose span tree a bundle should explain: the
+     * most recent failed command's, falling back to the most recent
+     * command's.
+     */
+    std::uint64_t corrOfInterest() const;
+
+    // --- Attachments (not owned) -----------------------------------
+
+    void attachStore(const TimeSeriesStore *store) { store_ = store; }
+    void attachSlo(const SloEngine *slo) { slo_ = slo; }
+    void attachFaultPlan(const FaultPlan *plan) { plan_ = plan; }
+
+    // --- Dump triggers ---------------------------------------------
+
+    void setDumpOnFault(bool on) { dumpOnFault_ = on; }
+    void setDumpOnAlert(bool on) { dumpOnAlert_ = on; }
+
+    /**
+     * Auto-dump pacing: after a trigger fires, further triggers only
+     * mark state (never stack dumps) until this much simulated time
+     * has passed. A chaos storm produces one bundle, not thousands.
+     */
+    void setRearmInterval(Tick interval) { rearmInterval_ = interval; }
+
+    /**
+     * When set, a trigger writes the bundle to this path immediately;
+     * when empty, triggers mark dumpPending() for the host to flush
+     * via dumpToFile().
+     */
+    void setAutoDumpPath(std::string path)
+    {
+        autoDumpPath_ = std::move(path);
+    }
+
+    /** Operator/command-plane request: dump at next opportunity. */
+    void requestDump(const std::string &reason, Tick tick);
+
+    bool dumpPending() const { return dumpPending_; }
+    const std::string &pendingReason() const { return pendingReason_; }
+    std::uint64_t dumps() const { return dumps_; }
+
+    // --- Bundle ----------------------------------------------------
+
+    /** Assemble the post-mortem document for @p reason at @p tick. */
+    JsonValue buildBundle(const std::string &reason, Tick tick) const;
+
+    /** buildBundle() pretty-printed — the canonical on-disk form. */
+    std::string bundleText(const std::string &reason, Tick tick) const;
+
+    /** Write the bundle; clears dumpPending(). False on I/O failure. */
+    bool dumpToFile(const std::string &path, const std::string &reason,
+                    Tick tick);
+
+    /** Event/dump counters ("events_<kind>", "dumps", ...). */
+    StatGroup &stats() { return stats_; }
+
+    void registerTelemetry(MetricsRegistry &reg,
+                           const std::string &prefix);
+
+  private:
+    void trigger(const std::string &reason, Tick tick);
+
+    BoundedRing<FdrEvent> events_;
+    const TimeSeriesStore *store_ = nullptr;
+    const SloEngine *slo_ = nullptr;
+    const FaultPlan *plan_ = nullptr;
+
+    bool dumpOnFault_ = false;
+    bool dumpOnAlert_ = false;
+    Tick rearmInterval_ = 100'000'000;
+    Tick lastTrigger_ = 0;
+    bool everTriggered_ = false;
+    bool dumpPending_ = false;
+    std::string pendingReason_;
+    std::string autoDumpPath_;
+    std::uint64_t dumps_ = 0;
+
+    std::uint64_t lastCorr_ = 0;
+    std::uint64_t lastFailedCorr_ = 0;
+
+    StatGroup stats_;
+    ScopedMetrics telemetry_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_OBS_FLIGHT_RECORDER_H_

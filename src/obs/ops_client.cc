@@ -1,0 +1,98 @@
+#include "obs/ops_client.h"
+
+#include "telemetry/telemetry_target.h"
+
+namespace harmonia {
+
+namespace {
+
+std::uint64_t
+popU64(const std::vector<std::uint32_t> &data, std::size_t at)
+{
+    return (static_cast<std::uint64_t>(data[at]) << 32) | data[at + 1];
+}
+
+} // namespace
+
+std::uint32_t
+OpsClient::sloCount()
+{
+    const CommandPacket resp =
+        driver_.call(kRbbTelemetry, 0, kCmdSloStatus);
+    if (resp.status != kCmdOk || resp.data.empty())
+        return 0;
+    return resp.data[0];
+}
+
+bool
+OpsClient::readSlo(std::uint32_t index, WireSlo *out)
+{
+    const CommandPacket resp =
+        driver_.call(kRbbTelemetry, 0, kCmdSloStatus, {index});
+    // total, index, kind, state, 4 x u64, 3 counters, packed name.
+    const std::size_t fixed = 4 + 4 * 2 + 3;
+    if (resp.status != kCmdOk ||
+        resp.data.size() < fixed + TelemetryTarget::kNameWords)
+        return false;
+
+    out->index = resp.data[1];
+    out->kind = static_cast<SloKind>(resp.data[2]);
+    out->state = static_cast<AlertState>(resp.data[3]);
+    out->objective =
+        static_cast<double>(popU64(resp.data, 4)) / 1000.0;
+    out->window = static_cast<Tick>(popU64(resp.data, 6));
+    out->burnRate =
+        static_cast<double>(popU64(resp.data, 8)) / 1000.0;
+    out->budgetConsumed =
+        static_cast<double>(popU64(resp.data, 10)) / 1000.0;
+    out->pendingEvents = resp.data[12];
+    out->fireEvents = resp.data[13];
+    out->resolveEvents = resp.data[14];
+    out->name = TelemetryTarget::unpackName(&resp.data[fixed]);
+    return true;
+}
+
+std::vector<WireAlert>
+OpsClient::readAlerts()
+{
+    std::vector<WireAlert> out;
+    std::uint32_t start = 0;
+    for (;;) {
+        const CommandPacket resp = driver_.call(
+            kRbbTelemetry, 0, kCmdAlertSnapshot, {start});
+        if (resp.status != kCmdOk || resp.data.size() < 2)
+            return {};
+        const std::uint32_t total = resp.data[0];
+        const std::uint32_t k = resp.data[1];
+        const std::size_t record = 6 + TelemetryTarget::kNameWords;
+        if (resp.data.size() < 2 + k * record)
+            return {};
+        for (std::uint32_t r = 0; r < k; ++r) {
+            const std::size_t at = 2 + r * record;
+            WireAlert a;
+            a.index = resp.data[at];
+            a.state = static_cast<AlertState>(resp.data[at + 1]);
+            a.since = static_cast<Tick>(popU64(resp.data, at + 2));
+            a.burnRate =
+                static_cast<double>(popU64(resp.data, at + 4)) /
+                1000.0;
+            a.name =
+                TelemetryTarget::unpackName(&resp.data[at + 6]);
+            out.push_back(std::move(a));
+        }
+        start += k;
+        if (k == 0 || start >= total)
+            break;
+    }
+    return out;
+}
+
+bool
+OpsClient::requestDump()
+{
+    const CommandPacket resp =
+        driver_.call(kRbbTelemetry, 0, kCmdFlightDump);
+    return resp.status == kCmdOk;
+}
+
+} // namespace harmonia

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Host-side operational-intelligence client: walks the SLO and alert
+ * state of a card over the same packetized command plane the BMC uses
+ * for sensors (kCmdSloStatus / kCmdAlertSnapshot / kCmdFlightDump
+ * at the telemetry target). This is the driver-level query API a
+ * fleet manager polls — it never touches in-process obs objects, so
+ * it works identically from a standalone tool or a remote controller.
+ */
+
+#ifndef HARMONIA_OBS_OPS_CLIENT_H_
+#define HARMONIA_OBS_OPS_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "host/cmd_driver.h"
+#include "obs/slo.h"
+
+namespace harmonia {
+
+/** One alert row decoded from an AlertSnapshot response. */
+struct WireAlert {
+    std::uint32_t index = 0;
+    AlertState state = AlertState::Inactive;
+    Tick since = 0;
+    double burnRate = 0.0;
+    std::string name;
+};
+
+/** One spec's full status decoded from an SloStatus response. */
+struct WireSlo {
+    std::uint32_t index = 0;
+    SloKind kind = SloKind::ErrorRate;
+    AlertState state = AlertState::Inactive;
+    double objective = 0.0;
+    Tick window = 0;
+    double burnRate = 0.0;
+    double budgetConsumed = 0.0;
+    std::uint32_t pendingEvents = 0;
+    std::uint32_t fireEvents = 0;
+    std::uint32_t resolveEvents = 0;
+    std::string name;
+};
+
+class OpsClient {
+  public:
+    explicit OpsClient(CmdDriver &driver) : driver_(driver) {}
+
+    /** Registered spec count; 0 when no SLO engine is attached. */
+    std::uint32_t sloCount();
+
+    /** Full status of spec @p index; false on any wire failure. */
+    bool readSlo(std::uint32_t index, WireSlo *out);
+
+    /** Walk every alert (paged); empty on wire failure. */
+    std::vector<WireAlert> readAlerts();
+
+    /** Ask the card's flight recorder for a post-mortem dump. */
+    bool requestDump();
+
+  private:
+    CmdDriver &driver_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_OBS_OPS_CLIENT_H_

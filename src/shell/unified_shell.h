@@ -81,6 +81,14 @@ class Shell {
     Profiler &profiler() { return profiler_; }
 
     /**
+     * The command-plane telemetry endpoint at (kRbbTelemetry, 0).
+     * Hosts attach the obs plane here (attachSloEngine /
+     * attachRecorder) to serve SloStatus / AlertSnapshot /
+     * FlightDump over the wire.
+     */
+    TelemetryTarget &telemetryTarget() { return telemetryTarget_; }
+
+    /**
      * Publish the whole shell — every RBB with its wrappers, the
      * control kernel and the health monitor — into @p reg under this
      * shell's name. Hosts then read the same registry in-process or

@@ -1,6 +1,7 @@
 #include "telemetry/sampler.h"
 
 #include "common/logging.h"
+#include "obs/timeseries.h"
 
 namespace harmonia {
 
@@ -32,6 +33,8 @@ Sampler::tick()
     if (now() < nextDue_)
         return;
     history_.push_back({now(), registry_.snapshot()});
+    if (store_ != nullptr)
+        store_->ingest(now(), history_.back().samples);
     while (history_.size() > capacity_)
         history_.pop_front();
     // Next scrape one full period from this one. When the sampling

@@ -17,6 +17,8 @@
 
 namespace harmonia {
 
+class TimeSeriesStore;
+
 class Sampler : public Component {
   public:
     /** One scrape of the whole registry. */
@@ -55,12 +57,19 @@ class Sampler : public Component {
 
     void clearHistory() { history_.clear(); }
 
+    /**
+     * Feed every scrape into an obs-plane time-series store as well.
+     * Not owned; pass nullptr to detach.
+     */
+    void attachStore(TimeSeriesStore *store) { store_ = store; }
+
   private:
     MetricsRegistry &registry_;
     Tick period_;
     std::size_t capacity_;
     Tick nextDue_ = 0;
     std::deque<TimedSnapshot> history_;
+    TimeSeriesStore *store_ = nullptr;
 };
 
 } // namespace harmonia

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
 #include "telemetry/profiler.h"
 
 namespace harmonia {
@@ -145,6 +147,77 @@ TelemetryTarget::profileReset()
 }
 
 CommandResult
+TelemetryTarget::sloStatus(const std::vector<std::uint32_t> &data)
+{
+    if (slo_ == nullptr)
+        return {kCmdInternalError, {}};
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(slo_->specCount());
+
+    CommandResult res;
+    res.data.push_back(total);
+    if (data.empty())
+        return res;  // count query
+    if (data[0] >= total)
+        return {kCmdBadArgument, {}};
+
+    const SloSpec &spec = slo_->spec(data[0]);
+    const AlertStatus &st = slo_->status(data[0]);
+    res.data.push_back(data[0]);
+    res.data.push_back(static_cast<std::uint32_t>(spec.kind));
+    res.data.push_back(static_cast<std::uint32_t>(st.state));
+    pushU64(res.data, milli(spec.objective));
+    pushU64(res.data, static_cast<std::uint64_t>(spec.window));
+    pushU64(res.data, milli(st.burnRate));
+    pushU64(res.data, milli(st.budgetConsumed));
+    res.data.push_back(static_cast<std::uint32_t>(st.pendingEvents));
+    res.data.push_back(static_cast<std::uint32_t>(st.fireEvents));
+    res.data.push_back(static_cast<std::uint32_t>(st.resolveEvents));
+    packName(res.data, spec.name);
+    return res;
+}
+
+CommandResult
+TelemetryTarget::alertSnapshot(const std::vector<std::uint32_t> &data)
+{
+    if (slo_ == nullptr)
+        return {kCmdInternalError, {}};
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(slo_->specCount());
+    const std::size_t start = data.empty() ? 0 : data[0];
+
+    CommandResult res;
+    res.data.push_back(total);
+    res.data.push_back(0);  // record count, patched below
+    std::uint32_t k = 0;
+    for (std::size_t i = start; i < total && k < kAlertBatch;
+         ++i, ++k) {
+        const AlertStatus &st = slo_->status(i);
+        res.data.push_back(static_cast<std::uint32_t>(i));
+        res.data.push_back(static_cast<std::uint32_t>(st.state));
+        pushU64(res.data, static_cast<std::uint64_t>(st.since));
+        pushU64(res.data, milli(st.burnRate));
+        packName(res.data, st.name);
+    }
+    res.data[1] = k;
+    return res;
+}
+
+CommandResult
+TelemetryTarget::flightDump()
+{
+    if (recorder_ == nullptr)
+        return {kCmdInternalError, {}};
+    const Tick now = slo_ != nullptr ? slo_->now() : 0;
+    recorder_->requestDump("command-plane request", now);
+
+    CommandResult res;
+    res.data.push_back(recorder_->dumpPending() ? 1 : 0);
+    pushU64(res.data, recorder_->dumps());
+    return res;
+}
+
+CommandResult
 TelemetryTarget::executeCommand(std::uint16_t code,
                                 const std::vector<std::uint32_t> &data)
 {
@@ -157,6 +230,12 @@ TelemetryTarget::executeCommand(std::uint16_t code,
         return profileSnapshot(data);
       case kCmdProfileReset:
         return profileReset();
+      case kCmdSloStatus:
+        return sloStatus(data);
+      case kCmdAlertSnapshot:
+        return alertSnapshot(data);
+      case kCmdFlightDump:
+        return flightDump();
       case kCmdModuleStatusRead:
         // Alive probe: number of registered entries.
         return {kCmdOk,

@@ -29,6 +29,24 @@
  *
  *   ProfileReset     -> drops aggregates, skips recorded spans
  *
+ *   SloStatus  data[0] = spec index (omit for the count query)
+ *     -> count query:  [ total ]
+ *        full status:  [ total, index, kind, state,
+ *                        objective_milli_hi/lo, window_hi/lo,
+ *                        burn_milli_hi/lo, budget_milli_hi/lo,
+ *                        pending_events, fire_events, resolve_events,
+ *                        name[kNameWords] ]
+ *        (kCmdInternalError when no SLO engine is attached)
+ *
+ *   AlertSnapshot  data[0] = start index (optional, default 0)
+ *     -> [ total, k, then k records of
+ *          { index, state, since_hi/lo, burn_milli_hi/lo,
+ *            name[kNameWords] } ]
+ *
+ *   FlightDump  -> asks the flight recorder for a post-mortem dump;
+ *     [ pending, dumps_hi, dumps_lo ] after the request (pending is 0
+ *     when an auto-dump path wrote the bundle synchronously).
+ *
  * Indices are positions in the registry's name-sorted snapshot, so a
  * List immediately followed by Snapshots observes a consistent view
  * as long as no module registers or unregisters in between.
@@ -43,6 +61,8 @@
 namespace harmonia {
 
 class Profiler;
+class SloEngine;
+class FlightRecorder;
 
 class TelemetryTarget : public CommandTarget {
   public:
@@ -54,6 +74,9 @@ class TelemetryTarget : public CommandTarget {
 
     /** Profile records per response (wider records, smaller batch). */
     static constexpr std::size_t kProfileBatch = 4;
+
+    /** Alert records per AlertSnapshot response. */
+    static constexpr std::size_t kAlertBatch = 4;
 
     explicit TelemetryTarget(MetricsRegistry &registry =
                                  MetricsRegistry::instance())
@@ -71,6 +94,21 @@ class TelemetryTarget : public CommandTarget {
      */
     void attachProfiler(Profiler *profiler) { profiler_ = profiler; }
 
+    /**
+     * Wire the SLO engine in; SloStatus / AlertSnapshot answer
+     * kCmdInternalError until one is attached. Not owned.
+     */
+    void attachSloEngine(SloEngine *slo) { slo_ = slo; }
+
+    /**
+     * Wire the flight recorder in; FlightDump answers
+     * kCmdInternalError until one is attached. Not owned.
+     */
+    void attachRecorder(FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
     /** Decode a List record's packed name (tests, host tooling). */
     static std::string unpackName(const std::uint32_t *words,
                                   std::size_t n = kNameWords);
@@ -81,9 +119,15 @@ class TelemetryTarget : public CommandTarget {
     CommandResult
     profileSnapshot(const std::vector<std::uint32_t> &data);
     CommandResult profileReset();
+    CommandResult sloStatus(const std::vector<std::uint32_t> &data);
+    CommandResult
+    alertSnapshot(const std::vector<std::uint32_t> &data);
+    CommandResult flightDump();
 
     MetricsRegistry &registry_;
     Profiler *profiler_ = nullptr;
+    SloEngine *slo_ = nullptr;
+    FlightRecorder *recorder_ = nullptr;
 };
 
 } // namespace harmonia

@@ -33,6 +33,7 @@ allCodes()
         kCmdFlashErase,       kCmdTimeCount,         kCmdPrLoad,
         kCmdPrUnload,         kCmdPrStatus,          kCmdTelemetryList,
         kCmdTelemetrySnapshot, kCmdProfileSnapshot,  kCmdProfileReset,
+        kCmdSloStatus,        kCmdAlertSnapshot,     kCmdFlightDump,
     };
     return codes;
 }

@@ -87,6 +87,19 @@ TEST(Histogram, PercentileOnEmptyIsZero)
     EXPECT_DOUBLE_EQ(h.percentile(200), 0.0);
 }
 
+TEST(Histogram, PercentileOnSingleSampleIsItsBucketMidpoint)
+{
+    Histogram h(10, 8);
+    h.sample(42);  // bucket [40, 50) -> midpoint 45
+    // With one sample, every percentile resolves to the same bucket:
+    // the sliding-window percentile path (obs plane) relies on this.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 45.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 45.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 45.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 45.0);
+    EXPECT_EQ(h.min(), h.max());
+}
+
 TEST(Histogram, PercentileOverflowReportsMax)
 {
     Histogram h(10, 2);  // covers [0, 20); everything else overflows

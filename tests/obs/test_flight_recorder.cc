@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "fault/fault_plan.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "sim/trace.h"
+
+namespace harmonia {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+  protected:
+    void TearDown() override
+    {
+        Trace::instance().setEnabled(false);
+        Trace::instance().clear();
+    }
+};
+
+TEST_F(FlightRecorderTest, RingRetainsNewestEvents)
+{
+    FlightRecorder fdr(4);
+    for (Tick t = 1; t <= 10; ++t)
+        fdr.note(FdrKind::Note, t * 100, "t", "n");
+    EXPECT_EQ(fdr.size(), 4u);
+    const std::vector<FdrEvent> ev = fdr.events();
+    EXPECT_EQ(ev.front().tick, 700u);
+    EXPECT_EQ(ev.back().tick, 1000u);
+    EXPECT_EQ(fdr.stats().value("events_note"), 10u);
+}
+
+TEST_F(FlightRecorderTest, ArmingIsProcessExclusive)
+{
+    EXPECT_EQ(FlightRecorder::active(), nullptr);
+    {
+        FlightRecorder a;
+        a.arm();
+        EXPECT_EQ(FlightRecorder::active(), &a);
+        FlightRecorder b;
+        b.arm();  // replaces a
+        EXPECT_EQ(FlightRecorder::active(), &b);
+        a.disarm();  // not armed: no effect on b
+        EXPECT_EQ(FlightRecorder::active(), &b);
+    }
+    // Destruction disarms.
+    EXPECT_EQ(FlightRecorder::active(), nullptr);
+}
+
+TEST_F(FlightRecorderTest, CorrOfInterestPrefersFailures)
+{
+    FlightRecorder fdr;
+    EXPECT_EQ(fdr.corrOfInterest(), 0u);
+    fdr.noteCommand(100, "cmd01", 0x0006, "ok", true, 1, 41);
+    EXPECT_EQ(fdr.corrOfInterest(), 41u);
+    fdr.noteCommand(200, "cmd01", 0x0006, "timeout", false, 5, 42);
+    fdr.noteCommand(300, "cmd01", 0x0006, "ok", true, 1, 43);
+    // The failed call stays the story a post-mortem should tell.
+    EXPECT_EQ(fdr.corrOfInterest(), 42u);
+}
+
+TEST_F(FlightRecorderTest, FaultTriggerMarksPendingOnceUntilRearm)
+{
+    FlightRecorder fdr;
+    fdr.setDumpOnFault(true);
+    fdr.setRearmInterval(1'000);
+
+    fdr.noteFault("cmd_drop", "cmd01", 100);
+    EXPECT_TRUE(fdr.dumpPending());
+    EXPECT_EQ(fdr.pendingReason(), "fault:cmd_drop");
+
+    // A storm inside the rearm window marks nothing new.
+    fdr.noteFault("cmd_drop", "cmd01", 200);
+    fdr.noteFault("resp_drop", "cmd01", 300);
+    EXPECT_EQ(fdr.stats().value("triggers"), 1u);
+    EXPECT_EQ(fdr.stats().value("triggers_suppressed"), 2u);
+
+    // Past the rearm interval the next fault triggers again.
+    fdr.noteFault("cmd_drop", "cmd01", 1'200);
+    EXPECT_EQ(fdr.stats().value("triggers"), 2u);
+}
+
+TEST_F(FlightRecorderTest, AlertTriggerOnlyOnFiringEdge)
+{
+    FlightRecorder fdr;
+    fdr.setDumpOnAlert(true);
+    fdr.noteAlert("occ", "inactive", "pending", 100, 1.5, false);
+    EXPECT_FALSE(fdr.dumpPending());
+    fdr.noteAlert("occ", "pending", "firing", 200, 1.5, true);
+    EXPECT_TRUE(fdr.dumpPending());
+    EXPECT_EQ(fdr.pendingReason(), "alert:occ");
+}
+
+TEST_F(FlightRecorderTest, BundleCarriesAttachedPlanes)
+{
+    TimeSeriesStore store;
+    store.ingestPoint(100, "x", 1.0);
+    store.ingestPoint(200, "x", 2.0);
+
+    SloEngine slo("slo", store);
+    SloSpec spec;
+    spec.name = "occ";
+    spec.kind = SloKind::OccupancyAbove;
+    spec.metric = "x";
+    spec.objective = 1.0;
+    spec.window = 500;
+    slo.addSpec(spec);
+    slo.evaluate(200);
+
+    FaultPlan plan(7);
+    plan.addWindow(FaultKind::CmdDrop, 0, kTickMax, 1.0);
+    plan.shouldInject(FaultKind::CmdDrop, "cmd01", 150);
+
+    FlightRecorder fdr;
+    fdr.attachStore(&store);
+    fdr.attachSlo(&slo);
+    fdr.attachFaultPlan(&plan);
+    fdr.noteCommand(210, "cmd01", 6, "ok", true, 1, 0);
+
+    std::string err;
+    const JsonValue doc =
+        JsonValue::parse(fdr.bundleText("test", 250), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(doc.get("harmonia_postmortem").asU64(), 1u);
+    EXPECT_EQ(doc.get("reason").asString(), "test");
+    EXPECT_EQ(doc.get("tick").asU64(), 250u);
+
+    ASSERT_TRUE(doc.get("events").isArray());
+    EXPECT_GE(doc.get("events").size(), 1u);
+
+    ASSERT_TRUE(doc.get("alerts").isArray());
+    ASSERT_EQ(doc.get("alerts").size(), 1u);
+    EXPECT_EQ(doc.get("alerts").at(0).get("name").asString(), "occ");
+    EXPECT_EQ(doc.get("alerts").at(0).get("state").asString(),
+              "pending");
+
+    ASSERT_TRUE(doc.get("series").isObject());
+    EXPECT_TRUE(doc.get("series").has("x"));
+    EXPECT_EQ(doc.get("series").get("x").get("latest").asDouble(),
+              2.0);
+    EXPECT_EQ(doc.get("series").get("x").get("points").size(), 2u);
+
+    ASSERT_TRUE(doc.get("faults").isObject());
+    EXPECT_EQ(doc.get("faults").get("seed").asU64(), 7u);
+    EXPECT_EQ(doc.get("faults").get("injected_total").asU64(), 1u);
+    EXPECT_EQ(doc.get("faults").get("log").size(), 1u);
+}
+
+TEST_F(FlightRecorderTest, BundleSpanTreeUsesDenseIds)
+{
+    Trace &tracer = Trace::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    const std::uint64_t corr = tracer.newCorrelation();
+    const SpanId root = tracer.beginSpan(100, "cmd01", "call:Stats",
+                                         "command",
+                                         TraceContext{0, corr});
+    tracer.completeSpan(120, 180, "kernel", "decode", "kernel",
+                        TraceContext{root, corr});
+    tracer.endSpan(root, 200);
+
+    FlightRecorder fdr;
+    fdr.noteCommand(200, "cmd01", 6, "ok", true, 1, corr);
+
+    std::string err;
+    const JsonValue doc =
+        JsonValue::parse(fdr.bundleText("test", 200), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    const JsonValue &tree = doc.get("span_tree");
+    ASSERT_EQ(tree.size(), 2u);
+    // Dense remap: the root is id 1 under parent 0, its child id 2 —
+    // regardless of what the process-global counters handed out.
+    EXPECT_EQ(tree.at(0).get("id").asU64(), 1u);
+    EXPECT_EQ(tree.at(0).get("parent").asU64(), 0u);
+    EXPECT_EQ(tree.at(0).get("what").asString(), "call:Stats");
+    EXPECT_EQ(tree.at(1).get("parent").asU64(), 1u);
+    EXPECT_EQ(tree.at(1).get("what").asString(), "decode");
+}
+
+TEST_F(FlightRecorderTest, IdenticalHistoriesYieldIdenticalBundles)
+{
+    const auto run = [](FlightRecorder &fdr) {
+        fdr.note(FdrKind::Note, 100, "op", "hello", 1, 2);
+        fdr.noteCommand(200, "cmd01", 6, "timeout", false, 5, 0);
+        fdr.noteRecovery("recovery", "enter-degraded", 300);
+    };
+    FlightRecorder a;
+    FlightRecorder b;
+    run(a);
+    run(b);
+    EXPECT_EQ(a.bundleText("same", 400), b.bundleText("same", 400));
+}
+
+TEST_F(FlightRecorderTest, RequestDumpWritesFileAndClearsPending)
+{
+    const std::string path = "test_fdr_bundle.json";
+    FlightRecorder fdr;
+    fdr.note(FdrKind::Note, 50, "op", "context");
+    fdr.requestDump("operator", 100);
+    ASSERT_TRUE(fdr.dumpPending());
+
+    ASSERT_TRUE(fdr.dumpToFile(path, fdr.pendingReason(), 100));
+    EXPECT_FALSE(fdr.dumpPending());
+    EXPECT_EQ(fdr.dumps(), 1u);
+
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, AutoDumpPathWritesSynchronously)
+{
+    const std::string path = "test_fdr_auto.json";
+    FlightRecorder fdr;
+    fdr.setDumpOnFault(true);
+    fdr.setAutoDumpPath(path);
+    fdr.noteFault("cmd_drop", "cmd01", 100);
+    EXPECT_FALSE(fdr.dumpPending());
+    EXPECT_EQ(fdr.dumps(), 1u);
+
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace harmonia

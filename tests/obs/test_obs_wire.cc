@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "cmd/command_codes.h"
+#include "host/host_app.h"
+#include "obs/flight_recorder.h"
+#include "obs/ops_client.h"
+#include "obs/slo.h"
+#include "telemetry/telemetry_target.h"
+
+namespace harmonia {
+namespace {
+
+SloSpec
+occupancySpec(const std::string &name)
+{
+    SloSpec s;
+    s.name = name;
+    s.kind = SloKind::OccupancyAbove;
+    s.metric = "occ";
+    s.objective = 10.0;
+    s.window = 50;
+    s.pendingFor = 100;
+    s.resolveFor = 200;
+    return s;
+}
+
+TEST(ObsWire, CommandsNeedAttachedPlanes)
+{
+    MetricsRegistry reg;
+    TelemetryTarget target(reg);
+    EXPECT_EQ(target.executeCommand(kCmdSloStatus, {}).status,
+              kCmdInternalError);
+    EXPECT_EQ(target.executeCommand(kCmdAlertSnapshot, {}).status,
+              kCmdInternalError);
+    EXPECT_EQ(target.executeCommand(kCmdFlightDump, {}).status,
+              kCmdInternalError);
+}
+
+TEST(ObsWire, SloStatusCountAndFullRecord)
+{
+    MetricsRegistry reg;
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    slo.addSpec(occupancySpec("occ-a"));
+    slo.addSpec(occupancySpec("occ-b"));
+    TelemetryTarget target(reg);
+    target.attachSloEngine(&slo);
+
+    // Count query: no payload.
+    CommandResult r = target.executeCommand(kCmdSloStatus, {});
+    ASSERT_EQ(r.status, kCmdOk);
+    ASSERT_EQ(r.data.size(), 1u);
+    EXPECT_EQ(r.data[0], 2u);
+
+    // Drive spec 1 to pending, then read it back over the wire.
+    store.ingestPoint(100, "occ", 15.0);
+    slo.evaluate(100);
+
+    r = target.executeCommand(kCmdSloStatus, {1});
+    ASSERT_EQ(r.status, kCmdOk);
+    EXPECT_EQ(r.data[0], 2u);  // total
+    EXPECT_EQ(r.data[1], 1u);  // index echo
+    EXPECT_EQ(r.data[2],
+              static_cast<std::uint32_t>(SloKind::OccupancyAbove));
+    EXPECT_EQ(r.data[3],
+              static_cast<std::uint32_t>(AlertState::Pending));
+    // objective 10.0 -> 10'000 milli (hi word 0).
+    EXPECT_EQ(r.data[4], 0u);
+    EXPECT_EQ(r.data[5], 10'000u);
+    // burn 1.5 -> 1'500 milli.
+    EXPECT_EQ(r.data[9], 1'500u);
+    EXPECT_EQ(TelemetryTarget::unpackName(&r.data[15]), "occ-b");
+
+    EXPECT_EQ(target.executeCommand(kCmdSloStatus, {9}).status,
+              kCmdBadArgument);
+}
+
+TEST(ObsWire, AlertSnapshotPaginates)
+{
+    MetricsRegistry reg;
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    const std::size_t specs = TelemetryTarget::kAlertBatch + 2;
+    for (std::size_t i = 0; i < specs; ++i)
+        slo.addSpec(occupancySpec(format("occ-%zu", i)));
+    TelemetryTarget target(reg);
+    target.attachSloEngine(&slo);
+
+    std::size_t seen = 0;
+    std::uint32_t start = 0;
+    for (;;) {
+        const CommandResult r =
+            target.executeCommand(kCmdAlertSnapshot, {start});
+        ASSERT_EQ(r.status, kCmdOk);
+        const std::uint32_t total = r.data[0];
+        const std::uint32_t k = r.data[1];
+        EXPECT_EQ(total, specs);
+        EXPECT_LE(k, TelemetryTarget::kAlertBatch);
+        std::size_t off = 2;
+        for (std::uint32_t i = 0; i < k; ++i) {
+            EXPECT_EQ(r.data[off], start + i);
+            EXPECT_EQ(
+                TelemetryTarget::unpackName(&r.data[off + 6]),
+                format("occ-%u", start + i));
+            off += 6 + TelemetryTarget::kNameWords;
+            ++seen;
+        }
+        start += k;
+        if (k == 0 || start >= total)
+            break;
+    }
+    EXPECT_EQ(seen, specs);
+}
+
+TEST(ObsWire, FlightDumpRequestsOverTheWire)
+{
+    MetricsRegistry reg;
+    FlightRecorder fdr;
+    TelemetryTarget target(reg);
+    target.attachRecorder(&fdr);
+
+    const CommandResult r =
+        target.executeCommand(kCmdFlightDump, {});
+    ASSERT_EQ(r.status, kCmdOk);
+    EXPECT_EQ(r.data[0], 1u);  // pending (no auto-dump path)
+    EXPECT_TRUE(fdr.dumpPending());
+    EXPECT_EQ(fdr.pendingReason(), "command-plane request");
+}
+
+TEST(ObsWire, OpsClientRoundTripsThroughRealShell)
+{
+    Engine engine;
+    auto shell = Shell::makeUnified(
+        engine, DeviceDatabase::instance().byName("DeviceA"));
+
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    slo.addSpec(occupancySpec("occ"));
+    FlightRecorder fdr;
+    shell->telemetryTarget().attachSloEngine(&slo);
+    shell->telemetryTarget().attachRecorder(&fdr);
+
+    store.ingestPoint(100, "occ", 15.0);
+    slo.evaluate(100);
+
+    CmdDriver driver(engine, *shell);
+    OpsClient ops(driver);
+
+    EXPECT_EQ(ops.sloCount(), 1u);
+
+    WireSlo ws;
+    ASSERT_TRUE(ops.readSlo(0, &ws));
+    EXPECT_EQ(ws.name, "occ");
+    EXPECT_EQ(ws.kind, SloKind::OccupancyAbove);
+    EXPECT_EQ(ws.state, AlertState::Pending);
+    EXPECT_NEAR(ws.objective, 10.0, 1e-9);
+    EXPECT_EQ(ws.window, 50u);
+    EXPECT_NEAR(ws.burnRate, 1.5, 1e-3);
+    EXPECT_EQ(ws.pendingEvents, 1u);
+
+    const std::vector<WireAlert> alerts = ops.readAlerts();
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_EQ(alerts[0].name, "occ");
+    EXPECT_EQ(alerts[0].state, AlertState::Pending);
+    EXPECT_EQ(alerts[0].since, 100u);
+
+    EXPECT_TRUE(ops.requestDump());
+    EXPECT_TRUE(fdr.dumpPending());
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/slo.h"
+#include "sim/engine.h"
+
+namespace harmonia {
+namespace {
+
+SloSpec
+occupancySpec()
+{
+    SloSpec s;
+    s.name = "occ";
+    s.kind = SloKind::OccupancyAbove;
+    s.metric = "occ";
+    s.objective = 10.0;
+    s.window = 50;
+    s.burnThreshold = 1.0;
+    s.clearRatio = 0.5;
+    s.pendingFor = 100;
+    s.resolveFor = 200;
+    return s;
+}
+
+TEST(Slo, BurnRatePerKind)
+{
+    TimeSeriesStore store;
+    // Error-rate: 50 bad of 200 total in-window, objective 0.9
+    // -> (0.25) / (0.1) = 2.5.
+    store.ingestPoint(0, "bad", 0.0);
+    store.ingestPoint(0, "total", 0.0);
+    store.ingestPoint(100, "bad", 50.0);
+    store.ingestPoint(100, "total", 200.0);
+    SloSpec err;
+    err.name = "avail";
+    err.kind = SloKind::ErrorRate;
+    err.badMetric = "bad";
+    err.totalMetric = "total";
+    err.objective = 0.9;
+    err.window = 1000;
+    EXPECT_NEAR(SloEngine::burnRate(err, store, 100), 2.5, 1e-9);
+
+    // Latency p99 of a 1..200 ramp vs a bound of 100 -> ~2x burn.
+    for (Tick t = 1; t <= 200; ++t)
+        store.ingestPoint(t, "lat", static_cast<double>(t));
+    SloSpec lat;
+    lat.name = "lat";
+    lat.kind = SloKind::LatencyP99;
+    lat.metric = "lat";
+    lat.objective = 100.0;
+    lat.window = 200;
+    EXPECT_NEAR(SloEngine::burnRate(lat, store, 200), 2.0, 0.05);
+
+    // Occupancy: windowed mean vs ceiling.
+    store.ingestPoint(300, "occ", 15.0);
+    SloSpec occ = occupancySpec();
+    EXPECT_NEAR(SloEngine::burnRate(occ, store, 300), 1.5, 1e-9);
+
+    // Gauge floor: objective / mean, and the zero-mean escalation.
+    store.ingestPoint(400, "floor", 5.0);
+    SloSpec below;
+    below.name = "floor";
+    below.kind = SloKind::GaugeBelow;
+    below.metric = "floor";
+    below.objective = 10.0;
+    below.window = 50;
+    EXPECT_NEAR(SloEngine::burnRate(below, store, 400), 2.0, 1e-9);
+    store.ingestPoint(500, "floor", 0.0);
+    EXPECT_EQ(SloEngine::burnRate(below, store, 500), 2.0);
+
+    // Unknown series never burns.
+    SloSpec unknown = occupancySpec();
+    unknown.metric = "nope";
+    EXPECT_EQ(SloEngine::burnRate(unknown, store, 300), 0.0);
+}
+
+TEST(Slo, AlertLifecycleWithHysteresis)
+{
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    const std::size_t i = slo.addSpec(occupancySpec());
+
+    const auto step = [&](Tick t, double v) {
+        store.ingestPoint(t, "occ", v);
+        slo.evaluate(t);
+        return slo.status(i).state;
+    };
+
+    EXPECT_EQ(slo.status(i).state, AlertState::Inactive);
+    EXPECT_FALSE(slo.anyActive());
+
+    // Burn 1.5: condition trips, alert goes pending.
+    EXPECT_EQ(step(100, 15.0), AlertState::Pending);
+    EXPECT_EQ(slo.status(i).since, 100u);
+    EXPECT_TRUE(slo.anyActive());
+
+    // Held for pendingFor -> firing.
+    EXPECT_EQ(step(200, 15.0), AlertState::Firing);
+    EXPECT_EQ(slo.status(i).fireEvents, 1u);
+
+    // Burn 0.7 sits in the hysteresis band: firing holds, the clear
+    // timer must not start.
+    EXPECT_EQ(step(300, 7.0), AlertState::Firing);
+
+    // Clear seen... then a re-trip resets the clear timer.
+    EXPECT_EQ(step(400, 2.0), AlertState::Firing);
+    EXPECT_EQ(step(500, 15.0), AlertState::Firing);
+
+    // Clear must now hold resolveFor before resolving.
+    EXPECT_EQ(step(600, 2.0), AlertState::Firing);
+    EXPECT_EQ(step(700, 2.0), AlertState::Firing);  // 100 < 200 held
+    EXPECT_EQ(step(800, 2.0), AlertState::Resolved);
+    EXPECT_EQ(slo.status(i).resolveEvents, 1u);
+    EXPECT_FALSE(slo.anyActive());
+
+    // A re-trip from resolved re-enters pending directly.
+    EXPECT_EQ(step(900, 15.0), AlertState::Pending);
+    EXPECT_EQ(slo.status(i).pendingEvents, 2u);
+
+    // ...and a clear from pending drops straight back to inactive.
+    // (Step to 1000 so the tick-900 spike ages out of the window.)
+    EXPECT_EQ(step(1000, 2.0), AlertState::Inactive);
+
+    EXPECT_EQ(slo.stats().value("to_firing"), 1u);
+    EXPECT_EQ(slo.stats().value("to_pending"), 2u);
+    EXPECT_GT(slo.stats().value("evaluations"), 0u);
+}
+
+TEST(Slo, ResolvedDecaysToInactive)
+{
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    const std::size_t i = slo.addSpec(occupancySpec());
+
+    store.ingestPoint(100, "occ", 15.0);
+    slo.evaluate(100);  // pending
+    store.ingestPoint(200, "occ", 15.0);
+    slo.evaluate(200);  // firing
+    store.ingestPoint(300, "occ", 1.0);
+    slo.evaluate(300);  // clear starts
+    store.ingestPoint(500, "occ", 1.0);
+    slo.evaluate(500);  // resolved
+    ASSERT_EQ(slo.status(i).state, AlertState::Resolved);
+
+    store.ingestPoint(750, "occ", 1.0);
+    slo.evaluate(750);  // 250 > resolveFor past resolution
+    EXPECT_EQ(slo.status(i).state, AlertState::Inactive);
+}
+
+TEST(Slo, PendingHoldsInHysteresisBand)
+{
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    const std::size_t i = slo.addSpec(occupancySpec());
+
+    store.ingestPoint(100, "occ", 15.0);
+    slo.evaluate(100);
+    ASSERT_EQ(slo.status(i).state, AlertState::Pending);
+
+    // Band burn (0.7): neither promotes nor clears, however long.
+    for (Tick t = 200; t <= 1000; t += 100) {
+        store.ingestPoint(t, "occ", 7.0);
+        slo.evaluate(t);
+        EXPECT_EQ(slo.status(i).state, AlertState::Pending);
+    }
+}
+
+TEST(Slo, ErrorBudgetConsumptionIsLifetime)
+{
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    SloSpec err;
+    err.name = "avail";
+    err.kind = SloKind::ErrorRate;
+    err.badMetric = "bad";
+    err.totalMetric = "total";
+    err.objective = 0.9;  // 10% allowance
+    err.window = 1000;
+    const std::size_t i = slo.addSpec(err);
+
+    store.ingestPoint(0, "bad", 0.0);
+    store.ingestPoint(0, "total", 0.0);
+    store.ingestPoint(100, "bad", 5.0);
+    store.ingestPoint(100, "total", 100.0);
+    slo.evaluate(100);
+    // 5% errors against a 10% allowance: half the budget is gone.
+    EXPECT_NEAR(slo.status(i).budgetConsumed, 0.5, 1e-9);
+}
+
+TEST(Slo, EvaluatesOnSimulatedTimeCadence)
+{
+    TimeSeriesStore store;
+    Engine engine;
+    Clock *clk = engine.addClock("clk", 100.0);  // 10 ns period
+    SloEngine slo("slo", store, 50'000);         // every 50 ns
+    slo.addSpec(occupancySpec());
+    engine.add(&slo, clk);
+
+    engine.runCycles(clk, 100);  // 1 us
+    // First edge evaluates immediately, then every 50 ns: 20 total.
+    EXPECT_EQ(slo.stats().value("evaluations"), 20u);
+}
+
+TEST(Slo, TelemetryGaugesExposeState)
+{
+    // The registry must outlive the engine: SloEngine's ScopedMetrics
+    // unregisters from it on destruction.
+    MetricsRegistry reg;
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    slo.addSpec(occupancySpec());
+    slo.registerTelemetry(reg, "slo");
+
+    store.ingestPoint(100, "occ", 15.0);
+    slo.evaluate(100);
+
+    bool sawState = false;
+    for (const MetricSample &m : reg.snapshot()) {
+        if (m.name == "slo/occ/state") {
+            sawState = true;
+            EXPECT_EQ(m.value,
+                      static_cast<double>(AlertState::Pending));
+        }
+    }
+    EXPECT_TRUE(sawState);
+}
+
+TEST(Slo, RejectsBadSpecs)
+{
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    EXPECT_THROW(slo.addSpec(SloSpec{}), FatalError);  // empty name
+    SloSpec bad = occupancySpec();
+    bad.burnThreshold = 0.0;
+    EXPECT_THROW(slo.addSpec(bad), FatalError);
+    EXPECT_THROW(slo.status(7), FatalError);
+    EXPECT_THROW(SloEngine("slo", store, 0), FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "obs/timeseries.h"
+
+namespace harmonia {
+namespace {
+
+TEST(TimeSeries, IngestPointAndQuery)
+{
+    TimeSeriesStore store;
+    store.ingestPoint(100, "a", 1.0);
+    store.ingestPoint(200, "a", 2.0);
+    store.ingestPoint(150, "b", 9.0);
+
+    EXPECT_TRUE(store.has("a"));
+    EXPECT_FALSE(store.has("zz"));
+    EXPECT_EQ(store.seriesCount(), 2u);
+    EXPECT_EQ(store.latest("a"), 2.0);
+    EXPECT_EQ(store.latestTick("a"), 200u);
+    EXPECT_EQ(store.latest("unknown"), 0.0);
+
+    const std::vector<TsPoint> pts = store.points("a");
+    ASSERT_EQ(pts.size(), 2u);
+    EXPECT_EQ(pts[0].tick, 100u);
+    EXPECT_EQ(pts[1].value, 2.0);
+}
+
+TEST(TimeSeries, SeriesNamesAreSorted)
+{
+    TimeSeriesStore store;
+    store.ingestPoint(1, "zeta", 0.0);
+    store.ingestPoint(1, "alpha", 0.0);
+    store.ingestPoint(1, "mid", 0.0);
+    const std::vector<std::string> names = store.seriesNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "mid");
+    EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(TimeSeries, RawRingEvictsOldest)
+{
+    TsConfig cfg;
+    cfg.rawCapacity = 4;
+    TimeSeriesStore store(cfg);
+    for (Tick t = 1; t <= 10; ++t)
+        store.ingestPoint(t * 100, "s",
+                          static_cast<double>(t));
+    const std::vector<TsPoint> pts = store.points("s");
+    ASSERT_EQ(pts.size(), 4u);
+    EXPECT_EQ(pts.front().tick, 700u);  // 7th point is the oldest kept
+    EXPECT_EQ(pts.back().value, 10.0);
+}
+
+TEST(TimeSeries, RollupsSealOnWindowBoundary)
+{
+    TsConfig cfg;
+    cfg.midWindow = 100;
+    cfg.longWindow = 1000;
+    TimeSeriesStore store(cfg);
+
+    // Two points in window [0,100), two in [100,200).
+    store.ingestPoint(10, "s", 5.0);
+    store.ingestPoint(90, "s", 1.0);
+    store.ingestPoint(110, "s", 7.0);
+    store.ingestPoint(190, "s", 3.0);
+
+    const std::vector<TsRollup> mid =
+        store.rollups("s", TsTier::Mid);
+    ASSERT_EQ(mid.size(), 2u);  // one sealed + the open bucket
+    EXPECT_EQ(mid[0].windowStart, 0u);
+    EXPECT_EQ(mid[0].count, 2u);
+    EXPECT_EQ(mid[0].min, 1.0);
+    EXPECT_EQ(mid[0].max, 5.0);
+    EXPECT_EQ(mid[0].sum, 6.0);
+    EXPECT_EQ(mid[0].last, 1.0);
+    EXPECT_DOUBLE_EQ(mid[0].mean(), 3.0);
+
+    EXPECT_EQ(mid[1].windowStart, 100u);
+    EXPECT_EQ(mid[1].count, 2u);
+    EXPECT_EQ(mid[1].max, 7.0);
+
+    // The long tier has everything still in one open bucket.
+    const std::vector<TsRollup> lng =
+        store.rollups("s", TsTier::Long);
+    ASSERT_EQ(lng.size(), 1u);
+    EXPECT_EQ(lng[0].count, 4u);
+}
+
+TEST(TimeSeries, DeltaAndRateOverWindow)
+{
+    TimeSeriesStore store;
+    // A counter ramping 100 per 1 us of simulated time.
+    for (Tick t = 0; t <= 10; ++t)
+        store.ingestPoint(t * 1'000'000, "ctr",
+                          static_cast<double>(t) * 100.0);
+
+    // Window covering the last 5 points: 6 us back from 10 us.
+    EXPECT_DOUBLE_EQ(store.delta("ctr", 5'000'000, 10'000'000),
+                     500.0);
+    // 500 events over 5 us -> 1e8 events/s.
+    EXPECT_DOUBLE_EQ(store.rate("ctr", 5'000'000, 10'000'000), 1e8);
+
+    // Degenerate windows: fewer than two points -> 0.
+    EXPECT_EQ(store.delta("ctr", 100, 10'000'000), 0.0);
+    EXPECT_EQ(store.rate("ctr", 100, 10'000'000), 0.0);
+    EXPECT_EQ(store.delta("unknown", 1'000'000, 10'000'000), 0.0);
+}
+
+TEST(TimeSeries, WindowStatsAggregates)
+{
+    TimeSeriesStore store;
+    store.ingestPoint(100, "g", 4.0);
+    store.ingestPoint(200, "g", 8.0);
+    store.ingestPoint(300, "g", 6.0);
+
+    const TsWindowStats w = store.windowStats("g", 300, 300);
+    EXPECT_FALSE(w.empty());
+    EXPECT_EQ(w.count, 3u);
+    EXPECT_EQ(w.min, 4.0);
+    EXPECT_EQ(w.max, 8.0);
+    EXPECT_DOUBLE_EQ(w.mean, 6.0);
+    EXPECT_EQ(w.first, 4.0);
+    EXPECT_EQ(w.last, 6.0);
+    EXPECT_EQ(w.firstTick, 100u);
+    EXPECT_EQ(w.lastTick, 300u);
+
+    // Window excludes the first point.
+    const TsWindowStats tail = store.windowStats("g", 150, 300);
+    EXPECT_EQ(tail.count, 2u);
+    EXPECT_EQ(tail.first, 8.0);
+
+    EXPECT_TRUE(store.windowStats("unknown", 100, 100).empty());
+}
+
+TEST(TimeSeries, PercentileOverWindow)
+{
+    TimeSeriesStore store;
+    EXPECT_EQ(store.percentileOver("s", 100, 99.0, 100), 0.0);
+
+    // A ramp 1..100: p50 near 50, p99 near 99.
+    for (Tick t = 1; t <= 100; ++t)
+        store.ingestPoint(t, "s", static_cast<double>(t));
+    const double p50 = store.percentileOver("s", 100, 50.0, 100);
+    const double p99 = store.percentileOver("s", 100, 99.0, 100);
+    EXPECT_NEAR(p50, 50.0, 1.0);
+    EXPECT_NEAR(p99, 99.0, 1.0);
+    EXPECT_LT(p50, p99);
+}
+
+TEST(TimeSeries, HistogramSamplesSpawnPercentileSeries)
+{
+    TimeSeriesStore store;
+    MetricSample m;
+    m.name = "lat";
+    m.kind = MetricKind::Histogram;
+    m.value = 10.0;
+    m.p50 = 40.0;
+    m.p99 = 90.0;
+    store.ingest(500, {m});
+
+    EXPECT_TRUE(store.has("lat"));
+    EXPECT_TRUE(store.has("lat/p50"));
+    EXPECT_TRUE(store.has("lat/p99"));
+    EXPECT_EQ(store.latest("lat/p50"), 40.0);
+    EXPECT_EQ(store.latest("lat/p99"), 90.0);
+    EXPECT_EQ(store.ingested(), 1u);
+}
+
+TEST(TimeSeries, MaxSeriesBoundDropsExcess)
+{
+    TsConfig cfg;
+    cfg.maxSeries = 2;
+    TimeSeriesStore store(cfg);
+    store.ingestPoint(1, "a", 1.0);
+    store.ingestPoint(1, "b", 1.0);
+    store.ingestPoint(1, "c", 1.0);  // dropped
+    store.ingestPoint(2, "a", 2.0);  // existing series still ingests
+
+    EXPECT_EQ(store.seriesCount(), 2u);
+    EXPECT_FALSE(store.has("c"));
+    EXPECT_EQ(store.droppedSeries(), 1u);
+    EXPECT_EQ(store.latest("a"), 2.0);
+}
+
+TEST(TimeSeries, ClearResetsEverything)
+{
+    TimeSeriesStore store;
+    store.ingest(1, {});
+    store.ingestPoint(1, "a", 1.0);
+    store.clear();
+    EXPECT_EQ(store.seriesCount(), 0u);
+    EXPECT_EQ(store.ingested(), 0u);
+    EXPECT_FALSE(store.has("a"));
+}
+
+TEST(TimeSeries, RejectsDegenerateConfig)
+{
+    TsConfig bad;
+    bad.rawCapacity = 0;
+    EXPECT_THROW(TimeSeriesStore{bad}, FatalError);
+    TsConfig badWindow;
+    badWindow.midWindow = 0;
+    EXPECT_THROW(TimeSeriesStore{badWindow}, FatalError);
+}
+
+} // namespace
+} // namespace harmonia

@@ -204,6 +204,82 @@ TEST(MetricsTextExport, CountersGaugesAndSummaries)
               std::string::npos);
 }
 
+TEST(MetricsTextExport, NamesAreSanitizedToPrometheusCharset)
+{
+    // Slashes, dots, dashes, spaces and quotes are all outside the
+    // Prometheus metric-name charset: each byte maps to '_', nothing
+    // is dropped, and the harmonia_ prefix guards a leading digit.
+    std::vector<MetricSample> samples;
+    MetricSample c;
+    c.name = "shell/net-0.rx \"pkts\"";
+    c.kind = MetricKind::Counter;
+    c.value = 7;
+    samples.push_back(c);
+    MetricSample d;
+    d.name = "0weird";
+    d.kind = MetricKind::Counter;
+    d.value = 1;
+    samples.push_back(d);
+
+    const std::string text = toMetricsText(samples);
+    EXPECT_NE(text.find("harmonia_shell_net_0_rx__pkts_ 7"),
+              std::string::npos);
+    EXPECT_NE(text.find("harmonia_0weird 1"), std::string::npos);
+    // No raw separator characters survive into the exposition.
+    EXPECT_EQ(text.find('/'), std::string::npos);
+    EXPECT_EQ(text.find('"'), std::string::npos);
+}
+
+TEST(MetricsTextExport, EmptyAndSingleSampleHistograms)
+{
+    // Empty window: all summary fields render as zeros, and the
+    // percentile lines still parse (quantile labels intact).
+    std::vector<MetricSample> samples;
+    MetricSample h;
+    h.name = "lat";
+    h.kind = MetricKind::Histogram;
+    samples.push_back(h);
+
+    std::string text = toMetricsText(samples);
+    EXPECT_NE(text.find("harmonia_lat_count 0"), std::string::npos);
+    EXPECT_NE(text.find("harmonia_lat{quantile=\"0.99\"} 0"),
+              std::string::npos);
+
+    // One sample: min == max, and both quantiles agree.
+    Histogram one(1000, 16);
+    one.sample(4'321);
+    MetricSample s;
+    s.name = "lat";
+    s.kind = MetricKind::Histogram;
+    s.count = one.count();
+    s.min = one.min();
+    s.max = one.max();
+    s.mean = one.mean();
+    s.p50 = one.percentile(50.0);
+    s.p99 = one.percentile(99.0);
+    text = toMetricsText({s});
+    EXPECT_NE(text.find("harmonia_lat_count 1"), std::string::npos);
+    EXPECT_NE(text.find("harmonia_lat_min 4321"), std::string::npos);
+    EXPECT_NE(text.find("harmonia_lat_max 4321"), std::string::npos);
+    EXPECT_EQ(s.p50, s.p99);
+}
+
+TEST(MetricsJsonLinesExport, EscapesNamesIntoValidJson)
+{
+    std::vector<MetricSample> samples;
+    MetricSample g;
+    g.name = "odd\"name\\with\tctrl";
+    g.kind = MetricKind::Gauge;
+    g.value = 1.0;
+    samples.push_back(g);
+
+    const std::string out = toMetricsJsonLines(samples);
+    std::string err;
+    const JsonValue doc = JsonValue::parse(out, &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_EQ(doc.get("name").asString(), "odd\"name\\with\tctrl");
+}
+
 TEST(MetricsJsonLinesExport, OneObjectPerLine)
 {
     std::vector<MetricSample> samples;
