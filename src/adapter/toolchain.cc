@@ -3,7 +3,7 @@
 #include "common/checksum.h"
 #include "common/logging.h"
 #include "common/strings.h"
-#include "drc/checker.h"
+#include "drc/checker.h"  // harmonia-lint: allow(LAYER-002) compile gate consumes DRC reports
 
 namespace harmonia {
 

@@ -1,0 +1,87 @@
+#include "analysis/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace harmonia {
+namespace analysis {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isSourceName(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc";
+}
+
+std::string
+relativeTo(const fs::path &p, const fs::path &root)
+{
+    std::string rel = fs::relative(p, root).generic_string();
+    return rel;
+}
+
+} // namespace
+
+bool
+Corpus::load(const std::string &root)
+{
+    root_ = root;
+    files_.clear();
+    design_.clear();
+    hasDesign_ = false;
+    hasFuzz_ = false;
+
+    const fs::path root_path(root);
+    const fs::path src = root_path / "src";
+    std::error_code ec;
+    if (!fs::is_directory(src, ec))
+        return false;
+
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(src, ec);
+         !ec && it != fs::recursive_directory_iterator(); ++it)
+        if (it->is_regular_file() && isSourceName(it->path()))
+            paths.push_back(it->path());
+    std::sort(paths.begin(), paths.end());
+
+    for (const fs::path &p : paths) {
+        SourceFile f;
+        if (loadSourceFile(p.string(), relativeTo(p, root_path), &f))
+            files_.push_back(std::move(f));
+    }
+
+    const fs::path design = root_path / "DESIGN.md";
+    if (fs::is_regular_file(design, ec)) {
+        std::ifstream in(design.string());
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        design_ = buf.str();
+        hasDesign_ = true;
+    }
+
+    const fs::path fuzz =
+        root_path / "tests" / "cmd" / "test_packet_fuzz.cc";
+    if (fs::is_regular_file(fuzz, ec))
+        hasFuzz_ = loadSourceFile(
+            fuzz.string(), "tests/cmd/test_packet_fuzz.cc", &fuzz_);
+
+    return true;
+}
+
+const SourceFile *
+Corpus::find(const std::string &rel_path) const
+{
+    for (const SourceFile &f : files_)
+        if (f.path == rel_path)
+            return &f;
+    return nullptr;
+}
+
+} // namespace analysis
+} // namespace harmonia

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The analyzer's working set: every C++ source file under <root>/src
+ * plus the auxiliary cross-check surfaces (DESIGN.md, the command
+ * fuzz corpus). Loading is deterministic — files are visited in
+ * sorted path order — so reports are byte-stable run to run.
+ */
+
+#ifndef HARMONIA_ANALYSIS_CORPUS_H_
+#define HARMONIA_ANALYSIS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/source_file.h"
+
+namespace harmonia {
+namespace analysis {
+
+/** Everything one analyzer run looks at. */
+class Corpus {
+  public:
+    /**
+     * Load every .h/.cc under @p root/src (recursively, sorted), plus
+     * DESIGN.md and tests/cmd/test_packet_fuzz.cc when present.
+     * Returns false when root/src does not exist.
+     */
+    bool load(const std::string &root);
+
+    const std::string &root() const { return root_; }
+    const std::vector<SourceFile> &files() const { return files_; }
+
+    /** Lookup by root-relative path; null when absent. */
+    const SourceFile *find(const std::string &rel_path) const;
+
+    /** DESIGN.md text ("" when the tree has none). */
+    const std::string &designDoc() const { return design_; }
+    bool hasDesignDoc() const { return hasDesign_; }
+
+    /** The command fuzz corpus; null when the tree has none. */
+    const SourceFile *fuzzCorpus() const
+    {
+        return hasFuzz_ ? &fuzz_ : nullptr;
+    }
+
+  private:
+    std::string root_;
+    std::vector<SourceFile> files_;
+    std::string design_;
+    bool hasDesign_ = false;
+    SourceFile fuzz_;
+    bool hasFuzz_ = false;
+};
+
+} // namespace analysis
+} // namespace harmonia
+
+#endif // HARMONIA_ANALYSIS_CORPUS_H_

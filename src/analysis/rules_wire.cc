@@ -1,0 +1,184 @@
+/**
+ * @file
+ * CMD-W rules: wire-protocol completeness. Every command code in
+ * src/cmd/command_codes.h must be fully wired the day it lands:
+ *
+ * - CMD-W1 (Error): a toString() case in command_codes.cc (statuses
+ *   included — an unnameable code renders logs useless).
+ * - CMD-W2 (Error): at least one handler/decode reference somewhere
+ *   in src/ outside command_codes.* — a code nothing consumes is
+ *   dead wire surface.
+ * - CMD-W3 (Error): coverage in the command fuzz corpus
+ *   (tests/cmd/test_packet_fuzz.cc) for every CommandCode.
+ * - CMD-W4 (Error): a DESIGN.md mention of the code's bare name, so
+ *   the protocol document cannot silently drift from the enum.
+ */
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "common/logging.h"
+
+namespace harmonia {
+namespace analysis {
+
+namespace {
+
+struct CodeDecl {
+    std::string name;  ///< e.g. "kCmdTableWrite"
+    int line = 0;
+    bool isStatus = false;  ///< CommandStatus vs CommandCode
+};
+
+bool
+isWordChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+/** Word-boundary containment of @p word in @p line. */
+bool
+containsWord(const std::string &line, const std::string &word)
+{
+    std::size_t at = 0;
+    while ((at = line.find(word, at)) != std::string::npos) {
+        const char before = at == 0 ? '\0' : line[at - 1];
+        const std::size_t end = at + word.size();
+        const char after = end < line.size() ? line[end] : '\0';
+        if (!isWordChar(before) && !isWordChar(after))
+            return true;
+        at = end;
+    }
+    return false;
+}
+
+/** Parse kCmd* enumerators out of the two command enums. */
+std::vector<CodeDecl>
+parseCodes(const SourceFile &codes_h)
+{
+    std::vector<CodeDecl> out;
+    bool in_code_enum = false;
+    bool in_status_enum = false;
+    for (std::size_t i = 0; i < codes_h.code.size(); ++i) {
+        const std::string &line = codes_h.code[i];
+        if (line.find("enum CommandCode") != std::string::npos) {
+            in_code_enum = true;
+            continue;
+        }
+        if (line.find("enum CommandStatus") != std::string::npos) {
+            in_status_enum = true;
+            continue;
+        }
+        if ((in_code_enum || in_status_enum) &&
+            line.find("};") != std::string::npos) {
+            in_code_enum = in_status_enum = false;
+            continue;
+        }
+        if (!in_code_enum && !in_status_enum)
+            continue;
+        const std::size_t at = line.find("kCmd");
+        if (at == std::string::npos ||
+            (at > 0 && isWordChar(line[at - 1])))
+            continue;
+        std::size_t end = at;
+        while (end < line.size() && isWordChar(line[end]))
+            ++end;
+        out.push_back({line.substr(at, end - at),
+                       static_cast<int>(i) + 1, in_status_enum});
+    }
+    return out;
+}
+
+} // namespace
+
+void
+checkWireProtocolRules(const Corpus &corpus, Reporter &out)
+{
+    const SourceFile *codes_h =
+        corpus.find("src/cmd/command_codes.h");
+    if (codes_h == nullptr)
+        return;  // not a harmonia tree; nothing to cross-check
+    const std::vector<CodeDecl> codes = parseCodes(*codes_h);
+    const SourceFile *codes_cc =
+        corpus.find("src/cmd/command_codes.cc");
+
+    for (const CodeDecl &code : codes) {
+        // CMD-W1: toString coverage.
+        if (codes_cc != nullptr) {
+            bool named = false;
+            for (const std::string &line : codes_cc->code)
+                if (line.find("case " + code.name + ":") !=
+                    std::string::npos)
+                    named = true;
+            if (!named)
+                out.emit(*codes_h, code.line, "CMD-W1",
+                         drc::Severity::Error,
+                         format("%s has no toString() case in "
+                                "command_codes.cc",
+                                code.name.c_str()),
+                         "add the case so logs and traces can name "
+                         "the code");
+        }
+
+        // CMD-W2: some handler references the code.
+        bool handled = false;
+        for (const SourceFile &f : corpus.files()) {
+            if (f.path == "src/cmd/command_codes.h" ||
+                f.path == "src/cmd/command_codes.cc")
+                continue;
+            for (const std::string &line : f.code)
+                if (containsWord(line, code.name)) {
+                    handled = true;
+                    break;
+                }
+            if (handled)
+                break;
+        }
+        if (!handled)
+            out.emit(*codes_h, code.line, "CMD-W2",
+                     drc::Severity::Error,
+                     format("%s is referenced nowhere outside the "
+                            "enum — no decode or handler path",
+                            code.name.c_str()),
+                     "wire the code into a kernel/RBB handler (or "
+                     "delete it)");
+
+        // CMD-W3: fuzz-corpus coverage for request codes.
+        const SourceFile *fuzz = corpus.fuzzCorpus();
+        if (!code.isStatus && fuzz != nullptr) {
+            bool fuzzed = false;
+            for (const std::string &line : fuzz->code)
+                if (containsWord(line, code.name))
+                    fuzzed = true;
+            if (!fuzzed)
+                out.emit(*codes_h, code.line, "CMD-W3",
+                         drc::Severity::Error,
+                         format("%s is absent from the command fuzz "
+                                "corpus",
+                                code.name.c_str()),
+                         "add the code to "
+                         "tests/cmd/test_packet_fuzz.cc so framing "
+                         "and NACK behaviour are fuzzed");
+        }
+
+        // CMD-W4: DESIGN.md documents the bare name. Statuses are
+        // exempt — their bare names ("Ok") are too generic to match
+        // meaningfully.
+        if (!code.isStatus && corpus.hasDesignDoc()) {
+            const std::string bare = code.name.substr(4);
+            if (corpus.designDoc().find(bare) == std::string::npos)
+                out.emit(*codes_h, code.line, "CMD-W4",
+                         drc::Severity::Error,
+                         format("%s ('%s') is not mentioned in "
+                                "DESIGN.md",
+                                code.name.c_str(), bare.c_str()),
+                         "document the code in the DESIGN.md command "
+                         "reference");
+        }
+    }
+}
+
+} // namespace analysis
+} // namespace harmonia

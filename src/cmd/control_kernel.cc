@@ -83,6 +83,7 @@ UnifiedControlKernel::bufferSpace() const
 bool
 UnifiedControlKernel::submitBytes(const std::vector<std::uint8_t> &bytes)
 {
+    noteMutation();
     if (bytes.size() > bufferSpace()) {
         stats_.counter("buffer_overflow").inc();
         return false;

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "common/json.h"
 #include "common/logging.h"
-#include "telemetry/exporter.h"
 
 namespace harmonia {
 namespace drc {
@@ -35,13 +35,14 @@ renderJsonLines(const DrcReport &report)
                            return static_cast<char>(
                                std::tolower(c));
                        });
-        out += format("{\"rule\":\"%s\",\"severity\":\"%s\","
-                      "\"path\":\"%s\",\"message\":\"%s\","
-                      "\"hint\":\"%s\"}\n",
-                      jsonEscape(d.ruleId).c_str(), sev.c_str(),
-                      jsonEscape(d.path).c_str(),
-                      jsonEscape(d.message).c_str(),
-                      jsonEscape(d.hint).c_str());
+        JsonValue line = JsonValue::object();
+        line.set("rule", d.ruleId);
+        line.set("severity", sev);
+        line.set("path", d.path);
+        line.set("message", d.message);
+        line.set("hint", d.hint);
+        out += line.dump();
+        out += '\n';
     }
     return out;
 }

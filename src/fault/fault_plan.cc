@@ -1,6 +1,6 @@
 #include "fault/fault_plan.h"
 
-#include "obs/flight_recorder.h"
+#include "obs/flight_recorder.h"  // harmonia-lint: allow(LAYER-002) flight-recorder arm/notify hooks
 
 namespace harmonia {
 

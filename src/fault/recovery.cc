@@ -1,6 +1,6 @@
 #include "fault/recovery.h"
 
-#include "obs/flight_recorder.h"
+#include "obs/flight_recorder.h"  // harmonia-lint: allow(LAYER-002) recovery edges feed the black box
 #include "sim/trace.h"
 
 namespace harmonia {

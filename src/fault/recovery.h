@@ -16,7 +16,7 @@
 
 #include <vector>
 
-#include "shell/unified_shell.h"
+#include "shell/unified_shell.h"  // harmonia-lint: allow(LAYER-002) recovery drives shell health state
 #include "telemetry/metrics_registry.h"
 
 namespace harmonia {

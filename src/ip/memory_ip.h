@@ -112,6 +112,8 @@ class MemoryIp : public IpBlock {
     std::deque<std::pair<Tick, MemCompletion>> inFlight_;
     Fifo<MemCompletion> completions_{8192};
     StatGroup stats_;
+    // Sparse backing store: strictly point lookups, never iterated.
+    // harmonia-lint: allow(DET-003) lookup-only page table
     std::unordered_map<Addr, std::vector<std::uint8_t>> pages_;
 };
 

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "host/cmd_driver.h"
+#include "host/cmd_driver.h"  // harmonia-lint: allow(LAYER-002) OpsClient decodes via CmdDriver
 #include "obs/slo.h"
 
 namespace harmonia {

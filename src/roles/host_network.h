@@ -9,7 +9,7 @@
 #ifndef HARMONIA_ROLES_HOST_NETWORK_H_
 #define HARMONIA_ROLES_HOST_NETWORK_H_
 
-#include <unordered_map>
+#include <map>
 
 #include "roles/role.h"
 
@@ -48,7 +48,9 @@ class HostNetwork : public Role {
                    const std::vector<std::uint32_t> &data) override;
 
   private:
-    std::unordered_map<std::uint64_t, FlowAction> flows_;
+    // Ordered map: installs are cold-path (miss upcalls), and a
+    // deterministic container keeps any future table walk stable.
+    std::map<std::uint64_t, FlowAction> flows_;
     bool autoInstall_ = true;
 };
 

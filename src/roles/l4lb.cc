@@ -102,15 +102,38 @@ Layer4Lb::processFlowPacket(std::uint64_t flow_hash, FlowPhase phase)
     stats().counter("table_misses").inc();
     const unsigned server = pickServer(flow_hash);
     if (phase != FlowPhase::Fin) {
-        if (connTable_.size() >= kConnTableCapacity) {
-            // Bounded table: drop the oldest bucket entry.
-            connTable_.erase(connTable_.begin());
-            stats().counter("evictions").inc();
-        }
+        if (connTable_.size() >= kConnTableCapacity)
+            evictOldest();
         connTable_.emplace(flow_hash, server);
+        evictFifo_.push_back(flow_hash);
+        // FIN-closed flows leave stale keys in the FIFO; compact once
+        // they dominate so the queue stays O(capacity).
+        if (evictFifo_.size() > 2 * kConnTableCapacity) {
+            std::deque<std::uint64_t> live;
+            for (const std::uint64_t key : evictFifo_)
+                if (connTable_.count(key) != 0)
+                    live.push_back(key);
+            evictFifo_.swap(live);
+        }
         stats().counter("flows_opened").inc();
     }
     return server;
+}
+
+void
+Layer4Lb::evictOldest()
+{
+    // Bounded table: drop the oldest still-pinned flow, in insertion
+    // order, so eviction is independent of hash-bucket layout.
+    while (!evictFifo_.empty()) {
+        const std::uint64_t victim = evictFifo_.front();
+        evictFifo_.pop_front();
+        if (connTable_.erase(victim) != 0) {
+            stats().counter("evictions").inc();
+            return;
+        }
+    }
+    fatal("connection table full but eviction FIFO empty");
 }
 
 void

@@ -9,11 +9,12 @@
 #ifndef HARMONIA_ROLES_L4LB_H_
 #define HARMONIA_ROLES_L4LB_H_
 
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "roles/role.h"
-#include "workload/flow_gen.h"
+#include "workload/flow_gen.h"  // harmonia-lint: allow(LAYER-002) FlowPhase comes from the generators
 
 namespace harmonia {
 
@@ -52,9 +53,19 @@ class Layer4Lb : public Role {
     void tick() override;
 
   private:
+    /** Evict the oldest still-pinned flow (FIFO order). */
+    void evictOldest();
+
     unsigned numServers_;
     std::vector<bool> healthy_;
+    // Lookup-only on the datapath; eviction traverses evictFifo_, so
+    // bucket order is never observable.
+    // harmonia-lint: allow(DET-003) iteration goes via evictFifo_
     std::unordered_map<std::uint64_t, unsigned> connTable_;
+    /** Pin insertion order; stale entries (closed flows) are lazily
+     *  skipped at eviction time and compacted when the queue grows
+     *  past twice the table capacity. */
+    std::deque<std::uint64_t> evictFifo_;
 };
 
 } // namespace harmonia

@@ -40,6 +40,7 @@ ParamCdc::canPush() const
 void
 ParamCdc::push(const PacketDesc &pkt)
 {
+    writeSide_.noteMutation();
     if (!canPush())
         panic("ParamCdc push without canPush");
     const Tick t = writeClk_->cyclesToTicks(writeClk_->cycle());
@@ -68,6 +69,7 @@ ParamCdc::canPop() const
 PacketDesc
 ParamCdc::pop()
 {
+    readSide_.noteMutation();
     if (!canPop())
         panic("ParamCdc pop without canPop");
     PacketDesc pkt = fifo_.pop();

@@ -121,6 +121,7 @@ bool
 HostRbb::submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
                 std::uint64_t id)
 {
+    noteMutation();
     if (queue >= numQueues_)
         fatal("queue %u out of range (%u)", queue, numQueues_);
     // Per-cause reject counters: an inactive queue is a tenant
@@ -151,6 +152,7 @@ HostRbb::submit(DmaDir dir, std::uint16_t queue, std::uint32_t bytes,
 bool
 HostRbb::submitControl(std::uint32_t bytes, std::uint64_t id)
 {
+    noteMutation();
     DmaRequest req;
     req.dir = DmaDir::H2C;
     req.bytes = bytes;

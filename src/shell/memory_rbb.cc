@@ -123,6 +123,7 @@ MemoryRbb::cacheInvalidate(Addr addr)
 bool
 MemoryRbb::read(Addr addr, std::uint32_t bytes, std::uint64_t id)
 {
+    noteMutation();
     monitor().counter("reads").inc();
     monitor().counter("bytes").inc(bytes);
 
@@ -146,6 +147,7 @@ MemoryRbb::read(Addr addr, std::uint32_t bytes, std::uint64_t id)
 bool
 MemoryRbb::write(Addr addr, std::uint32_t bytes, std::uint64_t id)
 {
+    noteMutation();
     monitor().counter("writes").inc();
     monitor().counter("bytes").inc(bytes);
     cacheInvalidate(addr);
@@ -167,6 +169,7 @@ MemoryRbb::popCompletion()
 void
 MemoryRbb::storeWrite(Addr addr, const std::vector<std::uint8_t> &data)
 {
+    noteMutation();
     controller_->storeWrite(addr, data);
 }
 

@@ -119,6 +119,7 @@ NetworkRbb::defineCtrlRegs()
 PacketDesc
 NetworkRbb::rxPop()
 {
+    noteMutation();
     if (rxOut_.empty())
         fatal("NetworkRbb '%s': rxPop with nothing available",
               name().c_str());
@@ -128,6 +129,7 @@ NetworkRbb::rxPop()
 void
 NetworkRbb::txPush(const PacketDesc &pkt)
 {
+    noteMutation();
     if (!txIn_.canPush())
         fatal("NetworkRbb '%s': txPush without txReady",
               name().c_str());

@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "roles/role.h"
+#include "roles/role.h"  // harmonia-lint: allow(LAYER-002) PR slots re-tenant Roles
 
 namespace harmonia {
 

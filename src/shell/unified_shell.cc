@@ -3,7 +3,7 @@
 #include <map>
 
 #include "common/logging.h"
-#include "drc/checker.h"
+#include "drc/checker.h"  // harmonia-lint: allow(LAYER-002) strict-DRC construction gate
 
 namespace harmonia {
 

@@ -14,8 +14,8 @@
 #include <string>
 #include <vector>
 
-#include "adapter/device_adapter.h"
-#include "adapter/toolchain.h"
+#include "adapter/device_adapter.h"  // harmonia-lint: allow(LAYER-002) compileJob() emits CompileJobs
+#include "adapter/toolchain.h"  // harmonia-lint: allow(LAYER-002) compileJob() emits CompileJobs
 #include "cmd/control_kernel.h"
 #include "device/database.h"
 #include "shell/health.h"

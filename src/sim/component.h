@@ -7,10 +7,12 @@
 #ifndef HARMONIA_SIM_COMPONENT_H_
 #define HARMONIA_SIM_COMPONENT_H_
 
+#include <cstddef>
 #include <functional>
 #include <string>
 
 #include "common/types.h"
+#include "sim/ownership.h"
 
 namespace harmonia {
 
@@ -67,12 +69,30 @@ class Component {
     /** Current cycle of this component's clock; 0 until registered. */
     Cycles cycle() const;
 
+    /**
+     * Ownership-audit hook: call at the top of every externally
+     * reachable state mutator (a push, a pop, a submit). One relaxed
+     * atomic load when the auditor is disarmed; during an audited
+     * parallel edge it checks that the calling thread's concurrency
+     * group owns this component. See sim/ownership.h.
+     */
+    void noteMutation() const
+    {
+        if (OwnershipAuditor::armed())
+            OwnershipAuditor::instance().checkMutation(*this);
+    }
+
+    /** Concurrency-group stamp set by the engine before audited
+     *  parallel edges; kNoGroup until then. */
+    std::size_t auditGroup() const { return auditGroup_; }
+
   private:
     friend class Engine;
 
     std::string name_;
     Clock *clock_ = nullptr;
     Engine *engine_ = nullptr;
+    std::size_t auditGroup_ = OwnershipAuditor::kNoGroup;
 };
 
 /** Wraps a lambda as a Component — handy in tests and benches. */

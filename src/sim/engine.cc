@@ -4,7 +4,8 @@
 #include <cstdlib>
 
 #include "common/logging.h"
-#include "fault/fault_plan.h"
+#include "fault/fault_plan.h"  // harmonia-lint: allow(LAYER-002) serial fallback while a plan is armed
+#include "sim/ownership.h"
 #include "sim/trace.h"
 
 namespace harmonia {
@@ -17,6 +18,7 @@ Engine::Engine()
         parallel_ = n > 1;
         fastForward_ = true;
     }
+    audit_ = OwnershipAuditor::envEnabled();
 }
 
 Engine::~Engine() { stopWorkers(); }
@@ -38,7 +40,8 @@ Clock *
 Engine::addClock(const std::string &name, double mhz)
 {
     domains_.push_back(Domain{std::make_unique<Clock>(name, mhz), {},
-                              domains_.size()});
+                              domains_.size(), domains_.size()});
+    groupsDirty_ = true;
     return domains_.back().clock.get();
 }
 
@@ -83,8 +86,10 @@ Engine::fuseClocks(Clock *a, Clock *b)
         fatal("Engine::fuseClocks: null clock");
     const std::size_t ra = groupOf(domainIndex(a));
     const std::size_t rb = groupOf(domainIndex(b));
-    if (ra != rb)
+    if (ra != rb) {
         domains_[std::max(ra, rb)].group = std::min(ra, rb);
+        groupsDirty_ = true;
+    }
 }
 
 void
@@ -101,6 +106,7 @@ Engine::add(Component *c, Clock *clk)
     c->engine_ = this;
     c->clock_ = clk;
     d->components.push_back(c);
+    groupsDirty_ = true;
 }
 
 void
@@ -153,6 +159,7 @@ Engine::commitEdge(Tick next, bool skip_idle)
         for (Domain *d : fired) {
             const std::size_t root =
                 groupOf(static_cast<std::size_t>(d - domains_.data()));
+            d->auditRoot = root;
             std::size_t slot = roots.size();
             for (std::size_t i = 0; i < roots.size(); ++i)
                 if (roots[i] == root) {
@@ -168,7 +175,14 @@ Engine::commitEdge(Tick next, bool skip_idle)
     }
 
     if (groups.size() > 1) {
+        if (audit_) {
+            if (groupsDirty_)
+                stampGroups();
+            OwnershipAuditor::instance().beginEdge();
+        }
         tickFired(groups, skip_idle);
+        if (audit_)
+            OwnershipAuditor::instance().endEdge();
     } else {
         // Serial reference schedule: creation order across domains.
         for (Domain *d : fired)
@@ -351,8 +365,11 @@ Engine::workerLoop()
             std::vector<Domain *> &task = (*work_)[nextTask_++];
             const bool skip = taskSkipIdle_;
             lk.unlock();
+            OwnershipAuditor::setCurrentGroup(task.front()->auditRoot);
             for (Domain *d : task)
                 tickDomain(*d, skip);
+            OwnershipAuditor::setCurrentGroup(
+                OwnershipAuditor::kNoGroup);
             lk.lock();
             if (--tasksLeft_ == 0)
                 poolDoneCv_.notify_all();
@@ -367,12 +384,25 @@ Engine::drainTasks(bool skip_idle)
     while (work_ != nullptr && nextTask_ < work_->size()) {
         std::vector<Domain *> &task = (*work_)[nextTask_++];
         lk.unlock();
+        OwnershipAuditor::setCurrentGroup(task.front()->auditRoot);
         for (Domain *d : task)
             tickDomain(*d, skip_idle);
+        OwnershipAuditor::setCurrentGroup(OwnershipAuditor::kNoGroup);
         lk.lock();
         if (--tasksLeft_ == 0)
             poolDoneCv_.notify_all();
     }
+}
+
+void
+Engine::stampGroups()
+{
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        const std::size_t root = groupOf(i);
+        for (Component *c : domains_[i].components)
+            c->auditGroup_ = root;
+    }
+    groupsDirty_ = false;
 }
 
 void

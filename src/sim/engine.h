@@ -119,11 +119,24 @@ class Engine {
     /** HARMONIA_SIM_THREADS value; 0 when unset or malformed. */
     static unsigned envThreads();
 
+    /**
+     * Enable/disable the dynamic ownership auditor (sim/ownership.h):
+     * during every parallel edge, instrumented mutations are checked
+     * against the concurrency-group stamps. Defaults to the
+     * HARMONIA_SIM_AUDIT environment switch. Costs nothing while the
+     * engine runs serially.
+     */
+    void setOwnershipAudit(bool on) { audit_ = on; }
+    bool ownershipAudit() const { return audit_; }
+
   private:
     struct Domain {
         std::unique_ptr<Clock> clock;
         std::vector<Component *> components;
         std::size_t group = 0;  ///< union-find parent (domain index)
+        /// Resolved group root, refreshed as parallel edges are
+        /// bucketed; read by workers to tag their audit group.
+        std::size_t auditRoot = 0;
     };
 
     Domain *findDomain(const Clock *clk);
@@ -149,6 +162,9 @@ class Engine {
     void workerLoop();
     void drainTasks(bool skip_idle);
 
+    /** Stamp every component with its group root (audit only). */
+    void stampGroups();
+
     Tick now_ = 0;
     std::vector<Domain> domains_;
     std::priority_queue<Tick, std::vector<Tick>, std::greater<Tick>>
@@ -157,6 +173,8 @@ class Engine {
     bool parallel_ = false;
     bool fastForward_ = false;
     unsigned threads_ = 1;
+    bool audit_ = false;
+    bool groupsDirty_ = true;  ///< component/fuse change since stamp
 
     // Worker pool state, all guarded by poolMutex_.
     std::vector<std::thread> workers_;

@@ -1,0 +1,73 @@
+#include "sim/ownership.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "sim/component.h"
+
+namespace harmonia {
+
+OwnershipAuditor &
+OwnershipAuditor::instance()
+{
+    static OwnershipAuditor auditor;
+    return auditor;
+}
+
+bool
+OwnershipAuditor::envEnabled()
+{
+    const char *env = std::getenv("HARMONIA_SIM_AUDIT");
+    if (env == nullptr || *env == '\0')
+        return false;
+    return std::string(env) != "0";
+}
+
+void
+OwnershipAuditor::checkMutation(const Component &c)
+{
+    const std::size_t cur = currentGroup_;
+    if (cur == kNoGroup)
+        return;  // mutation outside any engine task (host-side code)
+    const std::size_t owner = c.auditGroup();
+    if (owner == kNoGroup || owner == cur)
+        return;
+    std::lock_guard<std::mutex> lk(mutex_);
+    pending_.push_back(format(
+        "component '%s' (group %zu) mutated from group %zu during a "
+        "parallel edge; fuse the clocks of the caller and the callee",
+        c.name().c_str(), owner, cur));
+}
+
+void
+OwnershipAuditor::beginEdge()
+{
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        pending_.clear();
+    }
+    armed_.store(true, std::memory_order_release);
+}
+
+void
+OwnershipAuditor::endEdge()
+{
+    armed_.store(false, std::memory_order_release);
+    std::vector<std::string> found;
+    {
+        std::lock_guard<std::mutex> lk(mutex_);
+        found.swap(pending_);
+    }
+    if (found.empty())
+        return;
+    if (trap_) {
+        trapped_.fetch_add(found.size(), std::memory_order_relaxed);
+        return;
+    }
+    fatal("ownership audit: %s%s", found.front().c_str(),
+          found.size() > 1
+              ? format(" (+%zu more)", found.size() - 1).c_str()
+              : "");
+}
+
+} // namespace harmonia

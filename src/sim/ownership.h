@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Dynamic engine-ownership auditor: the runtime complement to the
+ * static concurrency checks in src/analysis. During every parallel
+ * edge the engine stamps each component with the root of its
+ * concurrency group and each worker thread with the group it is
+ * ticking; any instrumented state mutation (Component::noteMutation)
+ * that crosses groups is a latent data race — exactly the bug class
+ * fuseClocks() exists to prevent — and is reported at the edge
+ * barrier. Armed only while a parallel edge is in flight, so the
+ * serial reference schedule pays one relaxed atomic load per hook.
+ */
+
+#ifndef HARMONIA_SIM_OWNERSHIP_H_
+#define HARMONIA_SIM_OWNERSHIP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace harmonia {
+
+class Component;
+
+/**
+ * Process-wide auditor. The engine arms it around parallel edges
+ * (see Engine::setOwnershipAudit and HARMONIA_SIM_AUDIT); components
+ * call in through Component::noteMutation(). Violations are recorded
+ * thread-safely during the edge and reported at the barrier — by
+ * default with fatal(), or counted when trap mode is on (tests).
+ */
+class OwnershipAuditor {
+  public:
+    /** "Not stamped / not inside a parallel task" sentinel. */
+    static constexpr std::size_t kNoGroup =
+        static_cast<std::size_t>(-1);
+
+    static OwnershipAuditor &instance();
+
+    /** True while a parallel edge is in flight with auditing on. */
+    static bool armed()
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Group the calling thread is currently ticking. */
+    static std::size_t currentGroup() { return currentGroup_; }
+
+    /** Set by the engine's task loops around each group's tick. */
+    static void setCurrentGroup(std::size_t group)
+    {
+        currentGroup_ = group;
+    }
+
+    /**
+     * Trap mode: count violations instead of throwing at the barrier.
+     * Lets a test prove the auditor trips without tearing down the
+     * engine mid-edge. Default off.
+     */
+    void setTrap(bool on) { trap_ = on; }
+    bool trap() const { return trap_; }
+
+    /** Violations counted while trap mode was on. */
+    std::uint64_t violations() const
+    {
+        return trapped_.load(std::memory_order_relaxed);
+    }
+    void clearViolations()
+    {
+        trapped_.store(0, std::memory_order_relaxed);
+    }
+
+    /** Record a mutation of @p c by the calling thread. */
+    void checkMutation(const Component &c);
+
+    /** Arm for one parallel edge (engine only). */
+    void beginEdge();
+
+    /**
+     * Disarm and report (engine only): fatal() on the first recorded
+     * violation, or add them to the trap counter when trapping.
+     */
+    void endEdge();
+
+    /** True when HARMONIA_SIM_AUDIT is set to a non-zero value. */
+    static bool envEnabled();
+
+  private:
+    OwnershipAuditor() = default;
+
+    inline static std::atomic<bool> armed_{false};
+    inline static thread_local std::size_t currentGroup_ = kNoGroup;
+
+    std::mutex mutex_;
+    std::vector<std::string> pending_;
+    bool trap_ = false;
+    std::atomic<std::uint64_t> trapped_{0};
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_SIM_OWNERSHIP_H_

@@ -1,7 +1,7 @@
 #include "telemetry/sampler.h"
 
 #include "common/logging.h"
-#include "obs/timeseries.h"
+#include "obs/timeseries.h"  // harmonia-lint: allow(LAYER-002) attachStore feeds the obs store
 
 namespace harmonia {
 

@@ -2,8 +2,8 @@
 
 #include <cmath>
 
-#include "obs/flight_recorder.h"
-#include "obs/slo.h"
+#include "obs/flight_recorder.h"  // harmonia-lint: allow(LAYER-002) snapshots ride the command plane
+#include "obs/slo.h"  // harmonia-lint: allow(LAYER-002) snapshots ride the command plane
 #include "telemetry/profiler.h"
 
 namespace harmonia {

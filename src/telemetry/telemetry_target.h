@@ -55,7 +55,7 @@
 #ifndef HARMONIA_TELEMETRY_TELEMETRY_TARGET_H_
 #define HARMONIA_TELEMETRY_TELEMETRY_TARGET_H_
 
-#include "cmd/command.h"
+#include "cmd/command.h"  // harmonia-lint: allow(LAYER-002) speaks the command wire format
 #include "telemetry/metrics_registry.h"
 
 namespace harmonia {

@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "ip/dma_ip.h"
 #include "ip/mac_ip.h"
+#include "shell/unified_shell.h"
 
 namespace harmonia {
 namespace {
@@ -108,6 +109,78 @@ TEST(Toolchain, MissingDeviceIsReported)
     job.projectName = "nodevice";
     const BuildArtifact art = tc.compile(job);
     EXPECT_FALSE(art.success);
+}
+
+// --- DRC override semantics. ---
+
+/** A shell plan the platform DRC rejects (PERI-003: host queues
+ *  beyond the HostRbb ceiling). */
+ShellConfig
+brokenConfig()
+{
+    ShellConfig cfg;
+    cfg.includeHost = true;
+    cfg.hostQueues = 4096;
+    return cfg;
+}
+
+TEST(Toolchain, DrcOverrideDefaultsOffAndToggles)
+{
+    Toolchain tc(VendorAdapter::standardFor(deviceA()));
+    EXPECT_FALSE(tc.drcOverride());
+    tc.setDrcOverride(true);
+    EXPECT_TRUE(tc.drcOverride());
+    tc.setDrcOverride(false);
+    EXPECT_FALSE(tc.drcOverride());
+}
+
+TEST(Toolchain, DrcOverrideStillLogsEveryFinding)
+{
+    const ShellConfig broken = brokenConfig();
+    Toolchain tc(VendorAdapter::standardFor(deviceA()));
+    tc.setDrcOverride(true);
+
+    CompileJob job;
+    job.projectName = "forced";
+    job.device = &deviceA();
+    job.shellConfig = &broken;
+    job.roleLogic = {1000, 1000, 1, 0, 0};
+
+    const BuildArtifact art = tc.compile(job);
+    EXPECT_TRUE(art.success) << art.log.back();
+    // The escape hatch is never silent: findings appear in the log
+    // and the override is announced before the flow proceeds.
+    bool finding_logged = false;
+    bool override_logged = false;
+    for (const auto &line : art.log) {
+        if (line.find("PERI-003") != std::string::npos)
+            finding_logged = true;
+        if (line.find("[drc] override:") != std::string::npos)
+            override_logged = true;
+    }
+    EXPECT_TRUE(finding_logged);
+    EXPECT_TRUE(override_logged);
+}
+
+TEST(Toolchain, DrcOverrideDoesNotRelaxStrictShellMode)
+{
+    // The toolchain override gates only the compile flow; strict
+    // shell construction (Shell::setStrictDrc) is an independent
+    // process-wide switch and must stay untouched.
+    Toolchain tc(VendorAdapter::standardFor(deviceA()));
+    tc.setDrcOverride(true);
+    EXPECT_FALSE(Shell::strictDrc());
+
+    struct StrictGuard {
+        StrictGuard() { Shell::setStrictDrc(true); }
+        ~StrictGuard() { Shell::setStrictDrc(false); }
+    } guard;
+
+    Engine engine;
+    const ShellConfig broken = brokenConfig();
+    EXPECT_THROW(
+        Shell(engine, deviceA(), broken, "strict_vs_override"),
+        FatalError);
 }
 
 } // namespace

@@ -1,0 +1,11 @@
+// Fixture: toString() switch missing the kCmdOrphan case.
+#include "cmd/command_codes.h"
+
+const char *
+toString(CommandCode code)
+{
+    switch (code) {
+    default:
+        return "unknown";
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: a command code with no toString() case (CMD-W1) and no
+// handler reference anywhere (CMD-W2).
+#ifndef BADREPO_CMD_COMMAND_CODES_H_
+#define BADREPO_CMD_COMMAND_CODES_H_
+
+enum CommandCode {
+    kCmdOrphan = 0x0042,
+};
+
+#endif // BADREPO_CMD_COMMAND_CODES_H_

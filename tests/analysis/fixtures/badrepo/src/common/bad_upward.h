@@ -1,0 +1,7 @@
+// Fixture: a lower layer (common) reaching up into sim (LAYER-002).
+#ifndef BADREPO_COMMON_BAD_UPWARD_H_
+#define BADREPO_COMMON_BAD_UPWARD_H_
+
+#include "sim/ticker.h"
+
+#endif // BADREPO_COMMON_BAD_UPWARD_H_

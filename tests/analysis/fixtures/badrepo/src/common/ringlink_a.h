@@ -1,0 +1,13 @@
+// Fixture: half of a file-level include cycle (LAYER-001).
+#ifndef BADREPO_COMMON_RINGLINK_A_H_
+#define BADREPO_COMMON_RINGLINK_A_H_
+
+#include "common/ringlink_b.h"
+
+inline int
+ringA()
+{
+    return 1;
+}
+
+#endif // BADREPO_COMMON_RINGLINK_A_H_

@@ -1,0 +1,13 @@
+// Fixture: the other half of the include cycle (LAYER-001).
+#ifndef BADREPO_COMMON_RINGLINK_B_H_
+#define BADREPO_COMMON_RINGLINK_B_H_
+
+#include "common/ringlink_a.h"
+
+inline int
+ringB()
+{
+    return 2;
+}
+
+#endif // BADREPO_COMMON_RINGLINK_B_H_

@@ -1,0 +1,11 @@
+// Fixture: a directory absent from the layer manifest (LAYER-003).
+#ifndef BADREPO_EXTRAS_STRAY_H_
+#define BADREPO_EXTRAS_STRAY_H_
+
+inline int
+stray()
+{
+    return 0;
+}
+
+#endif // BADREPO_EXTRAS_STRAY_H_

@@ -1,0 +1,15 @@
+// Fixture: a violation silenced by an allow() annotation — the
+// self-test asserts no DET-001 finding lands in this file.
+#ifndef BADREPO_SIM_SUPPRESSED_H_
+#define BADREPO_SIM_SUPPRESSED_H_
+
+#include <cstdlib>
+
+inline unsigned
+fixtureSeed()
+{
+    // harmonia-lint: allow(DET-001) fixture proves suppression works
+    return static_cast<unsigned>(rand());
+}
+
+#endif // BADREPO_SIM_SUPPRESSED_H_

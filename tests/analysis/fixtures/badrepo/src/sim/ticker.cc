@@ -1,0 +1,13 @@
+// Fixture: RNG in ticked code (DET-001) and unordered iteration in
+// ticked code (DET-002).
+#include "sim/ticker.h"
+
+#include <cstdlib>
+
+void
+Ticker::tick()
+{
+    const int jitter = rand();
+    for (auto &kv : table_)
+        kv.second += jitter;
+}

@@ -1,0 +1,15 @@
+// Fixture: ticked component declaring an unordered member (DET-003).
+#ifndef BADREPO_SIM_TICKER_H_
+#define BADREPO_SIM_TICKER_H_
+
+#include <unordered_map>
+
+class Ticker {
+  public:
+    void tick();
+
+  private:
+    std::unordered_map<int, int> table_;
+};
+
+#endif // BADREPO_SIM_TICKER_H_

@@ -1,0 +1,16 @@
+// Fixture: discarded beginSpan() result (TRACE-001), begin with no
+// end in the file (TRACE-002), and an out-of-convention metric name
+// (TEL-001).
+#ifndef BADREPO_TELEMETRY_SPANS_H_
+#define BADREPO_TELEMETRY_SPANS_H_
+
+template <typename Tracer, typename Stats>
+void
+fixtureTouch(Tracer &tracer, Stats &stats)
+{
+    stats.flush();
+    tracer.beginSpan("fixture.span");
+    stats.counter("BadMetricName").inc();
+}
+
+#endif // BADREPO_TELEMETRY_SPANS_H_

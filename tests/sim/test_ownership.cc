@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The dynamic ownership auditor (sim/ownership.h): proves it trips on
+ * a cross-group mutation during a parallel edge, stays silent for
+ * correctly grouped work, and that fuseClocks() is the fix it points
+ * at. Runs green under tsan with HARMONIA_SIM_THREADS=4 and
+ * HARMONIA_SIM_AUDIT=1 — the trip cases use trap mode so no fatal
+ * tears the engine down mid-test.
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "sim/ownership.h"
+
+namespace harmonia {
+namespace {
+
+/** Owns a counter; tick never touches it (only bump() does). */
+class Counter : public Component {
+  public:
+    using Component::Component;
+    void tick() override {}
+    void bump()
+    {
+        noteMutation();
+        ++value_;
+    }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** On every tick, mutates @p target — possibly across domains. */
+class Mutator : public Component {
+  public:
+    Mutator(std::string name, Counter &target)
+        : Component(std::move(name)), target_(target)
+    {
+    }
+    void tick() override { target_.bump(); }
+
+  private:
+    Counter &target_;
+};
+
+/** Trap-mode guard: arms trap, restores + clears on scope exit. */
+class TrapScope {
+  public:
+    TrapScope()
+    {
+        OwnershipAuditor::instance().clearViolations();
+        OwnershipAuditor::instance().setTrap(true);
+    }
+    ~TrapScope()
+    {
+        OwnershipAuditor::instance().setTrap(false);
+        OwnershipAuditor::instance().clearViolations();
+    }
+    std::uint64_t violations() const
+    {
+        return OwnershipAuditor::instance().violations();
+    }
+};
+
+/** Two same-frequency domains so every edge fires both. */
+struct TwoDomainRig {
+    Engine eng;
+    Clock *a = nullptr;
+    Clock *b = nullptr;
+
+    TwoDomainRig()
+    {
+        eng.setParallel(true);
+        eng.setThreads(2);
+        eng.setOwnershipAudit(true);
+        a = eng.addClock("dom_a", 250.0);
+        b = eng.addClock("dom_b", 250.0);
+    }
+};
+
+TEST(OwnershipAudit, TripsOnCrossGroupMutation)
+{
+    TwoDomainRig rig;
+    Counter counter("counter");
+    Mutator mutator("mutator", counter);
+    rig.eng.add(&counter, rig.a);
+    rig.eng.add(&mutator, rig.b);  // mis-grouped: mutates across
+
+    TrapScope trap;
+    rig.eng.runCycles(rig.a, 8);
+    EXPECT_GT(trap.violations(), 0u);
+    // The mutations themselves still land; the auditor only reports.
+    EXPECT_EQ(counter.value(), 8u);
+}
+
+TEST(OwnershipAudit, FusedDomainsAreClean)
+{
+    TwoDomainRig rig;
+    Counter counter("counter");
+    Mutator mutator("mutator", counter);
+    rig.eng.add(&counter, rig.a);
+    rig.eng.add(&mutator, rig.b);
+    // The fix the auditor's message prescribes: one concurrency
+    // group, so the pair ticks serially in the reference order.
+    rig.eng.fuseClocks(rig.a, rig.b);
+
+    TrapScope trap;
+    rig.eng.runCycles(rig.a, 8);
+    EXPECT_EQ(trap.violations(), 0u);
+    EXPECT_EQ(counter.value(), 8u);
+}
+
+TEST(OwnershipAudit, SelfMutationInParallelIsClean)
+{
+    TwoDomainRig rig;
+    // Each domain mutates only its own counter: a legal parallel
+    // schedule, and the auditor must not cry wolf.
+    Counter ca("counter_a");
+    Counter cb("counter_b");
+    Mutator ma("mutator_a", ca);
+    Mutator mb("mutator_b", cb);
+    rig.eng.add(&ca, rig.a);
+    rig.eng.add(&ma, rig.a);
+    rig.eng.add(&cb, rig.b);
+    rig.eng.add(&mb, rig.b);
+
+    TrapScope trap;
+    rig.eng.runCycles(rig.a, 16);
+    EXPECT_EQ(trap.violations(), 0u);
+    EXPECT_EQ(ca.value(), 16u);
+    EXPECT_EQ(cb.value(), 16u);
+}
+
+TEST(OwnershipAudit, FatalByDefault)
+{
+    TwoDomainRig rig;
+    Counter counter("counter");
+    Mutator mutator("mutator", counter);
+    rig.eng.add(&counter, rig.a);
+    rig.eng.add(&mutator, rig.b);
+
+    ASSERT_FALSE(OwnershipAuditor::instance().trap());
+    EXPECT_THROW(rig.eng.runCycles(rig.a, 4), FatalError);
+}
+
+TEST(OwnershipAudit, MutationOutsideEngineThreadsIgnored)
+{
+    TwoDomainRig rig;
+    Counter counter("counter");
+    rig.eng.add(&counter, rig.a);
+
+    TrapScope trap;
+    rig.eng.runCycles(rig.a, 4);
+    // Host-side mutation between edges: no task group, no report.
+    counter.bump();
+    EXPECT_EQ(trap.violations(), 0u);
+}
+
+TEST(OwnershipAudit, DisabledAuditNeverArms)
+{
+    TwoDomainRig rig;
+    rig.eng.setOwnershipAudit(false);
+    Counter counter("counter");
+    Mutator mutator("mutator", counter);
+    rig.eng.add(&counter, rig.a);
+    rig.eng.add(&mutator, rig.b);
+
+    TrapScope trap;
+    rig.eng.runCycles(rig.a, 8);
+    EXPECT_EQ(trap.violations(), 0u);
+    EXPECT_EQ(counter.value(), 8u);
+}
+
+TEST(OwnershipAudit, EnvSwitchEnablesAudit)
+{
+    const char *orig = std::getenv("HARMONIA_SIM_AUDIT");
+    const std::string saved = orig != nullptr ? orig : "";
+
+    ASSERT_EQ(setenv("HARMONIA_SIM_AUDIT", "1", 1), 0);
+    EXPECT_TRUE(OwnershipAuditor::envEnabled());
+    {
+        Engine eng;
+        EXPECT_TRUE(eng.ownershipAudit());
+    }
+    ASSERT_EQ(setenv("HARMONIA_SIM_AUDIT", "0", 1), 0);
+    EXPECT_FALSE(OwnershipAuditor::envEnabled());
+
+    if (orig != nullptr)
+        ASSERT_EQ(setenv("HARMONIA_SIM_AUDIT", saved.c_str(), 1), 0);
+    else
+        ASSERT_EQ(unsetenv("HARMONIA_SIM_AUDIT"), 0);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * harmonia_analyze: the codebase-invariant static analyzer CLI.
+ *
+ *   harmonia_analyze [--root DIR] [--json] [--list-rules]
+ *
+ * Scans DIR/src (default: the current directory) with every rule
+ * family in src/analysis and prints a DRC-style report. Exit status:
+ * 0 when the tree has no Error-severity findings, 2 when it does,
+ * 1 on usage or I/O problems. CI runs this as a blocking lint job;
+ * see DESIGN.md §13 for the rule families and the suppression
+ * syntax.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/analyzer.h"
+#include "drc/render.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] [--json] [--list-rules]\n",
+                 argv0);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    bool json = false;
+    bool list_rules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+            list_rules = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (list_rules) {
+        for (const auto &fam : harmonia::analysis::ruleFamilies())
+            std::printf("%-8s %s\n", fam.id, fam.description);
+        return 0;
+    }
+
+    const harmonia::drc::DrcReport report =
+        harmonia::analysis::analyzeTree(root);
+
+    if (json)
+        std::fputs(harmonia::drc::renderJsonLines(report).c_str(),
+                   stdout);
+    else
+        std::fputs(harmonia::drc::renderText(report).c_str(),
+                   stdout);
+
+    if (report.hasRule("ANALYZE-000"))
+        return 1;
+    return report.clean() ? 0 : 2;
+}
