@@ -11,12 +11,17 @@
  * "qps" and "ops" count up; "lat", "ticks", "ns", "us", "ps" count
  * down; anything else is informational and never gates.
  *
- * One absolute gate rides on top of the relative one:
+ * Two absolute gates ride on top of the relative one:
  * "parallel_speedup_x" must clear a floor (default 0.7x) whenever a
  * run reports it, baseline or not — wall-clock ratios are too noisy
  * for percent-regression gating, but the parallel engine ending up
  * drastically slower than the serial one is always a bug. Override
  * the floor with $HARMONIA_SPEEDUP_FLOOR; 0 disables the gate.
+ * Symmetrically, "failover_downtime_cycles" must stay under a ceiling
+ * (default 500000 kernel cycles) whenever a run reports it: the
+ * failover drill is sim-time deterministic, so blowing the ceiling
+ * means the detection-to-promotion path itself got slower. Override
+ * with $HARMONIA_FAILOVER_CEILING; 0 disables the gate.
  */
 
 #include <cstdio>
@@ -61,7 +66,8 @@ metricDirection(const std::string &name)
         return 1;
     if (contains(name, "lat") || contains(name, "ticks") ||
         contains(name, "_ns") || contains(name, "_us") ||
-        contains(name, "_ps"))
+        contains(name, "_ps") || contains(name, "downtime") ||
+        contains(name, "cycles"))
         return -1;
     return 0;
 }
@@ -165,6 +171,34 @@ main(int argc, char **argv)
     if (floor_failures != 0) {
         std::printf("%d scenario(s) below the speedup floor\n",
                     floor_failures);
+        return 1;
+    }
+
+    // --- Absolute ceiling on failover downtime. ---
+    const char *ceil_env = std::getenv("HARMONIA_FAILOVER_CEILING");
+    const double downtime_ceiling =
+        ceil_env != nullptr ? std::strtod(ceil_env, nullptr)
+                            : 500000.0;
+    int ceiling_failures = 0;
+    for (std::size_t i = 0; downtime_ceiling > 0.0 && i < all.size();
+         ++i) {
+        const JsonValue &metrics = all.at(i).get("metrics");
+        if (!metrics.has("failover_downtime_cycles"))
+            continue;
+        const double c =
+            metrics.get("failover_downtime_cycles").asDouble();
+        const bool ok = c <= downtime_ceiling;
+        std::printf("%s %s/failover_downtime_cycles: %.0f "
+                    "(ceiling %.0f)\n",
+                    ok ? "  ok " : "GATE:",
+                    scenarioKey(all.at(i)).c_str(), c,
+                    downtime_ceiling);
+        if (!ok)
+            ++ceiling_failures;
+    }
+    if (ceiling_failures != 0) {
+        std::printf("%d scenario(s) above the downtime ceiling\n",
+                    ceiling_failures);
         return 1;
     }
 

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Failover bench: the headline robustness number — how long a role is
+ * dark between the primary card's last heartbeat and the promoted
+ * standby answering commands. Runs the same deterministic drill as
+ * tests/ha (Xilinx Device A primary, Intel Device D standby, a stream
+ * of journaled policy writes, a device-death window), so the reported
+ * downtime is sim-time exact and safe to regression-gate. Also times
+ * one wire checkpoint drain, the steady-state cost failover pacing
+ * pays while the card is healthy.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_report.h"
+#include "fault/fault_plan.h"
+#include "ha/failover.h"
+#include "roles/sec_gateway.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    Engine engine;
+    const RoleRequirements reqs = SecGateway::standardRequirements();
+    auto primary = Shell::makeTailored(
+        engine, DeviceDatabase::instance().byName("DeviceA"), reqs);
+    auto standby = Shell::makeTailored(
+        engine, DeviceDatabase::instance().byName("DeviceD"), reqs);
+    SecGateway role_p;
+    SecGateway role_s;
+    role_p.bind(engine, *primary);
+    role_s.bind(engine, *standby);
+
+    FailoverConfig cfg;
+    cfg.checkpointInterval = 20'000'000;
+    FailoverCoordinator coord(engine, *primary, *standby, cfg);
+    coord.manageRole(role_p, role_s);
+
+    constexpr Tick kDeathAt = 300'000'000;
+    FaultPlan plan(20240808);
+    plan.addWindow(FaultKind::DeviceDeath, kDeathAt,
+                   10'000'000'000'000ULL, 1.0, "DeviceA");
+    plan.arm();
+
+    std::vector<std::uint64_t> acked_values;
+    std::uint64_t next_value = 1;
+    const auto write_deny = [&] {
+        const std::uint64_t v = next_value++;
+        const CallOutcome out = coord.call(
+            0, kCmdTableWrite,
+            {0xffffffffu, 0xffffffffu, static_cast<std::uint32_t>(v),
+             static_cast<std::uint32_t>(v >> 32), 0});
+        if (out.ok() && out.response.status == kCmdOk)
+            acked_values.push_back(v);
+    };
+
+    // Healthy phase, with one explicitly-timed checkpoint drain.
+    const std::size_t healthy = scaledIters(40, 10);
+    for (std::size_t i = 0; i < healthy; ++i) {
+        write_deny();
+        coord.poll();
+        engine.runFor(2'000'000);
+    }
+    const Tick drain_start = engine.now();
+    if (!coord.checkpointNow()) {
+        std::fprintf(stderr, "healthy checkpoint drain failed\n");
+        return 1;
+    }
+    const Tick drain_ticks = engine.now() - drain_start;
+
+    // Death, detection, promotion.
+    if (engine.now() < kDeathAt)
+        engine.runFor(kDeathAt - engine.now());
+    write_deny();  // lands in the two-generals window
+    for (int i = 0; i < 50 && !coord.failedOver(); ++i) {
+        coord.poll();
+        engine.runFor(5'000'000);
+    }
+    if (!coord.failedOver()) {
+        std::fprintf(stderr, "failover never completed\n");
+        return 1;
+    }
+    for (int i = 0; i < 10; ++i) {
+        write_deny();
+        coord.poll();
+        engine.runFor(2'000'000);
+    }
+
+    // The bench is only meaningful if the invariant held.
+    for (const std::uint64_t v : acked_values)
+        if (role_s.allows(v)) {
+            std::fprintf(stderr,
+                         "acked write %llu missing after failover\n",
+                         static_cast<unsigned long long>(v));
+            return 1;
+        }
+
+    BenchReport("failover", "deviceA_to_deviceD_sec_gateway")
+        .metric("failover_downtime_cycles",
+                static_cast<double>(coord.downtimeCycles()))
+        .metric("failover_downtime_ticks",
+                static_cast<double>(coord.downtimeTicks()))
+        .metric("checkpoint_drain_ticks",
+                static_cast<double>(drain_ticks))
+        .metric("journal_replayed_cmds",
+                static_cast<double>(
+                    coord.stats().value("replayed_commands")))
+        .emit();
+    return 0;
+}

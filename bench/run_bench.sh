@@ -24,6 +24,7 @@ benches=(
     bench_fig10_wrapper
     bench_abl_cdc
     bench_fig17_apps
+    bench_failover
 )
 
 for bench in "${benches[@]}"; do

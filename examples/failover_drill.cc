@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Failover drill: a primary card (Xilinx Device A) dies mid-traffic
+ * and the coordinator promotes a standby from a different vendor
+ * (Intel Device D) — last checkpoint plus journal-tail replay, the
+ * workflow DESIGN.md §14 specifies. A sec_gateway role forwards
+ * loopback traffic while the host keeps appending journaled policy
+ * writes; a DeviceDeath window kills the primary; the watchdog
+ * declares it dead and the coordinator re-seeds the standby.
+ *
+ *   $ ./failover_drill           # fixed default seed, reproducible
+ *   $ ./failover_drill 42        # any other schedule
+ *
+ * The drill prints the measured downtime (failover_downtime_cycles=N,
+ * the number BENCH_harmonia.json tracks), the end-state fingerprint
+ * (bit-identical across reruns of one seed and across
+ * HARMONIA_SIM_THREADS settings), and the verdict line CI greps:
+ * "zero acknowledged-command loss: PASS". Exit is non-zero when any
+ * acknowledged write is missing from the promoted standby. The last
+ * checkpoint blob is dumped to ckpt_failover_drill.bin (gitignored).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "ha/failover.h"
+#include "roles/sec_gateway.h"
+
+using namespace harmonia;
+
+int
+main(int argc, char **argv)
+{
+    const char *seed_env = std::getenv("HARMONIA_CHAOS_SEED");
+    const std::uint64_t seed =
+        argc > 1        ? std::strtoull(argv[1], nullptr, 0)
+        : seed_env != nullptr ? std::strtoull(seed_env, nullptr, 0)
+                              : 20240808ull;
+
+    Engine engine;
+    const RoleRequirements reqs = SecGateway::standardRequirements();
+    auto primary = Shell::makeTailored(
+        engine, DeviceDatabase::instance().byName("DeviceA"), reqs);
+    auto standby = Shell::makeTailored(
+        engine, DeviceDatabase::instance().byName("DeviceD"), reqs);
+
+    SecGateway role_p;
+    SecGateway role_s;
+    role_p.bind(engine, *primary);
+    role_s.bind(engine, *standby);
+
+    FailoverConfig cfg;
+    cfg.checkpointInterval = 25'000'000;
+    FailoverCoordinator coord(engine, *primary, *standby, cfg);
+    coord.manageRole(role_p, role_s);
+
+    // The card dies a third of the way in and never comes back.
+    constexpr Tick kDeathAt = 300'000'000;
+    FaultPlan plan(seed);
+    plan.addWindow(FaultKind::DeviceDeath, kDeathAt,
+                   2'000'000'000'000ULL, 1.0, "DeviceA");
+    plan.arm();
+
+    std::printf("failover drill: primary %s, standby %s, seed %llu\n",
+                primary->name().c_str(), standby->name().c_str(),
+                static_cast<unsigned long long>(seed));
+    std::printf("device death scheduled at t=%llu; checkpoint "
+                "interval %llu ticks\n",
+                static_cast<unsigned long long>(kDeathAt),
+                static_cast<unsigned long long>(
+                    cfg.checkpointInterval));
+
+    // --- Traffic + journaled control writes through the death. ---
+    std::vector<std::uint64_t> acked_values;
+    std::uint64_t next_value = 1;
+    std::uint64_t pkts_injected = 0;
+    const Tick wire = wireTime(512, 100e9);
+    const auto write_deny = [&] {
+        // Deny rules in a range the traffic never uses, each an
+        // exact-match on a unique flow hash.
+        const std::uint64_t v = (1ULL << 32) + next_value++;
+        const CallOutcome out = coord.call(
+            0, kCmdTableWrite,
+            {0xffffffffu, 0xffffffffu, static_cast<std::uint32_t>(v),
+             static_cast<std::uint32_t>(v >> 32), 0});
+        if (out.ok() && out.response.status == kCmdOk)
+            acked_values.push_back(v);
+    };
+
+    bool announced = false;
+    int post_rounds = 0;
+    for (int round = 0; round < 120; ++round) {
+        Shell &active = coord.activeShell();
+        for (int i = 0; i < 4; ++i) {
+            PacketDesc pkt;
+            pkt.bytes = 512;
+            pkt.flowHash = pkts_injected++;
+            pkt.injected = engine.now() + i * wire;
+            active.network().mac().injectRx(pkt, pkt.injected);
+        }
+        if (round % 3 == 0)
+            write_deny();
+        if (coord.poll() && !announced) {
+            announced = true;
+            std::printf("t=%llu: watchdog declared the primary dead; "
+                        "standby promoted\n",
+                        static_cast<unsigned long long>(engine.now()));
+        }
+        engine.runFor(5'000'000);
+        while (active.network().rxAvailable())
+            active.network().rxPop();
+        // A dozen healthy post-failover rounds close out the drill.
+        if (coord.failedOver() && ++post_rounds > 12)
+            break;
+    }
+
+    // --- Accounting. ---
+    std::uint64_t lost = 0;
+    for (const std::uint64_t v : acked_values)
+        if (role_s.allows(v))
+            ++lost;
+
+    std::printf("\ninjected faults: %llu (plan fingerprint %016llx)\n",
+                static_cast<unsigned long long>(plan.injectedTotal()),
+                static_cast<unsigned long long>(plan.fingerprint()));
+    std::printf("journaled calls: %llu acked | checkpoints=%llu "
+                "replayed=%llu restore_failures=%llu\n",
+                static_cast<unsigned long long>(coord.ackedCalls()),
+                static_cast<unsigned long long>(
+                    coord.stats().value("checkpoints")),
+                static_cast<unsigned long long>(
+                    coord.stats().value("replayed_commands")),
+                static_cast<unsigned long long>(
+                    coord.stats().value("restore_failures")));
+    std::printf("standby gateway: %llu policies, %llu packets "
+                "forwarded post-promotion\n",
+                static_cast<unsigned long long>(role_s.policyCount()),
+                static_cast<unsigned long long>(
+                    role_s.stats().value("forwarded_packets")));
+    std::printf("failover_downtime_ticks=%llu\n",
+                static_cast<unsigned long long>(
+                    coord.downtimeTicks()));
+    std::printf("failover_downtime_cycles=%llu\n",
+                static_cast<unsigned long long>(
+                    coord.downtimeCycles()));
+    std::printf("end-state fingerprint %016llx\n",
+                static_cast<unsigned long long>(coord.fingerprint()));
+
+    // Dump the promoted role's state blob — the artifact an operator
+    // would keep as the post-incident baseline.
+    const std::vector<std::uint32_t> blob = role_s.snapshot();
+    if (FILE *f = std::fopen("ckpt_failover_drill.bin", "wb")) {
+        std::fwrite(blob.data(), sizeof(std::uint32_t), blob.size(),
+                    f);
+        std::fclose(f);
+        std::printf("wrote ckpt_failover_drill.bin (%zu words)\n",
+                    blob.size());
+    }
+
+    const bool pass = coord.failedOver() && lost == 0;
+    if (!coord.failedOver())
+        std::printf("\nFAILOVER NEVER COMPLETED\n");
+    std::printf("\nzero acknowledged-command loss: %s",
+                pass ? "PASS" : "FAIL");
+    if (lost != 0)
+        std::printf(" (%llu acked writes missing)",
+                    static_cast<unsigned long long>(lost));
+    std::printf("\n");
+    return pass ? 0 : 1;
+}

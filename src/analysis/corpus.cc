@@ -15,6 +15,10 @@ namespace {
 bool
 isSourceName(const fs::path &p)
 {
+    // Checkpoint blob dumps (ckpt_*.bin and friends) land wherever a
+    // drill runs from; never treat them as lintable sources.
+    if (p.filename().string().rfind("ckpt_", 0) == 0)
+        return false;
     const std::string ext = p.extension().string();
     return ext == ".h" || ext == ".cc";
 }

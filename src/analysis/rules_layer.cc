@@ -50,6 +50,7 @@ layerOrder()
         "workload",  // workload generators
         "obs",       // time-series store, SLO engine, flight recorder
         "host",      // host-side drivers and DMA
+        "ha",        // watchdog + failover orchestration over drivers
         "frameworks",// comparison frameworks
         "analysis",  // this subsystem: nothing may depend on it
     };

@@ -1,0 +1,254 @@
+#include "cmd/checkpoint.h"
+
+#include "cmd/command_codes.h"
+
+namespace harmonia {
+
+namespace {
+
+constexpr std::uint32_t kFnvOffset32 = 2166136261u;
+constexpr std::uint32_t kFnvPrime32 = 16777619u;
+
+std::uint32_t
+fnv1a32(std::uint32_t hash, std::uint32_t word)
+{
+    for (unsigned b = 0; b < 4; ++b) {
+        hash ^= (word >> (8 * b)) & 0xff;
+        hash *= kFnvPrime32;
+    }
+    return hash;
+}
+
+/** Pack @p s into words, 4 bytes per word, zero-padded. */
+void
+packString(const std::string &s, std::vector<std::uint32_t> *out)
+{
+    out->push_back(static_cast<std::uint32_t>(s.size()));
+    for (std::size_t i = 0; i < s.size(); i += 4) {
+        std::uint32_t w = 0;
+        for (std::size_t b = 0; b < 4 && i + b < s.size(); ++b)
+            w |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(s[i + b]))
+                 << (8 * b);
+        out->push_back(w);
+    }
+}
+
+/** Bounded cursor over the blob body; sets truncated on overrun. */
+struct Reader {
+    const std::vector<std::uint32_t> &words;
+    std::size_t at = 0;
+    std::size_t end = 0;
+    bool truncated = false;
+
+    std::uint32_t next()
+    {
+        if (at >= end) {
+            truncated = true;
+            return 0;
+        }
+        return words[at++];
+    }
+};
+
+} // namespace
+
+const char *
+toString(CheckpointError err)
+{
+    switch (err) {
+      case CheckpointError::Ok:
+        return "ok";
+      case CheckpointError::BadMagic:
+        return "bad magic";
+      case CheckpointError::BadVersion:
+        return "codec version skew";
+      case CheckpointError::KindMismatch:
+        return "module kind mismatch";
+      case CheckpointError::Truncated:
+        return "truncated blob";
+      case CheckpointError::BadChecksum:
+        return "checksum mismatch";
+      case CheckpointError::BadPayload:
+        return "unusable payload";
+    }
+    return "?";
+}
+
+std::uint32_t
+checkpointKindId(const std::string &kind_name)
+{
+    std::uint32_t hash = kFnvOffset32;
+    for (const char c : kind_name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= kFnvPrime32;
+    }
+    return hash;
+}
+
+std::uint32_t
+checkpointChecksum(const std::vector<std::uint32_t> &words)
+{
+    std::uint32_t hash = kFnvOffset32;
+    for (const std::uint32_t w : words)
+        hash = fnv1a32(hash, w);
+    return hash;
+}
+
+std::vector<std::uint32_t>
+encodeCheckpoint(std::uint32_t kind_id,
+                 const std::vector<std::pair<std::string,
+                                             std::uint64_t>> &stats,
+                 const std::vector<std::uint32_t> &payload)
+{
+    std::vector<std::uint32_t> out;
+    out.push_back(kCheckpointMagic);
+    out.push_back(kCheckpointVersion);
+    out.push_back(kind_id);
+    out.push_back(static_cast<std::uint32_t>(stats.size()));
+    for (const auto &[name, value] : stats) {
+        packString(name, &out);
+        out.push_back(static_cast<std::uint32_t>(value));
+        out.push_back(static_cast<std::uint32_t>(value >> 32));
+    }
+    out.push_back(static_cast<std::uint32_t>(payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    out.push_back(checkpointChecksum(out));
+    return out;
+}
+
+CheckpointError
+decodeCheckpoint(const std::vector<std::uint32_t> &blob,
+                 std::uint32_t expected_kind_id, CheckpointImage *out)
+{
+    if (blob.size() < 6)
+        return CheckpointError::Truncated;
+    if (blob[0] != kCheckpointMagic)
+        return CheckpointError::BadMagic;
+
+    // Seal first: every later diagnostic should describe an intact
+    // blob, not line noise.
+    const std::vector<std::uint32_t> body(blob.begin(),
+                                          blob.end() - 1);
+    if (blob.back() != checkpointChecksum(body))
+        return CheckpointError::BadChecksum;
+
+    if (blob[1] != kCheckpointVersion)
+        return CheckpointError::BadVersion;
+    if (expected_kind_id != 0 && blob[2] != expected_kind_id)
+        return CheckpointError::KindMismatch;
+
+    Reader rd{blob, 3, blob.size() - 1, false};
+    CheckpointImage img;
+    img.kindId = blob[2];
+
+    const std::uint32_t nstats = rd.next();
+    for (std::uint32_t i = 0; i < nstats && !rd.truncated; ++i) {
+        const std::uint32_t len = rd.next();
+        if (len > 4 * (rd.end - rd.at)) {
+            rd.truncated = true;
+            break;
+        }
+        std::string name;
+        for (std::uint32_t off = 0; off < len; off += 4) {
+            const std::uint32_t w = rd.next();
+            for (std::uint32_t b = 0; b < 4 && off + b < len; ++b)
+                name.push_back(
+                    static_cast<char>((w >> (8 * b)) & 0xff));
+        }
+        const std::uint64_t lo = rd.next();
+        const std::uint64_t hi = rd.next();
+        img.stats.emplace_back(std::move(name), (hi << 32) | lo);
+    }
+
+    const std::uint32_t npayload = rd.next();
+    if (npayload > rd.end - rd.at)
+        return CheckpointError::Truncated;
+    for (std::uint32_t i = 0; i < npayload; ++i)
+        img.payload.push_back(rd.next());
+
+    if (rd.truncated || rd.at != rd.end)
+        return CheckpointError::Truncated;
+
+    *out = std::move(img);
+    return CheckpointError::Ok;
+}
+
+CommandResult
+CheckpointStreamer::serveCheckpoint(
+    const std::vector<std::uint32_t> &req,
+    const std::function<std::vector<std::uint32_t>()> &snapshot)
+{
+    const std::size_t offset = req.empty() ? 0 : req[0];
+    if (offset == 0)
+        readCache_ = snapshot();
+    if (offset > readCache_.size())
+        return {kCmdBadArgument, {}};
+
+    CommandResult res;
+    res.data.push_back(
+        static_cast<std::uint32_t>(readCache_.size()));
+    const std::size_t n =
+        std::min(kChunkWords, readCache_.size() - offset);
+    for (std::size_t i = 0; i < n; ++i)
+        res.data.push_back(readCache_[offset + i]);
+    return res;
+}
+
+CommandResult
+CheckpointStreamer::serveRestore(
+    const std::vector<std::uint32_t> &req,
+    const std::function<CheckpointError(
+        const std::vector<std::uint32_t> &)> &apply)
+{
+    if (req.size() < 2)
+        return {kCmdBadArgument, {}};
+    const std::size_t total = req[0];
+    const std::size_t offset = req[1];
+    const std::size_t n = req.size() - 2;
+    if (total > kMaxBlobWords)
+        return {kCmdBadArgument, {}};
+
+    if (offset == 0) {
+        staging_.clear();
+        expected_ = total;
+    } else if (expected_ != 0 && total == expected_ &&
+               offset + n <= staging_.size()) {
+        // Duplicate of an already-staged chunk (the transport is
+        // lossy and the driver retries): re-ack, don't re-stage.
+        return {kCmdOk,
+                {0, static_cast<std::uint32_t>(staging_.size())}};
+    } else if (expected_ == 0 && hasApplied_ &&
+               total == appliedTotal_ && offset + n == total) {
+        // Retried final chunk after the apply already ran: the ack
+        // was lost in transit, so repeat the verdict.
+        return {appliedErr_ == 0
+                    ? static_cast<std::uint16_t>(kCmdOk)
+                    : static_cast<std::uint16_t>(kCmdBadArgument),
+                {1, appliedErr_}};
+    }
+
+    // Otherwise the chunk must extend the staging buffer exactly
+    // where it ends — holes are rejected.
+    if (total != expected_ || offset != staging_.size() ||
+        n > expected_ - offset)
+        return {kCmdBadArgument, {}};
+    staging_.insert(staging_.end(), req.begin() + 2, req.end());
+
+    if (staging_.size() < expected_)
+        return {kCmdOk,
+                {0, static_cast<std::uint32_t>(staging_.size())}};
+
+    const CheckpointError err = apply(staging_);
+    staging_.clear();
+    expected_ = 0;
+    hasApplied_ = true;
+    appliedTotal_ = total;
+    appliedErr_ = static_cast<std::uint32_t>(err);
+    return {err == CheckpointError::Ok
+                ? static_cast<std::uint16_t>(kCmdOk)
+                : static_cast<std::uint16_t>(kCmdBadArgument),
+            {1, static_cast<std::uint32_t>(err)}};
+}
+
+} // namespace harmonia

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The checkpoint codec: a versioned, deterministic word-stream format
+ * for portable module state (role tables, RBB-visible shell knobs),
+ * plus the chunked transfer service behind the kCmdCheckpoint /
+ * kCmdRestore wire commands. The host drains a module, pulls its
+ * state blob over the command plane in 12-word chunks, and later
+ * re-seeds a twin — possibly on a different vendor's card — from the
+ * same blob. Decoding is total: a truncated, corrupted, version- or
+ * kind-skewed blob yields a diagnostic CheckpointError, never a
+ * crash.
+ *
+ * Envelope layout (uint32 words, little end of each field first):
+ *
+ *   [0] magic 'HCKP'        [1] codec version
+ *   [2] kind id (FNV-1a of the module's kind name)
+ *   [3] stat count, then per stat:
+ *       name length | packed name bytes (4/word) | value lo | hi
+ *   [.] payload word count, then the module-specific payload
+ *   [last] FNV-1a checksum over every preceding word
+ *
+ * Versioning rules (DESIGN.md §14): bump kCheckpointVersion on any
+ * layout change; a restore target accepts exactly its own version
+ * and rejects everything else as BadVersion — state blobs are
+ * failover currency inside one fleet generation, not an archival
+ * format.
+ */
+
+#ifndef HARMONIA_CMD_CHECKPOINT_H_
+#define HARMONIA_CMD_CHECKPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cmd/command.h"
+
+namespace harmonia {
+
+/** 'HCKP' — first word of every checkpoint blob. */
+constexpr std::uint32_t kCheckpointMagic = 0x48434b50;
+
+/** Codec generation; restore accepts exactly this version. */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** Why a blob was rejected (0 == accepted). */
+enum class CheckpointError : std::uint16_t {
+    Ok = 0,
+    BadMagic,      ///< first word is not 'HCKP'
+    BadVersion,    ///< codec version skew between source and target
+    KindMismatch,  ///< blob belongs to a different module kind
+    Truncated,     ///< envelope runs past the end of the blob
+    BadChecksum,   ///< trailer does not match the body
+    BadPayload,    ///< envelope fine, module payload unusable
+};
+
+const char *toString(CheckpointError err);
+
+/** Stable identity of a module kind: FNV-1a over its kind name. */
+std::uint32_t checkpointKindId(const std::string &kind_name);
+
+/** The trailer value sealing @p words (FNV-1a over every word). */
+std::uint32_t checkpointChecksum(const std::vector<std::uint32_t> &words);
+
+/** Decoded envelope contents. */
+struct CheckpointImage {
+    std::uint32_t kindId = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> stats;
+    std::vector<std::uint32_t> payload;
+};
+
+/** Build a sealed blob from counters + module payload. */
+std::vector<std::uint32_t>
+encodeCheckpoint(std::uint32_t kind_id,
+                 const std::vector<std::pair<std::string,
+                                             std::uint64_t>> &stats,
+                 const std::vector<std::uint32_t> &payload);
+
+/**
+ * Validate and unpack @p blob. @p expected_kind_id gates KindMismatch
+ * (pass 0 to accept any kind). On error @p out is untouched.
+ */
+CheckpointError
+decodeCheckpoint(const std::vector<std::uint32_t> &blob,
+                 std::uint32_t expected_kind_id, CheckpointImage *out);
+
+/**
+ * The chunked wire service a CommandTarget delegates kCmdCheckpoint /
+ * kCmdRestore to. Checkpoint requests carry [offset]; offset 0
+ * rebuilds the blob via the snapshot callback and caches it so later
+ * chunks read a consistent image. Responses carry
+ * [total, chunk words...]. Restore requests carry
+ * [total, offset, chunk words...]; offset 0 resets the staging
+ * buffer, and the apply callback runs once the staged blob is
+ * complete — its CheckpointError rides back in the response data.
+ */
+class CheckpointStreamer {
+  public:
+    /** Chunk budget per packet (the planned-command payload limit). */
+    static constexpr std::size_t kChunkWords = 12;
+
+    /** Staging bound: a claimed total past this is BadArgument. */
+    static constexpr std::size_t kMaxBlobWords = 1u << 20;
+
+    CommandResult
+    serveCheckpoint(const std::vector<std::uint32_t> &req,
+                    const std::function<std::vector<std::uint32_t>()>
+                        &snapshot);
+
+    CommandResult
+    serveRestore(const std::vector<std::uint32_t> &req,
+                 const std::function<CheckpointError(
+                     const std::vector<std::uint32_t> &)> &apply);
+
+  private:
+    std::vector<std::uint32_t> readCache_;
+    std::vector<std::uint32_t> staging_;
+    std::size_t expected_ = 0;
+    // Last applied restore, so a retried final chunk (the apply ran
+    // but its ack was lost in transit) is re-acked, not re-staged.
+    std::size_t appliedTotal_ = 0;
+    std::uint32_t appliedErr_ = 0;
+    bool hasApplied_ = false;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_CMD_CHECKPOINT_H_

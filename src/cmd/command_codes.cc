@@ -48,6 +48,10 @@ toString(CommandCode code)
         return "AlertSnapshot";
       case kCmdFlightDump:
         return "FlightDump";
+      case kCmdCheckpoint:
+        return "Checkpoint";
+      case kCmdRestore:
+        return "Restore";
     }
     return "?";
 }

@@ -43,6 +43,10 @@ enum CommandCode : std::uint16_t {
     kCmdSloStatus = 0x0034,
     kCmdAlertSnapshot = 0x0035,
     kCmdFlightDump = 0x0036,
+    // High-availability plane: chunked state checkpoint/restore so a
+    // drained module can be re-seeded on a standby device.
+    kCmdCheckpoint = 0x0037,
+    kCmdRestore = 0x0038,
 };
 
 /** Command execution status in response packets. */

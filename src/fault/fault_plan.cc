@@ -82,6 +82,12 @@ toString(FaultKind kind)
         return "pr_load_fail";
       case FaultKind::LinkFlap:
         return "link_flap";
+      case FaultKind::DeviceDeath:
+        return "device_death";
+      case FaultKind::KernelWedge:
+        return "kernel_wedge";
+      case FaultKind::PrSlotCorrupt:
+        return "pr_slot_corrupt";
       case FaultKind::kCount:
         break;
     }

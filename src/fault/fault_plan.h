@@ -48,6 +48,10 @@ enum class FaultKind : std::uint8_t {
     ThermalExcursion,  ///< add param milli-degC to the die temperature
     PrLoadFail,        ///< a partial-bitstream load comes back corrupt
     LinkFlap,          ///< network link down (level-triggered)
+    // Card-level failure domains (HA plane).
+    DeviceDeath,    ///< card gone: commands lost, responses too
+    KernelWedge,    ///< control kernel wedged: acks never escape
+    PrSlotCorrupt,  ///< an Active PR slot loses its configuration
     kCount,
 };
 

@@ -1,0 +1,238 @@
+#include "ha/failover.h"
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "sim/clock.h"
+
+namespace harmonia {
+
+FailoverCoordinator::FailoverCoordinator(Engine &engine,
+                                         Shell &primary, Shell &standby,
+                                         FailoverConfig config)
+    : engine_(engine), primary_(primary), standby_(standby),
+      cfg_(config), primaryDriver_(engine, primary),
+      standbyDriver_(engine, standby),
+      watchdog_(std::make_unique<Watchdog>(engine, primary,
+                                           config.watchdog)),
+      stats_("failover")
+{
+    if (&primary == &standby)
+        fatal("failover needs two distinct shells");
+}
+
+void
+FailoverCoordinator::manageRole(Role &primary_role, Role &standby_role)
+{
+    if (!primary_role.bound() || !standby_role.bound())
+        fatal("manageRole: both roles must be bound");
+    if (primary_role.name() != standby_role.name())
+        fatal("manageRole: '%s' and '%s' are different kinds",
+              primary_role.name().c_str(),
+              standby_role.name().c_str());
+    if (primary_role.slot() != standby_role.slot())
+        fatal("manageRole: role '%s' occupies slot %u on the primary "
+              "but %u on the standby",
+              primary_role.name().c_str(), primary_role.slot(),
+              standby_role.slot());
+    for (const Pair &p : pairs_)
+        if (p.slot == primary_role.slot())
+            fatal("manageRole: slot %u is already managed",
+                  primary_role.slot());
+    pairs_.push_back(
+        Pair{&primary_role, &standby_role, primary_role.slot(), {}});
+}
+
+CallOutcome
+FailoverCoordinator::call(std::uint8_t slot, std::uint16_t code,
+                          const std::vector<std::uint32_t> &data)
+{
+    journal_.push_back(JournalEntry{slot, code, data, false});
+    CmdDriver &driver =
+        failedOver_ ? standbyDriver_ : primaryDriver_;
+    const CallOutcome out =
+        driver.callChecked(kRoleRbbIdBase, slot, code, data);
+    if (out.ok() && out.response.status == kCmdOk) {
+        journal_.back().acked = true;
+        ++acked_;
+        stats_.counter("acked_calls").inc();
+    } else {
+        stats_.counter("unacked_calls").inc();
+    }
+    return out;
+}
+
+bool
+FailoverCoordinator::fetchBlob(CmdDriver &driver, std::uint8_t slot,
+                               std::vector<std::uint32_t> *blob)
+{
+    blob->clear();
+    std::size_t total = 0;
+    do {
+        const CallOutcome out = driver.callChecked(
+            kRoleRbbIdBase, slot, kCmdCheckpoint,
+            {static_cast<std::uint32_t>(blob->size())});
+        if (!out.ok() || out.response.status != kCmdOk ||
+            out.response.data.empty())
+            return false;
+        total = out.response.data[0];
+        if (out.response.data.size() == 1 && blob->size() < total)
+            return false;  // no progress: would spin forever
+        blob->insert(blob->end(), out.response.data.begin() + 1,
+                     out.response.data.end());
+    } while (blob->size() < total);
+    return blob->size() == total;
+}
+
+bool
+FailoverCoordinator::pushBlob(CmdDriver &driver, std::uint8_t slot,
+                              const std::vector<std::uint32_t> &blob)
+{
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(blob.size());
+    std::size_t offset = 0;
+    while (offset < blob.size()) {
+        const std::size_t n = std::min(CheckpointStreamer::kChunkWords,
+                                       blob.size() - offset);
+        std::vector<std::uint32_t> req = {
+            total, static_cast<std::uint32_t>(offset)};
+        req.insert(req.end(), blob.begin() + offset,
+                   blob.begin() + offset + n);
+        const CallOutcome out = driver.callChecked(
+            kRoleRbbIdBase, slot, kCmdRestore, req);
+        if (!out.ok() || out.response.status != kCmdOk)
+            return false;
+        offset += n;
+        // Final chunk: the response carries [1, CheckpointError].
+        if (offset == blob.size())
+            return out.response.data.size() >= 2 &&
+                   out.response.data[0] == 1 &&
+                   out.response.data[1] == 0;
+    }
+    return false;  // empty blob: nothing to restore is a bug upstream
+}
+
+bool
+FailoverCoordinator::checkpointNow()
+{
+    if (failedOver_)
+        return false;
+    // All-or-nothing: drain into a scratch set, commit only when
+    // every managed role delivered, so blobs + mark stay a
+    // consistent cut.
+    std::vector<std::vector<std::uint32_t>> drained(pairs_.size());
+    for (std::size_t i = 0; i < pairs_.size(); ++i) {
+        if (!fetchBlob(primaryDriver_, pairs_[i].slot, &drained[i])) {
+            stats_.counter("checkpoint_failures").inc();
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < pairs_.size(); ++i)
+        pairs_[i].blob = std::move(drained[i]);
+    // Everything journaled so far is covered by (or definitively
+    // rejected before) this cut; only later entries need replay.
+    journal_.clear();
+    lastCheckpointAt_ = engine_.now();
+    everCheckpointed_ = true;
+    stats_.counter("checkpoints").inc();
+    return true;
+}
+
+bool
+FailoverCoordinator::failover()
+{
+    if (failedOver_)
+        return false;
+    const Tick last_alive = watchdog_->lastAliveAt();
+    stats_.counter("failovers").inc();
+    if (FlightRecorder *fdr = FlightRecorder::active())
+        fdr->noteRecovery(stats_.name(), "failover_started",
+                          engine_.now());
+
+    // Re-seed shell-level RBB state (module init, host queue
+    // config) so the standby's shell matches a freshly-provisioned
+    // card before role state lands on it.
+    standbyDriver_.initializeAll();
+
+    for (Pair &p : pairs_) {
+        if (p.blob.empty())
+            continue;  // never checkpointed: replay rebuilds from 0
+        if (!pushBlob(standbyDriver_, p.slot, p.blob)) {
+            stats_.counter("restore_failures").inc();
+            return false;
+        }
+    }
+
+    // Replay the journal tail in issue order, acked or not:
+    // at-least-once delivery closes the two-generals window.
+    for (JournalEntry &e : journal_) {
+        const CallOutcome out = standbyDriver_.callChecked(
+            kRoleRbbIdBase, e.slot, e.code, e.data);
+        if (!out.ok() || out.response.status != kCmdOk) {
+            stats_.counter("replay_failures").inc();
+            return false;
+        }
+        e.acked = true;
+        stats_.counter("replayed_commands").inc();
+    }
+
+    failedOver_ = true;
+    watchdog_ =
+        std::make_unique<Watchdog>(engine_, standby_, cfg_.watchdog);
+    if (!watchdog_->beat()) {
+        stats_.counter("standby_unresponsive").inc();
+        return false;
+    }
+    downtimeTicks_ =
+        last_alive != 0 ? engine_.now() - last_alive : 0;
+    stats_.counter("downtime_ticks").inc(downtimeTicks_);
+    if (FlightRecorder *fdr = FlightRecorder::active())
+        fdr->noteRecovery(stats_.name(), "failover_complete",
+                          engine_.now());
+    return true;
+}
+
+bool
+FailoverCoordinator::poll()
+{
+    watchdog_->poll();
+    if (failedOver_)
+        return false;
+    if (watchdog_->dead())
+        return failover();
+    // Don't attempt a drain while the card is suspect (missed
+    // beats): every chunk call would burn a full retry ladder, and
+    // the last good cut already covers the acked history.
+    if (watchdog_->consecutiveMisses() == 0 &&
+        (!everCheckpointed_ ||
+         engine_.now() >= lastCheckpointAt_ + cfg_.checkpointInterval))
+        checkpointNow();
+    return false;
+}
+
+Cycles
+FailoverCoordinator::downtimeCycles() const
+{
+    const Clock *clk = standby_.kernelClock();
+    return clk != nullptr ? clk->ticksToCycles(downtimeTicks_)
+                          : 0;
+}
+
+std::uint64_t
+FailoverCoordinator::fingerprint() const
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    const auto mix = [&hash](std::uint32_t w) {
+        for (unsigned b = 0; b < 4; ++b) {
+            hash ^= (w >> (8 * b)) & 0xff;
+            hash *= 1099511628211ULL;
+        }
+    };
+    for (const Pair &p : pairs_) {
+        const Role *role = failedOver_ ? p.standby : p.primary;
+        for (const std::uint32_t w : role->snapshot())
+            mix(w);
+    }
+    return hash;
+}
+
+} // namespace harmonia

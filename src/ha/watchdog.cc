@@ -1,0 +1,72 @@
+#include "ha/watchdog.h"
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/slo.h"
+
+namespace harmonia {
+
+Watchdog::Watchdog(Engine &engine, Shell &shell, WatchdogConfig config)
+    : engine_(engine), shell_(shell), cfg_(config),
+      driver_(engine, shell, kCtrlBmc),
+      stats_(format("watchdog_%s", shell.name().c_str()))
+{
+    if (cfg_.missThreshold == 0)
+        fatal("watchdog miss threshold must be >= 1");
+    // One attempt per beat: the watchdog's own cadence IS the retry
+    // loop, and per-beat backoff would smear the detection latency.
+    RetryPolicy p;
+    p.maxAttempts = 1;
+    driver_.setRetryPolicy(p);
+}
+
+bool
+Watchdog::beat()
+{
+    lastBeatAt_ = engine_.now();
+    everBeat_ = true;
+    stats_.counter("beats").inc();
+
+    const CallOutcome out = driver_.callChecked(
+        kRbbSystem, 0, kCmdTimeCount, {}, cfg_.timeout);
+    if (out.ok() && out.response.status == kCmdOk) {
+        misses_ = 0;
+        lastAliveAt_ = engine_.now();
+        if (dead_) {
+            dead_ = false;
+            stats_.counter("revivals").inc();
+            if (FlightRecorder *fdr = FlightRecorder::active())
+                fdr->noteRecovery(stats_.name(), "revived",
+                                  engine_.now());
+        }
+        return true;
+    }
+
+    ++misses_;
+    stats_.counter("missed_beats").inc();
+    const bool corroborated =
+        slo_ != nullptr && slo_->anyActive() && misses_ >= 1;
+    if (!dead_ && (misses_ >= cfg_.missThreshold || corroborated)) {
+        dead_ = true;
+        stats_.counter("deaths_declared").inc();
+        if (FlightRecorder *fdr = FlightRecorder::active())
+            fdr->noteRecovery(stats_.name(),
+                              corroborated &&
+                                      misses_ < cfg_.missThreshold
+                                  ? "declared_dead_slo"
+                                  : "declared_dead",
+                              engine_.now());
+    }
+    return false;
+}
+
+bool
+Watchdog::poll()
+{
+    if (everBeat_ && engine_.now() < lastBeatAt_ + cfg_.interval)
+        return false;
+    beat();
+    return true;
+}
+
+} // namespace harmonia

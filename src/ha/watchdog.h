@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host-side failure-domain watchdog. A card that dies takes its
+ * control kernel with it, so the only trustworthy liveness signal is
+ * end-to-end: a heartbeat command (kCmdTimeCount at the kernel's
+ * system target) that must come back within a deadline. N consecutive
+ * misses declare the device dead; a later successful beat (the fault
+ * window closed) revives it. An attached SloEngine corroborates:
+ * while any SLO is pending or firing, a single miss is enough —
+ * burn-rate evidence plus a silent kernel is not a coincidence.
+ *
+ * The watchdog is deliberately NOT a Component: issuing a command
+ * advances the engine (CmdDriver::call runs the simulation until the
+ * kernel answers), which a tick() may never do. Hosts pace it with
+ * poll() from their orchestration loop, exactly like CmdDriver use.
+ */
+
+#ifndef HARMONIA_HA_WATCHDOG_H_
+#define HARMONIA_HA_WATCHDOG_H_
+
+#include "host/cmd_driver.h"
+
+namespace harmonia {
+
+class SloEngine;
+
+/** Watchdog thresholds (DESIGN.md §14). */
+struct WatchdogConfig {
+    Tick interval = 10'000'000;  ///< 10 us between heartbeats
+    Tick timeout = 4'000'000;    ///< per-beat response deadline
+    unsigned missThreshold = 3;  ///< consecutive misses => dead
+};
+
+/** Heartbeat-driven liveness detector for one shell. */
+class Watchdog {
+  public:
+    Watchdog(Engine &engine, Shell &shell, WatchdogConfig config = {});
+
+    const WatchdogConfig &config() const { return cfg_; }
+
+    /** Corroborating SLO engine (may be null). */
+    void attachSlo(const SloEngine *slo) { slo_ = slo; }
+
+    /**
+     * Issue one heartbeat now, regardless of pacing. Returns whether
+     * the device answered. Updates the dead/alive verdict.
+     */
+    bool beat();
+
+    /**
+     * Beat when the interval has elapsed since the last beat (always
+     * beats on the first call). Returns whether a beat was issued.
+     */
+    bool poll();
+
+    bool dead() const { return dead_; }
+    unsigned consecutiveMisses() const { return misses_; }
+
+    /** Last simulated time the device answered a beat (0 = never). */
+    Tick lastAliveAt() const { return lastAliveAt_; }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    Engine &engine_;
+    Shell &shell_;
+    WatchdogConfig cfg_;
+    CmdDriver driver_;
+    const SloEngine *slo_ = nullptr;
+    unsigned misses_ = 0;
+    Tick lastAliveAt_ = 0;
+    Tick lastBeatAt_ = 0;
+    bool everBeat_ = false;
+    bool dead_ = false;
+    StatGroup stats_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_HA_WATCHDOG_H_

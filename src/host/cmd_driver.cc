@@ -76,11 +76,25 @@ CmdDriver::attemptOnce(const CommandPacket &pkt, Tick timeout,
         ++commands_;
     }
 
+    // Card-level failure domains key on the shell's name, not the
+    // driver's: every driver talking to a dead card sees it dead. A
+    // dead device swallows the command outright; a wedged kernel
+    // still receives and may execute it, but its ack never escapes —
+    // the classic two-generals window the failover path's
+    // at-least-once replay is written for.
+    std::uint64_t param = 0;
+    const bool device_dead = injectFault(FaultKind::DeviceDeath,
+                                         shell_.name(), engine_.now());
+    if (device_dead)
+        stats_.counter("device_dead_drops").inc();
+
     // Fault hooks on the downstream leg. A dropped command never
     // reaches the kernel; a truncated or corrupted one arrives and
     // exercises the kernel's decode error handling.
-    std::uint64_t param = 0;
-    if (injectFault(FaultKind::CmdDrop, target, engine_.now())) {
+    if (device_dead) {
+        // Fall through to the deadline wait so death looks like any
+        // other timeout to the retry machinery.
+    } else if (injectFault(FaultKind::CmdDrop, target, engine_.now())) {
         stats_.counter("commands_dropped").inc();
     } else {
         if (injectFault(FaultKind::CmdTruncate, target, engine_.now(),
@@ -116,6 +130,15 @@ CmdDriver::attemptOnce(const CommandPacket &pkt, Tick timeout,
 
         std::vector<std::uint8_t> rbytes =
             shell_.kernel().popResponseBytes();
+        // A dead card or wedged kernel blackholes the upstream leg:
+        // whatever the kernel produced never reaches the host.
+        if (injectFault(FaultKind::DeviceDeath, shell_.name(),
+                        engine_.now()) ||
+            injectFault(FaultKind::KernelWedge, shell_.name(),
+                        engine_.now())) {
+            stats_.counter("responses_blackholed").inc();
+            continue;
+        }
         // Fault hooks on the upstream leg.
         if (injectFault(FaultKind::RespDrop, target, engine_.now())) {
             stats_.counter("responses_dropped").inc();

@@ -1,5 +1,8 @@
 #include "roles/l4lb.h"
 
+#include <map>
+#include <set>
+
 #include "common/logging.h"
 
 namespace harmonia {
@@ -134,6 +137,88 @@ Layer4Lb::evictOldest()
         }
     }
     fatal("connection table full but eviction FIFO empty");
+}
+
+std::vector<std::uint32_t>
+Layer4Lb::snapshotPayload() const
+{
+    std::vector<std::uint32_t> out;
+    out.push_back(numServers_);
+    std::uint32_t bits = 0;
+    for (unsigned s = 0; s < numServers_; ++s) {
+        if (healthy_[s])
+            bits |= 1u << (s % 32);
+        if (s % 32 == 31 || s + 1 == numServers_) {
+            out.push_back(bits);
+            bits = 0;
+        }
+    }
+
+    out.push_back(static_cast<std::uint32_t>(connTable_.size()));
+    // Walk the FIFO, not the hash table: pin order is the state. A
+    // live key's first FIFO occurrence is its effective eviction
+    // position (re-opened flows inherit their oldest slot), so emit
+    // exactly that one.
+    std::set<std::uint64_t> emitted;
+    for (const std::uint64_t key : evictFifo_) {
+        const auto it = connTable_.find(key);
+        if (it == connTable_.end() || !emitted.insert(key).second)
+            continue;
+        out.push_back(static_cast<std::uint32_t>(key));
+        out.push_back(static_cast<std::uint32_t>(key >> 32));
+        out.push_back(it->second);
+    }
+    return out;
+}
+
+CheckpointError
+Layer4Lb::restorePayload(const std::vector<std::uint32_t> &payload)
+{
+    std::size_t at = 0;
+    const auto next = [&](std::uint32_t *w) {
+        if (at >= payload.size())
+            return false;
+        *w = payload[at++];
+        return true;
+    };
+
+    std::uint32_t servers = 0;
+    if (!next(&servers) || servers != numServers_)
+        return CheckpointError::BadPayload;
+
+    std::vector<bool> healthy(numServers_, false);
+    std::uint32_t bits = 0;
+    for (unsigned s = 0; s < numServers_; ++s) {
+        if (s % 32 == 0 && !next(&bits))
+            return CheckpointError::BadPayload;
+        healthy[s] = (bits >> (s % 32)) & 1;
+    }
+
+    std::uint32_t conns = 0;
+    if (!next(&conns) ||
+        payload.size() - at != 3 * static_cast<std::size_t>(conns))
+        return CheckpointError::BadPayload;
+
+    std::map<std::uint64_t, unsigned> table;
+    std::deque<std::uint64_t> fifo;
+    for (std::uint32_t i = 0; i < conns; ++i) {
+        std::uint32_t lo = 0, hi = 0, server = 0;
+        next(&lo);
+        next(&hi);
+        next(&server);
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(hi) << 32) | lo;
+        if (server >= numServers_ || table.count(key) != 0)
+            return CheckpointError::BadPayload;
+        table.emplace(key, server);
+        fifo.push_back(key);
+    }
+
+    healthy_ = std::move(healthy);
+    connTable_.clear();
+    connTable_.insert(table.begin(), table.end());
+    evictFifo_ = std::move(fifo);
+    return CheckpointError::Ok;
 }
 
 void

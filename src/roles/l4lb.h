@@ -52,6 +52,17 @@ class Layer4Lb : public Role {
 
     void tick() override;
 
+  protected:
+    /**
+     * State words: [numServers, healthy bits packed 32/word, conn
+     * count, per-conn key lo/hi + server in pin order]. Pin order is
+     * part of the state — eviction on the restored twin must pick the
+     * same victims the primary would have.
+     */
+    std::vector<std::uint32_t> snapshotPayload() const override;
+    CheckpointError
+    restorePayload(const std::vector<std::uint32_t> &payload) override;
+
   private:
     /** Evict the oldest still-pinned flow (FIFO order). */
     void evictOldest();

@@ -129,6 +129,110 @@ Retrieval::queryServiceTime() const
                              kTicksPerSecond);
 }
 
+std::vector<std::uint32_t>
+Retrieval::snapshotPayload() const
+{
+    std::vector<std::uint32_t> out;
+    const auto push64 = [&](std::uint64_t v) {
+        out.push_back(static_cast<std::uint32_t>(v));
+        out.push_back(static_cast<std::uint32_t>(v >> 32));
+    };
+
+    push64(corpusItems_);
+
+    out.push_back(static_cast<std::uint32_t>(pending_.size()));
+    for (const auto &[id, submitted] : pending_) {
+        push64(id);
+        push64(submitted);
+    }
+
+    out.push_back(busy_ ? 1 : 0);
+    push64(activeQuery_);
+    push64(activeSubmitted_);
+    push64(busyUntil_);
+
+    out.push_back(static_cast<std::uint32_t>(results_.size()));
+    for (const RetrievalResult &r : results_) {
+        push64(r.queryId);
+        push64(r.submitted);
+        push64(r.completed);
+        out.push_back(static_cast<std::uint32_t>(r.topK.size()));
+        for (const auto &[item, item_score] : r.topK) {
+            push64(item);
+            out.push_back(static_cast<std::uint32_t>(item_score));
+        }
+    }
+    return out;
+}
+
+CheckpointError
+Retrieval::restorePayload(const std::vector<std::uint32_t> &payload)
+{
+    std::size_t at = 0;
+    bool short_read = false;
+    const auto next = [&]() -> std::uint32_t {
+        if (at >= payload.size()) {
+            short_read = true;
+            return 0;
+        }
+        return payload[at++];
+    };
+    const auto next64 = [&]() -> std::uint64_t {
+        const std::uint64_t lo = next();
+        return lo | (static_cast<std::uint64_t>(next()) << 32);
+    };
+
+    const std::uint64_t corpus = next64();
+    if (corpus == 0)
+        return CheckpointError::BadPayload;
+
+    std::deque<std::pair<std::uint64_t, Tick>> pending;
+    const std::uint32_t npending = next();
+    for (std::uint32_t i = 0; i < npending && !short_read; ++i) {
+        const std::uint64_t id = next64();
+        pending.emplace_back(id, next64());
+    }
+
+    const bool busy = next() != 0;
+    const std::uint64_t active_query = next64();
+    const Tick active_submitted = next64();
+    const Tick busy_until = next64();
+
+    std::deque<RetrievalResult> results;
+    const std::uint32_t nresults = next();
+    for (std::uint32_t i = 0; i < nresults && !short_read; ++i) {
+        RetrievalResult r;
+        r.queryId = next64();
+        r.submitted = next64();
+        r.completed = next64();
+        const std::uint32_t k = next();
+        for (std::uint32_t j = 0; j < k && !short_read; ++j) {
+            const std::uint64_t item = next64();
+            r.topK.emplace_back(
+                item, static_cast<std::int32_t>(next()));
+        }
+        results.push_back(std::move(r));
+    }
+
+    if (short_read || at != payload.size())
+        return CheckpointError::BadPayload;
+
+    corpusItems_ = corpus;
+    pending_ = std::move(pending);
+    results_ = std::move(results);
+    busy_ = busy;
+    activeQuery_ = active_query;
+    activeSubmitted_ = active_submitted;
+    busyUntil_ = busy_until;
+    readsOutstanding_ = 0;
+
+    // The standby's memory store is cold; re-derive the functional
+    // corpus (embeddings are pure functions of item index).
+    if (bound() && corpusItems_ <= kFunctionalLimit)
+        populateCorpus();
+    return CheckpointError::Ok;
+}
+
 void
 Retrieval::tick()
 {

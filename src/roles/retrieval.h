@@ -73,6 +73,19 @@ class Retrieval : public Role {
 
     void tick() override;
 
+  protected:
+    /**
+     * State words: corpus size, the pending queue, the in-flight
+     * query (absolute ticks stay valid — primary and standby share
+     * one simulated timeline) and undrained results. Outstanding
+     * memory reads are deliberately NOT carried: the standby's
+     * memory RBB never saw them, so restore re-arms with zero and
+     * the service-time gate alone finishes the active query.
+     */
+    std::vector<std::uint32_t> snapshotPayload() const override;
+    CheckpointError
+    restorePayload(const std::vector<std::uint32_t> &payload) override;
+
   private:
     RetrievalConfig cfg_;
     std::uint64_t corpusItems_ = 1 << 14;

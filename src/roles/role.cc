@@ -1,6 +1,7 @@
 #include "roles/role.h"
 
 #include "common/logging.h"
+#include "sim/engine.h"
 
 namespace harmonia {
 
@@ -49,6 +50,52 @@ Role::bind(Engine &engine, Shell &shell, std::uint8_t slot)
     shell.kernel().registerTarget(kRoleRbbIdBase, slot, this);
 }
 
+void
+Role::unbind()
+{
+    if (shell_ == nullptr)
+        return;
+    shell_->kernel().unregisterTarget(kRoleRbbIdBase, slot_);
+    if (engine() != nullptr)
+        engine()->remove(this);
+    shell_ = nullptr;
+    slot_ = 0;
+}
+
+std::uint32_t
+Role::checkpointKind() const
+{
+    return checkpointKindId(name());
+}
+
+std::vector<std::uint32_t>
+Role::snapshot() const
+{
+    return encodeCheckpoint(checkpointKind(), stats_.snapshot(),
+                            snapshotPayload());
+}
+
+CheckpointError
+Role::restore(const std::vector<std::uint32_t> &blob)
+{
+    CheckpointImage img;
+    const CheckpointError err =
+        decodeCheckpoint(blob, checkpointKind(), &img);
+    if (err != CheckpointError::Ok)
+        return err;
+
+    // Payload first: if the kind-specific state is unusable the
+    // counters stay untouched.
+    const CheckpointError perr = restorePayload(img.payload);
+    if (perr != CheckpointError::Ok)
+        return perr;
+
+    stats_.resetAll();
+    for (const auto &[sname, value] : img.stats)
+        stats_.counter(sname).inc(value);
+    return CheckpointError::Ok;
+}
+
 Shell &
 Role::shell()
 {
@@ -67,6 +114,14 @@ CommandResult
 Role::executeCommand(std::uint16_t code,
                      const std::vector<std::uint32_t> &data)
 {
+    if (code == kCmdCheckpoint)
+        return ckptStream_.serveCheckpoint(
+            data, [this] { return snapshot(); });
+    if (code == kCmdRestore)
+        return ckptStream_.serveRestore(
+            data, [this](const std::vector<std::uint32_t> &blob) {
+                return restore(blob);
+            });
     if (code == kCmdStatsSnapshot) {
         const std::uint32_t start = data.empty() ? 0 : data[0];
         const auto snap = stats_.snapshot();

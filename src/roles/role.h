@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "cmd/checkpoint.h"
 #include "cmd/command.h"
 #include "common/stats.h"
 #include "shell/tailoring.h"
@@ -50,6 +51,15 @@ class Role : public Component, public CommandTarget {
                       std::uint8_t slot = 0);
 
     /**
+     * Undo bind(): deregister the command target from the old
+     * kernel, detach from the engine, and clear the shell pointer so
+     * the role can bind() again — possibly to a different shell. The
+     * failover path migrates roles this way; the PR controller uses
+     * it when it scrubs a corrupted slot.
+     */
+    virtual void unbind();
+
+    /**
      * Whether the role partition is live. Partial reconfiguration
      * deactivates a role while its slot is being rewritten; concrete
      * roles gate their datapaths on this.
@@ -66,6 +76,25 @@ class Role : public Component, public CommandTarget {
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /**
+     * Checkpoint identity: FNV-1a of the role's name. Twin roles of
+     * the same kind carry the same name by construction, so a blob
+     * snapshotted on one device restores on its standby twin and on
+     * nothing else.
+     */
+    std::uint32_t checkpointKind() const;
+
+    /** Sealed state blob: stats + kind-specific payload. */
+    std::vector<std::uint32_t> snapshot() const;
+
+    /**
+     * Re-seed this role from @p blob. Total: a skewed or corrupt
+     * blob yields a diagnostic and leaves the role untouched. The
+     * kind-specific payload applies before the stat counters so a
+     * payload rejection cannot leave half-restored state.
+     */
+    CheckpointError restore(const std::vector<std::uint32_t> &blob);
+
     /** Default: roles answer status reads with their stats. */
     CommandResult
     executeCommand(std::uint16_t code,
@@ -75,11 +104,26 @@ class Role : public Component, public CommandTarget {
     Shell &shell();
     const Shell &shell() const;
 
+    /** Kind-specific state words (default: stateless). */
+    virtual std::vector<std::uint32_t> snapshotPayload() const
+    {
+        return {};
+    }
+
+    /** Apply kind-specific state (default: accept only empty). */
+    virtual CheckpointError
+    restorePayload(const std::vector<std::uint32_t> &payload)
+    {
+        return payload.empty() ? CheckpointError::Ok
+                               : CheckpointError::BadPayload;
+    }
+
   private:
     RoleArch arch_;
     RoleRequirements reqs_;
     Shell *shell_ = nullptr;
     StatGroup stats_;
+    CheckpointStreamer ckptStream_;
     bool active_ = true;
     std::uint8_t slot_ = 0;
 };

@@ -60,6 +60,49 @@ SecGateway::tick()
     }
 }
 
+std::vector<std::uint32_t>
+SecGateway::snapshotPayload() const
+{
+    std::vector<std::uint32_t> out;
+    out.push_back(static_cast<std::uint32_t>(policies_.size()));
+    for (const GatewayPolicy &p : policies_) {
+        out.push_back(static_cast<std::uint32_t>(p.mask));
+        out.push_back(static_cast<std::uint32_t>(p.mask >> 32));
+        out.push_back(static_cast<std::uint32_t>(p.value));
+        out.push_back(static_cast<std::uint32_t>(p.value >> 32));
+        out.push_back(p.allow ? 1 : 0);
+    }
+    out.push_back(defaultAllow_ ? 1 : 0);
+    return out;
+}
+
+CheckpointError
+SecGateway::restorePayload(const std::vector<std::uint32_t> &payload)
+{
+    if (payload.empty())
+        return CheckpointError::BadPayload;
+    const std::size_t count = payload[0];
+    if (payload.size() != 2 + 5 * count)
+        return CheckpointError::BadPayload;
+
+    std::vector<GatewayPolicy> policies;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t at = 1 + 5 * i;
+        GatewayPolicy p;
+        p.mask = (static_cast<std::uint64_t>(payload[at + 1]) << 32) |
+                 payload[at];
+        p.value =
+            (static_cast<std::uint64_t>(payload[at + 3]) << 32) |
+            payload[at + 2];
+        p.allow = payload[at + 4] != 0;
+        policies.push_back(p);
+    }
+
+    policies_ = std::move(policies);
+    defaultAllow_ = payload.back() != 0;
+    return CheckpointError::Ok;
+}
+
 CommandResult
 SecGateway::executeCommand(std::uint16_t code,
                            const std::vector<std::uint32_t> &data)

@@ -50,6 +50,12 @@ class SecGateway : public Role {
     executeCommand(std::uint16_t code,
                    const std::vector<std::uint32_t> &data) override;
 
+    /** State words: [policy count, per-policy mask lo/hi + value
+     *  lo/hi + allow (in match order), default allow]. */
+    std::vector<std::uint32_t> snapshotPayload() const override;
+    CheckpointError
+    restorePayload(const std::vector<std::uint32_t> &payload) override;
+
   private:
     std::vector<GatewayPolicy> policies_;
     bool defaultAllow_ = true;

@@ -154,6 +154,29 @@ PrController::tick()
 {
     for (std::size_t i = 0; i < slots_.size(); ++i) {
         Slot &s = slots_[i];
+        // Fault hook: a single-event upset wipes an Active slot's
+        // configuration. The occupant is deactivated and its command
+        // target released — exactly the scrub path — so the tenant
+        // must be re-loaded (and re-seeded from a checkpoint) to
+        // come back.
+        if (s.state == PrSlotState::Active &&
+            injectFault(FaultKind::PrSlotCorrupt,
+                        format("%s/slot%zu", name().c_str(), i),
+                        now())) {
+            if (s.role != nullptr) {
+                s.role->setActive(false);
+                shell_.kernel().unregisterTarget(
+                    kRoleRbbIdBase, static_cast<std::uint8_t>(i));
+            }
+            s.role = nullptr;
+            s.state = PrSlotState::Empty;
+            s.doneAt = 0;
+            s.attempts = 0;
+            stats_.counter("slots_corrupted").inc();
+            trace(*this, "slot %zu configuration corrupted; scrubbed",
+                  i);
+            continue;
+        }
         if (s.state != PrSlotState::Reconfiguring || now() < s.doneAt)
             continue;
         // Fault hook: the post-load readback CRC failed. Re-stream

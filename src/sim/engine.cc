@@ -110,6 +110,25 @@ Engine::add(Component *c, Clock *clk)
 }
 
 void
+Engine::remove(Component *c)
+{
+    if (c == nullptr)
+        fatal("Engine::remove: null component");
+    if (c->engine_ != this)
+        fatal("component '%s' is not registered on this engine",
+              c->name().c_str());
+    Domain *d = findDomain(c->clock_);
+    if (d == nullptr)
+        fatal("component '%s' has no domain here", c->name().c_str());
+    auto &comps = d->components;
+    comps.erase(std::remove(comps.begin(), comps.end(), c),
+                comps.end());
+    c->engine_ = nullptr;
+    c->clock_ = nullptr;
+    groupsDirty_ = true;
+}
+
+void
 Engine::scheduleEvent(Tick t)
 {
     events_.push(t);

@@ -62,6 +62,13 @@ class Engine {
     void add(Component *c, Clock *clk);
 
     /**
+     * Deregister @p c from its domain so it can be add()ed again —
+     * possibly on a different engine (role failover moves roles
+     * between shells this way). @p c must be registered here.
+     */
+    void remove(Component *c);
+
+    /**
      * Declare that the domains of @p a and @p b exchange state through
      * direct calls and must never tick concurrently. Transitive: fusing
      * a-b and b-c puts all three in one group.

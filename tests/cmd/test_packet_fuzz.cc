@@ -34,6 +34,7 @@ allCodes()
         kCmdPrUnload,         kCmdPrStatus,          kCmdTelemetryList,
         kCmdTelemetrySnapshot, kCmdProfileSnapshot,  kCmdProfileReset,
         kCmdSloStatus,        kCmdAlertSnapshot,     kCmdFlightDump,
+        kCmdCheckpoint,       kCmdRestore,
     };
     return codes;
 }
@@ -305,10 +306,11 @@ TEST(PacketFuzz, PureGarbageNeverCrashes)
             b = static_cast<std::uint8_t>(rng());
         ASSERT_TRUE(rig.kernel.submitBytes(bytes));
         rig.settle();
-        if (bytes.size() >= 4)
+        if (bytes.size() >= 4) {
             EXPECT_GE(rig.errorTotal() +
                           rig.count("commands_executed"),
                       1u);
+        }
     }
 }
 

@@ -356,6 +356,77 @@ TEST(DegradedMode, OverTempShedsLoadThenRestoresWithHysteresis)
     EXPECT_EQ(recovery.stats().value("restore_events"), 1u);
 }
 
+TEST(DegradedMode, ExactHysteresisBoundaryDoesNotOscillate)
+{
+    // The die settles EXACTLY at limit - hysteresis (the restore
+    // boundary is `temp + hysteresis <= limit`, so this is the
+    // hottest temperature that still counts as cool). One excursion
+    // trips the alarm; afterwards the manager must restore exactly
+    // once and never flap, because the hysteresis margin guarantees
+    // a restorable die cannot immediately re-alarm.
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, deviceA());
+    RecoveryManager recovery(engine, *shell);
+
+    // Thermal model: temp = ambient + utilization rise + ripple,
+    // ripple in [0, 1875]. Zero the utilization so temperature is
+    // exactly ambient + ripple, then put the ripple CEILING on the
+    // boundary so every sample is at or below it — the worst legal
+    // hovering card.
+    shell->health().setUtilization(0.0);
+    const std::uint32_t limit = shell->health().tempLimitMilliC();
+    const std::uint32_t hysteresis =
+        recovery.config().hysteresisMilliC;
+    shell->health().setAmbientMilliC(limit - hysteresis - 1'875);
+
+    FaultPlan plan(13);
+    plan.addOneShot(FaultKind::ThermalExcursion, 0, "", 60'000);
+    plan.arm();
+
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] { return recovery.degraded(); }, 200'000'000));
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] { return !recovery.degraded(); }, 500'000'000));
+
+    // Many hysteresis windows later: still exactly one cycle.
+    engine.runFor(500'000'000);
+    EXPECT_EQ(recovery.stats().value("degrade_events"), 1u);
+    EXPECT_EQ(recovery.stats().value("restore_events"), 1u);
+    EXPECT_FALSE(recovery.degraded());
+    plan.disarm();
+}
+
+TEST(DegradedMode, InsideHysteresisBandStaysLatchedDegraded)
+{
+    // One ripple step past the boundary: the die hovers strictly
+    // inside (limit - hysteresis, limit). Not cool enough to
+    // restore, not hot enough to re-alarm — the manager must stay
+    // latched degraded rather than flap.
+    Engine engine;
+    auto shell = Shell::makeUnified(engine, deviceA());
+    RecoveryManager recovery(engine, *shell);
+
+    shell->health().setUtilization(0.0);
+    const std::uint32_t limit = shell->health().tempLimitMilliC();
+    const std::uint32_t hysteresis =
+        recovery.config().hysteresisMilliC;
+    // Coolest sample (ripple 0) is one step above the boundary;
+    // hottest (ripple 1875) stays below the limit.
+    shell->health().setAmbientMilliC(limit - hysteresis + 125);
+
+    FaultPlan plan(13);
+    plan.addOneShot(FaultKind::ThermalExcursion, 0, "", 60'000);
+    plan.arm();
+
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] { return recovery.degraded(); }, 200'000'000));
+    engine.runFor(1'000'000'000);
+    EXPECT_TRUE(recovery.degraded());
+    EXPECT_EQ(recovery.stats().value("degrade_events"), 1u);
+    EXPECT_EQ(recovery.stats().value("restore_events"), 0u);
+    plan.disarm();
+}
+
 TEST(DegradedMode, LinkFlapPausesMacAndCountsDownTicks)
 {
     Engine engine;

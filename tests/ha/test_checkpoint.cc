@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Checkpoint codec + role snapshot/restore tests: round trips for all
+ * four roles, total decoding of skewed/corrupt/truncated blobs, and
+ * the chunked kCmdCheckpoint / kCmdRestore wire path matching the
+ * in-process blob bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "cmd/checkpoint.h"
+#include "host/cmd_driver.h"
+#include "roles/board_test.h"
+#include "roles/l4lb.h"
+#include "roles/retrieval.h"
+#include "roles/sec_gateway.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+/** Re-seal a tampered blob so only the tampered field is at fault. */
+void
+reseal(std::vector<std::uint32_t> &blob)
+{
+    std::vector<std::uint32_t> body(blob.begin(), blob.end() - 1);
+    blob.back() = checkpointChecksum(body);
+}
+
+TEST(CheckpointCodec, EmptyImageRoundTrips)
+{
+    const std::uint32_t kind = checkpointKindId("stateless");
+    const auto blob = encodeCheckpoint(kind, {}, {});
+    CheckpointImage img;
+    ASSERT_EQ(decodeCheckpoint(blob, kind, &img), CheckpointError::Ok);
+    EXPECT_EQ(img.kindId, kind);
+    EXPECT_TRUE(img.stats.empty());
+    EXPECT_TRUE(img.payload.empty());
+}
+
+TEST(CheckpointCodec, StatsAndPayloadRoundTrip)
+{
+    const std::uint32_t kind = checkpointKindId("sec_gateway");
+    const std::vector<std::pair<std::string, std::uint64_t>> stats = {
+        {"denied_packets", 7},
+        {"forwarded_bytes", 0x1234'5678'9abcULL},
+        {"x", 1},  // 1-char name: padding path
+    };
+    const std::vector<std::uint32_t> payload = {1, 2, 3, 0xffffffff};
+    const auto blob = encodeCheckpoint(kind, stats, payload);
+
+    CheckpointImage img;
+    ASSERT_EQ(decodeCheckpoint(blob, kind, &img), CheckpointError::Ok);
+    EXPECT_EQ(img.stats, stats);
+    EXPECT_EQ(img.payload, payload);
+
+    // Kind gate: 0 accepts anything, a different kind does not.
+    ASSERT_EQ(decodeCheckpoint(blob, 0, &img), CheckpointError::Ok);
+    EXPECT_EQ(decodeCheckpoint(blob, kind + 1, &img),
+              CheckpointError::KindMismatch);
+}
+
+TEST(CheckpointCodec, VersionSkewIsDiagnosedNotFatal)
+{
+    auto blob = encodeCheckpoint(checkpointKindId("r"), {{"n", 1}}, {});
+    blob[1] = kCheckpointVersion + 1;
+    reseal(blob);  // envelope otherwise intact
+    CheckpointImage img;
+    EXPECT_EQ(decodeCheckpoint(blob, 0, &img),
+              CheckpointError::BadVersion);
+    EXPECT_STREQ(toString(CheckpointError::BadVersion),
+                 "codec version skew");
+}
+
+TEST(CheckpointCodec, CorruptionAndTruncationAreTotal)
+{
+    const auto good = encodeCheckpoint(checkpointKindId("r"),
+                                       {{"counter", 42}}, {1, 2, 3});
+
+    // Any single flipped word fails the checksum (tamper without
+    // resealing); flipping the trailer itself fails it too.
+    for (std::size_t i = 1; i < good.size(); ++i) {
+        auto blob = good;
+        blob[i] ^= 0x8000'0001u;
+        CheckpointImage img;
+        if (i == 1) {
+            // The version word is checked after the checksum, so an
+            // unsealed flip there still reads as corruption.
+            EXPECT_EQ(decodeCheckpoint(blob, 0, &img),
+                      CheckpointError::BadChecksum);
+        } else {
+            EXPECT_NE(decodeCheckpoint(blob, 0, &img),
+                      CheckpointError::Ok)
+                << "word " << i;
+        }
+    }
+
+    // Wrong magic beats everything else.
+    {
+        auto blob = good;
+        blob[0] = 0xdeadbeef;
+        CheckpointImage img;
+        EXPECT_EQ(decodeCheckpoint(blob, 0, &img),
+                  CheckpointError::BadMagic);
+    }
+
+    // Every prefix is rejected cleanly.
+    for (std::size_t n = 0; n < good.size(); ++n) {
+        std::vector<std::uint32_t> prefix(good.begin(),
+                                          good.begin() + n);
+        CheckpointImage img;
+        EXPECT_NE(decodeCheckpoint(prefix, 0, &img),
+                  CheckpointError::Ok)
+            << "prefix " << n;
+    }
+
+    // A lying stat-name length cannot run the cursor off the end.
+    {
+        auto blob = good;
+        blob[4] = 0x7fffffff;  // stat 0 name length
+        reseal(blob);
+        CheckpointImage img;
+        EXPECT_EQ(decodeCheckpoint(blob, 0, &img),
+                  CheckpointError::Truncated);
+    }
+}
+
+TEST(CheckpointRole, SecGatewayRoundTripsStateAndStats)
+{
+    SecGateway a;
+    a.addPolicy({0xff, 0x42, false});
+    a.addPolicy({0xf0, 0x40, true});
+    a.setDefaultAllow(false);
+    a.stats().counter("denied_packets").inc(9);
+    a.stats().counter("forwarded_packets").inc(123);
+
+    SecGateway b;
+    ASSERT_EQ(b.restore(a.snapshot()), CheckpointError::Ok);
+    EXPECT_EQ(b.policyCount(), 2u);
+    for (std::uint64_t h = 0; h < 512; ++h)
+        EXPECT_EQ(b.allows(h), a.allows(h)) << h;
+    EXPECT_EQ(b.stats().snapshot(), a.stats().snapshot());
+}
+
+TEST(CheckpointRole, L4lbRoundTripsPinsAndEvictionOrder)
+{
+    Layer4Lb a(16);
+    a.setServerHealthy(3, false);
+    a.setServerHealthy(7, false);
+    for (std::uint64_t f = 0; f < 200; ++f)
+        a.processFlowPacket(f * 0x9e3779b9, FlowPhase::Syn);
+    for (std::uint64_t f = 0; f < 50; ++f)  // close some flows
+        a.processFlowPacket(f * 0x9e3779b9, FlowPhase::Fin);
+
+    Layer4Lb b(16);
+    ASSERT_EQ(b.restore(a.snapshot()), CheckpointError::Ok);
+    EXPECT_EQ(b.connectionCount(), a.connectionCount());
+    for (std::uint64_t f = 0; f < 200; ++f) {
+        const std::uint64_t h = f * 0x9e3779b9;
+        ASSERT_EQ(b.isPinned(h), a.isPinned(h)) << f;
+        if (a.isPinned(h)) {
+            EXPECT_EQ(b.pinnedServer(h), a.pinnedServer(h)) << f;
+        }
+    }
+
+    // Pin order travelled too: drive both twins to eviction and the
+    // same victims must go, in the same order.
+    for (std::uint64_t f = 1000; f < 1000 + Layer4Lb::kConnTableCapacity;
+         ++f) {
+        const std::uint64_t h = f * 0x61c88647;
+        a.processFlowPacket(h, FlowPhase::Syn);
+        b.processFlowPacket(h, FlowPhase::Syn);
+    }
+    for (std::uint64_t f = 0; f < 200; ++f) {
+        const std::uint64_t h = f * 0x9e3779b9;
+        EXPECT_EQ(a.isPinned(h), b.isPinned(h)) << f;
+    }
+
+    // Server-count mismatch is a payload rejection, not a crash.
+    Layer4Lb c(8);
+    EXPECT_EQ(c.restore(a.snapshot()), CheckpointError::BadPayload);
+}
+
+TEST(CheckpointRole, RetrievalRoundTripMidFlight)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(engine, deviceA(),
+                                     Retrieval::standardRequirements());
+    Retrieval a;
+    a.bind(engine, *shell);
+    a.setCorpusItems(512);
+    a.populateCorpus();
+
+    // One finished result, one in flight, two queued.
+    ASSERT_TRUE(a.submitQuery(11));
+    ASSERT_TRUE(engine.runUntilDone([&] { return a.hasResult(); },
+                                    30ULL * 1000 * 1000 * 1000));
+    ASSERT_TRUE(a.submitQuery(22));
+    engine.runFor(a.queryServiceTime() / 4);  // 22 now mid-flight
+    ASSERT_TRUE(a.submitQuery(33));
+    ASSERT_TRUE(a.submitQuery(44));
+
+    const auto blob = a.snapshot();
+
+    // Restore onto a twin bound to a fresh shell — a second card of
+    // the same model (only DeviceA carries the HBM this role needs).
+    Engine engine2;
+    auto shell2 = Shell::makeTailored(engine2, deviceA(),
+                                      Retrieval::standardRequirements());
+    Retrieval b;
+    b.bind(engine2, *shell2);
+    ASSERT_EQ(b.restore(blob), CheckpointError::Ok);
+    EXPECT_EQ(b.corpusItems(), 512u);
+    EXPECT_EQ(b.stats().snapshot(), a.stats().snapshot());
+
+    // The standby timeline continues from the same simulated instant.
+    engine2.runFor(engine.now() - engine2.now());
+    ASSERT_TRUE(engine2.runUntilDone(
+        [&] {
+            return b.stats().value("completed_queries") == 4;
+        },
+        60ULL * 1000 * 1000 * 1000));
+
+    // Let the primary finish too and compare every result exactly.
+    ASSERT_TRUE(engine.runUntilDone(
+        [&] {
+            return a.stats().value("completed_queries") == 4;
+        },
+        60ULL * 1000 * 1000 * 1000));
+    while (a.hasResult()) {
+        ASSERT_TRUE(b.hasResult());
+        const RetrievalResult ra = a.popResult();
+        const RetrievalResult rb = b.popResult();
+        EXPECT_EQ(ra.queryId, rb.queryId);
+        EXPECT_EQ(ra.topK, rb.topK);
+    }
+    EXPECT_FALSE(b.hasResult());
+}
+
+TEST(CheckpointRole, BoardTestIsStatelessButCarriesCounters)
+{
+    BoardTest a;
+    a.stats().counter("suites_run").inc(3);
+    BoardTest b;
+    ASSERT_EQ(b.restore(a.snapshot()), CheckpointError::Ok);
+    EXPECT_EQ(b.stats().value("suites_run"), 3u);
+}
+
+TEST(CheckpointRole, CrossKindBlobIsRejectedUntouched)
+{
+    Layer4Lb lb(8);
+    lb.processFlowPacket(1, FlowPhase::Syn);
+
+    SecGateway gw;
+    gw.addPolicy({0xff, 1, false});
+    const auto before = gw.stats().snapshot();
+    EXPECT_EQ(gw.restore(lb.snapshot()),
+              CheckpointError::KindMismatch);
+    EXPECT_EQ(gw.policyCount(), 1u);  // untouched
+    EXPECT_EQ(gw.stats().snapshot(), before);
+}
+
+TEST(CheckpointRole, BadPayloadLeavesStatsUntouched)
+{
+    SecGateway a;
+    a.stats().counter("denied_packets").inc(5);
+    auto blob = a.snapshot();
+
+    SecGateway b;
+    b.stats().counter("denied_packets").inc(77);
+    // Corrupt the payload length structure: truncate the payload
+    // words but fix up the envelope so only restorePayload objects.
+    const auto good = encodeCheckpoint(b.checkpointKind(),
+                                       a.stats().snapshot(), {1, 2, 3});
+    ASSERT_EQ(b.restore(good), CheckpointError::BadPayload);
+    EXPECT_EQ(b.stats().value("denied_packets"), 77u);
+}
+
+/** Wire rig: one role bound to a tailored shell plus a driver. */
+struct WireRig {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    SecGateway role;
+    CmdDriver driver;
+
+    WireRig()
+        : shell(Shell::makeTailored(
+              engine, deviceA(), SecGateway::standardRequirements())),
+          driver(engine, *shell)
+    {
+        role.bind(engine, *shell);
+    }
+
+    /** Chunked kCmdCheckpoint drain, as the coordinator does it. */
+    std::vector<std::uint32_t> fetch()
+    {
+        std::vector<std::uint32_t> blob;
+        for (;;) {
+            const CallOutcome out = driver.callChecked(
+                kRoleRbbIdBase, 0, kCmdCheckpoint,
+                {static_cast<std::uint32_t>(blob.size())});
+            EXPECT_TRUE(out.ok());
+            EXPECT_EQ(out.response.status, kCmdOk);
+            const auto &d = out.response.data;
+            EXPECT_GE(d.size(), 1u);
+            const std::size_t total = d[0];
+            blob.insert(blob.end(), d.begin() + 1, d.end());
+            if (blob.size() >= total)
+                return blob;
+        }
+    }
+
+    /** Chunked kCmdRestore push; returns the wire-reported verdict. */
+    std::uint32_t push(const std::vector<std::uint32_t> &blob)
+    {
+        const std::uint32_t total =
+            static_cast<std::uint32_t>(blob.size());
+        std::size_t at = 0;
+        for (;;) {
+            std::vector<std::uint32_t> req = {
+                total, static_cast<std::uint32_t>(at)};
+            const std::size_t n = std::min(
+                CheckpointStreamer::kChunkWords, blob.size() - at);
+            req.insert(req.end(), blob.begin() + at,
+                       blob.begin() + at + n);
+            const CallOutcome out = driver.callChecked(
+                kRoleRbbIdBase, 0, kCmdRestore, req);
+            EXPECT_TRUE(out.ok());
+            at += n;
+            if (at >= blob.size()) {
+                EXPECT_EQ(out.response.data.size(), 2u);
+                EXPECT_EQ(out.response.data[0], 1u);
+                return out.response.data[1];
+            }
+        }
+    }
+};
+
+TEST(CheckpointWire, ChunkedFetchMatchesInProcessSnapshot)
+{
+    WireRig rig;
+    rig.role.addPolicy({0xff, 0x21, false});
+    rig.role.setDefaultAllow(false);
+    rig.role.stats().counter("denied_packets").inc(4);
+
+    const auto wire = rig.fetch();
+    const auto local = rig.role.snapshot();
+    EXPECT_EQ(wire, local);
+    EXPECT_GT(wire.size(), CheckpointStreamer::kChunkWords);
+}
+
+TEST(CheckpointWire, ChunkedRestoreRoundTripsAndReportsSkew)
+{
+    WireRig source;
+    source.role.addPolicy({0xffff, 0x1234, false});
+    source.role.addPolicy({0xff00, 0x5600, true});
+    const auto blob = source.fetch();
+
+    WireRig target;
+    EXPECT_EQ(target.push(blob),
+              static_cast<std::uint32_t>(CheckpointError::Ok));
+    EXPECT_EQ(target.role.policyCount(), 2u);
+    for (std::uint64_t h = 0; h < 0x10000; h += 257)
+        EXPECT_EQ(target.role.allows(h), source.role.allows(h));
+
+    // Version-skewed blob over the wire: diagnostic, not a crash.
+    auto skewed = blob;
+    skewed[1] = kCheckpointVersion + 7;
+    reseal(skewed);
+    EXPECT_EQ(target.push(skewed),
+              static_cast<std::uint32_t>(CheckpointError::BadVersion));
+    EXPECT_EQ(target.role.policyCount(), 2u);  // prior state intact
+}
+
+TEST(CheckpointWire, StreamerReacksDuplicateChunks)
+{
+    // Direct streamer exercise: a retried chunk (lost ack) must be
+    // re-acknowledged, including the final chunk after apply ran.
+    CheckpointStreamer s;
+    // Payload sized so the blob spans two chunks — the re-ack paths
+    // only exist for multi-chunk transfers.
+    const auto blob = encodeCheckpoint(checkpointKindId("x"),
+                                       {{"n", 3}},
+                                       {9, 8, 7, 6, 5, 4, 3, 2});
+    ASSERT_GT(blob.size(), CheckpointStreamer::kChunkWords);
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(blob.size());
+    int applies = 0;
+    const auto apply = [&](const std::vector<std::uint32_t> &b) {
+        ++applies;
+        EXPECT_EQ(b, blob);
+        return CheckpointError::Ok;
+    };
+
+    std::vector<std::uint32_t> first = {total, 0};
+    first.insert(first.end(), blob.begin(),
+                 blob.begin() + CheckpointStreamer::kChunkWords);
+    std::vector<std::uint32_t> last = {
+        total,
+        static_cast<std::uint32_t>(CheckpointStreamer::kChunkWords)};
+    last.insert(last.end(),
+                blob.begin() + CheckpointStreamer::kChunkWords,
+                blob.end());
+
+    EXPECT_EQ(s.serveRestore(first, apply).status, kCmdOk);
+    EXPECT_EQ(s.serveRestore(first, apply).status, kCmdOk);  // dup
+    const CommandResult fin = s.serveRestore(last, apply);
+    EXPECT_EQ(fin.status, kCmdOk);
+    ASSERT_EQ(fin.data.size(), 2u);
+    EXPECT_EQ(fin.data[0], 1u);
+    EXPECT_EQ(fin.data[1],
+              static_cast<std::uint32_t>(CheckpointError::Ok));
+
+    // Retried final chunk: apply must NOT run twice, verdict repeats.
+    const CommandResult again = s.serveRestore(last, apply);
+    EXPECT_EQ(again.status, kCmdOk);
+    ASSERT_EQ(again.data.size(), 2u);
+    EXPECT_EQ(again.data[1],
+              static_cast<std::uint32_t>(CheckpointError::Ok));
+    EXPECT_EQ(applies, 1);
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Failover chaos suite: a primary card dies mid-traffic and the
+ * coordinator promotes the standby from the last checkpoint plus the
+ * journal tail — with zero acknowledged-command loss, a measurable
+ * downtime, and a bit-identical end state across reruns of the same
+ * seed. Also covers PR-slot corruption recovery and the unbind/rebind
+ * path failover rides on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "fault/fault_plan.h"
+#include "ha/failover.h"
+#include "host/cmd_driver.h"
+#include "roles/sec_gateway.h"
+#include "shell/partial_reconfig.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+device(const char *name)
+{
+    return DeviceDatabase::instance().byName(name);
+}
+
+/**
+ * Fixed by default so CI is reproducible; override with
+ * HARMONIA_CHAOS_SEED to sweep other schedules — every invariant here
+ * must hold under any seed.
+ */
+std::uint64_t
+chaosSeed()
+{
+    const char *env = std::getenv("HARMONIA_CHAOS_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 0)
+                          : 20240808ull;
+}
+
+/** End state of one failover drill, for determinism comparison. */
+struct DrillOutcome {
+    bool failedOver = false;
+    bool zeroAckedLoss = true;
+    std::uint64_t acked = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t fingerprint = 0;
+    Tick downtimeTicks = 0;
+    Cycles downtimeCycles = 0;
+
+    bool operator==(const DrillOutcome &) const = default;
+};
+
+/**
+ * One drill: primary on a Xilinx card, standby on an Intel card, a
+ * stream of journaled policy writes, a device-death window opening at
+ * @p death_at, and the coordinator's poll loop doing the rest.
+ */
+DrillOutcome
+runDrill(std::uint64_t seed, Tick death_at = 400'000'000)
+{
+    Engine engine;
+    const RoleRequirements reqs = SecGateway::standardRequirements();
+    auto primary = Shell::makeTailored(engine, device("DeviceA"), reqs);
+    auto standby = Shell::makeTailored(engine, device("DeviceD"), reqs);
+
+    SecGateway role_p;
+    SecGateway role_s;
+    role_p.bind(engine, *primary);
+    role_s.bind(engine, *standby);
+
+    FailoverConfig cfg;
+    cfg.checkpointInterval = 20'000'000;
+    FailoverCoordinator coord(engine, *primary, *standby, cfg);
+    coord.manageRole(role_p, role_s);
+
+    FaultPlan plan(seed);
+    // The primary dies and stays dead; the standby is untouched.
+    plan.addWindow(FaultKind::DeviceDeath, death_at,
+                   10'000'000'000'000ULL, 1.0, "DeviceA");
+    plan.arm();
+
+    std::vector<std::uint64_t> acked_values;
+    std::uint64_t next_value = 1;
+    const auto write_deny = [&] {
+        const std::uint64_t v = next_value++;
+        const std::vector<std::uint32_t> data = {
+            0xffffffffu, 0xffffffffu,  // mask = ~0: exact match
+            static_cast<std::uint32_t>(v),
+            static_cast<std::uint32_t>(v >> 32),
+            0,  // deny
+        };
+        const CallOutcome out = coord.call(0, kCmdTableWrite, data);
+        if (out.ok() && out.response.status == kCmdOk)
+            acked_values.push_back(v);
+    };
+
+    // Healthy phase: journaled writes, paced checkpoints.
+    for (int i = 0; i < 20; ++i) {
+        write_deny();
+        coord.poll();
+        engine.runFor(2'000'000);
+    }
+    EXPECT_FALSE(coord.failedOver());
+    EXPECT_GT(coord.ackedCalls(), 0u);
+
+    // Cross into the death window, leave one write in the journal
+    // tail (doomed or in the two-generals window), then let the poll
+    // loop detect the death and promote the standby.
+    if (engine.now() < death_at)
+        engine.runFor(death_at - engine.now());
+    write_deny();
+
+    DrillOutcome o;
+    for (int i = 0; i < 50 && !coord.failedOver(); ++i) {
+        coord.poll();
+        engine.runFor(5'000'000);
+    }
+    o.failedOver = coord.failedOver();
+
+    // Post-failover traffic lands on the standby.
+    if (o.failedOver) {
+        for (int i = 0; i < 10; ++i) {
+            write_deny();
+            coord.poll();
+            engine.runFor(2'000'000);
+        }
+    }
+
+    // The invariant: every acknowledged write is present (denies) on
+    // the promoted standby.
+    for (const std::uint64_t v : acked_values)
+        if (role_s.allows(v))
+            o.zeroAckedLoss = false;
+
+    o.acked = coord.ackedCalls();
+    o.injected = plan.injectedTotal();
+    o.fingerprint = coord.fingerprint();
+    o.downtimeTicks = coord.downtimeTicks();
+    o.downtimeCycles = coord.downtimeCycles();
+    return o;
+}
+
+TEST(Failover, SurvivesDeviceDeathWithZeroAckedLoss)
+{
+    const DrillOutcome o = runDrill(chaosSeed());
+    EXPECT_TRUE(o.failedOver);
+    EXPECT_TRUE(o.zeroAckedLoss);
+    EXPECT_GE(o.acked, 20u);  // healthy + post-failover phases
+    EXPECT_GT(o.injected, 0u);
+    EXPECT_GT(o.downtimeTicks, 0u);
+    EXPECT_GT(o.downtimeCycles, 0u);
+    EXPECT_NE(o.fingerprint, 0u);
+}
+
+TEST(Failover, IdenticalSeedGivesIdenticalEndState)
+{
+    const DrillOutcome a = runDrill(chaosSeed() ^ 1337);
+    const DrillOutcome b = runDrill(chaosSeed() ^ 1337);
+    EXPECT_TRUE(a == b);
+    EXPECT_TRUE(a.failedOver);
+    EXPECT_TRUE(a.zeroAckedLoss);
+}
+
+TEST(Failover, CheckpointCutStaysConsistent)
+{
+    // Without any fault, checkpoints drain and the journal shrinks;
+    // the fingerprint equals the primary role's own snapshot hash.
+    Engine engine;
+    const RoleRequirements reqs = SecGateway::standardRequirements();
+    auto primary = Shell::makeTailored(engine, device("DeviceA"), reqs);
+    auto standby = Shell::makeTailored(engine, device("DeviceD"), reqs);
+    SecGateway role_p;
+    SecGateway role_s;
+    role_p.bind(engine, *primary);
+    role_s.bind(engine, *standby);
+
+    FailoverCoordinator coord(engine, *primary, *standby);
+    coord.manageRole(role_p, role_s);
+
+    for (int i = 0; i < 5; ++i) {
+        const CallOutcome out = coord.call(
+            0, kCmdTableWrite,
+            {0xffu, 0, static_cast<std::uint32_t>(i), 0, 0});
+        ASSERT_TRUE(out.ok());
+        ASSERT_EQ(out.response.status, kCmdOk);
+    }
+    ASSERT_TRUE(coord.checkpointNow());
+    EXPECT_EQ(coord.stats().value("checkpoints"), 1u);
+    EXPECT_EQ(coord.ackedCalls(), 5u);
+    EXPECT_FALSE(coord.failedOver());
+    EXPECT_EQ(role_p.policyCount(), 5u);
+    EXPECT_EQ(role_s.policyCount(), 0u);  // standby untouched so far
+}
+
+TEST(Failover, ManageRoleValidatesThePairing)
+{
+    Engine engine;
+    const RoleRequirements reqs = SecGateway::standardRequirements();
+    auto primary = Shell::makeTailored(engine, device("DeviceA"), reqs);
+    auto standby = Shell::makeTailored(engine, device("DeviceD"), reqs);
+    SecGateway role_p;
+    SecGateway unbound;
+    role_p.bind(engine, *primary);
+
+    FailoverCoordinator coord(engine, *primary, *standby);
+    EXPECT_THROW(coord.manageRole(role_p, unbound), FatalError);
+}
+
+TEST(Failover, PrSlotCorruptScrubsThenCheckpointRestores)
+{
+    Engine engine;
+    auto shell = Shell::makeTailored(engine, device("DeviceA"),
+                                     SecGateway::standardRequirements());
+    PrController pr("pr", engine, *shell,
+                    {ResourceVector{120000, 160000, 200, 0, 100}});
+    SecGateway role;
+    ASSERT_TRUE(pr.load(0, role));
+    engine.runFor(pr.reconfigTime(0) + 10'000'000);
+    ASSERT_EQ(pr.slotState(0), PrSlotState::Active);
+
+    role.addPolicy({0xff, 0x42, false});
+    role.stats().counter("denied_packets").inc(6);
+    const auto backup = role.snapshot();  // host-side safety copy
+    const auto stats_at_backup = role.stats().snapshot();
+
+    CmdDriver driver(engine, *shell);
+    FaultPlan plan(5);
+    plan.addOneShot(FaultKind::PrSlotCorrupt, engine.now(), "slot0");
+    plan.arm();
+    engine.runFor(2'000'000);
+
+    // The upset scrubbed the slot: tenant gone, target released.
+    EXPECT_EQ(pr.slotState(0), PrSlotState::Empty);
+    EXPECT_FALSE(role.active());
+    EXPECT_EQ(pr.stats().value("slots_corrupted"), 1u);
+    const CallOutcome gone =
+        driver.callChecked(kRoleRbbIdBase, 0, kCmdStatsSnapshot);
+    ASSERT_TRUE(gone.ok());
+    EXPECT_EQ(gone.response.status, kCmdUnknownTarget);
+
+    // Recovery: reload the slot, then re-seed from the checkpoint.
+    ASSERT_TRUE(pr.load(0, role));
+    engine.runFor(pr.reconfigTime(0) + 10'000'000);
+    ASSERT_EQ(pr.slotState(0), PrSlotState::Active);
+    ASSERT_EQ(role.restore(backup), CheckpointError::Ok);
+    EXPECT_FALSE(role.allows(0x42));
+    EXPECT_EQ(role.stats().snapshot(), stats_at_backup);
+    const CallOutcome back =
+        driver.callChecked(kRoleRbbIdBase, 0, kCmdStatsSnapshot);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.response.status, kCmdOk);
+}
+
+TEST(Failover, UnbindLeavesNoStaleTargetOnTheOldKernel)
+{
+    // The regression the migration path depends on: a role scrubbed
+    // off one shell and re-bound to another must vanish from the old
+    // kernel's target table and answer on the new one.
+    Engine engine;
+    const RoleRequirements reqs = SecGateway::standardRequirements();
+    auto shell_a = Shell::makeTailored(engine, device("DeviceA"), reqs);
+    auto shell_b = Shell::makeTailored(engine, device("DeviceD"), reqs);
+    CmdDriver driver_a(engine, *shell_a);
+    CmdDriver driver_b(engine, *shell_b);
+
+    SecGateway role;
+    role.bind(engine, *shell_a);
+    CallOutcome out =
+        driver_a.callChecked(kRoleRbbIdBase, 0, kCmdStatsSnapshot);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.response.status, kCmdOk);
+
+    role.unbind();
+    EXPECT_FALSE(role.bound());
+
+    role.bind(engine, *shell_b);
+    EXPECT_TRUE(role.bound());
+
+    out = driver_a.callChecked(kRoleRbbIdBase, 0, kCmdStatsSnapshot);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.response.status, kCmdUnknownTarget);
+
+    out = driver_b.callChecked(kRoleRbbIdBase, 0, kCmdStatsSnapshot);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.response.status, kCmdOk);
+
+    // And unbind is idempotent / re-entrant for the next migration.
+    role.unbind();
+    role.unbind();
+    EXPECT_FALSE(role.bound());
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Watchdog tests: heartbeats against a healthy card, deterministic
+ * death declaration under DeviceDeath / KernelWedge windows, revival
+ * when the window closes, and the SLO-corroborated fast path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fault/fault_plan.h"
+#include "ha/watchdog.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+#include "shell/unified_shell.h"
+
+namespace harmonia {
+namespace {
+
+const FpgaDevice &
+deviceA()
+{
+    return DeviceDatabase::instance().byName("DeviceA");
+}
+
+struct WatchdogRig {
+    Engine engine;
+    std::unique_ptr<Shell> shell;
+    Watchdog dog;
+
+    explicit WatchdogRig(WatchdogConfig cfg = {})
+        : shell(Shell::makeUnified(engine, deviceA())),
+          dog(engine, *shell, cfg)
+    {
+    }
+};
+
+TEST(Watchdog, HealthyCardNeverTripsIt)
+{
+    WatchdogRig rig;
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(rig.dog.beat());
+        rig.engine.runFor(rig.dog.config().interval);
+    }
+    EXPECT_FALSE(rig.dog.dead());
+    EXPECT_EQ(rig.dog.consecutiveMisses(), 0u);
+    EXPECT_GT(rig.dog.lastAliveAt(), 0u);
+    EXPECT_EQ(rig.dog.stats().value("missed_beats"), 0u);
+}
+
+TEST(Watchdog, PollPacesBeatsByInterval)
+{
+    WatchdogRig rig;
+    EXPECT_TRUE(rig.dog.poll());   // first call always beats
+    EXPECT_FALSE(rig.dog.poll());  // interval not yet elapsed
+    rig.engine.runFor(rig.dog.config().interval);
+    EXPECT_TRUE(rig.dog.poll());
+}
+
+TEST(Watchdog, DeviceDeathDeclaredAfterThreshold)
+{
+    WatchdogRig rig;
+    ASSERT_TRUE(rig.dog.beat());
+    const Tick alive_at = rig.dog.lastAliveAt();
+
+    FaultPlan plan(42);
+    // Window far longer than 3 beats worth of timeouts.
+    plan.addWindow(FaultKind::DeviceDeath, rig.engine.now(),
+                   rig.engine.now() + 800'000'000, 1.0, "DeviceA");
+    plan.arm();
+
+    unsigned beats = 0;
+    while (!rig.dog.dead()) {
+        ASSERT_LT(beats, 10u) << "watchdog never declared death";
+        rig.dog.beat();
+        ++beats;
+    }
+    EXPECT_EQ(beats, rig.dog.config().missThreshold);
+    EXPECT_EQ(rig.dog.consecutiveMisses(),
+              rig.dog.config().missThreshold);
+    EXPECT_EQ(rig.dog.lastAliveAt(), alive_at);
+    EXPECT_EQ(rig.dog.stats().value("deaths_declared"), 1u);
+    plan.disarm();
+}
+
+TEST(Watchdog, KernelWedgeLooksDeadFromTheHost)
+{
+    // A wedged control kernel executes commands but its acks never
+    // escape — end-to-end, the host cannot tell this from death.
+    WatchdogRig rig;
+    FaultPlan plan(7);
+    plan.addWindow(FaultKind::KernelWedge, 0, 800'000'000, 1.0,
+                   "DeviceA");
+    plan.arm();
+    for (unsigned i = 0; i < rig.dog.config().missThreshold; ++i)
+        EXPECT_FALSE(rig.dog.beat());
+    EXPECT_TRUE(rig.dog.dead());
+    plan.disarm();
+}
+
+TEST(Watchdog, RevivesWhenTheWindowCloses)
+{
+    WatchdogRig rig;
+    FaultPlan plan(42);
+    const Tick window_end = 60'000'000;
+    plan.addWindow(FaultKind::DeviceDeath, 0, window_end, 1.0,
+                   "DeviceA");
+    plan.arm();
+
+    while (!rig.dog.dead())
+        rig.dog.beat();
+
+    // Past the window the card answers again: one good beat revives.
+    if (rig.engine.now() < window_end)
+        rig.engine.runFor(window_end - rig.engine.now());
+    EXPECT_TRUE(rig.dog.beat());
+    EXPECT_FALSE(rig.dog.dead());
+    EXPECT_EQ(rig.dog.consecutiveMisses(), 0u);
+    EXPECT_EQ(rig.dog.stats().value("revivals"), 1u);
+    plan.disarm();
+}
+
+TEST(Watchdog, SloBurnCorroboratesASingleMiss)
+{
+    WatchdogRig rig;
+    // An SLO driven over budget by hand: an occupancy gauge pinned
+    // far above its objective goes pending on the first evaluation.
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    SloSpec spec;
+    spec.name = "ctrl_occupancy";
+    spec.kind = SloKind::OccupancyAbove;
+    spec.metric = "occ";
+    spec.objective = 0.5;
+    spec.window = 50'000'000;
+    slo.addSpec(spec);
+    store.ingestPoint(0, "occ", 100.0);
+    slo.evaluate(1'000'000);
+    ASSERT_TRUE(slo.anyActive());
+
+    rig.dog.attachSlo(&slo);
+    ASSERT_TRUE(rig.dog.beat());  // healthy first
+
+    FaultPlan plan(9);
+    plan.addWindow(FaultKind::DeviceDeath, rig.engine.now(),
+                   rig.engine.now() + 800'000'000, 1.0, "DeviceA");
+    plan.arm();
+
+    // With burn-rate evidence, ONE miss is enough.
+    EXPECT_FALSE(rig.dog.beat());
+    EXPECT_TRUE(rig.dog.dead());
+    EXPECT_EQ(rig.dog.consecutiveMisses(), 1u);
+    plan.disarm();
+}
+
+TEST(Watchdog, TargetsOnlyItsOwnDevice)
+{
+    // A DeviceD death window must not affect a DeviceA watchdog.
+    WatchdogRig rig;
+    FaultPlan plan(3);
+    plan.addWindow(FaultKind::DeviceDeath, 0, 800'000'000, 1.0,
+                   "DeviceD");
+    plan.arm();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(rig.dog.beat());
+    EXPECT_FALSE(rig.dog.dead());
+    plan.disarm();
+}
+
+} // namespace
+} // namespace harmonia
