@@ -21,7 +21,12 @@
  * (default 500000 kernel cycles) whenever a run reports it: the
  * failover drill is sim-time deterministic, so blowing the ceiling
  * means the detection-to-promotion path itself got slower. Override
- * with $HARMONIA_FAILOVER_CEILING; 0 disables the gate.
+ * with $HARMONIA_FAILOVER_CEILING; 0 disables the gate. And
+ * "telemetry_stream_overhead_pct" must stay under its own ceiling
+ * (default 60%) whenever a run reports it: the streaming telemetry
+ * plane is only justified while it moves well fewer wire words than
+ * the snapshot polling it replaced. Override with
+ * $HARMONIA_STREAM_OVERHEAD_CEILING; 0 disables the gate.
  */
 
 #include <cstdio>
@@ -199,6 +204,36 @@ main(int argc, char **argv)
     if (ceiling_failures != 0) {
         std::printf("%d scenario(s) above the downtime ceiling\n",
                     ceiling_failures);
+        return 1;
+    }
+
+    // --- Absolute ceiling on streaming-telemetry overhead. ---
+    const char *stream_env =
+        std::getenv("HARMONIA_STREAM_OVERHEAD_CEILING");
+    const double stream_ceiling =
+        stream_env != nullptr ? std::strtod(stream_env, nullptr)
+                              : 60.0;
+    int stream_failures = 0;
+    for (std::size_t i = 0; stream_ceiling > 0.0 && i < all.size();
+         ++i) {
+        const JsonValue &metrics = all.at(i).get("metrics");
+        if (!metrics.has("telemetry_stream_overhead_pct"))
+            continue;
+        const double pct =
+            metrics.get("telemetry_stream_overhead_pct").asDouble();
+        const bool ok = pct <= stream_ceiling;
+        std::printf("%s %s/telemetry_stream_overhead_pct: %.1f%% "
+                    "(ceiling %.1f%%)\n",
+                    ok ? "  ok " : "GATE:",
+                    scenarioKey(all.at(i)).c_str(), pct,
+                    stream_ceiling);
+        if (!ok)
+            ++stream_failures;
+    }
+    if (stream_failures != 0) {
+        std::printf("%d scenario(s) above the stream-overhead "
+                    "ceiling\n",
+                    stream_failures);
         return 1;
     }
 

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Streaming-telemetry overhead bench: the wire cost of watching a
+ * fleet. Runs the canned 4-card FleetSim (no fault, no trace — a
+ * clean link, so every word is steady-state cost, not recovery) and
+ * reports what the subscription stream actually moved against what
+ * the equivalent List+Snapshot polling walk would have moved each
+ * poll. The ratio is `telemetry_stream_overhead_pct`; on top of the
+ * relative baseline gate, bench_aggregate enforces an absolute
+ * ceiling ($HARMONIA_STREAM_OVERHEAD_CEILING, default 60%, 0
+ * disables) — the streaming plane existing at all is only justified
+ * while it stays well under the polling cost it replaced.
+ */
+
+#include <cstdio>
+
+#include "bench_report.h"
+#include "obs/fleet_sim.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    FleetSimConfig cfg;
+    cfg.injectFault = false;
+    cfg.trace = false;
+    cfg.rounds = static_cast<int>(scaledIters(40, 10));
+    FleetSim sim(cfg);
+    sim.run();
+
+    const ObsHub &hub = sim.hub();
+    const double streamed =
+        static_cast<double>(hub.streamedWireWords());
+    const double snapshot =
+        static_cast<double>(hub.snapshotEquivalentWords());
+    if (streamed <= 0.0 || snapshot <= 0.0) {
+        std::fprintf(stderr, "no wire traffic recorded\n");
+        return 1;
+    }
+    // A clean link must stay clean, or the overhead number is
+    // polluted by resync traffic that shouldn't exist.
+    if (hub.gapsDetected() != 0 || hub.resyncs() != 0) {
+        std::fprintf(stderr,
+                     "spurious gaps/resyncs on a fault-free run\n");
+        return 1;
+    }
+
+    BenchReport("obs_overhead", "fleet4_streaming_vs_polling")
+        .metric("telemetry_stream_overhead_pct",
+                100.0 * streamed / snapshot)
+        .metric("telemetry_stream_words", streamed)
+        .metric("telemetry_snapshot_equiv_words", snapshot)
+        .emit();
+    return 0;
+}

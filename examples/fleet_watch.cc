@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fleet watch: four heterogeneous cards (Xilinx DeviceA/B, embedded
+ * DeviceC, Intel DeviceD) run mixed traffic while a host-side ObsHub
+ * federates their telemetry over streaming subscriptions — the
+ * observe layer the fleet scheduler and autoscaler consume. A
+ * DeviceDeath fault kills DeviceC mid-run; real watchdogs feed the
+ * hub's liveness, the fleet `devices/alive` series drops, and the
+ * fleet-scoped SLO walks pending → firing on the burn-rate
+ * lifecycle. Tracing is on, so periodic fleet sweeps produce genuine
+ * cross-device span trees the trace federation stitches per corr.
+ *
+ *   $ ./fleet_watch              # fixed default seed, reproducible
+ *   $ ./fleet_watch 42           # any other schedule
+ *
+ * Prints every fleet alert edge as it happens, the final
+ * harmonia-top dashboard, one federated cross-device trace tree, and
+ * the end-state fingerprint (bit-identical across reruns of one seed
+ * and across HARMONIA_SIM_THREADS settings). CI greps the verdict
+ * line "fleet watch: PASS"; exit is non-zero when the drill's
+ * invariants do not hold.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "ha/watchdog.h"
+#include "obs/fleet_sim.h"
+
+using namespace harmonia;
+
+int
+main(int argc, char **argv)
+{
+    FleetSimConfig cfg;
+    if (argc > 1)
+        cfg.seed = std::strtoull(argv[1], nullptr, 0);
+    cfg.trace = true;
+
+    FleetSim sim(cfg);
+    std::printf("fleet watch: %zu cards, seed %llu, victim %s dies "
+                "at t=%llu\n\n",
+                sim.shellCount(),
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.victim.c_str(),
+                static_cast<unsigned long long>(cfg.deathAt));
+
+    // Real watchdogs corroborate the hub's own failure tracking.
+    std::vector<std::unique_ptr<Watchdog>> dogs;
+    for (std::size_t i = 0; i < sim.shellCount(); ++i) {
+        dogs.push_back(std::make_unique<Watchdog>(sim.engine(),
+                                                  sim.shell(i)));
+        Watchdog *dog = dogs.back().get();
+        sim.hub().attachLiveness(sim.hub().deviceLabels()[i], [dog] {
+            dog->poll();
+            return !dog->dead();
+        });
+    }
+
+    // Step the scenario, printing every fleet alert edge.
+    std::vector<AlertState> last(sim.hub().slo().specCount(),
+                                 AlertState::Inactive);
+    bool more = true;
+    while (more) {
+        more = sim.step();
+        for (std::size_t i = 0; i < last.size(); ++i) {
+            const AlertStatus &st = sim.hub().slo().status(i);
+            if (st.state == last[i])
+                continue;
+            std::printf("t=%-12llu alert %-20s %s -> %s "
+                        "(burn %.3f)\n",
+                        static_cast<unsigned long long>(
+                            sim.engine().now()),
+                        st.name.c_str(), toString(last[i]),
+                        toString(st.state), st.burnRate);
+            last[i] = st.state;
+        }
+    }
+
+    std::printf("\n%s\n", sim.top().c_str());
+    std::fputs(sim.summary().c_str(), stdout);
+
+    const std::vector<std::uint64_t> corrs =
+        sim.federation().crossDeviceCorrs(Trace::instance());
+    std::printf("\ncross-device corrs: %zu\n", corrs.size());
+    if (!corrs.empty())
+        std::fputs(TraceFederation::render(
+                       sim.federation().treeForCorr(
+                           Trace::instance(), corrs.front()))
+                       .c_str(),
+                   stdout);
+
+    std::printf("\nfingerprint %016llx\n",
+                static_cast<unsigned long long>(sim.fingerprint()));
+
+    // Verdict: the victim was declared dead, the liveness SLO fired,
+    // streaming stayed gap-free, and the sweeps crossed devices.
+    const ObsDeviceStatus &victim = sim.hub().device(cfg.victim);
+    bool fired = false;
+    for (std::size_t i = 0; i < sim.hub().slo().specCount(); ++i)
+        fired = fired ||
+                sim.hub().slo().status(i).fireEvents > 0;
+    const bool pass = !victim.alive && fired &&
+                      sim.hub().gapsDetected() == 0 &&
+                      !corrs.empty();
+    std::printf("fleet watch: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 1;
+}

@@ -52,6 +52,10 @@ toString(CommandCode code)
         return "Checkpoint";
       case kCmdRestore:
         return "Restore";
+      case kCmdObsSubscribe:
+        return "ObsSubscribe";
+      case kCmdObsDelta:
+        return "ObsDelta";
     }
     return "?";
 }

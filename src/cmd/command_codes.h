@@ -47,6 +47,14 @@ enum CommandCode : std::uint16_t {
     // drained module can be re-seeded on a standby device.
     kCmdCheckpoint = 0x0037,
     kCmdRestore = 0x0038,
+    // Fleet-observability federation: streaming telemetry
+    // subscriptions. Subscribe negotiates a frozen name-sorted index
+    // map (optionally prefix-filtered); Delta moves only the series
+    // whose encoded value changed since the last drained delta, with
+    // sequence numbers for gap detection and an epoch that bumps when
+    // the index map changes.
+    kCmdObsSubscribe = 0x0039,
+    kCmdObsDelta = 0x003a,
 };
 
 /** Command execution status in response packets. */

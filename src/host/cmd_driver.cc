@@ -204,9 +204,14 @@ CmdDriver::callChecked(std::uint8_t rbb_id, std::uint8_t instance_id,
     // wire as a 16-bit tag in the Options high half so the kernel can
     // parent its decode span under this call. When tracing is off the
     // root id is 0 and the packet bytes are bit-identical to before.
+    // An armed ambient correlation (a fleet sweep, a failover replay)
+    // makes this call part of a larger request tree; otherwise the
+    // call roots a tree of its own.
     Trace &tracer = Trace::instance();
     const std::uint64_t corr =
-        tracer.enabled() ? tracer.newCorrelation() : 0;
+        !tracer.enabled()             ? 0
+        : tracer.context().corr != 0 ? tracer.context().corr
+                                      : tracer.newCorrelation();
     const SpanId root = tracer.beginSpan(
         started, format("cmd%02x", srcId_),
         format("call:%s", toString(static_cast<CommandCode>(code))),

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Canned 4-card fleet harness behind `examples/fleet_watch` and
+ * `tools/harmonia_top` (tools stay thin front-ends; the scenario
+ * logic lives here, library-side, where tests can drive it too).
+ *
+ * The scenario: four heterogeneous unified shells (Xilinx DeviceA/B,
+ * the embedded DeviceC, Intel DeviceD) publish telemetry into the
+ * shared registry; an ObsHub federates all four over streaming
+ * subscriptions while seeded mixed traffic (rx packets + command
+ * rounds) runs on every card. A DeviceDeath window kills one victim
+ * mid-run; the hub's liveness tracking declares it dead, the fleet
+ * `devices/alive` series drops, and the registered fleet SLO walks
+ * the burn-rate lifecycle to firing. When tracing is on, periodic
+ * fleet sweeps issue one command per card under a single correlation
+ * id, so the trace federation has genuine cross-device trees to
+ * stitch. Everything is seeded and simulated-time-paced, so the
+ * resulting dashboard bytes are identical across reruns and thread
+ * counts.
+ */
+
+#ifndef HARMONIA_OBS_FLEET_SIM_H_
+#define HARMONIA_OBS_FLEET_SIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "obs/hub.h"
+#include "obs/top_view.h"
+#include "obs/trace_federation.h"
+
+namespace harmonia {
+
+/** Scenario knobs; the defaults reproduce the documented drill. */
+struct FleetSimConfig {
+    std::uint64_t seed = 20260808;
+    int rounds = 40;
+    Tick roundTicks = 5'000'000;
+    /** Victim card and when its DeviceDeath window opens. */
+    std::string victim = "DeviceC";
+    Tick deathAt = 120'000'000;
+    bool injectFault = true;
+    /** Enable tracing + periodic cross-device fleet sweeps. */
+    bool trace = false;
+};
+
+class FleetSim {
+  public:
+    explicit FleetSim(FleetSimConfig config = {});
+    ~FleetSim();
+
+    FleetSim(const FleetSim &) = delete;
+    FleetSim &operator=(const FleetSim &) = delete;
+
+    const FleetSimConfig &config() const { return cfg_; }
+
+    /** One traffic + poll round; false once all rounds have run. */
+    bool step();
+
+    /** Run every remaining round. */
+    void run();
+
+    int round() const { return round_; }
+
+    Engine &engine() { return engine_; }
+    ObsHub &hub() { return hub_; }
+    const ObsHub &hub() const { return hub_; }
+    FaultPlan &plan() { return plan_; }
+    TraceFederation &federation() { return fed_; }
+    Shell &shell(std::size_t i) { return *shells_[i]; }
+    std::size_t shellCount() const { return shells_.size(); }
+
+    /** The dashboard at the current simulated time. */
+    std::string top() const;
+
+    /** Device + stream-state summary lines. */
+    std::string summary() const { return hub_.summary(); }
+
+    /** Order-sensitive hash of the end state (dashboard + summary +
+     *  fault log) — the byte the determinism checks compare. */
+    std::uint64_t fingerprint() const;
+
+  private:
+    void trafficRound();
+
+    FleetSimConfig cfg_;
+    Engine engine_;
+    std::vector<std::unique_ptr<Shell>> shells_;
+    std::vector<std::unique_ptr<CmdDriver>> drivers_;
+    ObsHub hub_;
+    FaultPlan plan_;
+    TraceFederation fed_;
+    int round_ = 0;
+    std::uint64_t pktsInjected_ = 0;
+    bool traceWasEnabled_ = false;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_OBS_FLEET_SIM_H_

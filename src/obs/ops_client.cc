@@ -12,28 +12,61 @@ popU64(const std::vector<std::uint32_t> &data, std::size_t at)
     return (static_cast<std::uint64_t>(data[at]) << 32) | data[at + 1];
 }
 
-} // namespace
-
-std::uint32_t
-OpsClient::sloCount()
+bool
+validKind(std::uint32_t raw)
 {
-    const CommandPacket resp =
-        driver_.call(kRbbTelemetry, 0, kCmdSloStatus);
-    if (resp.status != kCmdOk || resp.data.empty())
-        return 0;
-    return resp.data[0];
+    return raw <= static_cast<std::uint32_t>(SloKind::GaugeBelow);
 }
 
 bool
-OpsClient::readSlo(std::uint32_t index, WireSlo *out)
+validState(std::uint32_t raw)
 {
-    const CommandPacket resp =
-        driver_.call(kRbbTelemetry, 0, kCmdSloStatus, {index});
+    return raw <= static_cast<std::uint32_t>(AlertState::Resolved);
+}
+
+} // namespace
+
+const char *
+toString(OpsDecodeError err)
+{
+    switch (err) {
+      case OpsDecodeError::Ok:
+        return "ok";
+      case OpsDecodeError::Transport:
+        return "transport";
+      case OpsDecodeError::Truncated:
+        return "truncated";
+      case OpsDecodeError::Malformed:
+        return "malformed";
+    }
+    return "?";
+}
+
+OpsDecodeError
+OpsClient::decodeSloCount(const CommandPacket &resp,
+                          std::uint32_t *count)
+{
+    if (resp.status != kCmdOk)
+        return OpsDecodeError::Transport;
+    if (resp.data.empty())
+        return OpsDecodeError::Truncated;
+    if (resp.data[0] > kMaxWireRecords)
+        return OpsDecodeError::Malformed;
+    *count = resp.data[0];
+    return OpsDecodeError::Ok;
+}
+
+OpsDecodeError
+OpsClient::decodeSlo(const CommandPacket &resp, WireSlo *out)
+{
+    if (resp.status != kCmdOk)
+        return OpsDecodeError::Transport;
     // total, index, kind, state, 4 x u64, 3 counters, packed name.
     const std::size_t fixed = 4 + 4 * 2 + 3;
-    if (resp.status != kCmdOk ||
-        resp.data.size() < fixed + TelemetryTarget::kNameWords)
-        return false;
+    if (resp.data.size() < fixed + TelemetryTarget::kNameWords)
+        return OpsDecodeError::Truncated;
+    if (!validKind(resp.data[2]) || !validState(resp.data[3]))
+        return OpsDecodeError::Malformed;
 
     out->index = resp.data[1];
     out->kind = static_cast<SloKind>(resp.data[2]);
@@ -49,7 +82,67 @@ OpsClient::readSlo(std::uint32_t index, WireSlo *out)
     out->fireEvents = resp.data[13];
     out->resolveEvents = resp.data[14];
     out->name = TelemetryTarget::unpackName(&resp.data[fixed]);
-    return true;
+    return OpsDecodeError::Ok;
+}
+
+OpsDecodeError
+OpsClient::decodeAlertPage(const CommandPacket &resp,
+                           std::uint32_t *total, std::uint32_t *k,
+                           std::vector<WireAlert> *out)
+{
+    if (resp.status != kCmdOk)
+        return OpsDecodeError::Transport;
+    if (resp.data.size() < 2)
+        return OpsDecodeError::Truncated;
+    const std::uint32_t claimed_total = resp.data[0];
+    const std::uint32_t claimed_k = resp.data[1];
+    // The producer never pages more than kAlertBatch records and a
+    // page can't hold more rows than its own total claims exist.
+    if (claimed_total > kMaxWireRecords ||
+        claimed_k > TelemetryTarget::kAlertBatch ||
+        claimed_k > claimed_total)
+        return OpsDecodeError::Malformed;
+    const std::size_t record = 6 + TelemetryTarget::kNameWords;
+    if (resp.data.size() < 2 + claimed_k * record)
+        return OpsDecodeError::Truncated;
+    // Validate every record before appending any: a bad row rejects
+    // the whole page instead of leaving a half-decoded tail.
+    for (std::uint32_t r = 0; r < claimed_k; ++r)
+        if (!validState(resp.data[2 + r * record + 1]))
+            return OpsDecodeError::Malformed;
+    for (std::uint32_t r = 0; r < claimed_k; ++r) {
+        const std::size_t at = 2 + r * record;
+        WireAlert a;
+        a.index = resp.data[at];
+        a.state = static_cast<AlertState>(resp.data[at + 1]);
+        a.since = static_cast<Tick>(popU64(resp.data, at + 2));
+        a.burnRate =
+            static_cast<double>(popU64(resp.data, at + 4)) / 1000.0;
+        a.name = TelemetryTarget::unpackName(&resp.data[at + 6]);
+        out->push_back(std::move(a));
+    }
+    *total = claimed_total;
+    *k = claimed_k;
+    return OpsDecodeError::Ok;
+}
+
+std::uint32_t
+OpsClient::sloCount()
+{
+    const CommandPacket resp =
+        driver_.call(kRbbTelemetry, 0, kCmdSloStatus);
+    std::uint32_t count = 0;
+    lastError_ = decodeSloCount(resp, &count);
+    return lastError_ == OpsDecodeError::Ok ? count : 0;
+}
+
+bool
+OpsClient::readSlo(std::uint32_t index, WireSlo *out)
+{
+    const CommandPacket resp =
+        driver_.call(kRbbTelemetry, 0, kCmdSloStatus, {index});
+    lastError_ = decodeSlo(resp, out);
+    return lastError_ == OpsDecodeError::Ok;
 }
 
 std::vector<WireAlert>
@@ -57,32 +150,32 @@ OpsClient::readAlerts()
 {
     std::vector<WireAlert> out;
     std::uint32_t start = 0;
+    std::uint32_t first_total = 0;
     for (;;) {
         const CommandPacket resp = driver_.call(
             kRbbTelemetry, 0, kCmdAlertSnapshot, {start});
-        if (resp.status != kCmdOk || resp.data.size() < 2)
+        std::uint32_t total = 0;
+        std::uint32_t k = 0;
+        lastError_ = decodeAlertPage(resp, &total, &k, &out);
+        if (lastError_ != OpsDecodeError::Ok)
             return {};
-        const std::uint32_t total = resp.data[0];
-        const std::uint32_t k = resp.data[1];
-        const std::size_t record = 6 + TelemetryTarget::kNameWords;
-        if (resp.data.size() < 2 + k * record)
+        if (start == 0) {
+            first_total = total;
+        } else if (total != first_total) {
+            // The card changed its story mid-walk: treat the whole
+            // snapshot as damaged rather than splicing two worlds.
+            lastError_ = OpsDecodeError::Malformed;
             return {};
-        for (std::uint32_t r = 0; r < k; ++r) {
-            const std::size_t at = 2 + r * record;
-            WireAlert a;
-            a.index = resp.data[at];
-            a.state = static_cast<AlertState>(resp.data[at + 1]);
-            a.since = static_cast<Tick>(popU64(resp.data, at + 2));
-            a.burnRate =
-                static_cast<double>(popU64(resp.data, at + 4)) /
-                1000.0;
-            a.name =
-                TelemetryTarget::unpackName(&resp.data[at + 6]);
-            out.push_back(std::move(a));
         }
         start += k;
-        if (k == 0 || start >= total)
+        if (start >= total)
             break;
+        if (k == 0) {
+            // More rows claimed but none delivered — a wedged walk
+            // would loop forever, so classify and bail.
+            lastError_ = OpsDecodeError::Malformed;
+            return {};
+        }
     }
     return out;
 }
@@ -92,6 +185,8 @@ OpsClient::requestDump()
 {
     const CommandPacket resp =
         driver_.call(kRbbTelemetry, 0, kCmdFlightDump);
+    lastError_ = resp.status == kCmdOk ? OpsDecodeError::Ok
+                                       : OpsDecodeError::Transport;
     return resp.status == kCmdOk;
 }
 

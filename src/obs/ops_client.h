@@ -6,6 +6,13 @@
  * at the telemetry target). This is the driver-level query API a
  * fleet manager polls — it never touches in-process obs objects, so
  * it works identically from a standalone tool or a remote controller.
+ *
+ * Replies cross a wire that faults can truncate or corrupt, so every
+ * decode is strict: lengths are checked before each read, enum fields
+ * are range-validated, and pagination counters from the card are
+ * sanity-capped. A reply that fails any check yields a typed
+ * OpsDecodeError (see lastError()) and never a partial or
+ * out-of-bounds read.
  */
 
 #ifndef HARMONIA_OBS_OPS_CLIENT_H_
@@ -43,8 +50,22 @@ struct WireSlo {
     std::string name;
 };
 
+/** How the most recent OpsClient decode went. */
+enum class OpsDecodeError : std::uint8_t {
+    Ok = 0,
+    Transport,  ///< the call itself failed (non-Ok wire status)
+    Truncated,  ///< payload ends before the advertised records do
+    Malformed,  ///< counts or enum fields outside the protocol range
+};
+
+const char *toString(OpsDecodeError err);
+
 class OpsClient {
   public:
+    /** No card registers anywhere near this many specs; a count
+     *  beyond it is wire damage, not a big fleet. */
+    static constexpr std::uint32_t kMaxWireRecords = 65535;
+
     explicit OpsClient(CmdDriver &driver) : driver_(driver) {}
 
     /** Registered spec count; 0 when no SLO engine is attached. */
@@ -59,8 +80,33 @@ class OpsClient {
     /** Ask the card's flight recorder for a post-mortem dump. */
     bool requestDump();
 
+    /** Classification of the last query's decode. */
+    OpsDecodeError lastError() const { return lastError_; }
+
+    // Pure reply decoders, exposed for direct fuzzing: each consumes
+    // one CommandPacket, writes outputs only on Ok, and is guaranteed
+    // never to read past resp.data regardless of the reply's claims.
+
+    /** [count] header of a no-argument SloStatus reply. */
+    static OpsDecodeError decodeSloCount(const CommandPacket &resp,
+                                         std::uint32_t *count);
+
+    /** Full single-spec SloStatus reply. */
+    static OpsDecodeError decodeSlo(const CommandPacket &resp,
+                                    WireSlo *out);
+
+    /**
+     * One AlertSnapshot page: appends its records to @p out and
+     * reports the card's claimed @p total and this page's @p k.
+     */
+    static OpsDecodeError decodeAlertPage(const CommandPacket &resp,
+                                          std::uint32_t *total,
+                                          std::uint32_t *k,
+                                          std::vector<WireAlert> *out);
+
   private:
     CmdDriver &driver_;
+    OpsDecodeError lastError_ = OpsDecodeError::Ok;
 };
 
 } // namespace harmonia

@@ -1,0 +1,121 @@
+#include "obs/top_view.h"
+
+#include <cstdio>
+
+namespace harmonia {
+
+namespace {
+
+/** Worst alert state among specs scoped to @p prefix. */
+const char *
+alertCell(const SloEngine &slo, const std::string &prefix)
+{
+    AlertState worst = AlertState::Inactive;
+    bool any = false;
+    for (std::size_t i = 0; i < slo.specCount(); ++i) {
+        const SloSpec &spec = slo.spec(i);
+        const auto scoped = [&prefix](const std::string &metric) {
+            return metric.compare(0, prefix.size(), prefix) == 0;
+        };
+        if (!scoped(spec.metric) && !scoped(spec.badMetric) &&
+            !scoped(spec.totalMetric))
+            continue;
+        any = true;
+        const AlertState st = slo.status(i).state;
+        if (static_cast<std::uint32_t>(st) >
+            static_cast<std::uint32_t>(worst))
+            worst = st;
+    }
+    if (!any)
+        return "-";
+    switch (worst) {
+      case AlertState::Inactive:
+        return "ok";
+      case AlertState::Pending:
+        return "PENDING";
+      case AlertState::Firing:
+        return "FIRING";
+      case AlertState::Resolved:
+        return "resolved";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+renderTop(const ObsHub &hub, Tick now, const TopOptions &options)
+{
+    std::string out;
+    char line[256];
+
+    std::snprintf(
+        line, sizeof line,
+        "harmonia-top  t=%llu  devices=%zu  polls=%llu  "
+        "stream=%lluw  snapshot-equiv=%lluw\n",
+        static_cast<unsigned long long>(now), hub.deviceCount(),
+        static_cast<unsigned long long>(hub.polls()),
+        static_cast<unsigned long long>(hub.streamedWireWords()),
+        static_cast<unsigned long long>(
+            hub.snapshotEquivalentWords()));
+    out += line;
+
+    std::snprintf(line, sizeof line,
+                  "%-10s %-14s %-6s %10s %12s %12s %5s %5s %-8s\n",
+                  "DEVICE", "ROLE", "WD", "OCC", "CMD/S", "P99(ps)",
+                  "GAPS", "RSYNC", "ALERT");
+    out += line;
+
+    const TimeSeriesStore &store = hub.store();
+    for (const std::string &label : hub.deviceLabels()) {
+        const ObsDeviceStatus &st = hub.device(label);
+        const double occ =
+            store.latest(st.prefix + options.occupancySeries);
+        const double cmd_rate = store.rate(
+            st.prefix + options.commandsSeries, options.rateWindow,
+            now);
+        const double p99 =
+            store.latest(st.prefix + options.p99Series);
+        std::snprintf(
+            line, sizeof line,
+            "%-10s %-14s %-6s %10.3f %12.3f %12.3f %5llu %5llu "
+            "%-8s\n",
+            st.label.c_str(), st.role.c_str(),
+            st.alive ? "alive" : "DEAD", occ, cmd_rate, p99,
+            static_cast<unsigned long long>(st.gapsDetected),
+            static_cast<unsigned long long>(st.resyncs),
+            alertCell(hub.slo(), st.prefix));
+        out += line;
+    }
+
+    // Footer: the fleet-scoped alerts (specs over fleet/ series).
+    std::size_t firing = 0;
+    std::size_t pending = 0;
+    std::string detail;
+    const SloEngine &slo = hub.slo();
+    for (std::size_t i = 0; i < slo.specCount(); ++i) {
+        const AlertStatus &st = slo.status(i);
+        if (st.state == AlertState::Firing)
+            ++firing;
+        else if (st.state == AlertState::Pending)
+            ++pending;
+        if (st.state == AlertState::Firing ||
+            st.state == AlertState::Pending) {
+            std::snprintf(line, sizeof line,
+                          "  [%s] %s burn=%.3f\n",
+                          st.state == AlertState::Firing
+                              ? "firing"
+                              : "pending",
+                          st.name.c_str(), st.burnRate);
+            detail += line;
+        }
+    }
+    std::snprintf(line, sizeof line,
+                  "fleet alerts: %zu firing, %zu pending (of %zu)\n",
+                  firing, pending, slo.specCount());
+    out += line;
+    out += detail;
+    return out;
+}
+
+} // namespace harmonia

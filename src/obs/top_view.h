@@ -1,0 +1,41 @@
+/**
+ * @file
+ * `harmonia-top`: a deterministic text dashboard over the ObsHub.
+ * One row per federated card — role, watchdog/liveness verdict,
+ * kernel buffer occupancy, command rate, service-time p99, stream
+ * health (gaps, resyncs) and the worst alert state of any fleet SLO
+ * scoped to that device — plus a footer with the fleet-level alerts
+ * and the streamed-vs-snapshot wire accounting. Everything is
+ * computed from the hub's time-series store with fixed-width, fixed
+ * -precision formatting, so the same simulated history renders the
+ * same bytes on every rerun and thread count: examples show it live,
+ * tests byte-diff it.
+ */
+
+#ifndef HARMONIA_OBS_TOP_VIEW_H_
+#define HARMONIA_OBS_TOP_VIEW_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "obs/hub.h"
+
+namespace harmonia {
+
+/** Rendering knobs; the defaults suit the 250 MHz kernel clock. */
+struct TopOptions {
+    /** Window the command rate is computed over. */
+    Tick rateWindow = 50'000'000;
+    /** Series cores each row reads (under the device prefix). */
+    std::string occupancySeries = "uck/buffer_occupancy";
+    std::string commandsSeries = "uck/commands_executed";
+    std::string p99Series = "uck/service_time_ps/p99";
+};
+
+/** Render the dashboard at simulated time @p now. */
+std::string renderTop(const ObsHub &hub, Tick now,
+                      const TopOptions &options = {});
+
+} // namespace harmonia
+
+#endif // HARMONIA_OBS_TOP_VIEW_H_

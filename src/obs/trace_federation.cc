@@ -1,0 +1,125 @@
+#include "obs/trace_federation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "telemetry/profiler.h"
+
+namespace harmonia {
+
+void
+TraceFederation::addDevice(const std::string &label,
+                           const std::string &who_prefix)
+{
+    devices_.push_back({label, who_prefix});
+}
+
+std::string
+TraceFederation::deviceFor(const std::string &who) const
+{
+    // Longest matching prefix wins, so "unified_DeviceA" does not
+    // also claim a hypothetical "unified_DeviceA2" track.
+    const DevicePrefix *best = nullptr;
+    for (const DevicePrefix &d : devices_) {
+        if (who.compare(0, d.prefix.size(), d.prefix) != 0)
+            continue;
+        if (best == nullptr ||
+            d.prefix.size() > best->prefix.size())
+            best = &d;
+    }
+    return best != nullptr ? best->label : "host";
+}
+
+std::vector<std::uint64_t>
+TraceFederation::crossDeviceCorrs(const Trace &trace,
+                                  std::size_t min_devices) const
+{
+    std::map<std::uint64_t, std::set<std::string>> touched;
+    for (const Trace::Span &s : trace.spans()) {
+        if (s.corr == 0)
+            continue;
+        const std::string dev = deviceFor(s.who);
+        if (dev != "host")
+            touched[s.corr].insert(dev);
+    }
+    std::vector<std::uint64_t> out;
+    for (const auto &kv : touched)
+        if (kv.second.size() >= min_devices)
+            out.push_back(kv.first);
+    return out;
+}
+
+FederatedTree
+TraceFederation::treeForCorr(const Trace &trace,
+                             std::uint64_t corr) const
+{
+    FederatedTree tree;
+    tree.corr = corr;
+    std::set<std::string> devices;
+    for (const Trace::Span &s : spanTreeForCorr(trace, corr)) {
+        FederatedSpan fs;
+        fs.device = deviceFor(s.who);
+        fs.span = s;
+        if (fs.device != "host")
+            devices.insert(fs.device);
+        tree.spans.push_back(std::move(fs));
+    }
+    tree.devices.assign(devices.begin(), devices.end());
+    return tree;
+}
+
+std::string
+TraceFederation::render(const FederatedTree &tree)
+{
+    std::map<SpanId, Tick> child_ticks;
+    for (const FederatedSpan &fs : tree.spans)
+        if (fs.span.parent != 0)
+            child_ticks[fs.span.parent] +=
+                fs.span.end - fs.span.begin;
+
+    const auto depthOf = [&tree](const Trace::Span &s) {
+        int d = 0;
+        SpanId p = s.parent;
+        // Bounded walk: the tree is tiny and acyclic by construction.
+        while (p != 0 && d < 16) {
+            bool found = false;
+            for (const FederatedSpan &t : tree.spans)
+                if (t.span.id == p) {
+                    p = t.span.parent;
+                    found = true;
+                    break;
+                }
+            if (!found)
+                break;
+            ++d;
+        }
+        return d;
+    };
+
+    std::string out = format("corr %llu across [",
+                             static_cast<unsigned long long>(
+                                 tree.corr));
+    for (std::size_t i = 0; i < tree.devices.size(); ++i)
+        out += (i != 0 ? " " : "") + tree.devices[i];
+    out += "]\n";
+
+    for (const FederatedSpan &fs : tree.spans) {
+        const Trace::Span &s = fs.span;
+        const Tick dur = s.end - s.begin;
+        const auto it = child_ticks.find(s.id);
+        const Tick children =
+            it == child_ticks.end() ? 0 : it->second;
+        const Tick self = dur - std::min(dur, children);
+        out += format("%*s[%-8s] %s/%s %-24s %10llu ticks "
+                      "(self %llu)\n",
+                      depthOf(s) * 2, "", fs.device.c_str(),
+                      s.who.c_str(), s.cat.c_str(), s.what.c_str(),
+                      static_cast<unsigned long long>(dur),
+                      static_cast<unsigned long long>(self));
+    }
+    return out;
+}
+
+} // namespace harmonia

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace federation: fleet-level views over the causal span trace.
+ * Every simulated card appends to the same process-wide Trace, and a
+ * request that hops devices (a failover replay, a cross-card command)
+ * keeps its 64-bit correlation id across the hop. Federation makes
+ * that explicit: attribute each span to a device by its `who` track,
+ * find the corrs that actually crossed devices, and stitch one corr's
+ * spans into a single fleet-level tree rendered with per-device
+ * attribution — the "what did this request touch, everywhere" query
+ * an incident review starts with.
+ */
+
+#ifndef HARMONIA_OBS_TRACE_FEDERATION_H_
+#define HARMONIA_OBS_TRACE_FEDERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace harmonia {
+
+/** One span with its resolved device attribution. */
+struct FederatedSpan {
+    std::string device;  ///< matched label, or "host" for software
+    Trace::Span span;
+};
+
+/** One correlation id's stitched fleet-level tree. */
+struct FederatedTree {
+    std::uint64_t corr = 0;
+    std::vector<std::string> devices;  ///< distinct, name-sorted
+    std::vector<FederatedSpan> spans;  ///< begin-then-id ordered
+};
+
+/**
+ * Maps span `who` tracks to device labels. A span whose who starts
+ * with a registered prefix (a shell name like "unified_DeviceA")
+ * belongs to that device; everything else is host software.
+ */
+class TraceFederation {
+  public:
+    /** Register one device; @p who_prefix is typically the shell name. */
+    void addDevice(const std::string &label,
+                   const std::string &who_prefix);
+
+    std::size_t deviceCount() const { return devices_.size(); }
+
+    /** Device label for one span track ("host" when unmatched). */
+    std::string deviceFor(const std::string &who) const;
+
+    /**
+     * Correlation ids whose completed spans touch at least
+     * @p min_devices distinct devices (host attribution does not
+     * count as a device). Ascending, deduplicated.
+     */
+    std::vector<std::uint64_t>
+    crossDeviceCorrs(const Trace &trace,
+                     std::size_t min_devices = 2) const;
+
+    /** Stitch one corr's spans into a fleet-level tree. */
+    FederatedTree treeForCorr(const Trace &trace,
+                              std::uint64_t corr) const;
+
+    /**
+     * Render a federated tree as indented text, one line per hop with
+     * device attribution, duration and self time. Deterministic.
+     */
+    static std::string render(const FederatedTree &tree);
+
+  private:
+    struct DevicePrefix {
+        std::string label;
+        std::string prefix;
+    };
+
+    std::vector<DevicePrefix> devices_;  ///< longest-prefix wins
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_OBS_TRACE_FEDERATION_H_

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <map>
+#include <set>
 
 #include "common/json.h"
 #include "common/logging.h"
@@ -42,6 +43,51 @@ std::string
 ticksToUs(Tick t)
 {
     return format("%.6f", static_cast<double>(t) / 1e6);
+}
+
+/** A sample name split into its device scope and base series. */
+struct DeviceScope {
+    std::string device;  ///< empty when the name has no shell prefix
+    std::string base;
+};
+
+/**
+ * Shell-registered series are named `unified_<Device>/rest...`; the
+ * instance prefix peels off into a label so one fleet scrape keeps a
+ * single metric family per series. Names without a well-formed
+ * prefix pass through untouched.
+ */
+DeviceScope
+splitDevice(const std::string &name)
+{
+    constexpr char kShellPrefix[] = "unified_";
+    constexpr std::size_t kLen = sizeof kShellPrefix - 1;
+    if (name.compare(0, kLen, kShellPrefix) == 0) {
+        const std::size_t slash = name.find('/', kLen);
+        if (slash != std::string::npos && slash > kLen &&
+            slash + 1 < name.size())
+            return {name.substr(kLen, slash - kLen),
+                    name.substr(slash + 1)};
+    }
+    return {"", name};
+}
+
+/** Prometheus label-value escaping: backslash, quote, newline. */
+std::string
+labelEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\\' || c == '"')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
 }
 
 } // namespace
@@ -151,33 +197,71 @@ spansFromJsonLines(const std::string &text)
 }
 
 std::string
-toMetricsText(const std::vector<MetricSample> &samples)
+toMetricsText(const std::vector<MetricSample> &samples,
+              const MetricsTextOptions &opts)
 {
     std::string out;
+    std::set<std::string> typed;  // one TYPE line per family
     for (const MetricSample &s : samples) {
-        const std::string name = promName(s.name);
+        const DeviceScope scope = opts.flatNames
+                                      ? DeviceScope{"", s.name}
+                                      : splitDevice(s.name);
+        const std::string name = promName(scope.base);
+        const std::string dev =
+            scope.device.empty()
+                ? std::string()
+                : "device=\"" + labelEscape(scope.device) + "\"";
+
+        // A family's series line: base labels plus any extra label,
+        // brace-wrapped only when at least one label exists.
+        const auto series = [&dev](const std::string &family,
+                                   const char *extra) {
+            std::string labels = dev;
+            if (extra != nullptr) {
+                if (!labels.empty())
+                    labels += ',';
+                labels += extra;
+            }
+            return labels.empty() ? family
+                                  : family + "{" + labels + "}";
+        };
+        const auto typeLine = [&](const std::string &family,
+                                  const char *type) {
+            if (typed.insert(family).second)
+                out += format("# TYPE %s %s\n", family.c_str(), type);
+        };
+
         switch (s.kind) {
           case MetricKind::Counter:
-            out += format("# TYPE %s counter\n%s %.0f\n", name.c_str(),
-                          name.c_str(), s.value);
+            typeLine(name, "counter");
+            out += format("%s %.0f\n",
+                          series(name, nullptr).c_str(), s.value);
             break;
           case MetricKind::Gauge:
           case MetricKind::Rate:
-            out += format("# TYPE %s gauge\n%s %g\n", name.c_str(),
-                          name.c_str(), s.value);
+            typeLine(name, "gauge");
+            out += format("%s %g\n", series(name, nullptr).c_str(),
+                          s.value);
             break;
           case MetricKind::Histogram:
-            out += format("# TYPE %s summary\n", name.c_str());
-            out += format("%s_count %llu\n", name.c_str(),
+            typeLine(name, "summary");
+            out += format("%s %llu\n",
+                          series(name + "_count", nullptr).c_str(),
                           static_cast<unsigned long long>(s.count));
-            out += format("%s_min %llu\n", name.c_str(),
+            out += format("%s %llu\n",
+                          series(name + "_min", nullptr).c_str(),
                           static_cast<unsigned long long>(s.min));
-            out += format("%s_max %llu\n", name.c_str(),
+            out += format("%s %llu\n",
+                          series(name + "_max", nullptr).c_str(),
                           static_cast<unsigned long long>(s.max));
-            out += format("%s_mean %g\n", name.c_str(), s.mean);
-            out += format("%s{quantile=\"0.5\"} %g\n", name.c_str(),
+            out += format("%s %g\n",
+                          series(name + "_mean", nullptr).c_str(),
+                          s.mean);
+            out += format("%s %g\n",
+                          series(name, "quantile=\"0.5\"").c_str(),
                           s.p50);
-            out += format("%s{quantile=\"0.99\"} %g\n", name.c_str(),
+            out += format("%s %g\n",
+                          series(name, "quantile=\"0.99\"").c_str(),
                           s.p99);
             break;
         }

@@ -38,12 +38,29 @@ std::string toSpanJsonLines(const Trace &trace);
 /** Inverse of toSpanJsonLines(); malformed lines are skipped. */
 std::vector<Trace::Span> spansFromJsonLines(const std::string &text);
 
+/** Rendering options for toMetricsText(). */
+struct MetricsTextOptions {
+    /**
+     * Keep the legacy flat form: a `unified_<Device>/` shell prefix
+     * stays baked into the metric name and no device label is
+     * emitted. Default off — a fleet scrape wants one metric family
+     * per series with the card spelled as a device="..." label.
+     */
+    bool flatNames = false;
+};
+
 /**
  * Prometheus-style exposition text. Hierarchical names flatten with
  * '/' -> '_' plus a "harmonia_" namespace; histograms emit _count,
- * _min, _max, _mean and quantile-labelled series.
+ * _min, _max, _mean and quantile-labelled series. Series registered
+ * under a shell instance (`unified_<Device>/rest`) drop the prefix
+ * and carry it as a device="<Device>" label instead, so the same
+ * metric from every card lands in one family; `# TYPE` is emitted
+ * once per family. MetricsTextOptions::flatNames restores the
+ * pre-label form.
  */
-std::string toMetricsText(const std::vector<MetricSample> &samples);
+std::string toMetricsText(const std::vector<MetricSample> &samples,
+                          const MetricsTextOptions &opts = {});
 
 /** One JSON object per metric per line (jq-friendly). */
 std::string

@@ -1,5 +1,6 @@
 #include "telemetry/telemetry_target.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/flight_recorder.h"  // harmonia-lint: allow(LAYER-002) snapshots ride the command plane
@@ -25,6 +26,69 @@ milli(double v)
     return static_cast<std::uint64_t>(std::llround(v * 1000.0));
 }
 
+/** A flattened scalar series plus its current encoded value. */
+struct FlatSample {
+    ObsMapEntry entry;
+    std::uint64_t value = 0;
+};
+
+/**
+ * Flatten the registry snapshot into the scalar series a subscription
+ * streams, with current encoded values. Name-sorted; filtered to
+ * names starting with @p prefix when non-empty.
+ */
+std::vector<FlatSample>
+flattenValues(const MetricsRegistry &registry,
+              const std::string &prefix)
+{
+    std::vector<FlatSample> out;
+    for (const MetricSample &s : registry.snapshot()) {
+        if (!prefix.empty() &&
+            s.name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        switch (s.kind) {
+          case MetricKind::Counter:
+            out.push_back(
+                {{s.name, 0}, static_cast<std::uint64_t>(s.value)});
+            break;
+          case MetricKind::Gauge:
+          case MetricKind::Rate:
+            out.push_back({{s.name, 1}, milli(s.value)});
+            break;
+          case MetricKind::Histogram:
+            out.push_back({{s.name, 0}, s.count});
+            out.push_back({{s.name + "/p50", 1}, milli(s.p50)});
+            out.push_back({{s.name + "/p99", 1}, milli(s.p99)});
+            break;
+        }
+    }
+    // The registry snapshot is name-sorted, but the synthesized /p50
+    // and /p99 entries can interleave with sibling metric names.
+    std::sort(out.begin(), out.end(),
+              [](const FlatSample &a, const FlatSample &b) {
+                  return a.entry.name < b.entry.name;
+              });
+    return out;
+}
+
+/** FNV-1a over the map's names and encodings: the map identity. */
+std::uint64_t
+mapHash(const std::vector<FlatSample> &flat)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    const auto mix = [&h](std::uint8_t byte) {
+        h ^= byte;
+        h *= 1099511628211ULL;
+    };
+    for (const FlatSample &f : flat) {
+        for (char c : f.entry.name)
+            mix(static_cast<std::uint8_t>(c));
+        mix(0);
+        mix(static_cast<std::uint8_t>(f.entry.enc));
+    }
+    return h;
+}
+
 void
 packName(std::vector<std::uint32_t> &out, const std::string &name)
 {
@@ -43,6 +107,13 @@ packName(std::vector<std::uint32_t> &out, const std::string &name)
 }
 
 } // namespace
+
+void
+TelemetryTarget::packNameTo(std::vector<std::uint32_t> &out,
+                            const std::string &name)
+{
+    packName(out, name);
+}
 
 std::string
 TelemetryTarget::unpackName(const std::uint32_t *words, std::size_t n)
@@ -217,6 +288,166 @@ TelemetryTarget::flightDump()
     return res;
 }
 
+std::vector<ObsMapEntry>
+TelemetryTarget::flattenSeries(const MetricsRegistry &registry,
+                               const std::string &prefix)
+{
+    std::vector<ObsMapEntry> out;
+    for (const FlatSample &f : flattenValues(registry, prefix))
+        out.push_back(f.entry);
+    return out;
+}
+
+void
+TelemetryTarget::freezeMap(Subscription &sub)
+{
+    const std::vector<FlatSample> flat =
+        flattenValues(registry_, sub.prefix);
+    sub.map.clear();
+    for (const FlatSample &f : flat)
+        sub.map.push_back(f.entry);
+    sub.map_hash = mapHash(flat);
+    sub.shadow.assign(sub.map.size(), 0);
+    sub.sent.assign(sub.map.size(), false);
+    ++sub.epoch;
+}
+
+void
+TelemetryTarget::produceDelta(Subscription &sub,
+                              std::vector<std::uint32_t> &out)
+{
+    const std::vector<FlatSample> flat =
+        flattenValues(registry_, sub.prefix);
+
+    ++sub.seq;
+    out.clear();
+    if (mapHash(flat) != sub.map_hash) {
+        // The flattened series set changed under the subscriber:
+        // re-freeze, clear the shadow, and let the response carry
+        // only the new epoch; the subscriber re-reads the map pages
+        // and the next poll re-sends everything.
+        freezeMap(sub);
+        out.push_back(sub.epoch);
+        out.push_back(sub.seq);
+        out.push_back(0x1);  // flags: map changed
+        out.push_back(0);  // k
+        return;
+    }
+
+    out.push_back(sub.epoch);
+    out.push_back(sub.seq);
+    out.push_back(0);  // flags, patched below
+    out.push_back(0);  // k, patched below
+    std::uint32_t k = 0;
+    std::uint32_t flags = 0;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        const std::uint64_t v = flat[i].value;
+        if (sub.sent[i] && sub.shadow[i] == v)
+            continue;
+        if (k == kDeltaBatch) {
+            flags |= 0x2;  // more changed series than one batch
+            break;
+        }
+        out.push_back(static_cast<std::uint32_t>(i));
+        pushU64(out, v);
+        sub.shadow[i] = v;
+        sub.sent[i] = true;
+        ++k;
+    }
+    out[2] = flags;
+    out[3] = k;
+}
+
+CommandResult
+TelemetryTarget::obsSubscribe(const std::vector<std::uint32_t> &data)
+{
+    if (data.empty())
+        return {kCmdBadArgument, {}};
+
+    if (data[0] == 0) {
+        // Open a subscription, optionally prefix-filtered.
+        std::string prefix;
+        if (data.size() > 1) {
+            if (data.size() < 1 + kNameWords)
+                return {kCmdBadArgument, {}};
+            prefix = unpackName(data.data() + 1, kNameWords);
+        }
+        if (subs_.size() >= kMaxSubscriptions)
+            return {kCmdInternalError, {}};
+
+        const std::uint32_t id = next_sub_id_++;
+        Subscription &sub = subs_[id];
+        sub.prefix = prefix;
+        freezeMap(sub);
+
+        CommandResult res;
+        res.data.push_back(id);
+        res.data.push_back(sub.epoch);
+        res.data.push_back(static_cast<std::uint32_t>(sub.map.size()));
+        pushU64(res.data, sub.map_hash);
+        return res;
+    }
+
+    const auto it = subs_.find(data[0]);
+    if (it == subs_.end())
+        return {kCmdBadArgument, {}};
+    Subscription &sub = it->second;
+
+    if (data.size() == 1) {
+        // Close.
+        subs_.erase(it);
+        return {};
+    }
+
+    // Map page.
+    const std::size_t start = data[1];
+    CommandResult res;
+    res.data.push_back(static_cast<std::uint32_t>(sub.map.size()));
+    res.data.push_back(0);  // record count, patched below
+    std::uint32_t k = 0;
+    for (std::size_t i = start;
+         i < sub.map.size() && k < kMapBatch; ++i, ++k) {
+        res.data.push_back(static_cast<std::uint32_t>(i));
+        res.data.push_back(sub.map[i].enc);
+        packName(res.data, sub.map[i].name);
+    }
+    res.data[1] = k;
+    return res;
+}
+
+CommandResult
+TelemetryTarget::obsDelta(const std::vector<std::uint32_t> &data)
+{
+    if (data.empty())
+        return {kCmdBadArgument, {}};
+    const auto it = subs_.find(data[0]);
+    if (it == subs_.end())
+        return {kCmdBadArgument, {}};
+    Subscription &sub = it->second;
+
+    const std::uint32_t flags = data.size() > 1 ? data[1] : 0;
+    if (flags & 0x1) {
+        // Full resync: forget the shadow so every series is re-sent
+        // as if never transmitted.
+        sub.sent.assign(sub.map.size(), false);
+    }
+
+    CommandResult res;
+    produceDelta(sub, res.data);
+    return res;
+}
+
+bool
+TelemetryTarget::dropOneDelta(std::uint32_t sub_id)
+{
+    const auto it = subs_.find(sub_id);
+    if (it == subs_.end())
+        return false;
+    std::vector<std::uint32_t> discarded;
+    produceDelta(it->second, discarded);
+    return true;
+}
+
 CommandResult
 TelemetryTarget::executeCommand(std::uint16_t code,
                                 const std::vector<std::uint32_t> &data)
@@ -236,6 +467,10 @@ TelemetryTarget::executeCommand(std::uint16_t code,
         return alertSnapshot(data);
       case kCmdFlightDump:
         return flightDump();
+      case kCmdObsSubscribe:
+        return obsSubscribe(data);
+      case kCmdObsDelta:
+        return obsDelta(data);
       case kCmdModuleStatusRead:
         // Alive probe: number of registered entries.
         return {kCmdOk,

@@ -47,6 +47,32 @@
  *     [ pending, dumps_hi, dumps_lo ] after the request (pending is 0
  *     when an auto-dump path wrote the bundle synchronously).
  *
+ *   ObsSubscribe  (streaming-subscription control; DESIGN.md §15)
+ *     open:      data = [ 0 ] or [ 0, prefix[kNameWords] ]
+ *       -> [ subId, epoch, seriesCount, mapHash_hi, mapHash_lo ]
+ *       The card freezes a name-sorted *index map* of flattened
+ *       scalar series (counters and gauges one entry; a histogram
+ *       explodes into `name` (count), `name/p50`, `name/p99`) whose
+ *       names start with the optional prefix filter.
+ *     map page:  data = [ subId, start ]
+ *       -> [ seriesCount, k, then k records of
+ *            { mapIndex, enc, name[kNameWords] } ]
+ *       enc 0 = exact u64, enc 1 = milli-scaled u64 (x1000).
+ *     close:     data = [ subId ]  -> []
+ *
+ *   ObsDelta  data = [ subId ] or [ subId, flags ]
+ *     request flags bit0: full resync — forget the shadow so every
+ *     series is re-sent as if never transmitted.
+ *     -> [ epoch, seq, flags, k, then k records of
+ *          { mapIndex, value_hi, value_lo } ]
+ *     Response flags bit0: the flattened series set changed; the card
+ *     re-froze the map under a new epoch and cleared its shadow —
+ *     re-read the map pages, then poll again for the full re-send.
+ *     Response flags bit1: more changed series than one batch holds;
+ *     poll again immediately. seq increments on every produced delta
+ *     response, so a subscriber that sees seq jump by more than one
+ *     knows a response was lost and must request a full resync.
+ *
  * Indices are positions in the registry's name-sorted snapshot, so a
  * List immediately followed by Snapshots observes a consistent view
  * as long as no module registers or unregisters in between.
@@ -54,6 +80,8 @@
 
 #ifndef HARMONIA_TELEMETRY_TELEMETRY_TARGET_H_
 #define HARMONIA_TELEMETRY_TELEMETRY_TARGET_H_
+
+#include <map>
 
 #include "cmd/command.h"  // harmonia-lint: allow(LAYER-002) speaks the command wire format
 #include "telemetry/metrics_registry.h"
@@ -63,6 +91,13 @@ namespace harmonia {
 class Profiler;
 class SloEngine;
 class FlightRecorder;
+
+/** One flattened scalar series a subscription streams. */
+struct ObsMapEntry {
+    std::string name;
+    /** 0 = exact u64, 1 = milli-scaled u64 (x1000, clamped at 0). */
+    std::uint32_t enc = 0;
+};
 
 class TelemetryTarget : public CommandTarget {
   public:
@@ -77,6 +112,16 @@ class TelemetryTarget : public CommandTarget {
 
     /** Alert records per AlertSnapshot response. */
     static constexpr std::size_t kAlertBatch = 4;
+
+    /** Index-map records per ObsSubscribe map-page response. */
+    static constexpr std::size_t kMapBatch = 8;
+
+    /** Delta records per ObsDelta response (3 words each; the whole
+     *  response must fit PayloadLen's 8-bit word count). */
+    static constexpr std::size_t kDeltaBatch = 60;
+
+    /** Concurrent subscriptions one card serves. */
+    static constexpr std::size_t kMaxSubscriptions = 8;
 
     explicit TelemetryTarget(MetricsRegistry &registry =
                                  MetricsRegistry::instance())
@@ -113,7 +158,48 @@ class TelemetryTarget : public CommandTarget {
     static std::string unpackName(const std::uint32_t *words,
                                   std::size_t n = kNameWords);
 
+    /** Append a name packed the way List records carry it (host
+     *  tooling builds ObsSubscribe prefixes with this). */
+    static void packNameTo(std::vector<std::uint32_t> &out,
+                           const std::string &name);
+
+    /**
+     * Flatten the registry into the scalar series a subscription
+     * streams: counters/gauges/rates keep their name, histograms
+     * explode into `name` (count) plus milli-scaled `name/p50` and
+     * `name/p99`. Name-sorted; filtered to names starting with
+     * `prefix` when non-empty. Exposed for host tooling that needs
+     * the same flattening (ObsHub snapshot-cost accounting, tests).
+     */
+    static std::vector<ObsMapEntry>
+    flattenSeries(const MetricsRegistry &registry,
+                  const std::string &prefix);
+
+    /** Live subscriptions (tests). */
+    std::size_t subscriptionCount() const { return subs_.size(); }
+
+    /**
+     * Produce and discard the next delta for `subId`, advancing the
+     * shadow and sequence number exactly as if the response had been
+     * generated and then lost on the wire. Test hook for exercising
+     * the subscriber's gap-detection / full-resync path. Returns
+     * false when the subscription does not exist.
+     */
+    bool dropOneDelta(std::uint32_t sub_id);
+
   private:
+    struct Subscription {
+        std::string prefix;  ///< name filter ("" = everything)
+        std::vector<ObsMapEntry> map;  ///< frozen name-sorted index map
+        std::uint64_t map_hash = 0;  ///< FNV-1a over map names+enc
+        /** Last value sent per map index; entries in `sent` are
+         *  false until the series has been transmitted once. */
+        std::vector<std::uint64_t> shadow;
+        std::vector<bool> sent;
+        std::uint32_t epoch = 0;  ///< bumps when the map re-freezes
+        std::uint32_t seq = 0;  ///< increments per produced delta
+    };
+
     CommandResult list(const std::vector<std::uint32_t> &data);
     CommandResult snapshotOne(const std::vector<std::uint32_t> &data);
     CommandResult
@@ -123,11 +209,22 @@ class TelemetryTarget : public CommandTarget {
     CommandResult
     alertSnapshot(const std::vector<std::uint32_t> &data);
     CommandResult flightDump();
+    CommandResult obsSubscribe(const std::vector<std::uint32_t> &data);
+    CommandResult obsDelta(const std::vector<std::uint32_t> &data);
+
+    /** Freeze (or re-freeze) sub's map from the live registry. */
+    void freezeMap(Subscription &sub);
+
+    /** Encode one delta response for `sub` into `out`. */
+    void produceDelta(Subscription &sub,
+                      std::vector<std::uint32_t> &out);
 
     MetricsRegistry &registry_;
     Profiler *profiler_ = nullptr;
     SloEngine *slo_ = nullptr;
     FlightRecorder *recorder_ = nullptr;
+    std::map<std::uint32_t, Subscription> subs_;
+    std::uint32_t next_sub_id_ = 1;
 };
 
 } // namespace harmonia

@@ -34,7 +34,8 @@ allCodes()
         kCmdPrUnload,         kCmdPrStatus,          kCmdTelemetryList,
         kCmdTelemetrySnapshot, kCmdProfileSnapshot,  kCmdProfileReset,
         kCmdSloStatus,        kCmdAlertSnapshot,     kCmdFlightDump,
-        kCmdCheckpoint,       kCmdRestore,
+        kCmdCheckpoint,       kCmdRestore,           kCmdObsSubscribe,
+        kCmdObsDelta,
     };
     return codes;
 }

@@ -205,5 +205,112 @@ TEST(TimeSeries, RejectsDegenerateConfig)
     EXPECT_THROW(TimeSeriesStore{badWindow}, FatalError);
 }
 
+// --- Tier-boundary pins: the default rollup windows are 1k cycles
+// (mid, 4'000'000 ticks) and 100k cycles (long, 400'000'000 ticks) of
+// the 250 MHz kernel clock. These tests pin the exact boundary
+// semantics: a bucket covers [k*window, (k+1)*window), so a point
+// landing exactly ON a boundary tick belongs to the UPPER bucket and
+// seals the lower one. A regression here silently shifts every SLO
+// burn rate computed from rollup history.
+
+TEST(TimeSeries, PointOnMidBoundaryBelongsToUpperBucket)
+{
+    TimeSeriesStore store;  // default tiers: 4'000'000 / 400'000'000
+    store.ingestPoint(0, "s", 1.0);
+    store.ingestPoint(3'999'999, "s", 2.0);  // last tick of bucket 0
+
+    // Bucket 0 is still open: no sealed history yet.
+    std::vector<TsRollup> mid = store.rollups("s", TsTier::Mid);
+    ASSERT_EQ(mid.size(), 1u);
+    EXPECT_EQ(mid[0].windowStart, 0u);
+    EXPECT_EQ(mid[0].count, 2u);
+
+    // Exactly 4'000'000 seals bucket 0 and opens [4M, 8M) with the
+    // boundary point inside it — boundary ticks are never counted in
+    // the lower bucket.
+    store.ingestPoint(4'000'000, "s", 7.0);
+    mid = store.rollups("s", TsTier::Mid);
+    ASSERT_EQ(mid.size(), 2u);
+    EXPECT_EQ(mid[0].windowStart, 0u);
+    EXPECT_EQ(mid[0].count, 2u);
+    EXPECT_EQ(mid[0].min, 1.0);
+    EXPECT_EQ(mid[0].max, 2.0);
+    EXPECT_EQ(mid[0].sum, 3.0);
+    EXPECT_EQ(mid[0].last, 2.0);
+    EXPECT_EQ(mid[1].windowStart, 4'000'000u);
+    EXPECT_EQ(mid[1].count, 1u);
+    EXPECT_EQ(mid[1].min, 7.0);
+    EXPECT_EQ(mid[1].max, 7.0);
+
+    // One more full bucket: [4M, 8M) sealed with exactly the
+    // boundary point and its interior follower.
+    store.ingestPoint(7'999'999, "s", 9.0);
+    store.ingestPoint(8'000'000, "s", 0.5);
+    mid = store.rollups("s", TsTier::Mid);
+    ASSERT_EQ(mid.size(), 3u);
+    EXPECT_EQ(mid[1].windowStart, 4'000'000u);
+    EXPECT_EQ(mid[1].count, 2u);
+    EXPECT_EQ(mid[1].sum, 16.0);
+    EXPECT_EQ(mid[2].windowStart, 8'000'000u);
+
+    // The long tier saw the same five points in one open bucket —
+    // mid boundaries are invisible to it.
+    const std::vector<TsRollup> lng = store.rollups("s", TsTier::Long);
+    ASSERT_EQ(lng.size(), 1u);
+    EXPECT_EQ(lng[0].windowStart, 0u);
+    EXPECT_EQ(lng[0].count, 5u);
+}
+
+TEST(TimeSeries, LongTierSealsExactlyAtHundredKCycleSeam)
+{
+    TimeSeriesStore store;
+    store.ingestPoint(399'999'999, "s", 3.0);  // last long-bucket tick
+    store.ingestPoint(400'000'000, "s", 5.0);  // first of the next
+
+    const std::vector<TsRollup> lng =
+        store.rollups("s", TsTier::Long);
+    ASSERT_EQ(lng.size(), 2u);
+    EXPECT_EQ(lng[0].windowStart, 0u);
+    EXPECT_EQ(lng[0].count, 1u);
+    EXPECT_EQ(lng[0].last, 3.0);
+    EXPECT_EQ(lng[1].windowStart, 400'000'000u);
+    EXPECT_EQ(lng[1].count, 1u);
+    EXPECT_EQ(lng[1].last, 5.0);
+
+    // The same two points straddle a mid seam too: 399'999'999 is in
+    // mid bucket [396M, 400M), the boundary point in [400M, 404M).
+    const std::vector<TsRollup> mid = store.rollups("s", TsTier::Mid);
+    ASSERT_EQ(mid.size(), 2u);
+    EXPECT_EQ(mid[0].windowStart, 396'000'000u);
+    EXPECT_EQ(mid[1].windowStart, 400'000'000u);
+}
+
+TEST(TimeSeries, WindowQueriesSpanTierSeamsOverRawPoints)
+{
+    TimeSeriesStore store;
+    // One point each side of the long seam plus one far earlier.
+    store.ingestPoint(300'000'000, "s", 1.0);
+    store.ingestPoint(399'999'999, "s", 2.0);
+    store.ingestPoint(400'000'001, "s", 4.0);
+
+    // A window straddling the 400M seam sees both adjacent points —
+    // windowed queries run over the raw ring, never rollup buckets,
+    // so a tier seam cannot split or drop samples.
+    const TsWindowStats st =
+        store.windowStats("s", 10, 400'000'005);
+    ASSERT_EQ(st.count, 2u);
+    EXPECT_EQ(st.first, 2.0);
+    EXPECT_EQ(st.last, 4.0);
+    EXPECT_EQ(st.firstTick, 399'999'999u);
+    EXPECT_EQ(st.lastTick, 400'000'001u);
+    EXPECT_EQ(store.delta("s", 10, 400'000'005), 2.0);
+
+    // Window edges are inclusive on both sides: [from, now].
+    const TsWindowStats edge =
+        store.windowStats("s", 2, 400'000'001);
+    ASSERT_EQ(edge.count, 2u);
+    EXPECT_EQ(edge.firstTick, 399'999'999u);
+}
+
 } // namespace
 } // namespace harmonia

@@ -264,6 +264,106 @@ TEST(MetricsTextExport, EmptyAndSingleSampleHistograms)
     EXPECT_EQ(s.p50, s.p99);
 }
 
+TEST(MetricsTextExport, ShellPrefixBecomesDeviceLabel)
+{
+    std::vector<MetricSample> samples;
+    MetricSample a;
+    a.name = "unified_DeviceA/uck/commands_executed";
+    a.kind = MetricKind::Counter;
+    a.value = 7;
+    samples.push_back(a);
+    MetricSample b = a;
+    b.name = "unified_DeviceB/uck/commands_executed";
+    b.value = 9;
+    samples.push_back(b);
+    MetricSample h;
+    h.name = "unified_DeviceB/uck/service_time_ps";
+    h.kind = MetricKind::Histogram;
+    h.count = 4;
+    h.min = 100;
+    h.max = 900;
+    h.mean = 400.0;
+    h.p50 = 300.0;
+    h.p99 = 900.0;
+    samples.push_back(h);
+    MetricSample fleet;
+    fleet.name = "fleet/devices/alive";
+    fleet.kind = MetricKind::Gauge;
+    fleet.value = 4;
+    samples.push_back(fleet);
+
+    const std::string text = toMetricsText(samples);
+    // Both cards land in one family: TYPE once, one series per card.
+    const std::string family = "harmonia_uck_commands_executed";
+    std::size_t types = 0;
+    for (std::size_t at = text.find("# TYPE " + family + " counter");
+         at != std::string::npos;
+         at = text.find("# TYPE " + family + " counter", at + 1))
+        ++types;
+    EXPECT_EQ(types, 1u);
+    EXPECT_NE(text.find(family + "{device=\"DeviceA\"} 7"),
+              std::string::npos);
+    EXPECT_NE(text.find(family + "{device=\"DeviceB\"} 9"),
+              std::string::npos);
+    // The flat spelling is gone entirely.
+    EXPECT_EQ(text.find("harmonia_unified_"), std::string::npos);
+
+    // Summary sub-series carry the label; quantile lines merge it
+    // with the quantile label.
+    const std::string hn = "harmonia_uck_service_time_ps";
+    EXPECT_NE(text.find(hn + "_count{device=\"DeviceB\"} 4"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find(hn + "{device=\"DeviceB\",quantile=\"0.99\"} 900"),
+        std::string::npos);
+
+    // Fleet-scoped (non-shell) series stay unlabelled.
+    EXPECT_NE(text.find("harmonia_fleet_devices_alive 4"),
+              std::string::npos);
+}
+
+TEST(MetricsTextExport, FlatNamesOptionRestoresLegacyForm)
+{
+    std::vector<MetricSample> samples;
+    MetricSample a;
+    a.name = "unified_DeviceA/uck/commands_executed";
+    a.kind = MetricKind::Counter;
+    a.value = 7;
+    samples.push_back(a);
+
+    MetricsTextOptions opts;
+    opts.flatNames = true;
+    const std::string text = toMetricsText(samples, opts);
+    EXPECT_NE(
+        text.find(
+            "harmonia_unified_DeviceA_uck_commands_executed 7"),
+        std::string::npos);
+    EXPECT_EQ(text.find("device=\""), std::string::npos);
+}
+
+TEST(MetricsTextExport, MalformedShellPrefixesStayFlat)
+{
+    // No slash, an empty device, and a prefix with nothing after the
+    // slash are all left as plain (sanitized) names, never labelled.
+    const char *names[] = {"unified_DeviceA", "unified_/x",
+                           "unified_DeviceA/"};
+    std::vector<MetricSample> samples;
+    for (const char *n : names) {
+        MetricSample s;
+        s.name = n;
+        s.kind = MetricKind::Counter;
+        s.value = 1;
+        samples.push_back(s);
+    }
+    const std::string text = toMetricsText(samples);
+    EXPECT_EQ(text.find("device=\""), std::string::npos);
+    EXPECT_NE(text.find("harmonia_unified_DeviceA 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("harmonia_unified__x 1"), std::string::npos);
+    EXPECT_NE(text.find("harmonia_unified_DeviceA_ 1"),
+              std::string::npos);
+}
+
 TEST(MetricsJsonLinesExport, EscapesNamesIntoValidJson)
 {
     std::vector<MetricSample> samples;

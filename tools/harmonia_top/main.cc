@@ -1,0 +1,80 @@
+/**
+ * @file
+ * harmonia_top: the fleet dashboard console.
+ *
+ *   harmonia_top [--seed N] [--rounds N] [--live] [--no-fault]
+ *                [--summary]
+ *
+ * Runs the canned 4-card federation scenario (src/obs/fleet_sim) and
+ * prints the harmonia-top dashboard. Default is one final snapshot —
+ * deterministic bytes, suitable for CI byte-diffing across reruns and
+ * HARMONIA_SIM_THREADS settings. --live re-renders the dashboard
+ * after every poll round instead (watch the victim die mid-run);
+ * --summary appends the per-device stream-state lines. Exit is 0;
+ * all scenario logic lives library-side.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/fleet_sim.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--rounds N] [--live] "
+                 "[--no-fault] [--summary]\n",
+                 argv0);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harmonia::FleetSimConfig cfg;
+    bool live = false;
+    bool summary = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            cfg.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--rounds") == 0) {
+            if (i + 1 >= argc)
+                return usage(argv[0]);
+            cfg.rounds = std::atoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--live") == 0) {
+            live = true;
+        } else if (std::strcmp(argv[i], "--no-fault") == 0) {
+            cfg.injectFault = false;
+        } else if (std::strcmp(argv[i], "--summary") == 0) {
+            summary = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    harmonia::FleetSim sim(cfg);
+    if (live) {
+        do {
+            std::fputs(sim.top().c_str(), stdout);
+            std::fputs("\n", stdout);
+        } while (sim.step());
+    } else {
+        sim.run();
+    }
+
+    std::fputs(sim.top().c_str(), stdout);
+    if (summary)
+        std::fputs(sim.summary().c_str(), stdout);
+    std::printf("fingerprint %016llx\n",
+                static_cast<unsigned long long>(sim.fingerprint()));
+    return 0;
+}
