@@ -26,7 +26,11 @@
  * (default 60%) whenever a run reports it: the streaming telemetry
  * plane is only justified while it moves well fewer wire words than
  * the snapshot polling it replaced. Override with
- * $HARMONIA_STREAM_OVERHEAD_CEILING; 0 disables the gate.
+ * $HARMONIA_STREAM_OVERHEAD_CEILING; 0 disables the gate. The fleet
+ * scheduler adds two more of the same shape:
+ * "placement_latency_cycles" under $HARMONIA_PLACEMENT_CEILING
+ * (default 60000) and "migration_downtime_cycles" under
+ * $HARMONIA_MIGRATION_CEILING (default 120000).
  */
 
 #include <cstdio>
@@ -234,6 +238,44 @@ main(int argc, char **argv)
         std::printf("%d scenario(s) above the stream-overhead "
                     "ceiling\n",
                     stream_failures);
+        return 1;
+    }
+
+    // --- Absolute ceilings on the fleet scheduler numbers. Both are
+    // sim-time deterministic, so the defaults sit a small factor over
+    // the measured values: blowing one means the placement path or
+    // the migration state machine itself got slower, not noise. ---
+    const auto absoluteCeiling = [&all](const char *env_name,
+                                        double fallback,
+                                        const char *metric) {
+        const char *env = std::getenv(env_name);
+        const double ceiling =
+            env != nullptr ? std::strtod(env, nullptr) : fallback;
+        int failures = 0;
+        for (std::size_t i = 0; ceiling > 0.0 && i < all.size();
+             ++i) {
+            const JsonValue &metrics = all.at(i).get("metrics");
+            if (!metrics.has(metric))
+                continue;
+            const double c = metrics.get(metric).asDouble();
+            const bool ok = c <= ceiling;
+            std::printf("%s %s/%s: %.0f (ceiling %.0f)\n",
+                        ok ? "  ok " : "GATE:",
+                        scenarioKey(all.at(i)).c_str(), metric, c,
+                        ceiling);
+            if (!ok)
+                ++failures;
+        }
+        return failures;
+    };
+    const int fleet_failures =
+        absoluteCeiling("HARMONIA_PLACEMENT_CEILING", 60000.0,
+                        "placement_latency_cycles") +
+        absoluteCeiling("HARMONIA_MIGRATION_CEILING", 120000.0,
+                        "migration_downtime_cycles");
+    if (fleet_failures != 0) {
+        std::printf("%d scenario(s) above a fleet ceiling\n",
+                    fleet_failures);
         return 1;
     }
 

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fleet bench: the two rack-scheduler headline numbers. Placement
+ * latency is the cycles between a tenant's admission decision and its
+ * role answering commands on the chosen PR slot (dominated by partial
+ * reconfiguration). Migration downtime is the cycles a tenant is dark
+ * during a live move — drain, checkpoint, re-place, restore, replay,
+ * cutover. Both come out of the same deterministic scheduler drill
+ * the chaos tests run (8 heterogeneous cards, a DeviceDeath window,
+ * cross-vendor moves), so the numbers are sim-time exact and safe to
+ * regression-gate with absolute ceilings.
+ */
+
+#include <cstdio>
+
+#include "bench_report.h"
+#include "fleet/scheduler_drill.h"
+
+using namespace harmonia;
+
+int
+main()
+{
+    SchedulerDrillConfig cfg;
+    cfg.requests = scaledIters(120, 40);
+    const SchedulerDrillReport rep = SchedulerDrill(cfg).run();
+
+    // A bench on a broken fleet is a lie: the invariants the tests
+    // enforce must hold here too before any number is reported.
+    if (!rep.zeroLoss) {
+        std::fprintf(stderr, "acked-command loss during bench\n");
+        return 1;
+    }
+    if (rep.migrations == 0 || rep.placements == 0) {
+        std::fprintf(stderr, "drill too thin: %llu placements, "
+                             "%llu migrations\n",
+                     static_cast<unsigned long long>(rep.placements),
+                     static_cast<unsigned long long>(rep.migrations));
+        return 1;
+    }
+    if (rep.degradedEnd != 0) {
+        std::fprintf(stderr, "%llu tenants still degraded\n",
+                     static_cast<unsigned long long>(rep.degradedEnd));
+        return 1;
+    }
+
+    BenchReport("fleet", "rack8_mixed_tenants")
+        .metric("placement_latency_cycles", rep.meanPlacementCycles)
+        .metric("placement_latency_cycles_max",
+                static_cast<double>(rep.maxPlacementCycles))
+        .metric("migration_downtime_cycles", rep.meanMigrationCycles)
+        .metric("migration_downtime_cycles_max",
+                static_cast<double>(rep.maxMigrationCycles))
+        .metric("placements", static_cast<double>(rep.placements))
+        .metric("migrations", static_cast<double>(rep.migrations))
+        .metric("cross_vendor_migrations",
+                static_cast<double>(rep.crossVendorMigrations))
+        .emit();
+    return 0;
+}

@@ -25,6 +25,7 @@ benches=(
     bench_abl_cdc
     bench_fig17_apps
     bench_failover
+    bench_fleet
     bench_obs_overhead
 )
 

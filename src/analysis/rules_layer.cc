@@ -51,6 +51,7 @@ layerOrder()
         "obs",       // time-series store, SLO engine, flight recorder
         "host",      // host-side drivers and DMA
         "ha",        // watchdog + failover orchestration over drivers
+        "fleet",     // rack-scale scheduler over the HA + obs planes
         "frameworks",// comparison frameworks
         "analysis",  // this subsystem: nothing may depend on it
     };

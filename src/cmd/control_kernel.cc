@@ -74,6 +74,13 @@ UnifiedControlKernel::unregisterTarget(std::uint8_t rbb_id,
     targets_.erase(std::make_pair(rbb_id, instance_id));
 }
 
+bool
+UnifiedControlKernel::hasTarget(std::uint8_t rbb_id,
+                                std::uint8_t instance_id) const
+{
+    return targets_.count(std::make_pair(rbb_id, instance_id)) != 0;
+}
+
 std::size_t
 UnifiedControlKernel::bufferSpace() const
 {

@@ -53,6 +53,14 @@ class UnifiedControlKernel : public Component {
     void unregisterTarget(std::uint8_t rbb_id,
                           std::uint8_t instance_id);
 
+    /** Whether a routing entry exists for (rbb_id, instance_id). */
+    bool hasTarget(std::uint8_t rbb_id,
+                   std::uint8_t instance_id) const;
+
+    /** Registered routing entries — the fleet soak suite asserts a
+     *  churned kernel holds no stale role targets. */
+    std::size_t targetCount() const { return targets_.size(); }
+
     /** Space left in the command buffer. */
     std::size_t bufferSpace() const;
 

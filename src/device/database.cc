@@ -88,6 +88,14 @@ DeviceDatabase::standard()
     return db;
 }
 
+ResourceVector
+roleRegionBudget(const FpgaDevice &device, double shell_fraction)
+{
+    if (shell_fraction < 0.0 || shell_fraction >= 1.0)
+        fatal("shell fraction %.2f outside [0, 1)", shell_fraction);
+    return device.chip().budget.scaled(1.0 - shell_fraction);
+}
+
 std::vector<FleetYear>
 fleetHistory(const DeviceDatabase &db)
 {

@@ -41,6 +41,17 @@ struct FpgaDevice {
     std::string toString() const;
 };
 
+/**
+ * The on-chip budget left for tenant role partitions after the shell
+ * (RBBs, wrappers, control kernel) takes its cut: the device's chip
+ * budget scaled by (1 - @p shell_fraction). The default fraction is
+ * the upper end of the paper's shell overhead measurements (Fig 16);
+ * the fleet manager sizes PR slot tables against this so a card is
+ * never partitioned past what its die can actually host.
+ */
+ResourceVector roleRegionBudget(const FpgaDevice &device,
+                                double shell_fraction = 0.15);
+
 /** One year of fleet evolution (Figure 3c's series). */
 struct FleetYear {
     unsigned year = 2020;

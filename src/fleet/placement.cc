@@ -1,0 +1,169 @@
+#include "fleet/placement.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harmonia {
+
+const char *
+toString(PlacementReject reject)
+{
+    switch (reject) {
+      case PlacementReject::None:
+        return "none";
+      case PlacementReject::MissingPeripheral:
+        return "missing_peripheral";
+      case PlacementReject::NoCapacity:
+        return "no_capacity";
+      case PlacementReject::AntiAffinity:
+        return "anti_affinity";
+      case PlacementReject::FleetFull:
+        return "fleet_full";
+    }
+    return "?";
+}
+
+PlacementEngine::PlacementEngine(PlacementWeights weights)
+    : weights_(weights)
+{
+}
+
+bool
+PlacementEngine::peripheralsOk(const FleetRoleSpec &spec,
+                               const PlacementCardView &card)
+{
+    const RoleRequirements &r = spec.reqs;
+    if (card.device == nullptr)
+        return false;
+    if (r.needsNetwork &&
+        card.device->byClass(PeripheralClass::Network).size() <
+            r.networkPorts)
+        return false;
+    if (r.needsMemory) {
+        if (card.device->byClass(PeripheralClass::Memory).empty())
+            return false;
+        // HBM-class bandwidth demands an HBM stack; a DDR channel
+        // cannot satisfy a full-corpus scanner (cf. tailoring).
+        if (r.memoryBandwidthGBps > 50.0 &&
+            !card.device->has(PeripheralKind::Hbm))
+            return false;
+    }
+    if (r.needsHost &&
+        card.device->byClass(PeripheralClass::Host).empty())
+        return false;
+    return true;
+}
+
+double
+PlacementEngine::scoreSlot(const FleetRoleSpec &spec,
+                           const PlacementCardView &card,
+                           const PlacementSlotView &slot) const
+{
+    // Best-fit: the tighter the role packs the slot, the less
+    // capacity is stranded behind it.
+    const double fit =
+        spec.reqs.roleLogic.maxUtilization(slot.capacity);
+    std::size_t free_slots = 0;
+    for (const PlacementSlotView &s : card.slots)
+        if (s.free)
+            ++free_slots;
+    const double spread =
+        card.slots.empty()
+            ? 0.0
+            : static_cast<double>(free_slots) /
+                  static_cast<double>(card.slots.size());
+    const double latency_penalty =
+        std::min(card.placementLatencyCycles / 1e6 * weights_.latency,
+                 weights_.latencyCap);
+    return weights_.fit * fit + weights_.spread * spread -
+           latency_penalty;
+}
+
+PlacementDecision
+PlacementEngine::decide(
+    const FleetRoleSpec &spec,
+    const std::vector<PlacementCardView> &cards) const
+{
+    PlacementDecision best;
+    PlacementDecision best_evict;
+    bool saw_alive = false;
+    bool saw_peripherals = false;
+    bool saw_fit = false;          // some slot's capacity suffices
+    bool saw_aa_block = false;     // a fit existed behind anti-affinity
+
+    for (const PlacementCardView &card : cards) {
+        if (!card.alive)
+            continue;
+        saw_alive = true;
+        if (!peripheralsOk(spec, card))
+            continue;
+        saw_peripherals = true;
+
+        const bool aa_blocked =
+            !spec.antiAffinity.empty() &&
+            std::find(card.groups.begin(), card.groups.end(),
+                      spec.antiAffinity) != card.groups.end();
+
+        for (std::size_t i = 0; i < card.slots.size(); ++i) {
+            const PlacementSlotView &slot = card.slots[i];
+            if (!spec.reqs.roleLogic.fitsIn(slot.capacity))
+                continue;
+            if (aa_blocked) {
+                saw_aa_block = true;
+                continue;
+            }
+            saw_fit = true;
+            if (slot.free) {
+                const double score = scoreSlot(spec, card, slot);
+                if (!best.placed || score > best.score ||
+                    (score == best.score &&
+                     (card.card < best.card ||
+                      (card.card == best.card && i < best.slot)))) {
+                    best.placed = true;
+                    best.card = card.card;
+                    best.slot = i;
+                    best.score = score;
+                }
+            } else if (slot.occupantPriority < spec.priority) {
+                // Eviction candidate: displace the weakest tenant
+                // the fleet holds, then tie-break like a free slot.
+                const double score =
+                    -static_cast<double>(slot.occupantPriority);
+                if (best_evict.evictTenant.empty() ||
+                    score > best_evict.score ||
+                    (score == best_evict.score &&
+                     (card.card < best_evict.card ||
+                      (card.card == best_evict.card &&
+                       i < best_evict.slot)))) {
+                    best_evict.placed = true;
+                    best_evict.card = card.card;
+                    best_evict.slot = i;
+                    best_evict.score = score;
+                    best_evict.evictTenant = slot.occupantTenant;
+                }
+            }
+        }
+    }
+
+    if (best.placed)
+        return best;
+    if (!best_evict.evictTenant.empty())
+        return best_evict;
+
+    // Nothing worked: report the most specific reason the sweep saw.
+    PlacementDecision reject;
+    if (!saw_alive)
+        reject.reject = PlacementReject::FleetFull;
+    else if (!saw_peripherals)
+        reject.reject = PlacementReject::MissingPeripheral;
+    else if (saw_fit)
+        reject.reject = PlacementReject::FleetFull;
+    else if (saw_aa_block)
+        reject.reject = PlacementReject::AntiAffinity;
+    else
+        reject.reject = PlacementReject::NoCapacity;
+    return reject;
+}
+
+} // namespace harmonia

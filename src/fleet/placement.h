@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The fleet placement engine: pure scoring of candidate (card, PR
+ * slot) pairs against a tenant role's resource budget and peripheral
+ * requirements, following FOS's dynamic workload management and
+ * RC3E's provisioning model (PAPERS.md). The engine is deliberately
+ * engine-free and stateless: the FleetManager snapshots its live
+ * state into PlacementCardViews, and decide() maps (spec, views) to
+ * one deterministic decision — place here, evict that tenant first,
+ * or reject with an explicit reason. Determinism is structural:
+ * candidates are scored with fixed arithmetic and tie-broken on
+ * (score, card name, slot index), never on pointer or hash order.
+ */
+
+#ifndef HARMONIA_FLEET_PLACEMENT_H_
+#define HARMONIA_FLEET_PLACEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/database.h"
+#include "shell/tailoring.h"
+
+namespace harmonia {
+
+/** One tenant role request, as the scheduler sees it. */
+struct FleetRoleSpec {
+    std::string tenant;        ///< unique tenant/instance name
+    std::string kind;          ///< registered role kind
+    RoleRequirements reqs;     ///< logic budget + peripheral needs
+    unsigned priority = 0;     ///< higher may evict strictly lower
+    /** Tenants sharing a non-empty group never co-locate on a card. */
+    std::string antiAffinity;
+};
+
+/** One PR slot's occupancy, as the placement engine sees it. */
+struct PlacementSlotView {
+    ResourceVector capacity;
+    bool free = true;
+    /** Valid when occupied. */
+    std::string occupantTenant;
+    unsigned occupantPriority = 0;
+};
+
+/** One card's live state, snapshotted for a decision. */
+struct PlacementCardView {
+    std::string card;                ///< unique card name
+    const FpgaDevice *device = nullptr;
+    bool alive = true;
+    /**
+     * Scheduler feedback from the obs plane: the card's recent mean
+     * placement latency in kernel cycles (0 = no history). Slower
+     * cards are deprioritized, so the placement-latency series the
+     * hub keeps genuinely feeds the next decision.
+     */
+    double placementLatencyCycles = 0.0;
+    std::vector<PlacementSlotView> slots;
+    /** Anti-affinity groups already present on the card. */
+    std::vector<std::string> groups;
+};
+
+/** Why a placement was refused — explicit, never silent. */
+enum class PlacementReject {
+    None,               ///< not refused
+    MissingPeripheral,  ///< no alive card carries what the role needs
+    NoCapacity,         ///< no slot anywhere fits the role's logic
+    AntiAffinity,       ///< only co-location with its group remained
+    FleetFull,          ///< capacity exists but every fit is taken by
+                        ///< tenants of equal or higher priority
+};
+
+const char *toString(PlacementReject reject);
+
+/** The outcome of one decide() call. */
+struct PlacementDecision {
+    bool placed = false;
+    std::string card;
+    std::size_t slot = 0;
+    /** Placement requires displacing this tenant first (may be ""). */
+    std::string evictTenant;
+    double score = 0.0;
+    PlacementReject reject = PlacementReject::None;
+};
+
+/** Scoring weights; the defaults balance fit against spread. */
+struct PlacementWeights {
+    double fit = 100.0;      ///< best-fit: tighter slot wins
+    double spread = 10.0;    ///< prefer cards with more free slots
+    double latency = 1.0;    ///< penalty per 1e6 cycles of history
+    double latencyCap = 5.0; ///< bound on the latency penalty
+};
+
+/**
+ * The stateless decision function. Free slots are preferred; when
+ * none fits, the lowest-priority strictly-lower occupant whose slot
+ * fits is evicted (priority eviction is monotone: raising the
+ * requester's priority never turns a success into a refusal).
+ */
+class PlacementEngine {
+  public:
+    explicit PlacementEngine(PlacementWeights weights = {});
+
+    const PlacementWeights &weights() const { return weights_; }
+
+    PlacementDecision
+    decide(const FleetRoleSpec &spec,
+           const std::vector<PlacementCardView> &cards) const;
+
+  private:
+    /** Does an alive @p card carry every peripheral @p spec needs? */
+    static bool peripheralsOk(const FleetRoleSpec &spec,
+                              const PlacementCardView &card);
+
+    double scoreSlot(const FleetRoleSpec &spec,
+                     const PlacementCardView &card,
+                     const PlacementSlotView &slot) const;
+
+    PlacementWeights weights_;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_FLEET_PLACEMENT_H_

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The fleet scheduler drill behind `examples/fleet_scheduler_drill`,
+ * `bench_fleet` and the fleet test suites (the scenario lives
+ * library-side so tests can drive it too). Eight heterogeneous cards
+ * (two each of Devices A-D) take a seeded churn of ~2k tenant role
+ * requests — admissions across four role kinds with priorities and
+ * anti-affinity groups, priority evictions, live migrations including
+ * pinned cross-vendor moves onto the Intel cards, and key/value write
+ * traffic through the journaled command proxy. Mid-run a DeviceDeath
+ * window kills one card; its tenants are displaced and re-placed (or
+ * explicitly degraded), and when the window closes the watchdog
+ * revives the card and degraded tenants win their capacity back.
+ *
+ * The host keeps a ledger of every acknowledged table write; the final
+ * verification reads every surviving tenant's table back and the
+ * zero-acknowledged-command-loss verdict requires a perfect match.
+ * Everything is seeded (a splitmix64-style counter mixer — no global
+ * RNG) and simulated-time-paced, so the end-state fingerprint is
+ * bit-identical across reruns and HARMONIA_SIM_THREADS settings.
+ */
+
+#ifndef HARMONIA_FLEET_SCHEDULER_DRILL_H_
+#define HARMONIA_FLEET_SCHEDULER_DRILL_H_
+
+#include "fault/fault_plan.h"
+#include "fleet/fleet_manager.h"
+
+namespace harmonia {
+
+/** Drill knobs; defaults reproduce the documented 2k-request churn. */
+struct SchedulerDrillConfig {
+    std::uint64_t seed = 20260809;
+    /** Tenant role requests to churn: one admission per request,
+     *  with make-room evictions and a riding migration cadence. */
+    std::size_t requests = 2000;
+    /** Kill a card mid-churn and revive it later. */
+    bool injectFault = true;
+    /** Which card dies (index into the 8-card fleet). */
+    std::size_t victimCard = 2;
+    /** How long the death window stays open. */
+    Tick deathSpan = 1'500'000'000;
+    /** Print per-event progress lines. */
+    bool verbose = false;
+};
+
+/** What one drill run measured. */
+struct SchedulerDrillReport {
+    std::size_t requests = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t crossVendorMigrations = 0;
+    std::uint64_t placements = 0;  ///< admissions + migrations + re-places
+    std::uint64_t ackedWrites = 0;
+    std::uint64_t verifiedWrites = 0;
+    std::uint64_t lostWrites = 0;
+    std::size_t placedEnd = 0;
+    std::size_t degradedEnd = 0;
+    double meanPlacementCycles = 0.0;
+    Cycles maxPlacementCycles = 0;
+    double meanMigrationCycles = 0.0;
+    Cycles maxMigrationCycles = 0;
+    std::uint64_t fingerprint = 0;
+    bool cardDied = false;
+    bool cardRevived = false;
+    bool zeroLoss = false;
+};
+
+class SchedulerDrill {
+  public:
+    explicit SchedulerDrill(SchedulerDrillConfig config = {});
+    ~SchedulerDrill();
+
+    SchedulerDrill(const SchedulerDrill &) = delete;
+    SchedulerDrill &operator=(const SchedulerDrill &) = delete;
+
+    const SchedulerDrillConfig &config() const { return cfg_; }
+
+    /** Run the whole churn + settle + verification. */
+    SchedulerDrillReport run();
+
+    Engine &engine() { return engine_; }
+    FleetManager &fleet() { return *fleet_; }
+    ObsHub &hub() { return *hub_; }
+    FaultPlan &plan() { return plan_; }
+
+  private:
+    /** Counter-based seeded mixer (splitmix64 finalizer). */
+    std::uint64_t mixed(std::uint64_t counter) const;
+
+    /** Name of a Placed tenant near @p pick, or "" when none. */
+    std::string pickPlaced(std::uint64_t pick) const;
+
+    void admitNext(std::uint64_t r, SchedulerDrillReport &report);
+    void writeTraffic(const std::string &tenant,
+                      std::uint64_t r, SchedulerDrillReport &report);
+    void recordMigration(const PlacementDecision &d,
+                         const std::string &tenant, std::size_t src,
+                         SchedulerDrillReport &report);
+
+    /** Check every acked write of @p tenant against its live table. */
+    void verifyTenant(const std::string &tenant,
+                      SchedulerDrillReport &report);
+
+    SchedulerDrillConfig cfg_;
+    Engine engine_;
+    FaultPlan plan_;
+    std::unique_ptr<ObsHub> hub_;
+    std::unique_ptr<FleetManager> fleet_;
+    std::vector<std::string> everAdmitted_;
+    /** Host-side ledger: tenant -> key -> last acked value. */
+    std::map<std::string, std::map<std::uint32_t, std::uint32_t>>
+        ledger_;
+    std::uint64_t nextTenantId_ = 0;
+    std::uint64_t placementSamples_ = 0;
+    double placementCyclesTotal_ = 0.0;
+    Cycles placementCyclesMax_ = 0;
+    std::uint64_t migrationSamples_ = 0;
+    double migrationCyclesTotal_ = 0.0;
+    Cycles migrationCyclesMax_ = 0;
+};
+
+} // namespace harmonia
+
+#endif // HARMONIA_FLEET_SCHEDULER_DRILL_H_

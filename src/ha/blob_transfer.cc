@@ -1,0 +1,60 @@
+#include "ha/blob_transfer.h"
+
+#include <algorithm>
+
+#include "cmd/checkpoint.h"
+#include "roles/role.h"
+
+namespace harmonia {
+
+bool
+fetchCheckpointBlob(CmdDriver &driver, std::uint8_t slot,
+                    std::vector<std::uint32_t> *blob)
+{
+    blob->clear();
+    std::size_t total = 0;
+    do {
+        const CallOutcome out = driver.callChecked(
+            kRoleRbbIdBase, slot, kCmdCheckpoint,
+            {static_cast<std::uint32_t>(blob->size())});
+        if (!out.ok() || out.response.status != kCmdOk ||
+            out.response.data.empty())
+            return false;
+        total = out.response.data[0];
+        if (out.response.data.size() == 1 && blob->size() < total)
+            return false;  // no progress: would spin forever
+        blob->insert(blob->end(), out.response.data.begin() + 1,
+                     out.response.data.end());
+    } while (blob->size() < total);
+    return blob->size() == total;
+}
+
+bool
+pushCheckpointBlob(CmdDriver &driver, std::uint8_t slot,
+                   const std::vector<std::uint32_t> &blob)
+{
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(blob.size());
+    std::size_t offset = 0;
+    while (offset < blob.size()) {
+        const std::size_t n = std::min(CheckpointStreamer::kChunkWords,
+                                       blob.size() - offset);
+        std::vector<std::uint32_t> req = {
+            total, static_cast<std::uint32_t>(offset)};
+        req.insert(req.end(), blob.begin() + offset,
+                   blob.begin() + offset + n);
+        const CallOutcome out = driver.callChecked(
+            kRoleRbbIdBase, slot, kCmdRestore, req);
+        if (!out.ok() || out.response.status != kCmdOk)
+            return false;
+        offset += n;
+        // Final chunk: the response carries [1, CheckpointError].
+        if (offset == blob.size())
+            return out.response.data.size() >= 2 &&
+                   out.response.data[0] == 1 &&
+                   out.response.data[1] == 0;
+    }
+    return false;  // empty blob: nothing to restore is a bug upstream
+}
+
+} // namespace harmonia

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Checkpoint blob wire transfer: the chunked kCmdCheckpoint /
+ * kCmdRestore conversation both HA failover and fleet migration run
+ * against a role's CheckpointStreamer. Extracted from
+ * FailoverCoordinator so every consumer drains and pushes blobs with
+ * identical framing — offset-resumed fetches, idempotent retried
+ * final chunks, and a verdict word that surfaces the target's
+ * CheckpointError instead of silently succeeding.
+ */
+
+#ifndef HARMONIA_HA_BLOB_TRANSFER_H_
+#define HARMONIA_HA_BLOB_TRANSFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "host/cmd_driver.h"
+
+namespace harmonia {
+
+/**
+ * Drain a role's checkpoint blob over the wire from @p slot.
+ * Resumable: each kCmdCheckpoint call carries the words received so
+ * far, so a lost response retries without restarting the stream.
+ * False on transport failure or a stream that stops making progress.
+ */
+bool fetchCheckpointBlob(CmdDriver &driver, std::uint8_t slot,
+                         std::vector<std::uint32_t> *blob);
+
+/**
+ * Push @p blob into the role at @p slot chunk by chunk. The final
+ * chunk's response carries [1, CheckpointError]; anything but a clean
+ * zero verdict is a failure. An empty blob is refused — nothing to
+ * restore is a bug upstream, not a no-op.
+ */
+bool pushCheckpointBlob(CmdDriver &driver, std::uint8_t slot,
+                        const std::vector<std::uint32_t> &blob);
+
+} // namespace harmonia
+
+#endif // HARMONIA_HA_BLOB_TRANSFER_H_

@@ -1,6 +1,7 @@
 #include "ha/failover.h"
 
 #include "common/logging.h"
+#include "ha/blob_transfer.h"
 #include "obs/flight_recorder.h"
 #include "sim/clock.h"
 
@@ -62,56 +63,6 @@ FailoverCoordinator::call(std::uint8_t slot, std::uint16_t code,
 }
 
 bool
-FailoverCoordinator::fetchBlob(CmdDriver &driver, std::uint8_t slot,
-                               std::vector<std::uint32_t> *blob)
-{
-    blob->clear();
-    std::size_t total = 0;
-    do {
-        const CallOutcome out = driver.callChecked(
-            kRoleRbbIdBase, slot, kCmdCheckpoint,
-            {static_cast<std::uint32_t>(blob->size())});
-        if (!out.ok() || out.response.status != kCmdOk ||
-            out.response.data.empty())
-            return false;
-        total = out.response.data[0];
-        if (out.response.data.size() == 1 && blob->size() < total)
-            return false;  // no progress: would spin forever
-        blob->insert(blob->end(), out.response.data.begin() + 1,
-                     out.response.data.end());
-    } while (blob->size() < total);
-    return blob->size() == total;
-}
-
-bool
-FailoverCoordinator::pushBlob(CmdDriver &driver, std::uint8_t slot,
-                              const std::vector<std::uint32_t> &blob)
-{
-    const std::uint32_t total =
-        static_cast<std::uint32_t>(blob.size());
-    std::size_t offset = 0;
-    while (offset < blob.size()) {
-        const std::size_t n = std::min(CheckpointStreamer::kChunkWords,
-                                       blob.size() - offset);
-        std::vector<std::uint32_t> req = {
-            total, static_cast<std::uint32_t>(offset)};
-        req.insert(req.end(), blob.begin() + offset,
-                   blob.begin() + offset + n);
-        const CallOutcome out = driver.callChecked(
-            kRoleRbbIdBase, slot, kCmdRestore, req);
-        if (!out.ok() || out.response.status != kCmdOk)
-            return false;
-        offset += n;
-        // Final chunk: the response carries [1, CheckpointError].
-        if (offset == blob.size())
-            return out.response.data.size() >= 2 &&
-                   out.response.data[0] == 1 &&
-                   out.response.data[1] == 0;
-    }
-    return false;  // empty blob: nothing to restore is a bug upstream
-}
-
-bool
 FailoverCoordinator::checkpointNow()
 {
     if (failedOver_)
@@ -121,7 +72,8 @@ FailoverCoordinator::checkpointNow()
     // consistent cut.
     std::vector<std::vector<std::uint32_t>> drained(pairs_.size());
     for (std::size_t i = 0; i < pairs_.size(); ++i) {
-        if (!fetchBlob(primaryDriver_, pairs_[i].slot, &drained[i])) {
+        if (!fetchCheckpointBlob(primaryDriver_, pairs_[i].slot,
+                                 &drained[i])) {
             stats_.counter("checkpoint_failures").inc();
             return false;
         }
@@ -156,7 +108,7 @@ FailoverCoordinator::failover()
     for (Pair &p : pairs_) {
         if (p.blob.empty())
             continue;  // never checkpointed: replay rebuilds from 0
-        if (!pushBlob(standbyDriver_, p.slot, p.blob)) {
+        if (!pushCheckpointBlob(standbyDriver_, p.slot, p.blob)) {
             stats_.counter("restore_failures").inc();
             return false;
         }

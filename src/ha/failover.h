@@ -115,11 +115,6 @@ class FailoverCoordinator {
         bool acked = false;
     };
 
-    bool fetchBlob(CmdDriver &driver, std::uint8_t slot,
-                   std::vector<std::uint32_t> *blob);
-    bool pushBlob(CmdDriver &driver, std::uint8_t slot,
-                  const std::vector<std::uint32_t> &blob);
-
     Engine &engine_;
     Shell &primary_;
     Shell &standby_;

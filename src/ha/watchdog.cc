@@ -26,26 +26,54 @@ Watchdog::beat()
     lastBeatAt_ = engine_.now();
     everBeat_ = true;
     stats_.counter("beats").inc();
+    if (reviveGrace_ > 0)
+        --reviveGrace_;
 
     const CallOutcome out = driver_.callChecked(
         kRbbSystem, 0, kCmdTimeCount, {}, cfg_.timeout);
-    if (out.ok() && out.response.status == kCmdOk) {
+    bool answered = out.ok() && out.response.status == kCmdOk;
+    std::uint64_t seq = 0;
+    if (answered && out.response.data.size() >= 2)
+        seq = (static_cast<std::uint64_t>(out.response.data[0])
+               << 32) |
+              out.response.data[1];
+
+    if (answered && dead_) {
+        // Revival resets the liveness trackers along with the
+        // verdict. The pre-death heartbeat seq is stale — a revived
+        // (possibly rebooted) card restarts its count, so judging
+        // its first beats against the old value would re-declare it
+        // dead immediately — and the hysteresis window keeps a
+        // still-burning incident SLO from doing the same via the
+        // corroborated single-miss path.
+        dead_ = false;
         misses_ = 0;
+        lastSeq_ = 0;
+        reviveGrace_ = cfg_.missThreshold;
+        stats_.counter("revivals").inc();
+        if (FlightRecorder *fdr = FlightRecorder::active())
+            fdr->noteRecovery(stats_.name(), "revived",
+                              engine_.now());
+    }
+
+    if (answered && seq != 0 && lastSeq_ != 0 && seq <= lastSeq_) {
+        // Answered, but the time count never advanced: a wedged soft
+        // core replaying stale state is not liveness.
+        answered = false;
+        stats_.counter("stale_heartbeats").inc();
+    }
+
+    if (answered) {
+        misses_ = 0;
+        lastSeq_ = seq;
         lastAliveAt_ = engine_.now();
-        if (dead_) {
-            dead_ = false;
-            stats_.counter("revivals").inc();
-            if (FlightRecorder *fdr = FlightRecorder::active())
-                fdr->noteRecovery(stats_.name(), "revived",
-                                  engine_.now());
-        }
         return true;
     }
 
     ++misses_;
     stats_.counter("missed_beats").inc();
-    const bool corroborated =
-        slo_ != nullptr && slo_->anyActive() && misses_ >= 1;
+    const bool corroborated = slo_ != nullptr && slo_->anyActive() &&
+                              misses_ >= 1 && reviveGrace_ == 0;
     if (!dead_ && (misses_ >= cfg_.missThreshold || corroborated)) {
         dead_ = true;
         stats_.counter("deaths_declared").inc();

@@ -59,6 +59,25 @@ class Watchdog {
     /** Last simulated time the device answered a beat (0 = never). */
     Tick lastAliveAt() const { return lastAliveAt_; }
 
+    /**
+     * The kernel's time count from the last accepted heartbeat
+     * (0 = none). A successful beat whose count fails to advance past
+     * this is a stale answer — a wedged soft core replaying old state
+     * — and counts as a miss. Revival resets it along with the miss
+     * counter: a revived (possibly rebooted) card restarts its count,
+     * and judging its first beats against the pre-death value would
+     * re-declare it dead on the spot.
+     */
+    std::uint64_t lastHeartbeatSeq() const { return lastSeq_; }
+
+    /**
+     * Post-revival hysteresis beats left: while non-zero, SLO
+     * corroboration cannot collapse the miss threshold to one —
+     * the incident that killed the card usually leaves its SLOs
+     * burning well past the revival.
+     */
+    unsigned revivalGraceLeft() const { return reviveGrace_; }
+
     StatGroup &stats() { return stats_; }
 
   private:
@@ -70,6 +89,8 @@ class Watchdog {
     unsigned misses_ = 0;
     Tick lastAliveAt_ = 0;
     Tick lastBeatAt_ = 0;
+    std::uint64_t lastSeq_ = 0;
+    unsigned reviveGrace_ = 0;
     bool everBeat_ = false;
     bool dead_ = false;
     StatGroup stats_;

@@ -382,6 +382,16 @@ ObsHub::deviceLabels() const
     return out;
 }
 
+std::size_t
+ObsHub::aliveCount() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : devices_)
+        if (kv.second.status.alive)
+            ++n;
+    return n;
+}
+
 const ObsDeviceStatus &
 ObsHub::device(const std::string &label) const
 {

@@ -137,6 +137,9 @@ class ObsHub {
 
     std::size_t deviceCount() const { return devices_.size(); }
 
+    /** Devices currently considered alive (probe + poll verdicts). */
+    std::size_t aliveCount() const;
+
     /** Labels, name-sorted (deterministic iteration order). */
     std::vector<std::string> deviceLabels() const;
 

@@ -29,8 +29,11 @@ PrController::PrController(std::string name, Engine &engine,
 {
     if (slot_capacities.empty())
         fatal("PR controller needs at least one slot");
-    for (ResourceVector &cap : slot_capacities)
-        slots_.push_back(Slot{cap, PrSlotState::Empty, nullptr, 0});
+    for (std::size_t i = 0; i < slot_capacities.size(); ++i)
+        slots_.push_back(Slot{slot_capacities[i], PrSlotState::Empty,
+                              nullptr, 0, 0,
+                              format("%s/slot%zu",
+                                     this->name().c_str(), i)});
 
     // ICAP wrapper, per-slot decoupling and scrub logic.
     resources_ = ResourceVector{
@@ -160,8 +163,7 @@ PrController::tick()
         // must be re-loaded (and re-seeded from a checkpoint) to
         // come back.
         if (s.state == PrSlotState::Active &&
-            injectFault(FaultKind::PrSlotCorrupt,
-                        format("%s/slot%zu", name().c_str(), i),
+            injectFault(FaultKind::PrSlotCorrupt, s.faultTarget,
                         now())) {
             if (s.role != nullptr) {
                 s.role->setActive(false);

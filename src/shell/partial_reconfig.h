@@ -100,6 +100,9 @@ class PrController : public Component, public CommandTarget {
         Role *role = nullptr;
         Tick doneAt = 0;
         unsigned attempts = 0;  ///< bitstream loads this occupancy
+        /// Fault-plan target ("<ctrl>/slotN"), cached at construction
+        /// so the per-tick fault hook never formats a string.
+        std::string faultTarget;
     };
 
     Engine &engine_;

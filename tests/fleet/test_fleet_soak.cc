@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fleet soak: 10k sequential place/evict/migrate operations against a
+ * two-card fleet. The suite asserts the manager leaks nothing — every
+ * PR slot returns to Free, the control kernels hold no stale role
+ * targets, the tenant map stays bounded (names recycle), and journal
+ * growth stays bounded by the periodic checkpoint drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/fleet_manager.h"
+#include "fleet/tenant_role.h"
+
+namespace harmonia {
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t seed, std::uint64_t counter)
+{
+    std::uint64_t z = seed + counter * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+TEST(FleetSoak, TenThousandOpsLeakNothing)
+{
+    Engine engine;
+    engine.setIdleFastForward(true);
+    // Small slots keep each reconfiguration cheap so 10k operations
+    // stay fast; the leak checks don't depend on slot size.
+    std::vector<FleetCardSpec> specs(2);
+    specs[0].device = "DeviceA";
+    specs[0].prSlots = 2;
+    specs[0].slotCapacity = ResourceVector{1000, 2200, 8, 0, 4};
+    specs[1].device = "DeviceD";
+    specs[1].prSlots = 2;
+    specs[1].slotCapacity = ResourceVector{1000, 2200, 8, 0, 4};
+    FleetManager fleet(engine, specs);
+
+    const RoleRequirements reqs =
+        TenantRole::lightRequirements("kv", 600);
+    fleet.registerRoleKind("kv", reqs, [reqs] {
+        return std::make_unique<TenantRole>("kv", reqs);
+    });
+
+    const std::size_t total_slots = 4;
+    std::vector<std::size_t> kernel_baseline;
+    for (std::size_t c = 0; c < fleet.cardCount(); ++c)
+        kernel_baseline.push_back(
+            fleet.cardShell(c).kernel().targetCount());
+
+    // Tenant names recycle through a fixed pool: re-admitting an
+    // evicted name must start it from scratch, not accumulate state.
+    const char *pool[] = {"s0", "s1", "s2", "s3", "s4", "s5"};
+    constexpr std::size_t kPool = 6;
+    std::uint64_t ops = 0;
+    std::uint64_t placed_ops = 0, evict_ops = 0, migrate_ops = 0;
+
+    for (std::uint64_t step = 0; ops < 10'000; ++step) {
+        const std::uint64_t r = mix64(99, step);
+        const std::string name = pool[r % kPool];
+        const FleetManager::TenantState state =
+            fleet.hasTenant(name)
+                ? fleet.tenantState(name)
+                : FleetManager::TenantState::Evicted;
+
+        if (state != FleetManager::TenantState::Placed) {
+            FleetRoleSpec spec;
+            spec.tenant = name;
+            spec.kind = "kv";
+            spec.priority = static_cast<unsigned>((r >> 8) % 3);
+            if (fleet.admit(spec).placed)
+                ++placed_ops;
+            ++ops;
+        } else if ((r >> 16) % 3 == 0) {
+            if (fleet.migrate(name).placed)
+                ++migrate_ops;
+            ++ops;
+        } else {
+            EXPECT_TRUE(fleet.evict(name));
+            ++evict_ops;
+            ++ops;
+        }
+
+        if ((r >> 24) % 4 == 0 &&
+            fleet.hasTenant(name) &&
+            fleet.tenantState(name) ==
+                FleetManager::TenantState::Placed)
+            fleet.call(name, kCmdTableWrite,
+                       {static_cast<std::uint32_t>(r % 16),
+                        static_cast<std::uint32_t>(r >> 32) | 1u});
+
+        if (step % 16 == 0) {
+            fleet.poll();
+            engine.runFor(1'000'000);
+        }
+        // No slot is ever lost mid-churn: every slot is either free
+        // or owned by a live tenant.
+        if (step % 512 == 0) {
+            std::size_t owned = 0;
+            for (const char *t : pool)
+                if (fleet.hasTenant(t) &&
+                    fleet.tenantState(t) ==
+                        FleetManager::TenantState::Placed)
+                    ++owned;
+            EXPECT_EQ(fleet.freeSlots(), total_slots - owned);
+        }
+    }
+
+    EXPECT_GT(placed_ops, 1000u);
+    EXPECT_GT(evict_ops, 1000u);
+    EXPECT_GT(migrate_ops, 100u);
+
+    // Journals stay bounded by the periodic checkpoint drain.
+    EXPECT_LE(fleet.journalHighWater(), 256u);
+
+    // The tenant map recycles names instead of growing.
+    EXPECT_LE(fleet.tenantCount(), kPool);
+
+    // Drain the fleet: every PR slot must return to Free and every
+    // control kernel to its pre-churn target table — no stale
+    // UnifiedControlKernel role targets, no leaked slots.
+    for (const char *t : pool) {
+        if (fleet.hasTenant(t) &&
+            fleet.tenantState(t) ==
+                FleetManager::TenantState::Placed) {
+            EXPECT_TRUE(fleet.evict(t));
+        }
+    }
+    EXPECT_EQ(fleet.freeSlots(), total_slots);
+    EXPECT_EQ(fleet.placedCount(), 0u);
+    for (std::size_t c = 0; c < fleet.cardCount(); ++c) {
+        for (std::size_t s = 0;
+             s < fleet.cardPr(c).slotCount(); ++s)
+            EXPECT_EQ(fleet.cardPr(c).slotState(s),
+                      PrSlotState::Empty);
+        EXPECT_EQ(fleet.cardShell(c).kernel().targetCount(),
+                  kernel_baseline[c])
+            << "stale command targets on " << fleet.cardName(c);
+    }
+}
+
+} // namespace
+} // namespace harmonia

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Placement-engine property tests: seeded random role/device matrices
+ * asserting the scheduler's invariants — a placement never exceeds a
+ * slot budget, never lands on a card missing a required peripheral,
+ * priority eviction is monotone in the requester's priority, and a
+ * full fleet rejects explicitly, never silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/placement.h"
+#include "fleet/tenant_role.h"
+
+namespace harmonia {
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t seed, std::uint64_t counter)
+{
+    std::uint64_t z = seed + counter * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+const FpgaDevice &
+device(std::uint64_t pick)
+{
+    static const char *kNames[] = {"DeviceA", "DeviceB", "DeviceC",
+                                   "DeviceD"};
+    return DeviceDatabase::instance().byName(kNames[pick % 4]);
+}
+
+/** One seeded random fleet snapshot. */
+std::vector<PlacementCardView>
+randomFleet(std::uint64_t seed)
+{
+    std::vector<PlacementCardView> cards;
+    const std::size_t n_cards = 1 + mix64(seed, 1) % 5;
+    for (std::size_t c = 0; c < n_cards; ++c) {
+        PlacementCardView card;
+        card.card = "card" + std::to_string(c);
+        card.device = &device(mix64(seed, 10 + c));
+        card.alive = mix64(seed, 20 + c) % 8 != 0;  // 1/8 dead
+        card.placementLatencyCycles =
+            static_cast<double>(mix64(seed, 30 + c) % 3'000'000);
+        const std::size_t n_slots = 1 + mix64(seed, 40 + c) % 4;
+        for (std::size_t s = 0; s < n_slots; ++s) {
+            PlacementSlotView slot;
+            const std::uint64_t lut =
+                1000 + mix64(seed, 100 + 10 * c + s) % 4000;
+            slot.capacity = ResourceVector{lut, lut * 2, 16, 0, 8};
+            slot.free = mix64(seed, 200 + 10 * c + s) % 3 != 0;
+            if (!slot.free) {
+                slot.occupantTenant =
+                    "occ" + std::to_string(10 * c + s);
+                slot.occupantPriority = static_cast<unsigned>(
+                    mix64(seed, 300 + 10 * c + s) % 4);
+                if (mix64(seed, 400 + 10 * c + s) % 4 == 0)
+                    card.groups.push_back(
+                        "grp" +
+                        std::to_string(mix64(seed, 500 + c) % 3));
+            }
+            card.slots.push_back(std::move(slot));
+        }
+        cards.push_back(std::move(card));
+    }
+    return cards;
+}
+
+/** One seeded random role request. */
+FleetRoleSpec
+randomSpec(std::uint64_t seed)
+{
+    FleetRoleSpec spec;
+    spec.tenant = "tenant";
+    spec.kind = "kv";
+    const std::uint64_t lut = 500 + mix64(seed, 2) % 5000;
+    spec.reqs = TenantRole::lightRequirements("kv", lut);
+    spec.priority = static_cast<unsigned>(mix64(seed, 3) % 5);
+    if (mix64(seed, 4) % 4 == 0) {
+        spec.reqs.needsMemory = true;
+        spec.reqs.memoryBandwidthGBps =
+            mix64(seed, 5) % 3 == 0 ? 90.0 : 20.0;
+    }
+    if (mix64(seed, 6) % 3 == 0)
+        spec.antiAffinity =
+            "grp" + std::to_string(mix64(seed, 7) % 3);
+    return spec;
+}
+
+/** Test-side replica of the peripheral filter. */
+bool
+cardCarries(const FleetRoleSpec &spec, const PlacementCardView &card)
+{
+    const RoleRequirements &r = spec.reqs;
+    if (r.needsNetwork &&
+        card.device->byClass(PeripheralClass::Network).size() <
+            r.networkPorts)
+        return false;
+    if (r.needsMemory) {
+        if (card.device->byClass(PeripheralClass::Memory).empty())
+            return false;
+        if (r.memoryBandwidthGBps > 50.0 &&
+            !card.device->has(PeripheralKind::Hbm))
+            return false;
+    }
+    if (r.needsHost &&
+        card.device->byClass(PeripheralClass::Host).empty())
+        return false;
+    return true;
+}
+
+bool
+aaBlocked(const FleetRoleSpec &spec, const PlacementCardView &card)
+{
+    if (spec.antiAffinity.empty())
+        return false;
+    for (const std::string &g : card.groups)
+        if (g == spec.antiAffinity)
+            return true;
+    return false;
+}
+
+TEST(PlacementProperty, InvariantsHoldOverSeededMatrices)
+{
+    PlacementEngine engine;
+    for (std::uint64_t round = 0; round < 500; ++round) {
+        const std::uint64_t seed = mix64(20260809, round);
+        const std::vector<PlacementCardView> fleet =
+            randomFleet(seed);
+        const FleetRoleSpec spec = randomSpec(seed ^ 0xabcdef);
+        const PlacementDecision d = engine.decide(spec, fleet);
+
+        if (d.placed) {
+            const PlacementCardView *card = nullptr;
+            for (const PlacementCardView &c : fleet)
+                if (c.card == d.card)
+                    card = &c;
+            ASSERT_NE(card, nullptr) << "placed on unknown card";
+            ASSERT_LT(d.slot, card->slots.size());
+            const PlacementSlotView &slot = card->slots[d.slot];
+
+            // Never on a dead card, never past a slot's budget,
+            // never without the peripherals, never into its group.
+            EXPECT_TRUE(card->alive);
+            EXPECT_TRUE(spec.reqs.roleLogic.fitsIn(slot.capacity));
+            EXPECT_TRUE(cardCarries(spec, *card));
+            EXPECT_FALSE(aaBlocked(spec, *card));
+
+            if (d.evictTenant.empty()) {
+                EXPECT_TRUE(slot.free);
+            } else {
+                EXPECT_FALSE(slot.free);
+                EXPECT_EQ(slot.occupantTenant, d.evictTenant);
+                EXPECT_LT(slot.occupantPriority, spec.priority)
+                    << "evicted a tenant of equal/higher priority";
+            }
+        } else {
+            // Refusals are explicit, never silent.
+            EXPECT_NE(d.reject, PlacementReject::None);
+            if (d.reject == PlacementReject::NoCapacity) {
+                for (const PlacementCardView &c : fleet) {
+                    if (!c.alive || !cardCarries(spec, c) ||
+                        aaBlocked(spec, c))
+                        continue;
+                    for (const PlacementSlotView &s : c.slots)
+                        EXPECT_FALSE(spec.reqs.roleLogic.fitsIn(
+                            s.capacity))
+                            << "capacity existed on " << c.card;
+                }
+            }
+            if (d.reject == PlacementReject::FleetFull) {
+                for (const PlacementCardView &c : fleet) {
+                    if (!c.alive || !cardCarries(spec, c) ||
+                        aaBlocked(spec, c))
+                        continue;
+                    for (const PlacementSlotView &s : c.slots) {
+                        if (!spec.reqs.roleLogic.fitsIn(s.capacity))
+                            continue;
+                        EXPECT_FALSE(s.free);
+                        EXPECT_GE(s.occupantPriority, spec.priority);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(PlacementProperty, DecisionsAreDeterministic)
+{
+    PlacementEngine engine;
+    for (std::uint64_t round = 0; round < 100; ++round) {
+        const std::uint64_t seed = mix64(77, round);
+        const std::vector<PlacementCardView> fleet =
+            randomFleet(seed);
+        const FleetRoleSpec spec = randomSpec(seed ^ 0x5a5a);
+        const PlacementDecision a = engine.decide(spec, fleet);
+        const PlacementDecision b = engine.decide(spec, fleet);
+        EXPECT_EQ(a.placed, b.placed);
+        EXPECT_EQ(a.card, b.card);
+        EXPECT_EQ(a.slot, b.slot);
+        EXPECT_EQ(a.evictTenant, b.evictTenant);
+        EXPECT_EQ(a.reject, b.reject);
+    }
+}
+
+TEST(PlacementProperty, PriorityEvictionIsMonotone)
+{
+    // Raising the requester's priority never turns a success into a
+    // refusal, on the same fleet snapshot.
+    PlacementEngine engine;
+    for (std::uint64_t round = 0; round < 200; ++round) {
+        const std::uint64_t seed = mix64(1234, round);
+        const std::vector<PlacementCardView> fleet =
+            randomFleet(seed);
+        FleetRoleSpec spec = randomSpec(seed ^ 0xfeed);
+        bool placed_below = false;
+        for (unsigned p = 0; p < 6; ++p) {
+            spec.priority = p;
+            const PlacementDecision d = engine.decide(spec, fleet);
+            if (placed_below) {
+                EXPECT_TRUE(d.placed)
+                    << "priority " << p
+                    << " refused where a lower priority placed";
+            }
+            placed_below = placed_below || d.placed;
+        }
+    }
+}
+
+TEST(PlacementProperty, EvictsTheWeakestOccupant)
+{
+    // Two occupied slots, priorities 1 and 2; a priority-3 request
+    // with no free slot must displace the priority-1 tenant.
+    PlacementCardView card;
+    card.card = "card0";
+    card.device = &device(0);
+    const ResourceVector cap{3000, 6000, 16, 0, 8};
+    for (unsigned s = 0; s < 2; ++s) {
+        PlacementSlotView slot;
+        slot.capacity = cap;
+        slot.free = false;
+        slot.occupantTenant = s == 0 ? "strong" : "weak";
+        slot.occupantPriority = s == 0 ? 2 : 1;
+        card.slots.push_back(std::move(slot));
+    }
+    FleetRoleSpec spec;
+    spec.tenant = "vip";
+    spec.reqs = TenantRole::lightRequirements("kv", 2000);
+    spec.priority = 3;
+
+    const PlacementDecision d = PlacementEngine().decide(spec, {card});
+    ASSERT_TRUE(d.placed);
+    EXPECT_EQ(d.evictTenant, "weak");
+    EXPECT_EQ(d.slot, 1u);
+}
+
+TEST(PlacementProperty, MissingPeripheralIsExplicit)
+{
+    // DeviceC carries no memory peripheral: a memory-hungry role
+    // must be refused with MissingPeripheral, not silently dropped.
+    PlacementCardView card;
+    card.card = "card0";
+    card.device = &DeviceDatabase::instance().byName("DeviceC");
+    PlacementSlotView slot;
+    slot.capacity = ResourceVector{8000, 16000, 32, 0, 16};
+    card.slots.push_back(std::move(slot));
+
+    FleetRoleSpec spec;
+    spec.reqs = TenantRole::lightRequirements("kv", 2000);
+    spec.reqs.needsMemory = true;
+    spec.reqs.memoryBandwidthGBps = 20.0;
+
+    const PlacementDecision d = PlacementEngine().decide(spec, {card});
+    EXPECT_FALSE(d.placed);
+    EXPECT_EQ(d.reject, PlacementReject::MissingPeripheral);
+
+    // HBM-class bandwidth additionally excludes every DDR-only card.
+    spec.reqs.memoryBandwidthGBps = 90.0;
+    PlacementCardView ddr = card;
+    ddr.device = &DeviceDatabase::instance().byName("DeviceB");
+    const PlacementDecision d2 =
+        PlacementEngine().decide(spec, {ddr});
+    EXPECT_FALSE(d2.placed);
+    EXPECT_EQ(d2.reject, PlacementReject::MissingPeripheral);
+}
+
+TEST(PlacementProperty, FullFleetRejectsExplicitly)
+{
+    // Every slot taken by equal-priority tenants: the reject reason
+    // must name the condition (FleetFull), not claim missing
+    // capacity or peripherals.
+    std::vector<PlacementCardView> fleet;
+    for (unsigned c = 0; c < 3; ++c) {
+        PlacementCardView card;
+        card.card = "card" + std::to_string(c);
+        card.device = &device(c);
+        for (unsigned s = 0; s < 2; ++s) {
+            PlacementSlotView slot;
+            slot.capacity = ResourceVector{4000, 8000, 16, 0, 8};
+            slot.free = false;
+            slot.occupantTenant = "occ";
+            slot.occupantPriority = 1;
+            card.slots.push_back(std::move(slot));
+        }
+        fleet.push_back(std::move(card));
+    }
+    FleetRoleSpec spec;
+    spec.reqs = TenantRole::lightRequirements("kv", 2000);
+    spec.priority = 1;  // equal: may not evict
+    const PlacementDecision d = PlacementEngine().decide(spec, fleet);
+    EXPECT_FALSE(d.placed);
+    EXPECT_EQ(d.reject, PlacementReject::FleetFull);
+
+    // An all-dead fleet is FleetFull too, not a peripheral problem.
+    for (PlacementCardView &c : fleet)
+        c.alive = false;
+    const PlacementDecision d2 = PlacementEngine().decide(spec, fleet);
+    EXPECT_FALSE(d2.placed);
+    EXPECT_EQ(d2.reject, PlacementReject::FleetFull);
+}
+
+TEST(PlacementProperty, LatencyHistoryDeprioritizesSlowCards)
+{
+    // Identical cards except recorded placement latency: the quiet
+    // card wins, so the obs-plane series genuinely steers decisions.
+    std::vector<PlacementCardView> fleet;
+    for (unsigned c = 0; c < 2; ++c) {
+        PlacementCardView card;
+        card.card = "card" + std::to_string(c);
+        card.device = &device(0);
+        card.placementLatencyCycles = c == 0 ? 4'000'000.0 : 0.0;
+        PlacementSlotView slot;
+        slot.capacity = ResourceVector{3000, 6000, 16, 0, 8};
+        card.slots.push_back(std::move(slot));
+        fleet.push_back(std::move(card));
+    }
+    FleetRoleSpec spec;
+    spec.reqs = TenantRole::lightRequirements("kv", 2000);
+    const PlacementDecision d = PlacementEngine().decide(spec, fleet);
+    ASSERT_TRUE(d.placed);
+    EXPECT_EQ(d.card, "card1");
+}
+
+} // namespace
+} // namespace harmonia

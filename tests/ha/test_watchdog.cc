@@ -154,6 +154,128 @@ TEST(Watchdog, SloBurnCorroboratesASingleMiss)
     plan.disarm();
 }
 
+TEST(Watchdog, RevivalResetsSeqAndMissCounter)
+{
+    // Regression: revival used to leave the last pre-death heartbeat
+    // seq in place, so a revived card's beats were judged against
+    // stale state. Revival must reset the miss counter and the seq.
+    WatchdogRig rig;
+    ASSERT_TRUE(rig.dog.beat());
+    rig.engine.runFor(rig.dog.config().interval);
+    ASSERT_TRUE(rig.dog.beat());
+    const std::uint64_t pre_death_seq = rig.dog.lastHeartbeatSeq();
+    ASSERT_GT(pre_death_seq, 0u);
+
+    {
+        FaultPlan plan(5);
+        plan.addWindow(FaultKind::DeviceDeath, rig.engine.now(),
+                       rig.engine.now() + 60'000'000, 1.0, "DeviceA");
+        plan.arm();
+        while (!rig.dog.dead())
+            rig.dog.beat();
+        // Missed beats leave the stale pre-death seq in place.
+        EXPECT_EQ(rig.dog.lastHeartbeatSeq(), pre_death_seq);
+    }
+
+    rig.engine.runFor(100'000'000);
+    ASSERT_TRUE(rig.dog.beat());
+    EXPECT_FALSE(rig.dog.dead());
+    EXPECT_EQ(rig.dog.consecutiveMisses(), 0u);
+    // The seq was re-learned from the reviving beat, not carried
+    // over, and the revival opened the hysteresis window.
+    EXPECT_NE(rig.dog.lastHeartbeatSeq(), pre_death_seq);
+    EXPECT_EQ(rig.dog.revivalGraceLeft(),
+              rig.dog.config().missThreshold);
+    EXPECT_EQ(rig.dog.stats().value("stale_heartbeats"), 0u);
+}
+
+TEST(Watchdog, RevivalGraceBlocksSloCorroboratedReKill)
+{
+    // Regression: after a revival, the SLO that burned through the
+    // incident is usually still active. A single transient miss
+    // right after the revival must NOT re-kill the card through the
+    // corroborated fast path while the grace window is open.
+    WatchdogRig rig;
+    TimeSeriesStore store;
+    SloEngine slo("slo", store);
+    SloSpec spec;
+    spec.name = "ctrl_occupancy";
+    spec.kind = SloKind::OccupancyAbove;
+    spec.metric = "occ";
+    spec.objective = 0.5;
+    spec.window = 50'000'000;
+    slo.addSpec(spec);
+    store.ingestPoint(0, "occ", 100.0);
+    slo.evaluate(1'000'000);
+    ASSERT_TRUE(slo.anyActive());
+    rig.dog.attachSlo(&slo);
+
+    ASSERT_TRUE(rig.dog.beat());
+
+    // Death through the corroborated path, then the window closes.
+    {
+        FaultPlan plan(6);
+        plan.addWindow(FaultKind::DeviceDeath, rig.engine.now(),
+                       rig.engine.now() + 40'000'000, 1.0, "DeviceA");
+        plan.arm();
+        while (!rig.dog.dead())
+            rig.dog.beat();
+    }
+    rig.engine.runFor(80'000'000);
+    ASSERT_TRUE(rig.dog.beat());
+    ASSERT_FALSE(rig.dog.dead());
+    ASSERT_GT(rig.dog.revivalGraceLeft(), 0u);
+
+    // One transient miss inside the grace window: still alive.
+    {
+        FaultPlan plan(8);
+        plan.addWindow(FaultKind::DeviceDeath, rig.engine.now(),
+                       rig.engine.now() + 1'000'000, 1.0, "DeviceA");
+        plan.arm();
+        EXPECT_FALSE(rig.dog.beat());
+    }
+    EXPECT_FALSE(rig.dog.dead())
+        << "single post-revival miss re-killed a revived card";
+    EXPECT_EQ(rig.dog.consecutiveMisses(), 1u);
+
+    // A healthy beat clears the miss.
+    rig.engine.runFor(rig.dog.config().interval);
+    EXPECT_TRUE(rig.dog.beat());
+    EXPECT_EQ(rig.dog.consecutiveMisses(), 0u);
+}
+
+TEST(Watchdog, SustainedMissesStillKillDuringGrace)
+{
+    // The grace window softens the corroborated single-miss path
+    // only; threshold-many sustained misses still declare death.
+    WatchdogRig rig;
+    ASSERT_TRUE(rig.dog.beat());
+    {
+        FaultPlan plan(13);
+        plan.addWindow(FaultKind::DeviceDeath, rig.engine.now(),
+                       rig.engine.now() + 40'000'000, 1.0, "DeviceA");
+        plan.arm();
+        while (!rig.dog.dead())
+            rig.dog.beat();
+    }
+    rig.engine.runFor(80'000'000);
+    ASSERT_TRUE(rig.dog.beat());
+    ASSERT_FALSE(rig.dog.dead());
+
+    FaultPlan plan(14);
+    plan.addWindow(FaultKind::DeviceDeath, rig.engine.now(),
+                   rig.engine.now() + 800'000'000, 1.0, "DeviceA");
+    plan.arm();
+    unsigned beats = 0;
+    while (!rig.dog.dead()) {
+        ASSERT_LT(beats, 10u) << "revived card can never re-die";
+        rig.dog.beat();
+        ++beats;
+    }
+    EXPECT_EQ(beats, rig.dog.config().missThreshold);
+    EXPECT_EQ(rig.dog.stats().value("deaths_declared"), 2u);
+}
+
 TEST(Watchdog, TargetsOnlyItsOwnDevice)
 {
     // A DeviceD death window must not affect a DeviceA watchdog.
